@@ -1,0 +1,102 @@
+"""Ablation — buffer-pool capacity vs the benefit of query composition.
+
+Query composition saves the *repeated* page accesses of the naive
+per-ViTri range searches.  Whether those repeats cost real I/O depends on
+the buffer pool: with a pool large enough to hold the query's working
+set, the repeats are cache hits and only the first access per page is
+physical.  This ablation sweeps the pool capacity and reports both
+logical page requests (capacity-independent) and physical reads.
+
+Expected shape: composed <= naive on logical requests at every capacity;
+on physical reads the gap closes as the pool grows (the buffer pool
+"pre-composes" repeated accesses), vanishing once the working set fits.
+"""
+
+import repro
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import aggregate_stats, format_table
+
+from _common import save_result, summarize_dataset
+
+EPSILON = 0.22
+CAPACITIES = (0, 4, 32, 256)
+NUM_QUERIES = 15
+K = 50
+
+
+def run_experiment():
+    config = DatasetConfig.indexing_preset(
+        num_distractors=250,
+        scene_weight=9.0,
+        palette_weight=12.0,
+        duration_classes=((150, 0.6), (100, 0.4)),
+    )
+    dataset = generate_dataset(config, seed=61)
+    summaries = summarize_dataset(dataset, EPSILON)
+    queries = list(range(0, 2 * NUM_QUERIES, 2))
+
+    rows = []
+    physical_gaps = []
+    for capacity in CAPACITIES:
+        index = repro.VitriIndex.build(
+            summaries, EPSILON, buffer_capacity=capacity
+        )
+        naive = aggregate_stats(
+            [
+                index.knn(summaries[q], K, method="naive", cold=True).stats
+                for q in queries
+            ]
+        )
+        composed = aggregate_stats(
+            [
+                index.knn(summaries[q], K, method="composed", cold=True).stats
+                for q in queries
+            ]
+        )
+        physical_gaps.append(
+            naive["physical_reads"] - composed["physical_reads"]
+        )
+        rows.append(
+            (
+                capacity,
+                naive["page_requests"],
+                composed["page_requests"],
+                naive["physical_reads"],
+                composed["physical_reads"],
+            )
+        )
+
+    table = format_table(
+        [
+            "pool capacity",
+            "logical naive",
+            "logical composed",
+            "physical naive",
+            "physical composed",
+        ],
+        rows,
+        title=(
+            "Ablation: buffer-pool capacity vs query-composition benefit "
+            f"(epsilon = {EPSILON}, {NUM_QUERIES} queries)"
+        ),
+    )
+    return table, rows, physical_gaps
+
+
+def test_ablation_buffer(benchmark):
+    table, rows, physical_gaps = run_experiment()
+    save_result("ablation_buffer", table)
+    for capacity, ln, lc, pn, pc in rows:
+        # Logical requests: composition always wins (capacity-independent).
+        assert lc <= ln
+        # Physical reads: composed never exceeds naive.
+        assert pc <= pn + 1e-9
+    # The physical-read gap shrinks as the pool grows: a big enough cache
+    # absorbs the naive method's repeats.
+    assert physical_gaps[-1] <= physical_gaps[0] + 1e-9
+
+    config = DatasetConfig.indexing_preset(num_distractors=80)
+    dataset = generate_dataset(config, seed=61)
+    summaries = summarize_dataset(dataset, EPSILON)
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    benchmark(lambda: index.knn(summaries[0], K, cold=True))

@@ -1,0 +1,101 @@
+"""Extension — filter-and-refine: recovering exact quality at bounded cost.
+
+The ViTri index filters cheaply but approximately; with raw frames at
+hand, re-ranking the over-fetched top candidates with the exact frame-
+level measure recovers precision while paying the quadratic frame cost
+only on ``k * overfetch`` videos instead of the whole corpus.
+"""
+
+import numpy as np
+
+import repro
+from repro.eval import precision_at_k
+from repro.eval.refine import refined_knn
+from repro.eval import format_table
+
+from _common import save_result
+
+EPSILON = 0.3
+K = 5
+OVERFETCHES = (1, 2, 4)
+
+
+def run_experiment(dataset, ground_truth, queries):
+    summaries = [
+        repro.summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    index = repro.VitriIndex.build(summaries, EPSILON)
+
+    mean_frames = dataset.total_frames / dataset.num_videos
+    rows = []
+    coarse_precision = []
+    refined_by_overfetch = {o: [] for o in OVERFETCHES}
+    for query_id in queries:
+        relevant = ground_truth.top_k(query_id, K, EPSILON)
+        coarse = index.knn(summaries[query_id], K).videos
+        coarse_precision.append(precision_at_k(relevant, coarse))
+        for overfetch in OVERFETCHES:
+            refined = refined_knn(
+                index, dataset, summaries, query_id, k=K, overfetch=overfetch
+            ).videos
+            refined_by_overfetch[overfetch].append(
+                precision_at_k(relevant, refined)
+            )
+
+    rows.append(("index only", float(np.mean(coarse_precision)), 0))
+    for overfetch in OVERFETCHES:
+        exact_comparisons = round(K * overfetch * mean_frames**2)
+        rows.append(
+            (
+                f"refined (overfetch {overfetch})",
+                float(np.mean(refined_by_overfetch[overfetch])),
+                exact_comparisons,
+            )
+        )
+    exhaustive = round(dataset.num_videos * mean_frames**2)
+    rows.append(("exhaustive exact", 1.0, exhaustive))
+
+    table = format_table(
+        ["method", f"precision@{K}", "exact frame comparisons / query"],
+        rows,
+        title=(
+            f"Extension: filter-and-refine (epsilon = {EPSILON}, "
+            f"{len(queries)} queries, {dataset.num_videos} videos)"
+        ),
+    )
+    return table, coarse_precision, refined_by_overfetch
+
+
+def test_ext_refine(
+    benchmark, precision_dataset, precision_ground_truth, precision_queries
+):
+    table, coarse, refined = run_experiment(
+        precision_dataset, precision_ground_truth, precision_queries
+    )
+    save_result("ext_refine", table)
+    # Refinement never hurts, and more over-fetch never hurts.
+    best = float(np.mean(refined[max(OVERFETCHES)]))
+    assert best >= float(np.mean(coarse)) - 1e-9
+    for small, large in zip(OVERFETCHES, OVERFETCHES[1:]):
+        assert (
+            float(np.mean(refined[large]))
+            >= float(np.mean(refined[small])) - 1e-9
+        )
+
+    summaries = [
+        repro.summarize_video(
+            i, precision_dataset.frames(i), EPSILON, seed=i
+        )
+        for i in range(precision_dataset.num_videos)
+    ]
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    benchmark(
+        lambda: refined_knn(
+            index,
+            precision_dataset,
+            summaries,
+            precision_queries[0],
+            k=K,
+        )
+    )

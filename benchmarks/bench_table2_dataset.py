@@ -1,0 +1,56 @@
+"""Table 2 — dataset statistics.
+
+The paper's corpus: 6,500 TV advertisements in three duration classes
+(30 s / 15 s / 10 s at PAL 25 fps).  This bench generates the synthetic
+equivalent at 1/30 of the video count and 1/5 of the frame rate-duration
+product, and prints the same three-row table (duration class, number of
+videos, number of frames).
+"""
+
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import format_table
+
+from _common import save_result
+
+# Paper: (frames/video, count) = (750, 2934), (375, 2519), (250, 1134).
+# Scaled: frames / 5, counts / 30.
+DURATION_CLASSES = ((150, 2934.0), (75, 2519.0), (50, 1134.0))
+NUM_VIDEOS = (2934 + 2519 + 1134) // 30
+
+
+def build_dataset():
+    config = DatasetConfig(
+        num_families=0,
+        family_size=1,
+        num_distractors=NUM_VIDEOS,
+        duration_classes=DURATION_CLASSES,
+    )
+    return generate_dataset(config, seed=2)
+
+
+def run_experiment():
+    dataset = build_dataset()
+    rows = [
+        (length, videos, frames)
+        for length, videos, frames in dataset.duration_table()
+    ]
+    table = format_table(
+        ["Frames per video", "Number of videos", "Number of frames"],
+        rows,
+        title=(
+            "Table 2 (scaled 1/30 videos, 1/5 frames): synthetic dataset "
+            "statistics"
+        ),
+    )
+    return table, dataset
+
+
+def test_table2_dataset(benchmark):
+    table, dataset = run_experiment()
+    save_result("table2_dataset", table)
+    assert dataset.num_videos == NUM_VIDEOS
+    # The duration mix follows the paper's proportions: the longest class
+    # dominates the frame count.
+    rows = dataset.duration_table()
+    assert rows[0][2] > rows[-1][2]
+    benchmark(lambda: dataset.duration_table())

@@ -1,0 +1,71 @@
+"""Table 3 — summary statistics vs epsilon.
+
+The paper sweeps eps over {0.2 .. 0.6} and reports the number of clusters
+and the average cluster size: clusters shrink in number and grow in size
+as eps loosens.  Same sweep here on the synthetic corpus.
+"""
+
+import repro
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import format_table
+
+from _common import save_result
+
+EPSILONS = (0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def run_experiment():
+    # A scene-structured corpus: shots are distinct at eps = 0.2, shots
+    # within a scene merge around eps = 0.3, and scenes merge along the
+    # scene-axis continuum as eps keeps growing — the mechanism behind
+    # the paper's declining cluster counts.
+    config = DatasetConfig(
+        num_families=0,
+        family_size=1,
+        num_distractors=50,
+        duration_classes=((100, 0.4), (60, 0.4), (40, 0.2)),
+        palette_weight=6.0,
+        scene_weight=13.0,
+        identity_weight=2.0,
+        shot_weight=5.0,
+        shot_concentration=0.03,
+        shots_per_scene_mean=2.5,
+        shot_length_mean=8.0,
+    )
+    dataset = generate_dataset(config, seed=3)
+    rows = []
+    cluster_counts = []
+    for epsilon in EPSILONS:
+        summaries = [
+            repro.summarize_video(i, dataset.frames(i), epsilon, seed=i)
+            for i in range(dataset.num_videos)
+        ]
+        clusters = sum(len(s) for s in summaries)
+        cluster_counts.append(clusters)
+        rows.append(
+            (epsilon, clusters, round(dataset.total_frames / clusters))
+        )
+    table = format_table(
+        ["epsilon", "Number of clusters", "Average cluster size"],
+        rows,
+        title=(
+            f"Table 3: summary statistics, {dataset.num_videos} videos / "
+            f"{dataset.total_frames} frames"
+        ),
+    )
+    return table, cluster_counts, dataset
+
+
+def test_table3_summary(benchmark):
+    table, cluster_counts, dataset = run_experiment()
+    save_result("table3_summary", table)
+    # Paper's trend: cluster count decreases monotonically with epsilon.
+    assert all(
+        later <= earlier
+        for earlier, later in zip(cluster_counts, cluster_counts[1:])
+    )
+    # The eps sweep must actually change the summary granularity.
+    assert cluster_counts[0] > cluster_counts[-1]
+    benchmark(
+        lambda: repro.summarize_video(0, dataset.frames(0), 0.3, seed=0)
+    )

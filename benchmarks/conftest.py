@@ -1,0 +1,59 @@
+"""Benchmark fixtures.
+
+The precision workload (Figures 14-15) and the indexing workload
+(Figures 16-19) are session-scoped: several benches share them.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import repro
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import GroundTruthCache
+
+from _common import summarize_dataset
+
+PRECISION_EPSILON = 0.3
+
+
+@pytest.fixture(scope="session")
+def precision_dataset():
+    """Workload for Figures 14-15: near-duplicate families, 50 queries'
+    worth of family sources, frame-level ground truth."""
+    config = DatasetConfig.precision_preset(
+        num_families=10,
+        family_size=6,
+        num_distractors=20,
+        duration_classes=((60, 0.5), (40, 0.5)),
+    )
+    return generate_dataset(config, seed=2005)
+
+
+@pytest.fixture(scope="session")
+def precision_ground_truth(precision_dataset):
+    return GroundTruthCache(precision_dataset)
+
+
+@pytest.fixture(scope="session")
+def precision_queries(precision_dataset):
+    """One query per family (the family source), like the paper's
+    50-query average over database members."""
+    return [
+        precision_dataset.family_members(family)[0]
+        for family in precision_dataset.families
+    ]
+
+
+@pytest.fixture(scope="session")
+def indexing_workload():
+    """Workload for Figure 16/17 base point: 400 videos, eps = 0.3."""
+    config = DatasetConfig.indexing_preset(num_distractors=400)
+    dataset = generate_dataset(config, seed=41)
+    epsilon = 0.3
+    summaries = summarize_dataset(dataset, epsilon)
+    index = repro.VitriIndex.build(summaries, epsilon)
+    return dataset, summaries, index, epsilon

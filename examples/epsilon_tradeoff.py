@@ -1,0 +1,69 @@
+"""The precision-efficiency trade-off of the frame similarity threshold.
+
+Epsilon is the paper's single tuning knob.  A small epsilon keeps clusters
+tight (many ViTris, accurate retrieval, more work per query); a large
+epsilon collapses videos into a handful of coarse clusters (tiny summary,
+cheaper queries, degraded precision).  This script sweeps epsilon and
+prints the whole trade-off surface: summary size, retrieval precision
+against exact frame-level ground truth, and query cost.
+
+Run:  python examples/epsilon_tradeoff.py
+"""
+
+import numpy as np
+
+import repro
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import GroundTruthCache, precision_at_k
+
+EPSILONS = (0.2, 0.3, 0.4, 0.5)
+K = 5
+
+
+def main() -> None:
+    config = DatasetConfig.precision_preset(
+        num_families=6,
+        family_size=5,
+        num_distractors=14,
+        duration_classes=((60, 0.5), (40, 0.5)),
+    )
+    library = generate_dataset(config, seed=13)
+    ground_truth = GroundTruthCache(library)
+    queries = [library.family_members(f)[0] for f in library.families]
+    print(f"library: {library.num_videos} videos, "
+          f"{library.total_frames} frames; {len(queries)} queries, {K}-NN\n")
+
+    print(f"{'eps':>5} {'ViTris':>7} {'frames/cluster':>15} "
+          f"{'precision':>10} {'pages/query':>12} {'sims/query':>11}")
+    for epsilon in EPSILONS:
+        summaries = [
+            repro.summarize_video(i, library.frames(i), epsilon, seed=i)
+            for i in range(library.num_videos)
+        ]
+        index = repro.VitriIndex.build(summaries, epsilon)
+        num_vitris = index.num_vitris
+
+        precisions = []
+        pages = []
+        sims = []
+        for query_id in queries:
+            relevant = ground_truth.top_k(query_id, K, epsilon)
+            result = index.knn(summaries[query_id], K, cold=True)
+            precisions.append(precision_at_k(relevant, result.videos))
+            pages.append(result.stats.page_requests)
+            sims.append(result.stats.similarity_computations)
+
+        print(f"{epsilon:>5} {num_vitris:>7} "
+              f"{library.total_frames / num_vitris:>15.0f} "
+              f"{np.mean(precisions):>10.3f} {np.mean(pages):>12.1f} "
+              f"{np.mean(sims):>11.1f}")
+
+    print("\nreading the table: a small epsilon keeps retrieval sharp; "
+          "loosening it\ndegrades precision while queries get slightly "
+          "cheaper. The paper picks 0.3.\n(For the effect of epsilon on "
+          "summary granularity over scene-structured\nvideos, see "
+          "benchmarks/bench_table3_summary.py.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""From raw RGB frames to a searchable index.
+
+The other examples work on pre-extracted feature vectors; this one starts
+one step earlier, at decoded video frames (``(height, width, 3)`` uint8
+arrays — what any decoder like OpenCV or imageio yields), and runs the
+paper's actual front end: the 64-bin quantised RGB histogram (2 bits per
+channel, normalised by pixel count).
+
+Without video files in this environment the "footage" is synthesised —
+each clip is a sequence of colour-graded noise scenes, and each clip gets
+one re-encoded copy (brightness shift + compression-like noise).  Swap
+``synthesize_clip`` for a real decode loop and nothing else changes.
+
+Run:  python examples/raw_frames_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core.database import VideoDatabase
+from repro.datasets import video_histograms
+
+EPSILON = 0.3
+HEIGHT, WIDTH = 36, 48
+SCENES = 3
+FRAMES_PER_SCENE = 10
+
+
+def synthesize_clip(rng):
+    """Fake decoded footage: scenes of colour-graded noise with camera
+    drift (the within-scene motion that makes real clusters wide)."""
+    palette = [rng.integers(30, 226, 3) for _ in range(SCENES)]
+    frames = []
+    for base_color in palette:
+        color = base_color.astype(np.int32)
+        for _ in range(FRAMES_PER_SCENE):
+            color = color + rng.integers(-6, 7, 3)  # slow pan / lighting
+            noise = rng.integers(-25, 26, (HEIGHT, WIDTH, 3))
+            frame = np.clip(color[None, None, :] + noise, 0, 255)
+            frames.append(frame.astype(np.uint8))
+    return frames
+
+
+def reencode(frames, rng, brightness=3, noise=3):
+    """A lossy copy: global brightness shift plus fresh noise."""
+    copied = []
+    for frame in frames:
+        shifted = frame.astype(np.int32) + brightness
+        shifted += rng.integers(-noise, noise + 1, frame.shape)
+        copied.append(np.clip(shifted, 0, 255).astype(np.uint8))
+    return copied
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    db = VideoDatabase(epsilon=EPSILON)
+
+    # Index the original clips; keep the re-encoded copies as queries.
+    copies = {}
+    for clip in range(5):
+        frames = synthesize_clip(rng)
+        original_id = db.add(video_histograms(frames))
+        copies[original_id] = reencode(frames, rng)
+    for _ in range(6):  # unrelated filler clips
+        db.add(video_histograms(synthesize_clip(rng)))
+
+    print(f"database: {len(db)} clips of {HEIGHT}x{WIDTH} footage, "
+          f"{SCENES} scenes each, 64-bin RGB histograms\n")
+
+    hits = 0
+    for original_id, copy_frames in copies.items():
+        result = db.query(video_histograms(copy_frames), k=2)
+        found = original_id in result.videos
+        hits += found
+        print(f"querying with the re-encoded copy of clip {original_id}: "
+              f"top-2 = {list(result.videos)} "
+              f"({'found original' if found else 'missed'})")
+
+    print(f"\nre-encode robustness: {hits}/{len(copies)} originals recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""The keyframe baseline (paper's "existing keyframe method", ref [5]).
+
+Chang et al. summarise a video by selecting ``k`` representative feature
+vectors that minimise the distance between the representatives and the
+original sequence — which is exactly the k-means objective, so the
+representatives here are k-means centroids.  Video similarity is the
+*percentage of similar keyframes*: a keyframe is matched when some
+keyframe of the other video lies within ``epsilon``.
+
+This is the method Figure 14/15 compares ViTri against: it keeps only the
+cluster positions and discards the local information (radius, density)
+that ViTri retains.
+
+To make the comparison fair, the number of keyframes per video defaults to
+the number of clusters ``Generate_Clusters`` produces for the same
+``epsilon`` — both summaries then have the same footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.utils.counters import CostCounters
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["KeyframeSummary", "keyframe_similarity", "summarize_keyframes"]
+
+
+@dataclass(frozen=True)
+class KeyframeSummary:
+    """A video summarised as ``k`` representative frames.
+
+    Attributes
+    ----------
+    video_id:
+        Identifier of the summarised video.
+    keyframes:
+        Representative vectors, shape ``(k, n)``.
+    num_frames:
+        Length of the original video.
+    """
+
+    video_id: int
+    keyframes: np.ndarray
+    num_frames: int
+
+    @property
+    def k(self) -> int:
+        """Number of keyframes."""
+        return self.keyframes.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality."""
+        return self.keyframes.shape[1]
+
+
+def summarize_keyframes(
+    video_id: int,
+    frames,
+    k: int,
+    *,
+    seed=None,
+) -> KeyframeSummary:
+    """Summarise a video into ``k`` keyframes with k-means.
+
+    Parameters
+    ----------
+    video_id:
+        Identifier recorded on the summary.
+    frames:
+        Matrix of shape ``(f, n)``.
+    k:
+        Number of representatives; clamped to the frame count.
+    seed:
+        k-means seeding.
+    """
+    frames = check_matrix(frames, "frames", min_rows=1)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive int, got {k}")
+    k = min(k, frames.shape[0])
+    result = kmeans(frames, k, seed=seed)
+    return KeyframeSummary(
+        video_id=video_id,
+        keyframes=result.centers,
+        num_frames=frames.shape[0],
+    )
+
+
+def keyframe_similarity(
+    a: KeyframeSummary,
+    b: KeyframeSummary,
+    epsilon: float,
+    counters: CostCounters | None = None,
+) -> float:
+    """Percentage of similar keyframes between two summaries, in [0, 1]."""
+    if not isinstance(a, KeyframeSummary) or not isinstance(b, KeyframeSummary):
+        raise TypeError("keyframe_similarity expects two KeyframeSummary objects")
+    if a.dim != b.dim:
+        raise ValueError(f"dimension mismatch: {a.dim} != {b.dim}")
+    epsilon = check_positive(epsilon, "epsilon")
+
+    diff = a.keyframes[:, None, :] - b.keyframes[None, :, :]
+    distances = np.linalg.norm(diff, axis=2)
+    if counters is not None:
+        counters.distance_computations += distances.size
+    matched_a = int(np.any(distances <= epsilon, axis=1).sum())
+    matched_b = int(np.any(distances <= epsilon, axis=0).sum())
+    return (matched_a + matched_b) / (a.k + b.k)

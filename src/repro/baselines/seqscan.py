@@ -1,0 +1,108 @@
+"""Sequential scan over the ViTri heap.
+
+The brute-force comparator of Figures 17-19: every heap data page is read
+and every (query ViTri, database ViTri) pair is evaluated.  Because the
+B+-tree's key filter is lossless (pruned pairs provably share zero
+frames), the sequential scan returns *exactly* the same KNN results as
+:class:`~repro.core.index.VitriIndex` — only the cost differs, which the
+tests assert and the benchmarks plot.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import (
+    KNNResult,
+    QueryStats,
+    TOMBSTONE_VIDEO_ID,
+    VitriIndex,
+)
+from repro.core.scoring import ScoreAccumulator
+from repro.core.vitri import VideoSummary
+from repro.utils.counters import Timer
+
+__all__ = ["SequentialScan"]
+
+
+class SequentialScan:
+    """Brute-force KNN over an index's heap file.
+
+    Shares the heap (and its counted buffer pool) with the
+    :class:`VitriIndex` it scans, so I/O numbers are directly comparable.
+    """
+
+    def __init__(self, index: VitriIndex) -> None:
+        if not isinstance(index, VitriIndex):
+            raise TypeError("index must be a VitriIndex")
+        self._index = index
+
+    def knn(self, query: VideoSummary, k: int, *, cold: bool = True) -> KNNResult:
+        """Top-``k`` most similar videos by scanning every ViTri record.
+
+        Parameters
+        ----------
+        query:
+            ViTri summary of the query video.
+        k:
+            Number of results.
+        cold:
+            Clear the heap's buffer pool first (default: a sequential scan
+            is always cold in the paper's model).
+        """
+        if not isinstance(query, VideoSummary):
+            raise TypeError("query must be a VideoSummary")
+        if query.dim != self._index.dim:
+            raise ValueError(
+                f"query dimension {query.dim} != index dimension "
+                f"{self._index.dim}"
+            )
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ValueError(f"k must be a positive int, got {k}")
+
+        heap = self._index.heap
+        pool = heap.buffer_pool
+        codec = self._index._codec
+        video_frames = self._index.video_frames
+        if cold:
+            pool.clear()
+
+        requests_before = pool.requests
+        misses_before = pool.misses
+        accumulator = ScoreAccumulator(query, video_frames)
+        candidates = 0
+
+        with Timer() as timer:
+            records = [
+                record
+                for record in (
+                    codec.decode(payload) for _, payload in heap.scan()
+                )
+                if record.video_id != TOMBSTONE_VIDEO_ID
+            ]
+            candidates = len(records)
+            if records:
+                import numpy as np
+
+                video_ids = np.array([r.video_id for r in records])
+                vitri_ids = np.array([r.vitri_id for r in records])
+                counts = np.array([r.count for r in records])
+                radii = np.array([r.radius for r in records])
+                positions = np.stack([r.position for r in records])
+                for i in range(len(query.vitris)):
+                    accumulator.evaluate_arrays(
+                        i, video_ids, vitri_ids, counts, radii, positions
+                    )
+            ranked = accumulator.ranked(k)
+        stats = QueryStats(
+            page_requests=pool.requests - requests_before,
+            physical_reads=pool.misses - misses_before,
+            node_visits=0,
+            similarity_computations=accumulator.evaluations,
+            candidates=candidates,
+            ranges=0,
+            wall_time=timer.elapsed,
+        )
+        return KNNResult(
+            videos=tuple(video for video, _ in ranked),
+            scores=tuple(score for _, score in ranked),
+            stats=stats,
+        )

@@ -1,0 +1,122 @@
+"""The video-signature (ViSig) baseline of Cheung & Zakhor (ref [6]).
+
+A set of *seed vectors* is drawn once, shared by every video in the
+database.  A video's signature assigns to each seed the video frame
+closest to it.  Two videos are compared seed-by-seed: the similarity is
+the fraction of seeds whose assigned frames are within ``epsilon`` of each
+other.  The paper criticises the method for exactly the failure mode this
+implementation exhibits: a seed may sample *non-matching* frames from two
+almost-identical sequences, and performance is sensitive to the number of
+seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.counters import CostCounters
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["VideoSignature", "VideoSignatureIndex"]
+
+
+@dataclass(frozen=True)
+class VideoSignature:
+    """A video's ViSig: its closest frame to each shared seed.
+
+    Attributes
+    ----------
+    video_id:
+        Identifier of the summarised video.
+    assigned:
+        Assigned frames, shape ``(num_seeds, n)``; row ``s`` is the video
+        frame closest to seed ``s``.
+    num_frames:
+        Length of the original video.
+    """
+
+    video_id: int
+    assigned: np.ndarray
+    num_frames: int
+
+    @property
+    def num_seeds(self) -> int:
+        """Number of seed vectors."""
+        return self.assigned.shape[0]
+
+
+class VideoSignatureIndex:
+    """Generates and compares ViSig summaries under one shared seed set.
+
+    Parameters
+    ----------
+    dim:
+        Feature dimensionality.
+    num_seeds:
+        Number of shared seed vectors.
+    seed:
+        RNG seed for drawing the seed vectors.
+    simplex_seeds:
+        Draw seeds from the probability simplex (Dirichlet) so they live
+        where histogram features do; plain uniform cube draws otherwise.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_seeds: int = 16,
+        *,
+        seed=None,
+        simplex_seeds: bool = True,
+    ) -> None:
+        if not isinstance(dim, int) or dim < 1:
+            raise ValueError(f"dim must be a positive int, got {dim}")
+        if not isinstance(num_seeds, int) or num_seeds < 1:
+            raise ValueError(f"num_seeds must be a positive int, got {num_seeds}")
+        rng = ensure_rng(seed)
+        if simplex_seeds:
+            self._seeds = rng.dirichlet(np.full(dim, 0.5), size=num_seeds)
+        else:
+            self._seeds = rng.uniform(0.0, 1.0, size=(num_seeds, dim))
+        self._dim = dim
+
+    @property
+    def seeds(self) -> np.ndarray:
+        """The shared seed vectors, shape ``(num_seeds, n)``."""
+        return self._seeds.copy()
+
+    @property
+    def num_seeds(self) -> int:
+        """Number of shared seed vectors."""
+        return self._seeds.shape[0]
+
+    def summarize(self, video_id: int, frames) -> VideoSignature:
+        """Build the ViSig of one video."""
+        frames = check_matrix(frames, "frames", cols=self._dim, min_rows=1)
+        diff = self._seeds[:, None, :] - frames[None, :, :]
+        distances = np.linalg.norm(diff, axis=2)  # (num_seeds, f)
+        closest = np.argmin(distances, axis=1)
+        return VideoSignature(
+            video_id=video_id,
+            assigned=frames[closest].copy(),
+            num_frames=frames.shape[0],
+        )
+
+    def similarity(
+        self,
+        a: VideoSignature,
+        b: VideoSignature,
+        epsilon: float,
+        counters: CostCounters | None = None,
+    ) -> float:
+        """Fraction of seeds whose assigned frames match within epsilon."""
+        if a.num_seeds != self.num_seeds or b.num_seeds != self.num_seeds:
+            raise ValueError("signatures were built with a different seed set")
+        epsilon = check_positive(epsilon, "epsilon")
+        distances = np.linalg.norm(a.assigned - b.assigned, axis=1)
+        if counters is not None:
+            counters.distance_computations += distances.size
+        return float(np.mean(distances <= epsilon))

@@ -1,0 +1,26 @@
+"""Disk-paged B+-tree.
+
+A from-scratch B+-tree over the :mod:`repro.storage` page stack:
+
+* float64 keys, fixed-size opaque payloads, duplicate keys allowed;
+* leaves chained left-to-right for range scans;
+* insert with node splits, plus a packed bulk loader for one-off
+  construction (the paper's Section 6.3.2 index builds);
+* every node access is a buffer-pool page request, so I/O cost falls out
+  of the storage counters.
+
+:mod:`repro.btree.checker` verifies the structural invariants (ordering,
+fill factors, leaf chaining, separator consistency) and is used heavily by
+the property-based tests.
+"""
+
+from repro.btree.node import InternalNode, LeafNode, internal_capacity, leaf_capacity
+from repro.btree.tree import BPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "InternalNode",
+    "LeafNode",
+    "internal_capacity",
+    "leaf_capacity",
+]

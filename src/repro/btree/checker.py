@@ -1,0 +1,127 @@
+"""B+-tree invariant checker.
+
+Used by the tests (including property-based tests that compare the tree
+against a sorted-list oracle) to verify the structure after arbitrary
+insert/bulk-load workloads:
+
+* every leaf's keys are non-decreasing, and keys are globally
+  non-decreasing along the leaf chain;
+* internal separators bound their subtrees (all keys in ``children[i]`` are
+  ``< keys[i]``, all keys in ``children[i+1]`` are ``>= keys[i]`` — with the
+  duplicate-straddle relaxation: keys equal to the separator may appear at
+  the end of the left subtree);
+* the leaf chain visits exactly the leaves reachable from the root, left to
+  right;
+* ``num_entries`` matches the actual entry count;
+* all leaves sit at the same depth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.btree.node import (
+    NODE_INTERNAL,
+    NODE_LEAF,
+    NO_LEAF,
+    InternalNode,
+    LeafNode,
+    node_type_of,
+)
+from repro.btree.tree import BPlusTree
+
+__all__ = ["check_tree"]
+
+
+class _TreeWalker:
+    def __init__(self, tree: BPlusTree) -> None:
+        self.tree = tree
+        self.pool = tree.buffer_pool
+        self.leaf_ids_in_order: list[int] = []
+        self.entry_count = 0
+        self.leaf_depths: set[int] = set()
+
+    def walk(self, page_id: int, depth: int, low: float, high: float) -> None:
+        """Verify the subtree at *page_id*; keys must lie in [low, high)."""
+        page = self.pool.fetch(page_id)
+        node_type = node_type_of(page)
+        if node_type == NODE_LEAF:
+            leaf = LeafNode.load(page, self.tree.payload_size)
+            self._check_leaf(leaf, low, high)
+            self.leaf_ids_in_order.append(page_id)
+            self.leaf_depths.add(depth)
+            self.entry_count += leaf.count
+            return
+        if node_type != NODE_INTERNAL:
+            raise AssertionError(f"page {page_id} has unknown node type {node_type}")
+        node = InternalNode.load(page)
+        if len(node.children) != len(node.keys) + 1:
+            raise AssertionError(
+                f"internal page {page_id}: {len(node.keys)} keys but "
+                f"{len(node.children)} children"
+            )
+        for a, b in zip(node.keys, node.keys[1:]):
+            if b < a:
+                raise AssertionError(
+                    f"internal page {page_id}: separators not sorted"
+                )
+        for key in node.keys:
+            if not (low <= key <= high):
+                raise AssertionError(
+                    f"internal page {page_id}: separator {key} outside "
+                    f"[{low}, {high}]"
+                )
+        bounds = [low, *node.keys, high]
+        for index, child in enumerate(node.children):
+            # Duplicates of a separator may straddle the split boundary, so
+            # the left subtree's upper bound is inclusive.
+            self.walk(child, depth + 1, bounds[index], bounds[index + 1])
+
+    def _check_leaf(self, leaf: LeafNode, low: float, high: float) -> None:
+        for a, b in zip(leaf.keys, leaf.keys[1:]):
+            if b < a:
+                raise AssertionError(
+                    f"leaf page {leaf.page.page_id}: keys not sorted"
+                )
+        for key in leaf.keys:
+            if not (low <= key <= high):
+                raise AssertionError(
+                    f"leaf page {leaf.page.page_id}: key {key} outside "
+                    f"[{low}, {high}]"
+                )
+
+
+def check_tree(tree: BPlusTree) -> None:
+    """Raise :class:`AssertionError` if any B+-tree invariant is violated."""
+    walker = _TreeWalker(tree)
+    # Find the root page id via a protected attribute: the checker is a
+    # white-box test utility and deliberately reaches inside.
+    walker.walk(tree._root, 0, -math.inf, math.inf)
+
+    if walker.entry_count != tree.num_entries:
+        raise AssertionError(
+            f"num_entries={tree.num_entries} but leaves hold "
+            f"{walker.entry_count} entries"
+        )
+    if len(walker.leaf_depths) != 1:
+        raise AssertionError(f"leaves at unequal depths: {walker.leaf_depths}")
+
+    # The leaf chain must visit the same leaves in the same order.
+    chain: list[int] = []
+    page_id = walker.leaf_ids_in_order[0]
+    previous_key = -math.inf
+    while True:
+        chain.append(page_id)
+        leaf = LeafNode.load(tree.buffer_pool.fetch(page_id), tree.payload_size)
+        for key in leaf.keys:
+            if key < previous_key:
+                raise AssertionError("keys decrease along the leaf chain")
+            previous_key = key
+        if leaf.next_leaf == NO_LEAF:
+            break
+        page_id = leaf.next_leaf
+    if chain != walker.leaf_ids_in_order:
+        raise AssertionError(
+            "leaf chain disagrees with root-reachable leaf order: "
+            f"{chain} != {walker.leaf_ids_in_order}"
+        )

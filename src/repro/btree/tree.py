@@ -1,0 +1,448 @@
+"""The B+-tree proper: create/open, insert, search, range scan, bulk load.
+
+Page 0 of the tree's pager is a metadata page::
+
+    magic u32 | payload_size u32 | root u64 | height u32 | num_entries u64
+
+``height == 1`` means the root is a leaf.  All node accesses go through the
+buffer pool (counted I/O) and additionally bump :attr:`BPlusTree.node_visits`
+so CPU-side traversal work is observable separately from page I/O.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+from repro.btree.node import (
+    NO_LEAF,
+    InternalNode,
+    LeafNode,
+    internal_capacity,
+    leaf_capacity,
+)
+from repro.storage.buffer_pool import BufferPool
+
+__all__ = ["BPlusTree"]
+
+_META = struct.Struct("<IIQIQ")
+_MAGIC = 0x42545245  # "BTRE"
+
+
+class BPlusTree:
+    """Disk-paged B+-tree with float64 keys and fixed-size payloads.
+
+    Use :meth:`create` on an empty pager or :meth:`open` on an existing
+    tree file.  Duplicate keys are allowed; :meth:`search` returns every
+    payload stored under a key and :meth:`range_search` returns entries in
+    non-decreasing key order.
+    """
+
+    def __init__(
+        self, buffer_pool: BufferPool, payload_size: int, *, _opened: bool = False
+    ) -> None:
+        if not _opened:
+            raise RuntimeError(
+                "use BPlusTree.create(...) or BPlusTree.open(...) instead of "
+                "constructing BPlusTree directly"
+            )
+        self._pool = buffer_pool
+        self._payload_size = payload_size
+        self._root = 0
+        self._height = 1
+        self._num_entries = 0
+        self.node_visits = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, buffer_pool: BufferPool, payload_size: int) -> "BPlusTree":
+        """Initialise a new, empty tree on an empty pager."""
+        if buffer_pool.pager.num_pages != 0:
+            raise ValueError("BPlusTree.create requires an empty pager")
+        leaf_capacity(payload_size)  # validates payload_size fits a page
+        tree = cls(buffer_pool, payload_size, _opened=True)
+        buffer_pool.allocate()  # page 0: metadata
+        root_page = buffer_pool.allocate()
+        LeafNode.new(root_page, payload_size)
+        tree._root = root_page.page_id
+        tree._height = 1
+        tree._num_entries = 0
+        tree._persist_meta()
+        return tree
+
+    @classmethod
+    def open(cls, buffer_pool: BufferPool) -> "BPlusTree":
+        """Attach to an existing tree file."""
+        if buffer_pool.pager.num_pages == 0:
+            raise ValueError("pager holds no pages; use BPlusTree.create")
+        meta = buffer_pool.fetch(0)
+        magic, payload_size, root, height, num_entries = _META.unpack_from(
+            meta.data, 0
+        )
+        if magic != _MAGIC:
+            raise ValueError("page 0 is not a B+-tree metadata page")
+        tree = cls(buffer_pool, payload_size, _opened=True)
+        tree._root = root
+        tree._height = height
+        tree._num_entries = num_entries
+        return tree
+
+    def _persist_meta(self) -> None:
+        meta = self._pool.fetch(0)
+        _META.pack_into(
+            meta.data,
+            0,
+            _MAGIC,
+            self._payload_size,
+            self._root,
+            self._height,
+            self._num_entries,
+        )
+        meta.mark_dirty()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def payload_size(self) -> int:
+        """Fixed payload size in bytes."""
+        return self._payload_size
+
+    @property
+    def height(self) -> int:
+        """Tree height; 1 means the root is a leaf."""
+        return self._height
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (key, payload) entries stored."""
+        return self._num_entries
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        """The buffer pool all node accesses flow through."""
+        return self._pool
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    def _load_leaf(self, page_id: int) -> LeafNode:
+        self.node_visits += 1
+        return LeafNode.load(self._pool.fetch(page_id), self._payload_size)
+
+    def _load_internal(self, page_id: int) -> InternalNode:
+        self.node_visits += 1
+        return InternalNode.load(self._pool.fetch(page_id))
+
+    def _descend_to_leaf(
+        self, key: float, *, leftmost: bool
+    ) -> tuple[LeafNode, list[tuple[InternalNode, int]]]:
+        """Walk root-to-leaf; returns the leaf and the internal path.
+
+        ``leftmost=True`` uses ``bisect_left`` on separators so the search
+        lands on the leftmost leaf that can contain *key* (needed for range
+        scans over duplicate keys); inserts use ``bisect_right``.
+        """
+        path: list[tuple[InternalNode, int]] = []
+        page_id = self._root
+        for _ in range(self._height - 1):
+            node = self._load_internal(page_id)
+            if leftmost:
+                index = bisect_left(node.keys, key)
+            else:
+                index = bisect_right(node.keys, key)
+            path.append((node, index))
+            page_id = node.children[index]
+        return self._load_leaf(page_id), path
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: float, payload: bytes) -> None:
+        """Insert one entry (duplicates allowed)."""
+        key = float(key)
+        if not math.isfinite(key):
+            raise ValueError(f"key must be finite, got {key}")
+        if len(payload) != self._payload_size:
+            raise ValueError(
+                f"payload must be {self._payload_size} bytes, got {len(payload)}"
+            )
+        leaf, path = self._descend_to_leaf(key, leftmost=False)
+        position = bisect_right(leaf.keys, key)
+        leaf.keys.insert(position, key)
+        leaf.payloads.insert(position, payload)
+        self._num_entries += 1
+        if leaf.count <= leaf.capacity:
+            leaf.save()
+            self._persist_meta()
+            return
+
+        separator, right_page_id = self._split_leaf(leaf)
+        self._propagate_split(path, separator, right_page_id)
+        self._persist_meta()
+
+    def _split_leaf(self, leaf: LeafNode) -> tuple[float, int]:
+        """Split an overflowing leaf; returns (separator, right page id)."""
+        mid = leaf.count // 2
+        right_page = self._pool.allocate()
+        right = LeafNode(right_page, self._payload_size)
+        right.keys = leaf.keys[mid:]
+        right.payloads = leaf.payloads[mid:]
+        right.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:mid]
+        leaf.payloads = leaf.payloads[:mid]
+        leaf.next_leaf = right_page.page_id
+        leaf.save()
+        right.save()
+        return right.keys[0], right_page.page_id
+
+    def _split_internal(self, node: InternalNode) -> tuple[float, int]:
+        """Split an overflowing internal node; the middle key moves up."""
+        mid = node.count // 2
+        separator = node.keys[mid]
+        right_page = self._pool.allocate()
+        right = InternalNode(right_page)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        node.save()
+        right.save()
+        return separator, right_page.page_id
+
+    def _propagate_split(
+        self,
+        path: list[tuple[InternalNode, int]],
+        separator: float,
+        right_page_id: int,
+    ) -> None:
+        """Insert the new separator up the path, splitting as needed."""
+        while path:
+            node, index = path.pop()
+            node.keys.insert(index, separator)
+            node.children.insert(index + 1, right_page_id)
+            if node.count <= node.capacity:
+                node.save()
+                return
+            separator, right_page_id = self._split_internal(node)
+        # Split reached the old root: grow the tree by one level.
+        old_root = self._root
+        root_page = self._pool.allocate()
+        InternalNode.new(root_page, [separator], [old_root, right_page_id])
+        self._root = root_page.page_id
+        self._height += 1
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: float, payload: bytes | None = None) -> int:
+        """Delete entries with this key; returns how many were removed.
+
+        Parameters
+        ----------
+        key:
+            Key to delete.
+        payload:
+            When given, only entries whose payload equals it are removed
+            (needed with duplicate keys); otherwise every entry under the
+            key is removed.
+
+        Deletion is *lazy* (the strategy of most production B-trees,
+        e.g. PostgreSQL's nbtree): entries are removed from their leaves
+        but underflowing — even empty — leaves stay in the structure and
+        the leaf chain, where searches skip them for free.  Reclaim space
+        with :meth:`compact` after bulk deletions.
+        """
+        key = float(key)
+        if math.isnan(key):
+            raise ValueError("key must not be NaN")
+        if payload is not None and len(payload) != self._payload_size:
+            raise ValueError(
+                f"payload must be {self._payload_size} bytes, got {len(payload)}"
+            )
+        removed = 0
+        leaf, _ = self._descend_to_leaf(key, leftmost=True)
+        while True:
+            position = bisect_left(leaf.keys, key)
+            changed = False
+            while position < leaf.count and leaf.keys[position] == key:
+                if payload is None or leaf.payloads[position] == payload:
+                    del leaf.keys[position]
+                    del leaf.payloads[position]
+                    removed += 1
+                    changed = True
+                else:
+                    position += 1
+            if changed:
+                leaf.save()
+            past_key = leaf.count and leaf.keys[-1] > key
+            if past_key or leaf.next_leaf == NO_LEAF:
+                break
+            leaf = self._load_leaf(leaf.next_leaf)
+        self._num_entries -= removed
+        self._persist_meta()
+        return removed
+
+    def compact(self, *, fill_factor: float = 1.0) -> "BPlusTree":
+        """Return a freshly bulk-loaded tree with this tree's live entries.
+
+        Lazy deletion leaves underflowing pages behind; compaction
+        rebuilds the tree packed (into new in-memory storage — callers
+        that need a file-backed result bulk-load into their own pager).
+        """
+        from repro.storage.pager import Pager as _Pager
+        from repro.storage.buffer_pool import BufferPool as _BufferPool
+
+        fresh = BPlusTree.create(
+            _BufferPool(_Pager(), capacity=self._pool.capacity),
+            self._payload_size,
+        )
+        fresh.bulk_load(list(self.iter_entries()), fill_factor=fill_factor)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def search(self, key: float) -> list[bytes]:
+        """Return the payloads of every entry with exactly this key."""
+        key = float(key)
+        return [payload for _, payload in self.range_search(key, key)]
+
+    def range_search(self, low: float, high: float) -> list[tuple[float, bytes]]:
+        """Return all entries with ``low <= key <= high`` in key order."""
+        low = float(low)
+        high = float(high)
+        if math.isnan(low) or math.isnan(high):
+            raise ValueError("range bounds must not be NaN")
+        results: list[tuple[float, bytes]] = []
+        if high < low or self._num_entries == 0:
+            return results
+        leaf, _ = self._descend_to_leaf(low, leftmost=True)
+        while True:
+            start = bisect_left(leaf.keys, low)
+            for position in range(start, leaf.count):
+                key = leaf.keys[position]
+                if key > high:
+                    return results
+                results.append((key, leaf.payloads[position]))
+            if leaf.next_leaf == NO_LEAF:
+                return results
+            leaf = self._load_leaf(leaf.next_leaf)
+
+    def iter_entries(self) -> Iterator[tuple[float, bytes]]:
+        """Yield every entry left to right (full leaf-chain walk)."""
+        if self._num_entries == 0:
+            return
+        leaf, _ = self._descend_to_leaf(-math.inf, leftmost=True)
+        while True:
+            yield from zip(leaf.keys, leaf.payloads)
+            if leaf.next_leaf == NO_LEAF:
+                return
+            leaf = self._load_leaf(leaf.next_leaf)
+
+    # ------------------------------------------------------------------
+    # Bulk load
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self, items: Iterable[tuple[float, bytes]], *, fill_factor: float = 1.0
+    ) -> None:
+        """Build the tree bottom-up from key-sorted items.
+
+        Much faster than repeated inserts and produces packed pages; used
+        for the paper's one-off index constructions.  The tree must be
+        empty.
+
+        Parameters
+        ----------
+        items:
+            ``(key, payload)`` pairs in non-decreasing key order.
+        fill_factor:
+            Fraction of each leaf/internal node to fill, in ``(0, 1]``.
+        """
+        if self._num_entries != 0:
+            raise ValueError("bulk_load requires an empty tree")
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+
+        items = list(items)
+        for (key, payload) in items:
+            if len(payload) != self._payload_size:
+                raise ValueError(
+                    f"payload must be {self._payload_size} bytes, "
+                    f"got {len(payload)}"
+                )
+        keys = [float(key) for key, _ in items]
+        if any(b < a for a, b in zip(keys, keys[1:])):
+            raise ValueError("bulk_load items must be sorted by key")
+        if not items:
+            return
+
+        per_leaf = max(2, int(leaf_capacity(self._payload_size) * fill_factor))
+        per_internal = max(2, int(internal_capacity() * fill_factor))
+
+        # Build the leaf level, reusing the initial empty root page as the
+        # first leaf.
+        leaf_ids: list[int] = []
+        first_keys: list[float] = []
+        previous: LeafNode | None = None
+        for start in range(0, len(items), per_leaf):
+            chunk = items[start : start + per_leaf]
+            if start == 0:
+                page = self._pool.fetch(self._root)
+            else:
+                page = self._pool.allocate()
+            leaf = LeafNode(page, self._payload_size)
+            leaf.keys = [float(key) for key, _ in chunk]
+            leaf.payloads = [payload for _, payload in chunk]
+            if previous is not None:
+                previous.next_leaf = page.page_id
+                previous.save()
+            previous = leaf
+            leaf_ids.append(page.page_id)
+            first_keys.append(leaf.keys[0])
+        previous.next_leaf = NO_LEAF
+        previous.save()
+
+        # Build internal levels until a single root remains.
+        level_ids = leaf_ids
+        level_keys = first_keys
+        height = 1
+        while len(level_ids) > 1:
+            parent_ids: list[int] = []
+            parent_first_keys: list[float] = []
+            for start in range(0, len(level_ids), per_internal + 1):
+                child_ids = level_ids[start : start + per_internal + 1]
+                child_keys = level_keys[start : start + per_internal + 1]
+                page = self._pool.allocate()
+                InternalNode.new(page, child_keys[1:], child_ids)
+                parent_ids.append(page.page_id)
+                parent_first_keys.append(child_keys[0])
+            level_ids = parent_ids
+            level_keys = parent_first_keys
+            height += 1
+
+        self._root = level_ids[0]
+        self._height = height
+        self._num_entries = len(items)
+        self._persist_meta()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write every dirty page down to the pager."""
+        self._persist_meta()
+        self._pool.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"BPlusTree(entries={self._num_entries}, height={self._height}, "
+            f"payload_size={self._payload_size})"
+        )

@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Drives the full pipeline from a shell::
+
+    repro-video generate  --out ads.npz --preset precision --seed 7
+    repro-video stats     --dataset ads.npz
+    repro-video summarize --dataset ads.npz --epsilon 0.3
+    repro-video build     --dataset ads.npz --epsilon 0.3 --out ads-index
+    repro-video query     --index ads-index --dataset ads.npz \\
+                          --video-id 0 --k 10
+
+``build`` writes three files under the ``--out`` prefix: ``<out>.btree``
+(the B+-tree pages), ``<out>.heap`` (the flat ViTri file) and
+``<out>.meta.json`` (epsilon, reference point, per-video frame counts).
+``query`` reopens them, summarises the query video with the stored
+epsilon, and prints the ranked results plus the exact query cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.index import VitriIndex
+from repro.core.summarize import summarize_video
+from repro.datasets.loader import VideoDataset
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.eval.harness import format_table
+
+__all__ = ["main"]
+
+_PRESETS = {
+    "default": lambda **kw: DatasetConfig(**kw),
+    "precision": DatasetConfig.precision_preset,
+    "indexing": DatasetConfig.indexing_preset,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.families is not None:
+        overrides["num_families"] = args.families
+    if args.family_size is not None:
+        overrides["family_size"] = args.family_size
+    if args.distractors is not None:
+        overrides["num_distractors"] = args.distractors
+    config = _PRESETS[args.preset](**overrides)
+    dataset = generate_dataset(config, seed=args.seed)
+    dataset.save(args.out)
+    print(
+        f"wrote {dataset.num_videos} videos / {dataset.total_frames} frames "
+        f"({dataset.dim}-d) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = VideoDataset.load(args.dataset)
+    rows = dataset.duration_table()
+    print(
+        format_table(
+            ["Frames per video", "Videos", "Frames"],
+            rows,
+            title=f"{args.dataset}: {dataset.num_videos} videos, "
+            f"{dataset.total_frames} frames, dim {dataset.dim}",
+        )
+    )
+    return 0
+
+
+def _summaries(dataset: VideoDataset, epsilon: float):
+    return [
+        summarize_video(i, dataset.frames(i), epsilon, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    dataset = VideoDataset.load(args.dataset)
+    summaries = _summaries(dataset, args.epsilon)
+    clusters = sum(len(s) for s in summaries)
+    print(
+        format_table(
+            ["epsilon", "clusters", "avg cluster size", "clusters/video"],
+            [
+                (
+                    args.epsilon,
+                    clusters,
+                    round(dataset.total_frames / clusters, 1),
+                    round(clusters / dataset.num_videos, 2),
+                )
+            ],
+            title=f"summary statistics for {args.dataset}",
+        )
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.summary_io import load_summaries, save_summaries
+
+    dataset = VideoDataset.load(args.dataset)
+    if args.summaries:
+        summaries, _ = load_summaries(
+            args.summaries, expected_epsilon=args.epsilon
+        )
+    else:
+        summaries = _summaries(dataset, args.epsilon)
+        if args.save_summaries:
+            save_summaries(args.save_summaries, summaries, args.epsilon)
+    index = VitriIndex.build(
+        summaries,
+        args.epsilon,
+        reference=args.reference,
+        btree_path=f"{args.out}.btree",
+        heap_path=f"{args.out}.heap",
+    )
+    index.flush()
+    index.save_meta(f"{args.out}.meta.json")
+    print(
+        f"built {index.num_vitris} ViTris over {index.num_videos} videos "
+        f"-> {args.out}.btree / {args.out}.heap / {args.out}.meta.json"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = VitriIndex.open(
+        f"{args.index}.btree",
+        f"{args.index}.heap",
+        f"{args.index}.meta.json",
+    )
+    dataset = VideoDataset.load(args.dataset)
+    if args.video_id < 0 or args.video_id >= dataset.num_videos:
+        print(
+            f"error: video-id {args.video_id} out of range "
+            f"[0, {dataset.num_videos})",
+            file=sys.stderr,
+        )
+        return 1
+    query = summarize_video(
+        args.video_id,
+        dataset.frames(args.video_id),
+        index.epsilon,
+        seed=args.video_id,
+    )
+    result = index.knn(query, args.k, method=args.method, cold=True)
+    rows = [
+        (rank, video, f"{score:.4f}")
+        for rank, (video, score) in enumerate(
+            zip(result.videos, result.scores), 1
+        )
+    ]
+    print(
+        format_table(
+            ["rank", "video", "similarity"],
+            rows,
+            title=f"top-{args.k} for video {args.video_id} "
+            f"({args.method} method)",
+        )
+    )
+    stats = result.stats
+    print(
+        f"\ncost: {stats.page_requests} page accesses, "
+        f"{stats.similarity_computations} similarity computations, "
+        f"{stats.ranges} range search(es)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-video",
+        description="ViTri video-sequence indexing (SIGMOD 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic video dataset"
+    )
+    generate.add_argument("--out", required=True, help="output .npz path")
+    generate.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="default"
+    )
+    generate.add_argument("--families", type=int, default=None)
+    generate.add_argument("--family-size", type=int, default=None)
+    generate.add_argument("--distractors", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="dataset statistics (Table 2)")
+    stats.add_argument("--dataset", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    summarize = commands.add_parser(
+        "summarize", help="summary statistics at one epsilon (Table 3 row)"
+    )
+    summarize.add_argument("--dataset", required=True)
+    summarize.add_argument("--epsilon", type=float, default=0.3)
+    summarize.set_defaults(func=_cmd_summarize)
+
+    build = commands.add_parser("build", help="build a file-backed index")
+    build.add_argument("--dataset", required=True)
+    build.add_argument("--out", required=True, help="index file prefix")
+    build.add_argument("--epsilon", type=float, default=0.3)
+    build.add_argument(
+        "--reference",
+        choices=("optimal", "data_center", "space_center"),
+        default="optimal",
+    )
+    build.add_argument(
+        "--summaries",
+        default=None,
+        help="load cached summaries (.npz) instead of re-clustering",
+    )
+    build.add_argument(
+        "--save-summaries",
+        default=None,
+        help="cache the computed summaries to this .npz path",
+    )
+    build.set_defaults(func=_cmd_build)
+
+    query = commands.add_parser("query", help="KNN query against an index")
+    query.add_argument("--index", required=True, help="index file prefix")
+    query.add_argument("--dataset", required=True)
+    query.add_argument("--video-id", type=int, required=True)
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument(
+        "--method", choices=("composed", "naive"), default="composed"
+    )
+    query.set_defaults(func=_cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

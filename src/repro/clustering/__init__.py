@@ -1,0 +1,14 @@
+"""Clustering substrate: k-means and the paper's recursive bisecting
+clusters-generation algorithm (Figure 3).
+
+* :mod:`repro.clustering.kmeans` — Lloyd's algorithm with k-means++
+  seeding and empty-cluster repair, built from scratch on numpy.
+* :mod:`repro.clustering.bisecting` — ``Generate_Clusters``: recursively
+  2-means-split a video's frames until every cluster's refined radius
+  ``min(R, mu + sigma)`` is at most ``epsilon / 2``.
+"""
+
+from repro.clustering.bisecting import FrameCluster, generate_clusters
+from repro.clustering.kmeans import KMeansResult, kmeans
+
+__all__ = ["FrameCluster", "generate_clusters", "KMeansResult", "kmeans"]

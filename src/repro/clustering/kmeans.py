@@ -1,0 +1,182 @@
+"""Lloyd's k-means with k-means++ seeding, from scratch on numpy.
+
+The bisecting clusters-generation algorithm of the paper only ever calls
+``k-means(X, 2)``, but the implementation is a general k-means so it can
+also back the keyframe baseline (which summarises a video into ``k``
+representatives) and any future extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_matrix
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run.
+
+    Attributes
+    ----------
+    centers:
+        Cluster centres, shape ``(k, n)``.
+    labels:
+        Cluster assignment per row of the input, shape ``(rows,)``.
+    inertia:
+        Sum of squared distances of points to their assigned centre.
+    iterations:
+        Number of Lloyd iterations performed.
+    converged:
+        Whether the assignment stopped changing before ``max_iter``.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centers.shape[0]
+
+
+def _squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape ``(rows, k)``."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, clipped against round-off.
+    cross = data @ centers.T
+    sq = (
+        np.sum(data * data, axis=1)[:, None]
+        - 2.0 * cross
+        + np.sum(centers * centers, axis=1)[None, :]
+    )
+    return np.clip(sq, 0.0, None)
+
+
+def _kmeanspp_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: iteratively sample centres proportional to the
+    squared distance from the nearest centre chosen so far."""
+    rows = data.shape[0]
+    centers = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(rows))
+    centers[0] = data[first]
+    closest_sq = _squared_distances(data, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All remaining points coincide with an existing centre; any
+            # choice gives the same (degenerate) clustering.
+            pick = int(rng.integers(rows))
+        else:
+            pick = int(rng.choice(rows, p=closest_sq / total))
+        centers[i] = data[pick]
+        new_sq = _squared_distances(data, centers[i : i + 1]).ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centers
+
+
+def _repair_empty_clusters(
+    data: np.ndarray,
+    centers: np.ndarray,
+    labels: np.ndarray,
+    distances_sq: np.ndarray,
+) -> None:
+    """Re-seed any empty cluster with the point farthest from its centre."""
+    k = centers.shape[0]
+    counts = np.bincount(labels, minlength=k)
+    for cluster in np.flatnonzero(counts == 0):
+        assigned_sq = distances_sq[np.arange(data.shape[0]), labels]
+        donor = int(np.argmax(assigned_sq))
+        centers[cluster] = data[donor]
+        labels[donor] = cluster
+        counts = np.bincount(labels, minlength=k)
+
+
+def kmeans(
+    data,
+    k: int,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    seed=None,
+) -> KMeansResult:
+    """Cluster *data* into ``k`` groups with Lloyd's algorithm.
+
+    Parameters
+    ----------
+    data:
+        Matrix of shape ``(rows, n)``; rows are the points to cluster.
+    k:
+        Number of clusters; must satisfy ``1 <= k <= rows``.
+    max_iter:
+        Maximum number of Lloyd iterations.
+    tol:
+        Convergence threshold on the decrease of inertia.
+    seed:
+        ``None``, int, or :class:`numpy.random.Generator` for the k-means++
+        seeding.
+
+    Returns
+    -------
+    KMeansResult
+    """
+    data = check_matrix(data, "data", min_rows=1)
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise TypeError("k must be an int")
+    if k < 1 or k > data.shape[0]:
+        raise ValueError(
+            f"k must be in [1, number of rows = {data.shape[0]}], got {k}"
+        )
+    if not isinstance(max_iter, int) or max_iter < 1:
+        raise ValueError(f"max_iter must be a positive int, got {max_iter}")
+    rng = ensure_rng(seed)
+
+    if k == 1:
+        center = data.mean(axis=0, keepdims=True)
+        sq = _squared_distances(data, center).ravel()
+        return KMeansResult(
+            centers=center,
+            labels=np.zeros(data.shape[0], dtype=np.int64),
+            inertia=float(sq.sum()),
+            iterations=0,
+            converged=True,
+        )
+
+    centers = _kmeanspp_init(data, k, rng)
+    labels = np.zeros(data.shape[0], dtype=np.int64)
+    previous_inertia = np.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        distances_sq = _squared_distances(data, centers)
+        labels = np.argmin(distances_sq, axis=1).astype(np.int64)
+        _repair_empty_clusters(data, centers, labels, distances_sq)
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if members.shape[0]:
+                centers[cluster] = members.mean(axis=0)
+        inertia = float(
+            _squared_distances(data, centers)[np.arange(data.shape[0]), labels].sum()
+        )
+        if previous_inertia - inertia <= tol:
+            converged = True
+            previous_inertia = inertia
+            break
+        previous_inertia = inertia
+
+    return KMeansResult(
+        centers=centers,
+        labels=labels,
+        inertia=float(previous_inertia),
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,55 @@
+"""Query composition (paper Section 5.2).
+
+A KNN query summarised into ``M`` query ViTris produces ``M`` key ranges,
+one per ViTri.  Searching them independently re-reads every leaf page shared
+by overlapping ranges; *query composition* merges overlapping (or touching)
+ranges into disjoint composed ranges first, so each leaf page is accessed
+at most once per query.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["compose_ranges"]
+
+
+def compose_ranges(
+    ranges: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Merge overlapping/touching key ranges into disjoint ones.
+
+    Parameters
+    ----------
+    ranges:
+        ``(low, high)`` pairs with ``low <= high``.  Order does not matter.
+
+    Returns
+    -------
+    list[tuple[float, float]]
+        Disjoint ranges sorted by their low end, whose union equals the
+        union of the inputs.  Ranges that merely touch (``high == next
+        low``) are merged, matching the closed-interval semantics of the
+        B+-tree range search.
+    """
+    validated: list[tuple[float, float]] = []
+    for low, high in ranges:
+        low = float(low)
+        high = float(high)
+        if math.isnan(low) or math.isnan(high):
+            raise ValueError("range bounds must not be NaN")
+        if high < low:
+            raise ValueError(f"invalid range: low {low} > high {high}")
+        validated.append((low, high))
+    if not validated:
+        return []
+
+    validated.sort()
+    composed = [validated[0]]
+    for low, high in validated[1:]:
+        last_low, last_high = composed[-1]
+        if low <= last_high:
+            composed[-1] = (last_low, max(last_high, high))
+        else:
+            composed.append((low, high))
+    return composed

@@ -1,0 +1,170 @@
+"""High-level facade: a video database that manages its own summaries.
+
+:class:`VideoDatabase` is the surface a downstream application uses: add
+videos as raw frame matrices, query with raw frame matrices, and let the
+database handle summarisation, index construction, dynamic insertion and
+drift-triggered rebuilds.
+
+    db = VideoDatabase(epsilon=0.3)
+    for frames in videos:
+        db.add(frames)
+    result = db.query(query_frames, k=10)
+
+The index is built lazily: videos added before the first query are
+batched into one bulk build (packed pages, freshly fitted reference
+point); videos added afterwards use dynamic B+-tree insertion, with the
+Section 6.3.3 drift policy deciding when to rebuild.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import KNNResult, VitriIndex
+from repro.core.maintenance import RebuildPolicy
+from repro.core.summarize import summarize_video
+from repro.core.vitri import VideoSummary
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["VideoDatabase"]
+
+
+class VideoDatabase:
+    """Self-managing ViTri video database.
+
+    Parameters
+    ----------
+    epsilon:
+        Frame similarity threshold used for every summary.
+    reference:
+        Reference-point strategy for the 1-D transform.
+    rebuild_policy:
+        Drift policy applied after dynamic insertions; ``None`` disables
+        automatic rebuilds.
+    summarize_seed:
+        Base seed for the summarisation k-means (summaries are
+        deterministic given the same frames and seed).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.3,
+        *,
+        reference: str = "optimal",
+        rebuild_policy: RebuildPolicy | None = None,
+        summarize_seed: int = 0,
+    ) -> None:
+        self._epsilon = check_positive(epsilon, "epsilon")
+        self._reference = reference
+        self._policy = rebuild_policy
+        self._seed = summarize_seed
+        self._pending: list[VideoSummary] = []
+        self._index: VitriIndex | None = None
+        self._next_video_id = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """Frame similarity threshold."""
+        return self._epsilon
+
+    @property
+    def index(self) -> VitriIndex | None:
+        """The underlying index (``None`` until the first query/build)."""
+        return self._index
+
+    def __len__(self) -> int:
+        pending = len(self._pending)
+        indexed = self._index.num_videos if self._index is not None else 0
+        return pending + indexed
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, frames, video_id: int | None = None) -> int:
+        """Add one video; returns its id (auto-assigned if not given)."""
+        frames = check_matrix(frames, "frames", min_rows=1)
+        if video_id is None:
+            video_id = self._next_video_id
+        if not isinstance(video_id, int) or isinstance(video_id, bool):
+            raise TypeError("video_id must be an int")
+        known = {s.video_id for s in self._pending}
+        if self._index is not None:
+            known |= set(self._index.video_frames)
+        if video_id in known:
+            raise ValueError(f"video id {video_id} already present")
+        self._next_video_id = max(self._next_video_id, video_id + 1)
+
+        summary = summarize_video(
+            video_id, frames, self._epsilon, seed=self._seed + video_id
+        )
+        if self._index is None:
+            self._pending.append(summary)
+        else:
+            self._index.insert_video(summary)
+            self._maybe_rebuild()
+        return video_id
+
+    def add_many(self, videos) -> list[int]:
+        """Add an iterable of frame matrices; returns their ids."""
+        return [self.add(frames) for frames in videos]
+
+    def remove(self, video_id: int) -> None:
+        """Remove a video (pending or indexed)."""
+        for position, summary in enumerate(self._pending):
+            if summary.video_id == video_id:
+                del self._pending[position]
+                return
+        if self._index is None or video_id not in self._index.video_frames:
+            raise ValueError(f"video id {video_id} is not in the database")
+        self._index.remove_video(video_id)
+
+    def build(self) -> None:
+        """Force-build the index over everything added so far."""
+        if self._index is None:
+            if not self._pending:
+                raise ValueError("cannot build an empty database")
+            self._index = VitriIndex.build(
+                self._pending, self._epsilon, reference=self._reference
+            )
+            self._pending = []
+            return
+        if self._pending:  # pragma: no cover - pending only pre-index
+            raise AssertionError("pending summaries with a live index")
+
+    def _maybe_rebuild(self) -> None:
+        if self._policy is None:
+            return
+        if self._policy.should_rebuild(self._index):
+            self._index = self._index.rebuild(reference=self._reference)
+            self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(
+        self, frames, k: int = 10, *, method: str = "composed"
+    ) -> KNNResult:
+        """Top-``k`` most similar stored videos for a raw frame matrix."""
+        frames = check_matrix(frames, "frames", min_rows=1)
+        if self._index is None:
+            self.build()
+        summary = summarize_video(
+            # A negative-free throwaway id: query summaries are never stored.
+            0, frames, self._epsilon, seed=self._seed
+        )
+        return self._index.knn(summary, k, method=method)
+
+    def drift_angle(self) -> float:
+        """Current principal-component drift (radians)."""
+        if self._index is None:
+            self.build()
+        return self._index.drift_angle()
+
+    def __repr__(self) -> str:
+        state = "built" if self._index is not None else "pending"
+        return (
+            f"VideoDatabase(videos={len(self)}, epsilon={self._epsilon}, "
+            f"{state})"
+        )

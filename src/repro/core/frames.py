@@ -1,0 +1,59 @@
+"""Exact frame-level video similarity (paper Section 3.1).
+
+This is the measure the whole system approximates, and what the evaluation
+uses as ground truth:
+
+    sim(X, Y) = ( |{x in X : exists y in Y, d(x, y) <= eps}|
+                + |{y in Y : exists x in X, d(x, y) <= eps}| )
+                / (|X| + |Y|)
+
+It is robust to temporal order (a video is treated as a bag of frames) and
+costs ``O(|X| * |Y| * n)`` — the cost the ViTri summary exists to avoid.
+The implementation blocks the distance computation to bound memory on long
+videos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.counters import CostCounters
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["frame_similarity", "frames_with_match"]
+
+_BLOCK = 2048
+
+
+def frames_with_match(
+    frames_x, frames_y, epsilon: float, counters: CostCounters | None = None
+) -> int:
+    """Number of frames of ``X`` that have at least one frame of ``Y``
+    within distance ``epsilon``."""
+    frames_x = check_matrix(frames_x, "frames_x", min_rows=1)
+    frames_y = check_matrix(frames_y, "frames_y", cols=frames_x.shape[1], min_rows=1)
+    epsilon = check_positive(epsilon, "epsilon")
+    epsilon_sq = epsilon * epsilon
+
+    matched = 0
+    y_sq = np.sum(frames_y * frames_y, axis=1)
+    for start in range(0, frames_x.shape[0], _BLOCK):
+        block = frames_x[start : start + _BLOCK]
+        block_sq = np.sum(block * block, axis=1)
+        # Squared distances via the expansion; clip round-off negatives.
+        sq = block_sq[:, None] - 2.0 * (block @ frames_y.T) + y_sq[None, :]
+        np.clip(sq, 0.0, None, out=sq)
+        matched += int(np.any(sq <= epsilon_sq, axis=1).sum())
+        if counters is not None:
+            counters.distance_computations += sq.size
+    return matched
+
+
+def frame_similarity(
+    frames_x, frames_y, epsilon: float, counters: CostCounters | None = None
+) -> float:
+    """The paper's exact video similarity measure, in ``[0, 1]``."""
+    count_x = frames_with_match(frames_x, frames_y, epsilon, counters)
+    count_y = frames_with_match(frames_y, frames_x, epsilon, counters)
+    total = np.asarray(frames_x).shape[0] + np.asarray(frames_y).shape[0]
+    return (count_x + count_y) / total

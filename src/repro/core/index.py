@@ -1,0 +1,682 @@
+"""The ViTri index (paper Section 5): a B+-tree over 1-D-transformed
+ViTri positions, with KNN query processing and dynamic insertion.
+
+Architecture
+------------
+Two page stores back the index:
+
+* a **B+-tree** whose leaves hold ``(key, full ViTri record)`` entries,
+  where ``key = d(position, O')`` is the 1-D transform of the ViTri
+  position — the paper's design ("inserting the key into the B+-tree and
+  ViTri into leaf node"), which keeps records key-clustered even under
+  dynamic insertion;
+* an append-only **heap file** holding the same records as a flat file,
+  which is what the sequential-scan baseline reads.
+
+A KNN query summarises the query video into ``M`` query ViTris.  Each
+query ViTri ``(O^Q, R^Q, ...)`` can only share frames with database ViTris
+within centre distance ``R^Q + eps/2`` (database radii are at most
+``eps/2``), so by the triangle inequality its candidates lie in the key
+range ``[key(O^Q) - gamma, key(O^Q) + gamma]`` with ``gamma = R^Q + eps/2``.
+The ``naive`` method runs one B+-tree range search per query ViTri; the
+``composed`` method (query composition) first merges overlapping ranges so
+every leaf page is accessed at most once.  Both produce identical results.
+
+Every page access flows through counted buffer pools, and every ViTri
+similarity evaluation bumps a CPU counter, so each query returns a
+:class:`QueryStats` with the exact cost breakdown the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.btree.tree import BPlusTree
+from repro.core.reference import ReferenceStrategy
+from repro.core.scoring import ScoreAccumulator
+from repro.core.transform import OneDimensionalTransform
+from repro.core.vitri import VideoSummary, ViTri
+from repro.core.composition import compose_ranges
+from repro.pca.incremental import IncrementalMoments
+from repro.pca.pca import PCA, principal_angle
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heap_file import HeapFile
+from repro.storage.pager import Pager
+from repro.storage.serialization import ViTriRecord, ViTriRecordCodec
+from repro.utils.counters import Timer
+from repro.utils.validation import check_positive
+
+__all__ = ["KNNResult", "QueryStats", "TOMBSTONE_VIDEO_ID", "VitriIndex"]
+
+TOMBSTONE_VIDEO_ID = 0xFFFFFFFF
+"""Video-id sentinel marking a removed record in the heap file."""
+
+
+
+def _check_radii(summary: VideoSummary, epsilon: float) -> None:
+    """Indexed radii must respect the clustering bound ``R <= eps/2``.
+
+    The KNN search radius ``gamma = R^Q + eps/2`` is only a lossless
+    filter under that bound; a summary built with a different epsilon
+    could otherwise be silently missed by range searches.
+    """
+    limit = epsilon / 2.0 + 1e-12
+    worst = max(vitri.radius for vitri in summary.vitris)
+    if worst > limit:
+        raise ValueError(
+            f"video {summary.video_id} has a ViTri radius {worst:.6g} "
+            f"> epsilon/2 = {epsilon / 2.0:.6g}; summarise with the "
+            "index's epsilon"
+        )
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Cost breakdown of one KNN query.
+
+    Attributes
+    ----------
+    page_requests:
+        Logical page accesses (B+-tree nodes + heap pages); the paper's
+        I/O-cost unit.
+    physical_reads:
+        Buffer-pool misses that reached the pager.
+    node_visits:
+        B+-tree nodes traversed.
+    similarity_computations:
+        ViTri-pair similarity evaluations; the paper's CPU-cost unit.
+    candidates:
+        Leaf entries pulled out of the B+-tree (with repeats, for the
+        naive method).
+    ranges:
+        Number of range searches executed.
+    wall_time:
+        Elapsed seconds.
+    """
+
+    page_requests: int
+    physical_reads: int
+    node_visits: int
+    similarity_computations: int
+    candidates: int
+    ranges: int
+    wall_time: float
+
+
+@dataclass(frozen=True)
+class KNNResult:
+    """Outcome of a KNN query: ranked videos plus the query's cost."""
+
+    videos: tuple[int, ...]
+    scores: tuple[float, ...]
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return len(self.videos)
+
+
+@dataclass
+class _IoSnapshot:
+    requests: int = 0
+    misses: int = 0
+    node_visits: int = 0
+
+
+class VitriIndex:
+    """B+-tree index over 1-D-transformed ViTri positions.
+
+    Build with :meth:`build` (bulk, one-off construction) and extend with
+    :meth:`insert_video` (dynamic maintenance).  Query with :meth:`knn`.
+    """
+
+    def __init__(self, *, _opened: bool = False) -> None:
+        if not _opened:
+            raise RuntimeError("use VitriIndex.build(...) to construct an index")
+        self._dim = 0
+        self._epsilon = 0.0
+        self._transform: OneDimensionalTransform | None = None
+        self._codec: ViTriRecordCodec | None = None
+        self._btree: BPlusTree | None = None
+        self._heap: HeapFile | None = None
+        self._video_frames: dict[int, int] = {}
+        self._next_vitri_id = 0
+        self._built_component: np.ndarray | None = None
+        self._moments: IncrementalMoments | None = None
+        self._summaries_seen = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        summaries: list[VideoSummary],
+        epsilon: float,
+        *,
+        reference: ReferenceStrategy | str = "optimal",
+        btree_path: str | None = None,
+        heap_path: str | None = None,
+        buffer_capacity: int = 256,
+        fill_factor: float = 1.0,
+    ) -> "VitriIndex":
+        """Bulk-build an index from video summaries.
+
+        The B+-tree is bulk-loaded with packed leaves holding the full
+        ViTri records in key order (the paper's layout); the parallel
+        heap file — the sequential-scan baseline's flat input — is
+        written in the same order.
+
+        Parameters
+        ----------
+        summaries:
+            The database videos' ViTri summaries.
+        epsilon:
+            Frame similarity threshold used when summarising; needed at
+            query time to derive search radii (``gamma = R^Q + eps/2``).
+        reference:
+            Reference-point strategy (instance or name) for the 1-D
+            transform.
+        btree_path, heap_path:
+            Optional backing files; in-memory when omitted.
+        buffer_capacity:
+            LRU buffer-pool capacity (pages) for each of the two stores.
+        fill_factor:
+            B+-tree bulk-load fill factor.
+        """
+        if not summaries:
+            raise ValueError("cannot build an index from zero summaries")
+        epsilon = check_positive(epsilon, "epsilon")
+        dims = {summary.dim for summary in summaries}
+        if len(dims) != 1:
+            raise ValueError(f"summaries have inconsistent dimensions: {dims}")
+        video_ids = [summary.video_id for summary in summaries]
+        if len(set(video_ids)) != len(video_ids):
+            raise ValueError("summaries contain duplicate video ids")
+        if any(vid >= TOMBSTONE_VIDEO_ID for vid in video_ids):
+            raise ValueError(
+                f"video ids must be below {TOMBSTONE_VIDEO_ID} (reserved)"
+            )
+        for summary in summaries:
+            _check_radii(summary, epsilon)
+
+        index = cls(_opened=True)
+        index._dim = dims.pop()
+        index._epsilon = epsilon
+        index._codec = ViTriRecordCodec(index._dim)
+        index._transform = OneDimensionalTransform(reference)
+
+        flat: list[tuple[int, ViTri]] = [
+            (summary.video_id, vitri)
+            for summary in summaries
+            for vitri in summary.vitris
+        ]
+        positions = np.stack([vitri.position for _, vitri in flat])
+        index._transform.fit(positions)
+        index._built_component = PCA(n_components=1).fit(positions).first_component
+        index._moments = IncrementalMoments(index._dim)
+        index._moments.update(positions)
+        keys = index._transform.keys(positions)
+
+        order = np.argsort(keys, kind="stable")
+        index._btree = BPlusTree.create(
+            BufferPool(Pager(btree_path), capacity=buffer_capacity),
+            payload_size=index._codec.record_size,
+        )
+        index._heap = HeapFile.create(
+            BufferPool(Pager(heap_path), capacity=buffer_capacity),
+            index._codec.record_size,
+        )
+
+        entries: list[tuple[float, bytes]] = []
+        for position_in_key_order in order:
+            video_id, vitri = flat[position_in_key_order]
+            record = ViTriRecord(
+                video_id=video_id,
+                vitri_id=index._next_vitri_id,
+                count=vitri.count,
+                radius=vitri.radius,
+                position=vitri.position,
+            )
+            index._next_vitri_id += 1
+            payload = index._codec.encode(record)
+            index._heap.append(payload)
+            entries.append((float(keys[position_in_key_order]), payload))
+        index._btree.bulk_load(entries, fill_factor=fill_factor)
+
+        index._video_frames = {
+            summary.video_id: summary.num_frames for summary in summaries
+        }
+        index._summaries_seen = len(summaries)
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Feature-space dimensionality."""
+        return self._dim
+
+    @property
+    def epsilon(self) -> float:
+        """Frame similarity threshold the database was summarised with."""
+        return self._epsilon
+
+    @property
+    def num_vitris(self) -> int:
+        """Number of indexed ViTris."""
+        return self._btree.num_entries
+
+    @property
+    def num_videos(self) -> int:
+        """Number of indexed videos."""
+        return len(self._video_frames)
+
+    @property
+    def transform(self) -> OneDimensionalTransform:
+        """The fitted 1-D transform."""
+        return self._transform
+
+    @property
+    def btree(self) -> BPlusTree:
+        """The underlying B+-tree (exposed for tests and benchmarks)."""
+        return self._btree
+
+    @property
+    def heap(self) -> HeapFile:
+        """The underlying ViTri heap (exposed for tests and benchmarks)."""
+        return self._heap
+
+    @property
+    def video_frames(self) -> dict[int, int]:
+        """Frame count per indexed video id (copy)."""
+        return dict(self._video_frames)
+
+    def clear_caches(self) -> None:
+        """Flush and drop both buffer pools (cold-start a measurement)."""
+        self._btree.buffer_pool.clear()
+        self._heap.buffer_pool.clear()
+
+    def flush(self) -> None:
+        """Write all dirty pages and sync both backing files (no-op for
+        in-memory pagers)."""
+        self._btree.flush()
+        self._heap.flush()
+        self._btree.buffer_pool.pager.sync()
+        self._heap.buffer_pool.pager.sync()
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def insert_video(self, summary: VideoSummary) -> None:
+        """Insert one video with standard B+-tree insertions.
+
+        The reference point is *not* refitted (the paper's dynamic
+        scenario); as insertions drift the data's correlation structure,
+        key variance degrades — monitor with :meth:`drift_angle` and
+        rebuild with :meth:`rebuild` when it exceeds a threshold.
+        """
+        if not isinstance(summary, VideoSummary):
+            raise TypeError("summary must be a VideoSummary")
+        if summary.dim != self._dim:
+            raise ValueError(
+                f"summary dimension {summary.dim} != index dimension {self._dim}"
+            )
+        if summary.video_id in self._video_frames:
+            raise ValueError(f"video id {summary.video_id} already indexed")
+        if summary.video_id >= TOMBSTONE_VIDEO_ID:
+            raise ValueError(
+                f"video ids must be below {TOMBSTONE_VIDEO_ID} (reserved)"
+            )
+        _check_radii(summary, self._epsilon)
+        for vitri in summary.vitris:
+            record = ViTriRecord(
+                video_id=summary.video_id,
+                vitri_id=self._next_vitri_id,
+                count=vitri.count,
+                radius=vitri.radius,
+                position=vitri.position,
+            )
+            self._next_vitri_id += 1
+            payload = self._codec.encode(record)
+            self._heap.append(payload)
+            key = self._transform.key(vitri.position)
+            self._btree.insert(key, payload)
+        self._moments.update(summary.positions())
+        self._video_frames[summary.video_id] = summary.num_frames
+        self._summaries_seen += 1
+
+    def remove_video(self, video_id: int) -> int:
+        """Remove a video's ViTris from the index; returns how many.
+
+        B+-tree entries are removed with lazy deletion (underflowing
+        leaves remain until a rebuild); the heap records are overwritten
+        with tombstones so the sequential-scan baseline skips them.
+        """
+        if video_id not in self._video_frames:
+            raise ValueError(f"video id {video_id} is not indexed")
+        removed = 0
+        for record_id, payload in list(self._heap.scan()):
+            record = self._codec.decode(payload)
+            if record.video_id != video_id:
+                continue
+            key = self._transform.key(record.position)
+            deleted = self._btree.delete(key, payload)
+            if deleted == 0:
+                raise RuntimeError(
+                    f"index out of sync: ViTri {record.vitri_id} of video "
+                    f"{video_id} is in the heap but not in the B+-tree"
+                )
+            removed += deleted
+            tombstone = ViTriRecord(
+                video_id=TOMBSTONE_VIDEO_ID,
+                vitri_id=record.vitri_id,
+                count=record.count,
+                radius=record.radius,
+                position=record.position,
+            )
+            self._heap.overwrite(record_id, self._codec.encode(tombstone))
+            self._moments.downdate(record.position[None, :])
+        del self._video_frames[video_id]
+        return removed
+
+    def drift_angle(self) -> float:
+        """Angle (radians) between the build-time first principal component
+        and the current one (Section 6.3.3's rebuild trigger).
+
+        Computed from exact streaming moments maintained across inserts
+        and removals, so the check performs **no page I/O**.
+        """
+        current = self._moments.first_component()
+        return principal_angle(self._built_component, current)
+
+    def rebuild(
+        self,
+        *,
+        reference: ReferenceStrategy | str | None = None,
+        buffer_capacity: int = 256,
+        fill_factor: float = 1.0,
+    ) -> "VitriIndex":
+        """Return a freshly built index over the current content.
+
+        Re-fits the reference point on all present ViTri positions; used
+        when :meth:`drift_angle` exceeds the allowed degree.
+        """
+        summaries = self._reconstruct_summaries()
+        return VitriIndex.build(
+            summaries,
+            self._epsilon,
+            reference=reference if reference is not None else self._transform.strategy,
+            buffer_capacity=buffer_capacity,
+            fill_factor=fill_factor,
+        )
+
+    def _all_positions(self) -> np.ndarray:
+        positions = [
+            record.position
+            for record in (
+                self._codec.decode(payload) for _, payload in self._heap.scan()
+            )
+            if record.video_id != TOMBSTONE_VIDEO_ID
+        ]
+        return np.stack(positions)
+
+    def _reconstruct_summaries(self) -> list[VideoSummary]:
+        by_video: dict[int, list[ViTri]] = defaultdict(list)
+        for _, payload in self._heap.scan():
+            record = self._codec.decode(payload)
+            if record.video_id == TOMBSTONE_VIDEO_ID:
+                continue
+            by_video[record.video_id].append(
+                ViTri(
+                    position=record.position,
+                    radius=record.radius,
+                    count=record.count,
+                )
+            )
+        return [
+            VideoSummary(
+                video_id=video_id,
+                vitris=tuple(vitris),
+                num_frames=self._video_frames[video_id],
+            )
+            for video_id, vitris in sorted(by_video.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # KNN query processing
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        query: VideoSummary,
+        k: int,
+        *,
+        method: str = "composed",
+        cold: bool = False,
+    ) -> KNNResult:
+        """Find the top-``k`` most similar database videos.
+
+        Parameters
+        ----------
+        query:
+            ViTri summary of the query video (summarised with the same
+            ``epsilon`` as the database).
+        k:
+            Number of results.
+        method:
+            ``"composed"`` (query composition, the default) or ``"naive"``
+            (one independent range search per query ViTri).  Both return
+            identical results; they differ only in cost.
+        cold:
+            Clear the buffer pools first so the reported I/O reflects a
+            cold cache.
+        """
+        if not isinstance(query, VideoSummary):
+            raise TypeError("query must be a VideoSummary")
+        if query.dim != self._dim:
+            raise ValueError(
+                f"query dimension {query.dim} != index dimension {self._dim}"
+            )
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ValueError(f"k must be a positive int, got {k}")
+        if method not in ("composed", "naive"):
+            raise ValueError(f"method must be 'composed' or 'naive', got {method!r}")
+        if cold:
+            self.clear_caches()
+
+        before = self._io_snapshot()
+        with Timer() as timer:
+            scores, candidates, ranges, sim_count = self._execute(query, method)
+        after = self._io_snapshot()
+
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+        stats = QueryStats(
+            page_requests=after.requests - before.requests,
+            physical_reads=after.misses - before.misses,
+            node_visits=after.node_visits - before.node_visits,
+            similarity_computations=sim_count,
+            candidates=candidates,
+            ranges=ranges,
+            wall_time=timer.elapsed,
+        )
+        return KNNResult(
+            videos=tuple(video for video, _ in ranked),
+            scores=tuple(score for _, score in ranked),
+            stats=stats,
+        )
+
+    def similarity_range(
+        self,
+        query: VideoSummary,
+        min_similarity: float,
+        *,
+        method: str = "composed",
+        cold: bool = False,
+    ) -> KNNResult:
+        """All videos whose similarity to the query is at least the
+        threshold, ranked (an epsilon-range query at video level).
+
+        Costs exactly one KNN-style candidate pass: the key filter already
+        prunes every zero-similarity ViTri pair, so thresholding happens
+        on the final scores.
+        """
+        if not isinstance(min_similarity, (int, float)) or isinstance(
+            min_similarity, bool
+        ):
+            raise TypeError("min_similarity must be a number")
+        if not 0.0 < min_similarity <= 1.0:
+            raise ValueError(
+                f"min_similarity must be in (0, 1], got {min_similarity}"
+            )
+        result = self.knn(
+            query, max(self.num_videos, 1), method=method, cold=cold
+        )
+        keep = [
+            (video, score)
+            for video, score in zip(result.videos, result.scores)
+            if score >= min_similarity
+        ]
+        return KNNResult(
+            videos=tuple(video for video, _ in keep),
+            scores=tuple(score for _, score in keep),
+            stats=result.stats,
+        )
+
+    def _io_snapshot(self) -> _IoSnapshot:
+        btree_pool = self._btree.buffer_pool
+        heap_pool = self._heap.buffer_pool
+        return _IoSnapshot(
+            requests=btree_pool.requests + heap_pool.requests,
+            misses=btree_pool.misses + heap_pool.misses,
+            node_visits=self._btree.node_visits,
+        )
+
+    def _execute(
+        self, query: VideoSummary, method: str
+    ) -> tuple[dict[int, float], int, int, int]:
+        gamma = [vitri.radius + self._epsilon / 2.0 for vitri in query.vitris]
+        query_keys = [self._transform.key(vitri.position) for vitri in query.vitris]
+        per_vitri_ranges = [
+            (max(key - g, 0.0), key + g) for key, g in zip(query_keys, gamma)
+        ]
+
+        accumulator = ScoreAccumulator(query, self._video_frames)
+        candidates = 0
+        similarity_count = 0
+
+        if method == "naive":
+            search_ranges = per_vitri_ranges
+        else:
+            search_ranges = compose_ranges(per_vitri_ranges)
+
+        for range_index, (low, high) in enumerate(search_ranges):
+            # The leaves hold the full ViTri records (the paper's layout),
+            # so a range search is the only I/O a query performs.
+            entries = self._btree.range_search(low, high)
+            if not entries:
+                continue
+            candidates += len(entries)
+            records = [self._codec.decode(payload) for _, payload in entries]
+            keys = np.array([key for key, _ in entries])
+            video_ids = np.array([r.video_id for r in records])
+            vitri_ids = np.array([r.vitri_id for r in records])
+            counts = np.array([r.count for r in records])
+            radii = np.array([r.radius for r in records])
+            positions = np.stack([r.position for r in records])
+            if method == "naive":
+                relevant = [range_index]
+            else:
+                relevant = range(len(per_vitri_ranges))
+            for i in relevant:
+                vlow, vhigh = per_vitri_ranges[i]
+                mask = (keys >= vlow) & (keys <= vhigh)
+                if not np.any(mask):
+                    continue
+                similarity_count += accumulator.evaluate_arrays(
+                    i,
+                    video_ids[mask],
+                    vitri_ids[mask],
+                    counts[mask],
+                    radii[mask],
+                    positions[mask],
+                )
+
+        return (
+            accumulator.scores(),
+            candidates,
+            len(search_ranges),
+            similarity_count,
+        )
+
+    # ------------------------------------------------------------------
+    # Metadata persistence
+    # ------------------------------------------------------------------
+    def save_meta(self, path: str) -> None:
+        """Write the index's non-paged metadata (epsilon, reference point,
+        video frame counts) as JSON, for re-opening file-backed indexes."""
+        meta = {
+            "dim": self._dim,
+            "epsilon": self._epsilon,
+            "reference_point": self._transform.reference_point_.tolist(),
+            "built_component": self._built_component.tolist(),
+            "video_frames": {str(k): v for k, v in self._video_frames.items()},
+            "next_vitri_id": self._next_vitri_id,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+
+    @classmethod
+    def open(
+        cls,
+        btree_path: str,
+        heap_path: str,
+        meta_path: str,
+        *,
+        reference: ReferenceStrategy | str = "optimal",
+        buffer_capacity: int = 256,
+    ) -> "VitriIndex":
+        """Re-open a file-backed index written earlier.
+
+        The stored reference point is restored verbatim (the strategy
+        object is only needed for future rebuilds).
+        """
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        index = cls(_opened=True)
+        index._dim = int(meta["dim"])
+        index._epsilon = float(meta["epsilon"])
+        index._codec = ViTriRecordCodec(index._dim)
+        index._transform = OneDimensionalTransform(reference)
+        index._transform.reference_point_ = np.asarray(
+            meta["reference_point"], dtype=np.float64
+        )
+        index._built_component = np.asarray(
+            meta["built_component"], dtype=np.float64
+        )
+        index._video_frames = {
+            int(k): int(v) for k, v in meta["video_frames"].items()
+        }
+        index._next_vitri_id = int(meta["next_vitri_id"])
+        index._summaries_seen = len(index._video_frames)
+        index._btree = BPlusTree.open(
+            BufferPool(Pager(btree_path), capacity=buffer_capacity)
+        )
+        index._heap = HeapFile.open(
+            BufferPool(Pager(heap_path), capacity=buffer_capacity)
+        )
+        index._moments = IncrementalMoments(index._dim)
+        index._moments.update(index._all_positions())
+        return index
+
+    def __repr__(self) -> str:
+        return (
+            f"VitriIndex(videos={self.num_videos}, vitris={self.num_vitris}, "
+            f"dim={self._dim}, epsilon={self._epsilon})"
+        )
+
+    def __len__(self) -> int:
+        return self.num_vitris

@@ -1,0 +1,106 @@
+"""Dynamic-maintenance policy (paper Section 6.3.3).
+
+The optimal reference point is chosen from the first principal component
+of the ViTri positions at build time.  As videos are inserted, the data's
+correlation structure can drift; the original reference point then stops
+being optimal and query cost degrades.  The paper's remedy: track the angle
+between the original first principal component and the current one, and
+rebuild the index once the angle exceeds an allowed degree.
+
+:class:`RebuildPolicy` encapsulates the threshold;
+:class:`ManagedVitriIndex` wraps a :class:`~repro.core.index.VitriIndex`
+and applies the policy automatically on insertion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.index import KNNResult, VitriIndex
+from repro.core.vitri import VideoSummary
+from repro.utils.validation import check_positive
+
+__all__ = ["ManagedVitriIndex", "RebuildPolicy"]
+
+
+class RebuildPolicy:
+    """Rebuild trigger: first-principal-component drift beyond a threshold.
+
+    Parameters
+    ----------
+    max_angle_degrees:
+        Allowed drift of the first principal component before a rebuild is
+        requested.
+    check_every:
+        Only measure drift every this many insertions — the measurement
+        scans all positions, so checking on every insert would defeat the
+        point of dynamic maintenance.
+    """
+
+    def __init__(
+        self, max_angle_degrees: float = 15.0, check_every: int = 100
+    ) -> None:
+        self._max_angle = math.radians(
+            check_positive(max_angle_degrees, "max_angle_degrees")
+        )
+        if not isinstance(check_every, int) or check_every < 1:
+            raise ValueError(f"check_every must be a positive int, got {check_every}")
+        self._check_every = check_every
+        self._since_last_check = 0
+
+    @property
+    def max_angle_radians(self) -> float:
+        """Drift threshold in radians."""
+        return self._max_angle
+
+    def should_rebuild(self, index: VitriIndex) -> bool:
+        """True when it is time to measure drift and it exceeds the
+        threshold."""
+        self._since_last_check += 1
+        if self._since_last_check < self._check_every:
+            return False
+        self._since_last_check = 0
+        return index.drift_angle() > self._max_angle
+
+
+class ManagedVitriIndex:
+    """A :class:`VitriIndex` plus automatic drift-triggered rebuilds.
+
+    Presents the same ``insert_video`` / ``knn`` surface; after each
+    insertion the policy may decide to rebuild, in which case the wrapped
+    index object is replaced (the old page stores are dropped).
+
+    Attributes
+    ----------
+    rebuilds:
+        Number of automatic rebuilds performed so far.
+    """
+
+    def __init__(self, index: VitriIndex, policy: RebuildPolicy | None = None) -> None:
+        if not isinstance(index, VitriIndex):
+            raise TypeError("index must be a VitriIndex")
+        self._index = index
+        self._policy = policy if policy is not None else RebuildPolicy()
+        self.rebuilds = 0
+
+    @property
+    def index(self) -> VitriIndex:
+        """The currently active underlying index."""
+        return self._index
+
+    def insert_video(self, summary: VideoSummary) -> bool:
+        """Insert a video; returns True when the insertion triggered a
+        rebuild."""
+        self._index.insert_video(summary)
+        if self._policy.should_rebuild(self._index):
+            self._index = self._index.rebuild()
+            self.rebuilds += 1
+            return True
+        return False
+
+    def knn(self, query: VideoSummary, k: int, **kwargs) -> KNNResult:
+        """Forward a KNN query to the active index."""
+        return self._index.knn(query, k, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"ManagedVitriIndex({self._index!r}, rebuilds={self.rebuilds})"

@@ -1,0 +1,154 @@
+"""Reference-point strategies for the one-dimensional transformation.
+
+The transform maps each ViTri position ``O_i`` to the scalar key
+``d(O_i, O')`` for a reference point ``O'``.  The paper compares three
+placements (Section 6.3.2), all implemented here behind one interface:
+
+* :class:`SpaceCenter` — the centre of the data domain (e.g. ``0.5 * 1``
+  for histogram features in ``[0, 1]^n``); what iDistance uses by default.
+* :class:`DataCenter` — the mean of the indexed points.
+* :class:`OptimalReference` — Theorem 1: a point on the line of the first
+  principal component, shifted *outside* the component's variance segment,
+  which maximises the variance of the transformed keys.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.pca.pca import PCA
+from repro.utils.validation import check_finite, check_matrix, check_positive
+
+__all__ = [
+    "DataCenter",
+    "OptimalReference",
+    "ReferenceStrategy",
+    "SpaceCenter",
+    "make_reference_strategy",
+]
+
+
+class ReferenceStrategy(abc.ABC):
+    """Strategy interface: turn a set of points into a reference point."""
+
+    @abc.abstractmethod
+    def locate(self, positions: np.ndarray) -> np.ndarray:
+        """Return the reference point ``O'`` for the given ``(rows, n)``
+        position matrix."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in benchmark tables."""
+        return type(self).__name__
+
+
+class SpaceCenter(ReferenceStrategy):
+    """Centre of the (axis-aligned) data domain.
+
+    Parameters
+    ----------
+    low, high:
+        Domain bounds per dimension; the frame features in the paper are
+        normalised histograms, so the domain defaults to ``[0, 1]^n``.
+    """
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        low = check_finite(low, "low")
+        high = check_finite(high, "high")
+        if high <= low:
+            raise ValueError(f"high ({high}) must exceed low ({low})")
+        self._low = low
+        self._high = high
+
+    def locate(self, positions: np.ndarray) -> np.ndarray:
+        positions = check_matrix(positions, "positions", min_rows=1)
+        midpoint = (self._low + self._high) / 2.0
+        return np.full(positions.shape[1], midpoint)
+
+    @property
+    def name(self) -> str:
+        return "space_center"
+
+
+class DataCenter(ReferenceStrategy):
+    """Mean of the indexed points."""
+
+    def locate(self, positions: np.ndarray) -> np.ndarray:
+        positions = check_matrix(positions, "positions", min_rows=1)
+        return positions.mean(axis=0)
+
+    @property
+    def name(self) -> str:
+        return "data_center"
+
+
+class OptimalReference(ReferenceStrategy):
+    """Theorem 1's optimal reference point.
+
+    Fits PCA on the points, takes the first principal component
+    ``Phi_1`` and its variance segment ``[p_min, p_max]`` (the extent of
+    the points' projections), and places the reference point at
+
+        ``O' = center + (p_min - margin * segment_length) * Phi_1``
+
+    i.e. on the component's line, *outside* the variance segment, on the
+    low-projection side.  Any point outside the segment preserves the
+    component's variance exactly (the triangle inequality is tight along a
+    line); the margin only needs to be positive.  The margin is relative to
+    the segment length so the placement is scale-free; a degenerate
+    dataset (zero segment) falls back to a unit offset.
+
+    Parameters
+    ----------
+    margin:
+        Fractional offset beyond the variance segment (default 0.1).
+    """
+
+    def __init__(self, margin: float = 0.1) -> None:
+        self._margin = check_positive(margin, "margin")
+        self.pca_: PCA | None = None
+        self.segment_: tuple[float, float] | None = None
+
+    @property
+    def margin(self) -> float:
+        """Fractional offset beyond the variance segment."""
+        return self._margin
+
+    def locate(self, positions: np.ndarray) -> np.ndarray:
+        positions = check_matrix(positions, "positions", min_rows=1)
+        pca = PCA(n_components=1).fit(positions)
+        low, high = pca.variance_segment(positions, 0)
+        segment_length = high - low
+        offset = self._margin * segment_length if segment_length > 0.0 else 1.0
+        self.pca_ = pca
+        self.segment_ = (low, high)
+        return pca.center_ + (low - offset) * pca.first_component
+
+    @property
+    def name(self) -> str:
+        return "optimal"
+
+
+def make_reference_strategy(kind: str, **kwargs) -> ReferenceStrategy:
+    """Factory over the three strategies by name.
+
+    Parameters
+    ----------
+    kind:
+        ``"optimal"``, ``"data_center"`` or ``"space_center"``.
+    kwargs:
+        Forwarded to the strategy constructor.
+    """
+    strategies = {
+        "optimal": OptimalReference,
+        "data_center": DataCenter,
+        "space_center": SpaceCenter,
+    }
+    if kind not in strategies:
+        raise ValueError(
+            f"unknown reference strategy {kind!r}; "
+            f"expected one of {sorted(strategies)}"
+        )
+    return strategies[kind](**kwargs)

@@ -1,0 +1,162 @@
+"""Video-level KNN scoring shared by every access method.
+
+The ViTri index, the sequential scan and the pyramid-technique comparator
+all produce streams of candidate ViTri records that must be folded into
+the same video-level similarity:
+
+* per candidate video, accumulate the estimated shared frames between
+  each query ViTri and each of the video's ViTris;
+* cap the query-side total per query ViTri at that cluster's frame count
+  and the database-side total per database ViTri at its frame count (a
+  frame cannot be counted twice);
+* ``score = (capped query side + capped database side) /
+  (query frames + video frames)``, clipped to 1.
+
+Keeping this in one place guarantees the access methods return *exactly*
+the same rankings — which the test suite asserts — and reduces each
+method to its actual difference: which candidates it reads and at what
+I/O cost.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.similarity import _estimate_from_scalars
+from repro.core.vitri import VideoSummary
+from repro.storage.serialization import ViTriRecord
+
+__all__ = ["ScoreAccumulator"]
+
+
+class ScoreAccumulator:
+    """Folds candidate ViTri records into video-level KNN scores.
+
+    Parameters
+    ----------
+    query:
+        The query video's ViTri summary.
+    video_frames:
+        Frame count per database video id (for the score denominator).
+
+    Notes
+    -----
+    :meth:`evaluate` may be called several times for the same candidate
+    record as long as each (query ViTri, database ViTri) pair is passed
+    at most once overall — the naive range-search method relies on this.
+    """
+
+    def __init__(
+        self, query: VideoSummary, video_frames: Mapping[int, int]
+    ) -> None:
+        self._query = query
+        self._video_frames = video_frames
+        self._m = len(query.vitris)
+        self._dim = query.dim
+        self._per_video_query: dict[int, np.ndarray] = {}
+        self._per_video_db: dict[int, dict[int, float]] = defaultdict(dict)
+        self._db_counts: dict[int, int] = {}
+        self.evaluations = 0
+
+    def evaluate(
+        self, record: ViTriRecord, vitri_indices: Iterable[int]
+    ) -> int:
+        """Score one candidate against the given query-ViTri indices.
+
+        Returns the number of similarity evaluations performed (the CPU
+        cost unit).
+        """
+        performed = 0
+        for index in vitri_indices:
+            query_vitri = self._query.vitris[index]
+            distance = float(
+                np.linalg.norm(record.position - query_vitri.position)
+            )
+            estimate = _estimate_from_scalars(
+                self._dim,
+                query_vitri.radius,
+                query_vitri.count,
+                record.radius,
+                record.count,
+                distance,
+            )
+            performed += 1
+            if estimate <= 0.0:
+                continue
+            video = record.video_id
+            if video not in self._per_video_query:
+                self._per_video_query[video] = np.zeros(self._m)
+            self._per_video_query[video][index] += estimate
+            per_db = self._per_video_db[video]
+            per_db[record.vitri_id] = (
+                per_db.get(record.vitri_id, 0.0) + estimate
+            )
+            self._db_counts[record.vitri_id] = record.count
+        self.evaluations += performed
+        return performed
+
+    def evaluate_arrays(
+        self,
+        query_index: int,
+        video_ids: np.ndarray,
+        vitri_ids: np.ndarray,
+        counts: np.ndarray,
+        radii: np.ndarray,
+        positions: np.ndarray,
+    ) -> int:
+        """Vectorised scoring of many candidates against one query ViTri.
+
+        Equivalent to calling :meth:`evaluate` once per candidate with
+        ``[query_index]``, but the distance and intersection math runs as
+        one numpy batch.  Returns the number of similarity evaluations.
+        """
+        from repro.core.similarity import _estimate_batch
+
+        query_vitri = self._query.vitris[query_index]
+        distances = np.linalg.norm(positions - query_vitri.position, axis=1)
+        estimates = _estimate_batch(
+            self._dim,
+            query_vitri.radius,
+            query_vitri.count,
+            radii,
+            counts.astype(np.float64),
+            distances,
+        )
+        performed = int(estimates.shape[0])
+        self.evaluations += performed
+        for position in np.flatnonzero(estimates > 0.0):
+            estimate = float(estimates[position])
+            video = int(video_ids[position])
+            if video not in self._per_video_query:
+                self._per_video_query[video] = np.zeros(self._m)
+            self._per_video_query[video][query_index] += estimate
+            per_db = self._per_video_db[video]
+            vitri_id = int(vitri_ids[position])
+            per_db[vitri_id] = per_db.get(vitri_id, 0.0) + estimate
+            self._db_counts[vitri_id] = int(counts[position])
+        return performed
+
+    def scores(self) -> dict[int, float]:
+        """Final per-video similarity scores in ``[0, 1]``."""
+        scores: dict[int, float] = {}
+        query_counts = self._query.counts().astype(np.float64)
+        for video, per_query in self._per_video_query.items():
+            count_query_side = float(np.minimum(query_counts, per_query).sum())
+            count_db_side = sum(
+                min(float(self._db_counts[vid]), total)
+                for vid, total in self._per_video_db[video].items()
+            )
+            denominator = self._query.num_frames + self._video_frames[video]
+            scores[video] = min(
+                (count_query_side + count_db_side) / denominator, 1.0
+            )
+        return scores
+
+    def ranked(self, k: int) -> list[tuple[int, float]]:
+        """Top-``k`` (video, score) pairs, score-descending, id tie-break."""
+        return sorted(
+            self.scores().items(), key=lambda item: (-item[1], item[0])
+        )[:k]

@@ -1,0 +1,117 @@
+"""Persistence for ViTri summaries.
+
+Summarisation (the recursive 2-means clustering) is the pipeline's
+expensive preprocessing step; pipelines that sweep index parameters or
+rebuild indexes want to run it once per ``(corpus, epsilon)`` and reuse
+the result.  Summaries are stored as a single compressed ``.npz``:
+
+* ``video_ids``   — int64, one per summary;
+* ``num_frames``  — int64, one per summary;
+* ``offsets``     — int64 prefix offsets into the flat ViTri arrays;
+* ``positions``   — float64 ``(total_vitris, dim)``;
+* ``radii`` / ``counts`` — flat per-ViTri arrays;
+* ``epsilon``     — the threshold the summaries were built with, so a
+  load can refuse to feed a mismatched index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.vitri import VideoSummary, ViTri
+from repro.utils.validation import check_positive
+
+__all__ = ["load_summaries", "save_summaries"]
+
+
+def save_summaries(path: str, summaries: list[VideoSummary], epsilon: float) -> None:
+    """Write summaries (and the epsilon they were built with) to ``.npz``.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    summaries:
+        Summaries of one corpus, all the same dimensionality.
+    epsilon:
+        The frame similarity threshold used to build them.
+    """
+    if not summaries:
+        raise ValueError("cannot save zero summaries")
+    epsilon = check_positive(epsilon, "epsilon")
+    dims = {summary.dim for summary in summaries}
+    if len(dims) != 1:
+        raise ValueError(f"summaries have inconsistent dimensions: {dims}")
+
+    video_ids = np.array([s.video_id for s in summaries], dtype=np.int64)
+    num_frames = np.array([s.num_frames for s in summaries], dtype=np.int64)
+    lengths = np.array([len(s) for s in summaries], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    positions = np.vstack([s.positions() for s in summaries])
+    radii = np.concatenate([s.radii() for s in summaries])
+    counts = np.concatenate([s.counts() for s in summaries])
+    np.savez_compressed(
+        path,
+        video_ids=video_ids,
+        num_frames=num_frames,
+        offsets=offsets,
+        positions=positions,
+        radii=radii,
+        counts=counts,
+        epsilon=np.array([epsilon]),
+    )
+
+
+def load_summaries(
+    path: str, *, expected_epsilon: float | None = None
+) -> tuple[list[VideoSummary], float]:
+    """Read summaries written by :func:`save_summaries`.
+
+    Parameters
+    ----------
+    path:
+        Input file path.
+    expected_epsilon:
+        When given, raise if the stored epsilon differs (feeding an index
+        summaries built at a different threshold silently breaks the key
+        filter's losslessness).
+
+    Returns
+    -------
+    (summaries, epsilon)
+    """
+    with np.load(path) as data:
+        epsilon = float(data["epsilon"][0])
+        if expected_epsilon is not None and not np.isclose(
+            epsilon, expected_epsilon
+        ):
+            raise ValueError(
+                f"stored summaries use epsilon {epsilon}, expected "
+                f"{expected_epsilon}"
+            )
+        video_ids = data["video_ids"]
+        num_frames = data["num_frames"]
+        offsets = data["offsets"]
+        positions = data["positions"]
+        radii = data["radii"]
+        counts = data["counts"]
+
+    summaries = []
+    for index, video_id in enumerate(video_ids):
+        start, stop = int(offsets[index]), int(offsets[index + 1])
+        vitris = tuple(
+            ViTri(
+                position=positions[row],
+                radius=float(radii[row]),
+                count=int(counts[row]),
+            )
+            for row in range(start, stop)
+        )
+        summaries.append(
+            VideoSummary(
+                video_id=int(video_id),
+                vitris=vitris,
+                num_frames=int(num_frames[index]),
+            )
+        )
+    return summaries, epsilon

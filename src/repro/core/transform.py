@@ -1,0 +1,111 @@
+"""The one-dimensional transformation (paper Section 5.1).
+
+Maps an ``n``-dimensional point to the scalar key ``d(O_i, O')`` where
+``O'`` comes from a :class:`~repro.core.reference.ReferenceStrategy`.
+The triangle inequality guarantees that for any query ``Q`` and search
+radius ``gamma``, every point within ``gamma`` of ``Q`` has a key inside
+``[key(Q) - gamma, key(Q) + gamma]`` — so a B+-tree range search over keys
+is a lossless filter.
+
+The module also provides :func:`key_variance`, the quantity Theorem 1
+maximises (the variance of pairwise key differences reduces to the variance
+of the keys themselves up to a factor of 2), used by the tests and the
+reference-point ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reference import ReferenceStrategy, make_reference_strategy
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["OneDimensionalTransform", "key_variance"]
+
+
+class OneDimensionalTransform:
+    """Distance-to-reference-point key transform.
+
+    Parameters
+    ----------
+    strategy:
+        A :class:`ReferenceStrategy` instance, or a strategy name accepted
+        by :func:`~repro.core.reference.make_reference_strategy`.
+
+    Attributes
+    ----------
+    reference_point_:
+        The fitted reference point ``O'`` (``None`` before :meth:`fit`).
+    """
+
+    def __init__(self, strategy: ReferenceStrategy | str = "optimal") -> None:
+        if isinstance(strategy, str):
+            strategy = make_reference_strategy(strategy)
+        if not isinstance(strategy, ReferenceStrategy):
+            raise TypeError(
+                "strategy must be a ReferenceStrategy or a strategy name"
+            )
+        self._strategy = strategy
+        self.reference_point_: np.ndarray | None = None
+
+    @property
+    def strategy(self) -> ReferenceStrategy:
+        """The reference-point placement strategy."""
+        return self._strategy
+
+    def fit(self, positions) -> "OneDimensionalTransform":
+        """Choose the reference point for the given ``(rows, n)`` points."""
+        positions = check_matrix(positions, "positions", min_rows=1)
+        self.reference_point_ = self._strategy.locate(positions)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.reference_point_ is None:
+            raise RuntimeError("transform is not fitted; call fit() first")
+
+    def _distances(self, positions: np.ndarray) -> np.ndarray:
+        """Row distances to the reference point.
+
+        Single code path for both :meth:`key` and :meth:`keys`: the two
+        numpy spellings (``norm(vector)`` uses BLAS ``dnrm2``,
+        ``norm(matrix, axis=1)`` a pairwise reduction) can differ in the
+        last ULP, and the index relies on a point always mapping to the
+        *bit-identical* key it was stored under (e.g. when a removal
+        recomputes the key of a record that was bulk-loaded).
+        """
+        difference = positions - self.reference_point_
+        return np.sqrt(np.sum(difference * difference, axis=-1))
+
+    def key(self, point) -> float:
+        """Key of a single point: its distance to the reference point."""
+        self._require_fitted()
+        point = check_vector(point, "point", dim=self.reference_point_.shape[0])
+        return float(self._distances(point[None, :])[0])
+
+    def keys(self, positions) -> np.ndarray:
+        """Keys of a ``(rows, n)`` matrix of points."""
+        self._require_fitted()
+        positions = check_matrix(
+            positions, "positions", cols=self.reference_point_.shape[0]
+        )
+        return self._distances(positions)
+
+    def search_range(self, point, radius: float) -> tuple[float, float]:
+        """Key range that must contain every point within *radius* of
+        *point* (triangle inequality); the low end is clamped at 0."""
+        center_key = self.key(point)
+        radius = float(radius)
+        if radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        return max(center_key - radius, 0.0), center_key + radius
+
+
+def key_variance(transform: OneDimensionalTransform, positions) -> float:
+    """Variance of the transformed keys for a point set.
+
+    Theorem 1's objective: a reference point that maximises this variance
+    retains the most pairwise-distance information after the 1-D mapping
+    (``Var(|k_i - k_j|)`` over pairs grows with ``Var(k)``).
+    """
+    keys = transform.keys(positions)
+    return float(keys.var())

@@ -1,0 +1,155 @@
+"""The ViTri model (paper Definition 2) and per-video summaries.
+
+A ViTri ``(position, radius, density)`` describes one cluster of similar
+frames as a hypersphere.  Density is derived from the stored ``count`` and
+``radius`` (``D = |C| / V_hypersphere(R)``) rather than stored, and is
+exposed in log space because the volume of a 64-dimensional sphere of
+radius ~0.15 underflows float64.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.volumes import log_sphere_volume
+from repro.utils.validation import check_non_negative, check_vector
+
+__all__ = ["ViTri", "VideoSummary"]
+
+
+@dataclass(frozen=True)
+class ViTri:
+    """Video Triplet: a frame cluster modelled as a hypersphere.
+
+    Attributes
+    ----------
+    position:
+        Cluster centre ``O`` in the frame feature space, shape ``(n,)``.
+    radius:
+        Refined cluster radius ``R`` (``min(R_max, mu + sigma)`` from the
+        clustering step).
+    count:
+        Number of frames ``|C|`` in the cluster.
+    """
+
+    position: np.ndarray
+    radius: float
+    count: int
+
+    def __post_init__(self) -> None:
+        position = check_vector(self.position, "position")
+        object.__setattr__(self, "position", position)
+        object.__setattr__(
+            self, "radius", check_non_negative(self.radius, "radius")
+        )
+        if not isinstance(self.count, (int, np.integer)) or isinstance(
+            self.count, bool
+        ):
+            raise TypeError("count must be an int")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        object.__setattr__(self, "count", int(self.count))
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``n`` of the feature space."""
+        return self.position.shape[0]
+
+    @property
+    def log_volume(self) -> float:
+        """Natural log of the bounding hypersphere's volume (``-inf`` for a
+        point-mass cluster)."""
+        return log_sphere_volume(self.dim, self.radius)
+
+    @property
+    def log_density(self) -> float:
+        """Natural log of the density ``D = |C| / V``; ``inf`` for a
+        point-mass cluster."""
+        log_volume = self.log_volume
+        if log_volume == -math.inf:
+            return math.inf
+        return math.log(self.count) - log_volume
+
+    @property
+    def density(self) -> float:
+        """Density ``D`` (may overflow to ``inf`` in high dimensions; use
+        :attr:`log_density` in computations)."""
+        return math.exp(self.log_density) if self.log_density < 700 else math.inf
+
+    def __repr__(self) -> str:
+        return (
+            f"ViTri(dim={self.dim}, radius={self.radius:.6g}, "
+            f"count={self.count})"
+        )
+
+
+@dataclass(frozen=True)
+class VideoSummary:
+    """The ViTri summary of one video sequence.
+
+    Attributes
+    ----------
+    video_id:
+        Identifier of the summarised video.
+    vitris:
+        The video's ViTris (one per frame cluster).
+    num_frames:
+        Total frame count of the original sequence; the ViTri counts must
+        sum to it (each frame belongs to exactly one cluster).
+    """
+
+    video_id: int
+    vitris: tuple[ViTri, ...]
+    num_frames: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.video_id, (int, np.integer)) or isinstance(
+            self.video_id, bool
+        ):
+            raise TypeError("video_id must be an int")
+        object.__setattr__(self, "video_id", int(self.video_id))
+        vitris = tuple(self.vitris)
+        if not vitris:
+            raise ValueError("a summary must contain at least one ViTri")
+        if not all(isinstance(v, ViTri) for v in vitris):
+            raise TypeError("vitris must all be ViTri instances")
+        dims = {v.dim for v in vitris}
+        if len(dims) != 1:
+            raise ValueError(f"vitris have inconsistent dimensions: {dims}")
+        object.__setattr__(self, "vitris", vitris)
+        total = sum(v.count for v in vitris)
+        num_frames = self.num_frames or total
+        if num_frames != total:
+            raise ValueError(
+                f"num_frames={num_frames} but cluster counts sum to {total}"
+            )
+        object.__setattr__(self, "num_frames", num_frames)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the feature space."""
+        return self.vitris[0].dim
+
+    def __len__(self) -> int:
+        return len(self.vitris)
+
+    def positions(self) -> np.ndarray:
+        """Stack of the ViTri positions, shape ``(len(self), n)``."""
+        return np.stack([v.position for v in self.vitris])
+
+    def radii(self) -> np.ndarray:
+        """Vector of the ViTri radii."""
+        return np.array([v.radius for v in self.vitris])
+
+    def counts(self) -> np.ndarray:
+        """Vector of the ViTri frame counts."""
+        return np.array([v.count for v in self.vitris], dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"VideoSummary(video_id={self.video_id}, vitris={len(self.vitris)}, "
+            f"frames={self.num_frames})"
+        )

@@ -1,0 +1,37 @@
+"""Synthetic video dataset substrate.
+
+The paper evaluates on ~6,500 real TV advertisements represented as
+64-dimensional quantised-RGB colour histograms (2 bits per channel,
+normalised by pixel count).  Real captures are unavailable here, so
+:mod:`repro.datasets.synthetic` generates videos with the same statistical
+structure the algorithms depend on:
+
+* frames are non-negative 64-d vectors summing to 1 (histograms);
+* strong temporal locality — videos are sequences of *shots*, each a
+  stationary anchor histogram plus small per-frame jitter, so nearby
+  frames cluster tightly (the premise of ``Generate_Clusters``);
+* *near-duplicate families* — groups of variants of a source video
+  (re-encodes, brightness shifts, frame drops), giving KNN queries a
+  non-trivial, frame-level-verifiable ground truth;
+* the paper's three duration classes (30/15/10 s at 25 fps, scalable).
+
+:mod:`repro.datasets.features` extracts the paper's quantised-RGB
+histograms from real decoded frames; :mod:`repro.datasets.queries`
+samples query workloads; :mod:`repro.datasets.loader` persists datasets
+as ``.npz``.
+"""
+
+from repro.datasets.features import histogram_dim, rgb_histogram, video_histograms
+from repro.datasets.loader import VideoDataset
+from repro.datasets.queries import sample_queries
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+
+__all__ = [
+    "DatasetConfig",
+    "VideoDataset",
+    "generate_dataset",
+    "sample_queries",
+    "histogram_dim",
+    "rgb_histogram",
+    "video_histograms",
+]

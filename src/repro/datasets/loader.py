@@ -1,0 +1,170 @@
+"""Dataset container and ``.npz`` persistence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VideoDataset", "VideoInfo"]
+
+
+@dataclass(frozen=True)
+class VideoInfo:
+    """Per-video metadata.
+
+    Attributes
+    ----------
+    video_id:
+        Index of the video in the dataset.
+    family:
+        Near-duplicate family id, or ``-1`` for an unrelated distractor.
+    num_frames:
+        Length of the video in frames.
+    """
+
+    video_id: int
+    family: int
+    num_frames: int
+
+
+class VideoDataset:
+    """A collection of videos plus metadata.
+
+    Parameters
+    ----------
+    videos:
+        List of ``(frames_i, dim)`` float64 matrices.
+    infos:
+        One :class:`VideoInfo` per video, aligned with ``videos``.
+    dim:
+        Shared feature dimensionality.
+    """
+
+    def __init__(
+        self, videos: list[np.ndarray], infos: list[VideoInfo], dim: int
+    ) -> None:
+        if len(videos) != len(infos):
+            raise ValueError(
+                f"{len(videos)} videos but {len(infos)} info records"
+            )
+        if not videos:
+            raise ValueError("a dataset must contain at least one video")
+        for index, (frames, info) in enumerate(zip(videos, infos)):
+            if frames.ndim != 2 or frames.shape[1] != dim:
+                raise ValueError(
+                    f"video {index} has shape {frames.shape}, expected (*, {dim})"
+                )
+            if info.num_frames != frames.shape[0]:
+                raise ValueError(
+                    f"video {index}: info says {info.num_frames} frames, "
+                    f"matrix has {frames.shape[0]}"
+                )
+            if info.video_id != index:
+                raise ValueError(
+                    f"video {index}: video_id {info.video_id} out of order"
+                )
+        self._videos = [np.ascontiguousarray(v, dtype=np.float64) for v in videos]
+        self._infos = list(infos)
+        self._dim = dim
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality."""
+        return self._dim
+
+    @property
+    def num_videos(self) -> int:
+        """Number of videos."""
+        return len(self._videos)
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames across all videos."""
+        return sum(info.num_frames for info in self._infos)
+
+    def frames(self, video_id: int) -> np.ndarray:
+        """The frame matrix of one video."""
+        return self._videos[video_id]
+
+    def info(self, video_id: int) -> VideoInfo:
+        """Metadata of one video."""
+        return self._infos[video_id]
+
+    def family_members(self, family: int) -> list[int]:
+        """Video ids belonging to a near-duplicate family."""
+        if family < 0:
+            raise ValueError("family must be non-negative")
+        return [
+            info.video_id for info in self._infos if info.family == family
+        ]
+
+    @property
+    def families(self) -> list[int]:
+        """Sorted distinct family ids present (excluding distractors)."""
+        return sorted({info.family for info in self._infos if info.family >= 0})
+
+    def __len__(self) -> int:
+        return len(self._videos)
+
+    def __iter__(self):
+        return iter(self._videos)
+
+    # ------------------------------------------------------------------
+    # Statistics (paper Table 2)
+    # ------------------------------------------------------------------
+    def duration_table(self) -> list[tuple[int, int, int]]:
+        """Rows of ``(frames-per-video class, num videos, num frames)``,
+        longest class first — the layout of the paper's Table 2."""
+        buckets: dict[int, tuple[int, int]] = {}
+        for info in self._infos:
+            count, frames = buckets.get(info.num_frames, (0, 0))
+            buckets[info.num_frames] = (count + 1, frames + info.num_frames)
+        return [
+            (length, count, frames)
+            for length, (count, frames) in sorted(buckets.items(), reverse=True)
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the dataset to an ``.npz`` file."""
+        arrays = {
+            f"video_{info.video_id}": frames
+            for info, frames in zip(self._infos, self._videos)
+        }
+        arrays["families"] = np.array(
+            [info.family for info in self._infos], dtype=np.int64
+        )
+        arrays["dim"] = np.array([self._dim], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "VideoDataset":
+        """Read a dataset previously written with :meth:`save`."""
+        with np.load(path) as data:
+            families = data["families"]
+            dim = int(data["dim"][0])
+            videos = [
+                np.asarray(data[f"video_{index}"], dtype=np.float64)
+                for index in range(len(families))
+            ]
+        infos = [
+            VideoInfo(
+                video_id=index,
+                family=int(families[index]),
+                num_frames=videos[index].shape[0],
+            )
+            for index in range(len(videos))
+        ]
+        return cls(videos=videos, infos=infos, dim=dim)
+
+    def __repr__(self) -> str:
+        return (
+            f"VideoDataset(videos={self.num_videos}, "
+            f"frames={self.total_frames}, dim={self._dim})"
+        )

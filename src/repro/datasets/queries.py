@@ -1,0 +1,71 @@
+"""Query workload sampling.
+
+The paper averages its measurements over 50 queries for 50-NN search, with
+queries drawn from the database itself and ground truth computed at frame
+level.  :func:`sample_queries` reproduces that setup; by default it prefers
+videos that belong to a near-duplicate family so the KNN problem is
+non-trivial (a distractor's only meaningful neighbour is itself).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.loader import VideoDataset
+from repro.utils.rng import ensure_rng
+
+__all__ = ["sample_queries"]
+
+
+def sample_queries(
+    dataset: VideoDataset,
+    num_queries: int,
+    *,
+    prefer_families: bool = True,
+    seed=None,
+) -> list[int]:
+    """Sample query video ids from the dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to draw from.
+    num_queries:
+        Number of query ids to return (without replacement when possible).
+    prefer_families:
+        Draw from family members first, falling back to distractors only
+        when families are exhausted.
+    seed:
+        Seed / generator for reproducibility.
+    """
+    if not isinstance(num_queries, int) or isinstance(num_queries, bool):
+        raise TypeError("num_queries must be an int")
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    rng = ensure_rng(seed)
+
+    family_ids = [
+        info.video_id
+        for info in (dataset.info(i) for i in range(dataset.num_videos))
+        if info.family >= 0
+    ]
+    other_ids = [
+        video_id
+        for video_id in range(dataset.num_videos)
+        if video_id not in set(family_ids)
+    ]
+    if prefer_families:
+        pool = family_ids + other_ids
+    else:
+        pool = list(range(dataset.num_videos))
+        rng.shuffle(pool)
+
+    if num_queries <= len(pool):
+        if prefer_families:
+            primary = pool[: max(len(family_ids), num_queries)]
+            picks = rng.choice(
+                len(primary), size=num_queries, replace=False
+            )
+            return [primary[i] for i in sorted(picks)]
+        return pool[:num_queries]
+    # More queries than videos: sample with replacement.
+    picks = rng.integers(0, dataset.num_videos, size=num_queries)
+    return [int(p) for p in picks]

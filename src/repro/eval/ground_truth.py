@@ -1,0 +1,71 @@
+"""Frame-level KNN ground truth (paper Section 6.1).
+
+Browsing large video sets for manual relevance judgements is impractical,
+so the paper defines a query's ground truth as the top-K videos under the
+*exact* frame-level similarity of Section 3.1.  That computation is
+quadratic in frames and is the slowest part of any experiment, so a
+per-(query, epsilon) cache is provided.
+"""
+
+from __future__ import annotations
+
+from repro.core.frames import frame_similarity
+from repro.datasets.loader import VideoDataset
+from repro.utils.validation import check_positive
+
+__all__ = ["GroundTruthCache", "knn_ground_truth"]
+
+
+def knn_ground_truth(
+    dataset: VideoDataset,
+    query_id: int,
+    k: int,
+    epsilon: float,
+) -> list[int]:
+    """Top-``k`` video ids for a query by exact frame-level similarity.
+
+    The query video itself is included (it trivially has similarity 1),
+    matching the paper's protocol where queries are database members.
+    Ties are broken by video id for determinism.
+    """
+    if not isinstance(query_id, int) or isinstance(query_id, bool):
+        raise TypeError("query_id must be an int")
+    if query_id < 0 or query_id >= dataset.num_videos:
+        raise ValueError(f"query_id {query_id} out of range")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive int, got {k}")
+    epsilon = check_positive(epsilon, "epsilon")
+
+    query_frames = dataset.frames(query_id)
+    scored: list[tuple[float, int]] = []
+    for video_id in range(dataset.num_videos):
+        similarity = frame_similarity(
+            query_frames, dataset.frames(video_id), epsilon
+        )
+        scored.append((similarity, video_id))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [video_id for _, video_id in scored[:k]]
+
+
+class GroundTruthCache:
+    """Memoising wrapper around :func:`knn_ground_truth`.
+
+    Computes the *full ranking* once per (query, epsilon) and serves any
+    ``k`` from it, so sweeping K (Figure 15) costs one exact pass.
+    """
+
+    def __init__(self, dataset: VideoDataset) -> None:
+        self._dataset = dataset
+        self._rankings: dict[tuple[int, float], list[int]] = {}
+
+    def top_k(self, query_id: int, k: int, epsilon: float) -> list[int]:
+        """Ground-truth top-``k`` for the query at this epsilon."""
+        key = (query_id, float(epsilon))
+        if key not in self._rankings:
+            self._rankings[key] = knn_ground_truth(
+                self._dataset, query_id, self._dataset.num_videos, epsilon
+            )
+        return self._rankings[key][:k]
+
+    def __len__(self) -> int:
+        return len(self._rankings)

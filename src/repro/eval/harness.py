@@ -1,0 +1,81 @@
+"""Experiment-harness helpers: cost aggregation and table formatting.
+
+The benchmark scripts print their results as plain-text tables matching
+the rows/series of the paper's tables and figures; the helpers here keep
+that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.index import QueryStats
+
+__all__ = ["aggregate_stats", "format_table"]
+
+
+def aggregate_stats(stats: Iterable[QueryStats]) -> dict[str, float]:
+    """Average a batch of per-query costs.
+
+    Returns means of every :class:`QueryStats` field over the batch (the
+    paper reports per-query averages over 50 queries).
+    """
+    stats = list(stats)
+    if not stats:
+        raise ValueError("cannot aggregate an empty batch of stats")
+    n = len(stats)
+    return {
+        "page_requests": sum(s.page_requests for s in stats) / n,
+        "physical_reads": sum(s.physical_reads for s in stats) / n,
+        "node_visits": sum(s.node_visits for s in stats) / n,
+        "similarity_computations": (
+            sum(s.similarity_computations for s in stats) / n
+        ),
+        "candidates": sum(s.candidates for s in stats) / n,
+        "ranges": sum(s.ranges for s in stats) / n,
+        "wall_time": sum(s.wall_time for s in stats) / n,
+    }
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    rendered_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

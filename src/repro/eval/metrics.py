@@ -1,0 +1,30 @@
+"""Retrieval metrics.
+
+The paper reports a single metric: ``precision = |rel ∩ ret| / |rel|``
+where ``rel`` is the frame-level ground-truth top-K and ``ret`` the top-K
+returned by a summarisation method.  (With ``|ret| = |rel| = K`` this is
+also the recall; the paper calls it precision and so do we.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["precision_at_k"]
+
+
+def precision_at_k(relevant: Iterable[int], retrieved: Iterable[int]) -> float:
+    """Fraction of the ground-truth set that the method retrieved.
+
+    Parameters
+    ----------
+    relevant:
+        Ground-truth video ids (``rel``); must be non-empty.
+    retrieved:
+        Returned video ids (``ret``).
+    """
+    relevant_set = set(relevant)
+    if not relevant_set:
+        raise ValueError("the relevant set must not be empty")
+    retrieved_set = set(retrieved)
+    return len(relevant_set & retrieved_set) / len(relevant_set)

@@ -1,0 +1,115 @@
+"""Filter-and-refine retrieval.
+
+The ViTri index is a *filter*: cheap, summary-level, approximate.  When
+the raw frames are available, the classic production pattern recovers
+exact quality at a bounded cost — over-fetch candidates from the index,
+then re-rank just those with the exact frame-level similarity of Section
+3.1:
+
+    result = refined_knn(index, dataset, summaries, query_id, k=10)
+
+The exact comparison runs only against ``k * overfetch`` videos instead
+of the whole corpus, so the quadratic frame-level cost is paid on a
+constant-size set.
+"""
+
+from __future__ import annotations
+
+from repro.core.frames import frame_similarity
+from repro.core.index import KNNResult, VitriIndex
+from repro.datasets.loader import VideoDataset
+from repro.utils.validation import check_positive
+
+__all__ = ["refine_ranking", "refined_knn"]
+
+
+def refine_ranking(
+    dataset: VideoDataset,
+    query_frames,
+    candidate_ids,
+    epsilon: float,
+) -> list[tuple[int, float]]:
+    """Re-rank candidate videos by exact frame-level similarity.
+
+    Parameters
+    ----------
+    dataset:
+        Corpus holding the candidates' raw frames.
+    query_frames:
+        The query video's frame matrix.
+    candidate_ids:
+        Video ids to re-rank (typically an index result's ``videos``).
+    epsilon:
+        Frame similarity threshold.
+
+    Returns
+    -------
+    list[tuple[int, float]]
+        ``(video_id, exact_similarity)`` sorted descending, id tie-break.
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    scored = [
+        (
+            int(video_id),
+            frame_similarity(
+                query_frames, dataset.frames(int(video_id)), epsilon
+            ),
+        )
+        for video_id in candidate_ids
+    ]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored
+
+
+def refined_knn(
+    index: VitriIndex,
+    dataset: VideoDataset,
+    summaries,
+    query_id: int,
+    k: int,
+    *,
+    overfetch: int = 3,
+    method: str = "composed",
+) -> KNNResult:
+    """Indexed KNN followed by exact re-ranking of the top candidates.
+
+    Parameters
+    ----------
+    index:
+        The ViTri index over *dataset*'s summaries.
+    dataset:
+        The corpus (for raw frames).
+    summaries:
+        Per-video summaries aligned with the dataset (``summaries[i]``
+        summarises video ``i``); used for the query.
+    query_id:
+        The query video's id in the dataset.
+    k:
+        Number of results.
+    overfetch:
+        Candidate multiplier: the index returns ``k * overfetch``
+        candidates for exact re-ranking.
+    method:
+        Index query method (``"composed"`` / ``"naive"``).
+
+    Returns
+    -------
+    KNNResult
+        Top-``k`` by *exact* similarity; ``stats`` is the index query's
+        cost (the refinement cost is CPU-side frame comparisons over the
+        candidate set).
+    """
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive int, got {k}")
+    if not isinstance(overfetch, int) or overfetch < 1:
+        raise ValueError(f"overfetch must be a positive int, got {overfetch}")
+
+    coarse = index.knn(summaries[query_id], k * overfetch, method=method)
+    refined = refine_ranking(
+        dataset, dataset.frames(query_id), coarse.videos, index.epsilon
+    )[:k]
+    return KNNResult(
+        videos=tuple(video for video, _ in refined),
+        scores=tuple(score for _, score in refined),
+        stats=coarse.stats,
+    )

@@ -1,0 +1,52 @@
+"""n-dimensional geometry for ViTri (paper Section 3.2).
+
+Two parallel implementations are provided:
+
+* :mod:`repro.geometry.volumes` — production code paths in **log space**,
+  built on the regularised incomplete beta function.  These stay inside
+  float range for any dimensionality (the volume of a unit 64-ball is
+  ~4.7e-39, and ViTri densities are its reciprocal scale).
+* :mod:`repro.geometry.series` — the paper's literal even/odd factorial
+  series for hypersphere, hypersector, hypercone and hypercap.  They are
+  exact for small ``n`` and are cross-validated against the log-space code
+  in the test suite.
+
+:mod:`repro.geometry.intersection` implements the sphere-sphere intersection
+volume with the paper's four-case analysis (Section 4.2).
+"""
+
+from repro.geometry.intersection import (
+    IntersectionCase,
+    classify_intersection,
+    intersection_fraction_of_smaller,
+    intersection_volume,
+    log_intersection_volume,
+)
+from repro.geometry.volumes import (
+    cap_fraction,
+    cap_volume,
+    cone_volume,
+    log_cap_volume,
+    log_sphere_volume,
+    log_unit_sphere_volume,
+    sector_fraction,
+    sector_volume,
+    sphere_volume,
+)
+
+__all__ = [
+    "IntersectionCase",
+    "classify_intersection",
+    "intersection_fraction_of_smaller",
+    "intersection_volume",
+    "log_intersection_volume",
+    "cap_fraction",
+    "cap_volume",
+    "cone_volume",
+    "log_cap_volume",
+    "log_sphere_volume",
+    "log_unit_sphere_volume",
+    "sector_fraction",
+    "sector_volume",
+    "sphere_volume",
+]

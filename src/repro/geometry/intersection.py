@@ -1,0 +1,152 @@
+"""Sphere-sphere intersection volume (paper Section 4.2).
+
+Given two hyperspheres ``(O1, R1)`` and ``(O2, R2)`` at centre distance
+``d``, the paper distinguishes four cases (with ``R1 >= R2``):
+
+1. ``d >= R1 + R2`` — disjoint, intersection volume 0;
+2. ``R2 <= d < R1 + R2`` — a lens, both boundary angles acute: the sum of
+   the two hypercaps cut by the radical hyperplane;
+3. ``R1 - R2 <= d < R2`` — a lens where the radical hyperplane lies beyond
+   ``O2``: the cap of sphere 1 plus (sphere 2 minus its opposite cap);
+4. ``d < R1 - R2`` — containment, the volume of the smaller sphere.
+
+Cases 2 and 3 collapse to a single expression once the cap volume is
+defined for obtuse colatitude angles (which
+:func:`repro.geometry.volumes.cap_fraction` is), because for case 3 the
+angle ``beta = arccos(x2 / R2)`` is obtuse and
+``cap(R2, beta) = sphere(R2) - cap(R2, pi - beta)`` — exactly the paper's
+case-3 formula.  :func:`classify_intersection` still reports the literal
+paper case for tests and instrumentation.
+
+All production maths is done on volume *ratios* in log space so the results
+stay finite for any dimensionality.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.geometry.volumes import (
+    log_cap_fraction,
+    log_sphere_volume,
+)
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "IntersectionCase",
+    "classify_intersection",
+    "intersection_fraction_of_smaller",
+    "intersection_volume",
+    "log_intersection_volume",
+]
+
+
+class IntersectionCase(enum.Enum):
+    """The paper's four-way case analysis for two hyperspheres."""
+
+    DISJOINT = 1
+    LENS_ACUTE = 2
+    LENS_OBTUSE = 3
+    CONTAINED = 4
+
+
+def _order_radii(r1: float, r2: float) -> tuple[float, float]:
+    """Return (larger, smaller); the analysis assumes ``R1 >= R2``."""
+    r1 = check_non_negative(r1, "r1")
+    r2 = check_non_negative(r2, "r2")
+    if r1 >= r2:
+        return r1, r2
+    return r2, r1
+
+
+def classify_intersection(r1: float, r2: float, distance: float) -> IntersectionCase:
+    """Classify the configuration of two spheres per the paper's cases.
+
+    Parameters
+    ----------
+    r1, r2:
+        Sphere radii (order does not matter).
+    distance:
+        Distance between the two centres.
+    """
+    big, small = _order_radii(r1, r2)
+    distance = check_non_negative(distance, "distance")
+    if distance >= big + small:
+        return IntersectionCase.DISJOINT
+    if distance < big - small:
+        return IntersectionCase.CONTAINED
+    if distance >= small:
+        return IntersectionCase.LENS_ACUTE
+    return IntersectionCase.LENS_OBTUSE
+
+
+def _boundary_angles(big: float, small: float, distance: float) -> tuple[float, float]:
+    """Half-angles ``alpha`` (larger sphere) and ``beta`` (smaller sphere).
+
+    Derived from the radical hyperplane: its signed distance from the large
+    centre along the centre line is ``x1 = (d^2 + R1^2 - R2^2) / (2d)``, so
+    ``alpha = arccos(x1 / R1)`` and ``beta = arccos((d - x1) / R2)``.
+    ``beta`` comes out obtuse automatically in the paper's case 3.
+    """
+    x1 = (distance * distance + big * big - small * small) / (2.0 * distance)
+    cos_alpha = np.clip(x1 / big, -1.0, 1.0)
+    cos_beta = np.clip((distance - x1) / small, -1.0, 1.0)
+    return math.acos(cos_alpha), math.acos(cos_beta)
+
+
+def log_intersection_volume(n: int, r1: float, r2: float, distance: float) -> float:
+    """Natural log of the intersection volume; ``-inf`` when disjoint.
+
+    Parameters
+    ----------
+    n:
+        Dimensionality of the space.
+    r1, r2:
+        Sphere radii (order does not matter).
+    distance:
+        Distance between the centres.
+    """
+    big, small = _order_radii(r1, r2)
+    distance = check_non_negative(distance, "distance")
+    case = classify_intersection(big, small, distance)
+    if case is IntersectionCase.DISJOINT or small == 0.0:
+        return -math.inf
+    if case is IntersectionCase.CONTAINED or distance == 0.0:
+        return log_sphere_volume(n, small)
+    alpha, beta = _boundary_angles(big, small, distance)
+    log_cap_big = log_cap_fraction(n, alpha) + log_sphere_volume(n, big)
+    log_cap_small = log_cap_fraction(n, beta) + log_sphere_volume(n, small)
+    return float(np.logaddexp(log_cap_big, log_cap_small))
+
+
+def intersection_volume(n: int, r1: float, r2: float, distance: float) -> float:
+    """Intersection volume of two hyperspheres (may underflow for large n;
+    prefer :func:`log_intersection_volume` or
+    :func:`intersection_fraction_of_smaller` in production paths)."""
+    log_volume = log_intersection_volume(n, r1, r2, distance)
+    return math.exp(log_volume) if log_volume > -math.inf else 0.0
+
+
+def intersection_fraction_of_smaller(
+    n: int, r1: float, r2: float, distance: float
+) -> float:
+    """Intersection volume as a fraction of the smaller sphere's volume.
+
+    This is the quantity that drives the estimated-shared-frames computation:
+    it always lies in ``[0, 1]`` and never under/overflows, regardless of
+    dimensionality.
+    """
+    big, small = _order_radii(r1, r2)
+    if small == 0.0:
+        # A point-mass sphere: fully covered iff its centre is inside the
+        # other sphere (boundary inclusive).
+        distance = check_non_negative(distance, "distance")
+        return 1.0 if distance <= big else 0.0
+    log_volume = log_intersection_volume(n, big, small, distance)
+    if log_volume == -math.inf:
+        return 0.0
+    fraction = math.exp(log_volume - log_sphere_volume(n, small))
+    return min(fraction, 1.0)

@@ -1,0 +1,162 @@
+"""The paper's explicit even/odd volume series (Section 3.2).
+
+These are the factorial-series forms the paper prints for the hypersphere,
+hypersector, hypercone and hypercap.  They are exact for small ``n`` but
+overflow float64 for large ``n``; production code uses
+:mod:`repro.geometry.volumes` instead.  The test suite cross-validates the
+two implementations.
+
+Two typographical errors in the paper's formulas were corrected (verified
+against closed forms in 2-6 dimensions and against the regularised
+incomplete-beta implementation):
+
+* the odd-``n`` sector/cap coefficient is
+  ``2^n * pi^((n-1)/2) * ((n+1)/2)! / (n+1)!``
+  (the paper prints ``((n+1)/2)`` without the factorial, which fails for
+  ``n = 5``);
+* the hypercone volume is computed from the exact pyramid identity
+  ``V_cone = V_{n-1}(R sin(alpha)) * R cos(alpha) / n``
+  (the paper's printed even-``n`` coefficient ``2^(n-1) pi^((n-2)/2) / n!``
+  disagrees with this identity — and with cap = sector - cone — from
+  ``n = 6`` on).
+
+The paper's structural claim *does* hold with these corrections: the
+hypercap series is identical to the hypersector series except that the sum
+runs one term further, and that extra term equals the hypercone volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "cap_volume_series",
+    "cone_volume_series",
+    "sector_volume_series",
+    "sphere_volume_series",
+]
+
+_HALF_PI = math.pi / 2.0
+
+
+def _check_dimension(n: int, *, minimum: int = 1) -> int:
+    if not isinstance(n, int) or isinstance(n, bool):
+        raise TypeError(f"dimension n must be an int, got {type(n).__name__}")
+    if n < minimum:
+        raise ValueError(f"dimension n must be >= {minimum}, got {n}")
+    return n
+
+
+def _check_acute_angle(alpha: float) -> float:
+    alpha = float(alpha)
+    if not math.isfinite(alpha) or alpha < 0.0 or alpha > _HALF_PI + 1e-12:
+        raise ValueError(f"angle must lie in [0, pi/2], got {alpha}")
+    return min(alpha, _HALF_PI)
+
+
+def sphere_volume_series(n: int, radius: float) -> float:
+    """Hypersphere volume via the paper's even/odd factorial forms.
+
+    Even ``n``: ``pi^(n/2) / (n/2)! * R^n``.
+    Odd ``n``:  ``2^(n+1) * pi^((n-1)/2) * ((n+1)/2)! / (n+1)! * R^n``.
+    """
+    n = _check_dimension(n)
+    radius = check_non_negative(radius, "radius")
+    if n % 2 == 0:
+        coefficient = math.pi ** (n // 2) / math.factorial(n // 2)
+    else:
+        coefficient = (
+            2.0 ** (n + 1)
+            * math.pi ** ((n - 1) // 2)
+            * math.factorial((n + 1) // 2)
+            / math.factorial(n + 1)
+        )
+    return coefficient * radius**n
+
+
+def _even_series(alpha: float, top: int) -> float:
+    """``alpha - cos(a) * sum_{i=0}^{top} 4^i (i!)^2 / (2i+1)! sin(a)^(2i+1)``."""
+    if top < 0:
+        return alpha
+    sin_a = math.sin(alpha)
+    cos_a = math.cos(alpha)
+    total = 0.0
+    for i in range(top + 1):
+        term = (
+            4.0**i
+            * math.factorial(i) ** 2
+            / math.factorial(2 * i + 1)
+            * sin_a ** (2 * i + 1)
+        )
+        total += term
+    return alpha - cos_a * total
+
+
+def _odd_series(alpha: float, top: int) -> float:
+    """``1 - cos(a) * sum_{i=0}^{top} C(2i, i) / 4^i * sin(a)^(2i)``."""
+    if top < 0:
+        return 1.0
+    sin_a = math.sin(alpha)
+    cos_a = math.cos(alpha)
+    total = 0.0
+    for i in range(top + 1):
+        term = math.comb(2 * i, i) / 4.0**i * sin_a ** (2 * i)
+        total += term
+    return 1.0 - cos_a * total
+
+
+def _even_coefficient(n: int, radius: float) -> float:
+    return radius**n * math.pi ** ((n - 2) // 2) / math.factorial(n // 2)
+
+
+def _odd_coefficient(n: int, radius: float) -> float:
+    return (
+        radius**n
+        * 2.0**n
+        * math.pi ** ((n - 1) // 2)
+        * math.factorial((n + 1) // 2)
+        / math.factorial(n + 1)
+    )
+
+
+def sector_volume_series(n: int, radius: float, alpha: float) -> float:
+    """Hypersector volume via the paper's series (acute ``alpha`` only)."""
+    n = _check_dimension(n, minimum=2)
+    radius = check_non_negative(radius, "radius")
+    alpha = _check_acute_angle(alpha)
+    if radius == 0.0 or alpha == 0.0:
+        return 0.0
+    if n % 2 == 0:
+        return _even_coefficient(n, radius) * _even_series(alpha, (n - 4) // 2)
+    return _odd_coefficient(n, radius) * _odd_series(alpha, (n - 3) // 2)
+
+
+def cap_volume_series(n: int, radius: float, alpha: float) -> float:
+    """Hypercap volume via the paper's series: the hypersector series with
+    the sum extended by one term (acute ``alpha`` only)."""
+    n = _check_dimension(n, minimum=2)
+    radius = check_non_negative(radius, "radius")
+    alpha = _check_acute_angle(alpha)
+    if radius == 0.0 or alpha == 0.0:
+        return 0.0
+    if n % 2 == 0:
+        return _even_coefficient(n, radius) * _even_series(alpha, (n - 2) // 2)
+    return _odd_coefficient(n, radius) * _odd_series(alpha, (n - 1) // 2)
+
+
+def cone_volume_series(n: int, radius: float, alpha: float) -> float:
+    """Hypercone volume via the exact pyramid identity.
+
+    ``V_cone(n, R, alpha) = V_{n-1}(R sin(alpha)) * R cos(alpha) / n``
+    where the base is an ``(n-1)``-ball on the chord hyperplane.
+    """
+    n = _check_dimension(n, minimum=2)
+    radius = check_non_negative(radius, "radius")
+    alpha = _check_acute_angle(alpha)
+    if radius == 0.0 or alpha == 0.0:
+        return 0.0
+    base = sphere_volume_series(n - 1, radius * math.sin(alpha))
+    height = radius * math.cos(alpha)
+    return base * height / n

@@ -1,0 +1,18 @@
+"""Principal Component Analysis built from scratch on numpy.
+
+Provides the pieces Section 3.3 / Section 5.1 of the paper need:
+
+* :class:`repro.pca.PCA` — covariance-eigendecomposition PCA with
+  deterministic component signs;
+* variance segments (Definition 1) — the extent of the data's projections
+  along a component, used to place the optimal reference point outside it;
+* :func:`repro.pca.principal_angle` — angle between two direction vectors,
+  used by the Section 6.3.3 rebuild policy to detect correlation drift;
+* :class:`repro.pca.IncrementalMoments` — exact streaming mean/covariance
+  so the drift check needs no full rescan of the stored positions.
+"""
+
+from repro.pca.incremental import IncrementalMoments
+from repro.pca.pca import PCA, principal_angle
+
+__all__ = ["IncrementalMoments", "PCA", "principal_angle"]

@@ -1,0 +1,158 @@
+"""Covariance-eigendecomposition PCA with variance segments.
+
+This is a from-scratch implementation (no sklearn): centre the data, form
+the covariance matrix, take its symmetric eigendecomposition, and order the
+eigenpairs by decreasing eigenvalue.  Component signs are made deterministic
+by forcing the largest-magnitude coordinate of each component to be
+positive, so repeated fits of the same data give identical reference points.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["PCA", "principal_angle"]
+
+
+class PCA:
+    """Principal Component Analysis.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to retain; ``None`` keeps all of them.
+
+    Attributes
+    ----------
+    center_:
+        Mean of the fitted data, shape ``(n,)``.
+    components_:
+        Principal directions as rows, shape ``(n_components, n)``, ordered
+        by decreasing explained variance; each row has unit norm.
+    explained_variance_:
+        Eigenvalues of the covariance matrix for the retained components.
+    """
+
+    def __init__(self, n_components: int | None = None) -> None:
+        if n_components is not None:
+            if not isinstance(n_components, int) or isinstance(n_components, bool):
+                raise TypeError("n_components must be an int or None")
+            if n_components < 1:
+                raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.center_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, data) -> "PCA":
+        """Fit the PCA model on a ``(rows, n)`` data matrix."""
+        data = check_matrix(data, "data", min_rows=1)
+        n = data.shape[1]
+        k = n if self.n_components is None else min(self.n_components, n)
+
+        self.center_ = data.mean(axis=0)
+        centered = data - self.center_
+        # Population covariance (divide by rows, matching sigma in Sec 4.1).
+        covariance = centered.T @ centered / data.shape[0]
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = eigenvalues[order][:k]
+        # eigh returns eigenvectors as columns.
+        components = eigenvectors[:, order][:, :k].T
+
+        # Deterministic signs: force the largest-magnitude coordinate of
+        # each component to be positive.
+        for row in components:
+            pivot = np.argmax(np.abs(row))
+            if row[pivot] < 0.0:
+                row *= -1.0
+
+        self.components_ = np.ascontiguousarray(components)
+        self.explained_variance_ = np.clip(eigenvalues, 0.0, None)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("PCA instance is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def transform(self, data) -> np.ndarray:
+        """Project ``(rows, n)`` data onto the retained components."""
+        self._require_fitted()
+        data = check_matrix(data, "data", cols=self.center_.shape[0])
+        return (data - self.center_) @ self.components_.T
+
+    def fit_transform(self, data) -> np.ndarray:
+        """Fit on *data* and return its projection."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected) -> np.ndarray:
+        """Map component-space coordinates back to the original space."""
+        self._require_fitted()
+        projected = check_matrix(
+            projected, "projected", cols=self.components_.shape[0]
+        )
+        return projected @ self.components_ + self.center_
+
+    def project_scalar(self, data, component: int = 0) -> np.ndarray:
+        """Scalar projections of *data* onto one component (about the centre)."""
+        self._require_fitted()
+        self._check_component(component)
+        data = check_matrix(data, "data", cols=self.center_.shape[0])
+        return (data - self.center_) @ self.components_[component]
+
+    # ------------------------------------------------------------------
+    # Variance segments (paper Definition 1)
+    # ------------------------------------------------------------------
+    def variance_segment(self, data, component: int = 0) -> tuple[float, float]:
+        """Extent of the data's projections along *component*.
+
+        Returns the (min, max) scalar projection of the data points onto the
+        chosen principal component, measured about the fitted centre.  This
+        is the paper's *variance segment* (Definition 1): the segment of the
+        component's line between the two furthermost projections.
+        """
+        projections = self.project_scalar(data, component)
+        return float(projections.min()), float(projections.max())
+
+    def _check_component(self, component: int) -> None:
+        if not isinstance(component, int) or isinstance(component, bool):
+            raise TypeError("component must be an int")
+        if component < 0 or component >= self.components_.shape[0]:
+            raise ValueError(
+                f"component must be in [0, {self.components_.shape[0] - 1}], "
+                f"got {component}"
+            )
+
+    @property
+    def first_component(self) -> np.ndarray:
+        """The direction of largest variance (``Phi_1`` in the paper)."""
+        self._require_fitted()
+        return self.components_[0]
+
+
+def principal_angle(direction_a, direction_b) -> float:
+    """Angle in radians between two directions, ignoring orientation.
+
+    Directions are lines, not arrows, so the result lies in ``[0, pi/2]``.
+    Used by the rebuild policy of Section 6.3.3: once the angle between the
+    original first principal component and the current one exceeds a
+    threshold, the index is rebuilt.
+    """
+    a = check_vector(direction_a, "direction_a")
+    b = check_vector(direction_b, "direction_b", dim=a.shape[0])
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        raise ValueError("directions must be non-zero vectors")
+    cosine = abs(float(a @ b) / (norm_a * norm_b))
+    return math.acos(min(cosine, 1.0))

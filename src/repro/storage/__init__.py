@@ -1,0 +1,35 @@
+"""Paged storage substrate.
+
+Everything the B+-tree and the ViTri heap sit on:
+
+* :mod:`repro.storage.page` — the 4 KiB page unit (matching the paper's
+  experimental setup);
+* :mod:`repro.storage.pager` — a file-backed (or in-memory) page store
+  with physical read/write counters;
+* :mod:`repro.storage.buffer_pool` — an LRU cache of pages with logical
+  request / hit / miss counters;
+* :mod:`repro.storage.heap_file` — a fixed-size-record heap file used to
+  store full ViTri payloads (position vectors) referenced from B+-tree
+  leaves;
+* :mod:`repro.storage.serialization` — struct codecs for the on-page
+  record formats.
+
+Every page that a query touches flows through these counters, which is how
+the reproduction reports I/O cost hardware-independently.
+"""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heap_file import HeapFile, RecordId
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.pager import Pager
+from repro.storage.serialization import ViTriRecordCodec
+
+__all__ = [
+    "BufferPool",
+    "HeapFile",
+    "RecordId",
+    "PAGE_SIZE",
+    "Page",
+    "Pager",
+    "ViTriRecordCodec",
+]

@@ -1,0 +1,138 @@
+"""LRU buffer pool with logical-request accounting.
+
+Sits between the access methods (B+-tree, heap file) and the
+:class:`~repro.storage.pager.Pager`.  Every page access is a *logical
+request*; only misses become physical reads.  The distinction matters for
+the paper's Figure 16: query composition saves I/O precisely because the
+naive per-ViTri KNN re-reads the same leaf pages, and whether those repeats
+hit the pool or the disk is a buffer-size question the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.page import Page
+from repro.storage.pager import Pager
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages.
+
+    Parameters
+    ----------
+    pager:
+        The underlying page store.
+    capacity:
+        Maximum number of pages cached.  ``0`` disables caching entirely
+        (every request is a physical read) — useful to make I/O counts
+        exactly equal to logical accesses.
+
+    Attributes
+    ----------
+    requests / hits / misses:
+        Cumulative logical-access counters.
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 128) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            raise TypeError("capacity must be an int")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._pager = pager
+        self._capacity = capacity
+        self._pages: OrderedDict[int, Page] = OrderedDict()
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def pager(self) -> Pager:
+        """The underlying page store."""
+        return self._pager
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached pages."""
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, from cache if possible.
+
+        The returned :class:`Page` object is shared: mutate ``page.data``
+        in place and call ``page.mark_dirty()`` so eviction/flush writes it
+        back.
+        """
+        self.requests += 1
+        page = self._pages.get(page_id)
+        if page is not None:
+            self.hits += 1
+            self._pages.move_to_end(page_id)
+            return page
+        self.misses += 1
+        page = self._pager.read_page(page_id)
+        self._admit(page)
+        return page
+
+    def allocate(self) -> Page:
+        """Allocate a fresh page and cache it."""
+        page_id = self._pager.allocate_page()
+        page = Page(page_id)
+        self._admit(page)
+        return page
+
+    def _admit(self, page: Page) -> None:
+        page.owner = self
+        if self._capacity == 0:
+            # Cache disabled: the page is immediately "evicted", so any
+            # later mark_dirty() on it writes through via the owner hook.
+            page.evicted = True
+            if page.dirty:
+                self._pager.write_page(page)
+            return
+        page.evicted = False
+        self._pages[page.page_id] = page
+        self._pages.move_to_end(page.page_id)
+        while len(self._pages) > self._capacity:
+            _, evicted = self._pages.popitem(last=False)
+            if evicted.dirty:
+                self._pager.write_page(evicted)
+            evicted.evicted = True
+
+    def write_through(self, page: Page) -> None:
+        """Persist a page immediately (used by capacity-0 pools and tests)."""
+        self._pager.write_page(page)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back every dirty cached page (pages stay cached)."""
+        for page in self._pages.values():
+            if page.dirty:
+                self._pager.write_page(page)
+
+    def clear(self) -> None:
+        """Flush then drop the whole cache (cold-start a benchmark run)."""
+        self.flush()
+        for page in self._pages.values():
+            page.evicted = True
+        self._pages.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the logical-access counters (physical counters live on the
+        pager)."""
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self._capacity}, cached={len(self._pages)}, "
+            f"requests={self.requests}, hits={self.hits})"
+        )

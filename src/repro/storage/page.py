@@ -1,0 +1,68 @@
+"""The page unit.
+
+The paper's experiments use a 4 KiB page size; all storage structures here
+are laid out in :data:`PAGE_SIZE`-byte pages.  A :class:`Page` couples the
+raw byte buffer with its page id and a dirty flag the buffer pool uses to
+decide whether eviction must write back.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAGE_SIZE", "Page"]
+
+PAGE_SIZE = 4096
+"""Size of every storage page in bytes (matches the paper's setup)."""
+
+
+class Page:
+    """A mutable page buffer plus bookkeeping.
+
+    Attributes
+    ----------
+    page_id:
+        Position of the page in its backing file.
+    data:
+        The page's :data:`PAGE_SIZE`-byte buffer; mutate in place and call
+        :meth:`mark_dirty` so the buffer pool writes it back on eviction.
+    dirty:
+        Whether the in-memory buffer differs from the backing store.
+    owner:
+        The buffer pool that served this page (set by the pool).
+    evicted:
+        Set by the pool when the page leaves the cache.  A page object
+        mutated *after* eviction would silently lose its changes, so
+        :meth:`mark_dirty` on an evicted page writes through immediately —
+        this is what makes tiny (even zero-capacity) pools safe for
+        writers without a full pin/unpin protocol.
+    """
+
+    __slots__ = ("page_id", "data", "dirty", "owner", "evicted")
+
+    def __init__(self, page_id: int, data: bytearray | None = None) -> None:
+        if page_id < 0:
+            raise ValueError(f"page_id must be non-negative, got {page_id}")
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise ValueError(
+                f"page data must be exactly {PAGE_SIZE} bytes, got {len(data)}"
+            )
+        self.page_id = page_id
+        self.data = bytearray(data)
+        self.dirty = False
+        self.owner = None
+        self.evicted = False
+
+    def mark_dirty(self) -> None:
+        """Flag the page as modified so eviction writes it back.
+
+        If the pool already evicted this object, the change is written
+        through to the pager immediately (see :attr:`evicted`).
+        """
+        self.dirty = True
+        if self.evicted and self.owner is not None:
+            self.owner.write_through(self)
+
+    def __repr__(self) -> str:
+        state = "dirty" if self.dirty else "clean"
+        return f"Page(id={self.page_id}, {state})"

@@ -1,0 +1,155 @@
+"""File-backed page store with physical I/O counters.
+
+The pager is the bottom of the storage stack: it allocates, reads and
+writes whole :data:`~repro.storage.page.PAGE_SIZE`-byte pages.  It can run
+against a real file on disk or fully in memory (``path=None``); either way
+it counts every physical page read and write, which is what the I/O-cost
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.page import PAGE_SIZE, Page
+
+__all__ = ["Pager"]
+
+
+class Pager:
+    """Page-granular storage over a file or an in-memory list.
+
+    Parameters
+    ----------
+    path:
+        Backing file path, or ``None`` for a purely in-memory pager (used
+        heavily in tests and benchmarks — the I/O *counters* behave
+        identically either way).
+
+    Attributes
+    ----------
+    physical_reads / physical_writes:
+        Cumulative number of page reads/writes served.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self._path = os.fspath(path) if path is not None else None
+        self._file = None
+        self._memory: list[bytearray] | None = None
+        self._num_pages = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self._closed = False
+
+        if self._path is None:
+            self._memory = []
+        else:
+            # Create the file if missing without truncating it; "a+b" is not
+            # usable here because append mode ignores seek() on writes.
+            if not os.path.exists(self._path):
+                open(self._path, "xb").close()
+            self._file = open(self._path, "r+b")
+            self._file.seek(0, os.SEEK_END)
+            size = self._file.tell()
+            if size % PAGE_SIZE != 0:
+                self._file.close()
+                raise ValueError(
+                    f"backing file {self._path} has size {size}, "
+                    f"not a multiple of the page size {PAGE_SIZE}"
+                )
+            self._num_pages = size // PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Number of pages currently allocated."""
+        return self._num_pages
+
+    @property
+    def path(self) -> str | None:
+        """Backing file path; ``None`` for in-memory pagers."""
+        return self._path
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("pager is closed")
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not isinstance(page_id, int) or isinstance(page_id, bool):
+            raise TypeError("page_id must be an int")
+        if page_id < 0 or page_id >= self._num_pages:
+            raise ValueError(
+                f"page_id {page_id} out of range [0, {self._num_pages})"
+            )
+
+    # ------------------------------------------------------------------
+    # Page operations
+    # ------------------------------------------------------------------
+    def allocate_page(self) -> int:
+        """Append a zeroed page and return its id."""
+        self._require_open()
+        page_id = self._num_pages
+        zeros = bytearray(PAGE_SIZE)
+        if self._memory is not None:
+            self._memory.append(zeros)
+        else:
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(zeros)
+        self._num_pages += 1
+        self.physical_writes += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> Page:
+        """Read one page from the backing store (counts one physical read)."""
+        self._require_open()
+        self._check_page_id(page_id)
+        if self._memory is not None:
+            data = bytearray(self._memory[page_id])
+        else:
+            self._file.seek(page_id * PAGE_SIZE)
+            data = bytearray(self._file.read(PAGE_SIZE))
+        self.physical_reads += 1
+        return Page(page_id, data)
+
+    def write_page(self, page: Page) -> None:
+        """Write one page back (counts one physical write)."""
+        self._require_open()
+        self._check_page_id(page.page_id)
+        if self._memory is not None:
+            self._memory[page.page_id] = bytearray(page.data)
+        else:
+            self._file.seek(page.page_id * PAGE_SIZE)
+            self._file.write(bytes(page.data))
+        self.physical_writes += 1
+        page.dirty = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush the backing file to the OS (no-op in memory)."""
+        self._require_open()
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Close the backing file; further operations raise."""
+        if self._closed:
+            return
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        backing = self._path or "<memory>"
+        return f"Pager({backing!r}, pages={self._num_pages})"

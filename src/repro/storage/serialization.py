@@ -1,0 +1,115 @@
+"""Struct codecs for on-page record formats.
+
+The only fixed record the reproduction persists is the full ViTri payload
+(the position vector plus its scalar attributes); B+-tree leaves store the
+1-D key and a :class:`~repro.storage.heap_file.RecordId` pointing here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_vector
+
+__all__ = ["ViTriRecord", "ViTriRecordCodec"]
+
+
+@dataclass(frozen=True)
+class ViTriRecord:
+    """A persisted ViTri: identifiers plus the triplet itself.
+
+    Attributes
+    ----------
+    video_id:
+        Identifier of the owning video sequence.
+    vitri_id:
+        Identifier of the ViTri, unique database-wide.
+    count:
+        ``|C|`` — number of frames in the cluster.
+    radius:
+        Refined cluster radius ``R``.
+    position:
+        Cluster centre ``O``, shape ``(n,)``.
+
+    The density ``D = |C| / V_hypersphere(R)`` is derived, not stored: it is
+    fully determined by ``count`` and ``radius`` and recomputing it avoids
+    keeping two representations in sync.
+    """
+
+    video_id: int
+    vitri_id: int
+    count: int
+    radius: float
+    position: np.ndarray
+
+
+class ViTriRecordCodec:
+    """Fixed-size binary codec for :class:`ViTriRecord`.
+
+    Layout (little-endian): ``video_id u32 | vitri_id u32 | count u32 |
+    radius f64 | position f64[n]``.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality ``n`` of the position vectors.
+    """
+
+    _HEADER = struct.Struct("<IIId")
+
+    def __init__(self, dim: int) -> None:
+        if not isinstance(dim, int) or isinstance(dim, bool):
+            raise TypeError("dim must be an int")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self._dim = dim
+        self._record_size = self._HEADER.size + 8 * dim
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the encoded position vectors."""
+        return self._dim
+
+    @property
+    def record_size(self) -> int:
+        """Encoded size of one record in bytes."""
+        return self._record_size
+
+    def encode(self, record: ViTriRecord) -> bytes:
+        """Serialise a record to ``record_size`` bytes."""
+        position = check_vector(record.position, "position", dim=self._dim)
+        radius = check_non_negative(record.radius, "radius")
+        for name, value in (
+            ("video_id", record.video_id),
+            ("vitri_id", record.vitri_id),
+            ("count", record.count),
+        ):
+            if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+                raise TypeError(f"{name} must be an int")
+            if value < 0 or value > 0xFFFFFFFF:
+                raise ValueError(f"{name} must fit in an unsigned 32-bit int")
+        header = self._HEADER.pack(
+            int(record.video_id), int(record.vitri_id), int(record.count), radius
+        )
+        return header + position.astype("<f8").tobytes()
+
+    def decode(self, payload: bytes) -> ViTriRecord:
+        """Deserialise ``record_size`` bytes back into a record."""
+        if len(payload) != self._record_size:
+            raise ValueError(
+                f"payload must be {self._record_size} bytes, got {len(payload)}"
+            )
+        video_id, vitri_id, count, radius = self._HEADER.unpack_from(payload, 0)
+        position = np.frombuffer(
+            payload, dtype="<f8", count=self._dim, offset=self._HEADER.size
+        ).copy()
+        return ViTriRecord(
+            video_id=video_id,
+            vitri_id=vitri_id,
+            count=count,
+            radius=radius,
+            position=position,
+        )

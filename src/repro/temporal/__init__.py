@@ -1,0 +1,29 @@
+"""Temporal-order-aware video similarity (the paper's future work).
+
+Section 7 names "sequence alignment and temporal-order" as the planned
+extension of the order-robust ViTri measure; the related work measures it
+compares against include the warping distance [Naphade et al., ref 13]
+and the Hausdorff distance [Chang et al., ref 5].  This package provides
+all three:
+
+* :func:`repro.temporal.warping_distance` — dynamic-time-warping distance
+  between frame sequences, with an optional Sakoe-Chiba band;
+* :func:`repro.temporal.hausdorff_distance` — the maximal-dissimilarity
+  measure between two frame sets;
+* :func:`repro.temporal.temporal_video_similarity` — an order-sensitive
+  ViTri similarity: the videos' ViTris (which ``summarize_video`` emits
+  in temporal order) are aligned monotonically, maximising the total
+  estimated shared frames over non-crossing cluster pairs.
+"""
+
+from repro.temporal.alignment import align_summaries, temporal_video_similarity
+from repro.temporal.hausdorff import directed_hausdorff, hausdorff_distance
+from repro.temporal.warping import warping_distance
+
+__all__ = [
+    "align_summaries",
+    "temporal_video_similarity",
+    "directed_hausdorff",
+    "hausdorff_distance",
+    "warping_distance",
+]

@@ -1,0 +1,88 @@
+"""Dynamic-time-warping distance between frame sequences.
+
+The warping distance (related work, reference [13]) measures the temporal
+difference between two sequences: frames must be matched monotonically in
+time, but one frame may absorb a run of the other sequence's frames
+(handling different frame rates / dropped frames).  Cost is the sum of
+Euclidean distances along the optimal warping path.
+
+Complexity is ``O(|X| * |Y|)`` time — exactly the expense the ViTri
+summary avoids; the implementation exists as a comparator and for the
+temporal extension's evaluation.  An optional Sakoe-Chiba band restricts
+the path to ``|i - j| <= band`` for a linear-time approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["warping_distance"]
+
+
+def warping_distance(
+    frames_x,
+    frames_y,
+    *,
+    band: int | None = None,
+    normalise: bool = False,
+) -> float:
+    """Dynamic-time-warping distance between two frame sequences.
+
+    Parameters
+    ----------
+    frames_x, frames_y:
+        Frame matrices of shapes ``(fx, n)`` and ``(fy, n)``.
+    band:
+        Optional Sakoe-Chiba band half-width; ``None`` means unconstrained.
+        Must satisfy ``band >= |fx - fy|`` for a path to exist.
+    normalise:
+        Divide the path cost by the path-length upper bound
+        ``fx + fy`` so sequences of different lengths are comparable.
+
+    Returns
+    -------
+    float
+        The (optionally normalised) warping distance.
+    """
+    frames_x = check_matrix(frames_x, "frames_x", min_rows=1)
+    frames_y = check_matrix(
+        frames_y, "frames_y", cols=frames_x.shape[1], min_rows=1
+    )
+    rows = frames_x.shape[0]
+    cols = frames_y.shape[0]
+    if band is not None:
+        if not isinstance(band, int) or isinstance(band, bool) or band < 0:
+            raise ValueError(f"band must be a non-negative int, got {band}")
+        if band < abs(rows - cols):
+            raise ValueError(
+                f"band {band} is narrower than the length difference "
+                f"{abs(rows - cols)}; no warping path exists"
+            )
+
+    # Local cost matrix (blocked would save memory; sizes here are the
+    # comparator's problem, not the index's).
+    diff = frames_x[:, None, :] - frames_y[None, :, :]
+    cost = np.sqrt(np.sum(diff * diff, axis=2))
+
+    accumulated = np.full((rows + 1, cols + 1), np.inf)
+    accumulated[0, 0] = 0.0
+    for i in range(1, rows + 1):
+        if band is None:
+            j_start, j_end = 1, cols
+        else:
+            j_start = max(1, i - band)
+            j_end = min(cols, i + band)
+        for j in range(j_start, j_end + 1):
+            best_previous = min(
+                accumulated[i - 1, j],      # x frame absorbs
+                accumulated[i, j - 1],      # y frame absorbs
+                accumulated[i - 1, j - 1],  # step both
+            )
+            accumulated[i, j] = cost[i - 1, j - 1] + best_previous
+
+    distance = float(accumulated[rows, cols])
+    if normalise:
+        distance /= rows + cols
+    return distance

@@ -1,0 +1,27 @@
+"""Shared utilities: argument validation, RNG handling, running statistics,
+and cost/time accounting used across the ViTri reproduction."""
+
+from repro.utils.counters import CostCounters, Timer
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import RunningStats
+from repro.utils.validation import (
+    check_finite,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "CostCounters",
+    "Timer",
+    "ensure_rng",
+    "RunningStats",
+    "check_finite",
+    "check_matrix",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_vector",
+]

@@ -1,0 +1,37 @@
+"""Random-number-generator plumbing.
+
+All stochastic components (k-means seeding, dataset generation, query
+sampling) accept a ``seed`` argument that may be ``None``, an integer, or an
+existing :class:`numpy.random.Generator`.  :func:`ensure_rng` normalises the
+three forms so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an integer for a deterministic generator, or
+        an existing generator which is returned unchanged (so callers can
+        thread one generator through a pipeline).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, numbers.Integral) and not isinstance(seed, bool):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        "seed must be None, an int, or a numpy.random.Generator, "
+        f"got {type(seed).__name__}"
+    )

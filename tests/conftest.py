@@ -1,0 +1,46 @@
+"""Shared fixtures: a small deterministic dataset, summaries and an index.
+
+Session-scoped so the expensive pieces (dataset generation, clustering)
+run once for the whole suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import VitriIndex
+from repro.core.summarize import summarize_video
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+
+EPSILON = 0.3
+DIM = 16  # small dimensionality keeps the suite fast
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """~20 short videos with 4 near-duplicate families, 16-d features."""
+    config = DatasetConfig(
+        dim=DIM,
+        num_families=4,
+        family_size=3,
+        num_distractors=8,
+        duration_classes=((40, 0.5), (25, 0.5)),
+    )
+    return generate_dataset(config, seed=20240601)
+
+
+@pytest.fixture(scope="session")
+def small_summaries(small_dataset):
+    return [
+        summarize_video(i, small_dataset.frames(i), EPSILON, seed=i)
+        for i in range(small_dataset.num_videos)
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_index(small_summaries):
+    return VitriIndex.build(small_summaries, EPSILON, reference="optimal")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,86 @@
+"""Tests for the Gaussian-distribution baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gaussian import (
+    GaussianSummary,
+    bhattacharyya_similarity,
+    summarize_gaussian,
+)
+
+
+class TestSummarizeGaussian:
+    def test_moments(self, rng):
+        frames = rng.normal(3.0, 2.0, (500, 4))
+        summary = summarize_gaussian(7, frames)
+        assert summary.video_id == 7
+        assert summary.num_frames == 500
+        assert np.allclose(summary.mean, frames.mean(axis=0))
+        assert np.allclose(summary.variances, frames.var(axis=0))
+
+    def test_variance_floor(self):
+        frames = np.ones((10, 3))
+        summary = summarize_gaussian(0, frames)
+        assert (summary.variances > 0).all()
+
+    def test_single_frame(self):
+        summary = summarize_gaussian(0, np.array([[1.0, 2.0]]))
+        assert summary.num_frames == 1
+        assert (summary.variances > 0).all()
+
+
+class TestBhattacharyyaSimilarity:
+    def test_identical_is_one(self, rng):
+        frames = rng.normal(0, 1, (100, 5))
+        summary = summarize_gaussian(0, frames)
+        assert bhattacharyya_similarity(summary, summary) == pytest.approx(1.0)
+
+    def test_symmetric(self, rng):
+        a = summarize_gaussian(0, rng.normal(0, 1, (80, 4)))
+        b = summarize_gaussian(1, rng.normal(1, 2, (60, 4)))
+        assert bhattacharyya_similarity(a, b) == pytest.approx(
+            bhattacharyya_similarity(b, a)
+        )
+
+    def test_decreases_with_mean_separation(self, rng):
+        base = rng.normal(0, 1, (200, 3))
+        a = summarize_gaussian(0, base)
+        sims = [
+            bhattacharyya_similarity(a, summarize_gaussian(1, base + shift))
+            for shift in (0.0, 0.5, 2.0, 8.0)
+        ]
+        assert all(later < earlier for earlier, later in zip(sims, sims[1:]))
+
+    def test_bounded(self, rng):
+        a = summarize_gaussian(0, rng.normal(0, 1, (50, 4)))
+        b = summarize_gaussian(1, rng.normal(5, 0.1, (50, 4)))
+        value = bhattacharyya_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_multimodality_blindness(self, rng):
+        """The category's documented weakness: a bimodal video and a
+        unimodal blob with the same moments are indistinguishable."""
+        mode_a = rng.normal(-1.0, 0.05, (100, 3))
+        mode_b = rng.normal(1.0, 0.05, (100, 3))
+        bimodal = np.vstack([mode_a, mode_b])
+        summary_bimodal = summarize_gaussian(0, bimodal)
+        blob = rng.normal(0.0, 1.0, (200, 3))
+        # Match the blob's moments to the bimodal video's.
+        blob = (blob - blob.mean(axis=0)) / blob.std(axis=0)
+        blob = blob * np.sqrt(summary_bimodal.variances) + summary_bimodal.mean
+        summary_blob = summarize_gaussian(1, blob)
+        assert bhattacharyya_similarity(
+            summary_bimodal, summary_blob
+        ) == pytest.approx(1.0, abs=0.01)
+
+    def test_dim_mismatch(self, rng):
+        a = summarize_gaussian(0, rng.normal(0, 1, (10, 3)))
+        b = summarize_gaussian(1, rng.normal(0, 1, (10, 4)))
+        with pytest.raises(ValueError):
+            bhattacharyya_similarity(a, b)
+
+    def test_type_check(self):
+        summary = GaussianSummary(0, np.zeros(2), np.ones(2), 5)
+        with pytest.raises(TypeError):
+            bhattacharyya_similarity(summary, "x")

@@ -1,0 +1,69 @@
+"""Tests for the multi-reference iDistance comparator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.idistance import MultiRefIndex
+
+
+class TestMultiRefIndex:
+    def test_results_match_vitri_index(self, small_index, small_summaries):
+        multi = MultiRefIndex(small_index, num_partitions=4, seed=0)
+        for query_id in range(0, len(small_summaries), 3):
+            query = small_summaries[query_id]
+            a = multi.knn(query, 8, cold=True)
+            b = small_index.knn(query, 8, cold=True)
+            assert a.videos == b.videos, f"query {query_id}"
+            assert np.allclose(a.scores, b.scores)
+
+    def test_entry_count(self, small_index):
+        multi = MultiRefIndex(small_index, num_partitions=3)
+        assert multi.num_vitris == small_index.num_vitris
+
+    def test_partitions_clamped(self, small_index):
+        multi = MultiRefIndex(small_index, num_partitions=10_000)
+        assert multi.num_partitions <= small_index.num_vitris
+
+    def test_single_partition_degenerates_to_idistance(
+        self, small_index, small_summaries
+    ):
+        multi = MultiRefIndex(small_index, num_partitions=1)
+        result = multi.knn(small_summaries[0], 5, cold=True)
+        expected = small_index.knn(small_summaries[0], 5, cold=True)
+        assert result.videos == expected.videos
+
+    def test_key_bands_disjoint(self, small_index):
+        multi = MultiRefIndex(small_index, num_partitions=4, seed=1)
+        keys = [key for key, _ in multi.btree.iter_entries()]
+        partitions = [int(key // multi._separation) for key in keys]
+        offsets = [key % multi._separation for key in keys]
+        assert all(0 <= p < multi.num_partitions for p in partitions)
+        assert all(
+            offset <= multi._partition_radii[partition] + 1e-9
+            for offset, partition in zip(offsets, partitions)
+        )
+
+    def test_stats_populated(self, small_index, small_summaries):
+        multi = MultiRefIndex(small_index, num_partitions=4)
+        stats = multi.knn(small_summaries[0], 5, cold=True).stats
+        assert stats.page_requests > 0
+        assert stats.ranges >= 1
+
+    def test_deterministic_with_seed(self, small_index, small_summaries):
+        a = MultiRefIndex(small_index, num_partitions=4, seed=7)
+        b = MultiRefIndex(small_index, num_partitions=4, seed=7)
+        ra = a.knn(small_summaries[2], 6, cold=True)
+        rb = b.knn(small_summaries[2], 6, cold=True)
+        assert ra.videos == rb.videos
+        assert ra.stats.page_requests == rb.stats.page_requests
+
+    def test_invalid_arguments(self, small_index, small_summaries):
+        with pytest.raises(TypeError):
+            MultiRefIndex("nope")
+        with pytest.raises(ValueError):
+            MultiRefIndex(small_index, num_partitions=0)
+        multi = MultiRefIndex(small_index, num_partitions=2)
+        with pytest.raises(ValueError):
+            multi.knn(small_summaries[0], 0)
+        with pytest.raises(TypeError):
+            multi.knn("x", 5)

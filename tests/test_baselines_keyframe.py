@@ -1,0 +1,94 @@
+"""Tests for the keyframe baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.keyframe import (
+    KeyframeSummary,
+    keyframe_similarity,
+    summarize_keyframes,
+)
+from repro.utils.counters import CostCounters
+
+
+def shots(rng, anchors, per_shot=10, jitter=0.01):
+    return np.vstack(
+        [a + rng.normal(0, jitter, (per_shot, len(a))) for a in anchors]
+    )
+
+
+class TestSummarizeKeyframes:
+    def test_shape(self, rng):
+        frames = rng.uniform(0, 1, (50, 6))
+        summary = summarize_keyframes(3, frames, k=5, seed=0)
+        assert summary.video_id == 3
+        assert summary.keyframes.shape == (5, 6)
+        assert summary.num_frames == 50
+        assert summary.k == 5
+        assert summary.dim == 6
+
+    def test_k_clamped_to_frames(self, rng):
+        frames = rng.uniform(0, 1, (3, 4))
+        summary = summarize_keyframes(0, frames, k=10, seed=0)
+        assert summary.k == 3
+
+    def test_keyframes_near_shot_anchors(self, rng):
+        anchors = [np.zeros(4), np.full(4, 5.0)]
+        frames = shots(rng, anchors)
+        summary = summarize_keyframes(0, frames, k=2, seed=0)
+        # Each anchor has a nearby keyframe.
+        for anchor in anchors:
+            distances = np.linalg.norm(summary.keyframes - anchor, axis=1)
+            assert distances.min() < 0.5
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            summarize_keyframes(0, rng.uniform(0, 1, (5, 3)), k=0)
+
+
+class TestKeyframeSimilarity:
+    def test_identical(self, rng):
+        frames = rng.uniform(0, 1, (20, 4))
+        a = summarize_keyframes(0, frames, k=4, seed=0)
+        assert keyframe_similarity(a, a, 0.01) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        a = KeyframeSummary(0, np.zeros((2, 3)), 10)
+        b = KeyframeSummary(1, np.full((2, 3), 9.0), 10)
+        assert keyframe_similarity(a, b, 0.5) == 0.0
+
+    def test_partial(self):
+        a = KeyframeSummary(0, np.array([[0.0, 0.0], [5.0, 5.0]]), 10)
+        b = KeyframeSummary(1, np.array([[0.05, 0.0], [99.0, 99.0]]), 10)
+        # One of two keyframes matches on each side: (1 + 1) / (2 + 2).
+        assert keyframe_similarity(a, b, 0.2) == pytest.approx(0.5)
+
+    def test_binary_threshold_blindness(self):
+        """The weakness the paper exploits: within the threshold, the
+        keyframe measure cannot distinguish a close match from a marginal
+        one."""
+        query = KeyframeSummary(0, np.array([[0.0, 0.0]]), 10)
+        near = KeyframeSummary(1, np.array([[0.01, 0.0]]), 10)
+        far = KeyframeSummary(2, np.array([[0.29, 0.0]]), 10)
+        eps = 0.3
+        assert keyframe_similarity(query, near, eps) == keyframe_similarity(
+            query, far, eps
+        )
+
+    def test_counters(self):
+        a = KeyframeSummary(0, np.zeros((2, 3)), 10)
+        b = KeyframeSummary(1, np.zeros((5, 3)), 10)
+        counters = CostCounters()
+        keyframe_similarity(a, b, 0.1, counters)
+        assert counters.distance_computations == 10
+
+    def test_dim_mismatch(self):
+        a = KeyframeSummary(0, np.zeros((2, 3)), 10)
+        b = KeyframeSummary(1, np.zeros((2, 4)), 10)
+        with pytest.raises(ValueError):
+            keyframe_similarity(a, b, 0.1)
+
+    def test_type_check(self):
+        a = KeyframeSummary(0, np.zeros((2, 3)), 10)
+        with pytest.raises(TypeError):
+            keyframe_similarity(a, np.zeros((2, 3)), 0.1)

@@ -1,0 +1,114 @@
+"""Tests for the Pyramid-technique comparator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.pyramid import PyramidIndex, pyramid_value, query_ranges
+
+
+class TestPyramidValue:
+    def test_center_is_zero_height(self):
+        value = pyramid_value(np.full(4, 0.5))
+        assert value == pytest.approx(int(value))
+
+    def test_negative_side(self):
+        # Dominant coordinate 0 on the negative side -> pyramid 0.
+        point = np.array([0.1, 0.5, 0.5])
+        assert pyramid_value(point) == pytest.approx(0 + 0.4)
+
+    def test_positive_side(self):
+        # Dominant coordinate 1 on the positive side -> pyramid 1 + d.
+        point = np.array([0.5, 0.9, 0.5])
+        assert pyramid_value(point) == pytest.approx(3 + 1 + 0.4)
+
+    def test_value_identifies_pyramid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            point = rng.uniform(0, 1, 6)
+            value = pyramid_value(point)
+            pyramid = int(value)
+            height = value - pyramid
+            centred = point - 0.5
+            j = pyramid % 6
+            assert abs(abs(centred[j]) - height) < 1e-12
+            assert np.all(np.abs(centred) <= abs(centred[j]) + 1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=2, max_size=8),
+    )
+    def test_height_bounded(self, coordinates):
+        value = pyramid_value(np.asarray(coordinates))
+        height = value - int(value)
+        assert 0.0 <= height <= 0.5 + 1e-12
+
+
+class TestQueryRanges:
+    def test_lossless_filter(self):
+        """Every point inside the query box has its pyramid value inside
+        one of the returned ranges — the lemma the whole method rests on."""
+        rng = np.random.default_rng(1)
+        dim = 5
+        points = rng.uniform(0, 1, (400, dim))
+        values = np.array([pyramid_value(p) for p in points])
+        for _ in range(30):
+            center = rng.uniform(0, 1, dim)
+            radius = rng.uniform(0.05, 0.4)
+            ranges = query_ranges(center - radius, center + radius)
+            inside_box = np.all(
+                (points >= center - radius) & (points <= center + radius),
+                axis=1,
+            )
+            in_ranges = np.zeros(len(points), dtype=bool)
+            for low, high in ranges:
+                in_ranges |= (values >= low - 1e-12) & (values <= high + 1e-12)
+            assert not np.any(inside_box & ~in_ranges)
+
+    def test_at_most_2d_ranges(self):
+        dim = 7
+        ranges = query_ranges(np.zeros(dim), np.ones(dim))
+        assert len(ranges) <= 2 * dim
+
+    def test_tiny_box_selects_few_pyramids(self):
+        dim = 6
+        center = np.full(dim, 0.5)
+        center[0] = 0.05  # deep inside pyramid 0
+        ranges = query_ranges(center - 0.01, center + 0.01)
+        assert len(ranges) == 1
+        low, high = ranges[0]
+        assert 0.0 <= low <= high < 1.0  # pyramid number 0
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            query_ranges(np.ones(3), np.zeros(3))
+
+
+class TestPyramidIndex:
+    def test_results_match_vitri_index(self, small_index, small_summaries):
+        pyramid = PyramidIndex(small_index)
+        for query_id in range(0, len(small_summaries), 3):
+            query = small_summaries[query_id]
+            a = pyramid.knn(query, 8, cold=True)
+            b = small_index.knn(query, 8, cold=True)
+            assert a.videos == b.videos, f"query {query_id}"
+            assert np.allclose(a.scores, b.scores)
+
+    def test_entry_count(self, small_index):
+        pyramid = PyramidIndex(small_index)
+        assert pyramid.num_vitris == small_index.num_vitris
+
+    def test_stats_populated(self, small_index, small_summaries):
+        pyramid = PyramidIndex(small_index)
+        stats = pyramid.knn(small_summaries[0], 5, cold=True).stats
+        assert stats.page_requests > 0
+        assert stats.ranges >= 1
+
+    def test_invalid_arguments(self, small_index, small_summaries):
+        pyramid = PyramidIndex(small_index)
+        with pytest.raises(ValueError):
+            pyramid.knn(small_summaries[0], 0)
+        with pytest.raises(TypeError):
+            pyramid.knn("nope", 3)
+        with pytest.raises(TypeError):
+            PyramidIndex("not an index")

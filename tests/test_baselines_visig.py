@@ -1,0 +1,82 @@
+"""Tests for the video-signature (ViSig) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.visig import VideoSignatureIndex
+from repro.utils.counters import CostCounters
+
+
+class TestVideoSignatureIndex:
+    def test_seed_shape(self):
+        visig = VideoSignatureIndex(dim=8, num_seeds=5, seed=0)
+        assert visig.seeds.shape == (5, 8)
+        assert visig.num_seeds == 5
+
+    def test_simplex_seeds_normalised(self):
+        visig = VideoSignatureIndex(dim=16, num_seeds=10, seed=0)
+        assert np.allclose(visig.seeds.sum(axis=1), 1.0)
+
+    def test_cube_seeds(self):
+        visig = VideoSignatureIndex(dim=4, num_seeds=3, seed=0, simplex_seeds=False)
+        assert ((visig.seeds >= 0) & (visig.seeds <= 1)).all()
+
+    def test_summary_picks_closest_frames(self, rng):
+        visig = VideoSignatureIndex(dim=4, num_seeds=3, seed=1)
+        frames = rng.uniform(0, 1, (30, 4))
+        signature = visig.summarize(7, frames)
+        assert signature.video_id == 7
+        assert signature.num_frames == 30
+        for s in range(3):
+            distances = np.linalg.norm(frames - visig.seeds[s], axis=1)
+            closest = frames[np.argmin(distances)]
+            assert np.allclose(signature.assigned[s], closest)
+
+    def test_identical_videos_full_similarity(self, rng):
+        visig = VideoSignatureIndex(dim=4, num_seeds=8, seed=2)
+        frames = rng.uniform(0, 1, (25, 4))
+        a = visig.summarize(0, frames)
+        b = visig.summarize(1, frames.copy())
+        assert visig.similarity(a, b, 0.01) == pytest.approx(1.0)
+
+    def test_disjoint_videos_zero(self, rng):
+        visig = VideoSignatureIndex(dim=4, num_seeds=6, seed=3)
+        a = visig.summarize(0, np.zeros((5, 4)))
+        b = visig.summarize(1, np.full((5, 4), 3.0))
+        assert visig.similarity(a, b, 0.5) == 0.0
+
+    def test_similarity_is_fraction_of_seeds(self, rng):
+        visig = VideoSignatureIndex(dim=2, num_seeds=4, seed=4, simplex_seeds=False)
+        frames_a = np.array([[0.0, 0.0]])
+        frames_b = np.array([[0.0, 0.05]])
+        a = visig.summarize(0, frames_a)
+        b = visig.summarize(1, frames_b)
+        # Every seed maps to the single frame; all within eps.
+        assert visig.similarity(a, b, 0.1) == pytest.approx(1.0)
+
+    def test_counters(self, rng):
+        visig = VideoSignatureIndex(dim=3, num_seeds=5, seed=5)
+        a = visig.summarize(0, rng.uniform(0, 1, (10, 3)))
+        b = visig.summarize(1, rng.uniform(0, 1, (10, 3)))
+        counters = CostCounters()
+        visig.similarity(a, b, 0.3, counters)
+        assert counters.distance_computations == 5
+
+    def test_seed_set_mismatch_rejected(self, rng):
+        visig5 = VideoSignatureIndex(dim=3, num_seeds=5, seed=0)
+        visig7 = VideoSignatureIndex(dim=3, num_seeds=7, seed=0)
+        a = visig5.summarize(0, rng.uniform(0, 1, (10, 3)))
+        b = visig7.summarize(1, rng.uniform(0, 1, (10, 3)))
+        with pytest.raises(ValueError):
+            visig7.similarity(a, b, 0.3)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            VideoSignatureIndex(dim=0)
+        with pytest.raises(ValueError):
+            VideoSignatureIndex(dim=3, num_seeds=0)
+
+    def test_deterministic(self, rng):
+        a = VideoSignatureIndex(dim=4, num_seeds=3, seed=9).seeds
+        b = VideoSignatureIndex(dim=4, num_seeds=3, seed=9).seeds
+        assert np.array_equal(a, b)

@@ -1,0 +1,170 @@
+"""Tests for B+-tree lazy deletion and compaction."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btree.checker import check_tree
+from repro.btree.tree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+def make_tree(payload_size=8, capacity=64):
+    return BPlusTree.create(BufferPool(Pager(), capacity=capacity), payload_size)
+
+
+def payload(i: int) -> bytes:
+    return struct.pack("<q", i)
+
+
+class TestDelete:
+    def test_delete_single(self):
+        tree = make_tree()
+        tree.insert(1.0, payload(0))
+        assert tree.delete(1.0) == 1
+        assert len(tree) == 0
+        assert tree.search(1.0) == []
+
+    def test_delete_missing_returns_zero(self):
+        tree = make_tree()
+        tree.insert(1.0, payload(0))
+        assert tree.delete(2.0) == 0
+        assert len(tree) == 1
+
+    def test_delete_all_duplicates(self):
+        tree = make_tree()
+        for i in range(50):
+            tree.insert(7.0, payload(i))
+        tree.insert(6.0, payload(99))
+        assert tree.delete(7.0) == 50
+        assert tree.search(7.0) == []
+        assert tree.search(6.0) == [payload(99)]
+        assert len(tree) == 1
+
+    def test_delete_specific_payload(self):
+        tree = make_tree()
+        for i in range(5):
+            tree.insert(3.0, payload(i))
+        assert tree.delete(3.0, payload(2)) == 1
+        remaining = sorted(tree.search(3.0))
+        assert remaining == sorted(payload(i) for i in (0, 1, 3, 4))
+
+    def test_delete_payload_not_present(self):
+        tree = make_tree()
+        tree.insert(3.0, payload(0))
+        assert tree.delete(3.0, payload(9)) == 0
+        assert len(tree) == 1
+
+    def test_duplicates_spanning_leaves(self):
+        tree = make_tree()
+        # Enough duplicates to span several leaves.
+        for i in range(1000):
+            tree.insert(5.0, payload(i))
+        for i in range(300):
+            tree.insert(4.0, payload(10_000 + i))
+        assert tree.delete(5.0) == 1000
+        assert len(tree) == 300
+        check_tree(tree)
+        assert len(tree.search(4.0)) == 300
+
+    def test_structure_valid_after_deletes(self):
+        tree = make_tree()
+        for i in range(2000):
+            tree.insert(float(i % 97), payload(i))
+        for key in range(0, 97, 2):
+            tree.delete(float(key))
+        check_tree(tree)
+        # All even keys gone, odd keys intact.
+        for key in range(97):
+            found = tree.search(float(key))
+            if key % 2 == 0:
+                assert found == []
+            else:
+                assert len(found) > 0
+
+    def test_range_search_skips_emptied_leaves(self):
+        tree = make_tree()
+        for i in range(1500):
+            tree.insert(float(i), payload(i))
+        # Empty out a middle band spanning multiple leaves.
+        for i in range(400, 900):
+            tree.delete(float(i))
+        got = [k for k, _ in tree.range_search(300.0, 1000.0)]
+        expected = [float(i) for i in range(300, 400)] + [
+            float(i) for i in range(900, 1001)
+        ]
+        assert got == expected
+
+    def test_delete_everything_then_insert(self):
+        tree = make_tree()
+        for i in range(500):
+            tree.insert(float(i % 10), payload(i))
+        for key in range(10):
+            tree.delete(float(key))
+        assert len(tree) == 0
+        assert tree.range_search(-1e9, 1e9) == []
+        tree.insert(5.0, payload(1))
+        assert tree.search(5.0) == [payload(1)]
+
+    def test_nan_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.delete(float("nan"))
+
+    def test_wrong_payload_size_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.delete(1.0, b"xx")
+
+
+class TestCompact:
+    def test_compact_preserves_entries(self):
+        tree = make_tree()
+        for i in range(1200):
+            tree.insert(float(i % 53), payload(i))
+        for key in range(0, 53, 3):
+            tree.delete(float(key))
+        live = list(tree.iter_entries())
+        compacted = tree.compact()
+        check_tree(compacted)
+        assert list(compacted.iter_entries()) == live
+        assert compacted.num_entries == tree.num_entries
+
+    def test_compact_reduces_pages(self):
+        tree = make_tree()
+        for i in range(3000):
+            tree.insert(float(i), payload(i))
+        for i in range(0, 3000, 2):
+            tree.delete(float(i))
+        compacted = tree.compact()
+        assert (
+            compacted.buffer_pool.pager.num_pages
+            < tree.buffer_pool.pager.num_pages
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    inserts=st.lists(
+        st.integers(min_value=0, max_value=15).map(float), min_size=1, max_size=200
+    ),
+    deletes=st.lists(
+        st.integers(min_value=0, max_value=15).map(float), max_size=10
+    ),
+)
+def test_delete_matches_oracle(inserts, deletes):
+    tree = make_tree(capacity=16)
+    oracle = []
+    for i, key in enumerate(inserts):
+        tree.insert(key, payload(i))
+        oracle.append((key, payload(i)))
+    for key in deletes:
+        removed = tree.delete(key)
+        expected_removed = sum(1 for k, _ in oracle if k == key)
+        assert removed == expected_removed
+        oracle = [(k, p) for k, p in oracle if k != key]
+    oracle.sort(key=lambda kv: kv[0])
+    assert sorted(tree.iter_entries()) == sorted(oracle)
+    assert len(tree) == len(oracle)

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dataset_path(tmp_path):
+    path = str(tmp_path / "ads.npz")
+    code = main(
+        [
+            "generate",
+            "--out", path,
+            "--preset", "precision",
+            "--families", "3",
+            "--family-size", "3",
+            "--distractors", "4",
+            "--seed", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_dataset(self, dataset_path, capsys):
+        from repro.datasets.loader import VideoDataset
+
+        dataset = VideoDataset.load(dataset_path)
+        assert dataset.num_videos == 3 * 3 + 4
+
+    def test_default_preset(self, tmp_path, capsys):
+        path = str(tmp_path / "d.npz")
+        assert main(["generate", "--out", path, "--families", "1",
+                     "--family-size", "1", "--distractors", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 videos" in out
+
+
+class TestStats:
+    def test_prints_table(self, dataset_path, capsys):
+        assert main(["stats", "--dataset", dataset_path]) == 0
+        out = capsys.readouterr().out
+        assert "Frames per video" in out
+        assert "13 videos" in out
+
+
+class TestSummarize:
+    def test_prints_row(self, dataset_path, capsys):
+        assert main(
+            ["summarize", "--dataset", dataset_path, "--epsilon", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "0.3" in out
+
+
+class TestBuildAndQuery:
+    def test_round_trip(self, dataset_path, tmp_path, capsys):
+        prefix = str(tmp_path / "idx")
+        assert main(
+            [
+                "build",
+                "--dataset", dataset_path,
+                "--out", prefix,
+                "--epsilon", "0.3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "built" in out
+
+        assert main(
+            [
+                "query",
+                "--index", prefix,
+                "--dataset", dataset_path,
+                "--video-id", "0",
+                "--k", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top-5 for video 0" in out
+        assert "page accesses" in out
+        # The query video itself must rank first.
+        first_row = [
+            line for line in out.splitlines() if line.startswith("1 ")
+        ][0]
+        assert " 0 " in f" {first_row} "
+
+    def test_query_naive_method(self, dataset_path, tmp_path, capsys):
+        prefix = str(tmp_path / "idx")
+        main(["build", "--dataset", dataset_path, "--out", prefix])
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                "--index", prefix,
+                "--dataset", dataset_path,
+                "--video-id", "1",
+                "--method", "naive",
+            ]
+        ) == 0
+        assert "naive method" in capsys.readouterr().out
+
+    def test_query_bad_video_id(self, dataset_path, tmp_path, capsys):
+        prefix = str(tmp_path / "idx")
+        main(["build", "--dataset", dataset_path, "--out", prefix])
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                "--index", prefix,
+                "--dataset", dataset_path,
+                "--video-id", "999",
+            ]
+        ) == 1
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSummaryCache:
+    def test_build_with_cached_summaries(self, dataset_path, tmp_path, capsys):
+        cache = str(tmp_path / "cache.npz")
+        prefix1 = str(tmp_path / "idx1")
+        prefix2 = str(tmp_path / "idx2")
+        assert main(
+            [
+                "build", "--dataset", dataset_path, "--out", prefix1,
+                "--save-summaries", cache,
+            ]
+        ) == 0
+        assert main(
+            [
+                "build", "--dataset", dataset_path, "--out", prefix2,
+                "--summaries", cache,
+            ]
+        ) == 0
+        capsys.readouterr()
+        # Both indexes answer identically.
+        main(["query", "--index", prefix1, "--dataset", dataset_path,
+              "--video-id", "0", "--k", "3"])
+        first = capsys.readouterr().out
+        main(["query", "--index", prefix2, "--dataset", dataset_path,
+              "--video-id", "0", "--k", "3"])
+        second = capsys.readouterr().out
+        assert first.splitlines()[:5] == second.splitlines()[:5]
+
+    def test_cache_epsilon_mismatch(self, dataset_path, tmp_path, capsys):
+        cache = str(tmp_path / "cache.npz")
+        main(["build", "--dataset", dataset_path,
+              "--out", str(tmp_path / "a"), "--save-summaries", cache])
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="epsilon"):
+            main(["build", "--dataset", dataset_path,
+                  "--out", str(tmp_path / "b"), "--summaries", cache,
+                  "--epsilon", "0.5"])

@@ -1,0 +1,137 @@
+"""Tests for repro.clustering.bisecting (Generate_Clusters, paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.bisecting import generate_clusters
+
+
+def shot_video(rng, anchors, per_shot=20, jitter=0.01):
+    """Frames jittering around a sequence of anchors."""
+    frames = []
+    for anchor in anchors:
+        frames.append(anchor + rng.normal(0, jitter, (per_shot, len(anchor))))
+    return np.vstack(frames)
+
+
+class TestGenerateClusters:
+    def test_partition_property(self):
+        """Every frame belongs to exactly one cluster."""
+        rng = np.random.default_rng(0)
+        frames = shot_video(rng, [np.zeros(8), np.full(8, 1.0), np.full(8, -1.0)])
+        clusters = generate_clusters(frames, epsilon=0.3, seed=0)
+        all_indices = np.concatenate([c.member_indices for c in clusters])
+        assert sorted(all_indices) == list(range(len(frames)))
+        assert sum(c.count for c in clusters) == len(frames)
+
+    def test_radius_bound(self):
+        """Accepted clusters respect R <= eps/2 (non-degenerate data)."""
+        rng = np.random.default_rng(1)
+        frames = shot_video(rng, [np.zeros(6), np.full(6, 2.0)])
+        epsilon = 0.4
+        clusters = generate_clusters(frames, epsilon, seed=0)
+        for cluster in clusters:
+            assert cluster.radius <= epsilon / 2.0 + 1e-12
+
+    def test_pairwise_similarity_guarantee(self):
+        """R <= eps/2 implies any two members are within eps."""
+        rng = np.random.default_rng(2)
+        frames = shot_video(rng, [np.zeros(4), np.full(4, 1.5)], jitter=0.02)
+        epsilon = 0.5
+        clusters = generate_clusters(frames, epsilon, seed=0)
+        for cluster in clusters:
+            members = frames[cluster.member_indices]
+            center = cluster.center
+            dist = np.linalg.norm(members - center, axis=1)
+            # All but mu+sigma-trimmed outliers are inside the radius;
+            # every member is within max_distance of the centre.
+            assert dist.max() <= cluster.max_distance + 1e-12
+
+    def test_radius_refinement(self):
+        """The recorded radius is min(max distance, mu + sigma)."""
+        rng = np.random.default_rng(3)
+        frames = shot_video(rng, [np.zeros(5)], per_shot=50, jitter=0.01)
+        clusters = generate_clusters(frames, epsilon=1.0, seed=0)
+        assert len(clusters) == 1
+        cluster = clusters[0]
+        expected = min(
+            cluster.max_distance, cluster.mean_distance + cluster.std_distance
+        )
+        assert cluster.radius == pytest.approx(expected)
+
+    def test_outlier_trimmed_by_mu_sigma(self):
+        """One far outlier must not balloon the radius (mu+sigma rule)."""
+        frames = np.vstack([np.zeros((50, 3)), [[0.09, 0.0, 0.0]]])
+        clusters = generate_clusters(frames, epsilon=0.2, seed=0)
+        assert len(clusters) == 1
+        assert clusters[0].radius < 0.09
+
+    def test_epsilon_monotonicity(self):
+        """Smaller epsilon gives at least as many clusters."""
+        rng = np.random.default_rng(4)
+        anchors = [rng.normal(0, 1, 6) for _ in range(5)]
+        frames = shot_video(rng, anchors, jitter=0.02)
+        counts = [
+            len(generate_clusters(frames, eps, seed=0))
+            for eps in (0.1, 0.5, 2.0, 8.0)
+        ]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_tiny_epsilon_gives_per_point_clusters(self):
+        rng = np.random.default_rng(5)
+        frames = rng.normal(0, 1, (12, 3))
+        clusters = generate_clusters(frames, epsilon=1e-9, seed=0)
+        assert len(clusters) == 12
+        assert all(c.count == 1 for c in clusters)
+        assert all(c.radius == 0.0 for c in clusters)
+
+    def test_huge_epsilon_single_cluster(self):
+        rng = np.random.default_rng(6)
+        frames = rng.normal(0, 1, (40, 4))
+        clusters = generate_clusters(frames, epsilon=100.0, seed=0)
+        assert len(clusters) == 1
+        assert clusters[0].count == 40
+
+    def test_identical_frames_accepted_without_split(self):
+        frames = np.ones((25, 4))
+        clusters = generate_clusters(frames, epsilon=0.5, seed=0)
+        assert len(clusters) == 1
+        assert clusters[0].radius == 0.0
+
+    def test_single_frame(self):
+        clusters = generate_clusters(np.array([[1.0, 2.0]]), epsilon=0.1)
+        assert len(clusters) == 1
+        assert clusters[0].count == 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        frames = shot_video(rng, [np.zeros(4), np.full(4, 1.0)])
+        a = generate_clusters(frames, 0.3, seed=5)
+        b = generate_clusters(frames, 0.3, seed=5)
+        assert len(a) == len(b)
+        for ca, cb in zip(a, b):
+            assert np.array_equal(ca.member_indices, cb.member_indices)
+
+    def test_clusters_sorted_by_first_member(self):
+        rng = np.random.default_rng(8)
+        frames = shot_video(rng, [np.zeros(4), np.full(4, 2.0), np.full(4, 5.0)])
+        clusters = generate_clusters(frames, 0.2, seed=0)
+        firsts = [int(c.member_indices[0]) for c in clusters]
+        assert firsts == sorted(firsts)
+
+    def test_max_depth_terminates(self):
+        # Two coincident heaps far apart with eps so small no valid
+        # cluster exists: max_depth must still terminate the recursion.
+        frames = np.vstack([np.zeros((8, 2)), np.full((8, 2), 1.0)])
+        frames += np.random.default_rng(9).normal(0, 0.2, frames.shape)
+        clusters = generate_clusters(frames, epsilon=1e-9, max_depth=3, seed=0)
+        assert sum(c.count for c in clusters) == 16
+
+    def test_invalid_arguments(self):
+        frames = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            generate_clusters(frames, 0.0)
+        with pytest.raises(ValueError):
+            generate_clusters(frames, -1.0)
+        with pytest.raises(ValueError):
+            generate_clusters(frames, 0.5, max_depth=0)

@@ -1,0 +1,76 @@
+"""Tests for query composition (interval merging, paper Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.composition import compose_ranges
+
+
+class TestComposeRanges:
+    def test_empty(self):
+        assert compose_ranges([]) == []
+
+    def test_single(self):
+        assert compose_ranges([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_disjoint_preserved_sorted(self):
+        ranges = [(5.0, 6.0), (1.0, 2.0), (3.0, 4.0)]
+        assert compose_ranges(ranges) == [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]
+
+    def test_overlapping_merged(self):
+        assert compose_ranges([(1.0, 3.0), (2.0, 5.0)]) == [(1.0, 5.0)]
+
+    def test_touching_merged(self):
+        # Closed-interval semantics: [1,2] and [2,3] share the point 2.
+        assert compose_ranges([(1.0, 2.0), (2.0, 3.0)]) == [(1.0, 3.0)]
+
+    def test_containment(self):
+        assert compose_ranges([(1.0, 10.0), (3.0, 4.0)]) == [(1.0, 10.0)]
+
+    def test_complete_overlap_example(self):
+        # The paper's Figure 13: one range fully covering another.
+        assert compose_ranges([(2.0, 8.0), (3.0, 5.0), (2.5, 7.0)]) == [(2.0, 8.0)]
+
+    def test_chain_of_overlaps(self):
+        ranges = [(i * 1.0, i + 1.5) for i in range(10)]
+        assert compose_ranges(ranges) == [(0.0, 10.5)]
+
+    def test_degenerate_points(self):
+        assert compose_ranges([(1.0, 1.0), (1.0, 1.0)]) == [(1.0, 1.0)]
+        assert compose_ranges([(1.0, 1.0), (2.0, 2.0)]) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_input_not_mutated(self):
+        ranges = [(3.0, 4.0), (1.0, 2.0)]
+        compose_ranges(ranges)
+        assert ranges == [(3.0, 4.0), (1.0, 2.0)]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            compose_ranges([(2.0, 1.0)])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            compose_ranges([(float("nan"), 1.0)])
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ranges=st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ).map(lambda pair: (min(pair), max(pair))),
+            max_size=30,
+        )
+    )
+    def test_union_preserved_and_disjoint(self, ranges):
+        composed = compose_ranges(ranges)
+        # Disjoint and sorted.
+        for (alow, ahigh), (blow, bhigh) in zip(composed, composed[1:]):
+            assert ahigh < blow
+        # Union preserved: probe points inside/outside behave identically.
+        probes = [low for low, _ in ranges] + [high for _, high in ranges]
+        probes += [(low + high) / 2 for low, high in ranges]
+        for probe in probes:
+            in_original = any(low <= probe <= high for low, high in ranges)
+            in_composed = any(low <= probe <= high for low, high in composed)
+            assert in_original == in_composed

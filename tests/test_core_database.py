@@ -1,0 +1,151 @@
+"""Tests for the VideoDatabase facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import VideoDatabase
+from repro.core.maintenance import RebuildPolicy
+
+
+def video(rng, anchor_scale=1.0, frames=25, dim=12):
+    anchor = rng.dirichlet(np.full(dim, 0.1)) * anchor_scale
+    noise = rng.normal(0, 0.01, (frames, dim))
+    block = np.clip(anchor[None, :] + noise, 0, None)
+    return block / block.sum(axis=1, keepdims=True)
+
+
+@pytest.fixture()
+def library(rng):
+    return [video(rng) for _ in range(12)]
+
+
+class TestAdd:
+    def test_auto_ids(self, library):
+        db = VideoDatabase(epsilon=0.3)
+        ids = db.add_many(library)
+        assert ids == list(range(12))
+        assert len(db) == 12
+
+    def test_explicit_id(self, library):
+        db = VideoDatabase()
+        assert db.add(library[0], video_id=42) == 42
+        assert db.add(library[1]) == 43  # continues after the explicit id
+
+    def test_duplicate_id_rejected_pending(self, library):
+        db = VideoDatabase()
+        db.add(library[0], video_id=1)
+        with pytest.raises(ValueError, match="already present"):
+            db.add(library[1], video_id=1)
+
+    def test_duplicate_id_rejected_after_build(self, library):
+        db = VideoDatabase()
+        db.add_many(library[:4])
+        db.build()
+        with pytest.raises(ValueError, match="already present"):
+            db.add(library[4], video_id=0)
+
+    def test_add_after_build_uses_dynamic_insertion(self, library):
+        db = VideoDatabase()
+        db.add_many(library[:6])
+        db.build()
+        before = db.index.num_videos
+        db.add(library[6])
+        assert db.index.num_videos == before + 1
+
+
+class TestQuery:
+    def test_self_query_ranks_first(self, library):
+        db = VideoDatabase(epsilon=0.3)
+        db.add_many(library)
+        result = db.query(library[3], k=3)
+        assert result.videos[0] == 3
+        assert result.scores[0] == pytest.approx(1.0)
+
+    def test_query_builds_lazily(self, library):
+        db = VideoDatabase()
+        db.add_many(library)
+        assert db.index is None
+        db.query(library[0], k=1)
+        assert db.index is not None
+
+    def test_query_matches_pre_and_post_build_adds(self, library):
+        eager = VideoDatabase()
+        eager.add_many(library)
+        eager.build()
+        lazy = VideoDatabase()
+        lazy.add_many(library[:6])
+        lazy.build()
+        for frames in library[6:]:
+            lazy.add(frames)
+        for probe in (library[0], library[8]):
+            assert eager.query(probe, 4).videos == lazy.query(probe, 4).videos
+
+    def test_query_unknown_content_short_results(self, library, rng):
+        db = VideoDatabase()
+        db.add_many(library[:5])
+        stranger = video(rng)
+        result = db.query(stranger, k=5)
+        assert len(result) <= 5
+
+
+class TestRemove:
+    def test_remove_pending(self, library):
+        db = VideoDatabase()
+        db.add_many(library[:3])
+        db.remove(1)
+        assert len(db) == 2
+        result = db.query(library[1], k=3)
+        assert 1 not in result.videos
+
+    def test_remove_indexed(self, library):
+        db = VideoDatabase()
+        db.add_many(library)
+        db.build()
+        db.remove(2)
+        assert 2 not in db.query(library[2], k=12).videos
+
+    def test_remove_unknown(self, library):
+        db = VideoDatabase()
+        db.add(library[0])
+        with pytest.raises(ValueError):
+            db.remove(99)
+
+
+class TestLifecycle:
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VideoDatabase().build()
+
+    def test_drift_angle(self, library):
+        db = VideoDatabase()
+        db.add_many(library)
+        assert 0.0 <= db.drift_angle() <= np.pi / 2
+
+    def test_auto_rebuild_policy(self, rng):
+        db = VideoDatabase(
+            epsilon=0.3,
+            rebuild_policy=RebuildPolicy(max_angle_degrees=5.0, check_every=1),
+        )
+        dim = 12
+        # Founding content varies along axis 0, later content along axis 5.
+        for i in range(6):
+            frames = np.full((10, dim), 1.0 / dim)
+            frames[:, 0] += 0.05 * i
+            db.add(frames / frames.sum(axis=1, keepdims=True))
+        db.build()
+        for i in range(20):
+            frames = np.full((10, dim), 1.0 / dim)
+            frames[:, 5] += 0.05 * (i + 1)
+            db.add(frames / frames.sum(axis=1, keepdims=True))
+        assert db.rebuilds >= 1
+
+    def test_repr(self, library):
+        db = VideoDatabase()
+        assert "pending" in repr(db)
+        db.add(library[0])
+        db.build()
+        assert "built" in repr(db)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            VideoDatabase(epsilon=0.0)

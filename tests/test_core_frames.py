@@ -1,0 +1,99 @@
+"""Tests for the exact frame-level similarity (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import frame_similarity, frames_with_match
+from repro.utils.counters import CostCounters
+
+
+class TestFramesWithMatch:
+    def test_identical_sets(self):
+        frames = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert frames_with_match(frames, frames, 0.1) == 2
+
+    def test_no_match(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[5.0, 5.0]])
+        assert frames_with_match(a, b, 0.5) == 0
+
+    def test_threshold_inclusive(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.3, 0.0]])
+        assert frames_with_match(a, b, 0.3) == 1
+        assert frames_with_match(a, b, 0.2999) == 0
+
+    def test_counts_each_query_frame_once(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.01, 0.0], [0.02, 0.0], [0.03, 0.0]])
+        assert frames_with_match(a, b, 0.1) == 1
+
+    def test_asymmetric(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[0.0, 0.0]])
+        assert frames_with_match(a, b, 0.1) == 1
+        assert frames_with_match(b, a, 0.1) == 1
+
+    def test_blocked_matches_unblocked(self, rng):
+        # Exercise the blocking path with > _BLOCK rows.
+        import repro.core.frames as frames_module
+
+        a = rng.uniform(0, 1, (frames_module._BLOCK + 50, 3))
+        b = rng.uniform(0, 1, (40, 3))
+        eps = 0.4
+        expected = int(
+            np.sum(
+                np.any(
+                    np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2) <= eps,
+                    axis=1,
+                )
+            )
+        )
+        assert frames_with_match(a, b, eps) == expected
+
+    def test_counters(self):
+        counters = CostCounters()
+        a = np.zeros((3, 2))
+        b = np.zeros((4, 2))
+        frames_with_match(a, b, 0.1, counters)
+        assert counters.distance_computations == 12
+
+
+class TestFrameSimilarity:
+    def test_identical_videos(self):
+        frames = np.random.default_rng(0).uniform(0, 1, (20, 4))
+        assert frame_similarity(frames, frames, 0.01) == pytest.approx(1.0)
+
+    def test_disjoint_videos(self):
+        a = np.zeros((5, 3))
+        b = np.full((7, 3), 10.0)
+        assert frame_similarity(a, b, 0.5) == 0.0
+
+    def test_definition(self):
+        # sim = (matched_x + matched_y) / (|X| + |Y|).
+        a = np.array([[0.0, 0.0], [1.0, 0.0], [9.0, 9.0]])
+        b = np.array([[0.0, 0.05], [4.0, 4.0]])
+        eps = 0.2
+        expected = (1 + 1) / (3 + 2)
+        assert frame_similarity(a, b, eps) == pytest.approx(expected)
+
+    def test_symmetric(self, rng):
+        a = rng.uniform(0, 1, (15, 3))
+        b = rng.uniform(0, 1, (10, 3))
+        assert frame_similarity(a, b, 0.4) == pytest.approx(
+            frame_similarity(b, a, 0.4)
+        )
+
+    def test_monotone_in_epsilon(self, rng):
+        a = rng.uniform(0, 1, (20, 3))
+        b = rng.uniform(0, 1, (20, 3))
+        values = [frame_similarity(a, b, eps) for eps in (0.05, 0.2, 0.5, 1.5)]
+        assert all(y >= x for x, y in zip(values, values[1:]))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            frame_similarity(np.zeros((2, 2)), np.zeros((2, 2)), 0.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            frame_similarity(np.zeros((2, 2)), np.zeros((2, 3)), 0.1)

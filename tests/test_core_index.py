@@ -1,0 +1,278 @@
+"""Tests for the VitriIndex (paper Section 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.seqscan import SequentialScan
+from repro.core.index import VitriIndex
+from repro.core.similarity import video_similarity
+from repro.core.summarize import summarize_video
+from repro.core.vitri import VideoSummary, ViTri
+
+EPSILON = 0.3
+
+
+def brute_force_knn(summaries, query, k):
+    """Reference implementation: full pairwise video similarity."""
+    scored = []
+    for summary in summaries:
+        score = video_similarity(query, summary)
+        if score > 0.0:
+            scored.append((summary.video_id, score))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return tuple(video for video, _ in scored[:k])
+
+
+class TestBuild:
+    def test_basic_properties(self, small_index, small_summaries):
+        assert small_index.num_videos == len(small_summaries)
+        assert small_index.num_vitris == sum(len(s) for s in small_summaries)
+        assert small_index.epsilon == EPSILON
+        assert small_index.dim == small_summaries[0].dim
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VitriIndex.build([], EPSILON)
+
+    def test_duplicate_video_ids_rejected(self, small_summaries):
+        with pytest.raises(ValueError, match="duplicate"):
+            VitriIndex.build(
+                [small_summaries[0], small_summaries[0]], EPSILON
+            )
+
+    def test_mixed_dims_rejected(self, small_summaries):
+        other = VideoSummary(
+            video_id=999,
+            vitris=(ViTri(position=np.zeros(3), radius=0.1, count=1),),
+        )
+        with pytest.raises(ValueError, match="inconsistent"):
+            VitriIndex.build([small_summaries[0], other], EPSILON)
+
+    def test_direct_construction_rejected(self):
+        with pytest.raises(RuntimeError):
+            VitriIndex()
+
+    def test_heap_clustered_by_key(self, small_index):
+        """Bulk build stores ViTri records in key order so range scans
+        touch contiguous heap pages."""
+        keys = []
+        codec = small_index._codec
+        for _, payload in small_index.heap.scan():
+            record = codec.decode(payload)
+            keys.append(small_index.transform.key(record.position))
+        assert keys == sorted(keys)
+
+
+class TestKnn:
+    def test_matches_brute_force(self, small_index, small_summaries):
+        for query_id in (0, 3, 7, 12):
+            query = small_summaries[query_id]
+            expected = brute_force_knn(small_summaries, query, 5)
+            got = small_index.knn(query, 5).videos
+            assert got == expected
+
+    def test_naive_equals_composed(self, small_index, small_summaries):
+        for query_id in (0, 5, 10):
+            query = small_summaries[query_id]
+            composed = small_index.knn(query, 8, method="composed", cold=True)
+            naive = small_index.knn(query, 8, method="naive", cold=True)
+            assert composed.videos == naive.videos
+            assert np.allclose(composed.scores, naive.scores)
+
+    def test_matches_sequential_scan(self, small_index, small_summaries):
+        scan = SequentialScan(small_index)
+        for query_id in (1, 6, 14):
+            query = small_summaries[query_id]
+            a = small_index.knn(query, 10, cold=True)
+            b = scan.knn(query, 10)
+            assert a.videos == b.videos
+            assert np.allclose(a.scores, b.scores)
+
+    def test_self_query_ranks_first(self, small_index, small_summaries):
+        result = small_index.knn(small_summaries[4], 3)
+        assert result.videos[0] == 4
+        assert result.scores[0] == pytest.approx(1.0)
+
+    def test_scores_sorted_descending(self, small_index, small_summaries):
+        result = small_index.knn(small_summaries[0], 10)
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    def test_k_larger_than_matches(self, small_index, small_summaries):
+        result = small_index.knn(small_summaries[0], 10_000)
+        assert len(result) <= small_index.num_videos
+
+    def test_stats_populated(self, small_index, small_summaries):
+        result = small_index.knn(small_summaries[0], 5, cold=True)
+        stats = result.stats
+        assert stats.page_requests > 0
+        assert stats.physical_reads > 0
+        assert stats.similarity_computations > 0
+        assert stats.ranges >= 1
+        assert stats.wall_time >= 0.0
+
+    def test_naive_costs_at_least_composed(self, small_index, small_summaries):
+        # Query composition can only reduce page accesses.
+        for query_id in range(0, 15, 3):
+            query = small_summaries[query_id]
+            composed = small_index.knn(query, 5, method="composed", cold=True)
+            naive = small_index.knn(query, 5, method="naive", cold=True)
+            assert naive.stats.page_requests >= composed.stats.page_requests
+
+    def test_warm_cache_fewer_physical_reads(self, small_index, small_summaries):
+        query = small_summaries[2]
+        small_index.knn(query, 5, cold=True)
+        warm = small_index.knn(query, 5, cold=False)
+        assert warm.stats.physical_reads == 0
+
+    def test_invalid_arguments(self, small_index, small_summaries):
+        with pytest.raises(ValueError):
+            small_index.knn(small_summaries[0], 0)
+        with pytest.raises(ValueError):
+            small_index.knn(small_summaries[0], 5, method="magic")
+        with pytest.raises(TypeError):
+            small_index.knn("not a summary", 5)
+
+    def test_dim_mismatch(self, small_index):
+        query = VideoSummary(
+            video_id=0,
+            vitris=(ViTri(position=np.zeros(3), radius=0.1, count=1),),
+        )
+        with pytest.raises(ValueError):
+            small_index.knn(query, 5)
+
+
+class TestDynamicInsertion:
+    def build_pair(self, small_summaries):
+        """An index built on a prefix, to insert the rest dynamically."""
+        static = VitriIndex.build(small_summaries[:10], EPSILON)
+        return static
+
+    def test_insert_then_query(self, small_summaries):
+        index = self.build_pair(small_summaries)
+        for summary in small_summaries[10:]:
+            index.insert_video(summary)
+        assert index.num_videos == len(small_summaries)
+        # Dynamic index returns the same results as a one-off build.
+        full = VitriIndex.build(small_summaries, EPSILON)
+        for query_id in (0, 11, 15):
+            a = index.knn(small_summaries[query_id], 5, cold=True)
+            b = full.knn(small_summaries[query_id], 5, cold=True)
+            assert a.videos == b.videos
+
+    def test_duplicate_insert_rejected(self, small_summaries):
+        index = self.build_pair(small_summaries)
+        with pytest.raises(ValueError, match="already indexed"):
+            index.insert_video(small_summaries[0])
+
+    def test_insert_wrong_dim(self, small_summaries):
+        index = self.build_pair(small_summaries)
+        bad = VideoSummary(
+            video_id=999,
+            vitris=(ViTri(position=np.zeros(3), radius=0.1, count=1),),
+        )
+        with pytest.raises(ValueError):
+            index.insert_video(bad)
+
+    def test_drift_angle_small_for_same_distribution(self, small_summaries):
+        index = self.build_pair(small_summaries)
+        for summary in small_summaries[10:]:
+            index.insert_video(summary)
+        assert index.drift_angle() < math.radians(30.0)
+
+    def test_rebuild_preserves_results(self, small_summaries):
+        index = self.build_pair(small_summaries)
+        for summary in small_summaries[10:]:
+            index.insert_video(summary)
+        rebuilt = index.rebuild()
+        assert rebuilt.num_videos == index.num_videos
+        assert rebuilt.num_vitris == index.num_vitris
+        for query_id in (0, 12):
+            a = index.knn(small_summaries[query_id], 5, cold=True)
+            b = rebuilt.knn(small_summaries[query_id], 5, cold=True)
+            assert a.videos == b.videos
+            assert np.allclose(a.scores, b.scores)
+
+
+class TestPersistence:
+    def test_file_backed_round_trip(self, small_summaries, tmp_path):
+        btree_path = str(tmp_path / "index.btree")
+        heap_path = str(tmp_path / "index.heap")
+        meta_path = str(tmp_path / "index.meta.json")
+
+        index = VitriIndex.build(
+            small_summaries, EPSILON,
+            btree_path=btree_path, heap_path=heap_path,
+        )
+        expected = index.knn(small_summaries[0], 5).videos
+        index.flush()
+        index.save_meta(meta_path)
+
+        reopened = VitriIndex.open(btree_path, heap_path, meta_path)
+        assert reopened.num_videos == index.num_videos
+        assert reopened.num_vitris == index.num_vitris
+        assert reopened.epsilon == EPSILON
+        assert reopened.knn(small_summaries[0], 5).videos == expected
+
+
+class TestSimilarityRange:
+    def test_threshold_filtering(self, small_index, small_summaries):
+        query = small_summaries[0]
+        everything = small_index.knn(query, small_index.num_videos)
+        for threshold in (0.05, 0.3, 0.9):
+            result = small_index.similarity_range(query, threshold)
+            expected = [
+                v for v, s in zip(everything.videos, everything.scores)
+                if s >= threshold
+            ]
+            assert list(result.videos) == expected
+            assert all(s >= threshold for s in result.scores)
+
+    def test_self_always_included_at_one(self, small_index, small_summaries):
+        result = small_index.similarity_range(small_summaries[5], 1.0)
+        assert 5 in result.videos
+
+    def test_sorted_descending(self, small_index, small_summaries):
+        result = small_index.similarity_range(small_summaries[0], 0.01)
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    def test_invalid_threshold(self, small_index, small_summaries):
+        with pytest.raises(ValueError):
+            small_index.similarity_range(small_summaries[0], 0.0)
+        with pytest.raises(ValueError):
+            small_index.similarity_range(small_summaries[0], 1.5)
+        with pytest.raises(TypeError):
+            small_index.similarity_range(small_summaries[0], "high")
+
+
+class TestRadiusValidation:
+    """Indexed radii must respect R <= eps/2, or the key filter would
+    silently miss results (the summary must use the index's epsilon)."""
+
+    def oversized_summary(self, dim):
+        return VideoSummary(
+            video_id=5000,
+            vitris=(ViTri(position=np.zeros(dim), radius=0.9, count=3),),
+        )
+
+    def test_build_rejects_oversized_radius(self, small_summaries):
+        bad = self.oversized_summary(small_summaries[0].dim)
+        with pytest.raises(ValueError, match="epsilon"):
+            VitriIndex.build([small_summaries[0], bad], EPSILON)
+
+    def test_insert_rejects_oversized_radius(self, small_summaries):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        with pytest.raises(ValueError, match="epsilon"):
+            index.insert_video(self.oversized_summary(small_summaries[0].dim))
+
+    def test_boundary_radius_accepted(self, small_summaries):
+        dim = small_summaries[0].dim
+        boundary = VideoSummary(
+            video_id=5001,
+            vitris=(
+                ViTri(position=np.zeros(dim), radius=EPSILON / 2.0, count=3),
+            ),
+        )
+        index = VitriIndex.build(small_summaries, EPSILON)
+        index.insert_video(boundary)  # must not raise

@@ -1,0 +1,110 @@
+"""Tests for the drift-triggered rebuild policy (paper Section 6.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import VitriIndex
+from repro.core.maintenance import ManagedVitriIndex, RebuildPolicy
+from repro.core.vitri import VideoSummary, ViTri
+
+EPSILON = 0.3
+
+
+def line_summary(video_id, direction, offset, dim=6, count=5):
+    """A one-ViTri summary positioned along the given direction."""
+    position = offset * np.asarray(direction, dtype=float)
+    position = position / max(np.linalg.norm(direction), 1e-12)
+    return VideoSummary(
+        video_id=video_id,
+        vitris=(ViTri(position=position * np.ones(1) if False else position,
+                      radius=0.05, count=count),),
+    )
+
+
+def summaries_along(direction, ids, dim=6):
+    direction = np.asarray(direction, dtype=float)
+    direction = direction / np.linalg.norm(direction)
+    out = []
+    for i, video_id in enumerate(ids):
+        position = (0.1 + 0.2 * i) * direction
+        out.append(
+            VideoSummary(
+                video_id=video_id,
+                vitris=(ViTri(position=position, radius=0.05, count=5),),
+            )
+        )
+    return out
+
+
+class TestRebuildPolicy:
+    def test_checks_only_every_n(self, small_summaries):
+        index = VitriIndex.build(small_summaries[:10], EPSILON)
+        policy = RebuildPolicy(max_angle_degrees=1e-9, check_every=5)
+        # The angle threshold is absurdly small so any check fires, but
+        # the first four insertions must not check at all.
+        results = [policy.should_rebuild(index) for _ in range(4)]
+        assert results == [False] * 4
+
+    def test_fires_on_drift(self):
+        dim = 6
+        x_axis = np.eye(dim)[0]
+        y_axis = np.eye(dim)[1]
+        base = summaries_along(x_axis, range(10), dim)
+        index = VitriIndex.build(base, EPSILON)
+        # Insert videos along an orthogonal direction: the first principal
+        # component rotates.
+        for summary in summaries_along(y_axis, range(100, 140), dim):
+            index.insert_video(summary)
+        policy = RebuildPolicy(max_angle_degrees=10.0, check_every=1)
+        assert policy.should_rebuild(index)
+
+    def test_quiet_without_drift(self, small_summaries):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        policy = RebuildPolicy(max_angle_degrees=89.0, check_every=1)
+        assert not policy.should_rebuild(index)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RebuildPolicy(max_angle_degrees=0.0)
+        with pytest.raises(ValueError):
+            RebuildPolicy(check_every=0)
+
+
+class TestManagedVitriIndex:
+    def test_forwards_queries(self, small_summaries):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        managed = ManagedVitriIndex(index)
+        direct = index.knn(small_summaries[0], 5)
+        via_managed = managed.knn(small_summaries[0], 5)
+        assert direct.videos == via_managed.videos
+
+    def test_rebuild_swaps_index(self):
+        dim = 6
+        x_axis = np.eye(dim)[0]
+        y_axis = np.eye(dim)[1]
+        index = VitriIndex.build(summaries_along(x_axis, range(8), dim), EPSILON)
+        managed = ManagedVitriIndex(
+            index, RebuildPolicy(max_angle_degrees=10.0, check_every=1)
+        )
+        original = managed.index
+        rebuilt_any = False
+        for summary in summaries_along(y_axis, range(100, 160), dim):
+            rebuilt_any |= managed.insert_video(summary)
+        assert rebuilt_any
+        assert managed.rebuilds >= 1
+        assert managed.index is not original
+        # Content preserved across the rebuild.
+        assert managed.index.num_videos == 8 + 60
+
+    def test_no_rebuild_without_drift(self, small_summaries):
+        index = VitriIndex.build(small_summaries[:10], EPSILON)
+        managed = ManagedVitriIndex(
+            index, RebuildPolicy(max_angle_degrees=89.0, check_every=1)
+        )
+        for summary in small_summaries[10:]:
+            assert not managed.insert_video(summary)
+        assert managed.rebuilds == 0
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            ManagedVitriIndex("not an index")

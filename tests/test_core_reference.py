@@ -1,0 +1,126 @@
+"""Tests for reference-point strategies and Theorem 1's key-variance claim."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    DataCenter,
+    OptimalReference,
+    SpaceCenter,
+    make_reference_strategy,
+)
+from repro.core.transform import OneDimensionalTransform, key_variance
+
+
+def correlated_points(rng, rows=400, dim=8):
+    """Points with a dominant variance direction, as Theorem 1 assumes."""
+    direction = rng.normal(0, 1, dim)
+    direction /= np.linalg.norm(direction)
+    coefficients = rng.uniform(-2.0, 2.0, rows)
+    noise = rng.normal(0, 0.1, (rows, dim))
+    return 0.5 + coefficients[:, None] * direction[None, :] + noise
+
+
+class TestSpaceCenter:
+    def test_midpoint(self):
+        strategy = SpaceCenter(0.0, 1.0)
+        point = strategy.locate(np.zeros((3, 5)))
+        assert np.allclose(point, 0.5)
+
+    def test_custom_domain(self):
+        strategy = SpaceCenter(-2.0, 4.0)
+        assert np.allclose(strategy.locate(np.zeros((1, 2))), 1.0)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            SpaceCenter(1.0, 1.0)
+
+    def test_name(self):
+        assert SpaceCenter().name == "space_center"
+
+
+class TestDataCenter:
+    def test_mean(self, rng):
+        data = rng.normal(3.0, 1.0, (50, 4))
+        assert np.allclose(DataCenter().locate(data), data.mean(axis=0))
+
+    def test_name(self):
+        assert DataCenter().name == "data_center"
+
+
+class TestOptimalReference:
+    def test_lies_on_first_component_line(self, rng):
+        data = correlated_points(rng)
+        strategy = OptimalReference(margin=0.1)
+        point = strategy.locate(data)
+        pca = strategy.pca_
+        # The vector from the centre to the reference point must be
+        # parallel to the first principal component.
+        offset = point - pca.center_
+        cosine = abs(offset @ pca.first_component) / np.linalg.norm(offset)
+        assert cosine == pytest.approx(1.0, abs=1e-10)
+
+    def test_outside_variance_segment(self, rng):
+        data = correlated_points(rng)
+        strategy = OptimalReference(margin=0.05)
+        point = strategy.locate(data)
+        low, high = strategy.segment_
+        projection = (point - strategy.pca_.center_) @ strategy.pca_.first_component
+        assert projection < low
+
+    def test_degenerate_data_fallback(self):
+        data = np.ones((10, 3))
+        point = OptimalReference().locate(data)
+        # Unit offset fallback: the point differs from the (single) data
+        # location.
+        assert np.linalg.norm(point - data[0]) == pytest.approx(1.0)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            OptimalReference(margin=0.0)
+
+    def test_name(self):
+        assert OptimalReference().name == "optimal"
+
+
+class TestTheorem1:
+    def test_optimal_maximises_key_variance(self, rng):
+        """The heart of Section 5.1: on correlated data the optimal
+        reference point yields higher key variance than the data centre,
+        which beats the space centre."""
+        data = correlated_points(rng)
+        variances = {}
+        for name in ("optimal", "data_center", "space_center"):
+            transform = OneDimensionalTransform(name).fit(data)
+            variances[name] = key_variance(transform, data)
+        assert variances["optimal"] > variances["data_center"]
+        assert variances["optimal"] > variances["space_center"]
+
+    def test_variance_preserved_along_line(self, rng):
+        """A reference point on the line, outside the segment, preserves
+        pairwise distances of collinear points exactly."""
+        direction = np.array([1.0, 2.0, -1.0])
+        direction = direction / np.linalg.norm(direction)
+        ts = rng.uniform(0.0, 3.0, 50)
+        data = ts[:, None] * direction[None, :]
+        transform = OneDimensionalTransform("optimal").fit(data)
+        keys = transform.keys(data)
+        # |key_i - key_j| == d(O_i, O_j) for all pairs.
+        key_gaps = np.abs(keys[:, None] - keys[None, :])
+        true_gaps = np.abs(ts[:, None] - ts[None, :])
+        assert np.allclose(key_gaps, true_gaps, atol=1e-9)
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        assert isinstance(make_reference_strategy("optimal"), OptimalReference)
+        assert isinstance(make_reference_strategy("data_center"), DataCenter)
+        assert isinstance(make_reference_strategy("space_center"), SpaceCenter)
+
+    def test_kwargs_forwarded(self):
+        strategy = make_reference_strategy("optimal", margin=0.25)
+        assert strategy.margin == 0.25
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_reference_strategy("centroid")

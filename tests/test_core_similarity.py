@@ -1,0 +1,220 @@
+"""Tests for the ViTri similarity measure (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    estimated_shared_frames,
+    estimated_shared_frames_many,
+    shared_frames_matrix,
+    video_similarity,
+    vitri_similarity,
+)
+from repro.core.vitri import VideoSummary, ViTri
+from repro.geometry.intersection import intersection_volume
+from repro.utils.counters import CostCounters
+
+
+def vitri(offset, radius=0.5, count=10, dim=4):
+    position = np.zeros(dim)
+    position[0] = offset
+    return ViTri(position=position, radius=radius, count=count)
+
+
+class TestEstimatedSharedFrames:
+    def test_disjoint_is_zero(self):
+        assert estimated_shared_frames(vitri(0.0), vitri(5.0)) == 0.0
+
+    def test_touching_is_zero(self):
+        # d == R1 + R2: paper case 1 boundary.
+        assert estimated_shared_frames(vitri(0.0), vitri(1.0)) == 0.0
+
+    def test_identical_clusters_share_min_count(self):
+        a = vitri(0.0, count=10)
+        b = vitri(0.0, count=7)
+        assert estimated_shared_frames(a, b) == pytest.approx(7.0)
+
+    def test_contained_case_matches_formula(self):
+        # Explicit check of V_int * min(D1, D2) in low dimension.
+        big = vitri(0.0, radius=1.0, count=100, dim=3)
+        small = vitri(0.1, radius=0.2, count=5, dim=3)
+        v_int = intersection_volume(3, 1.0, 0.2, 0.1)
+        expected = v_int * min(big.density, small.density)
+        expected = min(expected, 5.0)
+        assert estimated_shared_frames(big, small) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_lens_case_matches_formula(self):
+        a = vitri(0.0, radius=1.0, count=50, dim=3)
+        b = vitri(1.2, radius=0.8, count=30, dim=3)
+        v_int = intersection_volume(3, 1.0, 0.8, 1.2)
+        expected = min(v_int * min(a.density, b.density), 30.0)
+        assert estimated_shared_frames(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetric(self):
+        a = vitri(0.0, radius=0.9, count=12)
+        b = vitri(0.5, radius=0.4, count=40)
+        assert estimated_shared_frames(a, b) == pytest.approx(
+            estimated_shared_frames(b, a)
+        )
+
+    def test_never_exceeds_min_count(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = vitri(rng.uniform(0, 1), rng.uniform(0.01, 1), int(rng.integers(1, 50)))
+            b = vitri(rng.uniform(0, 1), rng.uniform(0.01, 1), int(rng.integers(1, 50)))
+            assert estimated_shared_frames(a, b) <= min(a.count, b.count) + 1e-12
+
+    def test_point_mass_inside(self):
+        sphere = vitri(0.0, radius=0.5, count=20)
+        point = vitri(0.3, radius=0.0, count=4)
+        assert estimated_shared_frames(sphere, point) == 4.0
+
+    def test_point_mass_outside(self):
+        sphere = vitri(0.0, radius=0.5, count=20)
+        point = vitri(0.8, radius=0.0, count=4)
+        assert estimated_shared_frames(sphere, point) == 0.0
+
+    def test_high_dim_stable(self):
+        a = ViTri(position=np.zeros(64), radius=0.15, count=30)
+        b = ViTri(position=np.full(64, 0.005), radius=0.14, count=25)
+        value = estimated_shared_frames(a, b)
+        assert 0.0 < value <= 25.0
+        assert np.isfinite(value)
+
+    def test_monotone_in_distance(self):
+        values = [
+            estimated_shared_frames(vitri(0.0), vitri(d))
+            for d in np.linspace(0.0, 1.0, 11)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            estimated_shared_frames(vitri(0.0, dim=3), vitri(0.0, dim=4))
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            estimated_shared_frames(vitri(0.0), "x")
+
+    def test_alias(self):
+        a, b = vitri(0.0), vitri(0.2)
+        assert vitri_similarity(a, b) == estimated_shared_frames(a, b)
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        query = vitri(0.0, radius=0.4, count=9)
+        positions = rng.uniform(0, 1.5, (20, 4))
+        radii = rng.uniform(0.01, 0.8, 20)
+        counts = rng.integers(1, 30, 20)
+        vectorised = estimated_shared_frames_many(query, positions, radii, counts)
+        for i in range(20):
+            scalar = estimated_shared_frames(
+                query,
+                ViTri(position=positions[i], radius=radii[i], count=int(counts[i])),
+            )
+            assert vectorised[i] == pytest.approx(scalar, rel=1e-12)
+
+    def test_negative_radius_rejected(self):
+        query = vitri(0.0)
+        with pytest.raises(ValueError):
+            estimated_shared_frames_many(
+                query, np.zeros((1, 4)), [-0.1], [1]
+            )
+
+
+class TestVideoSimilarity:
+    def make_summary(self, video_id, offsets, counts, radius=0.3, dim=4):
+        vitris = tuple(
+            vitri(o, radius=radius, count=c, dim=dim)
+            for o, c in zip(offsets, counts)
+        )
+        return VideoSummary(video_id=video_id, vitris=vitris)
+
+    def test_self_similarity_is_one(self):
+        summary = self.make_summary(0, [0.0, 2.0], [10, 20])
+        assert video_similarity(summary, summary) == pytest.approx(1.0)
+
+    def test_disjoint_videos(self):
+        a = self.make_summary(0, [0.0], [10])
+        b = self.make_summary(1, [10.0], [10])
+        assert video_similarity(a, b) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        a = self.make_summary(0, [0.0, 5.0], [10, 10])
+        b = self.make_summary(1, [0.0, 99.0], [10, 10])
+        sim = video_similarity(a, b)
+        assert 0.0 < sim < 1.0
+
+    def test_symmetric(self):
+        a = self.make_summary(0, [0.0, 1.0], [5, 15])
+        b = self.make_summary(1, [0.5, 3.0], [10, 10])
+        assert video_similarity(a, b) == pytest.approx(video_similarity(b, a))
+
+    def test_clipped_at_one(self):
+        # Dense identical clusters must not push the score above 1.
+        a = self.make_summary(0, [0.0, 0.01, 0.02], [10, 10, 10])
+        assert video_similarity(a, a) <= 1.0
+
+    def test_matrix_shape(self):
+        a = self.make_summary(0, [0.0, 1.0], [5, 5])
+        b = self.make_summary(1, [0.0, 1.0, 2.0], [5, 5, 5])
+        matrix = shared_frames_matrix(a, b)
+        assert matrix.shape == (2, 3)
+
+    def test_counters_incremented(self):
+        a = self.make_summary(0, [0.0, 1.0], [5, 5])
+        b = self.make_summary(1, [0.0, 1.0, 2.0], [5, 5, 5])
+        counters = CostCounters()
+        video_similarity(a, b, counters)
+        assert counters.similarity_computations == 6
+
+    def test_dim_mismatch(self):
+        a = self.make_summary(0, [0.0], [5], dim=3)
+        b = self.make_summary(1, [0.0], [5], dim=4)
+        with pytest.raises(ValueError):
+            video_similarity(a, b)
+
+
+class TestBatchScalarEquivalence:
+    """The vectorised estimator must agree with the scalar one across the
+    whole case space (disjoint / lens / contained / point mass)."""
+
+    def test_fuzz_equivalence(self):
+        from repro.core.similarity import _estimate_from_scalars
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            dim = int(rng.integers(2, 65))
+            query = ViTri(
+                position=rng.uniform(0, 1, dim),
+                radius=float(rng.uniform(0, 0.5)),
+                count=int(rng.integers(1, 50)),
+            )
+            m = 100
+            positions = rng.uniform(0, 1, (m, dim))
+            radii = rng.uniform(0, 0.5, m)
+            radii[rng.random(m) < 0.05] = 0.0  # sprinkle point masses
+            counts = rng.integers(1, 60, m)
+            batch = estimated_shared_frames_many(query, positions, radii, counts)
+            distances = np.linalg.norm(positions - query.position, axis=1)
+            for i in range(m):
+                scalar = _estimate_from_scalars(
+                    dim,
+                    query.radius,
+                    query.count,
+                    float(radii[i]),
+                    int(counts[i]),
+                    float(distances[i]),
+                )
+                assert batch[i] == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    def test_zero_radius_query(self):
+        query = ViTri(position=np.zeros(4), radius=0.0, count=3)
+        positions = np.array([[0.1, 0, 0, 0], [2.0, 0, 0, 0]])
+        out = estimated_shared_frames_many(query, positions, [0.5, 0.5], [7, 7])
+        assert out[0] == 3.0  # point-mass query inside the first sphere
+        assert out[1] == 0.0

@@ -1,0 +1,72 @@
+"""Tests for repro.core.summarize."""
+
+import numpy as np
+import pytest
+
+from repro.core.summarize import summarize_video
+
+
+def shot_frames(rng, anchors, per_shot=15, jitter=0.01):
+    frames = []
+    for anchor in anchors:
+        frames.append(anchor + rng.normal(0, jitter, (per_shot, len(anchor))))
+    return np.vstack(frames)
+
+
+class TestSummarizeVideo:
+    def test_counts_sum_to_frames(self, rng):
+        frames = shot_frames(rng, [np.zeros(6), np.full(6, 1.0)])
+        summary = summarize_video(5, frames, epsilon=0.3, seed=0)
+        assert summary.video_id == 5
+        assert summary.num_frames == len(frames)
+        assert sum(v.count for v in summary.vitris) == len(frames)
+
+    def test_radius_floor_applied(self):
+        frames = np.ones((10, 4))  # identical frames -> raw radius 0
+        summary = summarize_video(0, frames, epsilon=0.2, seed=0)
+        assert len(summary) == 1
+        assert summary.vitris[0].radius == pytest.approx(0.2 * 1e-3)
+
+    def test_custom_radius_floor(self):
+        frames = np.ones((10, 4))
+        summary = summarize_video(0, frames, epsilon=0.2, min_radius=0.05, seed=0)
+        assert summary.vitris[0].radius == 0.05
+
+    def test_zero_floor_allowed(self):
+        frames = np.ones((10, 4))
+        summary = summarize_video(0, frames, epsilon=0.2, min_radius=0.0, seed=0)
+        assert summary.vitris[0].radius == 0.0
+
+    def test_epsilon_controls_granularity(self, rng):
+        anchors = [rng.normal(0, 1, 8) for _ in range(4)]
+        frames = shot_frames(rng, anchors, jitter=0.02)
+        fine = summarize_video(0, frames, epsilon=0.1, seed=0)
+        coarse = summarize_video(0, frames, epsilon=10.0, seed=0)
+        assert len(fine) > len(coarse)
+        assert len(coarse) == 1
+
+    def test_radii_bounded_by_half_epsilon(self, rng):
+        frames = shot_frames(rng, [np.zeros(5), np.full(5, 2.0)])
+        epsilon = 0.4
+        summary = summarize_video(0, frames, epsilon, seed=0)
+        for vitri in summary.vitris:
+            assert vitri.radius <= epsilon / 2.0 + 1e-12
+
+    def test_deterministic_with_seed(self, rng):
+        frames = shot_frames(rng, [np.zeros(5), np.full(5, 1.0)])
+        a = summarize_video(0, frames, 0.3, seed=9)
+        b = summarize_video(0, frames, 0.3, seed=9)
+        assert len(a) == len(b)
+        for va, vb in zip(a.vitris, b.vitris):
+            assert np.allclose(va.position, vb.position)
+            assert va.count == vb.count
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            summarize_video(0, np.zeros((3, 2)), epsilon=0.0)
+
+    def test_invalid_frames(self):
+        with pytest.raises(ValueError):
+            summarize_video(0, np.zeros((0, 2)), epsilon=0.1)
+        with pytest.raises(ValueError):
+            summarize_video(0, [1.0, 2.0], epsilon=0.1)

@@ -1,0 +1,60 @@
+"""Tests for ViTri summary persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import VitriIndex
+from repro.core.summary_io import load_summaries, save_summaries
+
+EPSILON = 0.3
+
+
+class TestSummaryIO:
+    def test_round_trip(self, small_summaries, tmp_path):
+        path = str(tmp_path / "summaries.npz")
+        save_summaries(path, small_summaries, EPSILON)
+        loaded, epsilon = load_summaries(path)
+        assert epsilon == EPSILON
+        assert len(loaded) == len(small_summaries)
+        for original, restored in zip(small_summaries, loaded):
+            assert restored.video_id == original.video_id
+            assert restored.num_frames == original.num_frames
+            assert len(restored) == len(original)
+            for a, b in zip(original.vitris, restored.vitris):
+                assert np.array_equal(a.position, b.position)
+                assert a.radius == b.radius
+                assert a.count == b.count
+
+    def test_loaded_summaries_build_identical_index(
+        self, small_summaries, tmp_path
+    ):
+        path = str(tmp_path / "summaries.npz")
+        save_summaries(path, small_summaries, EPSILON)
+        loaded, epsilon = load_summaries(path)
+        original_index = VitriIndex.build(small_summaries, EPSILON)
+        restored_index = VitriIndex.build(loaded, epsilon)
+        query = loaded[0]
+        assert (
+            original_index.knn(query, 8).videos
+            == restored_index.knn(query, 8).videos
+        )
+
+    def test_epsilon_mismatch_rejected(self, small_summaries, tmp_path):
+        path = str(tmp_path / "summaries.npz")
+        save_summaries(path, small_summaries, EPSILON)
+        with pytest.raises(ValueError, match="epsilon"):
+            load_summaries(path, expected_epsilon=0.5)
+
+    def test_expected_epsilon_accepted(self, small_summaries, tmp_path):
+        path = str(tmp_path / "summaries.npz")
+        save_summaries(path, small_summaries, EPSILON)
+        loaded, _ = load_summaries(path, expected_epsilon=EPSILON)
+        assert loaded
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_summaries(str(tmp_path / "x.npz"), [], EPSILON)
+
+    def test_invalid_epsilon_rejected(self, small_summaries, tmp_path):
+        with pytest.raises(ValueError):
+            save_summaries(str(tmp_path / "x.npz"), small_summaries, 0.0)

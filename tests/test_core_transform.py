@@ -1,0 +1,101 @@
+"""Tests for the one-dimensional transformation (paper Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.transform import OneDimensionalTransform
+
+
+class TestOneDimensionalTransform:
+    def test_key_is_distance_to_reference(self, rng):
+        data = rng.uniform(0, 1, (30, 5))
+        transform = OneDimensionalTransform("data_center").fit(data)
+        reference = transform.reference_point_
+        point = data[3]
+        assert transform.key(point) == pytest.approx(
+            float(np.linalg.norm(point - reference))
+        )
+
+    def test_keys_batch_matches_scalar(self, rng):
+        data = rng.uniform(0, 1, (25, 4))
+        transform = OneDimensionalTransform("optimal").fit(data)
+        keys = transform.keys(data)
+        for i in range(25):
+            assert keys[i] == pytest.approx(transform.key(data[i]))
+
+    def test_triangle_filter_is_lossless(self, rng):
+        """Every point within radius r of a query has a key inside
+        [key(q) - r, key(q) + r] — no false negatives, ever."""
+        data = rng.uniform(0, 1, (200, 6))
+        for strategy in ("optimal", "data_center", "space_center"):
+            transform = OneDimensionalTransform(strategy).fit(data)
+            keys = transform.keys(data)
+            for _ in range(20):
+                query = rng.uniform(0, 1, 6)
+                radius = rng.uniform(0.05, 0.8)
+                low, high = transform.search_range(query, radius)
+                distances = np.linalg.norm(data - query, axis=1)
+                inside = distances <= radius
+                in_range = (keys >= low) & (keys <= high)
+                assert not np.any(inside & ~in_range)
+
+    def test_search_range_clamped_at_zero(self, rng):
+        data = rng.uniform(0, 1, (10, 3))
+        transform = OneDimensionalTransform("data_center").fit(data)
+        low, high = transform.search_range(data.mean(axis=0), 100.0)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_search_range_negative_radius(self, rng):
+        data = rng.uniform(0, 1, (10, 3))
+        transform = OneDimensionalTransform("data_center").fit(data)
+        with pytest.raises(ValueError):
+            transform.search_range(data[0], -1.0)
+
+    def test_unfitted_raises(self):
+        transform = OneDimensionalTransform()
+        with pytest.raises(RuntimeError):
+            transform.key(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            transform.keys(np.zeros((2, 3)))
+
+    def test_strategy_by_name_or_instance(self):
+        from repro.core.reference import DataCenter
+
+        assert OneDimensionalTransform("data_center").strategy.name == "data_center"
+        assert OneDimensionalTransform(DataCenter()).strategy.name == "data_center"
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            OneDimensionalTransform("bogus")
+        with pytest.raises(TypeError):
+            OneDimensionalTransform(42)
+
+    def test_dim_mismatch_after_fit(self, rng):
+        transform = OneDimensionalTransform("data_center").fit(
+            rng.uniform(0, 1, (5, 4))
+        )
+        with pytest.raises(ValueError):
+            transform.key(np.zeros(3))
+
+    def test_keys_non_negative(self, rng):
+        data = rng.uniform(0, 1, (50, 4))
+        transform = OneDimensionalTransform("optimal").fit(data)
+        assert (transform.keys(data) >= 0).all()
+
+
+class TestKeyBitConsistency:
+    """Regression: scalar and batch key computation must agree to the bit.
+
+    numpy's norm(vector) (BLAS dnrm2) and norm(matrix, axis=1) (pairwise
+    reduction) can differ in the last ULP; the index relies on a point
+    always mapping to the exact key it was stored under (a removal
+    recomputes keys of bulk-loaded records)."""
+
+    def test_scalar_equals_batch_bitwise(self, rng):
+        for dim in (3, 6, 16, 64):
+            data = rng.uniform(0, 1, (200, dim))
+            transform = OneDimensionalTransform("optimal").fit(data)
+            batch = transform.keys(data)
+            for i in range(0, 200, 7):
+                assert transform.key(data[i]) == batch[i]  # exact equality

@@ -1,0 +1,99 @@
+"""Stateful property testing: random database lifecycles vs an oracle.
+
+Hypothesis drives arbitrary interleavings of add / remove / query against
+a :class:`VideoDatabase`, while a plain-Python oracle tracks what should
+be stored and computes reference rankings with pairwise
+:func:`video_similarity`.  Every query must agree exactly.  This is the
+strongest reliability statement in the suite: no sequence of operations
+may desynchronise the B+-tree, the heap tombstones, the streaming
+moments, or the score aggregation.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.database import VideoDatabase
+from repro.core.similarity import video_similarity
+from repro.core.summarize import summarize_video
+
+EPSILON = 0.4
+DIM = 6
+
+
+def make_frames(seed: int) -> np.ndarray:
+    """A deterministic small video for a given content seed."""
+    rng = np.random.default_rng(seed)
+    anchors = rng.dirichlet(np.full(DIM, 0.3), size=2)
+    frames = []
+    for anchor in anchors:
+        block = np.clip(
+            anchor[None, :] + rng.normal(0, 0.02, (6, DIM)), 0, None
+        )
+        frames.append(block / block.sum(axis=1, keepdims=True))
+    return np.vstack(frames)
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.db = VideoDatabase(epsilon=EPSILON, summarize_seed=0)
+        self.oracle: dict[int, np.ndarray] = {}
+        self.counter = 0
+
+    @rule(content_seed=st.integers(min_value=0, max_value=30))
+    def add_video(self, content_seed):
+        frames = make_frames(content_seed)
+        video_id = self.db.add(frames)
+        self.oracle[video_id] = frames
+        self.counter += 1
+
+    @precondition(lambda self: len(self.oracle) > 0)
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def remove_video(self, pick):
+        video_id = sorted(self.oracle)[pick % len(self.oracle)]
+        self.db.remove(video_id)
+        del self.oracle[video_id]
+
+    @precondition(lambda self: len(self.oracle) > 0)
+    @rule(content_seed=st.integers(min_value=0, max_value=30))
+    def query(self, content_seed):
+        frames = make_frames(content_seed)
+        result = self.db.query(frames, k=len(self.oracle))
+
+        query_summary = summarize_video(0, frames, EPSILON, seed=0)
+        expected = []
+        for video_id in sorted(self.oracle):
+            stored = summarize_video(
+                video_id, self.oracle[video_id], EPSILON, seed=video_id
+            )
+            score = video_similarity(query_summary, stored)
+            if score > 0.0:
+                expected.append((video_id, score))
+        expected_scores = dict(expected)
+
+        # Same result set and per-video scores; the order of exact ties
+        # (identical content added twice) may differ in the last ULP
+        # between the two summation paths.
+        assert set(result.videos) == set(expected_scores)
+        for video, got in zip(result.videos, result.scores):
+            assert abs(got - expected_scores[video]) < 1e-9
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    @invariant()
+    def size_matches_oracle(self):
+        if hasattr(self, "db"):
+            assert len(self.db) == len(self.oracle)
+
+
+TestDatabaseMachine = DatabaseMachine.TestCase
+TestDatabaseMachine.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)

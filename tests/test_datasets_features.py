@@ -1,0 +1,130 @@
+"""Tests for the quantised-RGB-histogram feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.features import histogram_dim, rgb_histogram, video_histograms
+
+
+class TestHistogramDim:
+    def test_paper_setting(self):
+        assert histogram_dim(2) == 64
+
+    def test_other_depths(self):
+        assert histogram_dim(1) == 8
+        assert histogram_dim(3) == 512
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            histogram_dim(0)
+        with pytest.raises(TypeError):
+            histogram_dim(2.0)
+
+
+class TestRgbHistogram:
+    def test_normalised(self, rng):
+        image = rng.integers(0, 256, (24, 32, 3), dtype=np.uint8)
+        hist = rgb_histogram(image)
+        assert hist.shape == (64,)
+        assert (hist >= 0).all()
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_solid_color_single_bin(self):
+        # Pure black: all mass in bin 0.
+        black = np.zeros((10, 10, 3), dtype=np.uint8)
+        hist = rgb_histogram(black)
+        assert hist[0] == 1.0
+        assert hist[1:].sum() == 0.0
+
+    def test_pure_white_last_bin(self):
+        white = np.full((4, 4, 3), 255, dtype=np.uint8)
+        hist = rgb_histogram(white)
+        assert hist[63] == 1.0
+
+    def test_known_bin_index(self):
+        # R=255 (level 3), G=0, B=128 (level 2): bin = 3*16 + 0*4 + 2 = 50.
+        pixel = np.zeros((1, 1, 3), dtype=np.uint8)
+        pixel[0, 0] = [255, 0, 128]
+        hist = rgb_histogram(pixel)
+        assert hist[50] == 1.0
+
+    def test_quantisation_uses_high_bits(self):
+        # Values 0..63 all map to level 0 at 2 bits.
+        image = np.full((2, 2, 3), 63, dtype=np.uint8)
+        assert rgb_histogram(image)[0] == 1.0
+        image = np.full((2, 2, 3), 64, dtype=np.uint8)
+        assert rgb_histogram(image)[0] == 0.0
+
+    def test_float_images_accepted(self):
+        image = np.ones((3, 3, 3)) * 0.999
+        hist = rgb_histogram(image)
+        assert hist[63] == 1.0
+
+    def test_float_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_histogram(np.full((2, 2, 3), 2.0))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_histogram(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            rgb_histogram(np.zeros((4, 4, 4), dtype=np.uint8))
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            rgb_histogram(np.zeros((2, 2, 3), dtype=np.int32))
+
+    def test_bits_3(self, rng):
+        image = rng.integers(0, 256, (8, 8, 3), dtype=np.uint8)
+        hist = rgb_histogram(image, bits=3)
+        assert hist.shape == (512,)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_similar_images_similar_histograms(self, rng):
+        base = rng.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+        noisy = np.clip(
+            base.astype(np.int32) + rng.integers(-5, 6, base.shape), 0, 255
+        ).astype(np.uint8)
+        different = rng.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+        d_noisy = np.linalg.norm(rgb_histogram(base) - rgb_histogram(noisy))
+        d_other = np.linalg.norm(rgb_histogram(base) - rgb_histogram(different))
+        assert d_noisy < d_other
+
+
+class TestVideoHistograms:
+    def test_stack_shape(self, rng):
+        frames = rng.integers(0, 256, (5, 8, 8, 3), dtype=np.uint8)
+        features = video_histograms(frames)
+        assert features.shape == (5, 64)
+        assert np.allclose(features.sum(axis=1), 1.0)
+
+    def test_accepts_iterable(self, rng):
+        frames = [
+            rng.integers(0, 256, (4, 4, 3), dtype=np.uint8) for _ in range(3)
+        ]
+        assert video_histograms(frames).shape == (3, 64)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            video_histograms([])
+
+    def test_end_to_end_with_summarize(self, rng):
+        """The advertised real-data pipeline: decoded frames -> histograms
+        -> summary -> index."""
+        import repro
+
+        def synthetic_clip(tint):
+            frames = []
+            for _ in range(12):
+                base = np.full((8, 8, 3), tint, dtype=np.int32)
+                noise = rng.integers(-10, 11, base.shape)
+                frames.append(np.clip(base + noise, 0, 255).astype(np.uint8))
+            return video_histograms(frames)
+
+        summaries = [
+            repro.summarize_video(i, synthetic_clip(tint), 0.3, seed=i)
+            for i, tint in enumerate((30, 100, 220))
+        ]
+        index = repro.VitriIndex.build(summaries, 0.3)
+        result = index.knn(summaries[1], 1)
+        assert result.videos[0] == 1

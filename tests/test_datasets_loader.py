@@ -1,0 +1,84 @@
+"""Tests for VideoDataset container and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import VideoDataset, VideoInfo
+
+
+def make_dataset():
+    videos = [
+        np.random.default_rng(i).uniform(0, 1, (10 + i, 4)) for i in range(3)
+    ]
+    infos = [
+        VideoInfo(video_id=0, family=0, num_frames=10),
+        VideoInfo(video_id=1, family=0, num_frames=11),
+        VideoInfo(video_id=2, family=-1, num_frames=12),
+    ]
+    return VideoDataset(videos=videos, infos=infos, dim=4)
+
+
+class TestVideoDataset:
+    def test_basic_accessors(self):
+        dataset = make_dataset()
+        assert dataset.num_videos == 3
+        assert dataset.total_frames == 33
+        assert dataset.dim == 4
+        assert dataset.frames(1).shape == (11, 4)
+        assert dataset.info(2).family == -1
+        assert len(dataset) == 3
+
+    def test_family_members(self):
+        dataset = make_dataset()
+        assert dataset.family_members(0) == [0, 1]
+        assert dataset.families == [0]
+        with pytest.raises(ValueError):
+            dataset.family_members(-1)
+
+    def test_iteration(self):
+        dataset = make_dataset()
+        assert len(list(dataset)) == 3
+
+    def test_duration_table(self):
+        dataset = make_dataset()
+        table = dataset.duration_table()
+        # (length, count, total frames), longest first.
+        assert table == [(12, 1, 12), (11, 1, 11), (10, 1, 10)]
+
+    def test_validation_mismatched_lengths(self):
+        videos = [np.zeros((5, 4))]
+        with pytest.raises(ValueError):
+            VideoDataset(videos, [], dim=4)
+
+    def test_validation_frame_count(self):
+        videos = [np.zeros((5, 4))]
+        infos = [VideoInfo(video_id=0, family=-1, num_frames=99)]
+        with pytest.raises(ValueError):
+            VideoDataset(videos, infos, dim=4)
+
+    def test_validation_dim(self):
+        videos = [np.zeros((5, 3))]
+        infos = [VideoInfo(video_id=0, family=-1, num_frames=5)]
+        with pytest.raises(ValueError):
+            VideoDataset(videos, infos, dim=4)
+
+    def test_validation_id_order(self):
+        videos = [np.zeros((5, 4))]
+        infos = [VideoInfo(video_id=7, family=-1, num_frames=5)]
+        with pytest.raises(ValueError):
+            VideoDataset(videos, infos, dim=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VideoDataset([], [], dim=4)
+
+    def test_save_load_round_trip(self, tmp_path):
+        dataset = make_dataset()
+        path = str(tmp_path / "dataset.npz")
+        dataset.save(path)
+        loaded = VideoDataset.load(path)
+        assert loaded.num_videos == dataset.num_videos
+        assert loaded.dim == dataset.dim
+        for i in range(3):
+            assert np.array_equal(loaded.frames(i), dataset.frames(i))
+            assert loaded.info(i) == dataset.info(i)

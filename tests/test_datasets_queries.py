@@ -1,0 +1,59 @@
+"""Tests for query workload sampling."""
+
+import pytest
+
+from repro.datasets.queries import sample_queries
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+
+
+def make_dataset():
+    config = DatasetConfig(
+        dim=8,
+        num_families=3,
+        family_size=2,
+        num_distractors=4,
+        duration_classes=((20, 1.0),),
+    )
+    return generate_dataset(config, seed=0)
+
+
+class TestSampleQueries:
+    def test_count(self):
+        dataset = make_dataset()
+        queries = sample_queries(dataset, 5, seed=0)
+        assert len(queries) == 5
+
+    def test_valid_ids(self):
+        dataset = make_dataset()
+        queries = sample_queries(dataset, 8, seed=1)
+        assert all(0 <= q < dataset.num_videos for q in queries)
+
+    def test_prefers_family_members(self):
+        dataset = make_dataset()
+        # 6 family videos exist; asking for 6 with preference must return
+        # only family members.
+        queries = sample_queries(dataset, 6, prefer_families=True, seed=2)
+        assert all(dataset.info(q).family >= 0 for q in queries)
+
+    def test_no_duplicates_when_possible(self):
+        dataset = make_dataset()
+        queries = sample_queries(dataset, dataset.num_videos, seed=3)
+        assert len(set(queries)) == len(queries)
+
+    def test_oversampling_allowed(self):
+        dataset = make_dataset()
+        queries = sample_queries(dataset, 50, seed=4)
+        assert len(queries) == 50
+
+    def test_deterministic(self):
+        dataset = make_dataset()
+        assert sample_queries(dataset, 5, seed=9) == sample_queries(
+            dataset, 5, seed=9
+        )
+
+    def test_invalid_count(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError):
+            sample_queries(dataset, 0)
+        with pytest.raises(TypeError):
+            sample_queries(dataset, 1.5)

@@ -1,0 +1,142 @@
+"""Tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import frame_similarity
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+
+
+def tiny_config(**overrides):
+    params = dict(
+        dim=16,
+        num_families=3,
+        family_size=3,
+        num_distractors=4,
+        duration_classes=((30, 0.5), (20, 0.5)),
+    )
+    params.update(overrides)
+    return DatasetConfig(**params)
+
+
+class TestDatasetConfig:
+    def test_num_videos(self):
+        config = tiny_config()
+        assert config.num_videos == 3 * 3 + 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_config(dim=1)
+        with pytest.raises(ValueError):
+            tiny_config(num_families=-1)
+        with pytest.raises(ValueError):
+            tiny_config(num_families=0, num_distractors=0)
+        with pytest.raises(ValueError):
+            tiny_config(duration_classes=())
+        with pytest.raises(ValueError):
+            tiny_config(duration_classes=((1, 1.0),))
+
+    def test_presets_construct(self):
+        assert DatasetConfig.precision_preset().num_videos > 0
+        assert DatasetConfig.indexing_preset().num_videos > 0
+
+    def test_preset_overrides(self):
+        config = DatasetConfig.precision_preset(dim=8, num_families=2)
+        assert config.dim == 8
+        assert config.num_families == 2
+
+
+class TestGenerateDataset:
+    def test_shapes_and_counts(self):
+        config = tiny_config()
+        dataset = generate_dataset(config, seed=0)
+        assert dataset.num_videos == config.num_videos
+        assert dataset.dim == 16
+        for i in range(dataset.num_videos):
+            frames = dataset.frames(i)
+            assert frames.ndim == 2
+            assert frames.shape[1] == 16
+            assert frames.shape[0] >= 1
+
+    def test_frames_are_histograms(self):
+        dataset = generate_dataset(tiny_config(), seed=1)
+        for i in range(dataset.num_videos):
+            frames = dataset.frames(i)
+            assert (frames >= 0.0).all()
+            assert np.allclose(frames.sum(axis=1), 1.0)
+
+    def test_family_labels(self):
+        config = tiny_config()
+        dataset = generate_dataset(config, seed=2)
+        assert dataset.families == [0, 1, 2]
+        for family in dataset.families:
+            assert len(dataset.family_members(family)) == 3
+        distractors = [
+            i for i in range(dataset.num_videos) if dataset.info(i).family == -1
+        ]
+        assert len(distractors) == 4
+
+    def test_deterministic(self):
+        a = generate_dataset(tiny_config(), seed=5)
+        b = generate_dataset(tiny_config(), seed=5)
+        for i in range(a.num_videos):
+            assert np.array_equal(a.frames(i), b.frames(i))
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(tiny_config(), seed=1)
+        b = generate_dataset(tiny_config(), seed=2)
+        assert not np.array_equal(a.frames(0), b.frames(0))
+
+    def test_family_members_more_similar_than_strangers(self):
+        config = tiny_config(dim=32)
+        dataset = generate_dataset(config, seed=3)
+        eps = 0.3
+        source = dataset.family_members(0)[0]
+        variant = dataset.family_members(0)[1]
+        stranger = dataset.family_members(1)[0]
+        sim_family = frame_similarity(
+            dataset.frames(source), dataset.frames(variant), eps
+        )
+        sim_stranger = frame_similarity(
+            dataset.frames(source), dataset.frames(stranger), eps
+        )
+        assert sim_family > sim_stranger
+
+    def test_graduated_variant_degradation(self):
+        """Later family members are perturbed more strongly."""
+        config = tiny_config(dim=32, family_size=5, num_families=2)
+        dataset = generate_dataset(config, seed=4)
+        members = dataset.family_members(0)
+        source = dataset.frames(members[0])
+        sims = [
+            frame_similarity(source, dataset.frames(m), 0.10)
+            for m in members[1:]
+        ]
+        # Not necessarily strictly monotone (noise), but the mildest
+        # variant must beat the harshest.
+        assert sims[0] >= sims[-1]
+
+    def test_temporal_locality(self):
+        """Adjacent frames are much closer than the video's diameter."""
+        dataset = generate_dataset(tiny_config(), seed=6)
+        frames = dataset.frames(0)
+        adjacent = np.linalg.norm(frames[1:] - frames[:-1], axis=1)
+        spread = np.linalg.norm(frames - frames.mean(axis=0), axis=1).max()
+        assert np.median(adjacent) < max(spread, 0.05)
+
+    def test_duration_classes_respected(self):
+        dataset = generate_dataset(tiny_config(), seed=7)
+        lengths = {dataset.info(i).num_frames for i in range(dataset.num_videos)}
+        # Sources use exactly the configured lengths; variants may be
+        # shorter due to frame drops.
+        assert lengths <= set(range(1, 31))
+
+    def test_distractor_only_config(self):
+        config = tiny_config(num_families=0, family_size=1, num_distractors=5)
+        dataset = generate_dataset(config, seed=8)
+        assert dataset.num_videos == 5
+        assert dataset.families == []
+
+    def test_default_config(self):
+        dataset = generate_dataset(seed=9)
+        assert dataset.num_videos == DatasetConfig().num_videos

@@ -1,0 +1,135 @@
+"""Tests for the evaluation harness (ground truth, metrics, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import frame_similarity
+from repro.core.index import QueryStats
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.eval.ground_truth import GroundTruthCache, knn_ground_truth
+from repro.eval.harness import aggregate_stats, format_table
+from repro.eval.metrics import precision_at_k
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = DatasetConfig(
+        dim=12,
+        num_families=2,
+        family_size=3,
+        num_distractors=4,
+        duration_classes=((20, 1.0),),
+    )
+    return generate_dataset(config, seed=42)
+
+
+class TestGroundTruth:
+    def test_self_first(self, dataset):
+        top = knn_ground_truth(dataset, 0, 3, epsilon=0.3)
+        assert top[0] == 0
+
+    def test_matches_manual_ranking(self, dataset):
+        eps = 0.3
+        query = 1
+        scored = sorted(
+            (
+                (-frame_similarity(dataset.frames(query), dataset.frames(v), eps), v)
+                for v in range(dataset.num_videos)
+            )
+        )
+        expected = [v for _, v in scored[:4]]
+        assert knn_ground_truth(dataset, query, 4, eps) == expected
+
+    def test_k_bounds(self, dataset):
+        assert len(knn_ground_truth(dataset, 0, 100, 0.3)) == dataset.num_videos
+
+    def test_invalid_arguments(self, dataset):
+        with pytest.raises(ValueError):
+            knn_ground_truth(dataset, -1, 3, 0.3)
+        with pytest.raises(ValueError):
+            knn_ground_truth(dataset, 0, 0, 0.3)
+        with pytest.raises(ValueError):
+            knn_ground_truth(dataset, 0, 3, 0.0)
+
+    def test_cache_consistent_with_direct(self, dataset):
+        cache = GroundTruthCache(dataset)
+        assert cache.top_k(2, 4, 0.3) == knn_ground_truth(dataset, 2, 4, 0.3)
+
+    def test_cache_serves_any_k_from_one_pass(self, dataset):
+        cache = GroundTruthCache(dataset)
+        cache.top_k(0, 2, 0.3)
+        assert len(cache) == 1
+        cache.top_k(0, 5, 0.3)  # same ranking, no new entry
+        assert len(cache) == 1
+        cache.top_k(0, 2, 0.4)  # different epsilon -> new entry
+        assert len(cache) == 2
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 9]) == 0.5
+
+    def test_zero(self):
+        assert precision_at_k([1, 2], [3, 4]) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert precision_at_k([1, 2], [1, 1, 1]) == 0.5
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], [1])
+
+
+class TestAggregateStats:
+    def make(self, pages, sims):
+        return QueryStats(
+            page_requests=pages,
+            physical_reads=pages,
+            node_visits=1,
+            similarity_computations=sims,
+            candidates=sims,
+            ranges=1,
+            wall_time=0.5,
+        )
+
+    def test_means(self):
+        agg = aggregate_stats([self.make(10, 100), self.make(20, 300)])
+        assert agg["page_requests"] == 15.0
+        assert agg["similarity_computations"] == 200.0
+        assert agg["wall_time"] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_stats([])
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 123456.789]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1]
+        assert "alpha" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_no_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,93 @@
+"""Tests for filter-and-refine retrieval."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import GroundTruthCache, precision_at_k
+from repro.eval.refine import refine_ranking, refined_knn
+
+EPSILON = 0.3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = DatasetConfig.precision_preset(
+        dim=24,
+        num_families=5,
+        family_size=4,
+        num_distractors=10,
+        duration_classes=((40, 0.5), (25, 0.5)),
+    )
+    dataset = generate_dataset(config, seed=404)
+    summaries = [
+        repro.summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    return dataset, summaries, index
+
+
+class TestRefineRanking:
+    def test_exact_scores(self, workload):
+        dataset, summaries, index = workload
+        ranked = refine_ranking(
+            dataset, dataset.frames(0), [0, 1, 5], EPSILON
+        )
+        assert ranked[0] == (0, pytest.approx(1.0))
+        for video, score in ranked:
+            expected = repro.frame_similarity(
+                dataset.frames(0), dataset.frames(video), EPSILON
+            )
+            assert score == pytest.approx(expected)
+
+    def test_sorted_descending(self, workload):
+        dataset, summaries, index = workload
+        ranked = refine_ranking(
+            dataset, dataset.frames(2), list(range(10)), EPSILON
+        )
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_epsilon(self, workload):
+        dataset, _, _ = workload
+        with pytest.raises(ValueError):
+            refine_ranking(dataset, dataset.frames(0), [0], 0.0)
+
+
+class TestRefinedKnn:
+    def test_self_first_with_exact_score(self, workload):
+        dataset, summaries, index = workload
+        result = refined_knn(index, dataset, summaries, 0, k=3)
+        assert result.videos[0] == 0
+        assert result.scores[0] == pytest.approx(1.0)
+
+    def test_never_hurts_precision(self, workload):
+        dataset, summaries, index = workload
+        ground_truth = GroundTruthCache(dataset)
+        k = 4
+        coarse_precision = []
+        refined_precision = []
+        for family in range(5):
+            query_id = dataset.family_members(family)[0]
+            relevant = ground_truth.top_k(query_id, k, EPSILON)
+            coarse = index.knn(summaries[query_id], k).videos
+            refined = refined_knn(
+                index, dataset, summaries, query_id, k=k, overfetch=4
+            ).videos
+            coarse_precision.append(precision_at_k(relevant, coarse))
+            refined_precision.append(precision_at_k(relevant, refined))
+        assert np.mean(refined_precision) >= np.mean(coarse_precision) - 1e-9
+
+    def test_overfetch_bounds_candidates(self, workload):
+        dataset, summaries, index = workload
+        result = refined_knn(index, dataset, summaries, 1, k=2, overfetch=2)
+        assert len(result) <= 2
+
+    def test_invalid_arguments(self, workload):
+        dataset, summaries, index = workload
+        with pytest.raises(ValueError):
+            refined_knn(index, dataset, summaries, 0, k=0)
+        with pytest.raises(ValueError):
+            refined_knn(index, dataset, summaries, 0, k=2, overfetch=0)

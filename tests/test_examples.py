@@ -1,0 +1,66 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are the repository's user-facing documentation; a refactor
+that breaks one should fail the suite, not a reader.  Each example is
+executed in-process (import + ``main()``), with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_discovered():
+    assert set(EXAMPLES) >= {
+        "quickstart",
+        "ad_duplicate_detection",
+        "epsilon_tradeoff",
+        "dynamic_library",
+        "persistent_index",
+        "recut_detection",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_quickstart_output_shape(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "top-5 most similar videos" in out
+    assert "query cost" in out
+
+
+def test_duplicate_detection_recall(capsys):
+    load_example("ad_duplicate_detection").main()
+    out = capsys.readouterr().out
+    assert "copy recall" in out
+    recall_line = [l for l in out.splitlines() if "copy recall" in l][0]
+    recall = float(recall_line.split(":")[1].strip().rstrip("%"))
+    assert recall >= 80.0
+
+def test_recut_detection_accuracy(capsys):
+    load_example("recut_detection").main()
+    out = capsys.readouterr().out
+    classified = [l for l in out.splitlines() if l.startswith("classified")][0]
+    correct, total = classified.split()[1].split("/")
+    assert int(correct) >= int(total) - 2

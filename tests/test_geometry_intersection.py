@@ -1,0 +1,188 @@
+"""Tests for sphere-sphere intersection volumes (repro.geometry.intersection)."""
+
+import math
+
+import pytest
+
+from repro.geometry.intersection import (
+    IntersectionCase,
+    classify_intersection,
+    intersection_fraction_of_smaller,
+    intersection_volume,
+    log_intersection_volume,
+)
+from repro.geometry.volumes import sphere_volume
+
+
+def lens_volume_3d(r1: float, r2: float, d: float) -> float:
+    """Closed-form 3-D lens volume (two intersecting spheres)."""
+    return (
+        math.pi
+        * (r1 + r2 - d) ** 2
+        * (d * d + 2 * d * (r1 + r2) - 3 * (r1 - r2) ** 2)
+        / (12 * d)
+    )
+
+
+def lens_area_2d(r1: float, r2: float, d: float) -> float:
+    """Closed-form 2-D lens area."""
+    part1 = r1 * r1 * math.acos((d * d + r1 * r1 - r2 * r2) / (2 * d * r1))
+    part2 = r2 * r2 * math.acos((d * d + r2 * r2 - r1 * r1) / (2 * d * r2))
+    part3 = 0.5 * math.sqrt(
+        (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2)
+    )
+    return part1 + part2 - part3
+
+
+class TestClassification:
+    def test_disjoint(self):
+        assert (
+            classify_intersection(1.0, 0.5, 1.6) is IntersectionCase.DISJOINT
+        )
+
+    def test_touching_is_disjoint(self):
+        # d == R1 + R2 has zero-measure intersection: paper case 1.
+        assert (
+            classify_intersection(1.0, 0.5, 1.5) is IntersectionCase.DISJOINT
+        )
+
+    def test_lens_acute(self):
+        assert (
+            classify_intersection(1.0, 0.5, 0.9) is IntersectionCase.LENS_ACUTE
+        )
+
+    def test_lens_obtuse(self):
+        # R1 - R2 <= d < R2 (paper case 3).
+        assert (
+            classify_intersection(1.0, 0.8, 0.5) is IntersectionCase.LENS_OBTUSE
+        )
+
+    def test_contained(self):
+        assert (
+            classify_intersection(1.0, 0.3, 0.5) is IntersectionCase.CONTAINED
+        )
+
+    def test_order_independent(self):
+        assert classify_intersection(0.5, 1.0, 0.9) is classify_intersection(
+            1.0, 0.5, 0.9
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            classify_intersection(-1.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            classify_intersection(1.0, 0.5, -0.5)
+
+
+class TestIntersectionVolume:
+    def test_disjoint_zero(self):
+        assert intersection_volume(3, 1.0, 1.0, 2.5) == 0.0
+        assert log_intersection_volume(3, 1.0, 1.0, 2.5) == -math.inf
+
+    def test_contained_is_small_sphere(self):
+        got = intersection_volume(4, 2.0, 0.5, 0.3)
+        assert got == pytest.approx(sphere_volume(4, 0.5), rel=1e-12)
+
+    def test_concentric(self):
+        got = intersection_volume(3, 1.0, 0.4, 0.0)
+        assert got == pytest.approx(sphere_volume(3, 0.4), rel=1e-12)
+
+    def test_equal_spheres_2d(self):
+        r, d = 1.0, 1.0
+        expected = 2 * r * r * math.acos(d / (2 * r)) - d / 2 * math.sqrt(
+            4 * r * r - d * d
+        )
+        assert intersection_volume(2, r, r, d) == pytest.approx(expected, rel=1e-10)
+
+    @pytest.mark.parametrize(
+        "r1, r2, d",
+        [
+            (2.0, 1.5, 2.2),   # case 2 (both caps acute)
+            (2.0, 1.5, 0.8),   # case 3 (obtuse beta)
+            (1.0, 1.0, 0.5),
+            (3.0, 0.5, 2.8),
+        ],
+    )
+    def test_3d_closed_form(self, r1, r2, d):
+        assert intersection_volume(3, r1, r2, d) == pytest.approx(
+            lens_volume_3d(r1, r2, d), rel=1e-9
+        )
+
+    @pytest.mark.parametrize(
+        "r1, r2, d",
+        [(2.0, 1.5, 2.2), (2.0, 1.5, 0.8), (1.0, 1.0, 1.2)],
+    )
+    def test_2d_closed_form(self, r1, r2, d):
+        assert intersection_volume(2, r1, r2, d) == pytest.approx(
+            lens_area_2d(r1, r2, d), rel=1e-9
+        )
+
+    def test_symmetric_in_radii(self):
+        a = intersection_volume(5, 1.3, 0.9, 1.0)
+        b = intersection_volume(5, 0.9, 1.3, 1.0)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_monotone_decreasing_in_distance(self):
+        distances = [0.1, 0.4, 0.8, 1.2, 1.6, 1.9]
+        values = [intersection_volume(4, 1.0, 1.0, d) for d in distances]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_case_boundary_continuity(self):
+        # Volume must be continuous across the case-2/case-3 boundary
+        # (d == R2) and the case-3/case-4 boundary (d == R1 - R2).
+        r1, r2 = 1.0, 0.7
+        for boundary in (r2, r1 - r2):
+            below = intersection_volume(3, r1, r2, boundary - 1e-9)
+            above = intersection_volume(3, r1, r2, boundary + 1e-9)
+            assert below == pytest.approx(above, rel=1e-5)
+
+    def test_monte_carlo_4d(self):
+        # Monte Carlo estimate of the lens in 4 dimensions.
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        r1, r2, d = 1.0, 0.8, 0.9
+        samples = rng.uniform(-1.0, 1.0, size=(400_000, 4))
+        inside1 = np.sum(samples * samples, axis=1) <= r1 * r1
+        shifted = samples.copy()
+        shifted[:, 0] -= d
+        inside2 = np.sum(shifted * shifted, axis=1) <= r2 * r2
+        box = 2.0**4
+        estimate = box * np.mean(inside1 & inside2)
+        assert intersection_volume(4, r1, r2, d) == pytest.approx(
+            estimate, rel=0.05
+        )
+
+
+class TestFractionOfSmaller:
+    def test_bounds(self):
+        for d in (0.0, 0.2, 0.5, 1.0, 3.0):
+            f = intersection_fraction_of_smaller(8, 1.0, 0.6, d)
+            assert 0.0 <= f <= 1.0
+
+    def test_contained_is_one(self):
+        assert intersection_fraction_of_smaller(6, 2.0, 0.5, 0.2) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert intersection_fraction_of_smaller(6, 1.0, 0.5, 3.0) == 0.0
+
+    def test_high_dim_stable(self):
+        f = intersection_fraction_of_smaller(64, 0.15, 0.15, 0.05)
+        assert 0.0 < f < 1.0
+        assert math.isfinite(f)
+
+    def test_point_mass_inside(self):
+        assert intersection_fraction_of_smaller(3, 1.0, 0.0, 0.5) == 1.0
+
+    def test_point_mass_on_boundary(self):
+        assert intersection_fraction_of_smaller(3, 1.0, 0.0, 1.0) == 1.0
+
+    def test_point_mass_outside(self):
+        assert intersection_fraction_of_smaller(3, 1.0, 0.0, 1.5) == 0.0
+
+    def test_matches_volume_ratio(self):
+        n, r1, r2, d = 5, 1.2, 0.8, 1.0
+        expected = intersection_volume(n, r1, r2, d) / sphere_volume(n, r2)
+        assert intersection_fraction_of_smaller(n, r1, r2, d) == pytest.approx(
+            expected, rel=1e-9
+        )

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the geometry invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.geometry.intersection import (
+    intersection_fraction_of_smaller,
+    intersection_volume,
+    log_intersection_volume,
+)
+from repro.geometry.volumes import (
+    cap_fraction,
+    sector_fraction,
+    sphere_volume,
+)
+
+dims = st.integers(min_value=2, max_value=48)
+radii = st.floats(min_value=1e-3, max_value=10.0)
+distances = st.floats(min_value=0.0, max_value=25.0)
+angles = st.floats(min_value=0.0, max_value=math.pi)
+
+
+@settings(max_examples=150, deadline=None)
+@given(n=dims, alpha=angles)
+def test_cap_fraction_in_unit_interval(n, alpha):
+    f = cap_fraction(n, alpha)
+    assert 0.0 <= f <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=dims, alpha=st.floats(min_value=0.01, max_value=math.pi - 0.01))
+def test_cap_complement_identity(n, alpha):
+    total = cap_fraction(n, alpha) + cap_fraction(n, math.pi - alpha)
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=dims, alpha=angles)
+def test_cap_at_least_sector_times_zero(n, alpha):
+    # For acute angles the cap is contained in the sector.
+    if alpha <= math.pi / 2.0:
+        assert cap_fraction(n, alpha) <= sector_fraction(n, alpha) + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=dims, r1=radii, r2=radii, d=distances)
+def test_fraction_bounds_and_symmetry(n, r1, r2, d):
+    f = intersection_fraction_of_smaller(n, r1, r2, d)
+    g = intersection_fraction_of_smaller(n, r2, r1, d)
+    assert 0.0 <= f <= 1.0
+    assert f == pytest.approx(g, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(n=dims, r1=radii, r2=radii, d=distances)
+def test_intersection_upper_bounds(n, r1, r2, d):
+    # The lens volume can never exceed either sphere's volume.
+    small = min(r1, r2)
+    log_v = log_intersection_volume(n, r1, r2, d)
+    if log_v > -math.inf:
+        log_small = math.log(sphere_volume(n, small)) if sphere_volume(n, small) else -math.inf
+        if math.isfinite(log_small):
+            assert log_v <= log_small + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    r1=st.floats(min_value=0.1, max_value=3.0),
+    r2=st.floats(min_value=0.1, max_value=3.0),
+)
+def test_monotone_in_distance(n, r1, r2):
+    span = r1 + r2
+    values = [
+        intersection_volume(n, r1, r2, t * span / 6.0) for t in range(7)
+    ]
+    for a, b in zip(values, values[1:]):
+        assert b <= a + 1e-12 * max(1.0, a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    r1=st.floats(min_value=0.1, max_value=2.0),
+    r2=st.floats(min_value=0.1, max_value=2.0),
+    d=st.floats(min_value=0.0, max_value=4.0),
+    scale=st.floats(min_value=0.2, max_value=5.0),
+)
+def test_fraction_scale_invariant(n, r1, r2, d, scale):
+    # Fractions are dimensionless: scaling the whole configuration by a
+    # constant leaves them unchanged.
+    f1 = intersection_fraction_of_smaller(n, r1, r2, d)
+    f2 = intersection_fraction_of_smaller(n, r1 * scale, r2 * scale, d * scale)
+    assert f1 == pytest.approx(f2, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=2, max_value=10), r=radii)
+def test_zero_distance_full_overlap(n, r):
+    assert intersection_fraction_of_smaller(n, r, r, 0.0) == pytest.approx(1.0)

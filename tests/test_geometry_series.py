@@ -1,0 +1,98 @@
+"""Cross-validation of the paper's factorial series (repro.geometry.series)
+against the beta-function implementation (repro.geometry.volumes)."""
+
+import math
+
+import pytest
+
+from repro.geometry.series import (
+    cap_volume_series,
+    cone_volume_series,
+    sector_volume_series,
+    sphere_volume_series,
+)
+from repro.geometry.volumes import (
+    cap_volume,
+    cone_volume,
+    sector_volume,
+    sphere_volume,
+)
+
+ANGLES = (0.05, 0.3, 0.8, 1.2, math.pi / 2.0)
+DIMENSIONS = tuple(range(2, 16))
+
+
+class TestSphereSeries:
+    @pytest.mark.parametrize("n", range(1, 21))
+    def test_matches_gamma_form(self, n):
+        assert sphere_volume_series(n, 1.4) == pytest.approx(
+            sphere_volume(n, 1.4), rel=1e-10
+        )
+
+    def test_even_coefficient(self):
+        # n = 4: pi^2/2! = pi^2/2.
+        assert sphere_volume_series(4, 1.0) == pytest.approx(math.pi**2 / 2.0)
+
+    def test_odd_coefficient(self):
+        # n = 3: 2^4 pi 2!/4! = 4 pi/3.
+        assert sphere_volume_series(3, 1.0) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_zero_radius(self):
+        assert sphere_volume_series(7, 0.0) == 0.0
+
+
+class TestSectorSeries:
+    @pytest.mark.parametrize("n", DIMENSIONS)
+    @pytest.mark.parametrize("alpha", ANGLES)
+    def test_matches_beta_form(self, n, alpha):
+        assert sector_volume_series(n, 1.1, alpha) == pytest.approx(
+            sector_volume(n, 1.1, alpha), rel=1e-9
+        )
+
+    def test_2d_reduces_to_alpha_r_squared(self):
+        assert sector_volume_series(2, 3.0, 0.7) == pytest.approx(0.7 * 9.0)
+
+    def test_zero_angle(self):
+        assert sector_volume_series(5, 1.0, 0.0) == 0.0
+
+    def test_rejects_obtuse(self):
+        with pytest.raises(ValueError):
+            sector_volume_series(4, 1.0, 2.5)
+
+
+class TestCapSeries:
+    @pytest.mark.parametrize("n", DIMENSIONS)
+    @pytest.mark.parametrize("alpha", ANGLES)
+    def test_matches_beta_form(self, n, alpha):
+        assert cap_volume_series(n, 0.9, alpha) == pytest.approx(
+            cap_volume(n, 0.9, alpha), rel=1e-9
+        )
+
+    def test_paper_structural_claim(self):
+        """The cap series is the sector series plus one extra term, and
+        that extra term equals the cone volume (paper Section 3.2)."""
+        for n in DIMENSIONS:
+            for alpha in (0.4, 1.0):
+                sector = sector_volume_series(n, 1.0, alpha)
+                cap = cap_volume_series(n, 1.0, alpha)
+                cone = cone_volume_series(n, 1.0, alpha)
+                # cap = sector - cone, i.e. extra term == -cone.
+                assert cap == pytest.approx(sector - cone, rel=1e-9)
+
+
+class TestConeSeries:
+    @pytest.mark.parametrize("n", DIMENSIONS)
+    @pytest.mark.parametrize("alpha", (0.2, 0.9, 1.4))
+    def test_matches_gamma_form(self, n, alpha):
+        assert cone_volume_series(n, 1.2, alpha) == pytest.approx(
+            cone_volume(n, 1.2, alpha), rel=1e-9
+        )
+
+    def test_pyramid_identity(self):
+        # V_cone = V_{n-1}(R sin a) * R cos a / n.
+        n, radius, alpha = 6, 1.5, 0.8
+        base = sphere_volume(n - 1, radius * math.sin(alpha))
+        height = radius * math.cos(alpha)
+        assert cone_volume_series(n, radius, alpha) == pytest.approx(
+            base * height / n, rel=1e-10
+        )

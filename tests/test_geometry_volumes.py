@@ -1,0 +1,179 @@
+"""Tests for repro.geometry.volumes against closed forms and identities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.volumes import (
+    cap_fraction,
+    cap_volume,
+    cone_volume,
+    log_cap_fraction,
+    log_cap_volume,
+    log_sphere_volume,
+    log_unit_sphere_volume,
+    sector_fraction,
+    sector_volume,
+    sphere_volume,
+)
+
+
+class TestSphereVolume:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            (1, 2.0),
+            (2, math.pi),
+            (3, 4.0 * math.pi / 3.0),
+            (4, math.pi**2 / 2.0),
+            (5, 8.0 * math.pi**2 / 15.0),
+            (6, math.pi**3 / 6.0),
+        ],
+    )
+    def test_unit_ball_closed_forms(self, n, expected):
+        assert sphere_volume(n, 1.0) == pytest.approx(expected, rel=1e-12)
+
+    def test_radius_scaling(self):
+        assert sphere_volume(3, 2.0) == pytest.approx(8.0 * sphere_volume(3, 1.0))
+
+    def test_zero_radius(self):
+        assert sphere_volume(5, 0.0) == 0.0
+        assert log_sphere_volume(5, 0.0) == -math.inf
+
+    def test_log_consistency(self):
+        for n in (2, 7, 16):
+            assert math.exp(log_sphere_volume(n, 0.8)) == pytest.approx(
+                sphere_volume(n, 0.8), rel=1e-12
+            )
+
+    def test_high_dim_log_finite(self):
+        # Plain volume underflows; the log must stay finite.
+        log_v = log_sphere_volume(512, 0.1)
+        assert math.isfinite(log_v)
+        assert log_v < -1000
+
+    def test_unit_volume_decreases_beyond_dim5(self):
+        values = [math.exp(log_unit_sphere_volume(n)) for n in range(5, 30)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            sphere_volume(0, 1.0)
+        with pytest.raises(TypeError):
+            sphere_volume(2.5, 1.0)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            sphere_volume(3, -1.0)
+
+
+class TestCapFraction:
+    def test_zero_angle(self):
+        assert cap_fraction(4, 0.0) == 0.0
+        assert log_cap_fraction(4, 0.0) == -math.inf
+
+    def test_half_angle_is_half_ball(self):
+        for n in (2, 3, 8, 33):
+            assert cap_fraction(n, math.pi / 2.0) == pytest.approx(0.5, rel=1e-12)
+
+    def test_full_angle_is_whole_ball(self):
+        assert cap_fraction(6, math.pi) == 1.0
+
+    def test_obtuse_complement(self):
+        # cap(alpha) + cap(pi - alpha) = full ball.
+        for n in (2, 3, 7, 20):
+            for alpha in (0.3, 0.9, 1.4):
+                total = cap_fraction(n, alpha) + cap_fraction(n, math.pi - alpha)
+                assert total == pytest.approx(1.0, rel=1e-10)
+
+    def test_monotone_in_angle(self):
+        angles = np.linspace(0.01, math.pi - 0.01, 40)
+        for n in (2, 5, 16):
+            values = [cap_fraction(n, a) for a in angles]
+            # Non-decreasing everywhere (float saturation near 0 and pi
+            # can make neighbours exactly equal in high dimensions)...
+            assert all(b >= a for a, b in zip(values, values[1:]))
+            # ...and strictly increasing in the central range.
+            central = [cap_fraction(n, a) for a in np.linspace(0.8, 2.3, 15)]
+            assert all(b > a for a, b in zip(central, central[1:]))
+
+    def test_2d_circular_segment(self):
+        # Segment area = R^2 (alpha - sin(alpha) cos(alpha)).
+        for alpha in (0.2, 0.7, 1.3):
+            expected = (alpha - math.sin(alpha) * math.cos(alpha)) / math.pi
+            assert cap_fraction(2, alpha) == pytest.approx(expected, rel=1e-10)
+
+    def test_3d_spherical_cap(self):
+        # V = pi h^2 (3R - h)/3 with h = R(1 - cos(alpha)).
+        radius = 1.7
+        for alpha in (0.3, 1.0, 1.5):
+            h = radius * (1.0 - math.cos(alpha))
+            expected = math.pi * h * h * (3.0 * radius - h) / 3.0
+            assert cap_volume(3, radius, alpha) == pytest.approx(expected, rel=1e-10)
+
+    def test_log_matches_linear(self):
+        for n in (3, 9):
+            for alpha in (0.4, 1.0, 2.2):
+                assert math.exp(log_cap_fraction(n, alpha)) == pytest.approx(
+                    cap_fraction(n, alpha), rel=1e-9
+                )
+
+    def test_log_cap_survives_underflow(self):
+        # At n=4000 and a small angle, the linear fraction underflows but
+        # the log stays finite and negative.
+        log_f = log_cap_fraction(4000, 0.05)
+        assert math.isfinite(log_f)
+        assert log_f < -700
+
+    def test_rejects_bad_angle(self):
+        with pytest.raises(ValueError):
+            cap_fraction(3, -0.1)
+        with pytest.raises(ValueError):
+            cap_fraction(3, 4.0)
+
+    def test_log_cap_volume_zero_radius(self):
+        assert log_cap_volume(3, 0.0, 1.0) == -math.inf
+        assert cap_volume(3, 0.0, 1.0) == 0.0
+
+
+class TestSectorAndCone:
+    def test_sector_equals_cap_plus_cone(self):
+        for n in range(2, 14):
+            for alpha in (0.15, 0.6, 1.1, 1.5):
+                sector = sector_volume(n, 1.3, alpha)
+                cap = cap_volume(n, 1.3, alpha)
+                cone = cone_volume(n, 1.3, alpha)
+                assert sector == pytest.approx(cap + cone, rel=1e-9)
+
+    def test_2d_sector(self):
+        # Sector of half-angle alpha has area alpha R^2.
+        assert sector_volume(2, 2.0, 0.5) == pytest.approx(0.5 * 4.0, rel=1e-10)
+
+    def test_3d_sector(self):
+        # V = (2 pi / 3) R^3 (1 - cos(alpha)).
+        for alpha in (0.4, 1.2):
+            expected = 2.0 * math.pi / 3.0 * (1.0 - math.cos(alpha))
+            assert sector_volume(3, 1.0, alpha) == pytest.approx(expected, rel=1e-10)
+
+    def test_2d_cone_is_triangle_pair(self):
+        # Two right triangles: area = R^2 sin(alpha) cos(alpha).
+        alpha = 0.8
+        expected = math.sin(alpha) * math.cos(alpha)
+        assert cone_volume(2, 1.0, alpha) == pytest.approx(expected, rel=1e-10)
+
+    def test_sector_half_pi_is_half_ball(self):
+        for n in (2, 3, 6):
+            assert sector_fraction(n, math.pi / 2.0) == pytest.approx(0.5)
+
+    def test_sector_fraction_one_dimension(self):
+        assert sector_fraction(1, 0.5) == 0.5
+        assert sector_fraction(1, math.pi) == 1.0
+        assert sector_fraction(1, 0.0) == 0.0
+
+    def test_cone_zero_at_right_angle(self):
+        assert cone_volume(4, 1.0, math.pi / 2.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cone_rejects_obtuse(self):
+        with pytest.raises(ValueError):
+            cone_volume(3, 1.0, 2.0)

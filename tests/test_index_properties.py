@@ -1,0 +1,150 @@
+"""Property-based tests: the index against brute-force video similarity.
+
+Hypothesis generates arbitrary small ViTri databases (positions, radii,
+counts) and queries; the indexed KNN must return exactly what pairwise
+:func:`video_similarity` scoring returns, for every method and reference
+strategy.  This is the deepest invariant in the system: the 1-D key
+filter is lossless and the score aggregation is shared.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import VitriIndex
+from repro.core.similarity import video_similarity
+from repro.core.vitri import VideoSummary, ViTri
+
+EPSILON = 0.4
+DIM = 5
+
+positions = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=DIM,
+    max_size=DIM,
+)
+vitri_strategy = st.builds(
+    lambda pos, radius, count: ViTri(
+        position=np.asarray(pos), radius=radius, count=count
+    ),
+    positions,
+    st.floats(min_value=0.0, max_value=EPSILON / 2.0, allow_nan=False),
+    st.integers(min_value=1, max_value=40),
+)
+summary_strategy = st.lists(vitri_strategy, min_size=1, max_size=4)
+
+
+def make_database(summaries_raw):
+    return [
+        VideoSummary(video_id=video_id, vitris=tuple(vitris))
+        for video_id, vitris in enumerate(summaries_raw)
+    ]
+
+
+def brute_force(summaries, query, k):
+    scored = []
+    for summary in summaries:
+        score = video_similarity(query, summary)
+        if score > 0.0:
+            scored.append((summary.video_id, round(score, 12)))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored[:k]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    database=st.lists(summary_strategy, min_size=1, max_size=8),
+    query_raw=summary_strategy,
+)
+def test_index_matches_brute_force(database, query_raw):
+    summaries = make_database(database)
+    query = VideoSummary(video_id=9999, vitris=tuple(query_raw))
+    index = VitriIndex.build(summaries, EPSILON)
+    k = len(summaries)
+    expected = dict(brute_force(summaries, query, k))
+    for method in ("composed", "naive"):
+        result = index.knn(query, k, method=method)
+        # Same result set, per-video scores equal, descending order.  The
+        # exact order of (near-)ties is not pinned: the two paths sum the
+        # same per-pair estimates in different orders, and hypothesis
+        # happily finds subnormal-radius inputs where the last ULP flips
+        # a tie.
+        assert set(result.videos) == set(expected)
+        for video, score in zip(result.videos, result.scores):
+            assert score == pytest.approx(
+                expected[video], rel=1e-9, abs=1e-12
+            )
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    database=st.lists(summary_strategy, min_size=2, max_size=8),
+    query_raw=summary_strategy,
+)
+def test_reference_strategies_agree(database, query_raw):
+    """Results are invariant to the reference point — only cost differs."""
+    summaries = make_database(database)
+    query = VideoSummary(video_id=9999, vitris=tuple(query_raw))
+    results = []
+    for reference in ("optimal", "data_center", "space_center"):
+        index = VitriIndex.build(summaries, EPSILON, reference=reference)
+        results.append(index.knn(query, len(summaries)))
+    baseline = dict(zip(results[0].videos, results[0].scores))
+    for other in results[1:]:
+        assert set(other.videos) == set(baseline)
+        for video, score in zip(other.videos, other.scores):
+            assert score == pytest.approx(
+                baseline[video], rel=1e-9, abs=1e-12
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    database=st.lists(summary_strategy, min_size=2, max_size=6),
+    split=st.integers(min_value=1, max_value=5),
+)
+def test_dynamic_insert_equals_bulk(database, split):
+    """Building in one shot and growing dynamically give identical
+    results (the insertion path shares the key function and layout)."""
+    summaries = make_database(database)
+    split = min(split, len(summaries) - 1)
+    bulk = VitriIndex.build(summaries, EPSILON)
+    grown = VitriIndex.build(summaries[:split], EPSILON)
+    for summary in summaries[split:]:
+        grown.insert_video(summary)
+    query = summaries[0]
+    a = bulk.knn(query, len(summaries))
+    b = grown.knn(query, len(summaries))
+    scores_a = dict(zip(a.videos, a.scores))
+    assert set(b.videos) == set(scores_a)
+    for video, score in zip(b.videos, b.scores):
+        assert score == pytest.approx(scores_a[video], rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    database=st.lists(summary_strategy, min_size=2, max_size=6),
+    query_raw=summary_strategy,
+)
+def test_alternative_mappings_agree(database, query_raw):
+    """The Pyramid and multi-reference iDistance comparators are different
+    key functions over the same records — their rankings must match the
+    index's exactly on arbitrary inputs."""
+    from repro.baselines.idistance import MultiRefIndex
+    from repro.baselines.pyramid import PyramidIndex
+
+    summaries = make_database(database)
+    query = VideoSummary(video_id=9999, vitris=tuple(query_raw))
+    index = VitriIndex.build(summaries, EPSILON)
+    pyramid = PyramidIndex(index)
+    multi = MultiRefIndex(index, num_partitions=3, seed=0)
+    k = len(summaries)
+    reference = index.knn(query, k)
+    reference_scores = dict(zip(reference.videos, reference.scores))
+    for other in (pyramid.knn(query, k), multi.knn(query, k)):
+        assert set(other.videos) == set(reference_scores)
+        for video, score in zip(other.videos, other.scores):
+            assert score == pytest.approx(
+                reference_scores[video], rel=1e-9, abs=1e-12
+            )

@@ -1,0 +1,142 @@
+"""Integration tests: the full pipeline from raw frames to ranked results.
+
+These exercise the public API exactly as the examples and benchmarks do,
+and assert the cross-component invariants that make the reproduction
+trustworthy:
+
+* the indexed KNN (naive and composed) returns exactly the sequential
+  scan's results — the key filter is lossless;
+* a dynamically grown index returns the same results as a one-off build;
+* on a dataset with near-duplicate families, ViTri retrieval finds the
+  family (precision against frame-level ground truth is meaningfully
+  above chance).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import (
+    SequentialScan,
+    VideoSignatureIndex,
+    keyframe_similarity,
+    summarize_keyframes,
+)
+from repro.datasets import DatasetConfig, generate_dataset, sample_queries
+from repro.eval import GroundTruthCache, precision_at_k
+
+EPSILON = 0.3
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    config = DatasetConfig.precision_preset(
+        dim=24,
+        num_families=4,
+        family_size=4,
+        num_distractors=8,
+        duration_classes=((40, 0.5), (25, 0.5)),
+    )
+    dataset = generate_dataset(config, seed=777)
+    summaries = [
+        repro.summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    return dataset, summaries, index
+
+
+class TestPipeline:
+    def test_index_equals_seqscan_for_all_queries(self, pipeline):
+        dataset, summaries, index = pipeline
+        scan = SequentialScan(index)
+        for query_id in range(dataset.num_videos):
+            query = summaries[query_id]
+            via_index = index.knn(query, 8, cold=True)
+            via_scan = scan.knn(query, 8)
+            assert via_index.videos == via_scan.videos, f"query {query_id}"
+            assert np.allclose(via_index.scores, via_scan.scores)
+
+    def test_naive_equals_composed_for_all_queries(self, pipeline):
+        dataset, summaries, index = pipeline
+        for query_id in range(dataset.num_videos):
+            query = summaries[query_id]
+            composed = index.knn(query, 8, method="composed", cold=True)
+            naive = index.knn(query, 8, method="naive", cold=True)
+            assert composed.videos == naive.videos
+
+    def test_dynamic_growth_equals_bulk_build(self, pipeline):
+        dataset, summaries, index = pipeline
+        half = len(summaries) // 2
+        grown = repro.VitriIndex.build(summaries[:half], EPSILON)
+        for summary in summaries[half:]:
+            grown.insert_video(summary)
+        for query_id in (0, half, len(summaries) - 1):
+            a = grown.knn(summaries[query_id], 6, cold=True)
+            b = index.knn(summaries[query_id], 6, cold=True)
+            assert a.videos == b.videos
+
+    def test_retrieval_finds_family(self, pipeline):
+        dataset, summaries, index = pipeline
+        gt = GroundTruthCache(dataset)
+        precisions = []
+        for family in dataset.families:
+            query_id = dataset.family_members(family)[0]
+            relevant = gt.top_k(query_id, 4, EPSILON)
+            retrieved = index.knn(summaries[query_id], 4).videos
+            precisions.append(precision_at_k(relevant, retrieved))
+        # Random retrieval over 24 videos would score ~0.17; the pipeline
+        # must do far better.
+        assert float(np.mean(precisions)) >= 0.5
+
+    def test_vitri_score_correlates_with_ground_truth(self, pipeline):
+        dataset, summaries, index = pipeline
+        query_id = dataset.family_members(0)[0]
+        family = set(dataset.family_members(0))
+        result = index.knn(summaries[query_id], dataset.num_videos)
+        scores = dict(zip(result.videos, result.scores))
+        family_scores = [scores.get(v, 0.0) for v in family]
+        stranger_scores = [
+            scores.get(v, 0.0)
+            for v in range(dataset.num_videos)
+            if v not in family
+        ]
+        assert min(family_scores) >= 0.0
+        assert np.mean(family_scores) > np.mean(stranger_scores)
+
+    def test_baselines_run_end_to_end(self, pipeline):
+        dataset, summaries, index = pipeline
+        query_id = 0
+        keyframes = [
+            summarize_keyframes(i, dataset.frames(i), k=max(len(summaries[i]), 1), seed=i)
+            for i in range(dataset.num_videos)
+        ]
+        ranked = sorted(
+            range(dataset.num_videos),
+            key=lambda v: -keyframe_similarity(
+                keyframes[query_id], keyframes[v], EPSILON
+            ),
+        )
+        assert len(ranked) == dataset.num_videos
+
+        visig = VideoSignatureIndex(dim=dataset.dim, num_seeds=8, seed=0)
+        signatures = [
+            visig.summarize(i, dataset.frames(i)) for i in range(dataset.num_videos)
+        ]
+        sims = [
+            visig.similarity(signatures[query_id], s, EPSILON) for s in signatures
+        ]
+        assert sims[query_id] == pytest.approx(1.0)
+
+    def test_query_workflow_helpers(self, pipeline):
+        dataset, summaries, index = pipeline
+        queries = sample_queries(dataset, 5, seed=0)
+        for query_id in queries:
+            result = index.knn(summaries[query_id], 3)
+            assert len(result) >= 1
+
+    def test_top_level_exports(self):
+        assert hasattr(repro, "VitriIndex")
+        assert hasattr(repro, "summarize_video")
+        assert hasattr(repro, "generate_dataset")
+        assert repro.__version__

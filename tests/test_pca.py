@@ -1,0 +1,174 @@
+"""Tests for repro.pca."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pca import PCA, principal_angle
+
+
+def correlated_data(rng, rows=300, dim=6, direction=None, spread=5.0):
+    """Data dominated by one direction plus small isotropic noise."""
+    if direction is None:
+        direction = np.zeros(dim)
+        direction[0] = 1.0
+    direction = direction / np.linalg.norm(direction)
+    coefficients = rng.normal(0.0, spread, rows)
+    noise = rng.normal(0.0, 0.1, (rows, dim))
+    return coefficients[:, None] * direction[None, :] + noise
+
+
+class TestFit:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        direction = np.array([3.0, 1.0, 0.0, 0.0, -2.0, 0.5])
+        data = correlated_data(rng, direction=direction)
+        pca = PCA(n_components=1).fit(data)
+        assert principal_angle(pca.first_component, direction) < 0.05
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 1, (100, 5))
+        pca = PCA().fit(data)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_explained_variance_descending(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 1, (200, 8)) * np.arange(8, 0, -1)
+        pca = PCA().fit(data)
+        ev = pca.explained_variance_
+        assert all(b <= a + 1e-12 for a, b in zip(ev, ev[1:]))
+
+    def test_explained_variance_matches_projection_variance(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 2, (150, 4))
+        pca = PCA().fit(data)
+        projections = pca.transform(data)
+        assert np.allclose(
+            projections.var(axis=0), pca.explained_variance_, rtol=1e-8
+        )
+
+    def test_total_variance_preserved(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(0, 1, (120, 6))
+        pca = PCA().fit(data)
+        assert pca.explained_variance_.sum() == pytest.approx(
+            data.var(axis=0).sum(), rel=1e-10
+        )
+
+    def test_deterministic_signs(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(0, 1, (80, 4))
+        a = PCA().fit(data).components_
+        b = PCA().fit(data.copy()).components_
+        assert np.array_equal(a, b)
+        # Largest-magnitude coordinate of each component is positive.
+        for row in a:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_n_components_truncates(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(0, 1, (50, 7))
+        pca = PCA(n_components=3).fit(data)
+        assert pca.components_.shape == (3, 7)
+        assert pca.explained_variance_.shape == (3,)
+
+    def test_n_components_clamped_to_dim(self):
+        rng = np.random.default_rng(7)
+        pca = PCA(n_components=99).fit(rng.normal(0, 1, (20, 3)))
+        assert pca.components_.shape == (3, 3)
+
+    def test_single_point(self):
+        pca = PCA().fit([[1.0, 2.0, 3.0]])
+        assert np.allclose(pca.center_, [1.0, 2.0, 3.0])
+        assert np.allclose(pca.explained_variance_, 0.0)
+
+    def test_invalid_n_components(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(TypeError):
+            PCA(n_components=1.5)
+
+
+class TestTransform:
+    def test_round_trip(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(0, 1, (60, 5))
+        pca = PCA().fit(data)
+        recovered = pca.inverse_transform(pca.transform(data))
+        assert np.allclose(recovered, data, atol=1e-10)
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform([[1.0, 2.0]])
+
+    def test_transform_centers(self):
+        data = np.array([[1.0, 1.0], [3.0, 3.0]])
+        pca = PCA().fit(data)
+        projections = pca.transform(data)
+        assert projections.sum(axis=0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fit_transform(self):
+        rng = np.random.default_rng(9)
+        data = rng.normal(0, 1, (30, 3))
+        a = PCA().fit_transform(data)
+        b = PCA().fit(data).transform(data)
+        assert np.allclose(a, b)
+
+    def test_dimension_mismatch(self):
+        pca = PCA().fit(np.zeros((5, 3)) + np.eye(5, 3))
+        with pytest.raises(ValueError):
+            pca.transform([[1.0, 2.0]])
+
+
+class TestVarianceSegment:
+    def test_segment_extents(self):
+        # Points on a line: segment = full extent of projections.
+        data = np.array([[t, 2 * t] for t in np.linspace(-1, 3, 11)])
+        pca = PCA().fit(data)
+        low, high = pca.variance_segment(data, 0)
+        spread = math.sqrt(5) * 4.0  # length of the [-1,3] x-range on the line
+        assert high - low == pytest.approx(spread, rel=1e-10)
+
+    def test_segment_contains_all_projections(self):
+        rng = np.random.default_rng(10)
+        data = rng.normal(0, 1, (100, 4))
+        pca = PCA().fit(data)
+        low, high = pca.variance_segment(data, 0)
+        projections = pca.project_scalar(data, 0)
+        assert projections.min() >= low - 1e-12
+        assert projections.max() <= high + 1e-12
+
+    def test_component_index_validation(self):
+        pca = PCA(n_components=2).fit(np.random.default_rng(0).normal(0, 1, (20, 4)))
+        with pytest.raises(ValueError):
+            pca.variance_segment(np.zeros((3, 4)), 5)
+        with pytest.raises(TypeError):
+            pca.variance_segment(np.zeros((3, 4)), 1.0)
+
+
+class TestPrincipalAngle:
+    def test_identical_directions(self):
+        assert principal_angle([1, 0, 0], [1, 0, 0]) == pytest.approx(0.0)
+
+    def test_opposite_directions_are_same_line(self):
+        assert principal_angle([1, 0], [-1, 0]) == pytest.approx(0.0)
+
+    def test_orthogonal(self):
+        assert principal_angle([1, 0], [0, 1]) == pytest.approx(math.pi / 2)
+
+    def test_45_degrees(self):
+        assert principal_angle([1, 0], [1, 1]) == pytest.approx(math.pi / 4)
+
+    def test_scale_invariant(self):
+        assert principal_angle([2, 0, 0], [0, 0, 7]) == pytest.approx(math.pi / 2)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            principal_angle([0, 0], [1, 0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            principal_angle([1, 0], [1, 0, 0])

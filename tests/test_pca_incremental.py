@@ -1,0 +1,90 @@
+"""Tests for exact streaming moments (repro.pca.incremental)."""
+
+import numpy as np
+import pytest
+
+from repro.pca import PCA, IncrementalMoments, principal_angle
+
+
+class TestIncrementalMoments:
+    def test_matches_batch_covariance(self, rng):
+        data = rng.normal(0, 2, (300, 5))
+        moments = IncrementalMoments(5)
+        for start in range(0, 300, 37):  # uneven batches
+            moments.update(data[start : start + 37])
+        assert moments.count == 300
+        assert np.allclose(moments.mean, data.mean(axis=0), atol=1e-10)
+        centred = data - data.mean(axis=0)
+        expected = centred.T @ centred / 300
+        assert np.allclose(moments.covariance(), expected, atol=1e-10)
+
+    def test_single_point_batches(self, rng):
+        data = rng.normal(0, 1, (50, 3))
+        moments = IncrementalMoments(3)
+        for row in data:
+            moments.update(row[None, :])
+        assert np.allclose(moments.mean, data.mean(axis=0), atol=1e-10)
+
+    def test_first_component_matches_pca(self, rng):
+        direction = rng.normal(0, 1, 6)
+        direction /= np.linalg.norm(direction)
+        data = (
+            rng.normal(0, 3, 400)[:, None] * direction[None, :]
+            + rng.normal(0, 0.1, (400, 6))
+        )
+        moments = IncrementalMoments(6)
+        moments.update(data)
+        batch = PCA(n_components=1).fit(data).first_component
+        assert principal_angle(moments.first_component(), batch) < 1e-6
+
+    def test_downdate_exact(self, rng):
+        data = rng.normal(0, 1, (120, 4))
+        moments = IncrementalMoments(4)
+        moments.update(data)
+        moments.downdate(data[80:])
+        kept = data[:80]
+        assert moments.count == 80
+        assert np.allclose(moments.mean, kept.mean(axis=0), atol=1e-9)
+        centred = kept - kept.mean(axis=0)
+        assert np.allclose(
+            moments.covariance(), centred.T @ centred / 80, atol=1e-9
+        )
+
+    def test_downdate_to_empty(self, rng):
+        data = rng.normal(0, 1, (10, 3))
+        moments = IncrementalMoments(3)
+        moments.update(data)
+        moments.downdate(data)
+        assert moments.count == 0
+        with pytest.raises(RuntimeError):
+            moments.covariance()
+
+    def test_downdate_more_than_present(self):
+        moments = IncrementalMoments(2)
+        moments.update(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            moments.downdate(np.zeros((4, 2)))
+
+    def test_update_then_downdate_round_trip(self, rng):
+        base = rng.normal(0, 1, (60, 3))
+        extra = rng.normal(5, 2, (25, 3))
+        moments = IncrementalMoments(3)
+        moments.update(base)
+        before_mean = moments.mean
+        before_cov = moments.covariance()
+        moments.update(extra)
+        moments.downdate(extra)
+        assert np.allclose(moments.mean, before_mean, atol=1e-9)
+        assert np.allclose(moments.covariance(), before_cov, atol=1e-8)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalMoments(0)
+        moments = IncrementalMoments(3)
+        with pytest.raises(ValueError):
+            moments.update(np.zeros((2, 4)))
+
+    def test_empty_moments_raise(self):
+        moments = IncrementalMoments(2)
+        with pytest.raises(RuntimeError):
+            moments.covariance()

@@ -1,0 +1,95 @@
+"""Medium-scale integration: the invariants must hold beyond toy sizes.
+
+Several hundred videos / ~1000 ViTris, multi-level B+-tree, mixed bulk +
+dynamic construction, removals, and cross-method result equality.  This
+is the closest the test suite gets to the benchmark workloads.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import SequentialScan
+from repro.btree.checker import check_tree
+from repro.datasets import DatasetConfig, generate_dataset
+
+EPSILON = 0.2
+
+
+@pytest.fixture(scope="module")
+def big_workload():
+    config = DatasetConfig.indexing_preset(
+        num_distractors=350,
+        scene_weight=10.0,
+        palette_weight=12.0,
+        shot_weight=2.0,
+        duration_classes=((120, 0.5), (80, 0.5)),
+        dim=32,  # keep the records small enough for a quick build
+    )
+    dataset = generate_dataset(config, seed=555)
+    summaries = [
+        repro.summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    return dataset, summaries, index
+
+
+class TestScale:
+    def test_workload_is_nontrivial(self, big_workload):
+        dataset, summaries, index = big_workload
+        assert index.num_vitris >= 300
+        assert index.btree.height >= 2
+
+    def test_btree_invariants(self, big_workload):
+        _, _, index = big_workload
+        check_tree(index.btree)
+
+    def test_index_equals_scan_sampled(self, big_workload):
+        dataset, summaries, index = big_workload
+        scan = SequentialScan(index)
+        for query_id in range(0, dataset.num_videos, 23):
+            a = index.knn(summaries[query_id], 20, cold=True)
+            b = scan.knn(summaries[query_id], 20)
+            assert a.videos == b.videos
+            assert np.allclose(a.scores, b.scores)
+
+    def test_methods_agree_sampled(self, big_workload):
+        dataset, summaries, index = big_workload
+        for query_id in range(0, dataset.num_videos, 31):
+            composed = index.knn(summaries[query_id], 20, method="composed")
+            naive = index.knn(summaries[query_id], 20, method="naive")
+            assert composed.videos == naive.videos
+
+    def test_index_prunes_meaningfully(self, big_workload):
+        dataset, summaries, index = big_workload
+        scan = SequentialScan(index)
+        index_pages = 0
+        scan_pages = 0
+        for query_id in range(0, 40, 4):
+            index_pages += index.knn(
+                summaries[query_id], 20, cold=True
+            ).stats.page_requests
+            scan_pages += scan.knn(summaries[query_id], 20).stats.page_requests
+        assert index_pages < scan_pages
+
+    def test_mixed_growth_and_removal(self, big_workload):
+        dataset, summaries, index = big_workload
+        half = len(summaries) // 2
+        grown = repro.VitriIndex.build(summaries[:half], EPSILON)
+        for summary in summaries[half:]:
+            grown.insert_video(summary)
+        victims = [summaries[3].video_id, summaries[half + 3].video_id]
+        for victim in victims:
+            grown.remove_video(victim)
+        check_tree(grown.btree)
+        result = grown.knn(summaries[0], dataset.num_videos, cold=True)
+        assert not set(victims) & set(result.videos)
+        # The surviving content still matches a freshly built index.
+        survivors = [
+            s for s in summaries if s.video_id not in victims
+        ]
+        fresh = repro.VitriIndex.build(survivors, EPSILON)
+        a = grown.knn(summaries[0], 15, cold=True)
+        b = fresh.knn(summaries[0], 15, cold=True)
+        assert a.videos == b.videos

@@ -1,0 +1,163 @@
+"""Tests for repro.storage.buffer_pool."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+def make_pool(capacity=4):
+    pager = Pager()
+    return pager, BufferPool(pager, capacity=capacity)
+
+
+class TestBufferPool:
+    def test_fetch_caches(self):
+        pager, pool = make_pool()
+        page = pool.allocate()
+        reads_before = pager.physical_reads
+        for _ in range(5):
+            assert pool.fetch(page.page_id) is page
+        assert pager.physical_reads == reads_before
+
+    def test_hit_miss_counters(self):
+        pager, pool = make_pool(capacity=1)
+        a = pool.allocate()
+        b = pool.allocate()  # evicts a
+        pool.fetch(b.page_id)  # hit
+        pool.fetch(a.page_id)  # miss (evicted)
+        assert pool.requests == 2
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_lru_eviction_order(self):
+        pager, pool = make_pool(capacity=2)
+        a = pool.allocate()
+        b = pool.allocate()
+        pool.fetch(a.page_id)          # a is now most recent
+        pool.allocate()                # evicts b (least recent)
+        pager_reads = pager.physical_reads
+        pool.fetch(a.page_id)          # still cached
+        assert pager.physical_reads == pager_reads
+        pool.fetch(b.page_id)          # must be re-read
+        assert pager.physical_reads == pager_reads + 1
+
+    def test_dirty_page_written_on_eviction(self):
+        pager, pool = make_pool(capacity=1)
+        a = pool.allocate()
+        a.data[:2] = b"ok"
+        a.mark_dirty()
+        pool.allocate()  # evicts a, must write it back
+        page = pager.read_page(a.page_id)
+        assert bytes(page.data[:2]) == b"ok"
+
+    def test_clean_page_not_written_on_eviction(self):
+        pager, pool = make_pool(capacity=1)
+        a = pool.allocate()
+        writes = pager.physical_writes
+        pool.allocate()  # evicts clean a
+        # Only the allocation write happened.
+        assert pager.physical_writes == writes + 1
+
+    def test_flush_writes_dirty(self):
+        pager, pool = make_pool()
+        a = pool.allocate()
+        a.data[0] = 7
+        a.mark_dirty()
+        pool.flush()
+        assert pager.read_page(a.page_id).data[0] == 7
+        assert not a.dirty
+
+    def test_clear_drops_cache(self):
+        pager, pool = make_pool()
+        a = pool.allocate()
+        pool.clear()
+        reads = pager.physical_reads
+        pool.fetch(a.page_id)
+        assert pager.physical_reads == reads + 1
+
+    def test_capacity_zero_always_misses(self):
+        pager, pool = make_pool(capacity=0)
+        pid = pager.allocate_page()
+        pool.fetch(pid)
+        pool.fetch(pid)
+        assert pool.hits == 0
+        assert pool.misses == 2
+
+    def test_capacity_zero_write_through(self):
+        pager, pool = make_pool(capacity=0)
+        page = pool.allocate()
+        page.data[0] = 5
+        page.mark_dirty()
+        pool.write_through(page)
+        assert pager.read_page(page.page_id).data[0] == 5
+
+    def test_reset_counters(self):
+        pager, pool = make_pool()
+        page = pool.allocate()
+        pool.fetch(page.page_id)
+        pool.reset_counters()
+        assert pool.requests == 0
+        assert pool.hits == 0
+        assert pool.misses == 0
+
+    def test_invalid_capacity(self):
+        pager = Pager()
+        with pytest.raises(ValueError):
+            BufferPool(pager, capacity=-1)
+        with pytest.raises(TypeError):
+            BufferPool(pager, capacity=2.5)
+
+    def test_never_exceeds_capacity(self):
+        pager, pool = make_pool(capacity=3)
+        for _ in range(10):
+            pool.allocate()
+        assert len(pool._pages) <= 3
+
+
+class TestOrphanWriteThrough:
+    """Mutating a page object after its eviction must not lose data."""
+
+    def test_capacity_zero_mutation_persists(self):
+        pager, pool = make_pool(capacity=0)
+        page = pool.allocate()
+        page.data[:3] = b"abc"
+        page.mark_dirty()
+        assert bytes(pager.read_page(page.page_id).data[:3]) == b"abc"
+
+    def test_evicted_page_mutation_persists(self):
+        pager, pool = make_pool(capacity=1)
+        a = pool.allocate()
+        pool.allocate()  # evicts a (clean)
+        a.data[:2] = b"hi"
+        a.mark_dirty()   # orphan write-through
+        assert bytes(pager.read_page(a.page_id).data[:2]) == b"hi"
+
+    def test_cleared_page_mutation_persists(self):
+        pager, pool = make_pool(capacity=4)
+        a = pool.allocate()
+        pool.clear()
+        a.data[0] = 9
+        a.mark_dirty()
+        assert pager.read_page(a.page_id).data[0] == 9
+
+    def test_cached_page_not_written_until_eviction(self):
+        pager, pool = make_pool(capacity=4)
+        a = pool.allocate()
+        writes = pager.physical_writes
+        a.data[0] = 1
+        a.mark_dirty()
+        # Still cached: deferred write-back, no physical write yet.
+        assert pager.physical_writes == writes
+
+    def test_btree_build_works_with_tiny_pool(self):
+        import struct
+        from repro.btree.checker import check_tree
+        from repro.btree.tree import BPlusTree
+
+        pool = BufferPool(Pager(), capacity=2)
+        tree = BPlusTree.create(pool, payload_size=8)
+        for i in range(2000):
+            tree.insert(float(i % 101), struct.pack("<q", i))
+        check_tree(tree)
+        assert len(tree.search(50.0)) == 2000 // 101 + (1 if 50 < 2000 % 101 else 0)

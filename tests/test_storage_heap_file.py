@@ -1,0 +1,139 @@
+"""Tests for repro.storage.heap_file."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heap_file import HeapFile, RecordId
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pager import Pager
+
+
+def make_heap(record_size=32, capacity=8, path=None):
+    pool = BufferPool(Pager(path), capacity=capacity)
+    return HeapFile.create(pool, record_size)
+
+
+def record(i: int, size: int = 32) -> bytes:
+    return bytes([i % 256]) * size
+
+
+class TestHeapFile:
+    def test_append_read_round_trip(self):
+        heap = make_heap()
+        rids = [heap.append(record(i)) for i in range(10)]
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == record(i)
+
+    def test_direct_construction_rejected(self):
+        pool = BufferPool(Pager(), capacity=4)
+        with pytest.raises(RuntimeError):
+            HeapFile(pool, 32)
+
+    def test_slots_per_page(self):
+        heap = make_heap(record_size=100)
+        assert heap.slots_per_page == (PAGE_SIZE - 2) // 100
+
+    def test_page_rollover(self):
+        heap = make_heap(record_size=2000)  # 2 per page
+        rids = [heap.append(record(i, 2000)) for i in range(5)]
+        assert rids[0].page_id == rids[1].page_id
+        assert rids[2].page_id == rids[1].page_id + 1
+        assert heap.num_data_pages == 3
+
+    def test_scan_order_and_completeness(self):
+        heap = make_heap()
+        expected = [record(i) for i in range(300)]
+        for payload in expected:
+            heap.append(payload)
+        scanned = [payload for _, payload in heap.scan()]
+        assert scanned == expected
+
+    def test_scan_empty(self):
+        heap = make_heap()
+        assert list(heap.scan()) == []
+        assert heap.num_data_pages == 0
+
+    def test_read_batch_order_preserved(self):
+        heap = make_heap()
+        rids = [heap.append(record(i)) for i in range(50)]
+        shuffled = [rids[i] for i in (40, 3, 17, 3, 0, 49)]
+        got = heap.read_batch(shuffled)
+        assert got == [record(i) for i in (40, 3, 17, 3, 0, 49)]
+
+    def test_read_batch_counts_distinct_pages_once(self):
+        heap = make_heap(record_size=400)  # ~10 per page
+        rids = [heap.append(record(i, 400)) for i in range(30)]
+        heap.buffer_pool.clear()
+        heap.buffer_pool.reset_counters()
+        same_page = [r for r in rids if r.page_id == rids[0].page_id]
+        heap.read_batch(same_page)
+        assert heap.buffer_pool.requests == 1
+
+    def test_read_batch_empty(self):
+        heap = make_heap()
+        assert heap.read_batch([]) == []
+
+    def test_len_and_num_records(self):
+        heap = make_heap()
+        for i in range(7):
+            heap.append(record(i))
+        assert len(heap) == 7
+        assert heap.num_records == 7
+
+    def test_wrong_payload_size(self):
+        heap = make_heap()
+        with pytest.raises(ValueError):
+            heap.append(b"short")
+
+    def test_invalid_record_id(self):
+        heap = make_heap()
+        heap.append(record(0))
+        with pytest.raises(ValueError):
+            heap.read(RecordId(page_id=99, slot=0))
+        with pytest.raises(ValueError):
+            heap.read(RecordId(page_id=1, slot=9999))
+        with pytest.raises(TypeError):
+            heap.read((1, 0))
+
+    def test_create_requires_empty_pager(self):
+        pool = BufferPool(Pager(), capacity=4)
+        pool.allocate()
+        with pytest.raises(ValueError):
+            HeapFile.create(pool, 32)
+
+    def test_invalid_record_size(self):
+        pool = BufferPool(Pager(), capacity=4)
+        with pytest.raises(ValueError):
+            HeapFile.create(pool, 0)
+        with pytest.raises(ValueError):
+            HeapFile.create(pool, PAGE_SIZE)
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = str(tmp_path / "heap.pages")
+        pager = Pager(path)
+        pool = BufferPool(pager, capacity=4)
+        heap = HeapFile.create(pool, 64)
+        rids = [heap.append(record(i, 64)) for i in range(20)]
+        heap.flush()
+        pager.sync()
+        pager.close()
+
+        pager2 = Pager(path)
+        pool2 = BufferPool(pager2, capacity=4)
+        heap2 = HeapFile.open(pool2)
+        assert heap2.num_records == 20
+        assert heap2.record_size == 64
+        for i, rid in enumerate(rids):
+            assert heap2.read(rid) == record(i, 64)
+        pager2.close()
+
+    def test_open_rejects_non_heap(self):
+        pool = BufferPool(Pager(), capacity=4)
+        pool.allocate()  # garbage page 0
+        with pytest.raises(ValueError):
+            HeapFile.open(pool)
+
+    def test_open_rejects_empty_pager(self):
+        pool = BufferPool(Pager(), capacity=4)
+        with pytest.raises(ValueError):
+            HeapFile.open(pool)

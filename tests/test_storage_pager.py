@@ -1,0 +1,134 @@
+"""Tests for repro.storage.page and repro.storage.pager."""
+
+import os
+
+import pytest
+
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.pager import Pager
+
+
+class TestPage:
+    def test_default_zeroed(self):
+        page = Page(0)
+        assert len(page.data) == PAGE_SIZE
+        assert not any(page.data)
+        assert not page.dirty
+
+    def test_mark_dirty(self):
+        page = Page(1)
+        page.mark_dirty()
+        assert page.dirty
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            Page(0, bytearray(10))
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Page(-1)
+
+    def test_repr(self):
+        assert "clean" in repr(Page(3))
+
+
+class TestMemoryPager:
+    def test_allocate_and_read(self):
+        pager = Pager()
+        pid = pager.allocate_page()
+        assert pid == 0
+        assert pager.num_pages == 1
+        page = pager.read_page(pid)
+        assert not any(page.data)
+
+    def test_write_read_round_trip(self):
+        pager = Pager()
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:5] = b"hello"
+        pager.write_page(page)
+        again = pager.read_page(pid)
+        assert bytes(again.data[:5]) == b"hello"
+
+    def test_reads_are_copies(self):
+        pager = Pager()
+        pid = pager.allocate_page()
+        a = pager.read_page(pid)
+        a.data[0] = 99
+        b = pager.read_page(pid)
+        assert b.data[0] == 0
+
+    def test_counters(self):
+        pager = Pager()
+        pid = pager.allocate_page()
+        assert pager.physical_writes == 1
+        pager.read_page(pid)
+        pager.read_page(pid)
+        assert pager.physical_reads == 2
+        pager.write_page(Page(pid))
+        assert pager.physical_writes == 2
+
+    def test_out_of_range_read(self):
+        pager = Pager()
+        with pytest.raises(ValueError):
+            pager.read_page(0)
+        pager.allocate_page()
+        with pytest.raises(ValueError):
+            pager.read_page(5)
+
+    def test_closed_pager_raises(self):
+        pager = Pager()
+        pager.close()
+        with pytest.raises(RuntimeError):
+            pager.allocate_page()
+
+    def test_double_close_is_noop(self):
+        pager = Pager()
+        pager.close()
+        pager.close()
+
+
+class TestFilePager:
+    def test_persistence(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:3] = b"abc"
+            pager.write_page(page)
+            pager.sync()
+        with Pager(path) as pager:
+            assert pager.num_pages == 1
+            assert bytes(pager.read_page(0).data[:3]) == b"abc"
+
+    def test_writes_honour_seek(self, tmp_path):
+        """Regression: append-mode files ignore seek() on write."""
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            first = pager.allocate_page()
+            pager.allocate_page()
+            page = pager.read_page(first)
+            page.data[:2] = b"hi"
+            pager.write_page(page)
+            assert bytes(pager.read_page(first).data[:2]) == b"hi"
+            assert bytes(pager.read_page(1).data[:2]) == b"\x00\x00"
+
+    def test_file_size_is_page_multiple(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.sync()
+        assert os.path.getsize(path) == 2 * PAGE_SIZE
+
+    def test_rejects_corrupt_size(self, tmp_path):
+        path = tmp_path / "bad.pages"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(ValueError, match="multiple"):
+            Pager(path)
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "p.pages"
+        with Pager(path) as pager:
+            assert pager.path == str(path)
+        assert Pager().path is None

@@ -1,0 +1,80 @@
+"""Tests for repro.storage.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.storage.serialization import ViTriRecord, ViTriRecordCodec
+
+
+def sample_record(dim=8):
+    return ViTriRecord(
+        video_id=7,
+        vitri_id=123,
+        count=45,
+        radius=0.125,
+        position=np.linspace(0.0, 1.0, dim),
+    )
+
+
+class TestViTriRecordCodec:
+    def test_round_trip(self):
+        codec = ViTriRecordCodec(dim=8)
+        original = sample_record()
+        decoded = codec.decode(codec.encode(original))
+        assert decoded.video_id == original.video_id
+        assert decoded.vitri_id == original.vitri_id
+        assert decoded.count == original.count
+        assert decoded.radius == original.radius
+        assert np.array_equal(decoded.position, original.position)
+
+    def test_record_size(self):
+        codec = ViTriRecordCodec(dim=64)
+        assert codec.record_size == 4 + 4 + 4 + 8 + 64 * 8
+        assert len(codec.encode(sample_record(64))) == codec.record_size
+
+    def test_round_trip_preserves_float_precision(self):
+        codec = ViTriRecordCodec(dim=4)
+        position = np.array([1e-300, 0.1 + 0.2, np.pi, 1e300])
+        rec = ViTriRecord(0, 0, 1, 1e-12, position)
+        decoded = codec.decode(codec.encode(rec))
+        assert np.array_equal(decoded.position, position)
+        assert decoded.radius == 1e-12
+
+    def test_wrong_dim_rejected(self):
+        codec = ViTriRecordCodec(dim=8)
+        with pytest.raises(ValueError):
+            codec.encode(sample_record(dim=4))
+
+    def test_wrong_payload_length_rejected(self):
+        codec = ViTriRecordCodec(dim=8)
+        with pytest.raises(ValueError):
+            codec.decode(b"\x00" * 10)
+
+    def test_negative_ids_rejected(self):
+        codec = ViTriRecordCodec(dim=2)
+        rec = ViTriRecord(-1, 0, 1, 0.1, np.zeros(2))
+        with pytest.raises(ValueError):
+            codec.encode(rec)
+
+    def test_overflow_ids_rejected(self):
+        codec = ViTriRecordCodec(dim=2)
+        rec = ViTriRecord(2**32, 0, 1, 0.1, np.zeros(2))
+        with pytest.raises(ValueError):
+            codec.encode(rec)
+
+    def test_negative_radius_rejected(self):
+        codec = ViTriRecordCodec(dim=2)
+        rec = ViTriRecord(0, 0, 1, -0.1, np.zeros(2))
+        with pytest.raises(ValueError):
+            codec.encode(rec)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ViTriRecordCodec(dim=0)
+        with pytest.raises(TypeError):
+            ViTriRecordCodec(dim=2.0)
+
+    def test_decoded_position_is_writable_copy(self):
+        codec = ViTriRecordCodec(dim=3)
+        decoded = codec.decode(codec.encode(sample_record(3)))
+        decoded.position[0] = 99.0  # must not raise (not a frozen buffer view)

@@ -1,0 +1,173 @@
+"""Tests for the temporal-order extension (warping, Hausdorff, alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import video_similarity
+from repro.core.summarize import summarize_video
+from repro.core.vitri import VideoSummary, ViTri
+from repro.temporal import (
+    align_summaries,
+    directed_hausdorff,
+    hausdorff_distance,
+    temporal_video_similarity,
+    warping_distance,
+)
+
+
+def vitri(offset, radius=0.3, count=10, dim=4):
+    position = np.zeros(dim)
+    position[0] = offset
+    return ViTri(position=position, radius=radius, count=count)
+
+
+def summary(video_id, offsets, dim=4):
+    return VideoSummary(
+        video_id=video_id,
+        vitris=tuple(vitri(o, dim=dim) for o in offsets),
+    )
+
+
+class TestWarpingDistance:
+    def test_identical_sequences_zero(self):
+        frames = np.random.default_rng(0).uniform(0, 1, (15, 3))
+        assert warping_distance(frames, frames) == pytest.approx(0.0)
+
+    def test_known_value_1d(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([[0.0], [2.0]])
+        # Optimal path: (0,0), (1,0) or (1,1), (2,1): cost 0 + 1 + 0 = 1.
+        assert warping_distance(x, y) == pytest.approx(1.0)
+
+    def test_handles_frame_repetition(self):
+        # A video and its slowed-down version warp with zero cost.
+        x = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        y = np.repeat(x, 3, axis=0)
+        assert warping_distance(x, y) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (10, 3))
+        y = rng.uniform(0, 1, (14, 3))
+        assert warping_distance(x, y) == pytest.approx(warping_distance(y, x))
+
+    def test_band_matches_unbanded_when_wide(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, (12, 3))
+        y = rng.uniform(0, 1, (12, 3))
+        assert warping_distance(x, y, band=12) == pytest.approx(
+            warping_distance(x, y)
+        )
+
+    def test_band_at_least_optimal(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, (15, 2))
+        y = rng.uniform(0, 1, (15, 2))
+        assert warping_distance(x, y, band=1) >= warping_distance(x, y) - 1e-12
+
+    def test_band_too_narrow_rejected(self):
+        x = np.zeros((10, 2))
+        y = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="band"):
+            warping_distance(x, y, band=2)
+
+    def test_normalise(self):
+        x = np.array([[0.0], [0.0]])
+        y = np.array([[1.0], [1.0]])
+        raw = warping_distance(x, y)
+        assert warping_distance(x, y, normalise=True) == pytest.approx(raw / 4)
+
+    def test_order_sensitivity(self):
+        """Reversing a sequence increases the warping distance (unlike the
+        ViTri bag-of-frames measure)."""
+        ramp = np.linspace(0, 1, 10)[:, None] * np.ones((1, 3))
+        assert warping_distance(ramp, ramp) < warping_distance(
+            ramp, ramp[::-1]
+        )
+
+
+class TestHausdorff:
+    def test_identical_zero(self):
+        frames = np.random.default_rng(4).uniform(0, 1, (20, 3))
+        # The blocked quadratic expansion leaves ~sqrt(eps) round-off.
+        assert hausdorff_distance(frames, frames) == pytest.approx(0.0, abs=1e-6)
+
+    def test_directed_asymmetric(self):
+        x = np.array([[0.0, 0.0]])
+        y = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert directed_hausdorff(x, y) == pytest.approx(0.0)
+        assert directed_hausdorff(y, x) == pytest.approx(5.0)
+
+    def test_symmetric_is_max(self):
+        x = np.array([[0.0, 0.0]])
+        y = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert hausdorff_distance(x, y) == pytest.approx(5.0)
+
+    def test_outlier_dominates(self):
+        """The weakness the ViTri density model avoids: one outlier frame
+        determines the whole distance."""
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 0.1, (50, 3))
+        y = np.vstack([rng.uniform(0, 0.1, (49, 3)), [[9.0, 9.0, 9.0]]])
+        assert hausdorff_distance(x, y) > 10.0
+
+    def test_known_value(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([[0.25], [0.75]])
+        assert hausdorff_distance(x, y) == pytest.approx(0.25)
+
+
+class TestAlignment:
+    def test_identical_summaries_align_fully(self):
+        s = summary(0, [0.0, 2.0, 4.0])
+        total, pairs = align_summaries(s, s)
+        assert total == pytest.approx(30.0)  # three clusters of 10
+        assert pairs == [(0, 0), (1, 1), (2, 2)]
+
+    def test_monotonicity_enforced(self):
+        """Crossing matches cannot both be taken."""
+        a = summary(0, [0.0, 5.0])
+        b = summary(1, [5.0, 0.0])  # same content, reversed order
+        total, pairs = align_summaries(a, b)
+        assert total == pytest.approx(10.0)  # only one pair alignable
+        assert len(pairs) == 1
+
+    def test_temporal_similarity_order_sensitive(self):
+        a = summary(0, [0.0, 5.0, 10.0])
+        reversed_b = summary(1, [10.0, 5.0, 0.0])
+        same_b = summary(2, [0.0, 5.0, 10.0])
+        sim_same = temporal_video_similarity(a, same_b)
+        sim_reversed = temporal_video_similarity(a, reversed_b)
+        assert sim_same == pytest.approx(1.0)
+        assert sim_reversed < sim_same
+
+    def test_agrees_with_order_robust_when_order_matches(self):
+        a = summary(0, [0.0, 5.0, 9.0])
+        b = summary(1, [0.1, 5.1, 9.1])
+        temporal = temporal_video_similarity(a, b)
+        robust = video_similarity(a, b)
+        assert temporal == pytest.approx(robust, rel=0.05)
+
+    def test_disjoint_videos_zero(self):
+        a = summary(0, [0.0])
+        b = summary(1, [100.0])
+        assert temporal_video_similarity(a, b) == 0.0
+
+    def test_on_real_summaries(self, rng):
+        anchors = [rng.uniform(0, 1, 8) for _ in range(3)]
+        frames = np.vstack(
+            [a + rng.normal(0, 0.01, (12, 8)) for a in anchors]
+        )
+        shuffled = np.vstack(
+            [anchors[i] + rng.normal(0, 0.01, (12, 8)) for i in (2, 0, 1)]
+        )
+        x = summarize_video(0, frames, 0.3, seed=0)
+        y_same = summarize_video(1, frames.copy(), 0.3, seed=1)
+        y_shuffled = summarize_video(2, shuffled, 0.3, seed=2)
+        assert temporal_video_similarity(x, y_same) >= temporal_video_similarity(
+            x, y_shuffled
+        )
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            align_summaries("a", summary(0, [0.0]))

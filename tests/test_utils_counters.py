@@ -1,0 +1,63 @@
+"""Tests for repro.utils.counters."""
+
+import time
+
+from repro.utils.counters import CostCounters, Timer
+
+
+class TestCostCounters:
+    def test_defaults_zero(self):
+        c = CostCounters()
+        assert c.page_reads == 0
+        assert c.similarity_computations == 0
+        assert c.extra == {}
+
+    def test_snapshot(self):
+        c = CostCounters(page_reads=3, similarity_computations=7)
+        c.extra["custom"] = 2
+        snap = c.snapshot()
+        assert snap["page_reads"] == 3
+        assert snap["similarity_computations"] == 7
+        assert snap["custom"] == 2
+
+    def test_reset(self):
+        c = CostCounters(page_reads=3)
+        c.extra["x"] = 1
+        c.reset()
+        assert c.page_reads == 0
+        assert c.extra == {}
+
+    def test_merge_sums_fields(self):
+        a = CostCounters(page_reads=1, distance_computations=10)
+        b = CostCounters(page_reads=2, btree_node_visits=5)
+        merged = a.merge(b)
+        assert merged.page_reads == 3
+        assert merged.distance_computations == 10
+        assert merged.btree_node_visits == 5
+        # originals untouched
+        assert a.page_reads == 1
+
+    def test_merge_extra(self):
+        a = CostCounters()
+        b = CostCounters()
+        a.extra["k"] = 1
+        b.extra["k"] = 2
+        b.extra["other"] = 3
+        merged = a.merge(b)
+        assert merged.extra == {"k": 3, "other": 3}
+
+    def test_repr_only_nonzero(self):
+        c = CostCounters(page_reads=5)
+        assert "page_reads=5" in repr(c)
+        assert "page_writes" not in repr(c)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_zero_before_use(self):
+        t = Timer()
+        assert t.elapsed == 0.0

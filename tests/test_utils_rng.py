@@ -1,0 +1,40 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, 20)
+        b = ensure_rng(2).integers(0, 1_000_000, 20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")

@@ -1,0 +1,117 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckVector:
+    def test_accepts_list(self):
+        out = check_vector([1, 2, 3], "v")
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_accepts_array(self):
+        out = check_vector(np.arange(4), "v")
+        assert np.array_equal(out, [0.0, 1.0, 2.0, 3.0])
+
+    def test_enforces_dim(self):
+        check_vector([1, 2], "v", dim=2)
+        with pytest.raises(ValueError, match="dimension 3"):
+            check_vector([1, 2], "v", dim=3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector([[1, 2]], "v")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_vector([1.0, np.nan], "v")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_vector([np.inf, 0.0], "v")
+
+    def test_output_is_contiguous(self):
+        strided = np.arange(10)[::2].astype(np.float64)
+        out = check_vector(strided, "v")
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="myvec"):
+            check_vector([[1]], "myvec")
+
+
+class TestCheckMatrix:
+    def test_basic(self):
+        out = check_matrix([[1, 2], [3, 4]], "m")
+        assert out.shape == (2, 2)
+
+    def test_cols_enforced(self):
+        with pytest.raises(ValueError, match="3 columns"):
+            check_matrix([[1, 2]], "m", cols=3)
+
+    def test_min_rows(self):
+        with pytest.raises(ValueError, match="at least 2 rows"):
+            check_matrix([[1, 2]], "m", min_rows=2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix([1, 2, 3], "m")
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix([[1.0, np.inf]], "m")
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_positive_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_positive_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_non_negative_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_non_negative(float("nan"), "x")
+
+    def test_probability_bounds(self):
+        assert check_probability(1.0, "p") == 1.0
+        assert check_probability(0.0, "p") == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_finite(self):
+        assert check_finite(-3.5, "x") == -3.5
+        with pytest.raises(ValueError):
+            check_finite(float("inf"), "x")
+        with pytest.raises(TypeError):
+            check_finite(None, "x")
