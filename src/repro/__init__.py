@@ -29,6 +29,8 @@ Quickstart::
     result = index.knn(summaries[0], k=10)
 """
 
+from __future__ import annotations
+
 from repro.core import (
     KNNResult,
     VideoDatabase,

@@ -1,0 +1,40 @@
+"""vilint — project-specific static analysis for the ViTri reproduction.
+
+The paper's experimental claims are stated in deterministic,
+hardware-independent units (page accesses, similarity computations), and
+the codebase has conventions that keep those units trustworthy: seeded
+RNG threading, ``CostCounters`` propagation, boundary validation, no
+float equality, ``Timer``-only wall timing and uniform postponed
+annotations.  This package machine-checks all of them — rule-by-rule
+documentation lives in ``docs/static_analysis.md``.
+
+Programmatic use::
+
+    from repro.analysis import lint_paths, lint_source
+
+    findings = lint_source("import numpy as np\\nnp.random.seed(0)\\n")
+
+Command-line use: ``repro-video lint`` or ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import LintResult, discover_files, lint_paths, lint_source
+from repro.analysis.registry import Rule, all_rules, get_rule, register, rule_names
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "discover_files",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_names",
+]

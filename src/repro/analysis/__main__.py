@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` entry point."""
+
+from __future__ import annotations
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

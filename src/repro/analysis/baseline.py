@@ -1,0 +1,98 @@
+"""Baseline file for grandfathered findings.
+
+A baseline lets vilint be adopted on a codebase with known, deliberate
+violations without drowning new findings in old noise.  The format is one
+entry per line::
+
+    path:line: rule-name  # why this finding is deliberate
+
+``#`` starts a comment; blank lines and pure comment lines are ignored.
+Every entry is expected to carry a justification comment — the point of a
+baseline is to record *why* a finding is allowed to stand.
+
+Matching is exact on ``(path, line, rule)``: when the file moves the
+entry goes stale and is reported (as a warning) so it can be refreshed
+with ``--update-baseline`` or deleted.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Baseline", "BaselineError"]
+
+_ENTRY = re.compile(
+    r"^(?P<path>[^:#]+):(?P<line>\d+):\s*(?P<rule>[A-Za-z0-9-]+)\s*$"
+)
+
+
+class BaselineError(ValueError):
+    """Raised for unparseable baseline files."""
+
+
+@dataclass
+class Baseline:
+    """In-memory view of a baseline file."""
+
+    entries: dict[tuple[str, int, str], str] = field(default_factory=dict)
+    matched: set[tuple[str, int, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse the baseline at *path* (raises :class:`BaselineError`)."""
+        baseline = cls()
+        with open(path, encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, 1):
+                line, _, comment = raw.partition("#")
+                line = line.strip()
+                if not line:
+                    continue
+                match = _ENTRY.match(line)
+                if match is None:
+                    raise BaselineError(
+                        f"{path}:{number}: unparseable baseline entry: "
+                        f"{line!r} (expected 'path:line: rule-name')"
+                    )
+                key = (
+                    match.group("path").strip().replace(os.sep, "/"),
+                    int(match.group("line")),
+                    match.group("rule"),
+                )
+                baseline.entries[key] = comment.strip()
+        return baseline
+
+    def absorbs(self, diagnostic: Diagnostic) -> bool:
+        """Whether *diagnostic* matches a baseline entry (records the hit)."""
+        key = diagnostic.baseline_key()
+        if key in self.entries:
+            self.matched.add(key)
+            return True
+        return False
+
+    def stale_entries(self) -> list[tuple[str, int, str]]:
+        """Entries that matched nothing this run (sorted)."""
+        return sorted(set(self.entries) - self.matched)
+
+    @staticmethod
+    def render(diagnostics: list[Diagnostic]) -> str:
+        """Serialise *diagnostics* as baseline file content.
+
+        Each entry gets a placeholder justification comment built from the
+        finding's message; adopters are expected to replace it with the
+        actual reason the finding is deliberate.
+        """
+        lines = [
+            "# vilint baseline -- grandfathered findings.",
+            "# Each entry must keep a justification comment explaining why",
+            "# the finding is deliberate rather than fixed.",
+        ]
+        for diagnostic in sorted(diagnostics):
+            lines.append(
+                f"{diagnostic.path}:{diagnostic.line}: {diagnostic.rule}"
+                f"  # {diagnostic.message}"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,174 @@
+"""Command-line front end for vilint.
+
+Reached two ways (both share this module):
+
+* ``repro-video lint [paths...]`` — subcommand of the main CLI;
+* ``python -m repro.analysis [paths...]`` — standalone module run.
+
+Exit codes: ``0`` clean, ``1`` non-baselined error findings, ``2`` usage
+errors (unknown rule, unreadable baseline, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules
+
+__all__ = ["build_parser", "main", "run_lint"]
+
+DEFAULT_BASELINE = "vilint.baseline"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vilint",
+        description=(
+            "project-specific static analysis: determinism, validation "
+            "and cost-accounting invariants (see docs/static_analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file to absorb all current findings",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"       {rule.description}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
+
+    baseline = None
+    baseline_path = args.baseline
+    if not args.no_baseline and not args.update_baseline:
+        if baseline_path is None:
+            import os
+
+            if os.path.exists(DEFAULT_BASELINE):
+                baseline_path = DEFAULT_BASELINE
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, BaselineError) as error:
+                print(f"vilint: error: {error}", file=sys.stderr)
+                return 2
+
+    try:
+        result = lint_paths(args.paths, baseline=baseline, select=select)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"vilint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        content = Baseline.render(result.diagnostics)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(
+            f"vilint: wrote {len(result.diagnostics)} finding(s) to {target}"
+        )
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "findings": [
+                {
+                    "path": d.path,
+                    "line": d.line,
+                    "col": d.col,
+                    "rule": d.rule,
+                    "code": d.code,
+                    "severity": str(d.severity),
+                    "message": d.message,
+                }
+                for d in result.diagnostics
+            ],
+            "stale_baseline": [
+                {"path": path, "line": line, "rule": rule}
+                for path, line, rule in result.stale_baseline
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return result.exit_code
+
+    for diagnostic in result.diagnostics:
+        print(diagnostic.format())
+    for path, line, rule in result.stale_baseline:
+        print(
+            f"{path}:{line}: warning: stale baseline entry for '{rule}' "
+            "(finding no longer present; remove it or --update-baseline)"
+        )
+    summary = (
+        f"vilint: {len(result.diagnostics)} finding(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed inline"
+    if result.baselined:
+        summary += f", {result.baselined} baselined"
+    print(summary)
+    return result.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run_lint(args)

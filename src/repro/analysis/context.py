@@ -1,0 +1,130 @@
+"""Per-file analysis context shared by every rule.
+
+Parses a source file once (AST + import table) so each rule can focus on
+its own pattern matching.  The import table lets rules resolve attribute
+chains like ``np.random.uniform`` back to the canonical dotted module
+path ``numpy.random.uniform`` regardless of local aliasing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["FileContext", "dotted_name", "is_floatish"]
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted path they were bound to.
+
+    ``import numpy as np``          -> ``{"np": "numpy"}``
+    ``import numpy.random``         -> ``{"numpy": "numpy"}``
+    ``from numpy import random``    -> ``{"random": "numpy.random"}``
+    ``from random import randint``  -> ``{"randint": "random.randint"}``
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+                else:
+                    # ``import a.b.c`` binds the top-level package name.
+                    top = item.name.split(".", 1)[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never shadow stdlib/numpy
+            for item in node.names:
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            imports=_collect_imports(tree),
+        )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, or ``None``.
+
+        ``np.random.uniform`` resolves to ``numpy.random.uniform`` when the
+        file did ``import numpy as np``; an unresolvable chain (based on a
+        local variable, a call result, ...) returns ``None``.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Literal dotted form of a Name/Attribute chain (no alias resolution)."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+_FLOAT_ATTRS = {
+    "math.inf",
+    "math.nan",
+    "math.pi",
+    "math.e",
+    "math.tau",
+    "numpy.inf",
+    "numpy.nan",
+    "numpy.pi",
+    "numpy.e",
+}
+
+
+def is_floatish(node: ast.expr, ctx: FileContext) -> bool:
+    """Conservatively decide whether an expression is float-valued.
+
+    vilint has no type inference, so this only claims *certain* floats:
+    float literals, their negations, ``float(...)`` casts, well-known
+    float constants (``math.inf`` and friends), and arithmetic over them.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return is_floatish(node.operand, ctx)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.Attribute):
+        resolved = ctx.resolve(node)
+        return resolved in _FLOAT_ATTRS
+    if isinstance(node, ast.BinOp):
+        return is_floatish(node.left, ctx) or is_floatish(node.right, ctx)
+    return False

@@ -1,0 +1,70 @@
+"""Diagnostic records emitted by vilint rules.
+
+A diagnostic pins one finding to a (rule, file, line) location.  The
+location triple is also the identity used by the baseline file and by
+inline suppressions, so it is deliberately small and stable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings fail the lint run (non-zero exit).  ``WARNING``
+    findings are printed but never fail the run — used for advisory
+    conditions such as stale baseline entries.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes
+    ----------
+    path:
+        File the finding is in, normalised to forward slashes and made
+        relative to the working directory when possible.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        The rule's kebab-case name (e.g. ``seeded-rng``) — the id used in
+        suppression comments and baseline entries.
+    code:
+        The rule's short numeric code (e.g. ``VIL002``).
+    message:
+        Human-readable explanation of the finding.
+    severity:
+        :class:`Severity` of the finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE [rule] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.rule}] {self.message}"
+        )
+
+    def baseline_key(self) -> tuple[str, int, str]:
+        """Identity used for baseline matching."""
+        return (self.path, self.line, self.rule)

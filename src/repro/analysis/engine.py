@@ -1,0 +1,174 @@
+"""The vilint engine: file discovery, rule dispatch, filtering.
+
+One :class:`LintRun` drives the whole pass: it walks the requested paths,
+parses each file once into a :class:`~repro.analysis.context.FileContext`,
+runs every (selected) rule over it, then filters the raw findings through
+inline suppressions and the baseline.  Unparseable files surface as
+``parse-error`` diagnostics rather than crashing the run — a linter that
+dies on the file you are editing is useless in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule
+from repro.analysis.suppressions import collect_suppressions
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "discover_files"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[tuple[str, int, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def discover_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(found))
+
+
+def _normalise(path: str) -> str:
+    """Relative-to-cwd, forward-slash form used in diagnostics/baselines."""
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        relative = path
+    if not relative.startswith(".."):
+        path = relative
+    return path.replace(os.sep, "/")
+
+
+def _select_rules(select: list[str] | None) -> list[Rule]:
+    if select is None:
+        return all_rules()
+    rules = []
+    seen: set[str] = set()
+    for name in select:
+        if name in seen:
+            continue
+        seen.add(name)
+        try:
+            rules.append(get_rule(name)())
+        except KeyError:
+            raise ValueError(f"unknown rule: {name!r}") from None
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: list[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory source string (suppressions honoured, no baseline).
+
+    This is the engine's testing seam: golden-fixture tests feed snippets
+    straight through it.
+    """
+    rules = _select_rules(select)
+    try:
+        ctx = FileContext.parse(path, source)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule="parse-error",
+                code="VIL000",
+                message=f"could not parse file: {error.msg}",
+            )
+        ]
+    suppressions = collect_suppressions(source)
+    findings: list[Diagnostic] = []
+    for rule in rules:
+        for diagnostic in rule.check(ctx):
+            if not suppressions.is_suppressed(diagnostic):
+                findings.append(diagnostic)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: list[str],
+    baseline: Baseline | None = None,
+    select: list[str] | None = None,
+) -> LintResult:
+    """Run the selected rules over *paths*, applying *baseline* if given."""
+    rules = _select_rules(select)
+    result = LintResult()
+    for filename in discover_files(paths):
+        norm = _normalise(filename)
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        result.files_checked += 1
+        try:
+            ctx = FileContext.parse(norm, source)
+        except SyntaxError as error:
+            result.diagnostics.append(
+                Diagnostic(
+                    path=norm,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    rule="parse-error",
+                    code="VIL000",
+                    message=f"could not parse file: {error.msg}",
+                )
+            )
+            continue
+        suppressions = collect_suppressions(source)
+        for rule in rules:
+            for diagnostic in rule.check(ctx):
+                if suppressions.is_suppressed(diagnostic):
+                    result.suppressed += 1
+                elif baseline is not None and baseline.absorbs(diagnostic):
+                    result.baselined += 1
+                else:
+                    result.diagnostics.append(diagnostic)
+    if baseline is not None:
+        result.stale_baseline = baseline.stale_entries()
+    result.diagnostics.sort()
+    return result
+
+
+def parse_ok(source: str) -> bool:
+    """Cheap syntax probe used by tests."""
+    try:
+        ast.parse(source)
+    except SyntaxError:
+        return False
+    return True

@@ -1,0 +1,91 @@
+"""Rule base class and registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+``repro.analysis.rules`` imports every rule module so that
+:func:`all_rules` sees the full set.  Registration is keyed by the rule's
+kebab-case ``name`` (the id users write in suppression comments and
+baseline entries) and its short ``code``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Type
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["Rule", "all_rules", "get_rule", "register", "rule_names"]
+
+
+class Rule:
+    """Base class for vilint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding one :class:`Diagnostic` per finding.  Rules are stateless:
+    one instance is constructed per run and invoked once per file.
+    """
+
+    name: str = ""
+    code: str = ""
+    description: str = ""
+    rationale: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic for *node* in *ctx* with this rule's identity."""
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_class* to the global registry."""
+    if not rule_class.name or not rule_class.code:
+        raise ValueError(
+            f"rule {rule_class.__name__} must define 'name' and 'code'"
+        )
+    for existing in _REGISTRY.values():
+        if existing.code == rule_class.code and existing is not rule_class:
+            raise ValueError(f"duplicate rule code {rule_class.code}")
+    if _REGISTRY.get(rule_class.name) not in (None, rule_class):
+        raise ValueError(f"duplicate rule name {rule_class.name}")
+    _REGISTRY[rule_class.name] = rule_class
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package triggers registration of every rule.
+    from repro.analysis import rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, ordered by code."""
+    _ensure_loaded()
+    return [cls() for cls in sorted(_REGISTRY.values(), key=lambda c: c.code)]
+
+
+def rule_names() -> list[str]:
+    """Registered rule names, ordered by code."""
+    _ensure_loaded()
+    return [cls.name for cls in sorted(_REGISTRY.values(), key=lambda c: c.code)]
+
+
+def get_rule(name: str) -> Type[Rule]:
+    """Look up a rule class by kebab-case name (raises ``KeyError``)."""
+    _ensure_loaded()
+    return _REGISTRY[name]

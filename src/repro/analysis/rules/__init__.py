@@ -1,0 +1,12 @@
+"""Rule modules — importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401
+    boundary_validation,
+    counter_discipline,
+    float_equality,
+    future_annotations,
+    seeded_rng,
+    wall_clock,
+)

@@ -1,0 +1,126 @@
+"""VIL004 ``boundary-validation``: validate arrays at the API boundary.
+
+Public functions in ``core/`` and ``baselines/`` are the library's entry
+points; user-supplied frame matrices and centre vectors arrive here.  The
+convention (see ``repro/utils/validation.py``) is that every such entry
+point normalises its array arguments through a ``check_*`` helper so that
+shape and non-finite errors surface as clear ``ValueError`` messages at
+the boundary, not as broadcasting surprises three layers down — where
+they would also corrupt the cost accounting the benchmarks report.
+
+Heuristic (vilint has no type inference): a *public module-level
+function* in a ``core/`` or ``baselines/`` module is flagged when it has
+a parameter that is array-like — annotated with ``ndarray``/``ArrayLike``
+or named like an array (``frames``, ``positions``, ``points``, ...) —
+and its body never calls a ``check_*`` helper.  Private helpers
+(leading underscore) are trusted to receive pre-validated arrays.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["BoundaryValidationRule"]
+
+_ARRAYISH_NAMES = frozenset(
+    {
+        "frames",
+        "frames_x",
+        "frames_y",
+        "points",
+        "positions",
+        "centers",
+        "centres",
+        "data",
+        "matrix",
+        "vector",
+        "vectors",
+        "radii",
+        "counts",
+        "features",
+        "embedding",
+        "embeddings",
+    }
+)
+
+_ARRAYISH_ANNOTATIONS = ("ndarray", "ArrayLike", "NDArray")
+
+
+def _annotation_text(node: ast.expr | None) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed ASTs
+        return ""
+
+
+def _array_params(func: ast.FunctionDef) -> list[str]:
+    names: list[str] = []
+    args = func.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg in ("self", "cls"):
+            continue
+        annotation = _annotation_text(arg.annotation)
+        if any(marker in annotation for marker in _ARRAYISH_ANNOTATIONS):
+            names.append(arg.arg)
+        elif arg.annotation is None and arg.arg in _ARRAYISH_NAMES:
+            names.append(arg.arg)
+    return names
+
+
+def _calls_checker(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name is not None and name.startswith("check_"):
+            return True
+    return False
+
+
+@register
+class BoundaryValidationRule(Rule):
+    name = "boundary-validation"
+    code = "VIL004"
+    description = (
+        "public core/ and baselines/ functions taking array arguments "
+        "must validate them through a check_* helper"
+    )
+    rationale = (
+        "malformed inputs must fail loudly at the API boundary instead of "
+        "producing silently-wrong similarity scores and cost counts"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        path = ctx.path.replace("\\", "/")
+        if "/core/" not in path and "/baselines/" not in path:
+            return
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = _array_params(node)
+            if not params:
+                continue
+            if _calls_checker(node):
+                continue
+            listed = ", ".join(f"'{name}'" for name in params)
+            yield self.diagnostic(
+                ctx,
+                node,
+                f"public function '{node.name}' takes array argument(s) "
+                f"{listed} but never calls a check_* validation helper "
+                "(see repro.utils.validation)",
+            )

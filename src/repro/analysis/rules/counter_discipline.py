@@ -1,0 +1,215 @@
+"""VIL003 ``counter-discipline``: measured work must reach ``CostCounters``.
+
+The paper's Figures 16-19 are plotted in page accesses and similarity
+computations, not seconds, so the reproduction's credibility rests on
+every counted event actually being counted.  Three conventions keep the
+accounting airtight, and this rule enforces all three:
+
+1. **Counted kernels propagate.**  The similarity kernels that accept a
+   ``counters`` argument (``shared_frames_matrix``, ``video_similarity``,
+   ``frame_similarity``, ...) do their own accounting — but only if the
+   caller hands them the bundle.  A function that takes ``counters`` and
+   then calls a kernel without passing it on silently drops cost.
+2. **Kernel callers account.**  A function calling a counted kernel, or a
+   raw (uncounted) kernel such as ``_estimate_from_scalars``, must either
+   accept a ``counters`` parameter itself or visibly record the work
+   (an augmented assignment to an ``evaluations``/``computations``/
+   counter attribute).
+3. **No pager bypass.**  Raw pager I/O (``read_page`` / ``write_page`` /
+   ``allocate_page``) outside ``repro/storage/`` bypasses the buffer
+   pool's logical-request accounting, so hit/miss ratios (Figure 16's
+   buffer sweep) become unmeasurable.  All other layers must go through
+   ``BufferPool``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["CounterDisciplineRule"]
+
+# Kernels that accept (and internally increment) a CostCounters bundle.
+COUNTED_KERNELS = frozenset(
+    {
+        "shared_frames_matrix",
+        "video_similarity",
+        "temporal_video_similarity",
+        "align_summaries",
+        "frames_with_match",
+        "frame_similarity",
+        "knn_ground_truth",
+    }
+)
+
+# Raw kernels with no counters argument: callers must account themselves.
+RAW_KERNELS = frozenset(
+    {
+        "_estimate_from_scalars",
+        "_estimate_batch",
+        "estimated_shared_frames",
+        "estimated_shared_frames_many",
+        "vitri_similarity",
+    }
+)
+
+# Pager-level physical I/O, only legal inside repro/storage/.
+RAW_IO = frozenset({"read_page", "write_page", "allocate_page"})
+
+# Attribute substrings that count as visible cost recording.
+_ACCOUNTING_MARKERS = ("evaluation", "computation", "counter", "scanned")
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """Trailing name of the called function (``a.b.f(...)`` -> ``f``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _passes_counters(node: ast.Call) -> bool:
+    """Whether the call forwards a ``counters`` bundle."""
+    for arg in node.args:
+        if isinstance(arg, ast.Name) and arg.id == "counters":
+            return True
+        if (
+            isinstance(arg, ast.Attribute)
+            and arg.attr in ("counters", "_counters")
+        ):
+            return True
+    for keyword in node.keywords:
+        if keyword.arg == "counters" or keyword.arg is None:
+            return True
+    return False
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return set(names)
+
+
+def _records_cost(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the body visibly accounts for work it performs.
+
+    Recognised forms: ``self.evaluations += n``, ``counters.X += n``,
+    ``stats.similarity_computations += n`` — any augmented assignment to
+    an attribute whose name mentions a counting concept, or to an
+    attribute of a ``counters``-ish object.
+    """
+    for child in ast.walk(node):
+        if not isinstance(child, ast.AugAssign):
+            continue
+        target = child.target
+        if not isinstance(target, ast.Attribute):
+            continue
+        attr = target.attr.lower()
+        if any(marker in attr for marker in _ACCOUNTING_MARKERS):
+            return True
+        base = target.value
+        if isinstance(base, ast.Name) and "counter" in base.id.lower():
+            return True
+    return False
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _direct_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Calls in *func*'s own body, excluding nested function bodies."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class CounterDisciplineRule(Rule):
+    name = "counter-discipline"
+    code = "VIL003"
+    description = (
+        "distance/similarity kernels and page I/O must flow through "
+        "CostCounters accounting"
+    )
+    rationale = (
+        "Figures 16-19 are measured in page accesses and similarity "
+        "computations; dropped counters make reported costs undercounts"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        in_storage_layer = "/storage/" in ctx.path.replace("\\", "/")
+        for func in _functions(ctx.tree):
+            # Kernel definitions are the counted primitives themselves;
+            # discipline applies to the layers calling them.
+            is_kernel = func.name in COUNTED_KERNELS | RAW_KERNELS
+            has_counters = "counters" in _param_names(func)
+            records = None  # computed lazily (walking bodies is not free)
+            for call in _direct_calls(func):
+                called = _call_name(call)
+                if called is None:
+                    continue
+                if called in RAW_IO and not in_storage_layer:
+                    yield self.diagnostic(
+                        ctx,
+                        call,
+                        f"raw pager I/O '{called}' outside repro/storage/ "
+                        "bypasses BufferPool logical-request accounting; "
+                        "fetch pages through the buffer pool",
+                    )
+                    continue
+                if called in COUNTED_KERNELS:
+                    if has_counters:
+                        # Applies to kernels too: a counters-accepting
+                        # kernel that calls a counted sub-kernel must
+                        # still hand the bundle down.
+                        if not _passes_counters(call):
+                            yield self.diagnostic(
+                                ctx,
+                                call,
+                                f"call to counted kernel '{called}' drops "
+                                "the 'counters' bundle this function "
+                                "received; pass counters through",
+                            )
+                    elif is_kernel:
+                        continue
+                    else:
+                        if records is None:
+                            records = _records_cost(func)
+                        if not records:
+                            yield self.diagnostic(
+                                ctx,
+                                call,
+                                f"function '{func.name}' calls counted "
+                                f"kernel '{called}' but neither accepts a "
+                                "'counters' parameter nor records the "
+                                "cost itself",
+                            )
+                elif called in RAW_KERNELS:
+                    if not has_counters and not is_kernel:
+                        if records is None:
+                            records = _records_cost(func)
+                        if not records:
+                            yield self.diagnostic(
+                                ctx,
+                                call,
+                                f"function '{func.name}' calls raw kernel "
+                                f"'{called}' without accounting: accept a "
+                                "'counters' parameter or record the "
+                                "evaluations performed",
+                            )

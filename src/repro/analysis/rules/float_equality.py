@@ -1,0 +1,65 @@
+"""VIL005 ``float-equality``: no ``==`` / ``!=`` against float expressions.
+
+Similarity scores, intersection fractions and radii are all products of
+floating-point arithmetic; exact equality on them is either a logic bug
+(two mathematically-equal expressions that differ in the last ulp) or a
+disguised sentinel test.  The accepted idioms are:
+
+* ``math.isclose`` / ``np.allclose`` / ``np.isclose`` for approximate
+  comparison with an explicit tolerance;
+* an *ordered* comparison against the sentinel for exact degenerate
+  cases on quantities with a known sign — ``radius <= 0.0`` reads as
+  "degenerate point sphere" and stays correct if a tiny negative ever
+  slips through;
+* an inline ``# vilint: disable=float-equality`` with justification for
+  the rare genuine exact-representation test.
+
+The rule is conservative: it only fires when one comparand is provably a
+float — a float literal, its negation, a ``float(...)`` cast, a known
+constant such as ``math.inf``, or arithmetic over those.  ``x == 0``
+(int literal) is deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, is_floatish
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+
+@register
+class FloatEqualityRule(Rule):
+    name = "float-equality"
+    code = "VIL005"
+    description = (
+        "no ==/!= comparisons against float expressions; use math.isclose/"
+        "np.allclose or an ordered comparison"
+    )
+    rationale = (
+        "exact equality on computed floats is last-ulp-fragile and has "
+        "silently reordered KNN results in similar systems"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if is_floatish(left, ctx) or is_floatish(right, ctx):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"'{symbol}' against a float expression; use "
+                        "math.isclose/np.allclose, or an ordered "
+                        "comparison for exact sentinel checks",
+                    )
+                    break  # one diagnostic per comparison chain

@@ -1,0 +1,65 @@
+"""VIL001 ``future-annotations``: postponed annotation evaluation everywhere.
+
+The codebase targets Python 3.10+ and uses PEP 604 unions (``int | None``)
+and forward references in annotations throughout.  ``from __future__
+import annotations`` makes every annotation lazily evaluated, which keeps
+the modules importable on all supported interpreters, avoids runtime
+annotation cost on hot paths, and lets type checkers see one consistent
+semantics.  Requiring it in *every* module (rather than wherever someone
+remembered) removes a whole class of "works until you add one annotation"
+import errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FutureAnnotationsRule"]
+
+
+@register
+class FutureAnnotationsRule(Rule):
+    name = "future-annotations"
+    code = "VIL001"
+    description = (
+        "every module must begin with 'from __future__ import annotations'"
+    )
+    rationale = (
+        "uniform postponed annotation evaluation (PEP 563) across the "
+        "codebase; annotations never execute at import time"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        body = ctx.tree.body
+        if not body:
+            return  # an empty module has no annotations to defer
+        statements = list(body)
+        # A leading docstring is allowed (and idiomatic) before the import.
+        if (
+            isinstance(statements[0], ast.Expr)
+            and isinstance(statements[0].value, ast.Constant)
+            and isinstance(statements[0].value.value, str)
+        ):
+            statements = statements[1:]
+        if not statements:
+            return  # docstring-only module
+        first = statements[0]
+        if (
+            isinstance(first, ast.ImportFrom)
+            and first.module == "__future__"
+            and any(alias.name == "annotations" for alias in first.names)
+        ):
+            return
+        anchor = ast.Module(body=[], type_ignores=[])
+        yield self.diagnostic(
+            ctx,
+            anchor,
+            "module does not start with 'from __future__ import "
+            "annotations' (it must be the first statement after the "
+            "docstring)",
+        )

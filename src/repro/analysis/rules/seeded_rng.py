@@ -1,0 +1,66 @@
+"""VIL002 ``seeded-rng``: all randomness flows through seeded generators.
+
+Every experiment in the reproduction must be replayable from a seed:
+k-means initialisation, synthetic dataset generation and query sampling
+all change the measured page-access and similarity-computation counts, so
+an unseeded draw anywhere silently breaks figure-for-figure comparison.
+The sanctioned pattern is a ``seed`` argument normalised through
+``repro.utils.rng.ensure_rng`` into a threaded
+:class:`numpy.random.Generator`.
+
+This rule flags any call into the legacy ``numpy.random`` module-level
+API (``np.random.uniform(...)``, ``np.random.seed(...)``, even
+``np.random.default_rng()``) and the stdlib ``random`` module.  Method
+calls on a ``Generator`` instance (``rng.normal(...)``) are fine — that
+is the threaded-generator idiom the rule exists to enforce.
+``utils/rng.py`` itself carries a file-level suppression: it is the one
+sanctioned constructor of generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["SeededRngRule"]
+
+
+@register
+class SeededRngRule(Rule):
+    name = "seeded-rng"
+    code = "VIL002"
+    description = (
+        "no numpy.random / random module-level RNG calls; thread a seeded "
+        "numpy.random.Generator (see repro.utils.rng.ensure_rng)"
+    )
+    rationale = (
+        "unseeded draws make page-access and similarity-computation counts "
+        "unreproducible, breaking comparison against the paper's figures"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved.startswith("numpy.random."):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"call to '{resolved}' bypasses seed threading; accept "
+                    "a 'seed' argument and draw from "
+                    "repro.utils.rng.ensure_rng(seed) instead",
+                )
+            elif resolved == "random" or resolved.startswith("random."):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"call to stdlib '{resolved}' is unseeded global state; "
+                    "draw from a threaded numpy.random.Generator instead",
+                )

@@ -1,0 +1,75 @@
+"""VIL006 ``wall-clock-discipline``: time only through ``utils.counters.Timer``.
+
+The paper's cost model is hardware-independent — page accesses and
+similarity computations — and wall time is only ever a *secondary*
+signal recorded by :class:`repro.utils.counters.Timer`.  Scattered
+``time.time()`` calls in measured paths invite two failure modes: costs
+that silently become machine-dependent, and non-monotonic clocks
+corrupting elapsed-time deltas.  ``Timer`` wraps ``perf_counter`` (the
+right clock for intervals) in one place; ``utils/counters.py`` itself
+carries the sanctioned inline suppression.
+
+The rule flags direct calls to the ``time`` module's clock functions,
+``timeit.default_timer`` and ``datetime``'s "now" family.  ``time.sleep``
+is not a clock read and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["WallClockRule"]
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.clock_gettime",
+        "timeit.default_timer",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    name = "wall-clock-discipline"
+    code = "VIL006"
+    description = (
+        "no raw clock reads (time.time, perf_counter, ...); use "
+        "repro.utils.counters.Timer"
+    )
+    rationale = (
+        "the paper's costs are hardware-independent event counts; ad-hoc "
+        "clock reads in measured paths reintroduce machine dependence"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _CLOCK_CALLS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"raw clock read '{resolved}'; wall timing belongs in "
+                    "repro.utils.counters.Timer (and costs belong in "
+                    "CostCounters)",
+                )

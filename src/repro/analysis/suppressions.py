@@ -1,0 +1,78 @@
+"""Inline suppression comments.
+
+Two forms are recognised, mirroring the usual linter conventions:
+
+``# vilint: disable=<rule>[,<rule>...]``
+    Suppresses the listed rules on the physical line the comment sits on.
+    For a multi-line statement, put the comment on the line where the
+    statement *starts* (that is where diagnostics anchor).
+
+``# vilint: disable-file=<rule>[,<rule>...]``
+    Suppresses the listed rules for the whole file.  Intended for
+    sanctioned-wrapper modules (e.g. ``utils/rng.py`` is the one place
+    allowed to touch ``np.random`` directly).
+
+``all`` is accepted as a rule name in either form.  Suppression comments
+should carry a short justification after the directive, e.g.::
+
+    rng = np.random.default_rng()  # vilint: disable=seeded-rng -- wrapper
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*vilint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s-]+?)(?:\s*(?:--|$))"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """Whether *diagnostic* is silenced by an inline directive."""
+        for rules in (self.file_wide, self.by_line.get(diagnostic.line, ())):
+            if "all" in rules or diagnostic.rule in rules:
+                return True
+        return False
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Extract every ``vilint:`` directive from *source*'s comments."""
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        return suppressions
+    for line, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = {
+            name.strip()
+            for name in match.group("rules").split(",")
+            if name.strip()
+        }
+        if match.group("kind") == "disable-file":
+            suppressions.file_wide.update(rules)
+        else:
+            suppressions.by_line.setdefault(line, set()).update(rules)
+    return suppressions

@@ -20,6 +20,8 @@
   paper adopts.
 """
 
+from __future__ import annotations
+
 from repro.baselines.gaussian import (
     GaussianSummary,
     bhattacharyya_similarity,

@@ -39,6 +39,7 @@ from repro.core.index import KNNResult, QueryStats, VitriIndex
 from repro.core.scoring import ScoreAccumulator
 from repro.core.vitri import VideoSummary
 from repro.utils.counters import Timer
+from repro.utils.validation import check_vector
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
 
@@ -47,7 +48,8 @@ __all__ = ["PyramidIndex", "pyramid_value", "query_ranges"]
 
 def pyramid_value(point: np.ndarray) -> float:
     """The Pyramid-technique 1-D key of a point in ``[0, 1]^d``."""
-    centred = np.asarray(point, dtype=np.float64) - 0.5
+    point = check_vector(point, "point")
+    centred = point - 0.5
     j_max = int(np.argmax(np.abs(centred)))
     dim = centred.shape[0]
     pyramid = j_max if centred[j_max] < 0.0 else j_max + dim
@@ -78,8 +80,10 @@ def query_ranges(
     list[tuple[float, float]]
         At most ``2d`` key ranges ``[pyramid + h_low, pyramid + h_high]``.
     """
-    low = np.clip(np.asarray(box_low, dtype=np.float64), 0.0, 1.0) - 0.5
-    high = np.clip(np.asarray(box_high, dtype=np.float64), 0.0, 1.0) - 0.5
+    box_low = check_vector(box_low, "box_low")
+    box_high = check_vector(box_high, "box_high", dim=box_low.shape[0])
+    low = np.clip(box_low, 0.0, 1.0) - 0.5
+    high = np.clip(box_high, 0.0, 1.0) - 0.5
     if np.any(high < low):
         raise ValueError("box_high must dominate box_low")
     dim = low.shape[0]

@@ -14,6 +14,8 @@ fill factors, leaf chaining, separator consistency) and is used heavily by
 the property-based tests.
 """
 
+from __future__ import annotations
+
 from repro.btree.node import InternalNode, LeafNode, internal_capacity, leaf_capacity
 from repro.btree.tree import BPlusTree
 

@@ -11,9 +11,14 @@ insert/bulk-load workloads:
   duplicate-straddle relaxation: keys equal to the separator may appear at
   the end of the left subtree);
 * the leaf chain visits exactly the leaves reachable from the root, left to
-  right;
+  right, and terminates with the ``NO_LEAF`` sentinel (no cycles);
 * ``num_entries`` matches the actual entry count;
-* all leaves sit at the same depth.
+* all leaves sit at the same depth;
+* pager bookkeeping is airtight: no page is referenced twice (each page id
+  appears exactly once in the tree) and no page is leaked (every allocated
+  page except the metadata page 0 is reachable from the root — deletes
+  tombstone entries in place and never free pages, so an unreachable page
+  can only mean lost structure or I/O-count inflation).
 """
 
 from __future__ import annotations
@@ -40,9 +45,15 @@ class _TreeWalker:
         self.leaf_ids_in_order: list[int] = []
         self.entry_count = 0
         self.leaf_depths: set[int] = set()
+        self.visited_ids: set[int] = set()
 
     def walk(self, page_id: int, depth: int, low: float, high: float) -> None:
         """Verify the subtree at *page_id*; keys must lie in [low, high)."""
+        if page_id in self.visited_ids:
+            raise AssertionError(
+                f"page {page_id} referenced more than once in the tree"
+            )
+        self.visited_ids.add(page_id)
         page = self.pool.fetch(page_id)
         node_type = node_type_of(page)
         if node_type == NODE_LEAF:
@@ -106,20 +117,54 @@ def check_tree(tree: BPlusTree) -> None:
     if len(walker.leaf_depths) != 1:
         raise AssertionError(f"leaves at unequal depths: {walker.leaf_depths}")
 
-    # The leaf chain must visit the same leaves in the same order.
+    # Pager bookkeeping: the tree owns every allocated page except the
+    # metadata page 0, and deletes never free pages, so the reachable set
+    # must cover the pager exactly.
+    num_pages = tree.buffer_pool.pager.num_pages
+    leaked = set(range(1, num_pages)) - walker.visited_ids
+    if leaked:
+        raise AssertionError(
+            f"leaked pages (allocated but unreachable from the root): "
+            f"{sorted(leaked)}"
+        )
+    out_of_range = {
+        page_id
+        for page_id in walker.visited_ids
+        if page_id <= 0 or page_id >= num_pages
+    }
+    if out_of_range:
+        raise AssertionError(
+            f"tree references invalid page ids: {sorted(out_of_range)}"
+        )
+
+    # The leaf chain must visit the same leaves in the same order and end
+    # with the NO_LEAF terminator (never a cycle).
     chain: list[int] = []
+    seen_in_chain: set[int] = set()
     page_id = walker.leaf_ids_in_order[0]
     previous_key = -math.inf
-    while True:
+    terminated = False
+    while len(chain) <= len(walker.leaf_ids_in_order):
+        if page_id in seen_in_chain:
+            raise AssertionError(
+                f"leaf chain cycles back to page {page_id}"
+            )
         chain.append(page_id)
+        seen_in_chain.add(page_id)
         leaf = LeafNode.load(tree.buffer_pool.fetch(page_id), tree.payload_size)
         for key in leaf.keys:
             if key < previous_key:
                 raise AssertionError("keys decrease along the leaf chain")
             previous_key = key
         if leaf.next_leaf == NO_LEAF:
+            terminated = True
             break
         page_id = leaf.next_leaf
+    if not terminated:
+        raise AssertionError(
+            "leaf chain does not terminate with NO_LEAF within the "
+            "reachable leaf count"
+        )
     if chain != walker.leaf_ids_in_order:
         raise AssertionError(
             "leaf chain disagrees with root-reachable leaf order: "

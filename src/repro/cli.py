@@ -14,6 +14,10 @@ Drives the full pipeline from a shell::
 ``<out>.meta.json`` (epsilon, reference point, per-video frame counts).
 ``query`` reopens them, summarises the query video with the stored
 epsilon, and prints the ranked results plus the exact query cost.
+
+``repro-video lint`` runs the project's own static-analysis pass
+(vilint; see ``docs/static_analysis.md``) over ``src/repro`` or any
+given paths.
 """
 
 from __future__ import annotations
@@ -124,6 +128,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     index = VitriIndex.open(
         f"{args.index}.btree",
@@ -230,6 +240,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("composed", "naive"), default="composed"
     )
     query.set_defaults(func=_cmd_query)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run vilint, the project's static-analysis pass",
+        description=(
+            "Check determinism, validation and cost-accounting invariants "
+            "(see docs/static_analysis.md)."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories"
+    )
+    lint.add_argument("--baseline", default=None, metavar="FILE")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--update-baseline", action="store_true")
+    lint.add_argument("--select", default=None, metavar="RULES")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -8,6 +8,8 @@ clusters-generation algorithm (Figure 3).
   ``min(R, mu + sigma)`` is at most ``epsilon / 2``.
 """
 
+from __future__ import annotations
+
 from repro.clustering.bisecting import FrameCluster, generate_clusters
 from repro.clustering.kmeans import KMeansResult, kmeans
 

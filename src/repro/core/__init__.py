@@ -11,6 +11,8 @@ Typical flow::
     result = index.knn(query_summary, k=50)
 """
 
+from __future__ import annotations
+
 from repro.core.composition import compose_ranges
 from repro.core.database import VideoDatabase
 from repro.core.frames import frame_similarity, frames_with_match

@@ -53,7 +53,11 @@ def frame_similarity(
     frames_x, frames_y, epsilon: float, counters: CostCounters | None = None
 ) -> float:
     """The paper's exact video similarity measure, in ``[0, 1]``."""
+    frames_x = check_matrix(frames_x, "frames_x", min_rows=1)
+    frames_y = check_matrix(
+        frames_y, "frames_y", cols=frames_x.shape[1], min_rows=1
+    )
     count_x = frames_with_match(frames_x, frames_y, epsilon, counters)
     count_y = frames_with_match(frames_y, frames_x, epsilon, counters)
-    total = np.asarray(frames_x).shape[0] + np.asarray(frames_y).shape[0]
+    total = frames_x.shape[0] + frames_y.shape[0]
     return (count_x + count_y) / total

@@ -89,12 +89,12 @@ def _estimate_from_scalars(
         r_small, c_small = radius_a, count_a
 
     ceiling = float(min(count_a, count_b))
-    if r_small == 0.0:
+    if r_small <= 0.0:
         # Point mass: all its frames coincide with its centre.
         return ceiling if distance <= r_big else 0.0
 
     fraction = intersection_fraction_of_smaller(dim, r_big, r_small, distance)
-    if fraction == 0.0:
+    if fraction <= 0.0:
         return 0.0
     # min(D1, D2) in ratio form; r_small/r_big <= 1 so the power never
     # overflows.
@@ -149,7 +149,7 @@ def _estimate_batch(
     out = np.zeros(distances.shape[0], dtype=np.float64)
 
     # Point-mass candidates (or query): covered iff the centre is inside.
-    point_mass = small == 0.0
+    point_mass = small <= 0.0
     out[point_mass] = np.where(
         distances[point_mass] <= big[point_mass], ceiling[point_mass], 0.0
     )
@@ -165,7 +165,7 @@ def _estimate_batch(
     cap = ceiling[live]
 
     disjoint = d >= b + s
-    contained = (d <= b - s) | (d == 0.0)
+    contained = (d <= b - s) | (d <= 0.0)
     lens = ~(disjoint | contained)
 
     # Intersection fraction of the smaller sphere, in log space.

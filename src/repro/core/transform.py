@@ -107,5 +107,6 @@ def key_variance(transform: OneDimensionalTransform, positions) -> float:
     retains the most pairwise-distance information after the 1-D mapping
     (``Var(|k_i - k_j|)`` over pairs grows with ``Var(k)``).
     """
+    positions = check_matrix(positions, "positions", min_rows=1)
     keys = transform.keys(positions)
     return float(keys.var())

@@ -21,6 +21,8 @@ samples query workloads; :mod:`repro.datasets.loader` persists datasets
 as ``.npz``.
 """
 
+from __future__ import annotations
+
 from repro.datasets.features import histogram_dim, rgb_histogram, video_histograms
 from repro.datasets.loader import VideoDataset
 from repro.datasets.queries import sample_queries

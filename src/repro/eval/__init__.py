@@ -1,6 +1,8 @@
 """Evaluation harness: frame-level ground truth, the precision metric and
 cost aggregation used by every experiment in Section 6."""
 
+from __future__ import annotations
+
 from repro.eval.ground_truth import GroundTruthCache, knn_ground_truth
 from repro.eval.harness import aggregate_stats, format_table
 from repro.eval.metrics import precision_at_k

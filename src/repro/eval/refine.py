@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.frames import frame_similarity
 from repro.core.index import KNNResult, VitriIndex
 from repro.datasets.loader import VideoDataset
+from repro.utils.counters import CostCounters
 from repro.utils.validation import check_positive
 
 __all__ = ["refine_ranking", "refined_knn"]
@@ -28,6 +29,7 @@ def refine_ranking(
     query_frames,
     candidate_ids,
     epsilon: float,
+    counters: CostCounters | None = None,
 ) -> list[tuple[int, float]]:
     """Re-rank candidate videos by exact frame-level similarity.
 
@@ -41,6 +43,9 @@ def refine_ranking(
         Video ids to re-rank (typically an index result's ``videos``).
     epsilon:
         Frame similarity threshold.
+    counters:
+        Optional cost bundle; the refinement's exact frame comparisons
+        are charged to ``distance_computations``.
 
     Returns
     -------
@@ -52,7 +57,7 @@ def refine_ranking(
         (
             int(video_id),
             frame_similarity(
-                query_frames, dataset.frames(int(video_id)), epsilon
+                query_frames, dataset.frames(int(video_id)), epsilon, counters
             ),
         )
         for video_id in candidate_ids
@@ -70,6 +75,7 @@ def refined_knn(
     *,
     overfetch: int = 3,
     method: str = "composed",
+    counters: CostCounters | None = None,
 ) -> KNNResult:
     """Indexed KNN followed by exact re-ranking of the top candidates.
 
@@ -91,6 +97,9 @@ def refined_knn(
         candidates for exact re-ranking.
     method:
         Index query method (``"composed"`` / ``"naive"``).
+    counters:
+        Optional cost bundle charged with the refinement pass's exact
+        frame comparisons (the coarse pass's cost is in ``stats``).
 
     Returns
     -------
@@ -106,7 +115,11 @@ def refined_knn(
 
     coarse = index.knn(summaries[query_id], k * overfetch, method=method)
     refined = refine_ranking(
-        dataset, dataset.frames(query_id), coarse.videos, index.epsilon
+        dataset,
+        dataset.frames(query_id),
+        coarse.videos,
+        index.epsilon,
+        counters,
     )[:k]
     return KNNResult(
         videos=tuple(video for video, _ in refined),

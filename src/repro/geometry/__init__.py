@@ -15,6 +15,8 @@ Two parallel implementations are provided:
 volume with the paper's four-case analysis (Section 4.2).
 """
 
+from __future__ import annotations
+
 from repro.geometry.intersection import (
     IntersectionCase,
     classify_intersection,

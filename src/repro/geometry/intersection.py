@@ -112,9 +112,9 @@ def log_intersection_volume(n: int, r1: float, r2: float, distance: float) -> fl
     big, small = _order_radii(r1, r2)
     distance = check_non_negative(distance, "distance")
     case = classify_intersection(big, small, distance)
-    if case is IntersectionCase.DISJOINT or small == 0.0:
+    if case is IntersectionCase.DISJOINT or small <= 0.0:
         return -math.inf
-    if case is IntersectionCase.CONTAINED or distance == 0.0:
+    if case is IntersectionCase.CONTAINED or distance <= 0.0:
         return log_sphere_volume(n, small)
     alpha, beta = _boundary_angles(big, small, distance)
     log_cap_big = log_cap_fraction(n, alpha) + log_sphere_volume(n, big)
@@ -140,7 +140,7 @@ def intersection_fraction_of_smaller(
     dimensionality.
     """
     big, small = _order_radii(r1, r2)
-    if small == 0.0:
+    if small <= 0.0:
         # A point-mass sphere: fully covered iff its centre is inside the
         # other sphere (boundary inclusive).
         distance = check_non_negative(distance, "distance")

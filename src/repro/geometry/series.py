@@ -126,7 +126,7 @@ def sector_volume_series(n: int, radius: float, alpha: float) -> float:
     n = _check_dimension(n, minimum=2)
     radius = check_non_negative(radius, "radius")
     alpha = _check_acute_angle(alpha)
-    if radius == 0.0 or alpha == 0.0:
+    if radius <= 0.0 or alpha <= 0.0:
         return 0.0
     if n % 2 == 0:
         return _even_coefficient(n, radius) * _even_series(alpha, (n - 4) // 2)
@@ -139,7 +139,7 @@ def cap_volume_series(n: int, radius: float, alpha: float) -> float:
     n = _check_dimension(n, minimum=2)
     radius = check_non_negative(radius, "radius")
     alpha = _check_acute_angle(alpha)
-    if radius == 0.0 or alpha == 0.0:
+    if radius <= 0.0 or alpha <= 0.0:
         return 0.0
     if n % 2 == 0:
         return _even_coefficient(n, radius) * _even_series(alpha, (n - 2) // 2)
@@ -155,7 +155,7 @@ def cone_volume_series(n: int, radius: float, alpha: float) -> float:
     n = _check_dimension(n, minimum=2)
     radius = check_non_negative(radius, "radius")
     alpha = _check_acute_angle(alpha)
-    if radius == 0.0 or alpha == 0.0:
+    if radius <= 0.0 or alpha <= 0.0:
         return 0.0
     base = sphere_volume_series(n - 1, radius * math.sin(alpha))
     height = radius * math.cos(alpha)

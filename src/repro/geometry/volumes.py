@@ -69,7 +69,7 @@ def log_sphere_volume(n: int, radius: float) -> float:
     """Natural log of ``V_hypersphere(O, R)``; ``-inf`` for zero radius."""
     n = _check_dimension(n)
     radius = check_non_negative(radius, "radius")
-    if radius == 0.0:
+    if radius <= 0.0:
         return -math.inf
     return log_unit_sphere_volume(n) + n * math.log(radius)
 
@@ -112,7 +112,7 @@ def log_cap_fraction(n: int, alpha: float) -> float:
     """Natural log of :func:`cap_fraction`; ``-inf`` for a zero-angle cap."""
     n = _check_dimension(n)
     alpha = _check_angle(alpha)
-    if alpha == 0.0:
+    if alpha <= 0.0:
         return -math.inf
     if alpha >= math.pi:
         return 0.0
@@ -138,7 +138,7 @@ def cap_fraction(n: int, alpha: float) -> float:
     """
     n = _check_dimension(n)
     alpha = _check_angle(alpha)
-    if alpha == 0.0:
+    if alpha <= 0.0:
         return 0.0
     if alpha >= math.pi:
         return 1.0
@@ -177,7 +177,7 @@ def sector_fraction(n: int, alpha: float) -> float:
         # In one dimension the "sector" degenerates: alpha < pi selects one
         # ray (half the ball), alpha = pi selects both.
         return 1.0 if alpha >= math.pi else (0.5 if alpha > 0.0 else 0.0)
-    if alpha == 0.0:
+    if alpha <= 0.0:
         return 0.0
     if alpha >= math.pi:
         return 1.0
@@ -191,7 +191,7 @@ def sector_fraction(n: int, alpha: float) -> float:
 def sector_volume(n: int, radius: float, alpha: float) -> float:
     """Volume of ``V_hypersector(O, R, alpha)``."""
     fraction = sector_fraction(n, alpha)
-    if fraction == 0.0:
+    if fraction <= 0.0:
         return 0.0
     return fraction * sphere_volume(n, radius)
 
@@ -209,7 +209,7 @@ def cone_volume(n: int, radius: float, alpha: float) -> float:
     n = _check_dimension(n)
     radius = check_non_negative(radius, "radius")
     alpha = _check_angle(alpha, max_angle=_HALF_PI)
-    if radius == 0.0 or alpha == 0.0:
+    if radius <= 0.0 or alpha <= 0.0:
         return 0.0
     sin_a = math.sin(alpha)
     cos_a = math.cos(alpha)

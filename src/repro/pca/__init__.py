@@ -12,6 +12,8 @@ Provides the pieces Section 3.3 / Section 5.1 of the paper need:
   so the drift check needs no full rescan of the stored positions.
 """
 
+from __future__ import annotations
+
 from repro.pca.incremental import IncrementalMoments
 from repro.pca.pca import PCA, principal_angle
 

@@ -152,7 +152,7 @@ def principal_angle(direction_a, direction_b) -> float:
     b = check_vector(direction_b, "direction_b", dim=a.shape[0])
     norm_a = np.linalg.norm(a)
     norm_b = np.linalg.norm(b)
-    if norm_a == 0.0 or norm_b == 0.0:
+    if norm_a <= 0.0 or norm_b <= 0.0:
         raise ValueError("directions must be non-zero vectors")
     cosine = abs(float(a @ b) / (norm_a * norm_b))
     return math.acos(min(cosine, 1.0))

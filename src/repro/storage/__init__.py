@@ -18,6 +18,8 @@ Every page that a query touches flows through these counters, which is how
 the reproduction reports I/O cost hardware-independently.
 """
 
+from __future__ import annotations
+
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.heap_file import HeapFile, RecordId
 from repro.storage.page import PAGE_SIZE, Page

@@ -16,6 +16,8 @@ all three:
   estimated shared frames over non-crossing cluster pairs.
 """
 
+from __future__ import annotations
+
 from repro.temporal.alignment import align_summaries, temporal_video_similarity
 from repro.temporal.hausdorff import directed_hausdorff, hausdorff_distance
 from repro.temporal.warping import warping_distance

@@ -1,6 +1,8 @@
 """Shared utilities: argument validation, RNG handling, running statistics,
 and cost/time accounting used across the ViTri reproduction."""
 
+from __future__ import annotations
+
 from repro.utils.counters import CostCounters, Timer
 from repro.utils.rng import ensure_rng
 from repro.utils.stats import RunningStats

@@ -112,8 +112,10 @@ class Timer:
         self.elapsed = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        # Timer *is* the sanctioned wall-clock wrapper the rule points at.
+        self._start = time.perf_counter()  # vilint: disable=wall-clock-discipline
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        # Sanctioned wrapper again (see __enter__).
+        self.elapsed = time.perf_counter() - self._start  # vilint: disable=wall-clock-discipline

@@ -1,0 +1,232 @@
+"""Engine-level tests: suppressions, baseline round-trip, CLI behaviour."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import Baseline, lint_paths, lint_source
+from repro.analysis.baseline import BaselineError
+from repro.analysis.cli import main as vilint_main
+from repro.analysis.engine import discover_files
+from repro.cli import main as repro_main
+
+VIOLATION = textwrap.dedent(
+    """\
+    from __future__ import annotations
+
+    import numpy as np
+
+    def sample():
+        return np.random.uniform(0.0, 1.0)
+    """
+)
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(content))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Inline suppressions
+# ---------------------------------------------------------------------------
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.uniform()  # vilint: disable=seeded-rng -- fixture\n"
+        )
+        assert not lint_source(source, select=["seeded-rng"])
+
+    def test_suppression_is_rule_specific(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.uniform()  # vilint: disable=float-equality\n"
+        )
+        diagnostics = lint_source(source, select=["seeded-rng", "float-equality"])
+        assert [d.rule for d in diagnostics] == ["seeded-rng"]
+
+    def test_multiple_rules_one_directive(self):
+        source = (
+            "import numpy as np\n"
+            "x = (np.random.uniform() == 0.0)"
+            "  # vilint: disable=seeded-rng,float-equality\n"
+        )
+        assert not lint_source(source, select=["seeded-rng", "float-equality"])
+
+    def test_disable_all(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.uniform()  # vilint: disable=all\n"
+        )
+        assert not lint_source(source, select=["seeded-rng"])
+
+    def test_file_wide_suppression(self):
+        source = (
+            "# vilint: disable-file=seeded-rng -- sanctioned wrapper module\n"
+            "import numpy as np\n"
+            "a = np.random.uniform()\n"
+            "b = np.random.normal()\n"
+        )
+        assert not lint_source(source, select=["seeded-rng"])
+
+    def test_unsuppressed_line_still_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "a = np.random.uniform()  # vilint: disable=seeded-rng\n"
+            "b = np.random.normal()\n"
+        )
+        diagnostics = lint_source(source, select=["seeded-rng"])
+        assert [d.line for d in diagnostics] == [3]
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip_absorbs_findings(self, tmp_path):
+        module = write(tmp_path, "pkg/mod.py", VIOLATION)
+        baseline_path = tmp_path / "vilint.baseline"
+
+        # First run: finding reported.
+        result = lint_paths([str(module)])
+        assert [d.rule for d in result.diagnostics] == ["seeded-rng"]
+        assert result.exit_code == 1
+
+        # Write the baseline, reload it, re-run: finding absorbed.
+        baseline_path.write_text(Baseline.render(result.diagnostics))
+        baseline = Baseline.load(str(baseline_path))
+        again = lint_paths([str(module)], baseline=baseline)
+        assert again.diagnostics == []
+        assert again.baselined == 1
+        assert again.stale_baseline == []
+        assert again.exit_code == 0
+
+    def test_rendered_baseline_carries_comment_per_entry(self, tmp_path):
+        module = write(tmp_path, "mod.py", VIOLATION)
+        result = lint_paths([str(module)])
+        content = Baseline.render(result.diagnostics)
+        entry_lines = [
+            line
+            for line in content.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert entry_lines, content
+        assert all("#" in line for line in entry_lines)
+
+    def test_stale_entry_reported(self, tmp_path):
+        clean = write(tmp_path, "clean.py", "from __future__ import annotations\n")
+        baseline_path = write(
+            tmp_path,
+            "vilint.baseline",
+            f"{clean}:3: seeded-rng  # long since fixed\n",
+        )
+        baseline = Baseline.load(str(baseline_path))
+        result = lint_paths([str(clean)], baseline=baseline)
+        assert result.exit_code == 0
+        assert result.stale_baseline == [(str(clean), 3, "seeded-rng")]
+
+    def test_baseline_does_not_absorb_other_rules(self, tmp_path):
+        module = write(tmp_path, "mod.py", VIOLATION)
+        result = lint_paths([str(module)])
+        (finding,) = result.diagnostics
+        baseline_path = write(
+            tmp_path,
+            "vilint.baseline",
+            f"{finding.path}:{finding.line}: float-equality  # wrong rule\n",
+        )
+        baseline = Baseline.load(str(baseline_path))
+        again = lint_paths([str(module)], baseline=baseline)
+        assert [d.rule for d in again.diagnostics] == ["seeded-rng"]
+
+    def test_unparseable_baseline_raises(self, tmp_path):
+        bad = write(tmp_path, "vilint.baseline", "not a baseline entry\n")
+        try:
+            Baseline.load(str(bad))
+        except BaselineError as error:
+            assert "unparseable" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected BaselineError")
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+class TestEngine:
+    def test_discover_skips_pycache_and_sorts(self, tmp_path):
+        write(tmp_path, "b.py", "")
+        write(tmp_path, "a.py", "")
+        write(tmp_path, "__pycache__/c.py", "")
+        found = discover_files([str(tmp_path)])
+        assert [p.split("/")[-1] for p in found] == ["a.py", "b.py"]
+
+    def test_syntax_error_becomes_parse_error_diagnostic(self, tmp_path):
+        module = write(tmp_path, "broken.py", "def broken(:\n")
+        result = lint_paths([str(module)])
+        assert [d.rule for d in result.diagnostics] == ["parse-error"]
+        assert result.exit_code == 1
+
+    def test_missing_path_raises(self):
+        try:
+            lint_paths(["no/such/path.py"])
+        except FileNotFoundError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected FileNotFoundError")
+
+
+# ---------------------------------------------------------------------------
+# CLI (module and repro-video subcommand)
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        dirty = write(tmp_path, "dirty.py", VIOLATION)
+        clean = write(tmp_path, "clean.py", "from __future__ import annotations\n")
+        assert vilint_main([str(clean), "--no-baseline"]) == 0
+        assert vilint_main([str(dirty), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "seeded-rng" in out
+        assert "VIL002" in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        clean = write(tmp_path, "clean.py", "")
+        assert vilint_main([str(clean), "--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        dirty = write(tmp_path, "dirty.py", VIOLATION)
+        assert vilint_main([str(dirty), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "seeded-rng"
+        assert finding["line"] == 6
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "dirty.py", VIOLATION)
+        assert vilint_main(["dirty.py", "--update-baseline"]) == 0
+        assert (tmp_path / "vilint.baseline").exists()
+        capsys.readouterr()
+        # Default baseline discovery picks the file up from the cwd.
+        assert vilint_main(["dirty.py"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_repro_video_lint_subcommand(self, tmp_path, capsys):
+        dirty = write(tmp_path, "dirty.py", VIOLATION)
+        assert repro_main(["lint", str(dirty), "--no-baseline"]) == 1
+        assert "seeded-rng" in capsys.readouterr().out
+        assert repro_main(["lint", "--list-rules"]) == 0
+
+    def test_python_dash_m_entry_point(self, tmp_path):
+        dirty = write(tmp_path, "dirty.py", VIOLATION)
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(dirty), "--no-baseline"],
+            capture_output=True,
+            text=True,
+        )
+        assert process.returncode == 1
+        assert "seeded-rng" in process.stdout

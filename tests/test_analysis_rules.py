@@ -1,0 +1,379 @@
+"""Golden-fixture tests for every vilint rule.
+
+Each rule gets positive fixtures (snippets that must produce a diagnostic
+with the right rule id and line) and negative fixtures (idiomatic code
+that must stay clean).  Snippets run through
+:func:`repro.analysis.lint_source`, the same path the CLI uses.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source, rule_names
+
+
+def findings(source, rule=None):
+    select = [rule] if rule else None
+    return lint_source(textwrap.dedent(source), path="fixture.py", select=select)
+
+
+def lines_for(source, rule):
+    return [d.line for d in findings(source, rule)]
+
+
+def test_registry_has_all_six_rules():
+    assert rule_names() == [
+        "future-annotations",
+        "seeded-rng",
+        "counter-discipline",
+        "boundary-validation",
+        "float-equality",
+        "wall-clock-discipline",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# future-annotations
+# ---------------------------------------------------------------------------
+class TestFutureAnnotations:
+    def test_missing_import_flagged_at_line_one(self):
+        diagnostics = findings(
+            '''\
+            """Docstring."""
+
+            import os
+
+            x: int = 1
+            ''',
+            "future-annotations",
+        )
+        assert [(d.rule, d.line) for d in diagnostics] == [
+            ("future-annotations", 1)
+        ]
+        assert diagnostics[0].code == "VIL001"
+
+    def test_present_after_docstring_clean(self):
+        assert not findings(
+            '''\
+            """Docstring."""
+
+            from __future__ import annotations
+
+            import os
+            ''',
+            "future-annotations",
+        )
+
+    def test_present_without_docstring_clean(self):
+        assert not findings(
+            "from __future__ import annotations\nimport os\n",
+            "future-annotations",
+        )
+
+    def test_import_after_other_code_still_flagged(self):
+        assert lines_for(
+            "import os\nfrom __future__ import annotations\n",
+            "future-annotations",
+        ) == [1]
+
+    def test_empty_and_docstring_only_modules_clean(self):
+        assert not findings("", "future-annotations")
+        assert not findings('"""Only a docstring."""\n', "future-annotations")
+
+
+# ---------------------------------------------------------------------------
+# seeded-rng
+# ---------------------------------------------------------------------------
+class TestSeededRng:
+    def test_np_random_call_flagged(self):
+        source = """\
+        from __future__ import annotations
+
+        import numpy as np
+
+        def sample():
+            return np.random.uniform(0.0, 1.0)
+        """
+        diagnostics = findings(source, "seeded-rng")
+        assert [d.line for d in diagnostics] == [6]
+        assert "numpy.random.uniform" in diagnostics[0].message
+
+    def test_default_rng_and_seed_flagged(self):
+        source = """\
+        import numpy as np
+
+        np.random.seed(0)
+        rng = np.random.default_rng()
+        """
+        assert lines_for(source, "seeded-rng") == [3, 4]
+
+    def test_stdlib_random_flagged(self):
+        source = """\
+        import random
+        from random import randint
+
+        def roll():
+            return random.random() + randint(1, 6)
+        """
+        assert lines_for(source, "seeded-rng") == [5, 5]
+
+    def test_threaded_generator_clean(self):
+        source = """\
+        from __future__ import annotations
+
+        from repro.utils.rng import ensure_rng
+
+        def sample(seed=None):
+            rng = ensure_rng(seed)
+            return rng.normal(size=4)
+        """
+        assert not findings(source, "seeded-rng")
+
+    def test_generator_annotation_clean(self):
+        source = """\
+        import numpy as np
+
+        def centre(data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+            return data[rng.integers(len(data))]
+        """
+        assert not findings(source, "seeded-rng")
+
+    def test_unrelated_local_named_random_clean(self):
+        source = """\
+        def pick(random):
+            return random.choice()
+        """
+        assert not findings(source, "seeded-rng")
+
+
+# ---------------------------------------------------------------------------
+# counter-discipline
+# ---------------------------------------------------------------------------
+class TestCounterDiscipline:
+    def test_kernel_call_without_counters_param_flagged(self):
+        source = """\
+        from repro.core.similarity import video_similarity
+
+        def score_pair(x, y):
+            return video_similarity(x, y)
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [4]
+        assert "video_similarity" in diagnostics[0].message
+
+    def test_counters_param_dropped_on_call_flagged(self):
+        source = """\
+        from repro.core.similarity import video_similarity
+
+        def score_pair(x, y, counters=None):
+            return video_similarity(x, y)
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [4]
+        assert "drops" in diagnostics[0].message
+
+    def test_counters_propagated_clean(self):
+        source = """\
+        from repro.core.similarity import video_similarity
+
+        def score_pair(x, y, counters=None):
+            return video_similarity(x, y, counters)
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_counters_propagated_as_keyword_clean(self):
+        source = """\
+        from repro.core.similarity import video_similarity
+
+        def score_pair(x, y, counters=None):
+            return video_similarity(x, y, counters=counters)
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_raw_kernel_with_self_accounting_clean(self):
+        source = """\
+        from repro.core.similarity import _estimate_from_scalars
+
+        class Accumulator:
+            def evaluate(self, record):
+                value = _estimate_from_scalars(2, 1.0, 3, 1.0, 3, 0.5)
+                self.evaluations += 1
+                return value
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_raw_kernel_without_accounting_flagged(self):
+        source = """\
+        from repro.core.similarity import _estimate_from_scalars
+
+        def estimate(record):
+            return _estimate_from_scalars(2, 1.0, 3, 1.0, 3, 0.5)
+        """
+        assert lines_for(source, "counter-discipline") == [4]
+
+    def test_raw_pager_io_outside_storage_flagged(self):
+        diagnostics = lint_source(
+            "def peek(pager):\n    return pager.read_page(0)\n",
+            path="src/repro/core/index.py",
+            select=["counter-discipline"],
+        )
+        assert [d.line for d in diagnostics] == [2]
+        assert "BufferPool" in diagnostics[0].message
+
+    def test_raw_pager_io_inside_storage_clean(self):
+        assert not lint_source(
+            "def peek(pager):\n    return pager.read_page(0)\n",
+            path="src/repro/storage/buffer_pool.py",
+            select=["counter-discipline"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# boundary-validation
+# ---------------------------------------------------------------------------
+class TestBoundaryValidation:
+    CORE = "src/repro/core/example.py"
+
+    def test_public_array_function_without_check_flagged(self):
+        diagnostics = lint_source(
+            "def centroid(frames):\n    return frames.mean(axis=0)\n",
+            path=self.CORE,
+            select=["boundary-validation"],
+        )
+        assert [d.line for d in diagnostics] == [1]
+        assert "'frames'" in diagnostics[0].message
+
+    def test_annotated_array_param_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "def centroid(cloud: np.ndarray):\n"
+            "    return cloud.mean(axis=0)\n"
+        )
+        diagnostics = lint_source(
+            source, path=self.CORE, select=["boundary-validation"]
+        )
+        assert [d.line for d in diagnostics] == [2]
+
+    def test_check_call_clean(self):
+        source = (
+            "from repro.utils.validation import check_matrix\n"
+            "def centroid(frames):\n"
+            "    frames = check_matrix(frames, 'frames')\n"
+            "    return frames.mean(axis=0)\n"
+        )
+        assert not lint_source(
+            source, path=self.CORE, select=["boundary-validation"]
+        )
+
+    def test_private_function_exempt(self):
+        assert not lint_source(
+            "def _centroid(frames):\n    return frames.mean(axis=0)\n",
+            path=self.CORE,
+            select=["boundary-validation"],
+        )
+
+    def test_outside_core_and_baselines_exempt(self):
+        assert not lint_source(
+            "def centroid(frames):\n    return frames.mean(axis=0)\n",
+            path="src/repro/eval/example.py",
+            select=["boundary-validation"],
+        )
+
+    def test_baselines_module_covered(self):
+        assert lint_source(
+            "def centroid(frames):\n    return frames.mean(axis=0)\n",
+            path="src/repro/baselines/example.py",
+            select=["boundary-validation"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# float-equality
+# ---------------------------------------------------------------------------
+class TestFloatEquality:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "x == 0.0",
+            "0.0 == x",
+            "x != 1.5",
+            "x == -2.0",
+            "x == float(y)",
+            "x == 2.0 * y",
+        ],
+    )
+    def test_float_comparisons_flagged(self, expression):
+        assert lines_for(f"def f(x, y):\n    return {expression}\n",
+                         "float-equality") == [2]
+
+    def test_math_inf_comparison_flagged(self):
+        source = """\
+        import math
+
+        def degenerate(log_volume):
+            return log_volume == -math.inf
+        """
+        assert lines_for(source, "float-equality") == [4]
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "x == 0",  # int literal: not provably float
+            "x <= 0.0",  # ordered comparison is the accepted idiom
+            "math.isclose(x, 0.0)",
+            "x is None",
+        ],
+    )
+    def test_accepted_idioms_clean(self, expression):
+        source = f"import math\ndef f(x):\n    return {expression}\n"
+        assert not findings(source, "float-equality")
+
+    def test_chained_comparison_single_finding(self):
+        assert lines_for("def f(a, b, c):\n    return a == 0.0 == b\n",
+                         "float-equality") == [2]
+
+
+# ---------------------------------------------------------------------------
+# wall-clock-discipline
+# ---------------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_flagged(self):
+        source = """\
+        import time
+
+        def measure(fn):
+            start = time.time()
+            fn()
+            return time.time() - start
+        """
+        assert lines_for(source, "wall-clock-discipline") == [4, 6]
+
+    def test_perf_counter_and_monotonic_flagged(self):
+        source = """\
+        import time
+
+        def stamp():
+            return time.perf_counter() + time.monotonic()
+        """
+        assert len(lines_for(source, "wall-clock-discipline")) == 2
+
+    def test_timer_usage_clean(self):
+        source = """\
+        from repro.utils.counters import Timer
+
+        def measure(fn):
+            with Timer() as timer:
+                fn()
+            return timer.elapsed
+        """
+        assert not findings(source, "wall-clock-discipline")
+
+    def test_time_sleep_clean(self):
+        source = """\
+        import time
+
+        def backoff():
+            time.sleep(0.1)
+        """
+        assert not findings(source, "wall-clock-discipline")

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.btree.checker import check_tree
 from repro.core.index import VitriIndex
 from repro.core.similarity import video_similarity
 from repro.core.vitri import VideoSummary, ViTri
@@ -60,6 +61,9 @@ def test_index_matches_brute_force(database, query_raw):
     summaries = make_database(database)
     query = VideoSummary(video_id=9999, vitris=tuple(query_raw))
     index = VitriIndex.build(summaries, EPSILON)
+    # Structural + pager-bookkeeping invariants (no leaked/double-referenced
+    # pages, NO_LEAF-terminated leaf chain) on every generated workload.
+    check_tree(index.btree)
     k = len(summaries)
     expected = dict(brute_force(summaries, query, k))
     for method in ("composed", "naive"):
@@ -113,6 +117,10 @@ def test_dynamic_insert_equals_bulk(database, split):
     grown = VitriIndex.build(summaries[:split], EPSILON)
     for summary in summaries[split:]:
         grown.insert_video(summary)
+    # Both the bulk-loaded and the split-grown tree must keep every pager
+    # page reachable exactly once.
+    check_tree(bulk.btree)
+    check_tree(grown.btree)
     query = summaries[0]
     a = bulk.knn(query, len(summaries))
     b = grown.knn(query, len(summaries))
