@@ -14,6 +14,9 @@ insert/bulk-load workloads:
   right, and terminates with the ``NO_LEAF`` sentinel (no cycles);
 * ``num_entries`` matches the actual entry count;
 * all leaves sit at the same depth;
+* every stored page frame passes CRC32 checksum verification (delegated
+  to :meth:`~repro.storage.pager.Pager.verify_checksums`, surfaced here as
+  an :class:`AssertionError` like every other violation);
 * pager bookkeeping is airtight: no page is referenced twice (each page id
   appears exactly once in the tree) and no page is leaked (every allocated
   page except the metadata page 0 is reachable from the root — deletes
@@ -34,6 +37,7 @@ from repro.btree.node import (
     node_type_of,
 )
 from repro.btree.tree import BPlusTree
+from repro.storage.serialization import ChecksumError
 
 __all__ = ["check_tree"]
 
@@ -104,6 +108,13 @@ class _TreeWalker:
 
 def check_tree(tree: BPlusTree) -> None:
     """Raise :class:`AssertionError` if any B+-tree invariant is violated."""
+    # Physical integrity first: a frame with a bad CRC32 trailer would
+    # decode to garbage below, so surface it as its own violation.
+    try:
+        tree.buffer_pool.pager.verify_checksums()
+    except ChecksumError as exc:
+        raise AssertionError(f"page checksum violation: {exc}") from exc
+
     walker = _TreeWalker(tree)
     # Find the root page id via a protected attribute: the checker is a
     # white-box test utility and deliberately reaches inside.

@@ -1,6 +1,8 @@
 """B+-tree node layouts and their page (de)serialisation.
 
-Both node kinds live in one :data:`~repro.storage.page.PAGE_SIZE`-byte page.
+Both node kinds live in the :data:`~repro.storage.page.PAGE_CONTENT_SIZE`
+usable bytes of one page (the frame's CRC32 trailer is not addressable
+here).
 
 Leaf page layout (little-endian)::
 
@@ -23,7 +25,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.page import PAGE_CONTENT_SIZE, Page
 
 __all__ = [
     "InternalNode",
@@ -51,7 +53,7 @@ def leaf_capacity(payload_size: int) -> int:
     """Maximum entries per leaf for the given payload size."""
     if payload_size < 0:
         raise ValueError(f"payload_size must be >= 0, got {payload_size}")
-    capacity = (PAGE_SIZE - _LEAF_HEADER.size) // (_KEY.size + payload_size)
+    capacity = (PAGE_CONTENT_SIZE - _LEAF_HEADER.size) // (_KEY.size + payload_size)
     if capacity < 2:
         raise ValueError(
             f"payload_size {payload_size} leaves room for fewer than 2 "
@@ -63,7 +65,7 @@ def leaf_capacity(payload_size: int) -> int:
 def internal_capacity() -> int:
     """Maximum separator keys per internal node."""
     # count keys of 8 bytes + (count + 1) children of 8 bytes must fit.
-    return (PAGE_SIZE - _INTERNAL_HEADER.size - _CHILD.size) // (
+    return (PAGE_CONTENT_SIZE - _INTERNAL_HEADER.size - _CHILD.size) // (
         _KEY.size + _CHILD.size
     )
 

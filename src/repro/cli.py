@@ -15,6 +15,11 @@ Drives the full pipeline from a shell::
 ``query`` reopens them, summarises the query video with the stored
 epsilon, and prints the ranked results plus the exact query cost.
 
+``repro-video check`` opens an index built by ``build`` and verifies its
+physical and structural integrity: every page frame's CRC32 checksum,
+every B+-tree invariant (via the tree checker) and the heap file's slot
+accounting.  Exit code 0 means consistent, 1 means corruption.
+
 ``repro-video lint`` runs the project's own static-analysis pass
 (vilint; see ``docs/static_analysis.md``) over ``src/repro`` or any
 given paths.
@@ -134,6 +139,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.btree.checker import check_tree
+    from repro.storage.serialization import ChecksumError
+
+    try:
+        index = VitriIndex.open(
+            f"{args.index}.btree",
+            f"{args.index}.heap",
+            f"{args.index}.meta.json",
+        )
+    except (ChecksumError, ValueError, OSError) as exc:
+        # Opening already scans the heap, so corruption can surface here.
+        print(f"error: cannot open index: {exc}", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    try:
+        pages = index.btree.buffer_pool.pager.verify_checksums()
+        pages += index.heap.buffer_pool.pager.verify_checksums()
+        print(f"checksums: {pages} page frame(s) verified")
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        failures.append(f"checksum: {exc}")
+    try:
+        check_tree(index.btree)
+        print(f"b+tree: {index.num_vitris} entries, invariants hold")
+    except AssertionError as exc:
+        failures.append(f"btree: {exc}")
+    heap_violations = index.heap.verify()
+    if heap_violations:
+        failures.extend(f"heap: {v}" for v in heap_violations)
+    else:
+        print(f"heap: {index.heap.num_records} record(s), accounting holds")
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print(f"{args.index}: consistent ({index.num_videos} videos)")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     index = VitriIndex.open(
         f"{args.index}.btree",
@@ -240,6 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("composed", "naive"), default="composed"
     )
     query.set_defaults(func=_cmd_query)
+
+    check = commands.add_parser(
+        "check",
+        help="verify a file-backed index's integrity",
+        description=(
+            "Verify page checksums, B+-tree invariants and heap-file "
+            "accounting of an index written by 'build'."
+        ),
+    )
+    check.add_argument("--index", required=True, help="index file prefix")
+    check.set_defaults(func=_cmd_check)
 
     lint = commands.add_parser(
         "lint",

@@ -14,17 +14,49 @@ The index is built lazily: videos added before the first query are
 batched into one bulk build (packed pages, freshly fitted reference
 point); videos added afterwards use dynamic B+-tree insertion, with the
 Section 6.3.3 drift policy deciding when to rebuild.
+
+Durable databases
+-----------------
+Pass ``path=`` to persist the database in a directory::
+
+    db = VideoDatabase(epsilon=0.3, path="videos.db")
+    db.add(frames)
+    db.checkpoint()          # atomically commit everything added so far
+    db.close()               # final checkpoint + release files
+
+    db = VideoDatabase(path="videos.db")   # reopens at last checkpoint
+
+The directory holds the B+-tree file (``index.btree``), the ViTri heap
+(``index.heap``), a JSON metadata blob (``db.json``) and a shared
+write-ahead log (``db.wal``).  All three data artefacts commit as one
+atomic unit through the WAL, so a crash at *any* point — mid-insert,
+mid-commit, mid-recovery — leaves a directory that reopens at its last
+completed checkpoint (see :mod:`repro.storage.wal`).
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 from repro.core.index import KNNResult, VitriIndex
 from repro.core.maintenance import RebuildPolicy
 from repro.core.summarize import summarize_video
 from repro.core.vitri import VideoSummary
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.wal import WriteAheadLog
 from repro.utils.validation import check_matrix, check_positive
 
 __all__ = ["VideoDatabase"]
+
+_BTREE_FILE = "index.btree"
+_HEAP_FILE = "index.heap"
+_META_FILE = "db.json"
+_WAL_FILE = "db.wal"
+_BTREE_FILE_ID = 0
+_HEAP_FILE_ID = 1
+_META_FORMAT = 1
 
 
 class VideoDatabase:
@@ -38,10 +70,22 @@ class VideoDatabase:
         Reference-point strategy for the 1-D transform.
     rebuild_policy:
         Drift policy applied after dynamic insertions; ``None`` disables
-        automatic rebuilds.
+        automatic rebuilds.  Not supported for durable databases (a
+        rebuild re-creates the index over fresh in-memory storage, which
+        would silently detach it from the directory).
     summarize_seed:
         Base seed for the summarisation k-means (summaries are
         deterministic given the same frames and seed).
+    path:
+        Directory to persist the database in (created if missing).  When
+        the directory already holds a database, its stored configuration
+        (epsilon, reference, seed, id counter) wins over the constructor
+        arguments and the index reopens at its last checkpoint.
+    buffer_capacity:
+        LRU buffer-pool capacity (pages) for each durable page store.
+    fault_injector:
+        Optional :class:`~repro.storage.faults.FaultInjector` routed to
+        every disk operation of a durable database; testing only.
     """
 
     def __init__(
@@ -51,6 +95,9 @@ class VideoDatabase:
         reference: str = "optimal",
         rebuild_policy: RebuildPolicy | None = None,
         summarize_seed: int = 0,
+        path: str | os.PathLike | None = None,
+        buffer_capacity: int = 256,
+        fault_injector=None,
     ) -> None:
         self._epsilon = check_positive(epsilon, "epsilon")
         self._reference = reference
@@ -60,6 +107,79 @@ class VideoDatabase:
         self._index: VitriIndex | None = None
         self._next_video_id = 0
         self.rebuilds = 0
+
+        self._path = os.fspath(path) if path is not None else None
+        self._faults = fault_injector
+        self._wal: WriteAheadLog | None = None
+        self._btree_pool: BufferPool | None = None
+        self._heap_pool: BufferPool | None = None
+        self._closed = False
+        if self._path is None:
+            if fault_injector is not None:
+                raise ValueError(
+                    "fault_injector requires a durable database (path=...)"
+                )
+            return
+        if rebuild_policy is not None:
+            raise ValueError(
+                "rebuild_policy is not supported for durable databases"
+            )
+        if not isinstance(reference, str):
+            raise ValueError(
+                "durable databases need a named reference strategy "
+                "(it is stored in the directory's metadata)"
+            )
+        self._open_directory(buffer_capacity)
+
+    def _open_directory(self, buffer_capacity: int) -> None:
+        """Attach to (or initialise) the database directory, recovering
+        any committed-but-unapplied work from the write-ahead log."""
+        os.makedirs(self._path, exist_ok=True)
+        meta_path = os.path.join(self._path, _META_FILE)
+        self._wal = WriteAheadLog(
+            os.path.join(self._path, _WAL_FILE),
+            meta_path=meta_path,
+            fault_injector=self._faults,
+        )
+        self._btree_pool = BufferPool(
+            Pager(
+                os.path.join(self._path, _BTREE_FILE),
+                wal=self._wal,
+                wal_file_id=_BTREE_FILE_ID,
+                fault_injector=self._faults,
+            ),
+            capacity=buffer_capacity,
+        )
+        self._heap_pool = BufferPool(
+            Pager(
+                os.path.join(self._path, _HEAP_FILE),
+                wal=self._wal,
+                wal_file_id=_HEAP_FILE_ID,
+                fault_injector=self._faults,
+            ),
+            capacity=buffer_capacity,
+        )
+        self._wal.recover()
+
+        if not os.path.exists(meta_path):
+            return  # fresh directory: nothing was ever checkpointed
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != _META_FORMAT:
+            raise ValueError(
+                f"{meta_path} has unsupported format {meta.get('format')!r}"
+            )
+        self._epsilon = float(meta["epsilon"])
+        self._reference = str(meta["reference"])
+        self._seed = int(meta["summarize_seed"])
+        self._next_video_id = int(meta["next_video_id"])
+        if meta["index"] is not None:
+            self._index = VitriIndex.from_storage(
+                self._btree_pool,
+                self._heap_pool,
+                meta["index"],
+                reference=self._reference,
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -74,6 +194,11 @@ class VideoDatabase:
         """The underlying index (``None`` until the first query/build)."""
         return self._index
 
+    @property
+    def path(self) -> str | None:
+        """The backing directory; ``None`` for an in-memory database."""
+        return self._path
+
     def __len__(self) -> int:
         pending = len(self._pending)
         indexed = self._index.num_videos if self._index is not None else 0
@@ -82,8 +207,16 @@ class VideoDatabase:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("database is closed")
+
     def add(self, frames, video_id: int | None = None) -> int:
-        """Add one video; returns its id (auto-assigned if not given)."""
+        """Add one video; returns its id (auto-assigned if not given).
+
+        For a durable database the addition becomes crash-durable at the
+        next :meth:`checkpoint` (or :meth:`close`)."""
+        self._check_open()
         frames = check_matrix(frames, "frames", min_rows=1)
         if video_id is None:
             video_id = self._next_video_id
@@ -112,6 +245,7 @@ class VideoDatabase:
 
     def remove(self, video_id: int) -> None:
         """Remove a video (pending or indexed)."""
+        self._check_open()
         for position, summary in enumerate(self._pending):
             if summary.video_id == video_id:
                 del self._pending[position]
@@ -122,12 +256,22 @@ class VideoDatabase:
 
     def build(self) -> None:
         """Force-build the index over everything added so far."""
+        self._check_open()
         if self._index is None:
             if not self._pending:
                 raise ValueError("cannot build an empty database")
-            self._index = VitriIndex.build(
-                self._pending, self._epsilon, reference=self._reference
-            )
+            if self._path is not None:
+                self._index = VitriIndex.build(
+                    self._pending,
+                    self._epsilon,
+                    reference=self._reference,
+                    btree_pool=self._btree_pool,
+                    heap_pool=self._heap_pool,
+                )
+            else:
+                self._index = VitriIndex.build(
+                    self._pending, self._epsilon, reference=self._reference
+                )
             self._pending = []
             return
         if self._pending:  # pragma: no cover - pending only pre-index
@@ -141,12 +285,79 @@ class VideoDatabase:
             self.rebuilds += 1
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Atomically commit every change made since the last checkpoint.
+
+        Builds the index if only pending summaries exist, pushes all
+        dirty pages into the shared write-ahead log and commits them
+        together with the database metadata as one transaction: after a
+        crash, the directory reopens at the most recent completed
+        checkpoint — never a partial state.
+        """
+        self._check_open()
+        if self._path is None:
+            raise RuntimeError("checkpoint() requires a durable database")
+        if self._index is None and self._pending:
+            self.build()
+        if self._index is not None:
+            self._index.flush_pages()
+        blob = json.dumps(self._meta_blob()).encode("utf-8")
+        self._wal.commit(meta=blob)
+
+    def _meta_blob(self) -> dict:
+        return {
+            "format": _META_FORMAT,
+            "epsilon": self._epsilon,
+            "reference": self._reference,
+            "summarize_seed": self._seed,
+            "next_video_id": self._next_video_id,
+            "index": self._index.meta_dict() if self._index is not None else None,
+        }
+
+    def close(self) -> None:
+        """Checkpoint (unless crashed), then release the directory's
+        files.  Idempotent; in-memory databases only flip the closed
+        flag."""
+        if self._closed:
+            return
+        if self._path is not None:
+            crashed = self._faults is not None and self._faults.crashed
+            if not crashed and not self._wal.closed:
+                self.checkpoint()
+            self._closed = True
+            if not self._wal.closed:
+                self._wal.close()
+            self._btree_pool.pager.close()
+            self._heap_pool.pager.close()
+        self._closed = True
+
+    def crash(self) -> None:
+        """Testing seam: drop every file handle without checkpointing,
+        leaving the directory exactly as the last disk operation left
+        it (as an abrupt process kill would)."""
+        if self._path is None:
+            raise RuntimeError("crash() requires a durable database")
+        self._closed = True
+        self._wal.crash()
+        self._btree_pool.pager.crash()
+        self._heap_pool.pager.crash()
+
+    def __enter__(self) -> "VideoDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def query(
         self, frames, k: int = 10, *, method: str = "composed"
     ) -> KNNResult:
         """Top-``k`` most similar stored videos for a raw frame matrix."""
+        self._check_open()
         frames = check_matrix(frames, "frames", min_rows=1)
         if self._index is None:
             self.build()

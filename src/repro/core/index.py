@@ -162,6 +162,8 @@ class VitriIndex:
         heap_path: str | None = None,
         buffer_capacity: int = 256,
         fill_factor: float = 1.0,
+        btree_pool: BufferPool | None = None,
+        heap_pool: BufferPool | None = None,
     ) -> "VitriIndex":
         """Bulk-build an index from video summaries.
 
@@ -186,6 +188,12 @@ class VitriIndex:
             LRU buffer-pool capacity (pages) for each of the two stores.
         fill_factor:
             B+-tree bulk-load fill factor.
+        btree_pool, heap_pool:
+            Pre-built buffer pools to use instead of constructing fresh
+            ones from the path arguments — the seam the crash-safe
+            database directory uses to route both stores through one
+            shared write-ahead log.  Mutually exclusive with the
+            corresponding path argument.
         """
         if not summaries:
             raise ValueError("cannot build an index from zero summaries")
@@ -221,13 +229,22 @@ class VitriIndex:
         index._moments.update(positions)
         keys = index._transform.keys(positions)
 
+        if btree_pool is not None and btree_path is not None:
+            raise ValueError("pass btree_path or btree_pool, not both")
+        if heap_pool is not None and heap_path is not None:
+            raise ValueError("pass heap_path or heap_pool, not both")
+
         order = np.argsort(keys, kind="stable")
         index._btree = BPlusTree.create(
-            BufferPool(Pager(btree_path), capacity=buffer_capacity),
+            btree_pool
+            if btree_pool is not None
+            else BufferPool(Pager(btree_path), capacity=buffer_capacity),
             payload_size=index._codec.record_size,
         )
         index._heap = HeapFile.create(
-            BufferPool(Pager(heap_path), capacity=buffer_capacity),
+            heap_pool
+            if heap_pool is not None
+            else BufferPool(Pager(heap_path), capacity=buffer_capacity),
             index._codec.record_size,
         )
 
@@ -308,6 +325,17 @@ class VitriIndex:
         self._heap.flush()
         self._btree.buffer_pool.pager.sync()
         self._heap.buffer_pool.pager.sync()
+
+    def flush_pages(self) -> None:
+        """Push dirty pages down to the pagers *without* syncing.
+
+        Used by a crash-safe database checkpoint: the page images land in
+        the shared write-ahead log, and the owning
+        :class:`~repro.core.database.VideoDatabase` commits them together
+        with its metadata in one atomic step.
+        """
+        self._btree.flush()
+        self._heap.flush()
 
     # ------------------------------------------------------------------
     # Dynamic maintenance
@@ -423,6 +451,9 @@ class VitriIndex:
             )
             if record.video_id != TOMBSTONE_VIDEO_ID
         ]
+        if not positions:
+            # Every record tombstoned: a legal state for a reopened index.
+            return np.zeros((0, self._dim))
         return np.stack(positions)
 
     def _reconstruct_summaries(self) -> list[VideoSummary]:
@@ -615,10 +646,10 @@ class VitriIndex:
     # ------------------------------------------------------------------
     # Metadata persistence
     # ------------------------------------------------------------------
-    def save_meta(self, path: str) -> None:
-        """Write the index's non-paged metadata (epsilon, reference point,
-        video frame counts) as JSON, for re-opening file-backed indexes."""
-        meta = {
+    def meta_dict(self) -> dict:
+        """The index's non-paged metadata as a JSON-serialisable dict
+        (epsilon, reference point, video frame counts, ...)."""
+        return {
             "dim": self._dim,
             "epsilon": self._epsilon,
             "reference_point": self._transform.reference_point_.tolist(),
@@ -626,8 +657,51 @@ class VitriIndex:
             "video_frames": {str(k): v for k, v in self._video_frames.items()},
             "next_vitri_id": self._next_vitri_id,
         }
+
+    def save_meta(self, path: str) -> None:
+        """Write the index's non-paged metadata (epsilon, reference point,
+        video frame counts) as JSON, for re-opening file-backed indexes."""
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(meta, handle)
+            json.dump(self.meta_dict(), handle)
+
+    @classmethod
+    def from_storage(
+        cls,
+        btree_pool: BufferPool,
+        heap_pool: BufferPool,
+        meta: dict,
+        *,
+        reference: ReferenceStrategy | str = "optimal",
+    ) -> "VitriIndex":
+        """Re-attach an index to already-open storage plus a meta dict.
+
+        The inverse of :meth:`meta_dict` over pools the caller controls —
+        this is how the crash-safe database reopens a recovered directory
+        whose pagers share one write-ahead log.
+        """
+        index = cls(_opened=True)
+        index._dim = int(meta["dim"])
+        index._epsilon = float(meta["epsilon"])
+        index._codec = ViTriRecordCodec(index._dim)
+        index._transform = OneDimensionalTransform(reference)
+        index._transform.reference_point_ = np.asarray(
+            meta["reference_point"], dtype=np.float64
+        )
+        index._built_component = np.asarray(
+            meta["built_component"], dtype=np.float64
+        )
+        index._video_frames = {
+            int(k): int(v) for k, v in meta["video_frames"].items()
+        }
+        index._next_vitri_id = int(meta["next_vitri_id"])
+        index._summaries_seen = len(index._video_frames)
+        index._btree = BPlusTree.open(btree_pool)
+        index._heap = HeapFile.open(heap_pool)
+        index._moments = IncrementalMoments(index._dim)
+        positions = index._all_positions()
+        if positions.shape[0] > 0:
+            index._moments.update(positions)
+        return index
 
     @classmethod
     def open(
@@ -646,31 +720,12 @@ class VitriIndex:
         """
         with open(meta_path, "r", encoding="utf-8") as handle:
             meta = json.load(handle)
-        index = cls(_opened=True)
-        index._dim = int(meta["dim"])
-        index._epsilon = float(meta["epsilon"])
-        index._codec = ViTriRecordCodec(index._dim)
-        index._transform = OneDimensionalTransform(reference)
-        index._transform.reference_point_ = np.asarray(
-            meta["reference_point"], dtype=np.float64
+        return cls.from_storage(
+            BufferPool(Pager(btree_path), capacity=buffer_capacity),
+            BufferPool(Pager(heap_path), capacity=buffer_capacity),
+            meta,
+            reference=reference,
         )
-        index._built_component = np.asarray(
-            meta["built_component"], dtype=np.float64
-        )
-        index._video_frames = {
-            int(k): int(v) for k, v in meta["video_frames"].items()
-        }
-        index._next_vitri_id = int(meta["next_vitri_id"])
-        index._summaries_seen = len(index._video_frames)
-        index._btree = BPlusTree.open(
-            BufferPool(Pager(btree_path), capacity=buffer_capacity)
-        )
-        index._heap = HeapFile.open(
-            BufferPool(Pager(heap_path), capacity=buffer_capacity)
-        )
-        index._moments = IncrementalMoments(index._dim)
-        index._moments.update(index._all_positions())
-        return index
 
     def __repr__(self) -> str:
         return (

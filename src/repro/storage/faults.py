@@ -1,0 +1,177 @@
+"""Deterministic disk-fault injection for crash-recovery testing.
+
+Crash safety is only a *property* if it can be falsified, so the storage
+stack exposes one seam: every low-level disk mutation (WAL appends, data
+page applies, truncates, metadata replaces) flows through an optional
+:class:`FaultInjector`.  The injector counts operations and, at a
+scripted operation index, damages that operation and "crashes" — the
+damaged bytes (if any) stay on disk exactly as a real power cut would
+leave them, and every later storage call raises :class:`SimulatedCrash`.
+
+A test then reopens the same files with a plain pager and asserts that
+checksum verification plus WAL recovery restore the last committed
+state.  Sweeping ``crash_after`` over every operation index of a
+workload turns "the database survives crashes" into an exhaustively
+checked statement.
+
+Damage modes for the faulted operation:
+
+* ``"drop"`` — the write never happens (power cut just before the I/O);
+* ``"torn"`` — only the first half of the bytes land (torn page/record);
+* ``"duplicate"`` — the bytes are written twice (a replayed append; this
+  is what makes WAL records duplicate on disk, so recovery must be
+  idempotent);
+* ``"random"`` — one of the three above, chosen deterministically from
+  ``seed`` via :func:`~repro.utils.rng.ensure_rng`.
+
+Everything here is deterministic: the same workload with the same
+injector arguments damages the same byte of the same file every run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.storage.pager import Pager
+from repro.utils.rng import ensure_rng
+
+__all__ = ["FaultInjectingPager", "FaultInjector", "SimulatedCrash"]
+
+_DAMAGE_MODES = ("drop", "torn", "duplicate")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised once a :class:`FaultInjector` reaches its crash point."""
+
+
+class FaultInjector:
+    """Scripted fault schedule shared by a pager and its WAL.
+
+    Parameters
+    ----------
+    crash_after:
+        1-based index of the disk operation to damage; operations
+        ``1..crash_after-1`` run normally, operation ``crash_after`` is
+        damaged according to *mode*, and everything afterwards raises
+        :class:`SimulatedCrash`.  ``None`` disables crashing — the
+        injector then only counts operations, which is how a sweep first
+        measures a workload's operation count.
+    mode:
+        ``"drop"``, ``"torn"``, ``"duplicate"`` or ``"random"``.
+    seed:
+        Seed for ``mode="random"`` (ignored otherwise).
+
+    Attributes
+    ----------
+    ops:
+        Number of disk operations observed so far.
+    crashed:
+        Whether the crash point has been reached.
+    resolved_mode:
+        The damage mode that will be (or was) applied — useful when
+        ``mode="random"``.
+    """
+
+    def __init__(
+        self,
+        crash_after: int | None = None,
+        mode: str = "drop",
+        seed: int | None = 0,
+    ) -> None:
+        if crash_after is not None and (
+            not isinstance(crash_after, int)
+            or isinstance(crash_after, bool)
+            or crash_after < 1
+        ):
+            raise ValueError(
+                f"crash_after must be a positive int or None, got {crash_after}"
+            )
+        if mode not in (*_DAMAGE_MODES, "random"):
+            raise ValueError(
+                f"mode must be one of {_DAMAGE_MODES + ('random',)}, got {mode!r}"
+            )
+        self._crash_after = crash_after
+        if mode == "random":
+            rng = ensure_rng(seed)
+            mode = _DAMAGE_MODES[int(rng.integers(0, len(_DAMAGE_MODES)))]
+        self.resolved_mode = mode
+        self.ops = 0
+        self.crashed = False
+
+    def check(self) -> None:
+        """Raise if the crash point has been reached."""
+        if self.crashed:
+            raise SimulatedCrash(
+                f"storage crashed at operation {self._crash_after}"
+            )
+
+    def _arm(self) -> bool:
+        """Count one operation; True when it is the one to damage."""
+        self.check()
+        self.ops += 1
+        return self._crash_after is not None and self.ops == self._crash_after
+
+    def write(self, sink: Callable[[bytes], None], data: bytes) -> None:
+        """Route one byte-write through the schedule."""
+        if not self._arm():
+            sink(data)
+            return
+        self.crashed = True
+        if self.resolved_mode == "torn":
+            sink(data[: len(data) // 2])
+        elif self.resolved_mode == "duplicate":
+            sink(data)
+            sink(data)
+        # "drop": the bytes never reach the disk.
+        self.check()
+
+    def op(self, perform: Callable[[], None]) -> None:
+        """Route one non-byte operation (truncate, rename) through the
+        schedule.  Such operations are atomic, so ``"torn"`` degrades to
+        ``"drop"`` and ``"duplicate"`` to performing it once."""
+        if not self._arm():
+            perform()
+            return
+        self.crashed = True
+        if self.resolved_mode == "duplicate":
+            perform()
+        self.check()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(crash_after={self._crash_after}, "
+            f"mode={self.resolved_mode!r}, ops={self.ops}, "
+            f"crashed={self.crashed})"
+        )
+
+
+class FaultInjectingPager(Pager):
+    """A file-backed pager wired to a :class:`FaultInjector`.
+
+    Drop-in replacement for :class:`~repro.storage.pager.Pager` in tests:
+    behaves identically until the scripted operation index, then damages
+    that disk operation and raises :class:`SimulatedCrash` from every
+    subsequent call.  The on-disk files are left exactly as the crash
+    left them; reopen them with a plain ``Pager`` to exercise recovery.
+
+    The injector is exposed as :attr:`faults` so a workload can read
+    ``faults.ops`` (e.g. to size a crash-point sweep).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        crash_after: int | None = None,
+        mode: str = "drop",
+        seed: int | None = 0,
+        wal: bool = True,
+    ) -> None:
+        if path is None:
+            raise ValueError(
+                "FaultInjectingPager needs a real file: crashes are only "
+                "observable if state survives on disk"
+            )
+        injector = FaultInjector(crash_after=crash_after, mode=mode, seed=seed)
+        self.faults = injector
+        super().__init__(path, wal=wal, fault_injector=injector)

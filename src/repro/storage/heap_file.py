@@ -9,9 +9,9 @@ I/O model of the paper's experiments.  The sequential-scan baseline is a
 Layout
 ------
 Page 0 is a metadata page: ``magic u32 | record_size u32 | num_records u64``.
-Every subsequent page holds ``(PAGE_SIZE - 2) // record_size`` record slots
-behind a ``u16`` slot-count header.  Records are append-only (the paper's
-workload never deletes ViTris; videos are only added).
+Every subsequent page holds ``(PAGE_CONTENT_SIZE - 2) // record_size`` record
+slots behind a ``u16`` slot-count header.  Records are append-only (the
+paper's workload never deletes ViTris; videos are only added).
 """
 
 from __future__ import annotations
@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.storage.buffer_pool import BufferPool
-from repro.storage.page import PAGE_SIZE
+from repro.storage.page import PAGE_CONTENT_SIZE
 
 __all__ = ["HeapFile", "RecordId"]
 
@@ -64,7 +64,7 @@ class HeapFile:
             )
         self._pool = buffer_pool
         self._record_size = record_size
-        self._slots_per_page = (PAGE_SIZE - _SLOT_COUNT.size) // record_size
+        self._slots_per_page = (PAGE_CONTENT_SIZE - _SLOT_COUNT.size) // record_size
         self._num_records = 0
 
     # ------------------------------------------------------------------
@@ -75,10 +75,10 @@ class HeapFile:
         """Initialise a new heap file on an empty pager."""
         if not isinstance(record_size, int) or isinstance(record_size, bool):
             raise TypeError("record_size must be an int")
-        if record_size < 1 or record_size > PAGE_SIZE - _SLOT_COUNT.size:
+        if record_size < 1 or record_size > PAGE_CONTENT_SIZE - _SLOT_COUNT.size:
             raise ValueError(
-                f"record_size must be in [1, {PAGE_SIZE - _SLOT_COUNT.size}], "
-                f"got {record_size}"
+                f"record_size must be in "
+                f"[1, {PAGE_CONTENT_SIZE - _SLOT_COUNT.size}], got {record_size}"
             )
         if buffer_pool.pager.num_pages != 0:
             raise ValueError("HeapFile.create requires an empty pager")
@@ -208,6 +208,56 @@ class HeapFile:
     def flush(self) -> None:
         """Flush dirty pages down to the pager."""
         self._pool.flush()
+
+    def verify(self) -> list[str]:
+        """Check the heap's structural invariants; return violations.
+
+        Validates the metadata page (magic, record size, page count implied
+        by ``num_records``) and every data page's slot-count header: each
+        full page must hold exactly ``slots_per_page`` records, the last
+        page exactly the remainder.  Returns a list of human-readable
+        violation strings, empty when the heap is consistent.
+        """
+        violations: list[str] = []
+        meta = self._pool.fetch(0)
+        magic, record_size, num_records = _META.unpack_from(meta.data, 0)
+        if magic != _MAGIC:
+            violations.append(f"meta page magic {magic:#010x} != {_MAGIC:#010x}")
+        if record_size != self._record_size:
+            violations.append(
+                f"meta record_size {record_size} != expected {self._record_size}"
+            )
+        if num_records != self._num_records:
+            violations.append(
+                f"meta num_records {num_records} != in-memory {self._num_records}"
+            )
+        expected_pages = 1 + self.num_data_pages
+        if self._pool.pager.num_pages < expected_pages:
+            violations.append(
+                f"pager holds {self._pool.pager.num_pages} pages, "
+                f"{self._num_records} records need {expected_pages}"
+            )
+            return violations
+        total = 0
+        for page_index in range(self.num_data_pages):
+            page_id = 1 + page_index
+            (used,) = _SLOT_COUNT.unpack_from(self._pool.fetch(page_id).data, 0)
+            is_last = page_index == self.num_data_pages - 1
+            expected = (
+                self._num_records - page_index * self._slots_per_page
+                if is_last
+                else self._slots_per_page
+            )
+            if used != expected:
+                violations.append(
+                    f"data page {page_id} slot count {used} != expected {expected}"
+                )
+            total += used
+        if total != self._num_records:
+            violations.append(
+                f"slot counts sum to {total}, meta says {self._num_records}"
+            )
+        return violations
 
     # ------------------------------------------------------------------
     # Internals

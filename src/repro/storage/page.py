@@ -1,17 +1,32 @@
 """The page unit.
 
 The paper's experiments use a 4 KiB page size; all storage structures here
-are laid out in :data:`PAGE_SIZE`-byte pages.  A :class:`Page` couples the
-raw byte buffer with its page id and a dirty flag the buffer pool uses to
-decide whether eviction must write back.
+are laid out in :data:`PAGE_SIZE`-byte pages.  Since the crash-safety work,
+the last :data:`CHECKSUM_SIZE` bytes of every on-disk page frame hold a
+CRC32 of the preceding content, so the *usable* content of a page is
+:data:`PAGE_CONTENT_SIZE` bytes — that is the size of :attr:`Page.data`
+and the number every node/record layout budget must fit inside.  The
+checksum is sealed into the frame by the pager on write and verified on
+read (see :mod:`repro.storage.serialization`); access methods never see
+it.
+
+A :class:`Page` couples the raw content buffer with its page id and a
+dirty flag the buffer pool uses to decide whether eviction must write
+back.
 """
 
 from __future__ import annotations
 
-__all__ = ["PAGE_SIZE", "Page"]
+__all__ = ["CHECKSUM_SIZE", "PAGE_CONTENT_SIZE", "PAGE_SIZE", "Page"]
 
 PAGE_SIZE = 4096
-"""Size of every storage page in bytes (matches the paper's setup)."""
+"""Size of every on-disk page frame in bytes (matches the paper's setup)."""
+
+CHECKSUM_SIZE = 4
+"""Bytes of each frame reserved for the CRC32 trailer."""
+
+PAGE_CONTENT_SIZE = PAGE_SIZE - CHECKSUM_SIZE
+"""Usable content bytes per page (the size of :attr:`Page.data`)."""
 
 
 class Page:
@@ -22,8 +37,10 @@ class Page:
     page_id:
         Position of the page in its backing file.
     data:
-        The page's :data:`PAGE_SIZE`-byte buffer; mutate in place and call
-        :meth:`mark_dirty` so the buffer pool writes it back on eviction.
+        The page's :data:`PAGE_CONTENT_SIZE`-byte content buffer; mutate in
+        place and call :meth:`mark_dirty` so the buffer pool writes it back
+        on eviction.  The CRC32 trailer that completes the on-disk frame is
+        managed by the pager and is not part of this buffer.
     dirty:
         Whether the in-memory buffer differs from the backing store.
     owner:
@@ -42,10 +59,11 @@ class Page:
         if page_id < 0:
             raise ValueError(f"page_id must be non-negative, got {page_id}")
         if data is None:
-            data = bytearray(PAGE_SIZE)
-        if len(data) != PAGE_SIZE:
+            data = bytearray(PAGE_CONTENT_SIZE)
+        if len(data) != PAGE_CONTENT_SIZE:
             raise ValueError(
-                f"page data must be exactly {PAGE_SIZE} bytes, got {len(data)}"
+                f"page data must be exactly {PAGE_CONTENT_SIZE} bytes, "
+                f"got {len(data)}"
             )
         self.page_id = page_id
         self.data = bytearray(data)

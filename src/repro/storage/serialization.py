@@ -1,20 +1,88 @@
 """Struct codecs for on-page record formats.
 
-The only fixed record the reproduction persists is the full ViTri payload
-(the position vector plus its scalar attributes); B+-tree leaves store the
-1-D key and a :class:`~repro.storage.heap_file.RecordId` pointing here.
+Two codecs live here:
+
+* the page *frame* codec — every :data:`~repro.storage.page.PAGE_SIZE`-byte
+  frame that reaches a backing store is the page content followed by a
+  CRC32 trailer, sealed by :func:`pack_page_frame` and verified by
+  :func:`unpack_page_frame`.  A torn or bit-rotted page surfaces as a
+  :class:`ChecksumError` at read time instead of silently corrupt bytes.
+  An all-zero frame is deliberately valid (it decodes to all-zero
+  content): it is the state of a freshly allocated page whose image was
+  lost to a crash, and write-ahead-log replay is responsible for its
+  content, not the checksum.
+* the ViTri record codec — the only fixed record the reproduction
+  persists is the full ViTri payload (the position vector plus its scalar
+  attributes); B+-tree leaves store the 1-D key and a
+  :class:`~repro.storage.heap_file.RecordId` pointing here.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.storage.page import PAGE_CONTENT_SIZE, PAGE_SIZE
 from repro.utils.validation import check_non_negative, check_vector
 
-__all__ = ["ViTriRecord", "ViTriRecordCodec"]
+__all__ = [
+    "ChecksumError",
+    "ViTriRecord",
+    "ViTriRecordCodec",
+    "pack_page_frame",
+    "page_checksum",
+    "unpack_page_frame",
+]
+
+_CRC = struct.Struct("<I")
+
+
+class ChecksumError(ValueError):
+    """A page frame's CRC32 trailer does not match its content."""
+
+
+def page_checksum(content: bytes | bytearray | memoryview) -> int:
+    """CRC32 of a page's content bytes."""
+    return zlib.crc32(content) & 0xFFFFFFFF
+
+
+def pack_page_frame(content: bytes | bytearray) -> bytes:
+    """Seal page content into an on-disk frame (content + CRC32 trailer)."""
+    if len(content) != PAGE_CONTENT_SIZE:
+        raise ValueError(
+            f"page content must be {PAGE_CONTENT_SIZE} bytes, "
+            f"got {len(content)}"
+        )
+    return bytes(content) + _CRC.pack(page_checksum(content))
+
+
+def unpack_page_frame(frame: bytes | bytearray, page_id: int) -> bytearray:
+    """Verify a frame's checksum and return its content bytes.
+
+    Raises
+    ------
+    ChecksumError
+        If the frame is short (torn) or its trailer disagrees with the
+        content.  An all-zero frame is valid and decodes to zero content
+        (fresh-page convention, see the module docstring).
+    """
+    if len(frame) != PAGE_SIZE:
+        raise ChecksumError(
+            f"page {page_id}: torn frame ({len(frame)} of {PAGE_SIZE} bytes)"
+        )
+    content = frame[:PAGE_CONTENT_SIZE]
+    (stored,) = _CRC.unpack_from(frame, PAGE_CONTENT_SIZE)
+    if stored != page_checksum(content):
+        if not any(frame):
+            return bytearray(PAGE_CONTENT_SIZE)
+        raise ChecksumError(
+            f"page {page_id}: checksum mismatch (stored {stored:#010x}, "
+            f"computed {page_checksum(content):#010x})"
+        )
+    return bytearray(content)
 
 
 @dataclass(frozen=True)

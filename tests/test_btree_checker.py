@@ -1,0 +1,126 @@
+"""Tests for the B+-tree checker itself: each invariant it promises to
+enforce is deliberately violated, and the checker must name the problem.
+
+A checker that silently passes corrupt trees would invalidate every test
+that relies on it (the stateful machines, the crash sweeps), so each
+corruption here is written straight into the page bytes the way a real
+bug or torn write would leave them.
+"""
+
+import pytest
+
+from repro.btree.checker import check_tree
+from repro.btree.node import (
+    NO_LEAF,
+    NODE_INTERNAL,
+    InternalNode,
+    LeafNode,
+    node_type_of,
+)
+from repro.btree.tree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+PAYLOAD_SIZE = 512  # leaf capacity 7: a handful of inserts forces splits
+
+
+def _build(num_keys: int = 20) -> BPlusTree:
+    pool = BufferPool(Pager(), capacity=64)
+    tree = BPlusTree.create(pool, payload_size=PAYLOAD_SIZE)
+    for i in range(num_keys):
+        tree.insert(float(i), bytes([i % 256]) * PAYLOAD_SIZE)
+    return tree
+
+
+def _leftmost_leaf_id(tree: BPlusTree) -> int:
+    page_id = tree._root
+    pool = tree.buffer_pool
+    while node_type_of(pool.fetch(page_id)) == NODE_INTERNAL:
+        page_id = InternalNode.load(pool.fetch(page_id)).children[0]
+    return page_id
+
+
+class TestCheckerCatchesCorruption:
+    def test_clean_tree_passes(self):
+        check_tree(_build())
+
+    def test_bad_page_checksum_reported(self, tmp_path):
+        path = tmp_path / "t.pages"
+        pager = Pager(path, wal=False)
+        pool = BufferPool(pager, capacity=64)
+        tree = BPlusTree.create(pool, payload_size=PAYLOAD_SIZE)
+        for i in range(20):
+            tree.insert(float(i), bytes([i % 256]) * PAYLOAD_SIZE)
+        tree.flush()
+        pager.close()
+
+        raw = bytearray(path.read_bytes())
+        raw[4096 + 50] ^= 0xFF  # flip one byte inside page 1's content
+        path.write_bytes(bytes(raw))
+
+        with Pager(path, wal=False) as reopened:
+            tree = BPlusTree.open(BufferPool(reopened, capacity=64))
+            with pytest.raises(AssertionError, match="checksum violation"):
+                check_tree(tree)
+
+    def test_truncated_leaf_chain_reported(self):
+        tree = _build()
+        assert tree.height > 1  # multiple leaves, internal root
+        leaf_id = _leftmost_leaf_id(tree)
+        leaf = LeafNode.load(tree.buffer_pool.fetch(leaf_id), PAYLOAD_SIZE)
+        leaf.next_leaf = NO_LEAF  # chain now ends after the first leaf
+        leaf.save()
+        with pytest.raises(AssertionError, match="leaf chain"):
+            check_tree(tree)
+
+    def test_leaf_chain_cycle_reported(self):
+        tree = _build()
+        leaf_id = _leftmost_leaf_id(tree)
+        leaf = LeafNode.load(tree.buffer_pool.fetch(leaf_id), PAYLOAD_SIZE)
+        leaf.next_leaf = leaf_id  # points back at itself
+        leaf.save()
+        with pytest.raises(AssertionError, match="cycles"):
+            check_tree(tree)
+
+    def test_leaked_page_reported(self):
+        tree = _build()
+        tree.buffer_pool.allocate()  # allocated, referenced by nothing
+        with pytest.raises(AssertionError, match="leaked"):
+            check_tree(tree)
+
+    def test_duplicate_child_reference_reported(self):
+        tree = _build()
+        assert tree.height > 1
+        root = InternalNode.load(tree.buffer_pool.fetch(tree._root))
+        root.children[1] = root.children[0]  # same subtree linked twice
+        root.save()
+        with pytest.raises(AssertionError, match="referenced more than once"):
+            check_tree(tree)
+
+    def test_wrong_num_entries_reported(self):
+        tree = _build()
+        leaf_id = _leftmost_leaf_id(tree)
+        leaf = LeafNode.load(tree.buffer_pool.fetch(leaf_id), PAYLOAD_SIZE)
+        leaf.keys.pop()  # drop one entry without updating the metadata
+        leaf.payloads.pop()
+        leaf.save()
+        with pytest.raises(AssertionError, match="num_entries"):
+            check_tree(tree)
+
+    def test_unsorted_leaf_keys_reported(self):
+        tree = _build()
+        leaf_id = _leftmost_leaf_id(tree)
+        leaf = LeafNode.load(tree.buffer_pool.fetch(leaf_id), PAYLOAD_SIZE)
+        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+        leaf.save()
+        with pytest.raises(AssertionError, match="not sorted"):
+            check_tree(tree)
+
+    def test_unknown_node_type_reported(self):
+        tree = _build()
+        leaf_id = _leftmost_leaf_id(tree)
+        page = tree.buffer_pool.fetch(leaf_id)
+        page.data[0] = 7  # neither NODE_LEAF nor NODE_INTERNAL
+        page.mark_dirty()
+        with pytest.raises(AssertionError, match="unknown node type"):
+            check_tree(tree)

@@ -149,3 +149,60 @@ class TestLifecycle:
     def test_invalid_epsilon(self):
         with pytest.raises(ValueError):
             VideoDatabase(epsilon=0.0)
+
+
+class TestDurable:
+    """Directory-backed databases (crash-safety itself is covered by
+    tests/test_storage_recovery.py and the stateful crash machine)."""
+
+    def test_round_trip_reopen(self, library, tmp_path):
+        with VideoDatabase(epsilon=0.3, path=tmp_path / "db") as db:
+            ids = [db.add(frames) for frames in library[:4]]
+            result = db.query(library[0], k=2)
+        with VideoDatabase(path=tmp_path / "db") as db:
+            assert len(db) == 4
+            reopened = db.query(library[0], k=2)
+            assert reopened.videos == result.videos
+            assert np.allclose(reopened.scores, result.scores)
+            assert sorted(db.index.video_frames) == sorted(ids)
+
+    def test_reopen_with_all_videos_removed(self, library, tmp_path):
+        """Regression: a checkpointed index whose records are all
+        tombstoned must reopen (found by the stateful crash machine)."""
+        path = tmp_path / "db"
+        with VideoDatabase(epsilon=0.3, path=path) as db:
+            video_id = db.add(library[0])
+            db.checkpoint()
+            db.remove(video_id)
+        with VideoDatabase(path=path) as db:
+            assert len(db) == 0
+            db.add(library[1])
+            result = db.query(library[1], k=1)
+            assert len(result.videos) == 1
+
+    def test_stored_settings_win_on_reopen(self, library, tmp_path):
+        path = tmp_path / "db"
+        with VideoDatabase(epsilon=0.25, path=path) as db:
+            db.add(library[0])
+        with VideoDatabase(epsilon=0.7, path=path) as db:
+            assert db.epsilon == 0.25
+
+    def test_operations_after_close_rejected(self, library, tmp_path):
+        db = VideoDatabase(epsilon=0.3, path=tmp_path / "db")
+        db.close()
+        db.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            db.add(library[0])
+
+    def test_memory_database_rejects_durable_options(self):
+        from repro.storage.faults import FaultInjector
+
+        with pytest.raises(ValueError, match="durable"):
+            VideoDatabase(fault_injector=FaultInjector())
+
+    def test_durable_rejects_policy_and_object_reference(self, tmp_path):
+        with pytest.raises(ValueError, match="rebuild_policy"):
+            VideoDatabase(
+                path=tmp_path / "db",
+                rebuild_policy=RebuildPolicy(max_angle_degrees=5.0),
+            )

@@ -7,7 +7,16 @@ be stored and computes reference rankings with pairwise
 strongest reliability statement in the suite: no sequence of operations
 may desynchronise the B+-tree, the heap tombstones, the streaming
 moments, or the score aggregation.
+
+A second machine (:class:`CrashRecoveryMachine`) drives a *durable*
+database through random add / remove / checkpoint / crash / reopen
+interleavings against a two-level oracle: ``live`` mirrors the current
+in-memory state, ``committed`` mirrors the last checkpoint.  A crash must
+roll the database back to ``committed``, never to anything partial.
 """
+
+import shutil
+import tempfile
 
 import numpy as np
 from hypothesis import settings
@@ -20,6 +29,7 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
+from repro.btree.checker import check_tree
 from repro.core.database import VideoDatabase
 from repro.core.similarity import video_similarity
 from repro.core.summarize import summarize_video
@@ -96,4 +106,99 @@ class DatabaseMachine(RuleBasedStateMachine):
 TestDatabaseMachine = DatabaseMachine.TestCase
 TestDatabaseMachine.settings = settings(
     max_examples=25, stateful_step_count=12, deadline=None
+)
+
+
+class CrashRecoveryMachine(RuleBasedStateMachine):
+    """Durable-database lifecycles with crashes, vs a two-level oracle.
+
+    ``live`` is what the open database should contain right now;
+    ``committed`` is what it must contain after a crash + reopen.  A
+    clean :meth:`VideoDatabase.crash` (process-kill seam, no torn
+    writes — those are swept exhaustively in test_storage_recovery)
+    discards everything since the last checkpoint, nothing older.
+    """
+
+    @initialize()
+    def setup(self) -> None:
+        self.dir = tempfile.mkdtemp(prefix="vitri-stateful-")
+        self.db = VideoDatabase(epsilon=EPSILON, path=self.dir)
+        self.live: dict[int, np.ndarray] = {}
+        self.committed: dict[int, np.ndarray] = {}
+
+    def teardown(self) -> None:
+        if hasattr(self, "db"):
+            try:
+                self.db.close()
+            except RuntimeError:
+                pass
+        if hasattr(self, "dir"):
+            shutil.rmtree(self.dir, ignore_errors=True)
+
+    @rule(content_seed=st.integers(min_value=0, max_value=30))
+    def add_video(self, content_seed):
+        frames = make_frames(content_seed)
+        video_id = self.db.add(frames)
+        assert video_id not in self.live
+        self.live[video_id] = frames
+
+    @precondition(lambda self: len(self.live) > 0)
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def remove_video(self, pick):
+        video_id = sorted(self.live)[pick % len(self.live)]
+        self.db.remove(video_id)
+        del self.live[video_id]
+
+    @rule()
+    def checkpoint(self):
+        self.db.checkpoint()
+        self.committed = dict(self.live)
+
+    @rule()
+    def crash_and_reopen(self):
+        self.db.crash()
+        self.db = VideoDatabase(path=self.dir)
+        self.live = dict(self.committed)
+
+    @rule()
+    def close_and_reopen(self):
+        self.db.close()  # final checkpoint
+        self.committed = dict(self.live)
+        self.db = VideoDatabase(path=self.dir)
+
+    @precondition(lambda self: len(self.live) > 0)
+    @rule(content_seed=st.integers(min_value=0, max_value=30))
+    def query(self, content_seed):
+        frames = make_frames(content_seed)
+        result = self.db.query(frames, k=len(self.live))
+
+        query_summary = summarize_video(0, frames, EPSILON, seed=0)
+        expected_scores = {}
+        for video_id in sorted(self.live):
+            stored = summarize_video(
+                video_id, self.live[video_id], EPSILON, seed=video_id
+            )
+            score = video_similarity(query_summary, stored)
+            if score > 0.0:
+                expected_scores[video_id] = score
+
+        assert set(result.videos) == set(expected_scores)
+        for video, got in zip(result.videos, result.scores):
+            assert abs(got - expected_scores[video]) < 1e-9
+
+    @invariant()
+    def size_matches_live_oracle(self):
+        if hasattr(self, "db"):
+            assert len(self.db) == len(self.live)
+
+    @invariant()
+    def recovered_structure_is_sound(self):
+        if hasattr(self, "db") and self.db.index is not None:
+            check_tree(self.db.index.btree)
+            assert self.db.index.heap.verify() == []
+
+
+TestCrashRecoveryMachine = CrashRecoveryMachine.TestCase
+TestCrashRecoveryMachine.settings = settings(
+    max_examples=15, stateful_step_count=10, deadline=None
 )

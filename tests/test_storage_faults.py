@@ -1,0 +1,138 @@
+"""Tests for repro.storage.faults (deterministic fault injection)."""
+
+import pytest
+
+from repro.storage.faults import FaultInjectingPager, FaultInjector, SimulatedCrash
+from repro.storage.pager import Pager
+
+
+class TestFaultInjector:
+    def test_counts_operations_without_crash_point(self):
+        injector = FaultInjector()
+        out = []
+        for i in range(5):
+            injector.write(out.append, bytes([i]))
+        assert injector.ops == 5
+        assert not injector.crashed
+        assert out == [bytes([i]) for i in range(5)]
+
+    def test_drop_discards_the_faulted_write(self):
+        injector = FaultInjector(crash_after=2, mode="drop")
+        out = []
+        injector.write(out.append, b"a")
+        with pytest.raises(SimulatedCrash):
+            injector.write(out.append, b"b")
+        assert out == [b"a"]
+        assert injector.crashed
+
+    def test_torn_writes_half(self):
+        injector = FaultInjector(crash_after=1, mode="torn")
+        out = []
+        with pytest.raises(SimulatedCrash):
+            injector.write(out.append, b"abcdef")
+        assert out == [b"abc"]
+
+    def test_duplicate_writes_twice(self):
+        injector = FaultInjector(crash_after=1, mode="duplicate")
+        out = []
+        with pytest.raises(SimulatedCrash):
+            injector.write(out.append, b"xy")
+        assert out == [b"xy", b"xy"]
+
+    def test_every_call_after_crash_raises(self):
+        injector = FaultInjector(crash_after=1, mode="drop")
+        with pytest.raises(SimulatedCrash):
+            injector.write(lambda _: None, b"x")
+        with pytest.raises(SimulatedCrash):
+            injector.check()
+        with pytest.raises(SimulatedCrash):
+            injector.write(lambda _: None, b"y")
+        with pytest.raises(SimulatedCrash):
+            injector.op(lambda: None)
+
+    def test_op_mode_degradation(self):
+        ran = []
+        injector = FaultInjector(crash_after=1, mode="torn")
+        with pytest.raises(SimulatedCrash):
+            injector.op(lambda: ran.append("torn"))
+        assert ran == []  # torn degrades to drop for atomic ops
+        injector = FaultInjector(crash_after=1, mode="duplicate")
+        with pytest.raises(SimulatedCrash):
+            injector.op(lambda: ran.append("dup"))
+        assert ran == ["dup"]  # duplicate degrades to performing once
+
+    def test_random_mode_is_deterministic(self):
+        modes = {FaultInjector(mode="random", seed=s).resolved_mode for s in range(20)}
+        assert modes <= {"drop", "torn", "duplicate"}
+        assert len(modes) > 1  # the seed actually varies the choice
+        a = FaultInjector(mode="random", seed=3).resolved_mode
+        b = FaultInjector(mode="random", seed=3).resolved_mode
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(crash_after=0)
+        with pytest.raises(ValueError):
+            FaultInjector(crash_after=True)
+        with pytest.raises(ValueError):
+            FaultInjector(mode="explode")
+
+
+class TestFaultInjectingPager:
+    def test_requires_a_path(self):
+        with pytest.raises(ValueError):
+            FaultInjectingPager(None)
+
+    def test_behaves_normally_before_crash_point(self, tmp_path):
+        path = tmp_path / "d.pages"
+        pager = FaultInjectingPager(path, crash_after=10_000)
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:2] = b"ok"
+        pager.write_page(page)
+        pager.sync()
+        pager.close()
+        with Pager(path) as plain:
+            assert bytes(plain.read_page(0).data[:2]) == b"ok"
+
+    def test_counting_run_measures_workload(self, tmp_path):
+        pager = FaultInjectingPager(tmp_path / "d.pages")
+        pager.allocate_page()
+        pager.sync()
+        pager.close()
+        assert pager.faults.ops > 0
+
+    def test_crash_during_sync_recovers_to_committed_state(self, tmp_path):
+        path = tmp_path / "d.pages"
+        # First, a committed page.
+        with Pager(path) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:4] = b"base"
+            pager.write_page(page)
+        # Crash on the first log append of the next sync (operation 1 is
+        # the open-time recovery's log reset).
+        pager = FaultInjectingPager(path, crash_after=2, mode="torn")
+        page = pager.read_page(0)
+        page.data[:4] = b"next"
+        pager.write_page(page)
+        with pytest.raises(SimulatedCrash):
+            pager.sync()
+        pager.crash()
+        with Pager(path) as recovered:
+            assert bytes(recovered.read_page(0).data[:4]) == b"base"
+
+    def test_close_after_crash_does_not_commit(self, tmp_path):
+        path = tmp_path / "d.pages"
+        # Fresh file: op 1 stamps the log header, op 2 is the open-time
+        # recovery reset, op 3 is the first append of the sync's commit.
+        pager = FaultInjectingPager(path, crash_after=3, mode="drop")
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:4] = b"gone"
+        pager.write_page(page)
+        with pytest.raises(SimulatedCrash):
+            pager.sync()
+        pager.close()  # must not retry the commit
+        with Pager(path) as recovered:
+            assert recovered.num_pages == 0

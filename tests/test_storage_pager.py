@@ -4,16 +4,20 @@ import os
 
 import pytest
 
-from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.page import CHECKSUM_SIZE, PAGE_CONTENT_SIZE, PAGE_SIZE, Page
 from repro.storage.pager import Pager
+from repro.storage.serialization import ChecksumError
 
 
 class TestPage:
     def test_default_zeroed(self):
         page = Page(0)
-        assert len(page.data) == PAGE_SIZE
+        assert len(page.data) == PAGE_CONTENT_SIZE
         assert not any(page.data)
         assert not page.dirty
+
+    def test_frame_budget(self):
+        assert PAGE_CONTENT_SIZE + CHECKSUM_SIZE == PAGE_SIZE
 
     def test_mark_dirty(self):
         page = Page(1)
@@ -132,3 +136,113 @@ class TestFilePager:
         with Pager(path) as pager:
             assert pager.path == str(path)
         assert Pager().path is None
+
+    def test_exit_syncs_unsynced_writes(self, tmp_path):
+        """Regression: leaving the context manager without an explicit
+        sync() must still persist every write."""
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:6] = b"synced"
+            pager.write_page(page)
+            # no pager.sync() here — __exit__ must do it
+        with Pager(path) as pager:
+            assert bytes(pager.read_page(0).data[:6]) == b"synced"
+
+    def test_close_syncs_unsynced_writes(self, tmp_path):
+        path = tmp_path / "data.pages"
+        pager = Pager(path)
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:4] = b"also"
+        pager.write_page(page)
+        pager.close()
+        with Pager(path) as reopened:
+            assert bytes(reopened.read_page(0).data[:4]) == b"also"
+
+    def test_close_is_idempotent(self, tmp_path):
+        pager = Pager(tmp_path / "data.pages")
+        pager.allocate_page()
+        pager.close()
+        pager.close()
+        with pytest.raises(RuntimeError):
+            pager.allocate_page()
+
+    def test_read_before_sync_sees_pending_writes(self, tmp_path):
+        with Pager(tmp_path / "data.pages") as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:3] = b"wip"
+            pager.write_page(page)
+            assert bytes(pager.read_page(pid).data[:3]) == b"wip"
+
+    def test_wal_file_created_alongside(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pager.allocate_page()
+        assert os.path.exists(str(path) + ".wal")
+
+    def test_wal_disabled_mode_round_trips(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path, wal=False) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:2] = b"ok"
+            pager.write_page(page)
+        assert not os.path.exists(str(path) + ".wal")
+        with Pager(path, wal=False) as pager:
+            assert bytes(pager.read_page(0).data[:2]) == b"ok"
+
+
+class TestChecksums:
+    def test_verify_checksums_clean_file(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.sync()
+            assert pager.verify_checksums() == 2
+
+    def test_verify_checksums_memory(self):
+        pager = Pager()
+        pager.allocate_page()
+        assert pager.verify_checksums() == 1
+
+    def test_corrupt_page_raises_on_read(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:4] = b"good"
+            pager.write_page(page)
+        # Flip one content byte on disk without fixing the trailer.
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with Pager(path) as pager:
+            with pytest.raises(ChecksumError, match="checksum mismatch"):
+                pager.read_page(0)
+
+    def test_corrupt_page_caught_by_verify(self, tmp_path):
+        path = tmp_path / "data.pages"
+        with Pager(path) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:4] = b"good"
+            pager.write_page(page)
+        raw = bytearray(path.read_bytes())
+        raw[10] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with Pager(path) as pager:
+            with pytest.raises(ChecksumError):
+                pager.verify_checksums()
+
+    def test_all_zero_frame_is_valid(self, tmp_path):
+        """Fresh-page convention: a zeroed frame decodes to zero content."""
+        path = tmp_path / "data.pages"
+        path.write_bytes(bytes(PAGE_SIZE))
+        with Pager(path) as pager:
+            assert pager.num_pages == 1
+            assert not any(pager.read_page(0).data)
+            assert pager.verify_checksums() == 1

@@ -1,0 +1,293 @@
+"""Tests for repro.storage.wal (write-ahead log protocol)."""
+
+import os
+
+import pytest
+
+from repro.storage.page import PAGE_CONTENT_SIZE
+from repro.storage.pager import Pager
+from repro.storage.wal import WriteAheadLog
+
+
+def content(byte: int) -> bytes:
+    return bytes([byte]) * PAGE_CONTENT_SIZE
+
+
+class TestWalBasics:
+    def test_fresh_log_has_header(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "x.wal")
+        assert os.path.getsize(tmp_path / "x.wal") == 8
+        wal.close()
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "notawal"
+        path.write_bytes(b"definitely not a log")
+        with pytest.raises(ValueError, match="write-ahead log"):
+            WriteAheadLog(path)
+
+    def test_torn_header_is_restamped(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(b"\x4c")  # 1 byte: crash during creation
+        wal = WriteAheadLog(path)
+        assert os.path.getsize(path) == 8
+        wal.close()
+
+    def test_register_rejects_duplicates_and_bad_ids(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "x.wal")
+        wal.register(0, object())
+        with pytest.raises(ValueError, match="already registered"):
+            wal.register(0, object())
+        with pytest.raises(ValueError):
+            wal.register(300, object())
+        with pytest.raises(TypeError):
+            wal.register("zero", object())
+        wal.crash()
+
+    def test_log_page_validates_size(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "x.wal")
+        with pytest.raises(ValueError):
+            wal.log_page(0, 0, b"short")
+        wal.close()
+
+    def test_pending_served_before_commit(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "x.wal")
+        wal.log_page(0, 3, content(7))
+        assert wal.pending_page(0, 3) == content(7)
+        assert wal.pending_page(0, 4) is None
+        assert wal.has_pending
+        wal.crash()
+
+
+class TestWalCommitAndRecovery:
+    def test_commit_applies_and_resets(self, tmp_path):
+        data = tmp_path / "d.pages"
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        wal.recover()
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:4] = b"wxyz"
+        pager.write_page(page)
+        wal.commit()
+        # Log back to bare header, data applied to the file.
+        assert os.path.getsize(tmp_path / "d.wal") == 8
+        assert not wal.has_pending
+        raw = data.read_bytes()
+        assert raw[:4] == b"wxyz"
+        wal.close()
+        pager.close()
+
+    def test_uncommitted_tail_discarded_on_recovery(self, tmp_path):
+        data = tmp_path / "d.pages"
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        wal.recover()
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:3] = b"one"
+        pager.write_page(page)
+        wal.commit()
+        page = pager.read_page(pid)
+        page.data[:3] = b"two"
+        pager.write_page(page)  # journaled but never committed
+        wal.crash()
+        pager.crash()
+
+        wal2 = WriteAheadLog(tmp_path / "d.wal")
+        pager2 = Pager(data, wal=wal2)
+        wal2.recover()
+        assert bytes(pager2.read_page(0).data[:3]) == b"one"
+        wal2.close()
+        pager2.close()
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        """Recovering twice (e.g. crash during recovery's apply phase)
+        converges to the same state: full-page redo is idempotent."""
+        data = tmp_path / "d.pages"
+        with Pager(data) as pager:
+            pid = pager.allocate_page()
+            page = pager.read_page(pid)
+            page.data[:2] = b"ok"
+            pager.write_page(page)
+        for _ in range(3):
+            wal = WriteAheadLog(tmp_path / "d.pages.wal")
+            pager = Pager(data, wal=wal)
+            wal.recover()
+            assert bytes(pager.read_page(0).data[:2]) == b"ok"
+            wal.close()
+            pager.close()
+
+    def test_recover_rejects_unregistered_file_ids(self, tmp_path):
+        """A committed log referencing a file id nobody registered must
+        fail loudly instead of silently dropping committed data."""
+        import struct
+        import zlib
+
+        def record(kind, file_id, page_id, payload):
+            body = struct.pack("<BBQI", kind, file_id, page_id, len(payload))
+            body += payload
+            return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+        log = tmp_path / "d.wal"
+        raw = struct.pack("<II", 0x5669574C, 1)
+        raw += record(1, 5, 0, content(1))  # PAGE for unregistered fid 5
+        raw += record(2, 0, 0, struct.pack("<B", 1) + struct.pack("<BQ", 5, 1))
+        log.write_bytes(raw)
+        wal = WriteAheadLog(log)
+        pager = Pager(tmp_path / "d.pages", wal=wal, wal_file_id=0)
+        with pytest.raises(ValueError, match="unregistered"):
+            wal.recover()
+        wal.crash()
+        pager.crash()
+
+    def test_multi_file_commit_is_one_unit(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "shared.wal")
+        a = Pager(tmp_path / "a.pages", wal=wal, wal_file_id=0)
+        b = Pager(tmp_path / "b.pages", wal=wal, wal_file_id=1)
+        wal.recover()
+        pa = a.allocate_page()
+        pb = b.allocate_page()
+        page = a.read_page(pa)
+        page.data[:1] = b"A"
+        a.write_page(page)
+        page = b.read_page(pb)
+        page.data[:1] = b"B"
+        b.write_page(page)
+        wal.commit()
+        wal.close()
+        a.close()
+        b.close()
+
+        wal2 = WriteAheadLog(tmp_path / "shared.wal")
+        a2 = Pager(tmp_path / "a.pages", wal=wal2, wal_file_id=0)
+        b2 = Pager(tmp_path / "b.pages", wal=wal2, wal_file_id=1)
+        wal2.recover()
+        assert bytes(a2.read_page(0).data[:1]) == b"A"
+        assert bytes(b2.read_page(0).data[:1]) == b"B"
+        wal2.close()
+        a2.close()
+        b2.close()
+
+    def test_meta_blob_committed_atomically(self, tmp_path):
+        meta_path = tmp_path / "meta.json"
+        wal = WriteAheadLog(tmp_path / "d.wal", meta_path=meta_path)
+        pager = Pager(tmp_path / "d.pages", wal=wal)
+        wal.recover()
+        pager.allocate_page()
+        wal.commit(meta=b'{"n": 1}')
+        assert meta_path.read_bytes() == b'{"n": 1}'
+        wal.close()
+        pager.close()
+
+    def test_meta_without_meta_path_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(tmp_path / "d.pages", wal=wal)
+        wal.recover()
+        pager.allocate_page()
+        with pytest.raises(ValueError, match="meta_path"):
+            wal.commit(meta=b"{}")
+        wal.crash()
+        pager.crash()
+
+    def test_empty_commit_is_fsync_only(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(tmp_path / "d.pages", wal=wal)
+        wal.recover()
+        wal.commit()  # nothing pending
+        assert os.path.getsize(tmp_path / "d.wal") == 8
+        wal.close()
+        pager.close()
+
+    def test_allocations_roll_back_without_commit(self, tmp_path):
+        data = tmp_path / "d.pages"
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        wal.recover()
+        pager.allocate_page()
+        pager.allocate_page()
+        assert pager.num_pages == 2
+        wal.crash()
+        pager.crash()
+        # Nothing committed: the data file never grew.
+        wal2 = WriteAheadLog(tmp_path / "d.wal")
+        pager2 = Pager(data, wal=wal2)
+        wal2.recover()
+        assert pager2.num_pages == 0
+        wal2.close()
+        pager2.close()
+
+
+class TestWalCorruption:
+    def _committed_log(self, tmp_path):
+        """Build a log holding one committed transaction, unapplied."""
+        data = tmp_path / "d.pages"
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        wal.recover()
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:4] = b"keep"
+        pager.write_page(page)
+        wal.commit()
+        wal.crash()
+        pager.crash()
+        return data
+
+    def test_garbage_appended_after_reset_is_ignored(self, tmp_path):
+        data = self._committed_log(tmp_path)
+        with open(tmp_path / "d.wal", "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 10)
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        wal.recover()
+        assert bytes(pager.read_page(0).data[:4]) == b"keep"
+        wal.close()
+        pager.close()
+
+    def test_flipped_record_byte_invalidates_tail(self, tmp_path):
+        """A logged record whose CRC fails ends the scan: state committed
+        before it survives, the broken transaction is discarded."""
+        import struct
+        import zlib
+
+        def record(kind, file_id, page_id, payload):
+            body = struct.pack("<BBQI", kind, file_id, page_id, len(payload))
+            body += payload
+            return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+        data = self._committed_log(tmp_path)  # data file holds "keep"
+        commit = struct.pack("<B", 1) + struct.pack("<BQ", 0, 1)
+        txn = record(1, 0, 0, content(9)) + record(2, 0, 0, commit)
+        txn = bytearray(txn)
+        txn[100] ^= 0xFF  # corrupt one byte of the logged page image
+        with open(tmp_path / "d.wal", "ab") as handle:
+            handle.write(bytes(txn))
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        wal.recover()
+        assert bytes(pager.read_page(0).data[:4]) == b"keep"
+        wal.close()
+        pager.close()
+
+    def test_valid_unapplied_commit_is_replayed(self, tmp_path):
+        """The mirror case: a valid committed-but-unapplied transaction in
+        the log is applied on recovery."""
+        import struct
+        import zlib
+
+        def record(kind, file_id, page_id, payload):
+            body = struct.pack("<BBQI", kind, file_id, page_id, len(payload))
+            body += payload
+            return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+        data = self._committed_log(tmp_path)
+        commit = struct.pack("<B", 1) + struct.pack("<BQ", 0, 1)
+        txn = record(1, 0, 0, content(9)) + record(2, 0, 0, commit)
+        with open(tmp_path / "d.wal", "ab") as handle:
+            handle.write(txn)
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        pager = Pager(data, wal=wal)
+        assert wal.recover() is True
+        assert bytes(pager.read_page(0).data) == content(9)
+        wal.close()
+        pager.close()
