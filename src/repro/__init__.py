@@ -32,7 +32,10 @@ Quickstart::
 from __future__ import annotations
 
 from repro.core import (
+    BatchResult,
     KNNResult,
+    QueryEngine,
+    ServingMetrics,
     VideoDatabase,
     ManagedVitriIndex,
     OneDimensionalTransform,
@@ -58,7 +61,10 @@ from repro.temporal import temporal_video_similarity
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchResult",
     "KNNResult",
+    "QueryEngine",
+    "ServingMetrics",
     "VideoDatabase",
     "ManagedVitriIndex",
     "OneDimensionalTransform",

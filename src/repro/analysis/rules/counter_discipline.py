@@ -20,6 +20,14 @@ accounting airtight, and this rule enforces all three:
    pool's logical-request accounting, so hit/miss ratios (Figure 16's
    buffer sweep) become unmeasurable.  All other layers must go through
    ``BufferPool``.
+4. **Query costs come from per-query bundles.**  A ``QueryStats(...)``
+   construction may not read *global* counter attributes (the buffer
+   pool's ``requests``/``misses``/``hits``, a tree's ``node_visits``, a
+   pager's ``physical_reads``/``physical_writes``) — not even as
+   before/after deltas: those aggregates are shared by every caller, so
+   any interleaved query corrupts both queries' stats.  Cost fields must
+   be read off a per-query ``CostCounters`` bundle (any base whose name
+   mentions ``counter``).
 """
 
 from __future__ import annotations
@@ -63,6 +71,21 @@ RAW_IO = frozenset({"read_page", "write_page", "allocate_page"})
 # Attribute substrings that count as visible cost recording.
 _ACCOUNTING_MARKERS = ("evaluation", "computation", "counter", "scanned")
 
+# Global (lifetime-aggregate) counter attributes: shared by every caller,
+# so per-query stats built from them are corrupted by any concurrent or
+# interleaved query.  Exact names — the per-query bundle's fields
+# (page_requests, page_reads, btree_node_visits, ...) are distinct.
+_GLOBAL_COUNTER_ATTRS = frozenset(
+    {
+        "requests",
+        "misses",
+        "hits",
+        "node_visits",
+        "physical_reads",
+        "physical_writes",
+    }
+)
+
 
 def _call_name(node: ast.Call) -> str | None:
     """Trailing name of the called function (``a.b.f(...)`` -> ``f``)."""
@@ -88,6 +111,29 @@ def _passes_counters(node: ast.Call) -> bool:
         if keyword.arg == "counters" or keyword.arg is None:
             return True
     return False
+
+
+def _bundle_read(node: ast.Attribute) -> bool:
+    """Whether an attribute read comes off a per-query counter bundle."""
+    base = node.value
+    if isinstance(base, ast.Name):
+        return "counter" in base.id.lower()
+    if isinstance(base, ast.Attribute):
+        return "counter" in base.attr.lower()
+    return False
+
+
+def _global_counter_reads(call: ast.Call) -> Iterator[ast.Attribute]:
+    """Global-counter attribute reads inside a call's argument values."""
+    values = list(call.args) + [kw.value for kw in call.keywords]
+    for value in values:
+        for node in ast.walk(value):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _GLOBAL_COUNTER_ATTRS
+                and not _bundle_read(node)
+            ):
+                yield node
 
 
 def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
@@ -154,6 +200,20 @@ class CounterDisciplineRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         in_storage_layer = "/storage/" in ctx.path.replace("\\", "/")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) != "QueryStats":
+                continue
+            for read in _global_counter_reads(node):
+                yield self.diagnostic(
+                    ctx,
+                    read,
+                    f"QueryStats built from global counter '{read.attr}': "
+                    "lifetime aggregates misattribute interleaved queries' "
+                    "costs; populate query-cost fields from a per-query "
+                    "CostCounters bundle",
+                )
         for func in _functions(ctx.tree):
             # Kernel definitions are the counted primitives themselves;
             # discipline applies to the layers calling them.

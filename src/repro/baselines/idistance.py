@@ -36,7 +36,7 @@ from repro.core.scoring import ScoreAccumulator
 from repro.core.vitri import VideoSummary
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
-from repro.utils.counters import Timer
+from repro.utils.counters import CostCounters, Timer
 
 __all__ = ["MultiRefIndex"]
 
@@ -160,11 +160,9 @@ class MultiRefIndex:
         if cold:
             self.clear_caches()
 
-        pool = self._btree.buffer_pool
-        requests_before = pool.requests
-        misses_before = pool.misses
-        visits_before = self._btree.node_visits
-
+        # Per-query bundle: costs are attributed to this query alone,
+        # never derived from global pool-counter deltas.
+        counters = CostCounters()
         accumulator = ScoreAccumulator(query, self._video_frames)
         candidates = 0
         with Timer() as timer:
@@ -177,7 +175,7 @@ class MultiRefIndex:
             composed = compose_ranges(all_ranges)
             seen: set[tuple[int, int]] = set()
             for low, high in composed:
-                entries = self._btree.range_search(low, high)
+                entries = self._btree.range_search(low, high, counters=counters)
                 if not entries:
                     continue
                 candidates += len(entries)
@@ -215,9 +213,9 @@ class MultiRefIndex:
             ranked = accumulator.ranked(k)
 
         stats = QueryStats(
-            page_requests=pool.requests - requests_before,
-            physical_reads=pool.misses - misses_before,
-            node_visits=self._btree.node_visits - visits_before,
+            page_requests=counters.page_requests,
+            physical_reads=counters.page_reads,
+            node_visits=counters.btree_node_visits,
             similarity_computations=accumulator.evaluations,
             candidates=candidates,
             ranges=len(composed),

@@ -38,7 +38,7 @@ from repro.core.composition import compose_ranges
 from repro.core.index import KNNResult, QueryStats, VitriIndex
 from repro.core.scoring import ScoreAccumulator
 from repro.core.vitri import VideoSummary
-from repro.utils.counters import Timer
+from repro.utils.counters import CostCounters, Timer
 from repro.utils.validation import check_vector
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
@@ -171,11 +171,9 @@ class PyramidIndex:
         if cold:
             self.clear_caches()
 
-        pool = self._btree.buffer_pool
-        requests_before = pool.requests
-        misses_before = pool.misses
-        visits_before = self._btree.node_visits
-
+        # Per-query bundle: costs are attributed to this query alone,
+        # never derived from global pool-counter deltas.
+        counters = CostCounters()
         accumulator = ScoreAccumulator(query, self._video_frames)
         candidates = 0
         with Timer() as timer:
@@ -195,7 +193,9 @@ class PyramidIndex:
                 )
             seen_vitri_pairs: set[tuple[int, int]] = set()
             for low, high in compose_ranges(all_ranges):
-                for _, payload in self._btree.range_search(low, high):
+                for _, payload in self._btree.range_search(
+                    low, high, counters=counters
+                ):
                     candidates += 1
                     record = self._codec.decode(payload)
                     relevant = []
@@ -215,9 +215,9 @@ class PyramidIndex:
             ranked = accumulator.ranked(k)
 
         stats = QueryStats(
-            page_requests=pool.requests - requests_before,
-            physical_reads=pool.misses - misses_before,
-            node_visits=self._btree.node_visits - visits_before,
+            page_requests=counters.page_requests,
+            physical_reads=counters.page_reads,
+            node_visits=counters.btree_node_visits,
             similarity_computations=accumulator.evaluations,
             candidates=candidates,
             ranges=len(compose_ranges(all_ranges)),

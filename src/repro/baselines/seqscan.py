@@ -18,7 +18,7 @@ from repro.core.index import (
 )
 from repro.core.scoring import ScoreAccumulator
 from repro.core.vitri import VideoSummary
-from repro.utils.counters import Timer
+from repro.utils.counters import CostCounters, Timer
 
 __all__ = ["SequentialScan"]
 
@@ -59,14 +59,14 @@ class SequentialScan:
             raise ValueError(f"k must be a positive int, got {k}")
 
         heap = self._index.heap
-        pool = heap.buffer_pool
-        codec = self._index._codec
+        codec = self._index.codec
         video_frames = self._index.video_frames
         if cold:
-            pool.clear()
+            heap.buffer_pool.clear()
 
-        requests_before = pool.requests
-        misses_before = pool.misses
+        # Per-query bundle: the scan's page accesses are attributed to
+        # this query alone (never derived from global pool deltas).
+        counters = CostCounters()
         accumulator = ScoreAccumulator(query, video_frames)
         candidates = 0
 
@@ -74,7 +74,8 @@ class SequentialScan:
             records = [
                 record
                 for record in (
-                    codec.decode(payload) for _, payload in heap.scan()
+                    codec.decode(payload)
+                    for _, payload in heap.scan(counters=counters)
                 )
                 if record.video_id != TOMBSTONE_VIDEO_ID
             ]
@@ -93,8 +94,8 @@ class SequentialScan:
                     )
             ranked = accumulator.ranked(k)
         stats = QueryStats(
-            page_requests=pool.requests - requests_before,
-            physical_reads=pool.misses - misses_before,
+            page_requests=counters.page_requests,
+            physical_reads=counters.page_reads,
             node_visits=0,
             similarity_computations=accumulator.evaluations,
             candidates=candidates,

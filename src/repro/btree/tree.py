@@ -7,6 +7,14 @@ Page 0 of the tree's pager is a metadata page::
 ``height == 1`` means the root is a leaf.  All node accesses go through the
 buffer pool (counted I/O) and additionally bump :attr:`BPlusTree.node_visits`
 so CPU-side traversal work is observable separately from page I/O.
+
+The read paths (:meth:`BPlusTree.search`, :meth:`BPlusTree.range_search`,
+:meth:`BPlusTree.iter_entries`) accept an optional per-query
+:class:`~repro.utils.counters.CostCounters` bundle; node visits and page
+accesses performed on behalf of that query are recorded there as well,
+which is what makes per-query cost reporting exact under interleaved or
+concurrent queries (the tree-level ``node_visits`` attribute is a
+lifetime aggregate shared by every caller).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.btree.node import (
     leaf_capacity,
 )
 from repro.storage.buffer_pool import BufferPool
+from repro.utils.counters import CostCounters
 
 __all__ = ["BPlusTree"]
 
@@ -133,16 +142,30 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Node access
     # ------------------------------------------------------------------
-    def _load_leaf(self, page_id: int) -> LeafNode:
+    def _load_leaf(
+        self, page_id: int, counters: CostCounters | None = None
+    ) -> LeafNode:
         self.node_visits += 1
-        return LeafNode.load(self._pool.fetch(page_id), self._payload_size)
+        if counters is not None:
+            counters.btree_node_visits += 1
+        return LeafNode.load(
+            self._pool.fetch(page_id, counters), self._payload_size
+        )
 
-    def _load_internal(self, page_id: int) -> InternalNode:
+    def _load_internal(
+        self, page_id: int, counters: CostCounters | None = None
+    ) -> InternalNode:
         self.node_visits += 1
-        return InternalNode.load(self._pool.fetch(page_id))
+        if counters is not None:
+            counters.btree_node_visits += 1
+        return InternalNode.load(self._pool.fetch(page_id, counters))
 
     def _descend_to_leaf(
-        self, key: float, *, leftmost: bool
+        self,
+        key: float,
+        *,
+        leftmost: bool,
+        counters: CostCounters | None = None,
     ) -> tuple[LeafNode, list[tuple[InternalNode, int]]]:
         """Walk root-to-leaf; returns the leaf and the internal path.
 
@@ -153,14 +176,14 @@ class BPlusTree:
         path: list[tuple[InternalNode, int]] = []
         page_id = self._root
         for _ in range(self._height - 1):
-            node = self._load_internal(page_id)
+            node = self._load_internal(page_id, counters)
             if leftmost:
                 index = bisect_left(node.keys, key)
             else:
                 index = bisect_right(node.keys, key)
             path.append((node, index))
             page_id = node.children[index]
-        return self._load_leaf(page_id), path
+        return self._load_leaf(page_id, counters), path
 
     # ------------------------------------------------------------------
     # Insert
@@ -310,13 +333,28 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
-    def search(self, key: float) -> list[bytes]:
+    def search(
+        self, key: float, *, counters: CostCounters | None = None
+    ) -> list[bytes]:
         """Return the payloads of every entry with exactly this key."""
         key = float(key)
-        return [payload for _, payload in self.range_search(key, key)]
+        return [
+            payload
+            for _, payload in self.range_search(key, key, counters=counters)
+        ]
 
-    def range_search(self, low: float, high: float) -> list[tuple[float, bytes]]:
-        """Return all entries with ``low <= key <= high`` in key order."""
+    def range_search(
+        self,
+        low: float,
+        high: float,
+        *,
+        counters: CostCounters | None = None,
+    ) -> list[tuple[float, bytes]]:
+        """Return all entries with ``low <= key <= high`` in key order.
+
+        Pass a per-query ``counters`` bundle to attribute the traversal's
+        node visits and page accesses to that query.
+        """
         low = float(low)
         high = float(high)
         if math.isnan(low) or math.isnan(high):
@@ -324,7 +362,7 @@ class BPlusTree:
         results: list[tuple[float, bytes]] = []
         if high < low or self._num_entries == 0:
             return results
-        leaf, _ = self._descend_to_leaf(low, leftmost=True)
+        leaf, _ = self._descend_to_leaf(low, leftmost=True, counters=counters)
         while True:
             start = bisect_left(leaf.keys, low)
             for position in range(start, leaf.count):
@@ -334,18 +372,22 @@ class BPlusTree:
                 results.append((key, leaf.payloads[position]))
             if leaf.next_leaf == NO_LEAF:
                 return results
-            leaf = self._load_leaf(leaf.next_leaf)
+            leaf = self._load_leaf(leaf.next_leaf, counters)
 
-    def iter_entries(self) -> Iterator[tuple[float, bytes]]:
+    def iter_entries(
+        self, *, counters: CostCounters | None = None
+    ) -> Iterator[tuple[float, bytes]]:
         """Yield every entry left to right (full leaf-chain walk)."""
         if self._num_entries == 0:
             return
-        leaf, _ = self._descend_to_leaf(-math.inf, leftmost=True)
+        leaf, _ = self._descend_to_leaf(
+            -math.inf, leftmost=True, counters=counters
+        )
         while True:
             yield from zip(leaf.keys, leaf.payloads)
             if leaf.next_leaf == NO_LEAF:
                 return
-            leaf = self._load_leaf(leaf.next_leaf)
+            leaf = self._load_leaf(leaf.next_leaf, counters)
 
     # ------------------------------------------------------------------
     # Bulk load

@@ -23,6 +23,11 @@ accounting.  Exit code 0 means consistent, 1 means corruption.
 ``repro-video lint`` runs the project's own static-analysis pass
 (vilint; see ``docs/static_analysis.md``) over ``src/repro`` or any
 given paths.
+
+``repro-video bench-serve`` builds an in-memory index over a simulated
+disk (``--read-latency`` seconds per physical page read) and sweeps the
+concurrent query engine across worker counts, printing a throughput
+table and writing the full metrics to ``--out`` (JSON).
 """
 
 from __future__ import annotations
@@ -130,6 +135,89 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"built {index.num_vitris} ViTris over {index.num_videos} videos "
         f"-> {args.out}.btree / {args.out}.heap / {args.out}.meta.json"
     )
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.serving import make_query_stream, run_serving_benchmark
+    from repro.storage.buffer_pool import BufferPool
+    from repro.storage.pager import Pager
+
+    if args.dataset:
+        dataset = VideoDataset.load(args.dataset)
+    else:
+        dataset = generate_dataset(seed=args.seed)
+    summaries = _summaries(dataset, args.epsilon)
+    index = VitriIndex.build(
+        summaries,
+        args.epsilon,
+        btree_pool=BufferPool(
+            Pager(read_latency=args.read_latency),
+            capacity=args.buffer_capacity,
+        ),
+    )
+    try:
+        worker_counts = tuple(
+            int(part) for part in args.workers.split(",") if part
+        )
+    except ValueError:
+        print(
+            f"error: --workers must be comma-separated ints, "
+            f"got {args.workers!r}",
+            file=sys.stderr,
+        )
+        return 1
+    stream = make_query_stream(
+        summaries,
+        args.queries,
+        seed=args.seed,
+        repeat_fraction=args.repeat_fraction,
+    )
+    results = run_serving_benchmark(
+        index,
+        stream,
+        args.k,
+        worker_counts=worker_counts,
+        buffer_capacity=args.buffer_capacity,
+        cache_size=args.cache_size,
+        cold=not args.warm,
+    )
+    rows = [
+        (
+            run["workers"],
+            f"{run['qps']:.1f}",
+            f"{run['speedup_vs_single']:.2f}x",
+            f"{run['latency_p50'] * 1e3:.1f}",
+            f"{run['latency_p95'] * 1e3:.1f}",
+            f"{run['cache_hit_rate']:.2f}",
+            run["total_physical_reads"],
+        )
+        for run in results["runs"]
+    ]
+    print(
+        format_table(
+            [
+                "workers",
+                "QPS",
+                "speedup",
+                "p50 ms",
+                "p95 ms",
+                "hit rate",
+                "reads",
+            ],
+            rows,
+            title=(
+                f"serving {results['queries']} queries, k={results['k']}, "
+                f"read latency {args.read_latency * 1e3:.1f} ms"
+            ),
+        )
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"\nwrote metrics to {args.out}")
     return 0
 
 
@@ -295,6 +383,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--index", required=True, help="index file prefix")
     check.set_defaults(func=_cmd_check)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="benchmark the concurrent query engine",
+        description=(
+            "Sweep QueryEngine worker counts over a seeded query stream "
+            "against a simulated-latency disk; write metrics as JSON."
+        ),
+    )
+    bench_serve.add_argument(
+        "--dataset",
+        default=None,
+        help=".npz dataset (default: generate a small synthetic one)",
+    )
+    bench_serve.add_argument("--epsilon", type=float, default=0.3)
+    bench_serve.add_argument("--k", type=int, default=10)
+    bench_serve.add_argument(
+        "--queries", type=int, default=24, help="query-stream length"
+    )
+    bench_serve.add_argument(
+        "--workers", default="1,2,4", help="comma-separated worker counts"
+    )
+    bench_serve.add_argument(
+        "--read-latency",
+        type=float,
+        default=0.002,
+        help="simulated seconds per physical page read",
+    )
+    bench_serve.add_argument("--buffer-capacity", type=int, default=32)
+    bench_serve.add_argument("--cache-size", type=int, default=128)
+    bench_serve.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of stream positions repeating an earlier query",
+    )
+    bench_serve.add_argument(
+        "--warm",
+        action="store_true",
+        help="keep worker pools warm between queries (default: cold)",
+    )
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument(
+        "--out", default=None, help="write full metrics JSON here"
+    )
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     lint = commands.add_parser(
         "lint",

@@ -15,6 +15,12 @@ from __future__ import annotations
 
 from repro.core.composition import compose_ranges
 from repro.core.database import VideoDatabase
+from repro.core.engine import (
+    BatchResult,
+    QueryEngine,
+    ServingMetrics,
+    query_fingerprint,
+)
 from repro.core.frames import frame_similarity, frames_with_match
 from repro.core.index import KNNResult, QueryStats, VitriIndex
 from repro.core.maintenance import ManagedVitriIndex, RebuildPolicy
@@ -39,6 +45,10 @@ from repro.core.vitri import VideoSummary, ViTri
 __all__ = [
     "compose_ranges",
     "VideoDatabase",
+    "BatchResult",
+    "QueryEngine",
+    "ServingMetrics",
+    "query_fingerprint",
     "frame_similarity",
     "frames_with_match",
     "KNNResult",

@@ -25,6 +25,15 @@ every leaf page is accessed at most once.  Both produce identical results.
 Every page access flows through counted buffer pools, and every ViTri
 similarity evaluation bumps a CPU counter, so each query returns a
 :class:`QueryStats` with the exact cost breakdown the paper's figures plot.
+
+Cost accounting is strictly per query: each :meth:`VitriIndex.knn` call
+threads its own :class:`~repro.utils.counters.CostCounters` bundle down
+through the B+-tree traversal and buffer pool, and :class:`QueryStats`
+is built from that bundle alone.  (An earlier implementation derived
+stats from before/after deltas of the *global* pool counters, which
+silently corrupted both queries' stats whenever two queries interleaved
+— the per-query bundle is also what lets the concurrent
+:class:`~repro.core.engine.QueryEngine` report exact costs per query.)
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ from repro.storage.buffer_pool import BufferPool
 from repro.storage.heap_file import HeapFile
 from repro.storage.pager import Pager
 from repro.storage.serialization import ViTriRecord, ViTriRecordCodec
-from repro.utils.counters import Timer
+from repro.utils.counters import CostCounters, Timer
 from repro.utils.validation import check_positive
 
 __all__ = ["KNNResult", "QueryStats", "TOMBSTONE_VIDEO_ID", "VitriIndex"]
@@ -119,11 +128,98 @@ class KNNResult:
         return len(self.videos)
 
 
-@dataclass
-class _IoSnapshot:
-    requests: int = 0
-    misses: int = 0
-    node_visits: int = 0
+def _check_query_args(query: VideoSummary, k: int, method: str, dim: int) -> None:
+    """Shared argument validation for KNN entry points (index and engine)."""
+    if not isinstance(query, VideoSummary):
+        raise TypeError("query must be a VideoSummary")
+    if query.dim != dim:
+        raise ValueError(
+            f"query dimension {query.dim} != index dimension {dim}"
+        )
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive int, got {k}")
+    if method not in ("composed", "naive"):
+        raise ValueError(f"method must be 'composed' or 'naive', got {method!r}")
+
+
+def _rank(
+    scores: dict[int, float], k: int
+) -> tuple[tuple[int, ...], tuple[float, ...]]:
+    """Top-``k`` videos score-descending, video-id tie-break."""
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+    return (
+        tuple(video for video, _ in ranked),
+        tuple(score for _, score in ranked),
+    )
+
+
+def _execute_query(
+    query: VideoSummary,
+    method: str,
+    *,
+    btree: BPlusTree,
+    codec: ViTriRecordCodec,
+    transform: OneDimensionalTransform,
+    epsilon: float,
+    video_frames: dict[int, int],
+    counters: CostCounters,
+) -> tuple[dict[int, float], int, int]:
+    """Run one KNN candidate pass and return ``(scores, candidates, ranges)``.
+
+    This is the execution core shared by :meth:`VitriIndex.knn` and the
+    concurrent :class:`~repro.core.engine.QueryEngine` workers: every
+    page access, node visit and similarity evaluation it performs is
+    recorded in the caller's per-query ``counters`` bundle, so costs are
+    exact even when many queries run interleaved over shared storage.
+    """
+    gamma = [vitri.radius + epsilon / 2.0 for vitri in query.vitris]
+    query_keys = [transform.key(vitri.position) for vitri in query.vitris]
+    per_vitri_ranges = [
+        (max(key - g, 0.0), key + g) for key, g in zip(query_keys, gamma)
+    ]
+
+    accumulator = ScoreAccumulator(query, video_frames)
+    candidates = 0
+
+    if method == "naive":
+        search_ranges = per_vitri_ranges
+    else:
+        search_ranges = compose_ranges(per_vitri_ranges)
+
+    for range_index, (low, high) in enumerate(search_ranges):
+        # The leaves hold the full ViTri records (the paper's layout),
+        # so a range search is the only I/O a query performs.
+        entries = btree.range_search(low, high, counters=counters)
+        if not entries:
+            continue
+        candidates += len(entries)
+        records = [codec.decode(payload) for _, payload in entries]
+        keys = np.array([key for key, _ in entries])
+        video_ids = np.array([r.video_id for r in records])
+        vitri_ids = np.array([r.vitri_id for r in records])
+        counts = np.array([r.count for r in records])
+        radii = np.array([r.radius for r in records])
+        positions = np.stack([r.position for r in records])
+        if method == "naive":
+            relevant = [range_index]
+        else:
+            relevant = range(len(per_vitri_ranges))
+        for i in relevant:
+            vlow, vhigh = per_vitri_ranges[i]
+            mask = (keys >= vlow) & (keys <= vhigh)
+            if not np.any(mask):
+                continue
+            counters.similarity_computations += accumulator.evaluate_arrays(
+                i,
+                video_ids[mask],
+                vitri_ids[mask],
+                counts[mask],
+                radii[mask],
+                positions[mask],
+            )
+
+    counters.records_scanned += candidates
+    return accumulator.scores(), candidates, len(search_ranges)
 
 
 class VitriIndex:
@@ -297,6 +393,11 @@ class VitriIndex:
     def transform(self) -> OneDimensionalTransform:
         """The fitted 1-D transform."""
         return self._transform
+
+    @property
+    def codec(self) -> ViTriRecordCodec:
+        """The ViTri record codec (shared with baselines and the engine)."""
+        return self._codec
 
     @property
     def btree(self) -> BPlusTree:
@@ -506,39 +607,37 @@ class VitriIndex:
             Clear the buffer pools first so the reported I/O reflects a
             cold cache.
         """
-        if not isinstance(query, VideoSummary):
-            raise TypeError("query must be a VideoSummary")
-        if query.dim != self._dim:
-            raise ValueError(
-                f"query dimension {query.dim} != index dimension {self._dim}"
-            )
-        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
-            raise ValueError(f"k must be a positive int, got {k}")
-        if method not in ("composed", "naive"):
-            raise ValueError(f"method must be 'composed' or 'naive', got {method!r}")
+        _check_query_args(query, k, method, self._dim)
         if cold:
             self.clear_caches()
 
-        before = self._io_snapshot()
+        # Per-query bundle: every page access / node visit / similarity
+        # evaluation of *this* query lands here and nowhere else, so
+        # interleaved queries cannot misattribute each other's costs.
+        counters = CostCounters()
         with Timer() as timer:
-            scores, candidates, ranges, sim_count = self._execute(query, method)
-        after = self._io_snapshot()
+            scores, candidates, ranges = _execute_query(
+                query,
+                method,
+                btree=self._btree,
+                codec=self._codec,
+                transform=self._transform,
+                epsilon=self._epsilon,
+                video_frames=self._video_frames,
+                counters=counters,
+            )
+            videos, kept_scores = _rank(scores, k)
 
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
         stats = QueryStats(
-            page_requests=after.requests - before.requests,
-            physical_reads=after.misses - before.misses,
-            node_visits=after.node_visits - before.node_visits,
-            similarity_computations=sim_count,
+            page_requests=counters.page_requests,
+            physical_reads=counters.page_reads,
+            node_visits=counters.btree_node_visits,
+            similarity_computations=counters.similarity_computations,
             candidates=candidates,
             ranges=ranges,
             wall_time=timer.elapsed,
         )
-        return KNNResult(
-            videos=tuple(video for video, _ in ranked),
-            scores=tuple(score for _, score in ranked),
-            stats=stats,
-        )
+        return KNNResult(videos=videos, scores=kept_scores, stats=stats)
 
     def similarity_range(
         self,
@@ -553,7 +652,10 @@ class VitriIndex:
 
         Costs exactly one KNN-style candidate pass: the key filter already
         prunes every zero-similarity ViTri pair, so thresholding happens
-        on the final scores.
+        on the final scores.  The returned stats are this call's own —
+        measured from a per-query counter bundle and a wall timer that
+        cover the whole operation including the threshold filtering (not
+        a reused full-``k`` :meth:`knn` stats object).
         """
         if not isinstance(min_similarity, (int, float)) or isinstance(
             min_similarity, bool
@@ -563,85 +665,39 @@ class VitriIndex:
             raise ValueError(
                 f"min_similarity must be in (0, 1], got {min_similarity}"
             )
-        result = self.knn(
-            query, max(self.num_videos, 1), method=method, cold=cold
+        _check_query_args(query, 1, method, self._dim)
+        if cold:
+            self.clear_caches()
+
+        counters = CostCounters()
+        with Timer() as timer:
+            scores, candidates, ranges = _execute_query(
+                query,
+                method,
+                btree=self._btree,
+                codec=self._codec,
+                transform=self._transform,
+                epsilon=self._epsilon,
+                video_frames=self._video_frames,
+                counters=counters,
+            )
+            kept = {
+                video: score
+                for video, score in scores.items()
+                if score >= min_similarity
+            }
+            videos, kept_scores = _rank(kept, len(kept))
+
+        stats = QueryStats(
+            page_requests=counters.page_requests,
+            physical_reads=counters.page_reads,
+            node_visits=counters.btree_node_visits,
+            similarity_computations=counters.similarity_computations,
+            candidates=candidates,
+            ranges=ranges,
+            wall_time=timer.elapsed,
         )
-        keep = [
-            (video, score)
-            for video, score in zip(result.videos, result.scores)
-            if score >= min_similarity
-        ]
-        return KNNResult(
-            videos=tuple(video for video, _ in keep),
-            scores=tuple(score for _, score in keep),
-            stats=result.stats,
-        )
-
-    def _io_snapshot(self) -> _IoSnapshot:
-        btree_pool = self._btree.buffer_pool
-        heap_pool = self._heap.buffer_pool
-        return _IoSnapshot(
-            requests=btree_pool.requests + heap_pool.requests,
-            misses=btree_pool.misses + heap_pool.misses,
-            node_visits=self._btree.node_visits,
-        )
-
-    def _execute(
-        self, query: VideoSummary, method: str
-    ) -> tuple[dict[int, float], int, int, int]:
-        gamma = [vitri.radius + self._epsilon / 2.0 for vitri in query.vitris]
-        query_keys = [self._transform.key(vitri.position) for vitri in query.vitris]
-        per_vitri_ranges = [
-            (max(key - g, 0.0), key + g) for key, g in zip(query_keys, gamma)
-        ]
-
-        accumulator = ScoreAccumulator(query, self._video_frames)
-        candidates = 0
-        similarity_count = 0
-
-        if method == "naive":
-            search_ranges = per_vitri_ranges
-        else:
-            search_ranges = compose_ranges(per_vitri_ranges)
-
-        for range_index, (low, high) in enumerate(search_ranges):
-            # The leaves hold the full ViTri records (the paper's layout),
-            # so a range search is the only I/O a query performs.
-            entries = self._btree.range_search(low, high)
-            if not entries:
-                continue
-            candidates += len(entries)
-            records = [self._codec.decode(payload) for _, payload in entries]
-            keys = np.array([key for key, _ in entries])
-            video_ids = np.array([r.video_id for r in records])
-            vitri_ids = np.array([r.vitri_id for r in records])
-            counts = np.array([r.count for r in records])
-            radii = np.array([r.radius for r in records])
-            positions = np.stack([r.position for r in records])
-            if method == "naive":
-                relevant = [range_index]
-            else:
-                relevant = range(len(per_vitri_ranges))
-            for i in relevant:
-                vlow, vhigh = per_vitri_ranges[i]
-                mask = (keys >= vlow) & (keys <= vhigh)
-                if not np.any(mask):
-                    continue
-                similarity_count += accumulator.evaluate_arrays(
-                    i,
-                    video_ids[mask],
-                    vitri_ids[mask],
-                    counts[mask],
-                    radii[mask],
-                    positions[mask],
-                )
-
-        return (
-            accumulator.scores(),
-            candidates,
-            len(search_ranges),
-            similarity_count,
-        )
+        return KNNResult(videos=videos, scores=kept_scores, stats=stats)
 
     # ------------------------------------------------------------------
     # Metadata persistence

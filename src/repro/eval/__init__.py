@@ -7,6 +7,7 @@ from repro.eval.ground_truth import GroundTruthCache, knn_ground_truth
 from repro.eval.harness import aggregate_stats, format_table
 from repro.eval.metrics import precision_at_k
 from repro.eval.refine import refine_ranking, refined_knn
+from repro.eval.serving import make_query_stream, run_serving_benchmark
 
 __all__ = [
     "GroundTruthCache",
@@ -16,4 +17,6 @@ __all__ = [
     "precision_at_k",
     "refine_ranking",
     "refined_knn",
+    "make_query_stream",
+    "run_serving_benchmark",
 ]

@@ -1,0 +1,147 @@
+"""Serving-throughput evaluation for the concurrent query engine.
+
+The paper's experiments measure single-query costs; the serving benchmark
+asks the production question instead: how many queries per second does a
+worker pool sustain over one index, and does concurrency change any
+answer?  :func:`run_serving_benchmark` sweeps worker counts over one
+seeded query stream, asserts every configuration returns the serial
+rankings, and reports per-configuration throughput, latency percentiles,
+cache behaviour and per-worker I/O — the payload of
+``BENCH_serving.json``.
+
+Disk model: concurrency pays off only when queries wait on something.
+Build the index over a ``Pager(read_latency=...)`` so every physical read
+sleeps outside the pager lock; N workers then overlap N reads, exactly
+like N outstanding requests against one disk.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import QueryEngine
+from repro.core.index import VitriIndex
+from repro.core.vitri import VideoSummary
+from repro.utils.rng import ensure_rng
+
+__all__ = ["make_query_stream", "run_serving_benchmark"]
+
+
+def make_query_stream(
+    summaries: list[VideoSummary],
+    num_queries: int,
+    *,
+    seed: int = 0,
+    repeat_fraction: float = 0.5,
+) -> list[VideoSummary]:
+    """A seeded query stream with deliberate repeats.
+
+    Real query logs are skewed — popular videos are queried again and
+    again — and repeats are what a result cache exists for.  Each stream
+    position is, with probability ``repeat_fraction``, a repeat of an
+    earlier position; otherwise a fresh uniform draw from ``summaries``.
+
+    Parameters
+    ----------
+    summaries:
+        Pool of candidate query summaries.
+    num_queries:
+        Length of the stream.
+    seed:
+        RNG seed; the same arguments always yield the same stream.
+    repeat_fraction:
+        Probability that a position repeats an earlier one.
+    """
+    if not summaries:
+        raise ValueError("summaries must be non-empty")
+    if not isinstance(num_queries, int) or num_queries < 1:
+        raise ValueError(f"num_queries must be a positive int, got {num_queries}")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError(
+            f"repeat_fraction must be in [0, 1], got {repeat_fraction}"
+        )
+    rng = ensure_rng(seed)
+    stream: list[VideoSummary] = []
+    for _ in range(num_queries):
+        if stream and rng.random() < repeat_fraction:
+            stream.append(stream[int(rng.integers(len(stream)))])
+        else:
+            stream.append(summaries[int(rng.integers(len(summaries)))])
+    return stream
+
+
+def run_serving_benchmark(
+    index: VitriIndex,
+    stream: list[VideoSummary],
+    k: int,
+    *,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    buffer_capacity: int = 32,
+    cache_size: int = 128,
+    method: str = "composed",
+    cold: bool = False,
+) -> dict:
+    """Sweep worker counts over one query stream; return the results dict.
+
+    Every worker count gets a *fresh* :class:`QueryEngine` (empty cache,
+    cold per-worker pools) so configurations are directly comparable, and
+    every configuration's rankings are asserted identical to a serial
+    reference pass — a concurrency bug fails the benchmark instead of
+    silently shipping wrong answers with a nice QPS.
+
+    The returned dict is JSON-serialisable::
+
+        {"k", "queries", "method", "worker_counts",
+         "runs": [ServingMetrics.to_dict() + {"speedup_vs_single"}, ...],
+         "max_speedup"}
+
+    ``speedup_vs_single`` is each run's QPS over the first (reference)
+    run's QPS — the acceptance number for the concurrent engine.
+    """
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    if not worker_counts:
+        raise ValueError("worker_counts must be non-empty")
+
+    reference = [
+        QueryEngine(index, buffer_capacity=buffer_capacity, cache_size=0).knn(
+            query, k, method=method
+        )
+        for query in stream
+    ]
+
+    runs: list[dict] = []
+    reference_qps: float | None = None
+    for workers in worker_counts:
+        engine = QueryEngine(
+            index, buffer_capacity=buffer_capacity, cache_size=cache_size
+        )
+        batch = engine.knn_many(
+            stream, k, method=method, workers=workers, cold=cold
+        )
+        for position, (expected, result) in enumerate(
+            zip(reference, batch.results)
+        ):
+            if expected.videos != result.videos:
+                raise RuntimeError(
+                    f"workers={workers} changed the ranking of stream "
+                    f"position {position}: {expected.videos} != "
+                    f"{result.videos}"
+                )
+        entry = batch.metrics.to_dict()
+        if reference_qps is None:
+            reference_qps = entry["qps"]
+        entry["speedup_vs_single"] = (
+            entry["qps"] / reference_qps if reference_qps > 0.0 else 0.0
+        )
+        runs.append(entry)
+
+    return {
+        "k": k,
+        "queries": len(stream),
+        "method": method,
+        "buffer_capacity": buffer_capacity,
+        "cache_size": cache_size,
+        "cold": cold,
+        "worker_counts": list(worker_counts),
+        "runs": runs,
+        "max_speedup": max(run["speedup_vs_single"] for run in runs),
+    }

@@ -6,14 +6,29 @@ request*; only misses become physical reads.  The distinction matters for
 the paper's Figure 16: query composition saves I/O precisely because the
 naive per-ViTri KNN re-reads the same leaf pages, and whether those repeats
 hit the pool or the disk is a buffer-size question the benchmark sweeps.
+
+Accounting happens at two scopes: the pool's cumulative ``requests`` /
+``hits`` / ``misses`` attributes (a lifetime aggregate, useful for
+benchmark sweeps), and an optional per-query
+:class:`~repro.utils.counters.CostCounters` bundle passed to
+:meth:`BufferPool.fetch` — the per-query bundle is what
+:class:`~repro.core.index.QueryStats` is built from, so interleaved
+queries can never misattribute each other's page accesses.
+
+All cache and counter mutations are guarded by an internal lock, so a
+pool may be shared by concurrent readers (the query engine additionally
+gives each worker its own pool to avoid cache-interference between
+queries; the lock makes even the shared-pool case lose no updates).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.storage.page import Page
 from repro.storage.pager import Pager
+from repro.utils.counters import CostCounters
 
 __all__ = ["BufferPool"]
 
@@ -44,6 +59,7 @@ class BufferPool:
         self._pager = pager
         self._capacity = capacity
         self._pages: OrderedDict[int, Page] = OrderedDict()
+        self._lock = threading.RLock()
         self.requests = 0
         self.hits = 0
         self.misses = 0
@@ -61,32 +77,51 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
-    def fetch(self, page_id: int) -> Page:
+    def fetch(self, page_id: int, counters: CostCounters | None = None) -> Page:
         """Return the page, from cache if possible.
 
         The returned :class:`Page` object is shared: mutate ``page.data``
         in place and call ``page.mark_dirty()`` so eviction/flush writes it
         back.
+
+        Parameters
+        ----------
+        page_id:
+            The page to fetch.
+        counters:
+            Optional per-query cost bundle: every fetch bumps
+            ``page_requests`` and every miss additionally bumps
+            ``page_reads``.  This is the only sanctioned source for
+            query-cost reporting (the pool's own attributes are lifetime
+            aggregates shared by every caller).
         """
-        self.requests += 1
-        page = self._pages.get(page_id)
-        if page is not None:
-            self.hits += 1
-            self._pages.move_to_end(page_id)
+        with self._lock:
+            self.requests += 1
+            if counters is not None:
+                counters.page_requests += 1
+            page = self._pages.get(page_id)
+            if page is not None:
+                self.hits += 1
+                self._pages.move_to_end(page_id)
+                return page
+            self.misses += 1
+            if counters is not None:
+                counters.page_reads += 1
+            page = self._pager.read_page(page_id)
+            self._admit(page)
             return page
-        self.misses += 1
-        page = self._pager.read_page(page_id)
-        self._admit(page)
-        return page
 
     def allocate(self) -> Page:
         """Allocate a fresh page and cache it."""
-        page_id = self._pager.allocate_page()
-        page = Page(page_id)
-        self._admit(page)
-        return page
+        with self._lock:
+            page_id = self._pager.allocate_page()
+            page = Page(page_id)
+            self._admit(page)
+            return page
 
     def _admit(self, page: Page) -> None:
+        # Callers hold self._lock (fetch/allocate); the RLock makes the
+        # invariant cheap to keep even if _admit gains other callers.
         page.owner = self
         if self._capacity == 0:
             # Cache disabled: the page is immediately "evicted", so any
@@ -113,23 +148,26 @@ class BufferPool:
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Write back every dirty cached page (pages stay cached)."""
-        for page in self._pages.values():
-            if page.dirty:
-                self._pager.write_page(page)
+        with self._lock:
+            for page in self._pages.values():
+                if page.dirty:
+                    self._pager.write_page(page)
 
     def clear(self) -> None:
         """Flush then drop the whole cache (cold-start a benchmark run)."""
-        self.flush()
-        for page in self._pages.values():
-            page.evicted = True
-        self._pages.clear()
+        with self._lock:
+            self.flush()
+            for page in self._pages.values():
+                page.evicted = True
+            self._pages.clear()
 
     def reset_counters(self) -> None:
         """Zero the logical-access counters (physical counters live on the
         pager)."""
-        self.requests = 0
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.requests = 0
+            self.hits = 0
+            self.misses = 0
 
     def __repr__(self) -> str:
         return (

@@ -22,6 +22,7 @@ from typing import Iterator
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.page import PAGE_CONTENT_SIZE
+from repro.utils.counters import CostCounters
 
 __all__ = ["HeapFile", "RecordId"]
 
@@ -154,10 +155,12 @@ class HeapFile:
         self._persist_meta()
         return RecordId(page_id=page.page_id, slot=slot)
 
-    def read(self, record_id: RecordId) -> bytes:
+    def read(
+        self, record_id: RecordId, *, counters: CostCounters | None = None
+    ) -> bytes:
         """Read one record by physical address."""
         self._check_record_id(record_id)
-        page = self._pool.fetch(record_id.page_id)
+        page = self._pool.fetch(record_id.page_id, counters)
         offset = _SLOT_COUNT.size + record_id.slot * self._record_size
         return bytes(page.data[offset : offset + self._record_size])
 
@@ -173,7 +176,12 @@ class HeapFile:
         page.data[offset : offset + self._record_size] = payload
         page.mark_dirty()
 
-    def read_batch(self, record_ids: list[RecordId]) -> list[bytes]:
+    def read_batch(
+        self,
+        record_ids: list[RecordId],
+        *,
+        counters: CostCounters | None = None,
+    ) -> list[bytes]:
         """Read many records, fetching each distinct page only once.
 
         This is how an access method amortises I/O over a candidate set: a
@@ -184,7 +192,7 @@ class HeapFile:
             self._check_record_id(record_id)
         pages: dict[int, bytearray] = {}
         for page_id in sorted({rid.page_id for rid in record_ids}):
-            pages[page_id] = self._pool.fetch(page_id).data
+            pages[page_id] = self._pool.fetch(page_id, counters).data
         results: list[bytes] = []
         for record_id in record_ids:
             offset = _SLOT_COUNT.size + record_id.slot * self._record_size
@@ -192,12 +200,18 @@ class HeapFile:
             results.append(bytes(data[offset : offset + self._record_size]))
         return results
 
-    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
-        """Yield every record in physical order (the seq-scan baseline)."""
+    def scan(
+        self, *, counters: CostCounters | None = None
+    ) -> Iterator[tuple[RecordId, bytes]]:
+        """Yield every record in physical order (the seq-scan baseline).
+
+        Pass a per-query ``counters`` bundle to attribute the scan's page
+        accesses to that query.
+        """
         remaining = self._num_records
         for page_index in range(self.num_data_pages):
             page_id = 1 + page_index
-            page = self._pool.fetch(page_id)
+            page = self._pool.fetch(page_id, counters)
             (used,) = _SLOT_COUNT.unpack_from(page.data, 0)
             for slot in range(min(used, remaining)):
                 offset = _SLOT_COUNT.size + slot * self._record_size

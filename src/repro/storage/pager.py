@@ -24,11 +24,21 @@ journaling through a :class:`~repro.storage.wal.WriteAheadLog`:
 The ``fault_injector`` hook (see :mod:`repro.storage.faults`) is the
 deterministic-simulation seam: when set, every disk mutation routes
 through it so tests can crash the pager at a scripted operation.
+
+Thread safety: all page operations and the physical I/O counters are
+guarded by an internal re-entrant lock, so several
+:class:`~repro.storage.buffer_pool.BufferPool` instances (one per query
+worker) can safely share one pager.  The optional ``read_latency``
+models a disk's per-read service time — it sleeps *outside* the lock,
+so concurrent readers overlap their simulated seeks exactly as
+concurrent requests overlap on real storage hardware.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 
 from repro.storage.page import PAGE_SIZE, PAGE_CONTENT_SIZE, Page
 from repro.storage.serialization import pack_page_frame, unpack_page_frame
@@ -56,6 +66,12 @@ class Pager:
     fault_injector:
         Optional :class:`~repro.storage.faults.FaultInjector` used by the
         crash-recovery tests; ``None`` (the default) costs nothing.
+    read_latency:
+        Simulated per-read service time in seconds (default ``0.0``: no
+        simulation).  Applied on every :meth:`read_page` *before* the
+        internal lock is taken, so concurrent readers overlap their
+        waits — the serving benchmarks use this to model the paper's
+        disk-bound regime on hardware-independent terms.
 
     Attributes
     ----------
@@ -72,7 +88,16 @@ class Pager:
         wal: bool | WriteAheadLog = True,
         wal_file_id: int = 0,
         fault_injector=None,
+        read_latency: float = 0.0,
     ) -> None:
+        if not isinstance(read_latency, (int, float)) or isinstance(
+            read_latency, bool
+        ):
+            raise TypeError("read_latency must be a number")
+        if read_latency < 0.0:
+            raise ValueError(
+                f"read_latency must be >= 0, got {read_latency}"
+            )
         self._path = os.fspath(path) if path is not None else None
         self._file = None
         self._memory: list[bytes] | None = None
@@ -80,6 +105,10 @@ class Pager:
         self.physical_reads = 0
         self.physical_writes = 0
         self._closed = False
+        self._read_latency = float(read_latency)
+        # Re-entrant: sync() holds the lock while the WAL commit calls
+        # back into wal_apply_page/_write_frame on this same pager.
+        self._lock = threading.RLock()
         self._faults = fault_injector
         self._wal: WriteAheadLog | None = None
         self._wal_file_id = wal_file_id
@@ -129,6 +158,11 @@ class Pager:
         """The attached write-ahead log, if any."""
         return self._wal
 
+    @property
+    def read_latency(self) -> float:
+        """Simulated per-read service time in seconds (0 = disabled)."""
+        return self._read_latency
+
     def _require_open(self) -> None:
         if self._closed:
             raise RuntimeError("pager is closed")
@@ -148,18 +182,19 @@ class Pager:
     # ------------------------------------------------------------------
     def allocate_page(self) -> int:
         """Append a zeroed page and return its id."""
-        self._require_open()
-        page_id = self._num_pages
-        zeros = bytes(PAGE_CONTENT_SIZE)
-        if self._memory is not None:
-            self._memory.append(pack_page_frame(zeros))
-        elif self._wal is not None:
-            self._wal.log_page(self._wal_file_id, page_id, zeros)
-        else:
-            self._write_frame(page_id, zeros)
-        self._num_pages += 1
-        self.physical_writes += 1
-        return page_id
+        with self._lock:
+            self._require_open()
+            page_id = self._num_pages
+            zeros = bytes(PAGE_CONTENT_SIZE)
+            if self._memory is not None:
+                self._memory.append(pack_page_frame(zeros))
+            elif self._wal is not None:
+                self._wal.log_page(self._wal_file_id, page_id, zeros)
+            else:
+                self._write_frame(page_id, zeros)
+            self._num_pages += 1
+            self.physical_writes += 1
+            return page_id
 
     def read_page(self, page_id: int) -> Page:
         """Read one page from the backing store (counts one physical read).
@@ -167,22 +202,27 @@ class Pager:
         Raises :class:`~repro.storage.serialization.ChecksumError` if the
         stored frame fails checksum verification.
         """
-        self._require_open()
-        self._check_page_id(page_id)
-        if self._memory is not None:
-            data = unpack_page_frame(self._memory[page_id], page_id)
-        else:
-            pending = (
-                self._wal.pending_page(self._wal_file_id, page_id)
-                if self._wal is not None
-                else None
-            )
-            if pending is not None:
-                data = bytearray(pending)
+        if self._read_latency > 0.0:
+            # Simulated disk service time, deliberately outside the lock
+            # so concurrent readers overlap their waits.
+            time.sleep(self._read_latency)
+        with self._lock:
+            self._require_open()
+            self._check_page_id(page_id)
+            if self._memory is not None:
+                data = unpack_page_frame(self._memory[page_id], page_id)
             else:
-                data = self._read_frame(page_id)
-        self.physical_reads += 1
-        return Page(page_id, data)
+                pending = (
+                    self._wal.pending_page(self._wal_file_id, page_id)
+                    if self._wal is not None
+                    else None
+                )
+                if pending is not None:
+                    data = bytearray(pending)
+                else:
+                    data = self._read_frame(page_id)
+            self.physical_reads += 1
+            return Page(page_id, data)
 
     def write_page(self, page: Page) -> None:
         """Write one page back (counts one physical write).
@@ -190,16 +230,19 @@ class Pager:
         With a WAL attached the image is journaled, not applied: it
         reaches the data file when :meth:`sync` commits.
         """
-        self._require_open()
-        self._check_page_id(page.page_id)
-        if self._memory is not None:
-            self._memory[page.page_id] = pack_page_frame(page.data)
-        elif self._wal is not None:
-            self._wal.log_page(self._wal_file_id, page.page_id, bytes(page.data))
-        else:
-            self._write_frame(page.page_id, page.data)
-        self.physical_writes += 1
-        page.dirty = False
+        with self._lock:
+            self._require_open()
+            self._check_page_id(page.page_id)
+            if self._memory is not None:
+                self._memory[page.page_id] = pack_page_frame(page.data)
+            elif self._wal is not None:
+                self._wal.log_page(
+                    self._wal_file_id, page.page_id, bytes(page.data)
+                )
+            else:
+                self._write_frame(page.page_id, page.data)
+            self.physical_writes += 1
+            page.dirty = False
 
     def verify_checksums(self) -> int:
         """Verify the CRC32 trailer of every stored page frame.
@@ -210,16 +253,17 @@ class Pager:
         B+-tree checker and ``repro-video check``) and does not touch the
         I/O counters.
         """
-        self._require_open()
-        if self._memory is not None:
-            for page_id, frame in enumerate(self._memory):
-                unpack_page_frame(frame, page_id)
-            return len(self._memory)
-        scanned = self._file_size() // PAGE_SIZE
-        for page_id in range(scanned):
-            self._file.seek(page_id * PAGE_SIZE)
-            unpack_page_frame(self._file.read(PAGE_SIZE), page_id)
-        return scanned
+        with self._lock:
+            self._require_open()
+            if self._memory is not None:
+                for page_id, frame in enumerate(self._memory):
+                    unpack_page_frame(frame, page_id)
+                return len(self._memory)
+            scanned = self._file_size() // PAGE_SIZE
+            for page_id in range(scanned):
+                self._file.seek(page_id * PAGE_SIZE)
+                unpack_page_frame(self._file.read(PAGE_SIZE), page_id)
+            return scanned
 
     # ------------------------------------------------------------------
     # Low-level frame I/O
@@ -294,14 +338,15 @@ class Pager:
         WAL mode commits (journal, fsync, apply, reset); direct mode
         flushes and fsyncs the backing file; in-memory is a no-op.
         """
-        self._require_open()
-        if self._memory is not None:
-            return
-        if self._wal is not None:
-            self._wal.commit()
-        else:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+        with self._lock:
+            self._require_open()
+            if self._memory is not None:
+                return
+            if self._wal is not None:
+                self._wal.commit()
+            else:
+                self._file.flush()
+                os.fsync(self._file.fileno())
 
     def close(self) -> None:
         """Sync, then close the backing file; further operations raise.

@@ -71,6 +71,22 @@ class CostCounters:
         data.update(self.extra)
         return data
 
+    def add(self, other: "CostCounters") -> None:
+        """Fold another bundle's events into this one in place.
+
+        The query engine uses this to aggregate per-query bundles into
+        per-worker serving totals without ever reading a global counter.
+        """
+        self.page_reads += other.page_reads
+        self.page_requests += other.page_requests
+        self.page_writes += other.page_writes
+        self.distance_computations += other.distance_computations
+        self.similarity_computations += other.similarity_computations
+        self.btree_node_visits += other.btree_node_visits
+        self.records_scanned += other.records_scanned
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
     def merge(self, other: "CostCounters") -> "CostCounters":
         """Return a new counter bundle with both sets of events summed."""
         merged = CostCounters(

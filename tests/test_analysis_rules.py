@@ -228,6 +228,62 @@ class TestCounterDiscipline:
             select=["counter-discipline"],
         )
 
+    def test_querystats_from_global_pool_delta_flagged(self):
+        source = """\
+        def knn(self, query, k):
+            pool = self._btree.buffer_pool
+            requests_before = pool.requests
+            stats = QueryStats(
+                page_requests=pool.requests - requests_before,
+                physical_reads=pool.misses,
+            )
+            return stats
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [5, 6]
+        assert "global counter 'requests'" in diagnostics[0].message
+        assert "per-query CostCounters bundle" in diagnostics[0].message
+
+    def test_querystats_from_tree_node_visits_flagged(self):
+        source = """\
+        def knn(self, query, k):
+            return QueryStats(
+                node_visits=self._btree.node_visits - visits_before,
+            )
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [3]
+        assert "node_visits" in diagnostics[0].message
+
+    def test_querystats_from_bundle_clean(self):
+        source = """\
+        def knn(self, query, k):
+            counters = CostCounters()
+            return QueryStats(
+                page_requests=counters.page_requests,
+                physical_reads=counters.page_reads,
+                node_visits=counters.btree_node_visits,
+            )
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_querystats_from_attribute_bundle_clean(self):
+        source = """\
+        def serve(self, view, query, k):
+            return QueryStats(
+                page_requests=view.counters.page_requests,
+                physical_reads=view.counters.page_reads,
+            )
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_global_counter_read_outside_querystats_clean(self):
+        source = """\
+        def hit_rate(pool):
+            return pool.hits / pool.requests
+        """
+        assert not findings(source, "counter-discipline")
+
 
 # ---------------------------------------------------------------------------
 # boundary-validation

@@ -164,3 +164,41 @@ class TestSummaryCache:
             main(["build", "--dataset", dataset_path,
                   "--out", str(tmp_path / "b"), "--summaries", cache,
                   "--epsilon", "0.5"])
+
+
+class TestBenchServe:
+    def test_sweeps_and_writes_json(self, dataset_path, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "serving.json")
+        code = main(
+            [
+                "bench-serve",
+                "--dataset", dataset_path,
+                "--queries", "6",
+                "--k", "3",
+                "--workers", "1,2",
+                "--read-latency", "0.0005",
+                "--out", out,
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "workers" in printed and "QPS" in printed
+        payload = json.loads(open(out, encoding="utf-8").read())
+        assert payload["worker_counts"] == [1, 2]
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["queries"] == 6
+
+    def test_bad_workers_list(self, dataset_path, capsys):
+        code = main(
+            [
+                "bench-serve",
+                "--dataset", dataset_path,
+                "--queries", "2",
+                "--workers", "1,two",
+                "--read-latency", "0",
+            ]
+        )
+        assert code == 1
+        assert "comma-separated" in capsys.readouterr().err

@@ -1,0 +1,255 @@
+"""Tests for the concurrent batched KNN engine (repro.core.engine)."""
+
+import pytest
+
+from repro.core.engine import (
+    BatchResult,
+    QueryEngine,
+    ServingMetrics,
+    query_fingerprint,
+)
+from repro.core.index import VitriIndex
+
+EPSILON = 0.3
+
+
+def logical_fields(stats):
+    """Every QueryStats field except wall_time."""
+    return (
+        stats.page_requests,
+        stats.physical_reads,
+        stats.node_visits,
+        stats.similarity_computations,
+        stats.candidates,
+        stats.ranges,
+    )
+
+
+class TestConstruction:
+    def test_rejects_non_index(self):
+        with pytest.raises(TypeError, match="VitriIndex"):
+            QueryEngine(object())
+
+    def test_rejects_bad_capacity(self, small_index):
+        with pytest.raises(ValueError):
+            QueryEngine(small_index, buffer_capacity=0)
+        with pytest.raises(TypeError):
+            QueryEngine(small_index, buffer_capacity="big")
+
+    def test_rejects_bad_cache_size(self, small_index):
+        with pytest.raises(ValueError):
+            QueryEngine(small_index, cache_size=-1)
+        with pytest.raises(TypeError):
+            QueryEngine(small_index, cache_size=True)
+
+
+class TestSingleQuery:
+    def test_matches_index_knn(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=0)
+        for query in small_summaries[:6]:
+            served = engine.knn(query, 5)
+            direct = small_index.knn(query, 5)
+            assert served.videos == direct.videos
+            assert served.scores == direct.scores
+
+    def test_validates_arguments(self, small_index, small_summaries):
+        engine = QueryEngine(small_index)
+        with pytest.raises(TypeError):
+            engine.knn("nope", 5)
+        with pytest.raises(ValueError):
+            engine.knn(small_summaries[0], 0)
+        with pytest.raises(ValueError):
+            engine.knn(small_summaries[0], 5, method="magic")
+
+    def test_k_larger_than_num_videos(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=0)
+        result = engine.knn(small_summaries[0], 10_000)
+        assert 0 < len(result.videos) <= small_index.num_videos
+        direct = small_index.knn(small_summaries[0], 10_000)
+        assert result.videos == direct.videos
+
+
+class TestKnnMany:
+    def test_workers4_rankings_identical_to_serial(
+        self, small_index, small_summaries
+    ):
+        queries = list(small_summaries) + list(small_summaries[:4])
+        serial = [small_index.knn(query, 5) for query in queries]
+        engine = QueryEngine(small_index, cache_size=0)
+        batch = engine.knn_many(queries, 5, workers=4)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == len(queries)
+        for expected, got in zip(serial, batch.results):
+            assert got.videos == expected.videos
+            assert got.scores == expected.scores
+
+    def test_per_query_stats_equal_solo_runs(
+        self, small_index, small_summaries
+    ):
+        """Acceptance: under workers=4, every query's stats — physical
+        reads included — equal its solo cold run."""
+        queries = list(small_summaries[:10])
+        batch_engine = QueryEngine(
+            small_index, buffer_capacity=64, cache_size=0
+        )
+        batch = batch_engine.knn_many(queries, 5, workers=4, cold=True)
+        solo_engine = QueryEngine(
+            small_index, buffer_capacity=64, cache_size=0
+        )
+        for query, got in zip(queries, batch.results):
+            expected = solo_engine.knn(query, 5, cold=True)
+            assert logical_fields(got.stats) == logical_fields(expected.stats)
+
+    def test_stress_counters_lose_no_updates(
+        self, small_index, small_summaries
+    ):
+        """N threads x M queries: per-worker aggregates must equal the sum
+        of per-query bundles exactly (no lost counter updates), and the
+        rankings must equal the serial ones."""
+        queries = list(small_summaries) * 4  # 80 queries
+        engine = QueryEngine(small_index, buffer_capacity=32, cache_size=0)
+        batch = engine.knn_many(queries, 5, workers=8)
+        metrics = batch.metrics
+        assert metrics.queries == len(queries)
+        assert metrics.workers == 8
+        assert metrics.total_page_requests == sum(
+            result.stats.page_requests for result in batch.results
+        )
+        assert metrics.total_physical_reads == sum(
+            result.stats.physical_reads for result in batch.results
+        )
+        assert metrics.total_page_requests == sum(
+            metrics.worker_page_requests
+        )
+        assert metrics.total_physical_reads == sum(
+            metrics.worker_physical_reads
+        )
+        serial = [small_index.knn(query, 5) for query in queries]
+        for expected, got in zip(serial, batch.results):
+            assert got.videos == expected.videos
+
+    def test_results_in_query_order(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=0)
+        batch = engine.knn_many(list(small_summaries), 3, workers=4)
+        for query, result in zip(small_summaries, batch.results):
+            # Self-query always ranks itself first.
+            assert result.videos[0] == query.video_id
+
+    def test_empty_batch(self, small_index):
+        engine = QueryEngine(small_index)
+        batch = engine.knn_many([], 5, workers=2)
+        assert batch.results == ()
+        assert batch.metrics.queries == 0
+        assert batch.metrics.cache_hit_rate == 0.0
+
+    def test_validates_workers(self, small_index, small_summaries):
+        engine = QueryEngine(small_index)
+        with pytest.raises(ValueError):
+            engine.knn_many(list(small_summaries[:2]), 5, workers=0)
+        with pytest.raises(TypeError):
+            engine.knn_many(list(small_summaries[:2]), 5, workers=2.5)
+
+    def test_metrics_serialisable(self, small_index, small_summaries):
+        import json
+
+        engine = QueryEngine(small_index)
+        batch = engine.knn_many(list(small_summaries[:4]), 3, workers=2)
+        assert isinstance(batch.metrics, ServingMetrics)
+        payload = json.dumps(batch.metrics.to_dict())
+        assert "worker_page_requests" in payload
+
+
+class TestResultCache:
+    def test_hit_returns_memoised_result(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=8)
+        first = engine.knn(small_summaries[0], 5)
+        second = engine.knn(small_summaries[0], 5)
+        assert second is first  # memoised object, original stats included
+        assert engine.cache_hits == 1
+        assert engine.cache_misses == 1
+
+    def test_cached_vs_cold_stats_consistent(
+        self, small_index, small_summaries
+    ):
+        """A cache hit must replay the cold run's stats verbatim — the
+        memoised QueryStats, not a recomputed (warm) one."""
+        engine = QueryEngine(small_index, buffer_capacity=64, cache_size=8)
+        cold = engine.knn(small_summaries[1], 5, cold=True)
+        cached = engine.knn(small_summaries[1], 5, cold=True)
+        assert logical_fields(cached.stats) == logical_fields(cold.stats)
+        assert cached.stats.physical_reads > 0  # the cold run's reads
+
+    def test_key_includes_k_and_method(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=8)
+        engine.knn(small_summaries[0], 5)
+        engine.knn(small_summaries[0], 6)
+        engine.knn(small_summaries[0], 5, method="naive")
+        assert engine.cache_hits == 0
+        assert engine.cache_misses == 3
+
+    def test_lru_eviction(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=1)
+        engine.knn(small_summaries[0], 5)
+        engine.knn(small_summaries[1], 5)  # evicts query 0
+        assert engine.cache_len == 1
+        engine.knn(small_summaries[0], 5)
+        assert engine.cache_hits == 0
+
+    def test_cache_disabled(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=0)
+        engine.knn(small_summaries[0], 5)
+        engine.knn(small_summaries[0], 5)
+        assert engine.cache_hits == 0
+        assert engine.cache_len == 0
+
+    def test_clear_cache(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=8)
+        engine.knn(small_summaries[0], 5)
+        engine.clear_cache()
+        assert engine.cache_len == 0
+        engine.knn(small_summaries[0], 5)
+        assert engine.cache_hits == 0
+
+    def test_batch_reports_hits(self, small_index, small_summaries):
+        engine = QueryEngine(small_index, cache_size=8)
+        queries = [small_summaries[0]] * 4
+        batch = engine.knn_many(queries, 5, workers=1)
+        assert batch.metrics.cache_hits == 3
+        assert batch.metrics.cache_misses == 1
+        assert batch.metrics.cache_hit_rate == pytest.approx(0.75)
+
+
+class TestFingerprint:
+    def test_content_based(self, small_summaries):
+        import copy
+
+        clone = copy.deepcopy(small_summaries[0])
+        assert query_fingerprint(clone) == query_fingerprint(
+            small_summaries[0]
+        )
+        assert query_fingerprint(small_summaries[0]) != query_fingerprint(
+            small_summaries[1]
+        )
+
+    def test_rejects_non_summary(self):
+        with pytest.raises(TypeError):
+            query_fingerprint({"video_id": 1})
+
+
+class TestDegenerate:
+    def test_engine_over_emptied_index(self, small_summaries):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        for summary in small_summaries:
+            index.remove_video(summary.video_id)
+        engine = QueryEngine(index)
+        result = engine.knn(small_summaries[0], 5)
+        assert result.videos == ()
+        batch = engine.knn_many(list(small_summaries[:3]), 5, workers=2)
+        assert all(r.videos == () for r in batch.results)
+
+    def test_snapshot_reflects_build_time_state(self, small_summaries):
+        """The engine serves the index as of construction (snapshot)."""
+        index = VitriIndex.build(small_summaries[:-1], EPSILON)
+        engine = QueryEngine(index, cache_size=0)
+        before = engine.knn(small_summaries[0], 20)
+        assert small_summaries[-1].video_id not in before.videos

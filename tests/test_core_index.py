@@ -276,3 +276,98 @@ class TestRadiusValidation:
         )
         index = VitriIndex.build(small_summaries, EPSILON)
         index.insert_video(boundary)  # must not raise
+
+
+class TestSimilarityRangeBoundaries:
+    def test_threshold_exactly_one(self, small_index, small_summaries):
+        query = small_summaries[3]
+        result = small_index.similarity_range(query, 1.0)
+        # The video itself always scores 1.0, so the boundary keeps it.
+        assert query.video_id in result.videos
+        assert all(score >= 1.0 - 1e-12 for score in result.scores)
+
+    def test_threshold_just_above_zero(self, small_index, small_summaries):
+        query = small_summaries[0]
+        result = small_index.similarity_range(query, 1e-12)
+        full = small_index.knn(query, small_index.num_videos)
+        kept = {
+            video
+            for video, score in zip(full.videos, full.scores)
+            if score >= 1e-12
+        }
+        assert set(result.videos) == kept
+
+    def test_reports_own_stats(self, small_index, small_summaries):
+        """The range query's stats cover its own candidate pass (they are
+        not a reused knn stats object)."""
+        query = small_summaries[2]
+        result = small_index.similarity_range(query, 0.5)
+        knn_stats = small_index.knn(query, 1).stats
+        assert result.stats.ranges > 0
+        assert result.stats.candidates > 0
+        assert result.stats.page_requests > 0
+        # Same candidate pass as a knn over the same warm pools: every
+        # logical cost field agrees (only wall_time may differ).
+        assert result.stats.page_requests == knn_stats.page_requests
+        assert result.stats.node_visits == knn_stats.node_visits
+        assert (
+            result.stats.similarity_computations
+            == knn_stats.similarity_computations
+        )
+        assert result.stats.candidates == knn_stats.candidates
+        assert result.stats.ranges == knn_stats.ranges
+
+
+class TestConcurrentAccounting:
+    """Regression for the global-delta accounting bug: two queries running
+    in lockstep must each report exactly their solo-run stats.  (The old
+    implementation derived QueryStats from before/after deltas of the
+    shared pool counters, so interleaved queries swallowed each other's
+    page accesses.)"""
+
+    def test_lockstep_queries_report_solo_stats(self, small_summaries):
+        import sys
+        import threading
+
+        index = VitriIndex.build(small_summaries, EPSILON)
+        queries = [small_summaries[0], small_summaries[7]]
+        k = 5
+
+        # Warm the pools so physical reads are deterministically zero and
+        # every remaining stats field is interleave-independent.
+        for query in queries:
+            index.knn(query, k)
+        solo = [index.knn(query, k).stats for query in queries]
+
+        observed: dict[int, object] = {}
+        barrier = threading.Barrier(len(queries))
+
+        def run(slot: int) -> None:
+            barrier.wait()
+            observed[slot] = index.knn(queries[slot], k).stats
+
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force tight interleaving
+        try:
+            threads = [
+                threading.Thread(target=run, args=(slot,))
+                for slot in range(len(queries))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(switch)
+
+        for slot, expected in enumerate(solo):
+            got = observed[slot]
+            assert got.page_requests == expected.page_requests
+            assert got.physical_reads == expected.physical_reads
+            assert got.node_visits == expected.node_visits
+            assert (
+                got.similarity_computations
+                == expected.similarity_computations
+            )
+            assert got.candidates == expected.candidates
+            assert got.ranges == expected.ranges

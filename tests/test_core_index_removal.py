@@ -98,3 +98,35 @@ class TestRemoveVideo:
         index = VitriIndex.build(small_summaries, EPSILON)
         index.remove_video(0)
         assert 0.0 <= index.drift_angle() <= np.pi / 2
+
+
+class TestRemoveEverything:
+    """Degenerate path: an index whose every video has been removed."""
+
+    def emptied_index(self, small_summaries):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        for summary in small_summaries:
+            index.remove_video(summary.video_id)
+        return index
+
+    def test_knn_returns_empty(self, small_summaries):
+        index = self.emptied_index(small_summaries)
+        assert index.num_videos == 0
+        assert index.btree.num_entries == 0
+        result = index.knn(small_summaries[0], 5)
+        assert result.videos == ()
+        assert result.scores == ()
+        # The query still ran real range searches over the emptied tree.
+        assert result.stats.ranges > 0
+        assert result.stats.candidates == 0
+
+    def test_similarity_range_returns_empty(self, small_summaries):
+        index = self.emptied_index(small_summaries)
+        result = index.similarity_range(small_summaries[0], 0.5)
+        assert result.videos == ()
+
+    def test_reinsert_revives_queries(self, small_summaries):
+        index = self.emptied_index(small_summaries)
+        index.insert_video(small_summaries[3])
+        result = index.knn(small_summaries[3], 5)
+        assert result.videos[0] == small_summaries[3].video_id

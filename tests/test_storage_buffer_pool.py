@@ -161,3 +161,75 @@ class TestOrphanWriteThrough:
             tree.insert(float(i % 101), struct.pack("<q", i))
         check_tree(tree)
         assert len(tree.search(50.0)) == 2000 // 101 + (1 if 50 < 2000 % 101 else 0)
+
+
+class TestPerQueryCounters:
+    def test_fetch_populates_bundle(self):
+        from repro.utils.counters import CostCounters
+
+        pager, pool = make_pool(capacity=4)
+        page = pool.allocate()
+        pool.clear()
+        counters = CostCounters()
+        pool.fetch(page.page_id, counters)  # cold: miss
+        pool.fetch(page.page_id, counters)  # warm: hit
+        assert counters.page_requests == 2
+        assert counters.page_reads == 1
+
+    def test_bundle_isolated_between_queries(self):
+        from repro.utils.counters import CostCounters
+
+        pager, pool = make_pool(capacity=4)
+        page = pool.allocate()
+        first, second = CostCounters(), CostCounters()
+        pool.fetch(page.page_id, first)
+        pool.fetch(page.page_id, second)
+        assert first.page_requests == 1
+        assert second.page_requests == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_fetches_lose_no_counts(self):
+        """N threads x M fetches over one shared pool: the pool's global
+        counters and the per-thread bundles must both be exact."""
+        import sys
+        import threading
+
+        from repro.utils.counters import CostCounters
+
+        pager = Pager()
+        setup = BufferPool(pager, capacity=8)
+        page_ids = [setup.allocate().page_id for _ in range(8)]
+        setup.flush()
+
+        pool = BufferPool(pager, capacity=3)  # small: constant churn
+        num_threads, per_thread = 8, 400
+        bundles = [CostCounters() for _ in range(num_threads)]
+        barrier = threading.Barrier(num_threads)
+
+        def run(slot: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                pool.fetch(page_ids[(slot + i) % len(page_ids)], bundles[slot])
+
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [
+                threading.Thread(target=run, args=(slot,))
+                for slot in range(num_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(switch)
+
+        total = num_threads * per_thread
+        assert pool.requests == total
+        assert pool.hits + pool.misses == total
+        assert sum(b.page_requests for b in bundles) == total
+        assert sum(b.page_reads for b in bundles) == pool.misses
+        for bundle in bundles:
+            assert bundle.page_requests == per_thread

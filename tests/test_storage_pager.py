@@ -246,3 +246,61 @@ class TestChecksums:
             assert pager.num_pages == 1
             assert not any(pager.read_page(0).data)
             assert pager.verify_checksums() == 1
+
+
+class TestReadLatency:
+    """The simulated disk service time behind the serving benchmark."""
+
+    def test_default_zero(self):
+        assert Pager().read_latency == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            Pager(read_latency="slow")
+        with pytest.raises(TypeError):
+            Pager(read_latency=True)
+        with pytest.raises(ValueError):
+            Pager(read_latency=-0.001)
+
+    def test_reads_still_correct(self):
+        pager = Pager(read_latency=0.001)
+        page_id = pager.allocate_page()
+        page = Page(page_id)
+        page.data[0] = 42
+        pager.write_page(page)
+        assert pager.read_page(page_id).data[0] == 42
+        assert pager.physical_reads == 1
+
+    def test_latency_applied_per_read(self):
+        import time
+
+        pager = Pager(read_latency=0.01)
+        page_id = pager.allocate_page()
+        pager.write_page(Page(page_id))
+        start = time.perf_counter()
+        pager.read_page(page_id)
+        assert time.perf_counter() - start >= 0.01
+
+    def test_concurrent_reads_overlap_waits(self):
+        """Sleeps happen outside the pager lock: four concurrent reads of
+        a 10 ms-latency pager take far less than 4 x 10 ms."""
+        import threading
+        import time
+
+        pager = Pager(read_latency=0.01)
+        page_id = pager.allocate_page()
+        pager.write_page(Page(page_id))
+        barrier = threading.Barrier(4)
+
+        def read() -> None:
+            barrier.wait()
+            pager.read_page(page_id)
+
+        threads = [threading.Thread(target=read) for _ in range(4)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.035  # serial waits would need >= 0.04

@@ -61,3 +61,38 @@ class TestTimer:
     def test_zero_before_use(self):
         t = Timer()
         assert t.elapsed == 0.0
+
+
+class TestAdd:
+    def test_add_folds_in_place(self):
+        total = CostCounters(page_reads=1, page_requests=2)
+        total.extra["refines"] = 1
+        other = CostCounters(
+            page_reads=10,
+            page_requests=20,
+            page_writes=3,
+            distance_computations=4,
+            similarity_computations=5,
+            btree_node_visits=6,
+            records_scanned=7,
+        )
+        other.extra["refines"] = 2
+        other.extra["rounds"] = 1
+        total.add(other)
+        assert total.page_reads == 11
+        assert total.page_requests == 22
+        assert total.page_writes == 3
+        assert total.distance_computations == 4
+        assert total.similarity_computations == 5
+        assert total.btree_node_visits == 6
+        assert total.records_scanned == 7
+        assert total.extra == {"refines": 3, "rounds": 1}
+        # add mutates in place; the source is untouched.
+        assert other.page_reads == 10
+
+    def test_add_agrees_with_merge(self):
+        left = CostCounters(page_reads=2, similarity_computations=3)
+        right = CostCounters(page_reads=5, btree_node_visits=1)
+        merged = left.merge(right)
+        left.add(right)
+        assert left.snapshot() == merged.snapshot()
