@@ -56,6 +56,18 @@ from repro.datasets import (
     generate_dataset,
     video_histograms,
 )
+from repro.shard import (
+    HashPartitioner,
+    KeyRangePartitioner,
+    Partitioner,
+    ScatterStats,
+    Shard,
+    ShardedBatchResult,
+    ShardedKNNResult,
+    ShardedServingMetrics,
+    ShardedVideoDatabase,
+    make_partitioner,
+)
 from repro.temporal import temporal_video_similarity
 
 __version__ = "0.1.0"
@@ -82,6 +94,16 @@ __all__ = [
     "VideoDataset",
     "generate_dataset",
     "video_histograms",
+    "HashPartitioner",
+    "KeyRangePartitioner",
+    "Partitioner",
+    "ScatterStats",
+    "Shard",
+    "ShardedBatchResult",
+    "ShardedKNNResult",
+    "ShardedServingMetrics",
+    "ShardedVideoDatabase",
+    "make_partitioner",
     "temporal_video_similarity",
     "__version__",
 ]

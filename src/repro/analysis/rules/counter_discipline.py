@@ -28,6 +28,15 @@ accounting airtight, and this rule enforces all three:
    any interleaved query corrupts both queries' stats.  Cost fields must
    be read off a per-query ``CostCounters`` bundle (any base whose name
    mentions ``counter``).
+5. **No stats re-aggregation.**  A ``QueryStats(...)`` construction may
+   not read its cost fields off *other stats objects* either (any base
+   whose name mentions ``stats``) — e.g. the scatter-gather router
+   summing ``result.stats.page_requests`` over its shards.  Derived
+   stats double-count whatever the originals shared (a cache hit's
+   memoised stats, a retried range) and ``wall_time`` sums would erase
+   the overlap concurrency exists to create.  Aggregate by folding the
+   per-query ``CostCounters`` bundles (``CostCounters.add``) and build
+   the global stats from the folded bundle.
 """
 
 from __future__ import annotations
@@ -87,6 +96,21 @@ _GLOBAL_COUNTER_ATTRS = frozenset(
 )
 
 
+# QueryStats' own field names: reading one of these off another stats
+# object inside a QueryStats(...) construction is re-aggregation.
+_QUERYSTATS_FIELDS = frozenset(
+    {
+        "page_requests",
+        "physical_reads",
+        "node_visits",
+        "similarity_computations",
+        "candidates",
+        "ranges",
+        "wall_time",
+    }
+)
+
+
 def _call_name(node: ast.Call) -> str | None:
     """Trailing name of the called function (``a.b.f(...)`` -> ``f``)."""
     func = node.func
@@ -132,6 +156,29 @@ def _global_counter_reads(call: ast.Call) -> Iterator[ast.Attribute]:
                 isinstance(node, ast.Attribute)
                 and node.attr in _GLOBAL_COUNTER_ATTRS
                 and not _bundle_read(node)
+            ):
+                yield node
+
+
+def _stats_read(node: ast.Attribute) -> bool:
+    """Whether an attribute read comes off another stats object."""
+    base = node.value
+    if isinstance(base, ast.Name):
+        return "stats" in base.id.lower()
+    if isinstance(base, ast.Attribute):
+        return "stats" in base.attr.lower()
+    return False
+
+
+def _stats_reaggregation_reads(call: ast.Call) -> Iterator[ast.Attribute]:
+    """QueryStats-field reads off stats objects inside a call's args."""
+    values = list(call.args) + [kw.value for kw in call.keywords]
+    for value in values:
+        for node in ast.walk(value):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _QUERYSTATS_FIELDS
+                and _stats_read(node)
             ):
                 yield node
 
@@ -213,6 +260,16 @@ class CounterDisciplineRule(Rule):
                     "lifetime aggregates misattribute interleaved queries' "
                     "costs; populate query-cost fields from a per-query "
                     "CostCounters bundle",
+                )
+            for read in _stats_reaggregation_reads(node):
+                yield self.diagnostic(
+                    ctx,
+                    read,
+                    f"QueryStats built by re-aggregating '{read.attr}' from "
+                    "another stats object: derived stats double-count "
+                    "shared work and sum away concurrency overlap; fold "
+                    "the per-query CostCounters bundles instead and build "
+                    "the aggregate from the folded bundle",
                 )
         for func in _functions(ctx.tree):
             # Kernel definitions are the counted primitives themselves;

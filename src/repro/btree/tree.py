@@ -374,6 +374,39 @@ class BPlusTree:
                 return results
             leaf = self._load_leaf(leaf.next_leaf, counters)
 
+    def key_bounds(
+        self, *, counters: CostCounters | None = None
+    ) -> tuple[float, float] | None:
+        """Smallest and largest key currently stored; ``None`` when empty.
+
+        Two root-to-leaf descents (O(height) page accesses) in the common
+        case.  Lazy deletion can leave empty edge leaves: the low end
+        skips them by walking the chain forward, and an emptied rightmost
+        leaf falls back to a full forward walk.
+        """
+        if self._num_entries == 0:
+            return None
+        leaf, _ = self._descend_to_leaf(
+            -math.inf, leftmost=True, counters=counters
+        )
+        while leaf.count == 0 and leaf.next_leaf != NO_LEAF:
+            leaf = self._load_leaf(leaf.next_leaf, counters)
+        if leaf.count == 0:  # pragma: no cover - num_entries > 0 above
+            return None
+        low = leaf.keys[0]
+        rightmost, _ = self._descend_to_leaf(
+            math.inf, leftmost=False, counters=counters
+        )
+        if rightmost.count > 0:
+            return (low, rightmost.keys[rightmost.count - 1])
+        high = low
+        node = leaf
+        while node.next_leaf != NO_LEAF:
+            node = self._load_leaf(node.next_leaf, counters)
+            if node.count > 0:
+                high = node.keys[node.count - 1]
+        return (low, high)
+
     def iter_entries(
         self, *, counters: CostCounters | None = None
     ) -> Iterator[tuple[float, bytes]]:

@@ -28,6 +28,13 @@ given paths.
 disk (``--read-latency`` seconds per physical page read) and sweeps the
 concurrent query engine across worker counts, printing a throughput
 table and writing the full metrics to ``--out`` (JSON).
+
+``repro-video bench-shard`` does the same for the sharded scatter-gather
+router, sweeping fleet sizes instead of worker counts; every fleet's
+rankings are asserted identical to the 1-shard reference.  ``check
+--sharded`` verifies a durable fleet directory: each shard's page
+checksums, B+-tree invariants and heap accounting, plus the fleet-level
+placement report.
 """
 
 from __future__ import annotations
@@ -221,16 +228,145 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_shard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.serving import make_query_stream
+    from repro.eval.sharding import run_sharding_benchmark
+
+    if args.dataset:
+        dataset = VideoDataset.load(args.dataset)
+    else:
+        dataset = generate_dataset(seed=args.seed)
+    summaries = _summaries(dataset, args.epsilon)
+    try:
+        shard_counts = tuple(
+            int(part) for part in args.shards.split(",") if part
+        )
+    except ValueError:
+        print(
+            f"error: --shards must be comma-separated ints, "
+            f"got {args.shards!r}",
+            file=sys.stderr,
+        )
+        return 1
+    stream = make_query_stream(
+        summaries, args.queries, seed=args.seed, repeat_fraction=0.0
+    )
+    try:
+        results = run_sharding_benchmark(
+            summaries,
+            stream,
+            args.k,
+            epsilon=args.epsilon,
+            shard_counts=shard_counts,
+            partitioner=args.partitioner,
+            read_latency=args.read_latency,
+            buffer_capacity=args.buffer_capacity,
+            cache_size=0,
+            prune=not args.no_prune,
+            cold=True,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        (
+            run["shards"],
+            f"{run['qps']:.1f}",
+            f"{run['speedup_vs_single']:.2f}x",
+            f"{run['latency_p50'] * 1e3:.1f}",
+            f"{run['latency_p95'] * 1e3:.1f}",
+            f"{run['pruned_fraction']:.2f}",
+            run["total_physical_reads"],
+        )
+        for run in results["runs"]
+    ]
+    print(
+        format_table(
+            ["shards", "QPS", "speedup", "p50 ms", "p95 ms", "pruned", "reads"],
+            rows,
+            title=(
+                f"scatter-gather: {results['queries']} queries, "
+                f"k={results['k']}, {args.partitioner} placement, "
+                f"read latency {args.read_latency * 1e3:.1f} ms"
+            ),
+        )
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"\nwrote metrics to {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args)
 
 
+def _check_sharded(args: argparse.Namespace) -> int:
+    from repro.btree.checker import check_tree
+    from repro.shard.router import ShardedVideoDatabase
+    from repro.storage.serialization import ChecksumError
+
+    try:
+        # Reopening performs each shard's standard WAL recovery and the
+        # fleet's reconciliation (exactly what a restart would do).
+        fleet = ShardedVideoDatabase(path=args.index)
+    except (ChecksumError, ValueError, OSError) as exc:
+        print(f"error: cannot open fleet: {exc}", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    misplaced = 0
+    for shard in fleet.shards:
+        label = f"shard {shard.shard_id}"
+        if len(shard) == 0:
+            print(f"{label}: empty")
+            continue
+        index = shard.database.index
+        try:
+            pages = index.btree.buffer_pool.pager.verify_checksums()
+            pages += index.heap.buffer_pool.pager.verify_checksums()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"{label} checksum: {exc}")
+            continue
+        try:
+            check_tree(index.btree)
+        except AssertionError as exc:
+            failures.append(f"{label} btree: {exc}")
+        heap_violations = index.heap.verify()
+        failures.extend(f"{label} heap: {v}" for v in heap_violations)
+        for summary in shard.summaries():
+            if fleet.partitioner.shard_for(summary) != shard.shard_id:
+                misplaced += 1
+        print(
+            f"{label}: {len(shard)} video(s), {pages} page frame(s) "
+            "verified, invariants hold"
+        )
+    if misplaced:
+        # Legal after a crash mid-rebalance (placement is a performance
+        # matter, not a correctness one) — report, don't fail.
+        print(f"note: {misplaced} video(s) off their partitioned shard")
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.index}: consistent ({len(fleet)} videos across "
+        f"{fleet.num_shards} shards, {fleet.partitioner.name} placement)"
+    )
+    fleet.close()
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.btree.checker import check_tree
     from repro.storage.serialization import ChecksumError
 
+    if args.sharded:
+        return _check_sharded(args)
     try:
         index = VitriIndex.open(
             f"{args.index}.btree",
@@ -381,7 +517,16 @@ def build_parser() -> argparse.ArgumentParser:
             "accounting of an index written by 'build'."
         ),
     )
-    check.add_argument("--index", required=True, help="index file prefix")
+    check.add_argument(
+        "--index",
+        required=True,
+        help="index file prefix (or fleet directory with --sharded)",
+    )
+    check.add_argument(
+        "--sharded",
+        action="store_true",
+        help="treat --index as a ShardedVideoDatabase fleet directory",
+    )
     check.set_defaults(func=_cmd_check)
 
     bench_serve = commands.add_parser(
@@ -429,6 +574,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write full metrics JSON here"
     )
     bench_serve.set_defaults(func=_cmd_bench_serve)
+
+    bench_shard = commands.add_parser(
+        "bench-shard",
+        help="benchmark the sharded scatter-gather router",
+        description=(
+            "Sweep fleet sizes over a seeded query stream against "
+            "simulated-latency disks; every fleet's rankings are asserted "
+            "identical to the 1-shard reference. Write metrics as JSON."
+        ),
+    )
+    bench_shard.add_argument(
+        "--dataset",
+        default=None,
+        help=".npz dataset (default: generate a small synthetic one)",
+    )
+    bench_shard.add_argument("--epsilon", type=float, default=0.3)
+    bench_shard.add_argument("--k", type=int, default=10)
+    bench_shard.add_argument(
+        "--queries", type=int, default=16, help="query-stream length"
+    )
+    bench_shard.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts (must start with 1)",
+    )
+    bench_shard.add_argument(
+        "--partitioner", choices=("key_range", "hash"), default="key_range"
+    )
+    bench_shard.add_argument(
+        "--read-latency",
+        type=float,
+        default=0.002,
+        help="simulated seconds per physical page read",
+    )
+    bench_shard.add_argument("--buffer-capacity", type=int, default=32)
+    bench_shard.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable key-bounds shard pruning",
+    )
+    bench_shard.add_argument("--seed", type=int, default=0)
+    bench_shard.add_argument(
+        "--out", default=None, help="write full metrics JSON here"
+    )
+    bench_shard.set_defaults(func=_cmd_bench_shard)
 
     lint = commands.add_parser(
         "lint",

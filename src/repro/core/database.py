@@ -83,6 +83,10 @@ class VideoDatabase:
         arguments and the index reopens at its last checkpoint.
     buffer_capacity:
         LRU buffer-pool capacity (pages) for each durable page store.
+    read_latency:
+        Simulated seconds slept per physical page read (benchmarking
+        seam; reads sleep outside the pager lock so concurrent readers
+        overlap their waits).
     fault_injector:
         Optional :class:`~repro.storage.faults.FaultInjector` routed to
         every disk operation of a durable database; testing only.
@@ -97,6 +101,7 @@ class VideoDatabase:
         summarize_seed: int = 0,
         path: str | os.PathLike | None = None,
         buffer_capacity: int = 256,
+        read_latency: float = 0.0,
         fault_injector=None,
     ) -> None:
         self._epsilon = check_positive(epsilon, "epsilon")
@@ -106,6 +111,8 @@ class VideoDatabase:
         self._pending: list[VideoSummary] = []
         self._index: VitriIndex | None = None
         self._next_video_id = 0
+        self._buffer_capacity = buffer_capacity
+        self._read_latency = read_latency
         self.rebuilds = 0
 
         self._path = os.fspath(path) if path is not None else None
@@ -147,6 +154,7 @@ class VideoDatabase:
                 wal=self._wal,
                 wal_file_id=_BTREE_FILE_ID,
                 fault_injector=self._faults,
+                read_latency=self._read_latency,
             ),
             capacity=buffer_capacity,
         )
@@ -156,6 +164,7 @@ class VideoDatabase:
                 wal=self._wal,
                 wal_file_id=_HEAP_FILE_ID,
                 fault_injector=self._faults,
+                read_latency=self._read_latency,
             ),
             capacity=buffer_capacity,
         )
@@ -222,22 +231,56 @@ class VideoDatabase:
             video_id = self._next_video_id
         if not isinstance(video_id, int) or isinstance(video_id, bool):
             raise TypeError("video_id must be an int")
-        known = {s.video_id for s in self._pending}
-        if self._index is not None:
-            known |= set(self._index.video_frames)
-        if video_id in known:
-            raise ValueError(f"video id {video_id} already present")
-        self._next_video_id = max(self._next_video_id, video_id + 1)
-
+        self._check_id_free(video_id)
         summary = summarize_video(
             video_id, frames, self._epsilon, seed=self._seed + video_id
         )
+        return self.add_summary(summary)
+
+    def add_summary(self, summary: VideoSummary) -> int:
+        """Add a pre-built summary (its ``video_id`` must be unused).
+
+        The summary must have been produced with this database's epsilon
+        (checked at index time via the radius bound).  This is the
+        ingestion seam the sharded router uses: it summarises once and
+        routes the summary to the owning shard, so a sharded and an
+        unsharded database store bit-identical summaries for the same
+        frames.
+        """
+        self._check_open()
+        if not isinstance(summary, VideoSummary):
+            raise TypeError("summary must be a VideoSummary")
+        self._check_id_free(summary.video_id)
+        self._next_video_id = max(self._next_video_id, summary.video_id + 1)
         if self._index is None:
             self._pending.append(summary)
         else:
             self._index.insert_video(summary)
             self._maybe_rebuild()
-        return video_id
+        return summary.video_id
+
+    def _check_id_free(self, video_id: int) -> None:
+        if video_id in self.video_ids():
+            raise ValueError(f"video id {video_id} already present")
+
+    def video_ids(self) -> set[int]:
+        """Ids of every stored video (pending and indexed)."""
+        known = {s.video_id for s in self._pending}
+        if self._index is not None:
+            known |= set(self._index.video_frames)
+        return known
+
+    def summaries(self) -> list[VideoSummary]:
+        """Every stored video's summary (pending first, then indexed).
+
+        Indexed summaries are reconstructed from the heap — a full scan,
+        meant for shard rebalancing and migration, not the query path.
+        """
+        self._check_open()
+        stored = list(self._pending)
+        if self._index is not None:
+            stored.extend(self._index.summaries())
+        return stored
 
     def add_many(self, videos) -> list[int]:
         """Add an iterable of frame matrices; returns their ids."""
@@ -267,6 +310,22 @@ class VideoDatabase:
                     reference=self._reference,
                     btree_pool=self._btree_pool,
                     heap_pool=self._heap_pool,
+                )
+            elif self._read_latency > 0.0:
+                # In-memory pagers with a simulated disk: reads sleep
+                # outside the pager lock, the serving benchmarks' model.
+                self._index = VitriIndex.build(
+                    self._pending,
+                    self._epsilon,
+                    reference=self._reference,
+                    btree_pool=BufferPool(
+                        Pager(read_latency=self._read_latency),
+                        capacity=self._buffer_capacity,
+                    ),
+                    heap_pool=BufferPool(
+                        Pager(read_latency=self._read_latency),
+                        capacity=self._buffer_capacity,
+                    ),
                 )
             else:
                 self._index = VitriIndex.build(

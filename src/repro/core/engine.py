@@ -18,11 +18,14 @@ The paper measures one query at a time; a production deployment serves a
   even under arbitrary interleaving.  Worker totals are aggregated with
   :meth:`CostCounters.add`, never read from global pool counters.
 * **Result cache.**  A size-bounded LRU keyed on
-  ``(query fingerprint, k, method)`` memoises whole results.  The
-  fingerprint hashes the query's *content* (dimension, frame count and
-  every ViTri's position/radius/count), so equal queries hit regardless of
-  object identity.  A cache hit returns the memoised result, including
-  its original stats.
+  ``(snapshot token, query fingerprint, k, method)`` memoises whole
+  results.  The fingerprint hashes the query's *content* (dimension,
+  frame count and every ViTri's position/radius/count), so equal queries
+  hit regardless of object identity; the snapshot token is the index's
+  :meth:`~repro.core.index.VitriIndex.content_token`, so a cache carried
+  across :meth:`QueryEngine.refresh` (or shared between shards) can never
+  return a ranking computed over different content.  A cache hit returns
+  the memoised result, including its original stats.
 
 Throughput scaling comes from overlapping simulated disk waits: build the
 index over a ``Pager(read_latency=...)`` and each physical read sleeps
@@ -185,8 +188,23 @@ class QueryEngine:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
 
-        # Snapshot: push the index's dirty pages down so fresh pools see
-        # the committed tree.  The pager itself is thread-safe.
+        self._index = index
+        self._buffer_capacity = buffer_capacity
+        self._cache_size = cache_size
+        self._cache: OrderedDict[
+            tuple[str, str, int, str], KNNResult
+        ] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._take_snapshot()
+
+    def _take_snapshot(self) -> None:
+        """(Re-)snapshot the served index: push the index's dirty pages
+        down so fresh pools see the committed tree (the pager itself is
+        thread-safe), and stamp the snapshot's content token into the
+        cache key space."""
+        index = self._index
         index.flush_pages()
         self._pager = index.btree.buffer_pool.pager
         self._codec = index.codec
@@ -194,16 +212,19 @@ class QueryEngine:
         self._epsilon = index.epsilon
         self._dim = index.dim
         self._video_frames = index.video_frames
-        self._buffer_capacity = buffer_capacity
-
-        self._cache_size = cache_size
-        self._cache: OrderedDict[tuple[str, int, str], KNNResult] = OrderedDict()
-        self._cache_lock = threading.Lock()
-        self.cache_hits = 0
-        self.cache_misses = 0
-
-        # Dedicated view for the single-query path.
+        self._snapshot_token = index.content_token()
+        # Dedicated view for the single-query path (fresh pool: a stale
+        # pool could hold pre-refresh page images).
         self._serial_view = _WorkerView(self)
+
+    def refresh(self) -> None:
+        """Re-snapshot after the underlying index was mutated.
+
+        Memoised results stay in the cache but become unreachable (their
+        keys carry the old snapshot token) and age out of the LRU — a
+        query can never be answered from a stale snapshot's ranking.
+        """
+        self._take_snapshot()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -212,6 +233,11 @@ class QueryEngine:
     def dim(self) -> int:
         """Feature-space dimensionality of the served index."""
         return self._dim
+
+    @property
+    def snapshot_token(self) -> str:
+        """Content token of the snapshot currently served (cache key part)."""
+        return self._snapshot_token
 
     @property
     def cache_size(self) -> int:
@@ -239,15 +265,20 @@ class QueryEngine:
         *,
         method: str = "composed",
         cold: bool = False,
+        out_counters: CostCounters | None = None,
     ) -> KNNResult:
         """Serve one KNN query on the engine's serial view.
 
         Identical semantics to :meth:`VitriIndex.knn`, but over the
         engine's snapshot, with its result cache, and with ``cold``
-        clearing only this view's private pool.
+        clearing only this view's private pool.  ``out_counters``
+        receives the query's event bundle (a cache hit contributes
+        nothing: no work was done) — the shard router's aggregation seam.
         """
         _check_query_args(query, k, method, self._dim)
-        result, _ = self._serve(self._serial_view, query, k, method, cold)
+        result, _ = self._serve(
+            self._serial_view, query, k, method, cold, out_counters
+        )
         return result
 
     def knn_many(
@@ -371,9 +402,10 @@ class QueryEngine:
         k: int,
         method: str,
         cold: bool,
+        out_counters: CostCounters | None = None,
     ) -> tuple[KNNResult, bool]:
         """Serve one query on a worker view; returns (result, cache_hit)."""
-        key = (query_fingerprint(query), k, method)
+        key = (self._snapshot_token, query_fingerprint(query), k, method)
         if self._cache_size > 0:
             with self._cache_lock:
                 cached = self._cache.get(key)
@@ -410,6 +442,8 @@ class QueryEngine:
         )
         result = KNNResult(videos=videos, scores=kept_scores, stats=stats)
         view.counters.add(counters)
+        if out_counters is not None:
+            out_counters.add(counters)
         view.queries_served += 1
 
         if self._cache_size > 0:

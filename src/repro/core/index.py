@@ -38,7 +38,9 @@ silently corrupted both queries' stats whenever two queries interleaved
 
 from __future__ import annotations
 
+import hashlib
 import json
+import struct
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -57,7 +59,7 @@ from repro.storage.heap_file import HeapFile
 from repro.storage.pager import Pager
 from repro.storage.serialization import ViTriRecord, ViTriRecordCodec
 from repro.utils.counters import CostCounters, Timer
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["KNNResult", "QueryStats", "TOMBSTONE_VIDEO_ID", "VitriIndex"]
 
@@ -136,8 +138,7 @@ def _check_query_args(query: VideoSummary, k: int, method: str, dim: int) -> Non
         raise ValueError(
             f"query dimension {query.dim} != index dimension {dim}"
         )
-    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
-        raise ValueError(f"k must be a positive int, got {k}")
+    check_positive_int(k, "k")
     if method not in ("composed", "naive"):
         raise ValueError(f"method must be 'composed' or 'naive', got {method!r}")
 
@@ -219,6 +220,12 @@ def _execute_query(
             )
 
     counters.records_scanned += candidates
+    # Range-search count rides in the bundle's extra dict so aggregators
+    # (the shard router) can rebuild every QueryStats field from bundles
+    # alone, never from other QueryStats objects.
+    counters.extra["range_searches"] = (
+        counters.extra.get("range_searches", 0) + len(search_ranges)
+    )
     return accumulator.scores(), candidates, len(search_ranges)
 
 
@@ -414,6 +421,31 @@ class VitriIndex:
         """Frame count per indexed video id (copy)."""
         return dict(self._video_frames)
 
+    def content_token(self) -> str:
+        """Hash identifying this index's *content snapshot*.
+
+        Changes whenever a video is inserted or removed (and across
+        distinct indexes/shards), so result caches keyed on it can never
+        serve a ranking computed over different content.  Cheap: hashes
+        only in-memory metadata, no page I/O.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            struct.pack(
+                "<IdQQ",
+                self._dim,
+                self._epsilon,
+                self._next_vitri_id,
+                self._btree.num_entries,
+            )
+        )
+        digest.update(self._transform.reference_point_.tobytes())
+        for video_id in sorted(self._video_frames):
+            digest.update(
+                struct.pack("<QQ", video_id, self._video_frames[video_id])
+            )
+        return digest.hexdigest()
+
     def clear_caches(self) -> None:
         """Flush and drop both buffer pools (cold-start a measurement)."""
         self._btree.buffer_pool.clear()
@@ -557,6 +589,12 @@ class VitriIndex:
             return np.zeros((0, self._dim))
         return np.stack(positions)
 
+    def summaries(self) -> list[VideoSummary]:
+        """Reconstruct every indexed video's summary from the heap
+        (video-id ascending).  Full heap scan — intended for rebuilds,
+        shard rebalancing and manifest reconciliation, not queries."""
+        return self._reconstruct_summaries()
+
     def _reconstruct_summaries(self) -> list[VideoSummary]:
         by_video: dict[int, list[ViTri]] = defaultdict(list)
         for _, payload in self._heap.scan():
@@ -589,6 +627,7 @@ class VitriIndex:
         *,
         method: str = "composed",
         cold: bool = False,
+        out_counters: CostCounters | None = None,
     ) -> KNNResult:
         """Find the top-``k`` most similar database videos.
 
@@ -606,6 +645,10 @@ class VitriIndex:
         cold:
             Clear the buffer pools first so the reported I/O reflects a
             cold cache.
+        out_counters:
+            Optional caller-owned bundle the query's events are folded
+            into (in addition to the returned stats) — the seam the
+            shard router uses to aggregate per-shard costs.
         """
         _check_query_args(query, k, method, self._dim)
         if cold:
@@ -637,6 +680,8 @@ class VitriIndex:
             ranges=ranges,
             wall_time=timer.elapsed,
         )
+        if out_counters is not None:
+            out_counters.add(counters)
         return KNNResult(videos=videos, scores=kept_scores, stats=stats)
 
     def similarity_range(
@@ -646,6 +691,7 @@ class VitriIndex:
         *,
         method: str = "composed",
         cold: bool = False,
+        out_counters: CostCounters | None = None,
     ) -> KNNResult:
         """All videos whose similarity to the query is at least the
         threshold, ranked (an epsilon-range query at video level).
@@ -697,6 +743,8 @@ class VitriIndex:
             ranges=ranges,
             wall_time=timer.elapsed,
         )
+        if out_counters is not None:
+            out_counters.add(counters)
         return KNNResult(videos=videos, scores=kept_scores, stats=stats)
 
     # ------------------------------------------------------------------

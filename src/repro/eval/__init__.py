@@ -8,8 +8,11 @@ from repro.eval.harness import aggregate_stats, format_table
 from repro.eval.metrics import precision_at_k
 from repro.eval.refine import refine_ranking, refined_knn
 from repro.eval.serving import make_query_stream, run_serving_benchmark
+from repro.eval.sharding import build_fleet, run_sharding_benchmark
 
 __all__ = [
+    "build_fleet",
+    "run_sharding_benchmark",
     "GroundTruthCache",
     "knn_ground_truth",
     "aggregate_stats",

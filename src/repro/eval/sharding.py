@@ -1,0 +1,175 @@
+"""Scatter-gather scaling evaluation for the sharded database.
+
+The sharding acceptance question is twofold: does a sharded fleet return
+*exactly* the unsharded rankings, and does scattering a query across N
+shards actually cut its latency?  :func:`run_sharding_benchmark` answers
+both over one seeded query stream: every shard-count configuration's
+rankings are asserted identical to a single-shard reference pass, and the
+report records per-configuration throughput, latency percentiles, prune
+rates and per-shard I/O — the payload of ``BENCH_sharding.json``.
+
+Disk model: as with the serving benchmark, scatter-gather pays off when
+queries wait on the disk.  Every shard is built over pagers with
+``read_latency``, so a query's per-shard sub-searches sleep concurrently
+— N shards overlap N disks — while the merge itself is microseconds of
+CPU.  With zero latency the sweep still verifies exactness, it just
+reports CPU-bound (flat) speedups.
+"""
+
+from __future__ import annotations
+
+from repro.core.vitri import VideoSummary
+from repro.shard.partitioner import KeyRangePartitioner
+from repro.shard.router import ShardedVideoDatabase
+
+__all__ = ["build_fleet", "run_sharding_benchmark"]
+
+
+def build_fleet(
+    summaries: list[VideoSummary],
+    num_shards: int,
+    *,
+    epsilon: float,
+    partitioner: str = "key_range",
+    read_latency: float = 0.0,
+    buffer_capacity: int = 32,
+    cache_size: int = 0,
+) -> ShardedVideoDatabase:
+    """An in-memory fleet holding ``summaries`` across ``num_shards``.
+
+    ``key_range`` placement is *fitted* to the summaries (quantile
+    boundaries — balanced shards), matching how a production fleet would
+    be provisioned; ``hash`` placement needs no fitting.
+    """
+    if partitioner == "key_range":
+        routed = KeyRangePartitioner.fit(summaries, num_shards)
+        fleet = ShardedVideoDatabase(
+            epsilon,
+            partitioner=routed,
+            read_latency=read_latency,
+            buffer_capacity=buffer_capacity,
+            cache_size=cache_size,
+        )
+    else:
+        fleet = ShardedVideoDatabase(
+            epsilon,
+            partitioner=partitioner,
+            num_shards=num_shards,
+            read_latency=read_latency,
+            buffer_capacity=buffer_capacity,
+            cache_size=cache_size,
+        )
+    for summary in summaries:
+        fleet.add_summary(summary)
+    fleet.build()
+    return fleet
+
+
+def run_sharding_benchmark(
+    summaries: list[VideoSummary],
+    stream: list[VideoSummary],
+    k: int,
+    *,
+    epsilon: float,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    partitioner: str = "key_range",
+    read_latency: float = 0.0,
+    buffer_capacity: int = 32,
+    cache_size: int = 0,
+    method: str = "composed",
+    prune: bool = True,
+    cold: bool = True,
+) -> dict:
+    """Sweep fleet sizes over one query stream; return the results dict.
+
+    Every shard count gets a freshly built fleet over the *same*
+    summaries, and every configuration's rankings are asserted identical
+    to the 1-shard reference pass — a routing or merge bug fails the
+    benchmark instead of shipping wrong answers with a nice speedup.
+
+    The returned dict is JSON-serialisable::
+
+        {"k", "queries", "partitioner", "shard_counts",
+         "runs": [ShardedServingMetrics.to_dict()
+                  + {"shards", "speedup_vs_single", "pruned_fraction"},
+                  ...],
+         "max_speedup"}
+
+    ``speedup_vs_single`` is each run's QPS over the 1-shard run's QPS —
+    the scatter-gather acceptance number.  ``cold=True`` (the default)
+    clears serving pools per query so every configuration pays its real
+    I/O instead of amortising it into the cache.
+    """
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    if not shard_counts:
+        raise ValueError("shard_counts must be non-empty")
+    if shard_counts[0] != 1:
+        raise ValueError(
+            "shard_counts must start with 1 (the exactness/speedup "
+            f"reference), got {shard_counts}"
+        )
+
+    runs: list[dict] = []
+    reference: list[tuple[tuple[int, ...], tuple[float, ...]]] = []
+    reference_qps: float | None = None
+    for num_shards in shard_counts:
+        fleet = build_fleet(
+            summaries,
+            num_shards,
+            epsilon=epsilon,
+            partitioner=partitioner,
+            read_latency=read_latency,
+            buffer_capacity=buffer_capacity,
+            cache_size=cache_size,
+        )
+        batch = fleet.serve_many(
+            stream, k, method=method, prune=prune, cold=cold
+        )
+        if not reference:
+            reference = [
+                (result.videos, result.scores) for result in batch.results
+            ]
+        else:
+            for position, (expected, result) in enumerate(
+                zip(reference, batch.results)
+            ):
+                if expected[0] != result.videos:
+                    raise RuntimeError(
+                        f"{num_shards} shards changed the ranking of "
+                        f"stream position {position}: {expected[0]} != "
+                        f"{result.videos}"
+                    )
+        queried = sum(
+            len(result.scatter.shards_queried) for result in batch.results
+        )
+        pruned = sum(
+            len(result.scatter.shards_pruned) for result in batch.results
+        )
+        entry = batch.metrics.to_dict()
+        entry["shards"] = num_shards
+        entry["pruned_fraction"] = (
+            pruned / (queried + pruned) if queried + pruned else 0.0
+        )
+        if reference_qps is None:
+            reference_qps = entry["qps"]
+        entry["speedup_vs_single"] = (
+            entry["qps"] / reference_qps if reference_qps > 0.0 else 0.0
+        )
+        runs.append(entry)
+
+    return {
+        "k": k,
+        "queries": len(stream),
+        "videos": len(summaries),
+        "partitioner": partitioner,
+        "method": method,
+        "prune": prune,
+        "cold": cold,
+        "read_latency": read_latency,
+        "buffer_capacity": buffer_capacity,
+        "cache_size": cache_size,
+        "shard_counts": list(shard_counts),
+        "runs": runs,
+        "max_speedup": max(run["speedup_vs_single"] for run in runs),
+    }

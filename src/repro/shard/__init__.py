@@ -1,0 +1,33 @@
+"""Sharded ViTri database: partitioners, shards, scatter-gather router."""
+
+from __future__ import annotations
+
+from repro.shard.partitioner import (
+    HashPartitioner,
+    KeyRangePartitioner,
+    Partitioner,
+    make_partitioner,
+    partitioner_from_dict,
+)
+from repro.shard.router import (
+    ScatterStats,
+    ShardedBatchResult,
+    ShardedKNNResult,
+    ShardedServingMetrics,
+    ShardedVideoDatabase,
+)
+from repro.shard.shard import Shard
+
+__all__ = [
+    "HashPartitioner",
+    "KeyRangePartitioner",
+    "Partitioner",
+    "ScatterStats",
+    "Shard",
+    "ShardedBatchResult",
+    "ShardedKNNResult",
+    "ShardedServingMetrics",
+    "ShardedVideoDatabase",
+    "make_partitioner",
+    "partitioner_from_dict",
+]

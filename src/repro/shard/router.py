@@ -1,0 +1,903 @@
+"""Scatter-gather query routing over a fleet of ViTri shards.
+
+:class:`ShardedVideoDatabase` presents the :class:`~repro.core.database.VideoDatabase`
+surface over many shards.  Placement, fan-out and aggregation all live
+here; the shards themselves are ordinary single-node databases.
+
+Exactness
+---------
+Every video lives *entirely* on one shard (the partitioner routes whole
+summaries), so a video's similarity score is computed shard-locally and
+is identical to what an unsharded index would compute — scores depend
+only on the query and the video's own ViTris, never on the shard's
+transform.  A global top-``k`` therefore is an exact merge of per-shard
+top-``k`` lists: any video in the global top-``k`` is necessarily in its
+own shard's top-``k``.  The merge reuses the index's ranking rule
+(score-descending, video-id tie-break), so a sharded and an unsharded
+database return *identical* rankings for the same content.
+
+Pruning
+-------
+Before scattering, the router asks each shard whether the query's
+composed key ranges (in that shard's own key space) overlap the shard's
+B+-tree key bounds.  The key filter is lossless, so a miss proves the
+shard contributes zero-similarity videos only and it is skipped without
+affecting the ranking.  Under a :class:`~repro.shard.partitioner.KeyRangePartitioner`
+nearby videos share shards, so selective queries typically touch one or
+two shards.
+
+Cost accounting
+---------------
+Each scattered sub-query folds its events into a per-shard
+:class:`~repro.utils.counters.CostCounters` bundle (the ``out_counters``
+seam); the router sums the bundles — plus its own pruning I/O — into one
+bundle and builds the global :class:`~repro.core.index.QueryStats` from
+that bundle alone, never by re-aggregating per-shard ``QueryStats``
+objects (enforced by the ``counter-discipline`` lint rule).  Wall time
+is the router's own scatter-to-merge span, so overlap across shards is
+visible as ``wall_time`` < sum of per-shard times.
+
+Durability
+----------
+A durable fleet is a directory of shard directories plus a
+``shards.json`` manifest (partitioner, shard list, id counter).
+:meth:`ShardedVideoDatabase.checkpoint` checkpoints every shard through
+its own write-ahead log — each one individually atomic — then replaces
+the manifest atomically.  Reopening reconciles the fleet: each shard
+recovers to its own last checkpoint, the id counter is the max of the
+manifest's and every shard's content, and any video found on two shards
+(a crash between the two shard checkpoints of a rebalance) is kept only
+on the shard the partitioner routes it to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.core.index import KNNResult, QueryStats, _rank
+from repro.core.summarize import summarize_video
+from repro.core.vitri import VideoSummary
+from repro.shard.partitioner import (
+    KeyRangePartitioner,
+    Partitioner,
+    make_partitioner,
+    partitioner_from_dict,
+)
+from repro.shard.shard import Shard
+from repro.utils.counters import CostCounters, Timer
+from repro.utils.validation import check_matrix, check_positive, check_positive_int
+
+__all__ = [
+    "ScatterStats",
+    "ShardedBatchResult",
+    "ShardedKNNResult",
+    "ShardedServingMetrics",
+    "ShardedVideoDatabase",
+]
+
+_MANIFEST_FILE = "shards.json"
+_MANIFEST_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ScatterStats:
+    """How one query's fan-out went.
+
+    Attributes
+    ----------
+    shards_total:
+        Fleet size at query time.
+    shards_queried:
+        Ids of the shards actually scattered to.
+    shards_pruned:
+        Ids of the populated shards skipped by the key-bounds check.
+    """
+
+    shards_total: int
+    shards_queried: tuple[int, ...]
+    shards_pruned: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ShardedKNNResult:
+    """A sharded query's outcome: ranked videos, global cost, fan-out."""
+
+    videos: tuple[int, ...]
+    scores: tuple[float, ...]
+    stats: QueryStats
+    scatter: ScatterStats
+
+    def __len__(self) -> int:
+        return len(self.videos)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+@dataclass(frozen=True)
+class ShardedServingMetrics:
+    """Aggregate outcome of one :meth:`ShardedVideoDatabase.serve_many`
+    batch, built from per-shard counter bundles."""
+
+    queries: int
+    shards: int
+    wall_time: float
+    qps: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    cache_hits: int
+    cache_misses: int
+    shard_page_requests: tuple[int, ...]
+    shard_physical_reads: tuple[int, ...]
+    total_page_requests: int
+    total_physical_reads: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (what ``BENCH_sharding.json`` records)."""
+        return {
+            "queries": self.queries,
+            "shards": self.shards,
+            "wall_time": self.wall_time,
+            "qps": self.qps,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shard_page_requests": list(self.shard_page_requests),
+            "shard_physical_reads": list(self.shard_physical_reads),
+            "total_page_requests": self.total_page_requests,
+            "total_physical_reads": self.total_physical_reads,
+        }
+
+
+@dataclass(frozen=True)
+class ShardedBatchResult:
+    """Results of a served batch, in query order, plus its metrics."""
+
+    results: tuple[ShardedKNNResult, ...]
+    metrics: ShardedServingMetrics
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class ShardedVideoDatabase:
+    """A :class:`~repro.core.database.VideoDatabase` sharded behind a router.
+
+    Parameters
+    ----------
+    epsilon:
+        Frame similarity threshold (shared by every shard).
+    partitioner:
+        A :class:`~repro.shard.partitioner.Partitioner` instance, or a
+        kind name (``"hash"`` / ``"key_range"``) resolved through
+        :func:`~repro.shard.partitioner.make_partitioner` with
+        ``num_shards``.
+    num_shards:
+        Fleet size; required when ``partitioner`` is a kind name, must
+        match (or be omitted) when it is an instance.
+    path:
+        Fleet directory (one sub-directory per shard plus the
+        ``shards.json`` manifest).  When it already holds a manifest the
+        stored configuration wins over the constructor arguments and
+        every shard reopens at its last checkpoint.  ``None`` for an
+        in-memory fleet.
+    reference, summarize_seed, buffer_capacity, read_latency, cache_size:
+        Forwarded to every shard (identical fleet-wide, so summaries are
+        interchangeable and a sharded database stores bit-identical
+        summaries to an unsharded one).
+    fault_injector:
+        One :class:`~repro.storage.faults.FaultInjector` shared by every
+        shard *and* the manifest write, so a crash-point sweep covers the
+        whole fleet checkpoint; testing only.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.3,
+        *,
+        partitioner: Partitioner | str = "hash",
+        num_shards: int | None = None,
+        path: str | os.PathLike | None = None,
+        reference: str = "optimal",
+        summarize_seed: int = 0,
+        buffer_capacity: int = 256,
+        read_latency: float = 0.0,
+        cache_size: int = 128,
+        fault_injector=None,
+    ) -> None:
+        self._epsilon = check_positive(epsilon, "epsilon")
+        self._reference = reference
+        self._seed = summarize_seed
+        self._buffer_capacity = buffer_capacity
+        self._read_latency = read_latency
+        self._cache_size = cache_size
+        self._faults = fault_injector
+        self._path = os.fspath(path) if path is not None else None
+        self._closed = False
+        self._next_video_id = 0
+        self._created_shards = 0
+        self._shards: list[Shard] = []
+        self._membership: dict[int, int] = {}
+
+        manifest_path = (
+            os.path.join(self._path, _MANIFEST_FILE)
+            if self._path is not None
+            else None
+        )
+        if manifest_path is not None and os.path.exists(manifest_path):
+            self._reopen(manifest_path)
+            return
+
+        if isinstance(partitioner, str):
+            self._partitioner = make_partitioner(partitioner, num_shards)
+        elif isinstance(partitioner, Partitioner):
+            if (
+                num_shards is not None
+                and num_shards != partitioner.num_shards
+            ):
+                raise ValueError(
+                    f"num_shards={num_shards} conflicts with the "
+                    f"partitioner's {partitioner.num_shards} shards"
+                )
+            self._partitioner = partitioner
+        else:
+            raise TypeError(
+                "partitioner must be a Partitioner or a kind name"
+            )
+        if self._path is not None:
+            os.makedirs(self._path, exist_ok=True)
+        for _ in range(self._partitioner.num_shards):
+            self._shards.append(self._new_shard())
+
+    def _new_shard(self) -> Shard:
+        """Construct the next shard (fresh directory for durable fleets)."""
+        shard_dir = None
+        if self._path is not None:
+            shard_dir = os.path.join(
+                self._path, f"shard-{self._created_shards:04d}"
+            )
+        shard = Shard(
+            len(self._shards),
+            epsilon=self._epsilon,
+            reference=self._reference,
+            summarize_seed=self._seed,
+            path=shard_dir,
+            buffer_capacity=self._buffer_capacity,
+            read_latency=self._read_latency,
+            cache_size=self._cache_size,
+            fault_injector=self._faults,
+        )
+        self._created_shards += 1
+        return shard
+
+    # ------------------------------------------------------------------
+    # Reopening / reconciliation
+    # ------------------------------------------------------------------
+    def _reopen(self, manifest_path: str) -> None:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(
+                f"{manifest_path} has unsupported format "
+                f"{manifest.get('format')!r}"
+            )
+        self._epsilon = float(manifest["epsilon"])
+        self._reference = str(manifest["reference"])
+        self._seed = int(manifest["summarize_seed"])
+        self._next_video_id = int(manifest["next_video_id"])
+        self._created_shards = int(manifest["created_shards"])
+        self._partitioner = partitioner_from_dict(manifest["partitioner"])
+        shard_dirs = list(manifest["shards"])
+        if len(shard_dirs) != self._partitioner.num_shards:
+            raise ValueError(
+                f"manifest lists {len(shard_dirs)} shards but the "
+                f"partitioner routes across {self._partitioner.num_shards}"
+            )
+        for position, name in enumerate(shard_dirs):
+            self._shards.append(
+                Shard(
+                    position,
+                    epsilon=self._epsilon,
+                    reference=self._reference,
+                    summarize_seed=self._seed,
+                    path=os.path.join(self._path, name),
+                    buffer_capacity=self._buffer_capacity,
+                    read_latency=self._read_latency,
+                    cache_size=self._cache_size,
+                    fault_injector=self._faults,
+                )
+            )
+        self._reconcile()
+
+    def _reconcile(self) -> None:
+        """Rebuild membership from actual shard content, resolving any
+        cross-shard duplicates a mid-rebalance crash left behind.
+
+        Each shard individually recovered to its last checkpoint; the
+        only cross-shard inconsistency possible is a video present on
+        two shards (moved and committed on the destination before the
+        crash, but still committed on the source).  The partitioner is
+        the tie-breaker: the copy on the shard it routes to survives,
+        every other copy is removed.  A video sitting on a shard the
+        partitioner would *not* choose (manifest committed before the
+        move did) is left in place — placement is a performance matter,
+        scatter-gather correctness never depends on it.
+        """
+        owners: dict[int, list[int]] = {}
+        for shard in self._shards:
+            for video_id in shard.video_ids():
+                owners.setdefault(video_id, []).append(shard.shard_id)
+        for video_id, places in owners.items():
+            keep = places[0]
+            if len(places) > 1:
+                summary = next(
+                    s
+                    for s in self._shards[places[0]].summaries()
+                    if s.video_id == video_id
+                )
+                routed = self._partitioner.shard_for(summary)
+                keep = routed if routed in places else places[0]
+                for place in places:
+                    if place != keep:
+                        self._shards[place].remove(video_id)
+            self._membership[video_id] = keep
+            self._next_video_id = max(self._next_video_id, video_id + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """Frame similarity threshold (fleet-wide)."""
+        return self._epsilon
+
+    @property
+    def num_shards(self) -> int:
+        """Current fleet size."""
+        return len(self._shards)
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The placement strategy currently in force."""
+        return self._partitioner
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        """The fleet (exposed for tests, benchmarks and tooling)."""
+        return tuple(self._shards)
+
+    @property
+    def path(self) -> str | None:
+        """Fleet directory; ``None`` for an in-memory fleet."""
+        return self._path
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def video_ids(self) -> set[int]:
+        """Ids of every stored video across the fleet."""
+        return set(self._membership)
+
+    def shard_of(self, video_id: int) -> int:
+        """Which shard holds a video (raises if unknown)."""
+        if video_id not in self._membership:
+            raise ValueError(f"video id {video_id} is not in the database")
+        return self._membership[video_id]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("database is closed")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, frames, video_id: int | None = None) -> int:
+        """Summarise one video and route it to its shard; returns its id.
+
+        The summary is computed exactly as an unsharded
+        :class:`VideoDatabase` would (same seed derivation), so sharded
+        and unsharded fleets store bit-identical summaries.
+        """
+        self._check_open()
+        frames = check_matrix(frames, "frames", min_rows=1)
+        if video_id is None:
+            video_id = self._next_video_id
+        if not isinstance(video_id, int) or isinstance(video_id, bool):
+            raise TypeError("video_id must be an int")
+        if video_id in self._membership:
+            raise ValueError(f"video id {video_id} already present")
+        summary = summarize_video(
+            video_id, frames, self._epsilon, seed=self._seed + video_id
+        )
+        return self.add_summary(summary)
+
+    def add_summary(self, summary: VideoSummary) -> int:
+        """Route a pre-built summary to the shard that owns it."""
+        self._check_open()
+        if not isinstance(summary, VideoSummary):
+            raise TypeError("summary must be a VideoSummary")
+        if summary.video_id in self._membership:
+            raise ValueError(f"video id {summary.video_id} already present")
+        target = self._partitioner.shard_for(summary)
+        self._shards[target].add_summary(summary)
+        self._membership[summary.video_id] = target
+        self._next_video_id = max(self._next_video_id, summary.video_id + 1)
+        return summary.video_id
+
+    def add_many(self, videos) -> list[int]:
+        """Add an iterable of frame matrices; returns their ids."""
+        return [self.add(frames) for frames in videos]
+
+    def remove(self, video_id: int) -> None:
+        """Remove a video from whichever shard holds it."""
+        self._check_open()
+        self._shards[self.shard_of(video_id)].remove(video_id)
+        del self._membership[video_id]
+
+    def build(self) -> None:
+        """Force-build every populated shard's index."""
+        self._check_open()
+        if not self._membership:
+            raise ValueError("cannot build an empty database")
+        for shard in self._shards:
+            if len(shard) > 0 and shard.database.index is None:
+                shard.database.build()
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        frames,
+        k: int = 10,
+        *,
+        method: str = "composed",
+        prune: bool = True,
+        cold: bool = False,
+    ) -> ShardedKNNResult:
+        """Top-``k`` most similar stored videos for a raw frame matrix."""
+        self._check_open()
+        frames = check_matrix(frames, "frames", min_rows=1)
+        summary = summarize_video(0, frames, self._epsilon, seed=self._seed)
+        return self.knn(summary, k, method=method, prune=prune, cold=cold)
+
+    def knn(
+        self,
+        query: VideoSummary,
+        k: int,
+        *,
+        method: str = "composed",
+        prune: bool = True,
+        cold: bool = False,
+    ) -> ShardedKNNResult:
+        """Global top-``k``: scatter, per-shard top-``k``, exact merge.
+
+        Parameters
+        ----------
+        query:
+            Query summary (summarised with the fleet's epsilon).
+        k:
+            Number of results.
+        method:
+            ``"composed"`` or ``"naive"`` (per-shard execution strategy).
+        prune:
+            Skip shards whose key bounds the query's composed ranges
+            cannot reach (lossless; never changes the ranking).
+        cold:
+            Clear each queried shard's serving pool first.
+        """
+        self._check_query_args(query, k, method)
+        total_counters = CostCounters()
+        with Timer() as timer:
+            queried, pruned = self._select_shards(
+                query, prune, total_counters
+            )
+            per_shard = self._scatter(
+                queried,
+                lambda shard, bundle: shard.knn(
+                    query, k, method=method, cold=cold, out_counters=bundle
+                ),
+                total_counters,
+            )
+            merged: dict[int, float] = {}
+            for result in per_shard:
+                for video, score in zip(result.videos, result.scores):
+                    merged[video] = score
+            videos, scores = _rank(merged, k)
+        return ShardedKNNResult(
+            videos=videos,
+            scores=scores,
+            stats=self._global_stats(total_counters, timer.elapsed),
+            scatter=ScatterStats(
+                shards_total=len(self._shards),
+                shards_queried=tuple(s.shard_id for s in queried),
+                shards_pruned=tuple(pruned),
+            ),
+        )
+
+    def similarity_range(
+        self,
+        query: VideoSummary,
+        min_similarity: float,
+        *,
+        method: str = "composed",
+        prune: bool = True,
+        cold: bool = False,
+    ) -> ShardedKNNResult:
+        """All videos scoring at least ``min_similarity``, ranked globally.
+
+        Thresholding happens shard-locally (scores are shard-independent)
+        and the survivors merge exactly like :meth:`knn`.
+        """
+        self._check_query_args(query, 1, method)
+        total_counters = CostCounters()
+        with Timer() as timer:
+            queried, pruned = self._select_shards(
+                query, prune, total_counters
+            )
+            per_shard = self._scatter(
+                queried,
+                lambda shard, bundle: shard.similarity_range(
+                    query,
+                    min_similarity,
+                    method=method,
+                    cold=cold,
+                    out_counters=bundle,
+                ),
+                total_counters,
+            )
+            merged: dict[int, float] = {}
+            for result in per_shard:
+                for video, score in zip(result.videos, result.scores):
+                    merged[video] = score
+            videos, scores = _rank(merged, len(merged))
+        return ShardedKNNResult(
+            videos=videos,
+            scores=scores,
+            stats=self._global_stats(total_counters, timer.elapsed),
+            scatter=ScatterStats(
+                shards_total=len(self._shards),
+                shards_queried=tuple(s.shard_id for s in queried),
+                shards_pruned=tuple(pruned),
+            ),
+        )
+
+    def serve_many(
+        self,
+        queries: list[VideoSummary],
+        k: int,
+        *,
+        method: str = "composed",
+        prune: bool = True,
+        cold: bool = False,
+    ) -> ShardedBatchResult:
+        """Serve a stream of queries, each scattered across the fleet.
+
+        Queries run one at a time (each one already fans out across all
+        relevant shards); metrics aggregate the per-query bundles and the
+        shard engines' cache tallies over the batch.
+        """
+        self._check_open()
+        queries = list(queries)
+        hits_before, misses_before = self._cache_tallies()
+        # Per-shard load = delta of the shard engines' worker counters,
+        # which are themselves per-query bundle sums folded per view.
+        load_before = {
+            shard.shard_id: self._shard_load(shard) for shard in self._shards
+        }
+        results: list[ShardedKNNResult] = []
+        with Timer() as batch_timer:
+            for query in queries:
+                results.append(
+                    self.knn(query, k, method=method, prune=prune, cold=cold)
+                )
+        shard_requests: dict[int, int] = {}
+        shard_reads: dict[int, int] = {}
+        for shard in self._shards:
+            bundle = self._shard_load(shard)
+            before = load_before.get(shard.shard_id, CostCounters())
+            shard_requests[shard.shard_id] = (
+                bundle.page_requests - before.page_requests
+            )
+            shard_reads[shard.shard_id] = bundle.page_reads - before.page_reads
+        hits_after, misses_after = self._cache_tallies()
+        latencies = sorted(result.stats.wall_time for result in results)
+        wall = batch_timer.elapsed
+        metrics = ShardedServingMetrics(
+            queries=len(queries),
+            shards=len(self._shards),
+            wall_time=wall,
+            qps=len(queries) / wall if wall > 0.0 else 0.0,
+            latency_p50=_percentile(latencies, 0.50),
+            latency_p95=_percentile(latencies, 0.95),
+            latency_p99=_percentile(latencies, 0.99),
+            cache_hits=hits_after - hits_before,
+            cache_misses=misses_after - misses_before,
+            shard_page_requests=tuple(
+                shard_requests[shard.shard_id] for shard in self._shards
+            ),
+            shard_physical_reads=tuple(
+                shard_reads[shard.shard_id] for shard in self._shards
+            ),
+            total_page_requests=sum(shard_requests.values()),
+            total_physical_reads=sum(shard_reads.values()),
+        )
+        return ShardedBatchResult(results=tuple(results), metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Query internals
+    # ------------------------------------------------------------------
+    def _check_query_args(
+        self, query: VideoSummary, k: int, method: str
+    ) -> None:
+        self._check_open()
+        if not isinstance(query, VideoSummary):
+            raise TypeError("query must be a VideoSummary")
+        check_positive_int(k, "k")
+        if method not in ("composed", "naive"):
+            raise ValueError(
+                f"method must be 'composed' or 'naive', got {method!r}"
+            )
+        if not self._membership:
+            raise ValueError("cannot query an empty database")
+
+    def _select_shards(
+        self, query: VideoSummary, prune: bool, counters: CostCounters
+    ) -> tuple[list[Shard], list[int]]:
+        """Populated shards to scatter to, and the ids pruned away."""
+        queried: list[Shard] = []
+        pruned: list[int] = []
+        for shard in self._shards:
+            if len(shard) == 0:
+                continue
+            if prune and not shard.may_contain(query, counters=counters):
+                pruned.append(shard.shard_id)
+            else:
+                queried.append(shard)
+        return queried, pruned
+
+    def _scatter(self, shards, work, total_counters: CostCounters) -> list:
+        """Run ``work(shard, bundle)`` on every shard, thread-parallel.
+
+        Each sub-query gets a private counter bundle (bundles are not
+        thread-safe); the bundles fold into ``total_counters`` after the
+        join, so the global stats see every shard's events exactly once.
+        """
+        if not shards:
+            return []
+        bundles = [CostCounters() for _ in shards]
+        results: list = [None] * len(shards)
+        errors: list[BaseException] = []
+
+        def run(position: int) -> None:
+            try:
+                results[position] = work(shards[position], bundles[position])
+            except BaseException as exc:  # propagate to the caller
+                errors.append(exc)
+
+        if len(shards) == 1:
+            run(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=run,
+                    args=(position,),
+                    name=f"shard-query-{shards[position].shard_id}",
+                )
+                for position in range(len(shards))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        for bundle in bundles:
+            total_counters.add(bundle)
+        return results
+
+    def _global_stats(
+        self, total_counters: CostCounters, elapsed: float
+    ) -> QueryStats:
+        """Global stats from the summed per-shard bundles, nothing else."""
+        return QueryStats(
+            page_requests=total_counters.page_requests,
+            physical_reads=total_counters.page_reads,
+            node_visits=total_counters.btree_node_visits,
+            similarity_computations=total_counters.similarity_computations,
+            candidates=total_counters.records_scanned,
+            ranges=total_counters.extra.get("range_searches", 0),
+            wall_time=elapsed,
+        )
+
+    def _cache_tallies(self) -> tuple[int, int]:
+        """Summed (hits, misses) of every shard engine built so far."""
+        hits = 0
+        misses = 0
+        for shard in self._shards:
+            engine = shard._engine
+            if engine is not None:
+                hits += engine.cache_hits
+                misses += engine.cache_misses
+        return hits, misses
+
+    def _shard_load(self, shard: Shard) -> CostCounters:
+        """One shard's cumulative serving I/O (folded worker bundles)."""
+        load = CostCounters()
+        engine = shard._engine
+        if engine is not None:
+            load.add(engine._serial_view.counters)
+        return load
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(self) -> int | None:
+        """Split the hottest shard at its median routing key.
+
+        The hottest shard is the one that served the most queries (ties
+        break towards more videos).  Its videos above the median routing
+        key move to a new shard inserted right after it; the partitioner
+        gains the corresponding boundary.  Returns the new shard's index,
+        or ``None`` when no shard can be split (fewer than two distinct
+        routing keys on the hottest shard).
+
+        Durable fleets commit in an order that keeps every crash point
+        recoverable: manifest (new partitioner + shard list) first, then
+        the destination shard's additions, then the source shard's
+        removals.  A crash between the last two leaves the moved videos
+        on both shards; reopening keeps only the partitioner-routed copy
+        (see :meth:`_reconcile`).
+        """
+        self._check_open()
+        if not isinstance(self._partitioner, KeyRangePartitioner):
+            raise ValueError(
+                "rebalance() requires a KeyRangePartitioner (hash placement "
+                "has no key ranges to split)"
+            )
+        populated = [s for s in self._shards if len(s) > 0]
+        if not populated:
+            return None
+        hottest = max(
+            populated, key=lambda s: (s.queries_served, len(s))
+        )
+        summaries = hottest.summaries()
+        keyed = [
+            (self._partitioner.routing_key(summary), summary)
+            for summary in summaries
+        ]
+        keyed.sort(key=lambda pair: pair[0])
+        keys = [key for key, _ in keyed]
+        at = keys[(len(keys) - 1) // 2]
+        movers = [summary for key, summary in keyed if key > at]
+        if not movers:
+            return None  # all routing keys equal: nothing separates
+
+        position = hottest.shard_id
+        self._partitioner = self._partitioner.split(position, at)
+        new_shard = self._new_shard()
+        self._shards.insert(position + 1, new_shard)
+        for index, shard in enumerate(self._shards):
+            shard.renumber(index)
+
+        if self._path is not None:
+            # Commit point 1: the fleet's new shape.  A crash after this
+            # reopens with the new partitioner and an empty new shard —
+            # the movers still live (only) on the source shard.
+            self._write_manifest()
+        for summary in movers:
+            new_shard.add_summary(summary)
+        if self._path is not None:
+            # Commit point 2: destination now owns the movers (they are
+            # briefly on both shards; reconciliation keeps this copy).
+            new_shard.checkpoint()
+        for summary in movers:
+            hottest.remove(summary.video_id)
+        if self._path is not None:
+            # Commit point 3: source lets go.
+            hottest.checkpoint()
+        self._membership = {}
+        for shard in self._shards:
+            for video_id in shard.video_ids():
+                self._membership[video_id] = shard.shard_id
+        return new_shard.shard_id
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Commit the whole fleet: every shard, then the manifest.
+
+        Each shard checkpoint is individually atomic through its own
+        write-ahead log; the manifest replace is atomic via
+        ``os.replace``.  A crash anywhere leaves each shard at one of
+        its own checkpoints and a manifest from before or after — every
+        combination :meth:`_reconcile` restores to a consistent fleet.
+        """
+        self._check_open()
+        if self._path is None:
+            raise RuntimeError("checkpoint() requires a durable database")
+        for shard in self._shards:
+            if len(shard) > 0 or shard.database.index is not None:
+                shard.checkpoint()
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "epsilon": self._epsilon,
+            "reference": self._reference,
+            "summarize_seed": self._seed,
+            "next_video_id": self._next_video_id,
+            "created_shards": self._created_shards,
+            "partitioner": self._partitioner.to_dict(),
+            "shards": [
+                os.path.basename(shard.path) for shard in self._shards
+            ],
+        }
+        blob = json.dumps(manifest).encode("utf-8")
+        final_path = os.path.join(self._path, _MANIFEST_FILE)
+        tmp_path = final_path + ".tmp"
+
+        def write_blob(data: bytes) -> None:
+            with open(tmp_path, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        if self._faults is not None:
+            self._faults.write(write_blob, blob)
+            self._faults.op(lambda: os.replace(tmp_path, final_path))
+        else:
+            write_blob(blob)
+            os.replace(tmp_path, final_path)
+
+    def close(self) -> None:
+        """Checkpoint (durable, uncrashed fleets), then release every
+        shard.  Idempotent."""
+        if self._closed:
+            return
+        crashed = self._faults is not None and self._faults.crashed
+        if self._path is not None and not crashed and self._membership:
+            self.checkpoint()
+        for shard in self._shards:
+            shard.close()
+        self._closed = True
+
+    def crash(self) -> None:
+        """Testing seam: drop every shard's file handles, no checkpoints."""
+        if self._path is None:
+            raise RuntimeError("crash() requires a durable database")
+        self._closed = True
+        for shard in self._shards:
+            shard.crash()
+
+    def __enter__(self) -> "ShardedVideoDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedVideoDatabase(videos={len(self)}, "
+            f"shards={len(self._shards)}, "
+            f"partitioner={self._partitioner.name!r}, "
+            f"epsilon={self._epsilon})"
+        )

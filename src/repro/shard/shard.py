@@ -1,0 +1,282 @@
+"""One shard of a sharded ViTri database.
+
+A :class:`Shard` owns a :class:`~repro.core.database.VideoDatabase`
+(durable directory or in-memory) plus the :class:`~repro.core.engine.QueryEngine`
+that serves it.  The engine is maintained lazily: before every query the
+shard compares the engine's snapshot token against the index's current
+:meth:`~repro.core.index.VitriIndex.content_token` and refreshes only
+when the shard's content actually changed, so read-heavy fleets pay no
+per-query snapshot cost while writes can never be served stale.
+
+The shard also exposes the two pieces of routing metadata the
+scatter-gather router prunes with:
+
+* :meth:`key_bounds` — the ``[min, max]`` key interval the shard's
+  B+-tree currently covers (cached per content token);
+* :meth:`composed_ranges` — a query's composed search ranges *in this
+  shard's key space* (each shard fits its own reference point, so the
+  same query maps to different key ranges on different shards).
+
+A query whose composed ranges miss the shard's key bounds cannot match
+any of its ViTris (the key filter is lossless), so the router skips the
+shard entirely.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.composition import compose_ranges
+from repro.core.database import VideoDatabase
+from repro.core.engine import QueryEngine
+from repro.core.index import KNNResult, VitriIndex
+from repro.core.vitri import VideoSummary
+from repro.utils.counters import CostCounters
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """A :class:`VideoDatabase` plus its serving engine, as one fleet member.
+
+    Parameters
+    ----------
+    shard_id:
+        This shard's index in the fleet's shard list (its position in the
+        partitioner's output space).
+    epsilon, reference, summarize_seed, buffer_capacity, read_latency,
+    fault_injector:
+        Forwarded to :class:`VideoDatabase`; the router passes the same
+        values to every shard so summaries are interchangeable.
+    path:
+        Shard directory (durable fleet) or ``None`` (in-memory fleet).
+    cache_size:
+        Result-cache capacity of the shard's query engine.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        epsilon: float,
+        reference: str = "optimal",
+        summarize_seed: int = 0,
+        path: str | os.PathLike | None = None,
+        buffer_capacity: int = 256,
+        read_latency: float = 0.0,
+        cache_size: int = 128,
+        fault_injector=None,
+    ) -> None:
+        self._shard_id = shard_id
+        self._db = VideoDatabase(
+            epsilon,
+            reference=reference,
+            summarize_seed=summarize_seed,
+            path=path,
+            buffer_capacity=buffer_capacity,
+            read_latency=read_latency,
+            fault_injector=fault_injector,
+        )
+        self._buffer_capacity = buffer_capacity
+        self._cache_size = cache_size
+        self._engine: QueryEngine | None = None
+        self._engine_index: VitriIndex | None = None
+        self._bounds_token: str | None = None
+        self._bounds: tuple[float, float] | None = None
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_id(self) -> int:
+        """Position of this shard in the fleet's shard list."""
+        return self._shard_id
+
+    def renumber(self, shard_id: int) -> None:
+        """Reassign this shard's fleet position (rebalancing inserts a
+        shard mid-list, shifting the ones above the split)."""
+        self._shard_id = shard_id
+
+    @property
+    def database(self) -> VideoDatabase:
+        """The underlying database (exposed for tests and tooling)."""
+        return self._db
+
+    @property
+    def path(self) -> str | None:
+        """Backing directory; ``None`` for an in-memory shard."""
+        return self._db.path
+
+    @property
+    def epsilon(self) -> float:
+        """Frame similarity threshold (identical across the fleet)."""
+        return self._db.epsilon
+
+    def __len__(self) -> int:
+        return len(self._db)
+
+    def video_ids(self) -> set[int]:
+        """Ids of the videos this shard owns."""
+        return self._db.video_ids()
+
+    def summaries(self) -> list[VideoSummary]:
+        """Summaries of the videos this shard owns (heap scan)."""
+        return self._db.summaries()
+
+    # ------------------------------------------------------------------
+    # Mutation (delegated; the router decides placement)
+    # ------------------------------------------------------------------
+    def add_summary(self, summary: VideoSummary) -> int:
+        """Store one routed summary."""
+        return self._db.add_summary(summary)
+
+    def remove(self, video_id: int) -> None:
+        """Remove one of this shard's videos."""
+        self._db.remove(video_id)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def engine(self) -> QueryEngine:
+        """The shard's serving engine over its *current* content.
+
+        Builds the index on first use; re-snapshots the engine only when
+        the index's content token moved (insert/remove since the last
+        query).  Raises on an empty shard — the router never scatters to
+        one.
+        """
+        if self._db.index is None:
+            self._db.build()
+        index = self._db.index
+        if self._engine is None or self._engine_index is not index:
+            self._engine = QueryEngine(
+                index,
+                buffer_capacity=self._buffer_capacity,
+                cache_size=self._cache_size,
+            )
+            self._engine_index = index
+        elif self._engine.snapshot_token != index.content_token():
+            self._engine.refresh()
+        return self._engine
+
+    def knn(
+        self,
+        query: VideoSummary,
+        k: int,
+        *,
+        method: str = "composed",
+        cold: bool = False,
+        out_counters: CostCounters | None = None,
+    ) -> KNNResult:
+        """This shard's local top-``k`` for the query (engine-served)."""
+        result = self.engine().knn(
+            query, k, method=method, cold=cold, out_counters=out_counters
+        )
+        self.queries_served += 1
+        return result
+
+    def similarity_range(
+        self,
+        query: VideoSummary,
+        min_similarity: float,
+        *,
+        method: str = "composed",
+        cold: bool = False,
+        out_counters: CostCounters | None = None,
+    ) -> KNNResult:
+        """This shard's videos scoring at least ``min_similarity``."""
+        if self._db.index is None:
+            self._db.build()
+        result = self._db.index.similarity_range(
+            query,
+            min_similarity,
+            method=method,
+            cold=cold,
+            out_counters=out_counters,
+        )
+        self.queries_served += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Routing metadata (what the router prunes with)
+    # ------------------------------------------------------------------
+    def key_bounds(
+        self, *, counters: CostCounters | None = None
+    ) -> tuple[float, float] | None:
+        """``(min_key, max_key)`` of this shard's B+-tree, or ``None``
+        when the shard holds no ViTris.
+
+        Cached per content token: computing the bounds costs a handful of
+        page reads (charged to ``counters``), repeat queries against
+        unchanged content get them for free.
+        """
+        if self._db.index is None:
+            if len(self._db) == 0:
+                return None
+            self._db.build()
+        index = self._db.index
+        token = index.content_token()
+        if token != self._bounds_token:
+            self._bounds = index.btree.key_bounds(counters=counters)
+            self._bounds_token = token
+        return self._bounds
+
+    def composed_ranges(
+        self, query: VideoSummary
+    ) -> list[tuple[float, float]]:
+        """The query's composed search ranges in *this shard's* key space.
+
+        Mirrors the index's own range derivation: per query ViTri the
+        lossless interval ``[key - gamma, key + gamma]`` with
+        ``gamma = R^Q + eps/2``, clamped at zero, then composed.
+        """
+        if self._db.index is None:
+            self._db.build()
+        transform = self._db.index.transform
+        epsilon = self._db.epsilon
+        per_vitri = []
+        for vitri in query.vitris:
+            gamma = vitri.radius + epsilon / 2.0
+            key = transform.key(vitri.position)
+            per_vitri.append((max(key - gamma, 0.0), key + gamma))
+        return compose_ranges(per_vitri)
+
+    def may_contain(
+        self, query: VideoSummary, *, counters: CostCounters | None = None
+    ) -> bool:
+        """Whether any of the query's ranges overlaps this shard's keys.
+
+        ``False`` is a *proof* of zero-similarity (the key filter is
+        lossless), so the router can skip the shard without changing any
+        ranking.
+        """
+        bounds = self.key_bounds(counters=counters)
+        if bounds is None:
+            return False
+        low, high = bounds
+        return any(
+            range_high >= low and range_low <= high
+            for range_low, range_high in self.composed_ranges(query)
+        )
+
+    # ------------------------------------------------------------------
+    # Durability (delegated)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Atomically commit this shard's changes (durable shards)."""
+        self._db.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint (if durable and not crashed) and release files."""
+        self._db.close()
+
+    def crash(self) -> None:
+        """Testing seam: drop file handles without checkpointing."""
+        self._db.crash()
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard(id={self._shard_id}, videos={len(self)}, "
+            f"path={self.path!r})"
+        )

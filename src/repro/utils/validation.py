@@ -17,9 +17,14 @@ __all__ = [
     "check_matrix",
     "check_non_negative",
     "check_positive",
+    "check_positive_int",
     "check_probability",
+    "check_shard_count",
     "check_vector",
 ]
+
+MAX_SHARDS = 1024
+"""Upper bound on shard counts (guards against typo'd fleet sizes)."""
 
 
 def check_vector(value, name: str, *, dim: int | None = None) -> np.ndarray:
@@ -113,6 +118,29 @@ def check_probability(value, name: str) -> float:
     value = check_non_negative(value, name)
     if value > 1.0:
         raise ValueError(f"{name} must be at most 1, got {value}")
+    return value
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that *value* is an int (not a bool) greater than or equal to 1.
+
+    The boundary check shared by every count-like argument — ``k`` of a
+    KNN query, worker counts, shard counts — so user errors surface as
+    one consistent ``ValueError`` message instead of ad-hoc raises in
+    each entry point.
+    """
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(f"{name} must be a positive int, got {value}")
+    return value
+
+
+def check_shard_count(value, name: str = "num_shards") -> int:
+    """Validate a shard count: a positive int no larger than ``MAX_SHARDS``."""
+    value = check_positive_int(value, name)
+    if value > MAX_SHARDS:
+        raise ValueError(
+            f"{name} must be at most {MAX_SHARDS}, got {value}"
+        )
     return value
 
 

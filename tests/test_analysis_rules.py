@@ -284,6 +284,56 @@ class TestCounterDiscipline:
         """
         assert not findings(source, "counter-discipline")
 
+    def test_querystats_reaggregated_from_stats_flagged(self):
+        # The shard-router temptation: build global stats by summing the
+        # per-shard QueryStats objects instead of folding their bundles.
+        source = """\
+        def merge(self, results):
+            return QueryStats(
+                page_requests=sum(r.stats.page_requests for r in results),
+                wall_time=sum(r.stats.wall_time for r in results),
+            )
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [3, 4]
+        assert "re-aggregating 'page_requests'" in diagnostics[0].message
+        assert "fold" in diagnostics[0].message
+
+    def test_querystats_from_direct_stats_attribute_flagged(self):
+        source = """\
+        def widen(self, stats):
+            return QueryStats(candidates=stats.candidates + 1)
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [2]
+        assert "'candidates'" in diagnostics[0].message
+
+    def test_querystats_from_folded_bundles_clean(self):
+        # The sanctioned pattern: fold per-shard bundles, then build the
+        # aggregate from the folded CostCounters alone.
+        source = """\
+        def merge(self, bundles, elapsed):
+            total_counters = CostCounters()
+            for bundle in bundles:
+                total_counters.add(bundle)
+            return QueryStats(
+                page_requests=total_counters.page_requests,
+                physical_reads=total_counters.page_reads,
+                node_visits=total_counters.btree_node_visits,
+                wall_time=elapsed,
+            )
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_stats_field_read_outside_querystats_clean(self):
+        # Reading stats fields is fine anywhere else (reporting, tests);
+        # only re-aggregation into a new QueryStats is the hazard.
+        source = """\
+        def report(results):
+            return sum(r.stats.page_requests for r in results)
+        """
+        assert not findings(source, "counter-discipline")
+
 
 # ---------------------------------------------------------------------------
 # boundary-validation

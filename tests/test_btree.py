@@ -321,3 +321,53 @@ class TestBulkLoadEdgeCases:
         tree.bulk_load(items)
         check_tree(tree)
         assert tree.height == 2
+
+
+class TestKeyBounds:
+    """key_bounds() — the shard router's pruning metadata."""
+
+    def test_empty_tree(self):
+        assert make_tree().key_bounds() is None
+
+    def test_tracks_min_and_max(self):
+        tree = make_tree()
+        for i in [7, 3, 11, 1, 9]:
+            tree.insert(float(i), payload(i))
+        assert tree.key_bounds() == (1.0, 11.0)
+        tree.insert(0.5, payload(50))
+        tree.insert(20.0, payload(51))
+        assert tree.key_bounds() == (0.5, 20.0)
+
+    def test_many_keys_multi_level(self):
+        tree = make_tree(capacity=128)
+        for i in range(500):
+            tree.insert(float((i * 37) % 500), payload(i))
+        assert tree.key_bounds() == (0.0, 499.0)
+
+    def test_survives_lazy_deletion_of_extremes(self):
+        # Lazy deletion can empty the edge leaves entirely; the bounds
+        # walk must skip them instead of reporting stale keys.
+        tree = make_tree(capacity=128)
+        for i in range(200):
+            tree.insert(float(i), payload(i))
+        for i in list(range(0, 40)) + list(range(160, 200)):
+            assert tree.delete(float(i), payload(i)) == 1
+        assert tree.key_bounds() == (40.0, 159.0)
+
+    def test_delete_everything(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert(float(i), payload(i))
+        for i in range(10):
+            tree.delete(float(i), payload(i))
+        assert tree.key_bounds() is None
+
+    def test_charges_counters(self):
+        from repro.utils.counters import CostCounters
+
+        tree = make_tree(capacity=128)
+        for i in range(300):
+            tree.insert(float(i), payload(i))
+        counters = CostCounters()
+        tree.key_bounds(counters=counters)
+        assert counters.page_requests > 0

@@ -202,3 +202,94 @@ class TestBenchServe:
         )
         assert code == 1
         assert "comma-separated" in capsys.readouterr().err
+
+
+class TestBenchShard:
+    def test_sweeps_and_writes_json(self, dataset_path, tmp_path, capsys):
+        out = str(tmp_path / "sharding.json")
+        code = main(
+            [
+                "bench-shard",
+                "--dataset", dataset_path,
+                "--queries", "4",
+                "--shards", "1,2",
+                "--read-latency", "0",
+                "--out", out,
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "scatter-gather" in printed
+        assert "speedup" in printed
+
+        import json
+
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["shard_counts"] == [1, 2]
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][1]["shards"] == 2
+
+    def test_hash_partitioner(self, dataset_path, capsys):
+        code = main(
+            [
+                "bench-shard",
+                "--dataset", dataset_path,
+                "--queries", "2",
+                "--shards", "1,2",
+                "--partitioner", "hash",
+                "--read-latency", "0",
+            ]
+        )
+        assert code == 0
+        assert "hash placement" in capsys.readouterr().out
+
+    def test_bad_shards_list(self, dataset_path, capsys):
+        code = main(
+            ["bench-shard", "--dataset", dataset_path, "--shards", "1,x"]
+        )
+        assert code == 1
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_shards_must_start_with_one(self, dataset_path, capsys):
+        code = main(
+            [
+                "bench-shard",
+                "--dataset", dataset_path,
+                "--queries", "2",
+                "--shards", "2,4",
+                "--read-latency", "0",
+            ]
+        )
+        assert code == 1
+        assert "must start with 1" in capsys.readouterr().err
+
+
+class TestCheckSharded:
+    def _build_fleet(self, dataset_path, path):
+        from repro.datasets.loader import VideoDataset
+        from repro.shard import ShardedVideoDatabase
+
+        dataset = VideoDataset.load(dataset_path)
+        fleet = ShardedVideoDatabase(
+            0.3, partitioner="hash", num_shards=3, path=path
+        )
+        for i in range(dataset.num_videos):
+            fleet.add(dataset.frames(i))
+        fleet.close()
+
+    def test_reports_consistent_fleet(self, dataset_path, tmp_path, capsys):
+        path = str(tmp_path / "fleet")
+        self._build_fleet(dataset_path, path)
+        assert main(["check", "--index", path, "--sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent" in out
+        assert "3 shards" in out
+        assert "hash placement" in out
+
+    def test_missing_fleet_errors(self, tmp_path, capsys):
+        code = main(
+            ["check", "--index", str(tmp_path / "nowhere"), "--sharded"]
+        )
+        assert code == 1
+        assert "cannot open fleet" in capsys.readouterr().err

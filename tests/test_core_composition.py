@@ -74,3 +74,65 @@ class TestComposeRanges:
             in_original = any(low <= probe <= high for low, high in ranges)
             in_composed = any(low <= probe <= high for low, high in composed)
             assert in_original == in_composed
+
+
+class TestShardBoundaryComposition:
+    """Properties the scatter-gather router relies on.
+
+    Each shard composes a query's ranges in its own key space, and the
+    router prunes with the composed output.  These hold only if
+    composition behaves like a pure interval union: composing per-shard
+    slices and re-composing the concatenation must equal composing
+    everything at once, no matter how ranges are split across shards.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ranges=st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ).map(lambda pair: (min(pair), max(pair))),
+            max_size=24,
+        ),
+        assignment=st.lists(
+            st.integers(min_value=0, max_value=3), max_size=24
+        ),
+        num_shards=st.integers(min_value=1, max_value=4),
+    )
+    def test_sharded_composition_matches_oracle(
+        self, ranges, assignment, num_shards
+    ):
+        # Deterministically scatter each range to one of num_shards
+        # "shards" (pad/truncate the assignment to the range count).
+        assignment = (assignment + [0] * len(ranges))[: len(ranges)]
+        shards = [[] for _ in range(num_shards)]
+        for target, item in zip(assignment, ranges):
+            shards[target % num_shards].append(item)
+
+        per_shard = [compose_ranges(shard) for shard in shards]
+        regrouped = [span for shard in per_shard for span in shard]
+        oracle = compose_ranges(ranges)
+        assert compose_ranges(regrouped) == oracle
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ranges=st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ).map(lambda pair: (min(pair), max(pair))),
+            max_size=24,
+        )
+    )
+    def test_composition_is_idempotent(self, ranges):
+        once = compose_ranges(ranges)
+        assert compose_ranges(once) == once
+
+    def test_boundary_touching_slices_merge_back(self):
+        # A query interval cut exactly at a shard boundary: the halves
+        # share the boundary point (closed intervals) and must fuse back
+        # into the original when the router re-composes them.
+        left = compose_ranges([(0.0, 2.5)])
+        right = compose_ranges([(2.5, 5.0)])
+        assert compose_ranges(left + right) == [(0.0, 5.0)]

@@ -253,3 +253,63 @@ class TestDegenerate:
         engine = QueryEngine(index, cache_size=0)
         before = engine.knn(small_summaries[0], 20)
         assert small_summaries[-1].video_id not in before.videos
+
+
+class TestCacheEpoch:
+    """Regression: the result-cache key must include a content token.
+
+    A fingerprint of only (query, k, method) would keep serving rankings
+    computed over *old* content after the index mutates and the engine
+    refreshes — the sharded router relies on this invalidation every time
+    a shard's content changes between queries.
+    """
+
+    def test_refresh_invalidates_stale_cached_results(self, small_summaries):
+        index = VitriIndex.build(small_summaries[:-1], EPSILON)
+        engine = QueryEngine(index, cache_size=8)
+        query = small_summaries[-1]
+        stale = engine.knn(query, 5)
+        assert engine.knn(query, 5) is stale  # memoised pre-mutation
+        assert query.video_id not in stale.videos
+
+        index.insert_video(small_summaries[-1])
+        engine.refresh()
+        fresh = engine.knn(query, 5)
+        assert fresh is not stale
+        # The inserted video is its own best match; a stale cache entry
+        # could never contain it.
+        assert fresh.videos[0] == query.video_id
+
+    def test_token_moves_with_content(self, small_summaries):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        engine = QueryEngine(index, cache_size=8)
+        token = engine.snapshot_token
+        assert token == index.content_token()
+        index.remove_video(small_summaries[0].video_id)
+        assert index.content_token() != token
+        engine.refresh()
+        assert engine.snapshot_token == index.content_token()
+
+    def test_removal_drops_video_from_refreshed_results(
+        self, small_summaries
+    ):
+        index = VitriIndex.build(small_summaries, EPSILON)
+        engine = QueryEngine(index, cache_size=8)
+        query = small_summaries[0]
+        before = engine.knn(query, 5)
+        assert before.videos[0] == query.video_id
+        index.remove_video(query.video_id)
+        engine.refresh()
+        after = engine.knn(query, 5)
+        assert query.video_id not in after.videos
+
+    def test_distinct_indexes_never_share_entries(self, small_summaries):
+        """Two engines over different content must not collide even if
+        they see the same (query, k, method) triple."""
+        left = VitriIndex.build(small_summaries[:10], EPSILON)
+        right = VitriIndex.build(small_summaries[10:], EPSILON)
+        assert left.content_token() != right.content_token()
+        query = small_summaries[0]
+        served_left = QueryEngine(left, cache_size=8).knn(query, 20)
+        served_right = QueryEngine(right, cache_size=8).knn(query, 20)
+        assert set(served_left.videos).isdisjoint(served_right.videos)

@@ -202,3 +202,115 @@ TestCrashRecoveryMachine = CrashRecoveryMachine.TestCase
 TestCrashRecoveryMachine.settings = settings(
     max_examples=15, stateful_step_count=10, deadline=None
 )
+
+
+class TestShardedCheckpointCrash:
+    """Kill a 3-shard fleet mid-``checkpoint()`` at every disk-op index.
+
+    A fleet checkpoint is *per-shard* atomic, not fleet-atomic: each
+    shard commits through its own write-ahead log, then the manifest is
+    replaced.  A crash anywhere in that sequence must leave every shard
+    at exactly its old or its new committed content — never partial —
+    with no video duplicated across shards, and queries over the
+    recovered fleet must match a pairwise-similarity oracle over
+    whatever content survived.
+    """
+
+    BASE = list(range(9))
+    ADDED = [9, 10, 11]
+
+    def _summaries(self):
+        from repro.core.summarize import summarize_video
+
+        return {
+            video_id: summarize_video(
+                video_id, make_frames(video_id), EPSILON, seed=video_id
+            )
+            for video_id in self.BASE + self.ADDED
+        }
+
+    def _expected_sets(self, partitioner, summaries):
+        old_sets = [set(), set(), set()]
+        new_sets = [set(), set(), set()]
+        for video_id, summary in summaries.items():
+            shard = partitioner.shard_for(summary)
+            new_sets[shard].add(video_id)
+            if video_id in self.BASE:
+                old_sets[shard].add(video_id)
+        return old_sets, new_sets
+
+    def test_crash_point_sweep(self, tmp_path):
+        from repro.core.similarity import video_similarity
+        from repro.core.summarize import summarize_video
+        from repro.shard import KeyRangePartitioner, ShardedVideoDatabase
+        from repro.storage.faults import FaultInjector, SimulatedCrash
+
+        summaries = self._summaries()
+        partitioner = KeyRangePartitioner.fit(list(summaries.values()), 3)
+        old_sets, new_sets = self._expected_sets(partitioner, summaries)
+        assert all(old_sets), "fixture must populate all three shards"
+
+        outcomes = set()
+        for crash_after in range(1, 400):
+            path = str(tmp_path / f"fleet-{crash_after}")
+            fleet = ShardedVideoDatabase(
+                EPSILON, partitioner=partitioner, path=path
+            )
+            for video_id in self.BASE:
+                fleet.add_summary(summaries[video_id])
+            fleet.checkpoint()
+            fleet.close()
+
+            injector = FaultInjector(crash_after=crash_after)
+            fleet = None
+            try:
+                # Reopening replays each shard's WAL, so the crash point
+                # may land inside recovery itself — also a legal kill
+                # (and close() checkpoints again, another window).
+                fleet = ShardedVideoDatabase(
+                    path=path, fault_injector=injector
+                )
+                for video_id in self.ADDED:
+                    fleet.add_summary(summaries[video_id])
+                fleet.checkpoint()
+                fleet.close()
+            except SimulatedCrash:
+                if fleet is not None:
+                    fleet.crash()
+
+            recovered = ShardedVideoDatabase(path=path)
+            per_shard = [shard.video_ids() for shard in recovered.shards]
+            for shard_index, visible in enumerate(per_shard):
+                assert visible in (
+                    old_sets[shard_index],
+                    new_sets[shard_index],
+                ), (crash_after, shard_index, visible)
+            visible_ids = set().union(*per_shard)
+            assert sum(len(s) for s in per_shard) == len(visible_ids)
+            assert 9 <= len(visible_ids) <= 12
+            outcomes.add(len(visible_ids))
+
+            # Queries over the survivors match the pairwise oracle.
+            query_frames = make_frames(2)
+            result = recovered.query(query_frames, k=len(visible_ids))
+            query_summary = summarize_video(0, query_frames, EPSILON, seed=0)
+            expected = {
+                video_id: video_similarity(
+                    query_summary, summaries[video_id]
+                )
+                for video_id in visible_ids
+            }
+            expected = {v: s for v, s in expected.items() if s > 0.0}
+            assert set(result.videos) == set(expected)
+            for video, got in zip(result.videos, result.scores):
+                assert abs(got - expected[video]) < 1e-9
+            recovered.close()
+
+            if not injector.crashed:
+                break
+        else:
+            raise AssertionError("sweep never reached a crash-free run")
+
+        # The sweep must have seen both a fully-old and a fully-new
+        # fleet, plus (typically) mixed states in between.
+        assert 9 in outcomes and 12 in outcomes

@@ -1,0 +1,391 @@
+"""Tests for the scatter-gather router (repro.shard.router).
+
+The load-bearing property is *exactness*: a sharded database must return
+rankings identical to an unsharded :class:`VitriIndex` over the same
+content, for every partitioner and fleet size, with and without shard
+pruning.  Everything else (durability, rebalancing, serving metrics)
+builds on that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import VitriIndex
+from repro.shard import (
+    KeyRangePartitioner,
+    Shard,
+    ShardedVideoDatabase,
+)
+
+EPSILON = 0.3
+
+
+def make_fleet(summaries, partitioner, num_shards, **kwargs):
+    if partitioner == "key_range":
+        fleet = ShardedVideoDatabase(
+            EPSILON,
+            partitioner=KeyRangePartitioner.fit(list(summaries), num_shards),
+            **kwargs,
+        )
+    else:
+        fleet = ShardedVideoDatabase(
+            EPSILON, partitioner=partitioner, num_shards=num_shards, **kwargs
+        )
+    for summary in summaries:
+        fleet.add_summary(summary)
+    return fleet
+
+
+class TestExactness:
+    """Acceptance: sharded rankings == single-index oracle rankings."""
+
+    @pytest.mark.parametrize("partitioner", ["hash", "key_range"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_knn_matches_oracle(
+        self, small_summaries, small_index, partitioner, num_shards
+    ):
+        fleet = make_fleet(small_summaries, partitioner, num_shards)
+        for query in small_summaries[:6]:
+            expected = small_index.knn(query, 5)
+            got = fleet.knn(query, 5)
+            assert got.videos == expected.videos
+            assert np.allclose(got.scores, expected.scores)
+
+    @pytest.mark.parametrize("partitioner", ["hash", "key_range"])
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_similarity_range_matches_oracle(
+        self, small_summaries, small_index, partitioner, num_shards
+    ):
+        fleet = make_fleet(small_summaries, partitioner, num_shards)
+        for query in small_summaries[:4]:
+            expected = small_index.similarity_range(query, 0.2)
+            got = fleet.similarity_range(query, 0.2)
+            assert got.videos == expected.videos
+            assert np.allclose(got.scores, expected.scores)
+
+    def test_pruning_is_lossless(self, small_summaries):
+        fleet = make_fleet(small_summaries, "key_range", 4)
+        for query in small_summaries[:6]:
+            pruned = fleet.knn(query, 5, prune=True)
+            unpruned = fleet.knn(query, 5, prune=False)
+            assert pruned.videos == unpruned.videos
+            assert np.allclose(pruned.scores, unpruned.scores)
+
+    def test_naive_method_matches_oracle(self, small_summaries, small_index):
+        fleet = make_fleet(small_summaries, "hash", 4)
+        query = small_summaries[0]
+        expected = small_index.knn(query, 5, method="naive")
+        got = fleet.knn(query, 5, method="naive")
+        assert got.videos == expected.videos
+
+    def test_more_shards_than_videos(self, small_summaries):
+        few = small_summaries[:3]
+        oracle = VitriIndex.build(list(few), EPSILON)
+        fleet = make_fleet(few, "hash", 8)  # most shards stay empty
+        got = fleet.knn(few[0], 3)
+        expected = oracle.knn(few[0], 3)
+        assert got.videos == expected.videos
+        assert got.scatter.shards_total == 8
+
+
+class TestScatterStats:
+    def test_fanout_accounting(self, small_summaries):
+        fleet = make_fleet(small_summaries, "key_range", 4)
+        result = fleet.knn(small_summaries[0], 5)
+        queried = set(result.scatter.shards_queried)
+        pruned = set(result.scatter.shards_pruned)
+        assert queried  # something answered
+        assert not queried & pruned
+        assert len(queried) + len(pruned) <= result.scatter.shards_total
+
+    def test_global_stats_from_bundles(self, small_summaries):
+        fleet = make_fleet(small_summaries, "key_range", 4, cache_size=0)
+        result = fleet.knn(small_summaries[0], 5)
+        # The folded per-shard bundles must show real work.
+        assert result.stats.page_requests > 0
+        assert result.stats.similarity_computations > 0
+        assert result.stats.ranges >= 1
+        assert result.stats.wall_time >= 0.0
+
+    def test_cache_hit_costs_nothing(self, small_summaries):
+        fleet = make_fleet(small_summaries, "hash", 2, cache_size=8)
+        query = small_summaries[0]
+        first = fleet.knn(query, 5)
+        second = fleet.knn(query, 5)
+        assert second.videos == first.videos
+        # Served from the shard result caches: no pages, no similarity.
+        assert second.stats.page_requests == 0
+        assert second.stats.similarity_computations == 0
+
+
+class TestMutation:
+    def test_membership_tracks_routing(self, small_summaries):
+        fleet = make_fleet(small_summaries, "hash", 4)
+        assert len(fleet) == len(small_summaries)
+        assert fleet.video_ids() == {s.video_id for s in small_summaries}
+        for summary in small_summaries:
+            shard = fleet.shard_of(summary.video_id)
+            assert shard == fleet.partitioner.shard_for(summary)
+            assert summary.video_id in fleet.shards[shard].video_ids()
+
+    def test_duplicate_id_rejected(self, small_summaries):
+        fleet = make_fleet(small_summaries, "hash", 2)
+        with pytest.raises(ValueError, match="already present"):
+            fleet.add_summary(small_summaries[0])
+
+    def test_remove_updates_results(self, small_summaries, small_index):
+        fleet = make_fleet(small_summaries, "hash", 4)
+        query = small_summaries[0]
+        top = fleet.knn(query, 1).videos[0]
+        fleet.remove(top)
+        assert len(fleet) == len(small_summaries) - 1
+        with pytest.raises(ValueError, match="not in the database"):
+            fleet.shard_of(top)
+        after = fleet.knn(query, 5)
+        assert top not in after.videos
+        oracle = VitriIndex.build(
+            [s for s in small_summaries if s.video_id != top], EPSILON
+        )
+        assert after.videos == oracle.knn(query, 5).videos
+
+    def test_add_routes_raw_frames(self, small_dataset):
+        fleet = ShardedVideoDatabase(
+            EPSILON, partitioner="hash", num_shards=3
+        )
+        ids = fleet.add_many(small_dataset.frames(i) for i in range(5))
+        assert ids == [0, 1, 2, 3, 4]
+        result = fleet.query(small_dataset.frames(0), k=3)
+        assert result.videos[0] == 0  # self-match ranks first
+
+
+class TestValidation:
+    def test_bad_k(self, small_summaries):
+        fleet = make_fleet(small_summaries[:4], "hash", 2)
+        for bad in (0, -1, 2.5, True, "3"):
+            with pytest.raises(ValueError, match="positive int"):
+                fleet.knn(small_summaries[0], bad)
+
+    def test_bad_query_type(self, small_summaries):
+        fleet = make_fleet(small_summaries[:4], "hash", 2)
+        with pytest.raises(TypeError, match="VideoSummary"):
+            fleet.knn("query", 5)
+
+    def test_bad_method(self, small_summaries):
+        fleet = make_fleet(small_summaries[:4], "hash", 2)
+        with pytest.raises(ValueError, match="method"):
+            fleet.knn(small_summaries[0], 5, method="magic")
+
+    def test_empty_fleet_rejects_queries(self, small_summaries):
+        fleet = ShardedVideoDatabase(
+            EPSILON, partitioner="hash", num_shards=2
+        )
+        with pytest.raises(ValueError, match="empty"):
+            fleet.knn(small_summaries[0], 5)
+
+    def test_shard_count_conflict(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            ShardedVideoDatabase(
+                EPSILON,
+                partitioner=KeyRangePartitioner([0.5]),
+                num_shards=4,
+            )
+
+    def test_bad_partitioner_type(self):
+        with pytest.raises(TypeError, match="Partitioner"):
+            ShardedVideoDatabase(EPSILON, partitioner=42)
+
+    def test_kind_name_requires_num_shards(self):
+        with pytest.raises(ValueError, match="positive int"):
+            ShardedVideoDatabase(EPSILON, partitioner="hash")
+
+    def test_closed_database_rejects_use(self, small_summaries):
+        fleet = make_fleet(small_summaries[:4], "hash", 2)
+        fleet.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.knn(small_summaries[0], 5)
+        fleet.close()  # idempotent
+
+
+class TestServeMany:
+    def test_results_match_individual_queries(self, small_summaries):
+        stream = list(small_summaries[:5])
+        fleet = make_fleet(small_summaries, "key_range", 4, cache_size=0)
+        expected = [fleet.knn(q, 5) for q in stream]
+        batch = fleet.serve_many(stream, 5)
+        assert len(batch) == 5
+        for got, want in zip(batch.results, expected):
+            assert got.videos == want.videos
+
+    def test_metrics_shape(self, small_summaries):
+        fleet = make_fleet(small_summaries, "hash", 3, cache_size=0)
+        batch = fleet.serve_many(list(small_summaries[:4]), 5)
+        metrics = batch.metrics
+        assert metrics.queries == 4
+        assert metrics.shards == 3
+        assert metrics.qps > 0.0
+        assert metrics.latency_p50 <= metrics.latency_p95 <= metrics.latency_p99
+        assert len(metrics.shard_page_requests) == 3
+        assert metrics.total_page_requests == sum(metrics.shard_page_requests)
+        assert metrics.total_page_requests > 0
+        payload = metrics.to_dict()
+        assert payload["queries"] == 4
+        assert payload["shard_page_requests"] == list(
+            metrics.shard_page_requests
+        )
+
+    def test_repeats_hit_the_result_cache(self, small_summaries):
+        fleet = make_fleet(small_summaries, "hash", 2, cache_size=16)
+        stream = [small_summaries[0]] * 3 + [small_summaries[1]]
+        metrics = fleet.serve_many(stream, 5).metrics
+        assert metrics.cache_hits > 0
+        assert metrics.cache_misses > 0
+
+
+class TestDurability:
+    def test_reopen_round_trip(self, small_summaries, small_index, tmp_path):
+        path = str(tmp_path / "fleet")
+        fleet = make_fleet(small_summaries, "key_range", 3, path=path)
+        query = small_summaries[0]
+        expected = small_index.knn(query, 5)
+        assert fleet.knn(query, 5).videos == expected.videos
+        fleet.close()
+
+        reopened = ShardedVideoDatabase(path=path)
+        assert reopened.num_shards == 3
+        assert reopened.partitioner.name == "key_range"
+        assert reopened.video_ids() == {s.video_id for s in small_summaries}
+        got = reopened.knn(query, 5)
+        assert got.videos == expected.videos
+        assert np.allclose(got.scores, expected.scores)
+        reopened.close()
+
+    def test_reopen_after_mutation(self, small_summaries, tmp_path):
+        path = str(tmp_path / "fleet")
+        fleet = make_fleet(small_summaries, "hash", 2, path=path)
+        fleet.remove(small_summaries[0].video_id)
+        fleet.checkpoint()
+        fleet.close()
+        reopened = ShardedVideoDatabase(path=path)
+        assert (
+            small_summaries[0].video_id not in reopened.video_ids()
+        )
+        assert len(reopened) == len(small_summaries) - 1
+        reopened.close()
+
+    def test_crash_discards_uncheckpointed(self, small_summaries, tmp_path):
+        path = str(tmp_path / "fleet")
+        fleet = make_fleet(small_summaries[:8], "hash", 2, path=path)
+        fleet.checkpoint()
+        fleet.add_summary(small_summaries[8])
+        fleet.crash()
+        reopened = ShardedVideoDatabase(path=path)
+        assert reopened.video_ids() == {
+            s.video_id for s in small_summaries[:8]
+        }
+        reopened.close()
+
+    def test_checkpoint_requires_path(self, small_summaries):
+        fleet = make_fleet(small_summaries[:4], "hash", 2)
+        with pytest.raises(RuntimeError, match="durable"):
+            fleet.checkpoint()
+        with pytest.raises(RuntimeError, match="durable"):
+            fleet.crash()
+
+    def test_context_manager_closes(self, small_summaries, tmp_path):
+        path = str(tmp_path / "fleet")
+        with make_fleet(small_summaries[:6], "hash", 2, path=path) as fleet:
+            assert len(fleet) == 6
+        reopened = ShardedVideoDatabase(path=path)
+        assert len(reopened) == 6  # close() checkpointed
+        reopened.close()
+
+
+class TestRebalance:
+    def test_requires_key_range(self, small_summaries):
+        fleet = make_fleet(small_summaries, "hash", 2)
+        with pytest.raises(ValueError, match="KeyRangePartitioner"):
+            fleet.rebalance()
+
+    def test_splits_hottest_shard(self, small_summaries, small_index):
+        fleet = make_fleet(small_summaries, "key_range", 2)
+        for query in small_summaries[:4]:
+            fleet.knn(query, 5)
+        before = len(fleet)
+        new_shard = fleet.rebalance()
+        assert new_shard is not None
+        assert fleet.num_shards == 3
+        assert fleet.partitioner.num_shards == 3
+        assert len(fleet) == before  # nothing lost, nothing duplicated
+        assert [s.shard_id for s in fleet.shards] == [0, 1, 2]
+        # Exactness survives the split.
+        for query in small_summaries[:4]:
+            got = fleet.knn(query, 5)
+            expected = small_index.knn(query, 5)
+            assert got.videos == expected.videos
+
+    def test_durable_rebalance_survives_reopen(
+        self, small_summaries, small_index, tmp_path
+    ):
+        path = str(tmp_path / "fleet")
+        fleet = make_fleet(small_summaries, "key_range", 2, path=path)
+        fleet.knn(small_summaries[0], 5)
+        assert fleet.rebalance() is not None
+        fleet.close()
+        reopened = ShardedVideoDatabase(path=path)
+        assert reopened.num_shards == 3
+        assert len(reopened) == len(small_summaries)
+        got = reopened.knn(small_summaries[0], 5)
+        assert got.videos == small_index.knn(small_summaries[0], 5).videos
+        reopened.close()
+
+    def test_unsplittable_shard_returns_none(self, small_summaries):
+        # One video per populated shard: a single routing key never splits.
+        fleet = make_fleet(small_summaries[:1], "key_range", 2)
+        assert fleet.rebalance() is None
+        assert fleet.num_shards == 2
+
+
+class TestShardUnit:
+    def test_engine_refreshes_on_content_change(self, small_summaries):
+        shard = Shard(0, epsilon=EPSILON)
+        for summary in small_summaries[:6]:
+            shard.add_summary(summary)
+        first = shard.knn(small_summaries[0], 3)
+        assert first.videos
+        engine = shard.engine()
+        token = engine.snapshot_token
+        shard.add_summary(small_summaries[6])
+        # Same index object, new content: the shard must refresh the
+        # engine in place rather than serve the stale snapshot.
+        after = shard.knn(small_summaries[6], 1)
+        assert after.videos[0] == small_summaries[6].video_id
+        assert shard.engine() is engine
+        assert engine.snapshot_token != token
+        assert shard.queries_served == 2
+
+    def test_key_bounds_cached_per_token(self, small_summaries):
+        shard = Shard(0, epsilon=EPSILON)
+        for summary in small_summaries[:6]:
+            shard.add_summary(summary)
+        bounds = shard.key_bounds()
+        assert bounds is not None and bounds[0] <= bounds[1]
+        assert shard.key_bounds() == bounds  # cached (same token)
+        shard.add_summary(small_summaries[6])
+        refreshed = shard.key_bounds()
+        assert refreshed is not None
+        assert refreshed[0] <= bounds[0] and refreshed[1] >= bounds[1]
+
+    def test_empty_shard_metadata(self, small_summaries):
+        shard = Shard(0, epsilon=EPSILON)
+        assert shard.key_bounds() is None
+        assert not shard.may_contain(small_summaries[0])
+        assert len(shard) == 0
+
+    def test_may_contain_never_prunes_a_match(self, small_summaries):
+        shard = Shard(0, epsilon=EPSILON)
+        for summary in small_summaries[:8]:
+            shard.add_summary(summary)
+        for query in small_summaries:
+            local = shard.knn(query, len(small_summaries))
+            if any(score > 0.0 for score in local.scores):
+                assert shard.may_contain(query)

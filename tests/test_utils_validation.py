@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 
 from repro.utils.validation import (
+    MAX_SHARDS,
     check_finite,
     check_matrix,
     check_non_negative,
     check_positive,
+    check_positive_int,
     check_probability,
+    check_shard_count,
     check_vector,
 )
 
@@ -115,3 +118,38 @@ class TestScalarChecks:
             check_finite(float("inf"), "x")
         with pytest.raises(TypeError):
             check_finite(None, "x")
+
+
+class TestCountChecks:
+    """The shared boundary for count-like arguments (k, workers, shards)."""
+
+    def test_positive_int_accepts(self):
+        assert check_positive_int(1, "k") == 1
+        assert check_positive_int(10_000, "k") == 10_000
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "3", None, True, False])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ValueError, match="must be a positive int"):
+            check_positive_int(bad, "k")
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="workers"):
+            check_positive_int(0, "workers")
+
+    def test_numpy_integer_rejected(self):
+        # The contract is a Python int: numpy scalars are not silently
+        # coerced (they would survive JSON round-trips differently).
+        with pytest.raises(ValueError):
+            check_positive_int(np.int64(3), "k")
+
+    def test_shard_count_bounds(self):
+        assert check_shard_count(1) == 1
+        assert check_shard_count(MAX_SHARDS) == MAX_SHARDS
+        with pytest.raises(ValueError, match="at most"):
+            check_shard_count(MAX_SHARDS + 1)
+        with pytest.raises(ValueError, match="positive int"):
+            check_shard_count(0)
+
+    def test_shard_count_names_argument(self):
+        with pytest.raises(ValueError, match="fleet_size"):
+            check_shard_count(0, "fleet_size")
