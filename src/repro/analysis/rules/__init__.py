@@ -7,6 +7,7 @@ from repro.analysis.rules import (  # noqa: F401
     counter_discipline,
     float_equality,
     future_annotations,
+    injected_clock,
     seeded_rng,
     wall_clock,
 )

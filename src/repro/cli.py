@@ -33,13 +33,21 @@ table and writing the full metrics to ``--out`` (JSON).
 router, sweeping fleet sizes instead of worker counts; every fleet's
 rankings are asserted identical to the 1-shard reference.  ``check
 --sharded`` verifies a durable fleet directory: each shard's page
-checksums, B+-tree invariants and heap accounting, plus the fleet-level
-placement report.
+checksums, B+-tree invariants and heap accounting, the fleet-level
+placement report, and the persisted ``health.json`` (unknown shards,
+invalid breaker states, shards that would be skipped at open time).
+
+``repro-video bench-faults`` runs the deterministic fault sweep
+(hard-down / transient / straggler / timeout scenarios against a sharded
+fleet) and reports availability plus tail latency; ``repro-video
+fleet-health`` opens a durable fleet and prints each shard's health
+counters and breaker state.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.index import VitriIndex
@@ -300,10 +308,194 @@ def _cmd_bench_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.faults import run_fault_benchmark
+    from repro.eval.serving import make_query_stream
+
+    if args.dataset:
+        dataset = VideoDataset.load(args.dataset)
+    else:
+        dataset = generate_dataset(seed=args.seed)
+    summaries = _summaries(dataset, args.epsilon)
+    stream = make_query_stream(
+        summaries, args.queries, seed=args.seed, repeat_fraction=0.0
+    )
+    try:
+        results = run_fault_benchmark(
+            summaries,
+            stream,
+            args.k,
+            epsilon=args.epsilon,
+            num_shards=args.shards,
+            seed=args.seed,
+            down_shard=args.down_shard,
+            buffer_capacity=args.buffer_capacity,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        (
+            entry["scenario"],
+            f"{entry['availability']:.3f}",
+            entry["degraded_queries"],
+            entry["retries"],
+            entry["hedges"],
+            entry["timeouts"],
+            entry["breaker_trips"],
+            f"{entry['latency_p99'] * 1e3:.1f}",
+        )
+        for entry in results["scenarios"]
+    ]
+    print(
+        format_table(
+            [
+                "scenario",
+                "avail",
+                "degraded",
+                "retries",
+                "hedges",
+                "timeouts",
+                "trips",
+                "p99 ms",
+            ],
+            rows,
+            title=(
+                f"fault sweep: {results['queries']} queries, "
+                f"k={results['k']}, {results['num_shards']} shards, "
+                f"shard {results['down_shard']} faulted"
+            ),
+        )
+    )
+    print(
+        f"\navailability: {results['availability']:.4f} "
+        f"(p99 latency {results['p99_latency'] * 1e3:.1f} ms)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote metrics to {args.out}")
+    return 0
+
+
+def _cmd_fleet_health(args: argparse.Namespace) -> int:
+    from repro.shard.resilience import CircuitBreaker
+    from repro.shard.router import ShardedVideoDatabase
+    from repro.storage.serialization import ChecksumError
+
+    try:
+        # Reopening restores health.json (when present) into the
+        # registry, including reopening any persisted open breakers.
+        fleet = ShardedVideoDatabase(path=args.index)
+    except (ChecksumError, ValueError, OSError) as exc:
+        print(f"error: cannot open fleet: {exc}", file=sys.stderr)
+        return 1
+    report = fleet.fleet_health()
+    rows = [
+        (
+            shard_id,
+            entry["breaker_state"],
+            entry["successes"],
+            entry["failures"],
+            entry["retries"],
+            entry["hedges_fired"],
+            entry["timeouts"],
+            entry["trips"],
+            f"{entry['p95_latency'] * 1e3:.1f}",
+        )
+        for shard_id, entry in report.items()
+    ]
+    print(
+        format_table(
+            [
+                "shard",
+                "breaker",
+                "ok",
+                "fail",
+                "retries",
+                "hedges",
+                "timeouts",
+                "trips",
+                "p95 ms",
+            ],
+            rows,
+            title=f"fleet health: {len(fleet)} videos across "
+            f"{fleet.num_shards} shards",
+        )
+    )
+    skipped = [
+        shard_id
+        for shard_id, entry in report.items()
+        if entry["breaker_state"] != CircuitBreaker.CLOSED
+    ]
+    if skipped:
+        print(
+            f"\nwarning: shard(s) {skipped} have non-closed breakers and "
+            "would be skipped by degraded queries until a probe succeeds"
+        )
+    fleet.close()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args)
+
+
+def _check_fleet_health_file(path: str, num_shards: int) -> list[str]:
+    """Verify ``health.json`` (if present) against the fleet manifest.
+
+    Returns failure strings; prints the shards whose persisted breaker
+    state would make degraded queries skip them at open time.
+    """
+    import json
+
+    from repro.shard.resilience import CircuitBreaker
+
+    health_path = os.path.join(path, "health.json")
+    if not os.path.exists(health_path):
+        print("health: no health.json (fleet never served resilient queries)")
+        return []
+    try:
+        with open(health_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = {int(key): dict(value) for key, value in payload.items()}
+    except (ValueError, OSError) as exc:
+        return [f"health: cannot parse health.json: {exc}"]
+    failures: list[str] = []
+    valid_states = (
+        CircuitBreaker.CLOSED,
+        CircuitBreaker.OPEN,
+        CircuitBreaker.HALF_OPEN,
+    )
+    skipped: list[int] = []
+    for shard_id, entry in sorted(entries.items()):
+        if not 0 <= shard_id < num_shards:
+            failures.append(
+                f"health: entry for shard {shard_id} but the manifest "
+                f"lists only shards 0..{num_shards - 1}"
+            )
+            continue
+        state = entry.get("breaker_state", CircuitBreaker.CLOSED)
+        if state not in valid_states:
+            failures.append(
+                f"health: shard {shard_id} has unknown breaker state "
+                f"{state!r}"
+            )
+            continue
+        if state != CircuitBreaker.CLOSED:
+            skipped.append(shard_id)
+    if skipped:
+        print(
+            f"health: shard(s) {skipped} persisted non-closed breakers — "
+            "degraded queries will skip them at open until a probe succeeds"
+        )
+    else:
+        print(f"health: {len(entries)} shard record(s), all breakers closed")
+    return failures
 
 
 def _check_sharded(args: argparse.Namespace) -> int:
@@ -319,6 +511,7 @@ def _check_sharded(args: argparse.Namespace) -> int:
         print(f"error: cannot open fleet: {exc}", file=sys.stderr)
         return 1
     failures: list[str] = []
+    failures.extend(_check_fleet_health_file(args.index, fleet.num_shards))
     misplaced = 0
     for shard in fleet.shards:
         label = f"shard {shard.shard_id}"
@@ -619,6 +812,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write full metrics JSON here"
     )
     bench_shard.set_defaults(func=_cmd_bench_shard)
+
+    bench_faults = commands.add_parser(
+        "bench-faults",
+        help="benchmark the fleet under injected faults",
+        description=(
+            "Run the deterministic fault sweep (hard-down, transient, "
+            "straggler and timeout scenarios) against a sharded fleet; "
+            "correctness is asserted inside the sweep, the report gives "
+            "availability and tail latency. Write metrics as JSON."
+        ),
+    )
+    bench_faults.add_argument(
+        "--dataset",
+        default=None,
+        help=".npz dataset (default: generate a small synthetic one)",
+    )
+    bench_faults.add_argument("--epsilon", type=float, default=0.3)
+    bench_faults.add_argument("--k", type=int, default=10)
+    bench_faults.add_argument(
+        "--queries", type=int, default=16, help="query-stream length"
+    )
+    bench_faults.add_argument(
+        "--shards", type=int, default=4, help="fleet size"
+    )
+    bench_faults.add_argument(
+        "--down-shard",
+        type=int,
+        default=1,
+        help="which shard the fault scenarios target",
+    )
+    bench_faults.add_argument("--buffer-capacity", type=int, default=32)
+    bench_faults.add_argument("--seed", type=int, default=0)
+    bench_faults.add_argument(
+        "--out", default=None, help="write full metrics JSON here"
+    )
+    bench_faults.set_defaults(func=_cmd_bench_faults)
+
+    fleet_health = commands.add_parser(
+        "fleet-health",
+        help="per-shard health and breaker state of a durable fleet",
+        description=(
+            "Open a ShardedVideoDatabase fleet directory (restoring "
+            "health.json) and print each shard's health counters, "
+            "breaker state and which shards degraded queries would skip."
+        ),
+    )
+    fleet_health.add_argument(
+        "--index", required=True, help="fleet directory"
+    )
+    fleet_health.set_defaults(func=_cmd_fleet_health)
 
     lint = commands.add_parser(
         "lint",

@@ -53,6 +53,7 @@ from repro.core.index import (
 from repro.core.vitri import VideoSummary
 from repro.storage.buffer_pool import BufferPool
 from repro.utils.counters import CostCounters, Timer
+from repro.utils.stats import percentile
 
 __all__ = ["BatchResult", "QueryEngine", "ServingMetrics", "query_fingerprint"]
 
@@ -74,19 +75,6 @@ def query_fingerprint(query: VideoSummary) -> str:
         digest.update(vitri.position.tobytes())
         digest.update(_FP_VITRI.pack(vitri.radius, vitri.count))
     return digest.hexdigest()
-
-
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an ascending-sorted list."""
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = fraction * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    weight = rank - low
-    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
 
 
 @dataclass(frozen=True)
@@ -371,9 +359,9 @@ class QueryEngine:
             workers=workers,
             wall_time=wall,
             qps=len(queries) / wall if wall > 0.0 else 0.0,
-            latency_p50=_percentile(ordered, 0.50),
-            latency_p95=_percentile(ordered, 0.95),
-            latency_p99=_percentile(ordered, 0.99),
+            latency_p50=percentile(ordered, 0.50),
+            latency_p95=percentile(ordered, 0.95),
+            latency_p99=percentile(ordered, 0.99),
             cache_hits=hits,
             cache_misses=misses,
             cache_hit_rate=hits / len(queries) if queries else 0.0,

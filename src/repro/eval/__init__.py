@@ -3,6 +3,7 @@ cost aggregation used by every experiment in Section 6."""
 
 from __future__ import annotations
 
+from repro.eval.faults import run_fault_benchmark
 from repro.eval.ground_truth import GroundTruthCache, knn_ground_truth
 from repro.eval.harness import aggregate_stats, format_table
 from repro.eval.metrics import precision_at_k
@@ -12,6 +13,7 @@ from repro.eval.sharding import build_fleet, run_sharding_benchmark
 
 __all__ = [
     "build_fleet",
+    "run_fault_benchmark",
     "run_sharding_benchmark",
     "GroundTruthCache",
     "knn_ground_truth",

@@ -1,0 +1,326 @@
+"""Fault-tolerance evaluation for the sharded fleet.
+
+The resilience acceptance question has three parts, and
+:func:`run_fault_benchmark` answers all of them over one seeded query
+stream against a 4-shard (by default) fleet on a
+:class:`~repro.utils.clock.VirtualClock`:
+
+* **Correctness under partial failure.**  With one shard hard-down,
+  every degraded query's ranking must equal a single-index oracle built
+  over the *surviving* shards' videos, every coverage report must flag
+  the incompleteness, and strict mode must still raise.
+* **Exact recovery.**  Under transient faults the retry path must
+  reproduce the fault-free reference *exactly* — same rankings and the
+  same per-query cost counters, which is only possible if no retry's
+  cost is double-counted.
+* **Availability.**  Across every injected-fault scenario the fleet must
+  keep answering: the sweep's availability (fraction of queries that
+  produced a usable answer) is the headline number of
+  ``BENCH_faults.json``, asserted ≥ 99% by ``benchmarks/bench_faults.py``.
+
+Every scenario is deterministic: faults fire by operation count, retry
+jitter is a seeded hash, and all latencies/backoffs/cooldowns run on the
+virtual clock — so a failing sweep reproduces bit-for-bit.
+
+Queries fan out to every shard (``prune=False``): the sweep measures
+what failure does to the fleet, not whether routing luck avoided the
+faulted shard.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import VitriIndex
+from repro.core.vitri import VideoSummary
+from repro.shard.faults import ShardFault, ShardFaultInjector
+from repro.shard.partitioner import KeyRangePartitioner
+from repro.shard.resilience import (
+    FaultPolicy,
+    HedgePolicy,
+    RetryPolicy,
+    ScatterError,
+)
+from repro.shard.router import ShardedVideoDatabase
+from repro.utils.clock import VirtualClock
+
+__all__ = ["run_fault_benchmark"]
+
+
+def _build_fleet(
+    summaries: list[VideoSummary],
+    num_shards: int,
+    *,
+    epsilon: float,
+    buffer_capacity: int,
+) -> ShardedVideoDatabase:
+    """A fresh in-memory fleet on a fresh virtual clock, cache disabled
+    (every attempt must pay its real cost or the double-counting check
+    proves nothing)."""
+    fleet = ShardedVideoDatabase(
+        epsilon,
+        partitioner=KeyRangePartitioner.fit(summaries, num_shards),
+        buffer_capacity=buffer_capacity,
+        cache_size=0,
+        clock=VirtualClock(),
+    )
+    for summary in summaries:
+        fleet.add_summary(summary)
+    fleet.build()
+    return fleet
+
+
+def _cost_signature(stats) -> tuple:
+    """A query's deterministic cost fields (wall time excluded)."""
+    return (
+        stats.page_requests,
+        stats.physical_reads,
+        stats.node_visits,
+        stats.similarity_computations,
+        stats.candidates,
+        stats.ranges,
+    )
+
+
+def run_fault_benchmark(
+    summaries: list[VideoSummary],
+    stream: list[VideoSummary],
+    k: int,
+    *,
+    epsilon: float,
+    num_shards: int = 4,
+    seed: int = 0,
+    down_shard: int = 1,
+    transient_errors: int = 2,
+    slow_delay: float = 0.05,
+    deadline: float = 0.02,
+    buffer_capacity: int = 32,
+) -> dict:
+    """Sweep fault scenarios over one query stream; return the report.
+
+    Scenarios (each on a freshly built fleet over the same summaries):
+
+    ``reference``
+        Fault-free strict pass; its rankings and per-query cost
+        signatures are the baseline every other scenario is held to.
+    ``hard_down``
+        ``down_shard`` is down from its first operation.  Asserts:
+        degraded rankings equal the surviving-shards oracle, coverage
+        flags every query incomplete, strict mode raises, and the
+        breaker opens (later queries trip instead of burning retries).
+    ``transient``
+        ``down_shard`` fails its first ``transient_errors`` operations,
+        then heals.  Asserts rankings *and* cost signatures equal the
+        reference — retries recovered exactly, with zero
+        :class:`~repro.utils.counters.CostCounters` double-counting.
+    ``slow_hedge``
+        ``down_shard`` is a permanent straggler (``slow_delay`` of
+        injected latency per attempt); an absolute hedge threshold fires
+        a backup per query.  Asserts rankings equal the reference and
+        hedges actually fired.
+    ``timeout``
+        Same straggler, but with a ``deadline`` below ``slow_delay``:
+        every attempt times out and the query degrades.  Asserts
+        rankings equal the surviving oracle and timeouts were recorded.
+
+    The returned dict is JSON-serialisable and becomes
+    ``BENCH_faults.json``.
+    """
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    if not 0 <= down_shard < num_shards:
+        raise ValueError(
+            f"down_shard must be in [0, {num_shards}), got {down_shard}"
+        )
+
+    # --- reference: fault-free strict pass --------------------------------
+    fleet = _build_fleet(
+        summaries, num_shards, epsilon=epsilon, buffer_capacity=buffer_capacity
+    )
+    reference_batch = fleet.serve_many(stream, k, prune=False, cold=True)
+    reference = [
+        (result.videos, _cost_signature(result.stats))
+        for result in reference_batch.results
+    ]
+    surviving = [
+        summary
+        for summary in summaries
+        if fleet.shard_of(summary.video_id) != down_shard
+    ]
+    survivor_oracle = VitriIndex.build(surviving, epsilon, reference="optimal")
+    survivor_expected = [
+        survivor_oracle.knn(query, k).videos for query in stream
+    ]
+
+    scenarios: list[dict] = []
+
+    def record(name: str, batch, *, note: str) -> dict:
+        entry = batch.metrics.to_dict()
+        entry["scenario"] = name
+        entry["note"] = note
+        scenarios.append(entry)
+        return entry
+
+    record("reference", reference_batch, note="fault-free strict baseline")
+
+    # --- hard-down: degrade, flag, and trip -------------------------------
+    fleet = _build_fleet(
+        summaries, num_shards, epsilon=epsilon, buffer_capacity=buffer_capacity
+    )
+    fleet.inject_shard_faults(
+        ShardFaultInjector({down_shard: [ShardFault.hard_down()]})
+    )
+    policy = FaultPolicy(retry=RetryPolicy(max_attempts=2, seed=seed))
+    try:
+        fleet.knn(stream[0], k, prune=False, fault_policy=policy)
+    except ScatterError:
+        pass
+    else:
+        raise RuntimeError("strict mode failed to raise with a shard down")
+    batch = fleet.serve_many(
+        stream, k, prune=False, cold=True, fault_policy=policy, fail_fast=False
+    )
+    for position, result in enumerate(batch.results):
+        if result.videos != survivor_expected[position]:
+            raise RuntimeError(
+                f"hard-down ranking diverged from the surviving-shards "
+                f"oracle at stream position {position}"
+            )
+        if result.coverage.complete:
+            raise RuntimeError(
+                f"hard-down query {position} reported complete coverage"
+            )
+    entry = record(
+        "hard_down", batch, note=f"shard {down_shard} down for the whole sweep"
+    )
+    if entry["breaker_trips"] == 0:
+        raise RuntimeError("breaker never opened under a hard-down shard")
+
+    # --- transient: exact recovery, zero double-counting ------------------
+    fleet = _build_fleet(
+        summaries, num_shards, epsilon=epsilon, buffer_capacity=buffer_capacity
+    )
+    fleet.inject_shard_faults(
+        ShardFaultInjector(
+            {down_shard: [ShardFault.transient(errors=transient_errors)]}
+        )
+    )
+    batch = fleet.serve_many(
+        stream,
+        k,
+        prune=False,
+        cold=True,
+        fault_policy=FaultPolicy(
+            retry=RetryPolicy(max_attempts=transient_errors + 2, seed=seed)
+        ),
+        fail_fast=False,
+    )
+    for position, result in enumerate(batch.results):
+        videos, signature = reference[position]
+        if result.videos != videos:
+            raise RuntimeError(
+                f"transient recovery changed the ranking at stream "
+                f"position {position}"
+            )
+        if _cost_signature(result.stats) != signature:
+            raise RuntimeError(
+                f"transient recovery double-counted costs at stream "
+                f"position {position}: {_cost_signature(result.stats)} != "
+                f"{signature}"
+            )
+        if not result.coverage.complete:
+            raise RuntimeError(
+                f"transient query {position} should have recovered fully"
+            )
+    record(
+        "transient",
+        batch,
+        note=f"shard {down_shard} fails first {transient_errors} ops, heals",
+    )
+
+    # --- slow + hedge: stragglers recovered without degradation ----------
+    fleet = _build_fleet(
+        summaries, num_shards, epsilon=epsilon, buffer_capacity=buffer_capacity
+    )
+    fleet.inject_shard_faults(
+        ShardFaultInjector({down_shard: [ShardFault.slow(slow_delay)]})
+    )
+    batch = fleet.serve_many(
+        stream,
+        k,
+        prune=False,
+        cold=True,
+        fault_policy=FaultPolicy(
+            retry=RetryPolicy(max_attempts=2, seed=seed),
+            hedge=HedgePolicy(after=slow_delay / 2.0),
+        ),
+        fail_fast=False,
+    )
+    for position, result in enumerate(batch.results):
+        if result.videos != reference[position][0]:
+            raise RuntimeError(
+                f"straggler scenario changed the ranking at stream "
+                f"position {position}"
+            )
+    entry = record(
+        "slow_hedge",
+        batch,
+        note=f"shard {down_shard} +{slow_delay}s per attempt, hedged",
+    )
+    if entry["hedges"] == 0:
+        raise RuntimeError("no hedges fired against a permanent straggler")
+
+    # --- timeout: stragglers past the deadline degrade --------------------
+    fleet = _build_fleet(
+        summaries, num_shards, epsilon=epsilon, buffer_capacity=buffer_capacity
+    )
+    fleet.inject_shard_faults(
+        ShardFaultInjector({down_shard: [ShardFault.slow(slow_delay)]})
+    )
+    batch = fleet.serve_many(
+        stream,
+        k,
+        prune=False,
+        cold=True,
+        fault_policy=FaultPolicy(
+            retry=RetryPolicy(max_attempts=2, seed=seed), deadline=deadline
+        ),
+        fail_fast=False,
+    )
+    for position, result in enumerate(batch.results):
+        if result.videos != survivor_expected[position]:
+            raise RuntimeError(
+                f"timeout scenario diverged from the surviving-shards "
+                f"oracle at stream position {position}"
+            )
+    entry = record(
+        "timeout",
+        batch,
+        note=f"deadline {deadline}s < straggler delay {slow_delay}s",
+    )
+    if entry["timeouts"] == 0:
+        raise RuntimeError("deadline sweep recorded no timeouts")
+
+    total_queries = sum(entry["queries"] for entry in scenarios)
+    answered = sum(
+        entry["availability"] * entry["queries"] for entry in scenarios
+    )
+    availability = answered / total_queries if total_queries else 1.0
+    return {
+        "videos": len(summaries),
+        "queries": len(stream),
+        "k": k,
+        "num_shards": num_shards,
+        "down_shard": down_shard,
+        "seed": seed,
+        "transient_errors": transient_errors,
+        "slow_delay": slow_delay,
+        "deadline": deadline,
+        "scenarios": scenarios,
+        "availability": availability,
+        "p99_latency": max(entry["latency_p99"] for entry in scenarios),
+        "total_retries": sum(entry["retries"] for entry in scenarios),
+        "total_hedges": sum(entry["hedges"] for entry in scenarios),
+        "total_timeouts": sum(entry["timeouts"] for entry in scenarios),
+        "total_breaker_trips": sum(
+            entry["breaker_trips"] for entry in scenarios
+        ),
+    }

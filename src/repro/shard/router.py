@@ -37,6 +37,23 @@ objects (enforced by the ``counter-discipline`` lint rule).  Wall time
 is the router's own scatter-to-merge span, so overlap across shards is
 visible as ``wall_time`` < sum of per-shard times.
 
+Fault tolerance
+---------------
+By default the scatter is strict: any worker failure aborts the query
+with a :class:`~repro.shard.resilience.ScatterError` aggregating *every*
+shard's error.  Passing ``fault_policy=``/``fail_fast=False`` to the
+query methods switches to the resilient path: each shard's sub-query
+runs under :func:`~repro.shard.resilience.run_attempts` (deadline,
+deterministic retries, optional hedging, per-shard circuit breaker) and
+a degraded query returns whatever the surviving shards answered plus a
+:class:`~repro.shard.resilience.Coverage` report saying exactly which
+shards are missing and whether the merged top-k is provably complete.
+Per-shard health lives in the router's
+:class:`~repro.shard.resilience.FleetHealth` registry and is persisted
+to ``health.json`` beside the manifest (advisory state: written with a
+plain atomic replace, never routed through the fault injector, so
+crash-point sweeps see identical op counts with or without it).
+
 Durability
 ----------
 A durable fleet is a directory of shard directories plus a
@@ -57,17 +74,34 @@ import os
 import threading
 from dataclasses import dataclass
 
-from repro.core.index import KNNResult, QueryStats, _rank
+from repro.core.index import QueryStats, _rank
 from repro.core.summarize import summarize_video
 from repro.core.vitri import VideoSummary
+from repro.shard.faults import FaultInjectingShard, ShardFaultInjector
 from repro.shard.partitioner import (
     KeyRangePartitioner,
     Partitioner,
     make_partitioner,
     partitioner_from_dict,
 )
+from repro.shard.resilience import (
+    ANSWERED,
+    TIMED_OUT,
+    TRIPPED,
+    AttemptOutcome,
+    BreakerPolicy,
+    CircuitBreaker,
+    Coverage,
+    FaultPolicy,
+    FleetHealth,
+    HealthStats,
+    ScatterError,
+    run_attempts,
+)
 from repro.shard.shard import Shard
+from repro.utils.clock import Clock, SystemClock
 from repro.utils.counters import CostCounters, Timer
+from repro.utils.stats import percentile
 from repro.utils.validation import check_matrix, check_positive, check_positive_int
 
 __all__ = [
@@ -80,6 +114,7 @@ __all__ = [
 
 _MANIFEST_FILE = "shards.json"
 _MANIFEST_FORMAT = 1
+_HEALTH_FILE = "health.json"
 
 
 @dataclass(frozen=True)
@@ -103,28 +138,22 @@ class ScatterStats:
 
 @dataclass(frozen=True)
 class ShardedKNNResult:
-    """A sharded query's outcome: ranked videos, global cost, fan-out."""
+    """A sharded query's outcome: ranked videos, global cost, fan-out.
+
+    ``coverage`` reports which shards contributed (see
+    :class:`~repro.shard.resilience.Coverage`); on the strict path every
+    queried shard answered, so ``coverage.complete`` is always true
+    there — degraded queries are where it earns its keep.
+    """
 
     videos: tuple[int, ...]
     scores: tuple[float, ...]
     stats: QueryStats
     scatter: ScatterStats
+    coverage: Coverage | None = None
 
     def __len__(self) -> int:
         return len(self.videos)
-
-
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an ascending-sorted list."""
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = fraction * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    weight = rank - low
-    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
 
 
 @dataclass(frozen=True)
@@ -145,6 +174,12 @@ class ShardedServingMetrics:
     shard_physical_reads: tuple[int, ...]
     total_page_requests: int
     total_physical_reads: int
+    retries: int = 0
+    hedges: int = 0
+    timeouts: int = 0
+    breaker_trips: int = 0
+    degraded_queries: int = 0
+    availability: float = 1.0
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (what ``BENCH_sharding.json`` records)."""
@@ -162,6 +197,12 @@ class ShardedServingMetrics:
             "shard_physical_reads": list(self.shard_physical_reads),
             "total_page_requests": self.total_page_requests,
             "total_physical_reads": self.total_physical_reads,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "timeouts": self.timeouts,
+            "breaker_trips": self.breaker_trips,
+            "degraded_queries": self.degraded_queries,
+            "availability": self.availability,
         }
 
 
@@ -205,6 +246,12 @@ class ShardedVideoDatabase:
         One :class:`~repro.storage.faults.FaultInjector` shared by every
         shard *and* the manifest write, so a crash-point sweep covers the
         whole fleet checkpoint; testing only.
+    clock:
+        The :class:`~repro.utils.clock.Clock` driving latencies, retry
+        backoffs and breaker cooldowns; defaults to the real
+        :class:`~repro.utils.clock.SystemClock`.  Tests pass a
+        :class:`~repro.utils.clock.VirtualClock` so fault behaviour is
+        deterministic.
     """
 
     def __init__(
@@ -220,6 +267,7 @@ class ShardedVideoDatabase:
         read_latency: float = 0.0,
         cache_size: int = 128,
         fault_injector=None,
+        clock: Clock | None = None,
     ) -> None:
         self._epsilon = check_positive(epsilon, "epsilon")
         self._reference = reference
@@ -228,6 +276,8 @@ class ShardedVideoDatabase:
         self._read_latency = read_latency
         self._cache_size = cache_size
         self._faults = fault_injector
+        self._clock = clock if clock is not None else SystemClock()
+        self._health = FleetHealth(self._clock)
         self._path = os.fspath(path) if path is not None else None
         self._closed = False
         self._next_video_id = 0
@@ -324,6 +374,7 @@ class ShardedVideoDatabase:
                 )
             )
         self._reconcile()
+        self._restore_health()
 
     def _reconcile(self) -> None:
         """Rebuild membership from actual shard content, resolving any
@@ -400,6 +451,42 @@ class ShardedVideoDatabase:
             raise ValueError(f"video id {video_id} is not in the database")
         return self._membership[video_id]
 
+    @property
+    def health(self) -> FleetHealth:
+        """The live per-shard health + breaker registry."""
+        return self._health
+
+    def fleet_health(self) -> dict[int, dict]:
+        """Per-shard health report covering *every* shard in the fleet.
+
+        Shards that never saw a resilient query report zeroed counters
+        and a closed breaker, so the report's shape is stable regardless
+        of traffic.
+        """
+        report = self._health.snapshot()
+        for shard in self._shards:
+            if shard.shard_id not in report:
+                entry = HealthStats(shard.shard_id).to_dict()
+                entry["breaker_state"] = CircuitBreaker.CLOSED
+                entry["breaker_opens"] = 0
+                report[shard.shard_id] = entry
+        return {shard_id: report[shard_id] for shard_id in sorted(report)}
+
+    def inject_shard_faults(self, injector: ShardFaultInjector) -> None:
+        """Wrap every current shard in a :class:`FaultInjectingShard`.
+
+        Testing seam: the injector's schedule fires on serving operations
+        (every knn / similarity_range attempt, retries and hedges
+        included); routing metadata stays fault-free.  Shards created
+        later (rebalance splits) are not wrapped.
+        """
+        self._shards = [
+            shard
+            if isinstance(shard, FaultInjectingShard)
+            else FaultInjectingShard(shard, injector, clock=self._clock)
+            for shard in self._shards
+        ]
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("database is closed")
@@ -470,12 +557,22 @@ class ShardedVideoDatabase:
         method: str = "composed",
         prune: bool = True,
         cold: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        fail_fast: bool = True,
     ) -> ShardedKNNResult:
         """Top-``k`` most similar stored videos for a raw frame matrix."""
         self._check_open()
         frames = check_matrix(frames, "frames", min_rows=1)
         summary = summarize_video(0, frames, self._epsilon, seed=self._seed)
-        return self.knn(summary, k, method=method, prune=prune, cold=cold)
+        return self.knn(
+            summary,
+            k,
+            method=method,
+            prune=prune,
+            cold=cold,
+            fault_policy=fault_policy,
+            fail_fast=fail_fast,
+        )
 
     def knn(
         self,
@@ -485,6 +582,8 @@ class ShardedVideoDatabase:
         method: str = "composed",
         prune: bool = True,
         cold: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        fail_fast: bool = True,
     ) -> ShardedKNNResult:
         """Global top-``k``: scatter, per-shard top-``k``, exact merge.
 
@@ -501,6 +600,17 @@ class ShardedVideoDatabase:
             cannot reach (lossless; never changes the ranking).
         cold:
             Clear each queried shard's serving pool first.
+        fault_policy:
+            Retry/deadline/hedge/breaker configuration for each shard's
+            sub-query (see :class:`~repro.shard.resilience.FaultPolicy`).
+            ``None`` with ``fail_fast=True`` (the default) is today's
+            strict single-attempt scatter.
+        fail_fast:
+            ``True``: any shard that stays failed after its policy is
+            exhausted raises a :class:`ScatterError` aggregating every
+            failure.  ``False``: the query *returns* instead, merging
+            whatever the surviving shards answered, with
+            ``result.coverage`` flagging exactly what is missing.
         """
         self._check_query_args(query, k, method)
         total_counters = CostCounters()
@@ -508,12 +618,15 @@ class ShardedVideoDatabase:
             queried, pruned = self._select_shards(
                 query, prune, total_counters
             )
-            per_shard = self._scatter(
+            per_shard, coverage = self._dispatch(
                 queried,
+                pruned,
                 lambda shard, bundle: shard.knn(
                     query, k, method=method, cold=cold, out_counters=bundle
                 ),
                 total_counters,
+                fault_policy,
+                fail_fast,
             )
             merged: dict[int, float] = {}
             for result in per_shard:
@@ -529,6 +642,7 @@ class ShardedVideoDatabase:
                 shards_queried=tuple(s.shard_id for s in queried),
                 shards_pruned=tuple(pruned),
             ),
+            coverage=coverage,
         )
 
     def similarity_range(
@@ -539,11 +653,14 @@ class ShardedVideoDatabase:
         method: str = "composed",
         prune: bool = True,
         cold: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        fail_fast: bool = True,
     ) -> ShardedKNNResult:
         """All videos scoring at least ``min_similarity``, ranked globally.
 
         Thresholding happens shard-locally (scores are shard-independent)
-        and the survivors merge exactly like :meth:`knn`.
+        and the survivors merge exactly like :meth:`knn`; the
+        ``fault_policy`` / ``fail_fast`` knobs behave as there.
         """
         self._check_query_args(query, 1, method)
         total_counters = CostCounters()
@@ -551,8 +668,9 @@ class ShardedVideoDatabase:
             queried, pruned = self._select_shards(
                 query, prune, total_counters
             )
-            per_shard = self._scatter(
+            per_shard, coverage = self._dispatch(
                 queried,
+                pruned,
                 lambda shard, bundle: shard.similarity_range(
                     query,
                     min_similarity,
@@ -561,6 +679,8 @@ class ShardedVideoDatabase:
                     out_counters=bundle,
                 ),
                 total_counters,
+                fault_policy,
+                fail_fast,
             )
             merged: dict[int, float] = {}
             for result in per_shard:
@@ -576,6 +696,7 @@ class ShardedVideoDatabase:
                 shards_queried=tuple(s.shard_id for s in queried),
                 shards_pruned=tuple(pruned),
             ),
+            coverage=coverage,
         )
 
     def serve_many(
@@ -586,16 +707,25 @@ class ShardedVideoDatabase:
         method: str = "composed",
         prune: bool = True,
         cold: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        fail_fast: bool = True,
     ) -> ShardedBatchResult:
         """Serve a stream of queries, each scattered across the fleet.
 
         Queries run one at a time (each one already fans out across all
-        relevant shards); metrics aggregate the per-query bundles and the
-        shard engines' cache tallies over the batch.
+        relevant shards); metrics aggregate the per-query bundles, the
+        shard engines' cache tallies, and — on the resilient path — the
+        fleet-health deltas (retries, hedges, timeouts, breaker trips)
+        over the batch.  ``availability`` is the fraction of queries
+        that produced a usable answer: every shard that should have
+        answered did, or at least one did (a degraded-but-nonempty
+        answer counts as available; a query that lost *every* relevant
+        shard does not).
         """
         self._check_open()
         queries = list(queries)
         hits_before, misses_before = self._cache_tallies()
+        health_before = self._health_tallies()
         # Per-shard load = delta of the shard engines' worker counters,
         # which are themselves per-query bundle sums folded per view.
         load_before = {
@@ -605,7 +735,15 @@ class ShardedVideoDatabase:
         with Timer() as batch_timer:
             for query in queries:
                 results.append(
-                    self.knn(query, k, method=method, prune=prune, cold=cold)
+                    self.knn(
+                        query,
+                        k,
+                        method=method,
+                        prune=prune,
+                        cold=cold,
+                        fault_policy=fault_policy,
+                        fail_fast=fail_fast,
+                    )
                 )
         shard_requests: dict[int, int] = {}
         shard_reads: dict[int, int] = {}
@@ -617,6 +755,16 @@ class ShardedVideoDatabase:
             )
             shard_reads[shard.shard_id] = bundle.page_reads - before.page_reads
         hits_after, misses_after = self._cache_tallies()
+        health_after = self._health_tallies()
+        degraded = 0
+        unavailable = 0
+        for result in results:
+            coverage = result.coverage
+            if coverage is None or coverage.complete:
+                continue
+            degraded += 1
+            if not coverage.shards_answered:
+                unavailable += 1
         latencies = sorted(result.stats.wall_time for result in results)
         wall = batch_timer.elapsed
         metrics = ShardedServingMetrics(
@@ -624,9 +772,9 @@ class ShardedVideoDatabase:
             shards=len(self._shards),
             wall_time=wall,
             qps=len(queries) / wall if wall > 0.0 else 0.0,
-            latency_p50=_percentile(latencies, 0.50),
-            latency_p95=_percentile(latencies, 0.95),
-            latency_p99=_percentile(latencies, 0.99),
+            latency_p50=percentile(latencies, 0.50),
+            latency_p95=percentile(latencies, 0.95),
+            latency_p99=percentile(latencies, 0.99),
             cache_hits=hits_after - hits_before,
             cache_misses=misses_after - misses_before,
             shard_page_requests=tuple(
@@ -637,6 +785,16 @@ class ShardedVideoDatabase:
             ),
             total_page_requests=sum(shard_requests.values()),
             total_physical_reads=sum(shard_reads.values()),
+            retries=health_after["retries"] - health_before["retries"],
+            hedges=health_after["hedges"] - health_before["hedges"],
+            timeouts=health_after["timeouts"] - health_before["timeouts"],
+            breaker_trips=health_after["trips"] - health_before["trips"],
+            degraded_queries=degraded,
+            availability=(
+                (len(queries) - unavailable) / len(queries)
+                if queries
+                else 1.0
+            ),
         )
         return ShardedBatchResult(results=tuple(results), metrics=metrics)
 
@@ -672,24 +830,86 @@ class ShardedVideoDatabase:
                 queried.append(shard)
         return queried, pruned
 
+    def _dispatch(
+        self,
+        queried: list[Shard],
+        pruned: list[int],
+        work,
+        total_counters: CostCounters,
+        fault_policy: FaultPolicy | None,
+        fail_fast: bool,
+    ) -> tuple[list, Coverage]:
+        """Scatter under the requested failure semantics.
+
+        No policy + ``fail_fast`` is the strict legacy path: one attempt
+        per shard, any failure raises (now as an aggregated
+        :class:`ScatterError`).  Otherwise every shard's sub-query runs
+        under the policy (an explicit one, or the default
+        :class:`FaultPolicy` when only ``fail_fast=False`` was asked
+        for), and what could not be recovered either raises
+        (``fail_fast``) or is reported in the returned coverage.
+        """
+        if fault_policy is None and fail_fast:
+            results = self._scatter(queried, work, total_counters)
+            coverage = Coverage(
+                shards_total=len(self._shards),
+                shards_answered=tuple(s.shard_id for s in queried),
+                shards_pruned=tuple(pruned),
+            )
+            return results, coverage
+        policy = fault_policy if fault_policy is not None else FaultPolicy()
+        outcomes = self._scatter_resilient(queried, work, policy)
+        results: list = []
+        answered: list[int] = []
+        failed: list[int] = []
+        timed_out: list[int] = []
+        tripped: list[int] = []
+        failures: dict[int, BaseException] = {}
+        for shard, outcome in zip(queried, outcomes):
+            if outcome.disposition == ANSWERED:
+                answered.append(shard.shard_id)
+                results.append(outcome.result)
+                total_counters.add(outcome.bundle)
+                continue
+            failures[shard.shard_id] = outcome.error
+            if outcome.disposition == TIMED_OUT:
+                timed_out.append(shard.shard_id)
+            elif outcome.disposition == TRIPPED:
+                tripped.append(shard.shard_id)
+            else:
+                failed.append(shard.shard_id)
+        if fail_fast and failures:
+            raise ScatterError(failures)
+        coverage = Coverage(
+            shards_total=len(self._shards),
+            shards_answered=tuple(answered),
+            shards_pruned=tuple(pruned),
+            shards_failed=tuple(failed),
+            shards_timed_out=tuple(timed_out),
+            shards_tripped=tuple(tripped),
+        )
+        return results, coverage
+
     def _scatter(self, shards, work, total_counters: CostCounters) -> list:
         """Run ``work(shard, bundle)`` on every shard, thread-parallel.
 
         Each sub-query gets a private counter bundle (bundles are not
         thread-safe); the bundles fold into ``total_counters`` after the
         join, so the global stats see every shard's events exactly once.
+        Worker failures abort the query with a :class:`ScatterError`
+        carrying *every* shard's error, attributed per shard.
         """
         if not shards:
             return []
         bundles = [CostCounters() for _ in shards]
         results: list = [None] * len(shards)
-        errors: list[BaseException] = []
+        errors: dict[int, BaseException] = {}
 
         def run(position: int) -> None:
             try:
                 results[position] = work(shards[position], bundles[position])
             except BaseException as exc:  # propagate to the caller
-                errors.append(exc)
+                errors[shards[position].shard_id] = exc
 
         if len(shards) == 1:
             run(0)
@@ -707,10 +927,67 @@ class ShardedVideoDatabase:
             for thread in threads:
                 thread.join()
         if errors:
-            raise errors[0]
+            raise ScatterError(errors)
         for bundle in bundles:
             total_counters.add(bundle)
         return results
+
+    def _scatter_resilient(
+        self, shards, work, policy: FaultPolicy
+    ) -> list[AttemptOutcome]:
+        """Run every shard's sub-query under ``policy``, thread-parallel.
+
+        Per-shard retry/hedge/breaker logic lives in
+        :func:`~repro.shard.resilience.run_attempts`; this only fans it
+        out.  Non-retryable exceptions (programming errors, not faults)
+        still abort the whole query, degraded mode or not.
+        """
+        if not shards:
+            return []
+        outcomes: list[AttemptOutcome | None] = [None] * len(shards)
+        bugs: dict[int, BaseException] = {}
+
+        def run(position: int) -> None:
+            shard = shards[position]
+            try:
+                outcomes[position] = run_attempts(
+                    lambda bundle: work(shard, bundle),
+                    shard.shard_id,
+                    policy,
+                    self._health,
+                    self._clock,
+                )
+            except BaseException as exc:  # non-retryable: a bug, not a fault
+                bugs[shard.shard_id] = exc
+
+        if len(shards) == 1:
+            run(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=run,
+                    args=(position,),
+                    name=f"shard-query-{shards[position].shard_id}",
+                )
+                for position in range(len(shards))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if bugs:
+            raise ScatterError(bugs)
+        return outcomes
+
+    def _health_tallies(self) -> dict[str, int]:
+        """Fleet-wide health counter sums (for batch metric deltas)."""
+        tallies = {"retries": 0, "hedges": 0, "timeouts": 0, "trips": 0}
+        for entry in self._health.snapshot().values():
+            tallies["retries"] += entry["retries"]
+            tallies["hedges"] += entry["hedges_fired"]
+            tallies["timeouts"] += entry["timeouts"]
+            tallies["trips"] += entry["trips"]
+        return tallies
 
     def _global_stats(
         self, total_counters: CostCounters, elapsed: float
@@ -837,6 +1114,7 @@ class ShardedVideoDatabase:
             if len(shard) > 0 or shard.database.index is not None:
                 shard.checkpoint()
         self._write_manifest()
+        self._write_health()
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -867,6 +1145,47 @@ class ShardedVideoDatabase:
         else:
             write_blob(blob)
             os.replace(tmp_path, final_path)
+
+    def _write_health(self) -> None:
+        """Persist the fleet-health report beside the manifest.
+
+        Advisory observability state, not data: written with a plain
+        atomic replace and deliberately *not* routed through the fault
+        injector, so adding health persistence does not shift the op
+        counts of any crash-point sweep.
+        """
+        if self._path is None:
+            return
+        payload = {
+            str(shard_id): entry
+            for shard_id, entry in self.fleet_health().items()
+        }
+        final_path = os.path.join(self._path, _HEALTH_FILE)
+        tmp_path = final_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, final_path)
+
+    def _restore_health(self) -> None:
+        """Load ``health.json`` (if present) into the health registry.
+
+        A persisted open (or half-open) breaker reopens as OPEN with its
+        cooldown restarting now, so a shard that was being skipped when
+        the fleet went down stays skipped until a probe clears it.  A
+        missing or corrupt file is ignored — health is advisory.
+        """
+        if self._path is None:
+            return
+        health_path = os.path.join(self._path, _HEALTH_FILE)
+        if not os.path.exists(health_path):
+            return
+        try:
+            with open(health_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = {int(key): dict(value) for key, value in payload.items()}
+        except (ValueError, OSError):
+            return
+        self._health.restore(entries, BreakerPolicy())
 
     def close(self) -> None:
         """Checkpoint (durable, uncrashed fleets), then release every

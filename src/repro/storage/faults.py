@@ -24,6 +24,14 @@ Damage modes for the faulted operation:
 * ``"random"`` — one of the three above, chosen deterministically from
   ``seed`` via :func:`~repro.utils.rng.ensure_rng`.
 
+One mode is *not* terminal: ``"transient"`` raises
+:class:`SimulatedCrash` for operations ``crash_after ..
+crash_after + transient_ops - 1`` (each faulted operation is dropped —
+its bytes never land), then heals; :attr:`FaultInjector.crashed` stays
+``False`` throughout.  This is how retry paths are exercised end-to-end
+at the pager level: a caller that retries after the window sees the
+operation succeed.
+
 Everything here is deterministic: the same workload with the same
 injector arguments damages the same byte of the same file every run.
 """
@@ -57,9 +65,15 @@ class FaultInjector:
         injector then only counts operations, which is how a sweep first
         measures a workload's operation count.
     mode:
-        ``"drop"``, ``"torn"``, ``"duplicate"`` or ``"random"``.
+        ``"drop"``, ``"torn"``, ``"duplicate"``, ``"random"``, or
+        ``"transient"`` (fail-then-heal; requires ``crash_after``).
     seed:
         Seed for ``mode="random"`` (ignored otherwise).
+    transient_ops:
+        Length of the failure window for ``mode="transient"``: that many
+        consecutive operations starting at ``crash_after`` raise
+        :class:`SimulatedCrash` (and are dropped), after which every
+        operation succeeds again.  Ignored by the terminal modes.
 
     Attributes
     ----------
@@ -77,6 +91,7 @@ class FaultInjector:
         crash_after: int | None = None,
         mode: str = "drop",
         seed: int | None = 0,
+        transient_ops: int = 1,
     ) -> None:
         if crash_after is not None and (
             not isinstance(crash_after, int)
@@ -86,11 +101,23 @@ class FaultInjector:
             raise ValueError(
                 f"crash_after must be a positive int or None, got {crash_after}"
             )
-        if mode not in (*_DAMAGE_MODES, "random"):
+        if mode not in (*_DAMAGE_MODES, "random", "transient"):
             raise ValueError(
-                f"mode must be one of {_DAMAGE_MODES + ('random',)}, got {mode!r}"
+                f"mode must be one of "
+                f"{_DAMAGE_MODES + ('random', 'transient')}, got {mode!r}"
             )
+        if (
+            not isinstance(transient_ops, int)
+            or isinstance(transient_ops, bool)
+            or transient_ops < 1
+        ):
+            raise ValueError(
+                f"transient_ops must be a positive int, got {transient_ops}"
+            )
+        if mode == "transient" and crash_after is None:
+            raise ValueError("transient mode needs a crash_after start point")
         self._crash_after = crash_after
+        self._transient_ops = transient_ops
         if mode == "random":
             rng = ensure_rng(seed)
             mode = _DAMAGE_MODES[int(rng.integers(0, len(_DAMAGE_MODES)))]
@@ -106,9 +133,24 @@ class FaultInjector:
             )
 
     def _arm(self) -> bool:
-        """Count one operation; True when it is the one to damage."""
+        """Count one operation; True when it is the one to damage.
+
+        In ``transient`` mode no operation is ever *damaged*: operations
+        inside the failure window raise here (so the I/O is dropped) and
+        everything outside it proceeds normally, with ``crashed`` left
+        ``False`` — the injector heals.
+        """
         self.check()
         self.ops += 1
+        if self.resolved_mode == "transient":
+            # crash_after is validated non-None for this mode.
+            last_op = self._crash_after + self._transient_ops - 1
+            if self._crash_after <= self.ops <= last_op:
+                raise SimulatedCrash(
+                    f"transient fault at operation {self.ops} "
+                    f"(window {self._crash_after}..{last_op})"
+                )
+            return False
         return self._crash_after is not None and self.ops == self._crash_after
 
     def write(self, sink: Callable[[bytes], None], data: bytes) -> None:
@@ -165,6 +207,7 @@ class FaultInjectingPager(Pager):
         crash_after: int | None = None,
         mode: str = "drop",
         seed: int | None = 0,
+        transient_ops: int = 1,
         wal: bool = True,
     ) -> None:
         if path is None:
@@ -172,6 +215,11 @@ class FaultInjectingPager(Pager):
                 "FaultInjectingPager needs a real file: crashes are only "
                 "observable if state survives on disk"
             )
-        injector = FaultInjector(crash_after=crash_after, mode=mode, seed=seed)
+        injector = FaultInjector(
+            crash_after=crash_after,
+            mode=mode,
+            seed=seed,
+            transient_ops=transient_ops,
+        )
         self.faults = injector
         super().__init__(path, wal=wal, fault_injector=injector)

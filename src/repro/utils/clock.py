@@ -1,0 +1,97 @@
+"""Injectable clocks: real time for production, virtual time for tests.
+
+The fault-tolerance layer (``repro.shard.resilience``) needs a notion of
+time for three things — attempt latencies, retry backoff sleeps and
+circuit-breaker cooldowns — and all three must be *deterministic* under
+test.  Hard-wiring ``time.monotonic`` / ``time.sleep`` would make every
+breaker transition and hedge decision depend on scheduler noise, so the
+resilience code never touches the ``time`` module (enforced by the
+``injected-clock`` vilint rule): it receives a :class:`Clock` and calls
+:meth:`Clock.now` / :meth:`Clock.sleep`.
+
+Two implementations:
+
+* :class:`SystemClock` — the production clock.  ``now()`` reads the
+  monotonic performance counter (this module is, like
+  :class:`repro.utils.counters.Timer`, a sanctioned wall-clock wrapper);
+  ``sleep()`` really sleeps.
+* :class:`VirtualClock` — the test clock.  Time only moves when someone
+  moves it: ``sleep(s)`` advances the *calling thread's* view by ``s``
+  instantly (no real waiting), and :meth:`VirtualClock.advance` moves the
+  shared base time (how tests let a breaker cooldown elapse).  Keeping
+  per-thread offsets thread-local makes latencies measured inside one
+  scatter worker independent of what every other worker sleeps, so a
+  multi-threaded fault sweep is bit-for-bit repeatable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+__all__ = ["Clock", "SystemClock", "VirtualClock"]
+
+
+class Clock:
+    """Minimal clock interface the resilience layer programs against."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic; origin is arbitrary)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or pretend to) for ``seconds``; negative means zero."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real, monotonic clock — the production default."""
+
+    def now(self) -> float:
+        # The clock module is the sanctioned wall-clock wrapper for the
+        # resilience layer, exactly like Timer is for benchmarks.
+        return time.perf_counter()  # vilint: disable=wall-clock-discipline
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0.0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A deterministic clock that only moves when told to.
+
+    ``now()`` returns ``base + thread-local offset``.  ``sleep(s)``
+    advances only the calling thread's offset, so latencies measured
+    inside one scatter worker (``now() - start``) see exactly that
+    worker's injected delays and backoffs, never a sibling thread's.
+    :meth:`advance` moves the shared base — the seam tests use to let
+    breaker cooldowns elapse between queries.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._base = float(start)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _offset(self) -> float:
+        return getattr(self._local, "offset", 0.0)
+
+    def now(self) -> float:
+        with self._lock:
+            base = self._base
+        return base + self._offset()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0.0:
+            self._local.offset = self._offset() + float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move the shared base time forward (visible to every thread)."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        with self._lock:
+            self._base += float(seconds)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self.now():.6f})"

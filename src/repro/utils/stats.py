@@ -11,7 +11,27 @@ import math
 
 import numpy as np
 
-__all__ = ["RunningStats"]
+__all__ = ["RunningStats", "percentile"]
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence.
+
+    The single definition shared by the serving metrics (p50/p95/p99
+    latencies), the scatter-gather router and the resilience layer's
+    hedge thresholds; returns 0.0 for an empty sequence.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
 
 
 class RunningStats:

@@ -22,7 +22,7 @@ def lines_for(source, rule):
     return [d.line for d in findings(source, rule)]
 
 
-def test_registry_has_all_six_rules():
+def test_registry_has_all_seven_rules():
     assert rule_names() == [
         "future-annotations",
         "seeded-rng",
@@ -30,6 +30,7 @@ def test_registry_has_all_six_rules():
         "boundary-validation",
         "float-equality",
         "wall-clock-discipline",
+        "injected-clock",
     ]
 
 
@@ -483,3 +484,89 @@ class TestWallClock:
             time.sleep(0.1)
         """
         assert not findings(source, "wall-clock-discipline")
+
+
+# ---------------------------------------------------------------------------
+# injected-clock
+# ---------------------------------------------------------------------------
+class TestInjectedClock:
+    RESILIENCE = "src/repro/shard/resilience.py"
+    FAULTS = "src/repro/shard/faults.py"
+
+    def test_time_sleep_flagged_in_resilience(self):
+        source = textwrap.dedent(
+            """\
+            import time
+
+            def backoff(delay):
+                time.sleep(delay)
+            """
+        )
+        diagnostics = lint_source(
+            source, path=self.RESILIENCE, select=["injected-clock"]
+        )
+        assert [(d.rule, d.line) for d in diagnostics] == [
+            ("injected-clock", 4)
+        ]
+        assert diagnostics[0].code == "VIL007"
+
+    def test_random_and_numpy_random_flagged(self):
+        source = textwrap.dedent(
+            """\
+            import random
+
+            import numpy as np
+
+            def jitter():
+                return random.random() + np.random.random()
+            """
+        )
+        assert [
+            d.line
+            for d in lint_source(
+                source, path=self.FAULTS, select=["injected-clock"]
+            )
+        ] == [6, 6]
+
+    def test_time_call_flagged_even_where_vil006_is_silent(self):
+        # time.sleep is clean under wall-clock-discipline repo-wide, but in
+        # the resilience layer even a sleep breaks virtual-clock replays.
+        source = textwrap.dedent(
+            """\
+            import time
+
+            def wait():
+                time.sleep(0.1)
+            """
+        )
+        assert not lint_source(
+            source, path=self.RESILIENCE, select=["wall-clock-discipline"]
+        )
+        assert lint_source(
+            source, path=self.RESILIENCE, select=["injected-clock"]
+        )
+
+    def test_injected_clock_usage_clean(self):
+        source = textwrap.dedent(
+            """\
+            from repro.utils.clock import Clock
+
+            def backoff(clock: Clock, delay: float) -> None:
+                clock.sleep(delay)
+                now = clock.now()
+            """
+        )
+        assert not lint_source(
+            source, path=self.RESILIENCE, select=["injected-clock"]
+        )
+
+    def test_out_of_scope_path_clean(self):
+        source = textwrap.dedent(
+            """\
+            import time
+
+            def measure():
+                time.sleep(0.1)
+            """
+        )
+        assert not findings(source, "injected-clock")

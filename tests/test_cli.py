@@ -293,3 +293,130 @@ class TestCheckSharded:
         )
         assert code == 1
         assert "cannot open fleet" in capsys.readouterr().err
+
+
+class TestBenchFaults:
+    def test_sweeps_and_writes_json(self, dataset_path, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "faults.json")
+        code = main(
+            [
+                "bench-faults",
+                "--dataset", dataset_path,
+                "--queries", "4",
+                "--k", "3",
+                "--out", out,
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "fault sweep" in printed
+        assert "availability" in printed
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["availability"] >= 0.99
+        assert len(payload["scenarios"]) == 5
+        assert payload["total_retries"] > 0
+        assert payload["total_breaker_trips"] > 0
+
+
+class TestFleetHealth:
+    def _faulted_fleet(self, dataset_path, path):
+        from repro.datasets.loader import VideoDataset
+        from repro.shard import (
+            BreakerPolicy,
+            FaultPolicy,
+            KeyRangePartitioner,
+            RetryPolicy,
+            ShardFault,
+            ShardFaultInjector,
+            ShardedVideoDatabase,
+        )
+        from repro.core.summarize import summarize_video
+        from repro.utils.clock import VirtualClock
+
+        dataset = VideoDataset.load(dataset_path)
+        summaries = [
+            summarize_video(i, dataset.frames(i), 0.3, seed=i)
+            for i in range(dataset.num_videos)
+        ]
+        fleet = ShardedVideoDatabase(
+            0.3,
+            partitioner=KeyRangePartitioner.fit(summaries, 3),
+            path=path,
+            clock=VirtualClock(),
+        )
+        for summary in summaries:
+            fleet.add_summary(summary)
+        fleet.inject_shard_faults(
+            ShardFaultInjector({1: [ShardFault.hard_down()]})
+        )
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=2),
+            breaker=BreakerPolicy(
+                failure_rate=0.5, window=4, min_volume=2, cooldown=100.0
+            ),
+        )
+        for summary in summaries[:3]:
+            fleet.knn(
+                summary, 3, prune=False, fault_policy=policy,
+                fail_fast=False,
+            )
+        # close() checkpoints, which persists health.json.
+        fleet.close()
+
+    def test_reports_persisted_breakers(self, dataset_path, tmp_path, capsys):
+        path = str(tmp_path / "fleet")
+        self._faulted_fleet(dataset_path, path)
+        assert main(["fleet-health", "--index", path]) == 0
+        out = capsys.readouterr().out
+        assert "fleet health" in out
+        assert "open" in out
+        assert "would be skipped" in out
+
+    def test_healthy_fleet_has_no_warning(self, dataset_path, tmp_path, capsys):
+        from repro.datasets.loader import VideoDataset
+        from repro.shard import ShardedVideoDatabase
+
+        path = str(tmp_path / "fleet")
+        dataset = VideoDataset.load(dataset_path)
+        fleet = ShardedVideoDatabase(
+            0.3, partitioner="hash", num_shards=2, path=path
+        )
+        for i in range(dataset.num_videos):
+            fleet.add(dataset.frames(i))
+        fleet.close()
+        assert main(["fleet-health", "--index", path]) == 0
+        out = capsys.readouterr().out
+        assert "fleet health" in out
+        assert "would be skipped" not in out
+
+    def test_missing_fleet_errors(self, tmp_path, capsys):
+        code = main(
+            ["fleet-health", "--index", str(tmp_path / "nowhere")]
+        )
+        assert code == 1
+        assert "cannot open fleet" in capsys.readouterr().err
+
+    def test_check_sharded_reports_skipped_shards(
+        self, dataset_path, tmp_path, capsys
+    ):
+        path = str(tmp_path / "fleet")
+        self._faulted_fleet(dataset_path, path)
+        assert main(["check", "--index", path, "--sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "persisted non-closed breakers" in out
+        assert "consistent" in out
+
+    def test_check_sharded_rejects_corrupt_health_file(
+        self, dataset_path, tmp_path, capsys
+    ):
+        import os
+
+        path = str(tmp_path / "fleet")
+        self._faulted_fleet(dataset_path, path)
+        with open(os.path.join(path, "health.json"), "w") as handle:
+            handle.write("{not json")
+        assert main(["check", "--index", path, "--sharded"]) == 1
+        assert "cannot parse health.json" in capsys.readouterr().err

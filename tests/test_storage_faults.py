@@ -136,3 +136,61 @@ class TestFaultInjectingPager:
         pager.close()  # must not retry the commit
         with Pager(path) as recovered:
             assert recovered.num_pages == 0
+
+
+class TestTransientMode:
+    def test_window_raises_then_heals(self):
+        injector = FaultInjector(
+            crash_after=2, mode="transient", transient_ops=2
+        )
+        out = []
+        injector.write(out.append, b"a")  # op 1: before the window
+        for payload in (b"b", b"c"):  # ops 2-3: inside the window
+            with pytest.raises(SimulatedCrash):
+                injector.write(out.append, payload)
+        injector.write(out.append, b"d")  # op 4: healed
+        # The faulted ops' I/O was dropped, everything else landed.
+        assert out == [b"a", b"d"]
+        assert injector.ops == 4
+        assert not injector.crashed
+
+    def test_crashed_stays_false_throughout(self):
+        injector = FaultInjector(crash_after=1, mode="transient")
+        with pytest.raises(SimulatedCrash):
+            injector.op(lambda: None)
+        assert not injector.crashed
+        injector.check()  # a healed injector never trips check()
+        ran = []
+        injector.op(lambda: ran.append("ok"))
+        assert ran == ["ok"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(mode="transient")  # needs a start point
+        with pytest.raises(ValueError):
+            FaultInjector(crash_after=1, mode="transient", transient_ops=0)
+        with pytest.raises(ValueError):
+            FaultInjector(crash_after=1, transient_ops=True)
+
+    def test_pager_retry_after_window_commits(self, tmp_path):
+        """A sync that hits the transient window can simply be retried:
+        the window passes, the retry commits, and a plain reopen sees
+        the data — the pager-level analogue of the router's retry path."""
+        path = tmp_path / "d.pages"
+        # Fresh file: op 1 stamps the log header, op 2 is the open-time
+        # recovery reset, op 3 is the first append of the sync's commit.
+        pager = FaultInjectingPager(
+            path, crash_after=3, mode="transient", transient_ops=1
+        )
+        pid = pager.allocate_page()
+        page = pager.read_page(pid)
+        page.data[:4] = b"keep"
+        pager.write_page(page)
+        with pytest.raises(SimulatedCrash):
+            pager.sync()
+        assert not pager.faults.crashed
+        pager.sync()  # the window has passed; the retry commits
+        pager.close()
+        with Pager(path) as recovered:
+            assert bytes(recovered.read_page(0).data[:4]) == b"keep"
+            assert recovered.num_pages == 1
