@@ -13,7 +13,6 @@ sequential scan, and verifies result equality on sampled queries.
 """
 
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -24,6 +23,7 @@ import repro
 from repro.baselines import SequentialScan
 from repro.datasets import DatasetConfig, generate_dataset
 from repro.eval import aggregate_stats, format_table
+from repro.utils.counters import Timer
 
 from _common import save_result
 
@@ -36,26 +36,26 @@ def main(num_videos: int = 2000, epsilon: float = 0.25) -> None:
         duration_classes=((150, 0.45), (75, 0.38), (50, 0.17)),
     )
 
-    started = time.perf_counter()
-    dataset = generate_dataset(config, seed=2005)
-    generated = time.perf_counter() - started
+    with Timer() as generate_timer:
+        dataset = generate_dataset(config, seed=2005)
+    generated = generate_timer.elapsed
     print(
         f"generated {dataset.num_videos} videos / {dataset.total_frames} "
         f"frames in {generated:.1f}s"
     )
 
-    started = time.perf_counter()
-    summaries = [
-        repro.summarize_video(i, dataset.frames(i), epsilon, seed=i)
-        for i in range(dataset.num_videos)
-    ]
-    summarised = time.perf_counter() - started
+    with Timer() as summarize_timer:
+        summaries = [
+            repro.summarize_video(i, dataset.frames(i), epsilon, seed=i)
+            for i in range(dataset.num_videos)
+        ]
+    summarised = summarize_timer.elapsed
     num_vitris = sum(len(s) for s in summaries)
     print(f"summarised into {num_vitris} ViTris in {summarised:.1f}s")
 
-    started = time.perf_counter()
-    index = repro.VitriIndex.build(summaries, epsilon)
-    built = time.perf_counter() - started
+    with Timer() as build_timer:
+        index = repro.VitriIndex.build(summaries, epsilon)
+    built = build_timer.elapsed
     pages = (
         index.btree.buffer_pool.pager.num_pages
         + index.heap.buffer_pool.pager.num_pages

@@ -78,12 +78,19 @@ class Baseline:
         return sorted(set(self.entries) - self.matched)
 
     @staticmethod
-    def render(diagnostics: list[Diagnostic]) -> str:
+    def render(
+        diagnostics: list[Diagnostic],
+        comments: dict[tuple[str, int, str], str] | None = None,
+    ) -> str:
         """Serialise *diagnostics* as baseline file content.
 
-        Each entry gets a placeholder justification comment built from the
-        finding's message; adopters are expected to replace it with the
-        actual reason the finding is deliberate.
+        *comments* maps ``(path, line, rule)`` to an existing
+        justification; entries found there keep their human-written
+        comment (``--update-baseline`` passes the previous baseline's
+        entries so regenerating never destroys justifications).  New
+        entries get a placeholder built from the finding's message,
+        which adopters are expected to replace with the actual reason
+        the finding is deliberate.
         """
         lines = [
             "# vilint baseline -- grandfathered findings.",
@@ -91,8 +98,10 @@ class Baseline:
             "# the finding is deliberate rather than fixed.",
         ]
         for diagnostic in sorted(diagnostics):
+            key = diagnostic.baseline_key()
+            comment = (comments or {}).get(key) or diagnostic.message
             lines.append(
                 f"{diagnostic.path}:{diagnostic.line}: {diagnostic.rule}"
-                f"  # {diagnostic.message}"
+                f"  # {comment}"
             )
         return "\n".join(lines) + "\n"

@@ -64,6 +64,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule names to run (default: all)",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "run only the concurrency rules (VIL008-VIL010: "
+            "guard-discipline, lock-order-inversion, "
+            "blocking-while-locked)"
+        ),
+    )
+    parser.add_argument(
+        "--lock-graph-dot",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write the statically-derived lock-order graph as "
+            "Graphviz dot to FILE ('-' for stdout)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "analyse files with N worker threads (default: CPU count, "
+            "capped at 8; output is identical regardless)"
+        ),
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -77,10 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+CONCURRENCY_RULES = [
+    "guard-discipline",
+    "lock-order-inversion",
+    "blocking-while-locked",
+]
+
+
 def _print_rules() -> None:
     for rule in all_rules():
         print(f"{rule.code}  {rule.name}")
         print(f"       {rule.description}")
+
+
+def _render_lock_graph(paths: list[str]) -> str:
+    """Build the static lock model over *paths* and render it as dot."""
+    from repro.analysis.concurrency import build_model_from_paths
+
+    return build_model_from_paths(paths).to_dot()
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -89,8 +131,18 @@ def run_lint(args: argparse.Namespace) -> int:
         _print_rules()
         return 0
 
+    if args.concurrency and args.select:
+        print(
+            "vilint: error: --concurrency and --select are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
+
     select = None
-    if args.select:
+    if args.concurrency:
+        select = list(CONCURRENCY_RULES)
+    elif args.select:
         select = [name.strip() for name in args.select.split(",") if name.strip()]
 
     baseline = None
@@ -109,14 +161,34 @@ def run_lint(args: argparse.Namespace) -> int:
                 return 2
 
     try:
-        result = lint_paths(args.paths, baseline=baseline, select=select)
+        result = lint_paths(
+            args.paths, baseline=baseline, select=select, jobs=args.jobs
+        )
     except (FileNotFoundError, ValueError) as error:
         print(f"vilint: error: {error}", file=sys.stderr)
         return 2
 
+    if args.lock_graph_dot is not None:
+        dot = _render_lock_graph(args.paths)
+        if args.lock_graph_dot == "-":
+            print(dot, end="")
+        else:
+            with open(args.lock_graph_dot, "w", encoding="utf-8") as handle:
+                handle.write(dot)
+            print(f"vilint: wrote lock graph to {args.lock_graph_dot}")
+
     if args.update_baseline:
         target = args.baseline or DEFAULT_BASELINE
-        content = Baseline.render(result.diagnostics)
+        comments: dict[tuple[str, int, str], str] = {}
+        import os
+
+        if os.path.exists(target):
+            try:
+                comments = Baseline.load(target).entries
+            except (OSError, BaselineError) as error:
+                print(f"vilint: error: {error}", file=sys.stderr)
+                return 2
+        content = Baseline.render(result.diagnostics, comments)
         with open(target, "w", encoding="utf-8") as handle:
             handle.write(content)
         print(

@@ -1,0 +1,39 @@
+"""Concurrency-correctness analysis (VIL008-VIL010).
+
+:mod:`~repro.analysis.concurrency.model` builds an interprocedural lock
+model of the package — lock attributes, guarded fields, held-lock
+propagation through helper calls, and the static lock-order graph.
+:mod:`~repro.analysis.concurrency.rules` turns the model into the three
+package rules; :func:`build_model_from_paths` feeds the CLI's
+``--lock-graph-dot`` output and the stress tests' subgraph assertion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.model import PackageModel, build_model
+
+__all__ = ["PackageModel", "build_model", "build_model_from_paths"]
+
+
+def build_model_from_paths(paths: list[str]) -> PackageModel:
+    """Build the lock model over the library-tier files under *paths*.
+
+    Unparseable files are skipped (the lint pass reports them); tests
+    and benchmarks are excluded for the same reason the rules scope to
+    the library tier.
+    """
+    from repro.analysis.context import FileContext, file_tier
+    from repro.analysis.engine import _normalise, discover_files
+
+    contexts = []
+    for filename in discover_files(paths):
+        norm = _normalise(filename)
+        if file_tier(norm) != "library":
+            continue
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            contexts.append(FileContext.parse(norm, source))
+        except SyntaxError:
+            continue
+    return build_model(contexts)

@@ -1,0 +1,1123 @@
+"""Interprocedural lock model over the package's classes.
+
+This module builds everything the three concurrency rules (VIL008-010)
+and the ``--lock-graph-dot`` CLI output share: which attributes are
+locks, which regions hold them, what every method may acquire or block
+on, and the package-wide lock-order graph.
+
+The analysis is deliberately *syntactic type inference*, not a real
+type system: it trusts the package's own annotations (parameter and
+return annotations, ``self.x: T`` declarations, direct constructions
+``self.x = ClassName(...)``) and propagates them through locals, loop
+variables, subscripts, property getters and ``Callable[[...], ...]``
+annotated lambda parameters.  Anything it cannot resolve it treats as
+opaque — unresolved calls acquire nothing and (except for a small
+blocking-name heuristic) block nothing, so the derived facts
+under-approximate reality exactly where the code is missing
+annotations.  The runtime validator (:mod:`repro.utils.locks`) is the
+safety net for that gap: the stress tests assert every edge it observes
+is present here, so a chain the static model lost shows up as a test
+failure, not silence.
+
+Modelled lock discipline:
+
+* A lock is an attribute assigned ``threading.Lock()`` /
+  ``threading.RLock()`` / ``repro.utils.locks.make_lock(...)`` in
+  ``__init__``.  Its graph node is ``"ClassName._attr"`` — the same
+  name the source passes to ``make_lock``.
+* A region is ``with self._attr:`` (any number of items).  Explicit
+  ``acquire()`` / ``release()`` pairs are *not* modelled; the codebase
+  convention is with-blocks only.
+* Held sets flow through private (underscore) helpers: a private
+  method's entry-held set is the intersection of the held sets at its
+  intra-class call sites (construction-time calls from ``__init__`` are
+  excluded — construction is single-threaded by definition).  Public
+  methods are assumed callable with nothing held.
+* Lambdas and nested functions are analysed at their definition site
+  with the definition site's held set — an over-approximation for
+  callbacks that actually run elsewhere, and exactly right for the
+  scatter work the router invokes inline on its single-shard path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.context import FileContext
+
+__all__ = [
+    "Access",
+    "Acquire",
+    "BlockOp",
+    "CallSite",
+    "ClassModel",
+    "EdgeWitness",
+    "PackageModel",
+    "TypeRef",
+    "build_model",
+    "lock_node",
+]
+
+# Dotted call paths that block (file I/O, sleeps, process-level ops).
+BLOCKING_PATHS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.makedirs",
+        "os.fdatasync",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+# Method names that block when called on a receiver the analysis cannot
+# type: scheduler waits, socket ops and raw-handle I/O.  Resolved
+# receivers never reach this heuristic — their methods are analysed for
+# real.  ``join`` only counts with no positional arguments, so
+# ``", ".join(parts)`` (one argument) never trips it.
+BLOCKING_ATTR_NAMES = frozenset(
+    {
+        "sleep",
+        "result",
+        "fsync",
+        "recv",
+        "send",
+        "sendall",
+        "connect",
+        "accept",
+        "read",
+        "write",
+        "flush",
+        "seek",
+        "truncate",
+    }
+)
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "repro.utils.locks.make_lock",
+    }
+)
+
+_SEQUENCE_NAMES = frozenset(
+    {
+        "list",
+        "List",
+        "tuple",
+        "Tuple",
+        "set",
+        "Set",
+        "frozenset",
+        "FrozenSet",
+        "Sequence",
+        "Iterable",
+        "Iterator",
+        "deque",
+        "Deque",
+    }
+)
+_MAPPING_NAMES = frozenset(
+    {"dict", "Dict", "Mapping", "MutableMapping", "OrderedDict", "defaultdict"}
+)
+
+
+def lock_node(class_name: str, attr: str) -> str:
+    """Graph node id for a lock attribute (matches ``make_lock`` names)."""
+    return f"{class_name}.{attr}"
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A conservative 'what classes might this expression be' summary.
+
+    ``own`` are candidate class names for the value itself; ``elem``
+    for what iterating/subscripting it yields; ``params`` carries the
+    per-parameter types of a ``Callable[[...], ...]`` annotation (used
+    to type lambda parameters at annotated call sites).
+    """
+
+    own: frozenset[str] = frozenset()
+    elem: frozenset[str] = frozenset()
+    params: tuple["TypeRef", ...] | None = None
+
+    def merge(self, other: "TypeRef") -> "TypeRef":
+        return TypeRef(
+            own=self.own | other.own,
+            elem=self.elem | other.elem,
+            params=self.params if self.params is not None else other.params,
+        )
+
+
+EMPTY_TYPE = TypeRef()
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.attr`` read or write inside a method body."""
+
+    attr: str
+    write: bool
+    held: tuple[str, ...]  # own-class lock attrs held at the site
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """One ``with self.lock:`` entry."""
+
+    lock_attr: str
+    held: tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call resolved to package methods/functions (possibly several
+    candidates when the receiver type is a union)."""
+
+    targets: tuple[str, ...]  # keys into PackageModel summaries
+    held: tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class BlockOp:
+    """One directly-blocking operation (I/O, sleep, future wait)."""
+
+    desc: str
+    held: tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass
+class FuncFacts:
+    """Everything body analysis recorded for one method or function."""
+
+    accesses: list[Access] = field(default_factory=list)
+    acquires: list[Acquire] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    blockops: list[BlockOp] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    """One class's locks, methods and inferred attribute types."""
+
+    name: str
+    path: str
+    module: str
+    node: ast.ClassDef
+    ctx: FileContext
+    locks: dict[str, int] = field(default_factory=dict)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+    attr_types: dict[str, TypeRef] = field(default_factory=dict)
+    facts: dict[str, FuncFacts] = field(default_factory=dict)
+    entry_held: dict[str, frozenset[str]] = field(default_factory=dict)
+    init_only: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """Where one static lock-order edge was derived."""
+
+    path: str
+    line: int
+    col: int
+    description: str
+
+
+@dataclass
+class PackageModel:
+    """The assembled package-wide lock model."""
+
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+    ambiguous: set[str] = field(default_factory=set)
+    # Module functions: key "module.func" -> (ctx, node); facts keyed the
+    # same way in `facts`.
+    functions: dict[str, tuple[FileContext, ast.FunctionDef]] = field(
+        default_factory=dict
+    )
+    facts: dict[str, FuncFacts] = field(default_factory=dict)
+    may_acquire: dict[str, frozenset[str]] = field(default_factory=dict)
+    blocking: dict[str, str] = field(default_factory=dict)  # key -> reason
+    edges: dict[tuple[str, str], EdgeWitness] = field(default_factory=dict)
+
+    def lock_nodes(self) -> set[str]:
+        return {
+            lock_node(cls.name, attr)
+            for cls in self.classes.values()
+            for attr in cls.locks
+        }
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def to_dot(self) -> str:
+        """Graphviz form of the static lock-order graph (stable output)."""
+        lines = ["digraph static_lock_order {"]
+        for node in sorted(self.lock_nodes()):
+            lines.append(f'  "{node}";')
+        for (held, acquired), witness in sorted(self.edges.items()):
+            lines.append(
+                f'  "{held}" -> "{acquired}"'
+                f'  [label="{witness.path}:{witness.line}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _module_of(path: str) -> str:
+    """Dotted module path of a source file (best effort)."""
+    norm = path.replace("\\", "/")
+    for marker in ("src/", ""):
+        prefix = f"{marker}repro/"
+        index = norm.find(prefix)
+        if index != -1:
+            trimmed = norm[index + len(marker) :]
+            if trimmed.endswith(".py"):
+                trimmed = trimmed[: -len(".py")]
+            if trimmed.endswith("/__init__"):
+                trimmed = trimmed[: -len("/__init__")]
+            return trimmed.replace("/", ".")
+    base = norm.rsplit("/", 1)[-1]
+    return base[: -len(".py")] if base.endswith(".py") else base
+
+
+def _is_lock_factory(ctx: FileContext, value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    resolved = ctx.resolve(value.func)
+    if resolved in _LOCK_FACTORIES:
+        return True
+    # Same-module (or star-imported) bare ``make_lock(...)``.
+    return (
+        isinstance(value.func, ast.Name) and value.func.id == "make_lock"
+    )
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _Annotations:
+    """Annotation -> :class:`TypeRef` resolution against known classes."""
+
+    def __init__(self, known: frozenset[str]) -> None:
+        self._known = known
+
+    def resolve(self, node: ast.expr | None) -> TypeRef:
+        if node is None:
+            return EMPTY_TYPE
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                return EMPTY_TYPE
+            return self.resolve(parsed.body)
+        if isinstance(node, ast.Name):
+            return self._named(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._named(node.attr)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self.resolve(node.left).merge(self.resolve(node.right))
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        return EMPTY_TYPE
+
+    def _named(self, name: str) -> TypeRef:
+        if name in self._known:
+            return TypeRef(own=frozenset({name}))
+        return EMPTY_TYPE
+
+    def _base_name(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _subscript(self, node: ast.Subscript) -> TypeRef:
+        base = self._base_name(node.value)
+        slice_node = node.slice
+        items: list[ast.expr]
+        if isinstance(slice_node, ast.Tuple):
+            items = list(slice_node.elts)
+        else:
+            items = [slice_node]
+        if base == "Optional":
+            return self.resolve(items[0]) if items else EMPTY_TYPE
+        if base == "Union":
+            merged = EMPTY_TYPE
+            for item in items:
+                merged = merged.merge(self.resolve(item))
+            return merged
+        if base in _SEQUENCE_NAMES:
+            elems: frozenset[str] = frozenset()
+            for item in items:
+                if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                    continue
+                elems |= self.resolve(item).own
+            return TypeRef(elem=elems)
+        if base in _MAPPING_NAMES:
+            value_type = (
+                self.resolve(items[1]) if len(items) >= 2 else EMPTY_TYPE
+            )
+            return TypeRef(elem=value_type.own)
+        if base == "Callable" and items and isinstance(items[0], ast.List):
+            params = tuple(
+                self.resolve(param) for param in items[0].elts
+            )
+            return TypeRef(params=params)
+        # Generic over something else (e.g. a user class) — keep the base.
+        return self._named(base) if base is not None else EMPTY_TYPE
+
+
+class _Analyzer:
+    """Body analysis: held-set tracking + local type propagation."""
+
+    def __init__(
+        self,
+        model: PackageModel,
+        ann: _Annotations,
+        ctx: FileContext,
+        cls: ClassModel | None,
+        facts: FuncFacts,
+    ) -> None:
+        self._model = model
+        self._ann = ann
+        self._ctx = ctx
+        self._cls = cls
+        self._facts = facts
+
+    # -- type lookups ---------------------------------------------------
+    def _class(self, name: str) -> ClassModel | None:
+        if name in self._model.ambiguous:
+            return None
+        return self._model.classes.get(name)
+
+    def _attr_type(self, owner: TypeRef, attr: str) -> TypeRef:
+        merged = EMPTY_TYPE
+        for name in owner.own:
+            cls = self._class(name)
+            if cls is None:
+                continue
+            merged = merged.merge(cls.attr_types.get(attr, EMPTY_TYPE))
+            if attr in cls.properties:
+                method = cls.methods.get(attr)
+                if method is not None:
+                    merged = merged.merge(self._ann.resolve(method.returns))
+        return merged
+
+    def _return_type(self, owner: TypeRef, method_name: str) -> TypeRef:
+        merged = EMPTY_TYPE
+        for name in owner.own:
+            cls = self._class(name)
+            method = cls.methods.get(method_name) if cls else None
+            if method is not None:
+                merged = merged.merge(self._ann.resolve(method.returns))
+        return merged
+
+    def _resolve_class_object(self, node: ast.expr) -> str | None:
+        """A Name/Attribute that denotes a class (import or same module)."""
+        dotted = self._ctx.resolve(node)
+        if dotted is not None:
+            tail = dotted.rsplit(".", 1)[-1]
+            if self._class(tail) is not None:
+                return tail
+        if isinstance(node, ast.Name) and self._class(node.id) is not None:
+            return node.id
+        return None
+
+    def _type_of(self, node: ast.expr, env: dict[str, TypeRef]) -> TypeRef:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY_TYPE)
+        if isinstance(node, ast.Attribute):
+            if node.value is not None and _self_attr(node) is not None:
+                if self._cls is not None:
+                    return self._attr_type(
+                        TypeRef(own=frozenset({self._cls.name})), node.attr
+                    )
+                return EMPTY_TYPE
+            return self._attr_type(self._type_of(node.value, env), node.attr)
+        if isinstance(node, ast.Subscript):
+            return TypeRef(own=self._type_of(node.value, env).elem)
+        if isinstance(node, ast.Call):
+            return self._call_type(node, env)
+        if isinstance(node, ast.IfExp):
+            return self._type_of(node.body, env).merge(
+                self._type_of(node.orelse, env)
+            )
+        if isinstance(node, ast.BoolOp):
+            merged = EMPTY_TYPE
+            for value in node.values:
+                merged = merged.merge(self._type_of(value, env))
+            return merged
+        return EMPTY_TYPE
+
+    def _call_type(self, node: ast.Call, env: dict[str, TypeRef]) -> TypeRef:
+        func = node.func
+        cls_name = self._resolve_class_object(func)
+        if cls_name is not None:
+            return TypeRef(own=frozenset({cls_name}))
+        if isinstance(func, ast.Attribute):
+            # Classmethod constructors: ClassName.method(...)
+            owner_cls = self._resolve_class_object(func.value)
+            if owner_cls is not None:
+                return self._return_type(
+                    TypeRef(own=frozenset({owner_cls})), func.attr
+                )
+            receiver = self._type_of(func.value, env)
+            if receiver.own:
+                return self._return_type(receiver, func.attr)
+            if func.attr == "get":
+                # dict.get on a mapping-typed expression yields a value.
+                return TypeRef(own=self._type_of(func.value, env).elem)
+            return EMPTY_TYPE
+        dotted = self._ctx.resolve(func)
+        if dotted is not None and dotted in self._model.functions:
+            _, fnode = self._model.functions[dotted]
+            return self._ann.resolve(fnode.returns)
+        if isinstance(func, ast.Name):
+            key = f"{_module_of(self._ctx.path)}.{func.id}"
+            if key in self._model.functions:
+                _, fnode = self._model.functions[key]
+                return self._ann.resolve(fnode.returns)
+        return EMPTY_TYPE
+
+    # -- call target resolution -----------------------------------------
+    def _call_targets(
+        self, node: ast.Call, env: dict[str, TypeRef]
+    ) -> tuple[str, ...]:
+        func = node.func
+        targets: list[str] = []
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self._cls is not None
+            ):
+                if func.attr in self._cls.methods:
+                    targets.append(f"{self._cls.name}.{func.attr}")
+                return tuple(targets)
+            owner_cls = self._resolve_class_object(func.value)
+            if owner_cls is not None:
+                cls = self._class(owner_cls)
+                if cls is not None and func.attr in cls.methods:
+                    targets.append(f"{owner_cls}.{func.attr}")
+                return tuple(targets)
+            receiver = self._type_of(func.value, env)
+            for name in sorted(receiver.own):
+                cls = self._class(name)
+                if cls is not None and func.attr in cls.methods:
+                    targets.append(f"{name}.{func.attr}")
+            return tuple(targets)
+        dotted = self._ctx.resolve(func)
+        if dotted is not None and dotted in self._model.functions:
+            return (dotted,)
+        if isinstance(func, ast.Name):
+            key = f"{_module_of(self._ctx.path)}.{func.id}"
+            if key in self._model.functions:
+                return (key,)
+        return ()
+
+    def _callee_param_types(
+        self, target: str
+    ) -> tuple[list[str], dict[str, TypeRef]]:
+        """(positional parameter names, name -> TypeRef) for a target."""
+        node: ast.FunctionDef | None = None
+        skip_self = False
+        if target in self._model.functions:
+            node = self._model.functions[target][1]
+        else:
+            cls_name, _, method_name = target.rpartition(".")
+            cls = self._class(cls_name)
+            if cls is not None:
+                node = cls.methods.get(method_name)
+                skip_self = True
+        if node is None:
+            return [], {}
+        params = [arg.arg for arg in node.args.args]
+        if skip_self and params and params[0] in ("self", "cls"):
+            params = params[1:]
+            args = node.args.args[1:]
+        else:
+            args = node.args.args
+        types = {
+            arg.arg: self._ann.resolve(arg.annotation) for arg in args
+        }
+        return params, types
+
+    # -- recording -------------------------------------------------------
+    def _record_access(
+        self, attr: str, write: bool, held: tuple[str, ...], node: ast.expr
+    ) -> None:
+        if self._cls is None or attr in self._cls.locks:
+            return
+        self._facts.accesses.append(
+            Access(attr, write, held, node.lineno, node.col_offset)
+        )
+
+    def _record_block(
+        self, desc: str, held: tuple[str, ...], node: ast.expr
+    ) -> None:
+        self._facts.blockops.append(
+            BlockOp(desc, held, node.lineno, node.col_offset)
+        )
+
+    # -- statement walking ----------------------------------------------
+    def run(
+        self,
+        body: Iterable[ast.stmt],
+        env: dict[str, TypeRef],
+        held: tuple[str, ...],
+    ) -> None:
+        for stmt in body:
+            self._stmt(stmt, env, held)
+
+    def _stmt(
+        self, stmt: ast.stmt, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        if isinstance(stmt, ast.With):
+            self._with(stmt, env, held)
+        elif isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, env, held)
+            value_type = self._type_of(stmt.value, env)
+            for target in stmt.targets:
+                self._assign_target(target, value_type, env, held)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, env, held)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = self._ann.resolve(stmt.annotation)
+            else:
+                self._assign_target(stmt.target, EMPTY_TYPE, env, held)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, env, held)
+            attr = _self_attr(stmt.target)
+            if attr is not None:
+                self._record_access(attr, True, held, stmt.target)
+            elif isinstance(stmt.target, ast.Attribute):
+                self._expr(stmt.target.value, env, held)
+        elif isinstance(stmt, ast.For):
+            self._expr(stmt.iter, env, held)
+            iter_type = self._type_of(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = TypeRef(own=iter_type.elem)
+            self.run(stmt.body, env, held)
+            self.run(stmt.orelse, env, held)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test, env, held)
+            self.run(stmt.body, env, held)
+            self.run(stmt.orelse, env, held)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body, env, held)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = EMPTY_TYPE
+                self.run(handler.body, env, held)
+            self.run(stmt.orelse, env, held)
+            self.run(stmt.finalbody, env, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: analysed at the definition site's held set
+            # (over-approximates callbacks that run elsewhere; see module
+            # docstring).
+            nested_env = {
+                arg.arg: self._ann.resolve(arg.annotation)
+                for arg in stmt.args.args
+            }
+            self.run(stmt.body, nested_env, held)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, env, held)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, env, held)
+        elif isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, env, held)
+        # pass/break/continue/import/global/nonlocal: nothing to record.
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        value_type: TypeRef,
+        env: dict[str, TypeRef],
+        held: tuple[str, ...],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value_type
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._record_access(attr, True, held, target)
+            return
+        if isinstance(target, ast.Attribute):
+            self._expr(target.value, env, held)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, EMPTY_TYPE, env, held)
+        elif isinstance(target, ast.Subscript):
+            self._expr(target.value, env, held)
+            self._expr(target.slice, env, held)
+
+    def _with(
+        self, stmt: ast.With, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        new_held = held
+        for item in stmt.items:
+            attr = _self_attr(item.context_expr)
+            if (
+                attr is not None
+                and self._cls is not None
+                and attr in self._cls.locks
+            ):
+                self._facts.acquires.append(
+                    Acquire(
+                        attr,
+                        new_held,
+                        item.context_expr.lineno,
+                        item.context_expr.col_offset,
+                    )
+                )
+                if attr not in new_held:
+                    new_held = new_held + (attr,)
+            else:
+                self._expr(item.context_expr, env, new_held)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    env[item.optional_vars.id] = self._type_of(
+                        item.context_expr, env
+                    )
+        self.run(stmt.body, env, new_held)
+
+    # -- expression walking ----------------------------------------------
+    def _expr(
+        self, node: ast.expr, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node, env, held)
+            return
+        if isinstance(node, ast.Attribute):
+            self._attribute(node, env, held)
+            return
+        if isinstance(node, ast.Lambda):
+            nested_env = {arg.arg: EMPTY_TYPE for arg in node.args.args}
+            self._expr(node.body, nested_env, held)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            self._comprehension(node, env, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, env, held)
+
+    def _comprehension(
+        self, node: ast.expr, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        inner = dict(env)
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._expr(gen.iter, inner, held)
+            iter_type = self._type_of(gen.iter, inner)
+            if isinstance(gen.target, ast.Name):
+                inner[gen.target.id] = TypeRef(own=iter_type.elem)
+            for condition in gen.ifs:
+                self._expr(condition, inner, held)
+        if isinstance(node, ast.DictComp):
+            self._expr(node.key, inner, held)
+            self._expr(node.value, inner, held)
+        else:
+            self._expr(node.elt, inner, held)  # type: ignore[attr-defined]
+
+    def _attribute(
+        self, node: ast.Attribute, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        attr = _self_attr(node)
+        if attr is not None:
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self._record_access(attr, write, held, node)
+            return
+        # Property loads on typed receivers count as getter calls (a
+        # property body can acquire locks or block).
+        receiver = self._type_of(node.value, env)
+        targets = [
+            f"{name}.{node.attr}"
+            for name in sorted(receiver.own)
+            if (cls := self._class(name)) is not None
+            and node.attr in cls.properties
+        ]
+        if targets:
+            self._facts.calls.append(
+                CallSite(tuple(targets), held, node.lineno, node.col_offset)
+            )
+        self._expr(node.value, env, held)
+
+    def _call(
+        self, node: ast.Call, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        targets = self._call_targets(node, env)
+        if targets:
+            self._facts.calls.append(
+                CallSite(targets, held, node.lineno, node.col_offset)
+            )
+        else:
+            self._unresolved_call(node, env, held)
+        # Walk the receiver chain (records self.attr loads).
+        if isinstance(node.func, ast.Attribute):
+            self._expr(node.func.value, env, held)
+        # Arguments; lambdas get parameter types from the callee's
+        # Callable[[...], ...] annotations when a single target resolves.
+        param_names: list[str] = []
+        param_types: dict[str, TypeRef] = {}
+        if len(targets) == 1:
+            param_names, param_types = self._callee_param_types(targets[0])
+        for position, arg in enumerate(node.args):
+            self._argument(arg, position, None, param_names, param_types, env, held)
+        for keyword in node.keywords:
+            self._argument(
+                keyword.value, None, keyword.arg, param_names, param_types, env, held
+            )
+
+    def _argument(
+        self,
+        arg: ast.expr,
+        position: int | None,
+        keyword: str | None,
+        param_names: list[str],
+        param_types: dict[str, TypeRef],
+        env: dict[str, TypeRef],
+        held: tuple[str, ...],
+    ) -> None:
+        if not isinstance(arg, ast.Lambda):
+            self._expr(arg, env, held)
+            return
+        annotation = EMPTY_TYPE
+        if keyword is not None:
+            annotation = param_types.get(keyword, EMPTY_TYPE)
+        elif position is not None and position < len(param_names):
+            annotation = param_types.get(param_names[position], EMPTY_TYPE)
+        callable_params = annotation.params or ()
+        nested_env: dict[str, TypeRef] = {}
+        for index, lambda_arg in enumerate(arg.args.args):
+            nested_env[lambda_arg.arg] = (
+                callable_params[index]
+                if index < len(callable_params)
+                else EMPTY_TYPE
+            )
+        self._expr(arg.body, nested_env, held)
+
+    def _unresolved_call(
+        self, node: ast.Call, env: dict[str, TypeRef], held: tuple[str, ...]
+    ) -> None:
+        func = node.func
+        dotted = self._ctx.resolve(func)
+        if dotted is not None and dotted in BLOCKING_PATHS:
+            self._record_block(dotted, held, node)
+            return
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "open"
+            and func.id not in env
+            and func.id not in self._ctx.imports
+        ):
+            self._record_block("open()", held, node)
+            return
+        if isinstance(func, ast.Attribute):
+            receiver = self._type_of(func.value, env)
+            if receiver.own:
+                return  # typed receiver without that method: not blocking
+            if func.attr in BLOCKING_ATTR_NAMES:
+                self._record_block(f".{func.attr}()", held, node)
+            elif func.attr == "join" and not node.args:
+                self._record_block(".join()", held, node)
+
+
+def _collect_class(
+    ctx: FileContext, node: ast.ClassDef, module: str
+) -> ClassModel:
+    cls = ClassModel(
+        name=node.name, path=ctx.path, module=module, node=node, ctx=ctx
+    )
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef):
+            cls.methods[item.name] = item
+            for decorator in item.decorator_list:
+                if (
+                    isinstance(decorator, ast.Name)
+                    and decorator.id == "property"
+                ):
+                    cls.properties.add(item.name)
+    init = cls.methods.get("__init__")
+    if init is not None:
+        for stmt in ast.walk(init):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                attr = _self_attr(stmt.targets[0])
+                if attr is not None and _is_lock_factory(ctx, stmt.value):
+                    cls.locks[attr] = stmt.lineno
+    return cls
+
+
+def _collect_attr_types(
+    model: PackageModel, ann: _Annotations, cls: ClassModel
+) -> None:
+    """Infer self-attribute types from annotations and constructions."""
+    analyzer = _Analyzer(model, ann, cls.ctx, cls, FuncFacts())
+    for method in cls.methods.values():
+        param_env = {
+            arg.arg: ann.resolve(arg.annotation)
+            for arg in method.args.args
+        }
+        for stmt in ast.walk(method):
+            attr: str | None
+            if isinstance(stmt, ast.AnnAssign):
+                attr = _self_attr(stmt.target)
+                if attr is not None:
+                    inferred = ann.resolve(stmt.annotation)
+                    if inferred is not EMPTY_TYPE:
+                        cls.attr_types[attr] = cls.attr_types.get(
+                            attr, EMPTY_TYPE
+                        ).merge(inferred)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                attr = _self_attr(stmt.targets[0])
+                if attr is None or attr in cls.locks:
+                    continue
+                inferred = analyzer._type_of(stmt.value, param_env)
+                if inferred.own or inferred.elem:
+                    cls.attr_types[attr] = cls.attr_types.get(
+                        attr, EMPTY_TYPE
+                    ).merge(inferred)
+
+
+def _analyze_bodies(model: PackageModel, ann: _Annotations) -> None:
+    for cls in model.classes.values():
+        for name, method in cls.methods.items():
+            facts = FuncFacts()
+            analyzer = _Analyzer(model, ann, cls.ctx, cls, facts)
+            env = {
+                arg.arg: ann.resolve(arg.annotation)
+                for arg in method.args.args
+            }
+            if method.args.args and method.args.args[0].arg == "self":
+                env["self"] = TypeRef(own=frozenset({cls.name}))
+            analyzer.run(method.body, env, ())
+            key = f"{cls.name}.{name}"
+            cls.facts[name] = facts
+            model.facts[key] = facts
+    for key, (ctx, node) in model.functions.items():
+        facts = FuncFacts()
+        analyzer = _Analyzer(model, ann, ctx, None, facts)
+        env = {
+            arg.arg: ann.resolve(arg.annotation) for arg in node.args.args
+        }
+        analyzer.run(node.body, env, ())
+        model.facts[key] = facts
+
+
+def _compute_entry_held(cls: ClassModel) -> None:
+    """Fixed point: held-at-entry for private helpers, and the set of
+    construction-only helpers exempt from guard checks."""
+    # Intra-class call sites: method -> list of (caller, held-at-site).
+    sites: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+    for caller, facts in cls.facts.items():
+        for call in facts.calls:
+            for target in call.targets:
+                owner, _, method_name = target.rpartition(".")
+                if owner == cls.name and method_name in cls.methods:
+                    sites.setdefault(method_name, []).append(
+                        (caller, call.held)
+                    )
+
+    # Construction-only helpers: every call site is in __init__ or
+    # another construction-only helper, and there is at least one site.
+    init_only = {
+        name
+        for name in cls.methods
+        if name != "__init__" and sites.get(name)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(init_only):
+            callers = {caller for caller, _ in sites.get(name, [])}
+            if not callers <= (init_only | {"__init__"}):
+                init_only.discard(name)
+                changed = True
+    cls.init_only = init_only
+
+    all_locks = frozenset(cls.locks)
+    entry: dict[str, frozenset[str]] = {}
+    for name in cls.methods:
+        private = name.startswith("_") and not name.startswith("__")
+        eligible = [
+            (caller, held)
+            for caller, held in sites.get(name, [])
+            if caller != "__init__" and caller not in init_only
+        ]
+        if private and eligible:
+            entry[name] = all_locks  # optimistic top, narrowed below
+        else:
+            entry[name] = frozenset()
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(cls.methods):
+            eligible = [
+                (caller, held)
+                for caller, held in sites.get(name, [])
+                if caller != "__init__" and caller not in init_only
+            ]
+            if not (
+                name.startswith("_")
+                and not name.startswith("__")
+                and eligible
+            ):
+                continue
+            narrowed = all_locks
+            for caller, held in eligible:
+                narrowed &= frozenset(held) | entry.get(caller, frozenset())
+            if narrowed != entry[name]:
+                entry[name] = narrowed
+                changed = True
+    cls.entry_held = entry
+
+
+def _fixed_points(model: PackageModel) -> None:
+    """may-acquire and blocking closures over the package call graph."""
+    may: dict[str, frozenset[str]] = {}
+    blocking: dict[str, str] = {}
+    for key, facts in model.facts.items():
+        owner, _, _ = key.rpartition(".")
+        direct = frozenset(
+            lock_node(owner, acq.lock_attr)
+            for acq in facts.acquires
+            if owner in model.classes
+        )
+        may[key] = direct
+        if facts.blockops:
+            first = min(facts.blockops, key=lambda op: (op.line, op.col))
+            blocking[key] = first.desc
+    changed = True
+    while changed:
+        changed = False
+        for key, facts in model.facts.items():
+            acquired = may[key]
+            block_reason = blocking.get(key)
+            for call in facts.calls:
+                for target in call.targets:
+                    acquired = acquired | may.get(target, frozenset())
+                    if block_reason is None and target in blocking:
+                        block_reason = f"calls {target} ({blocking[target]})"
+            if acquired != may[key]:
+                may[key] = acquired
+                changed = True
+            if block_reason is not None and key not in blocking:
+                blocking[key] = block_reason
+                changed = True
+    model.may_acquire = may
+    model.blocking = blocking
+
+
+def _held_nodes(
+    cls: ClassModel, method_name: str, held: tuple[str, ...]
+) -> frozenset[str]:
+    local = frozenset(held) | cls.entry_held.get(method_name, frozenset())
+    return frozenset(lock_node(cls.name, attr) for attr in local)
+
+
+def _derive_edges(model: PackageModel) -> None:
+    edges: dict[tuple[str, str], EdgeWitness] = {}
+
+    def add(held: str, acquired: str, witness: EdgeWitness) -> None:
+        if held != acquired and (held, acquired) not in edges:
+            edges[(held, acquired)] = witness
+
+    for cls in model.classes.values():
+        for method_name, facts in sorted(cls.facts.items()):
+            for acq in facts.acquires:
+                target_node = lock_node(cls.name, acq.lock_attr)
+                for held in sorted(
+                    _held_nodes(cls, method_name, acq.held)
+                ):
+                    add(
+                        held,
+                        target_node,
+                        EdgeWitness(
+                            cls.path,
+                            acq.line,
+                            acq.col,
+                            f"{cls.name}.{method_name} nests "
+                            f"{target_node} under {held}",
+                        ),
+                    )
+            for call in facts.calls:
+                held_nodes = _held_nodes(cls, method_name, call.held)
+                if not held_nodes:
+                    continue
+                for target in call.targets:
+                    for acquired in sorted(
+                        model.may_acquire.get(target, frozenset())
+                    ):
+                        for held in sorted(held_nodes):
+                            add(
+                                held,
+                                acquired,
+                                EdgeWitness(
+                                    cls.path,
+                                    call.line,
+                                    call.col,
+                                    f"{cls.name}.{method_name} calls "
+                                    f"{target} (acquires {acquired}) "
+                                    f"under {held}",
+                                ),
+                            )
+    model.edges = edges
+
+
+def build_model(contexts: Iterable[FileContext]) -> PackageModel:
+    """Assemble the package lock model from parsed file contexts."""
+    model = PackageModel()
+    modules: list[tuple[FileContext, str]] = []
+    for ctx in contexts:
+        module = _module_of(ctx.path)
+        modules.append((ctx, module))
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                if node.name in model.classes:
+                    model.ambiguous.add(node.name)
+                model.classes[node.name] = _collect_class(ctx, node, module)
+            elif isinstance(node, ast.FunctionDef):
+                model.functions[f"{module}.{node.name}"] = (ctx, node)
+    for name in model.ambiguous:
+        model.classes.pop(name, None)
+
+    known = frozenset(model.classes)
+    ann = _Annotations(known)
+    for cls in model.classes.values():
+        _collect_attr_types(model, ann, cls)
+    _analyze_bodies(model, ann)
+    for cls in model.classes.values():
+        _compute_entry_held(cls)
+    _fixed_points(model)
+    _derive_edges(model)
+    return model

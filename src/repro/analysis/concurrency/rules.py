@@ -1,0 +1,268 @@
+"""Concurrency rules VIL008-VIL010 over the package lock model.
+
+All three are :class:`~repro.analysis.registry.PackageRule` subclasses:
+they need the whole package in view (held-lock sets propagate through
+calls that cross module boundaries).  Each builds the shared
+:class:`~repro.analysis.concurrency.model.PackageModel` for the run —
+a single-slot cache keyed on the context list identity avoids building
+it three times per lint pass.
+
+Scope: library tier only.  Tests and benchmarks construct locks for
+fixtures and deliberately poke at internals; lock discipline is a
+production-code contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.concurrency.model import (
+    Access,
+    ClassModel,
+    PackageModel,
+    build_model,
+    lock_node,
+)
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import PackageRule, register
+
+__all__ = [
+    "BlockingWhileLockedRule",
+    "GuardDisciplineRule",
+    "LockOrderInversionRule",
+]
+
+_LIBRARY_ONLY = frozenset({"library"})
+
+# One-slot model cache: the engine runs each package rule over the same
+# context list, so identity of the list members is a sound key for the
+# duration of one lint pass.
+_cache_key: tuple[int, ...] | None = None
+_cache_model: PackageModel | None = None
+
+
+def _model_for(contexts: Iterable[FileContext]) -> PackageModel:
+    global _cache_key, _cache_model
+    materialised = list(contexts)
+    key = tuple(id(ctx) for ctx in materialised)
+    if key != _cache_key or _cache_model is None:
+        _cache_model = build_model(materialised)
+        _cache_key = key
+    return _cache_model
+
+
+def _held_attrs(
+    cls: ClassModel, method: str, local: tuple[str, ...]
+) -> frozenset[str]:
+    """Effective held own-class lock attrs at a site: the with-nesting
+    plus the method's inferred entry-held set."""
+    return frozenset(local) | cls.entry_held.get(method, frozenset())
+
+
+def _held_nodes(
+    cls: ClassModel, method: str, local: tuple[str, ...]
+) -> frozenset[str]:
+    return frozenset(
+        lock_node(cls.name, attr) for attr in _held_attrs(cls, method, local)
+    )
+
+
+@register
+class GuardDisciplineRule(PackageRule):
+    """VIL008: a field written under a lock is that lock's to guard."""
+
+    name = "guard-discipline"
+    code = "VIL008"
+    description = (
+        "a field ever written while holding a lock must always be "
+        "accessed with that lock held"
+    )
+    rationale = (
+        "Mixed locked/unlocked access to the same attribute is the "
+        "classic data race: the unlocked reader sees torn or stale "
+        "state exactly when the timing is worst.  If an attribute "
+        "needs a lock on any write path, every read and write path "
+        "needs it (construction is exempt: __init__ and helpers "
+        "reachable only from it run before the object is shared)."
+    )
+    tiers = _LIBRARY_ONLY
+
+    def check_package(
+        self, contexts: Iterable[FileContext]
+    ) -> Iterator[Diagnostic]:
+        model = _model_for(contexts)
+        for class_name in sorted(model.classes):
+            cls = model.classes[class_name]
+            if not cls.locks:
+                continue
+            yield from self._check_class(cls)
+
+    def _check_class(self, cls: ClassModel) -> Iterator[Diagnostic]:
+        exempt = cls.init_only | {"__init__"}
+        guards: dict[str, set[str]] = {}
+        sites: list[tuple[str, Access]] = []
+        for method, facts in cls.facts.items():
+            if method in exempt:
+                continue
+            for access in facts.accesses:
+                held = _held_attrs(cls, method, access.held)
+                sites.append((method, access))
+                if access.write and held:
+                    guards.setdefault(access.attr, set()).update(held)
+        findings = []
+        for method, access in sites:
+            guarding = guards.get(access.attr)
+            if not guarding:
+                continue
+            held = _held_attrs(cls, method, access.held)
+            if held & guarding:
+                continue
+            kind = "written" if access.write else "read"
+            lock_names = ", ".join(
+                sorted(lock_node(cls.name, attr) for attr in guarding)
+            )
+            findings.append(
+                self.diagnostic_at(
+                    cls.path,
+                    access.line,
+                    access.col,
+                    f"attribute '{access.attr}' is guarded by "
+                    f"{lock_names} on its write paths but {kind} here "
+                    f"in {cls.name}.{method} without the lock",
+                )
+            )
+        yield from sorted(findings)
+
+
+@register
+class LockOrderInversionRule(PackageRule):
+    """VIL009: two paths acquire the same pair of locks in opposite order."""
+
+    name = "lock-order-inversion"
+    code = "VIL009"
+    description = (
+        "two code paths acquire the same locks in opposite order "
+        "(deadlock when the paths interleave)"
+    )
+    rationale = (
+        "A consistent acquisition order is the only cheap deadlock "
+        "proof there is.  The analysis derives every held->acquired "
+        "edge (through helper calls, properties and annotated "
+        "lambdas) and reports each edge that closes a cycle in the "
+        "package-wide lock-order graph."
+    )
+    tiers = _LIBRARY_ONLY
+
+    def check_package(
+        self, contexts: Iterable[FileContext]
+    ) -> Iterator[Diagnostic]:
+        model = _model_for(contexts)
+        adjacency: dict[str, set[str]] = {}
+        for held, acquired in model.edges:
+            adjacency.setdefault(held, set()).add(acquired)
+
+        def reaches(source: str, target: str) -> bool:
+            stack, seen = [source], set()
+            while stack:
+                node = stack.pop()
+                if node == target:
+                    return True
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adjacency.get(node, ()))
+            return False
+
+        findings = []
+        reported: set[frozenset[str]] = set()
+        for (held, acquired), witness in sorted(model.edges.items()):
+            pair = frozenset((held, acquired))
+            if pair in reported:
+                continue
+            if not reaches(acquired, held):
+                continue
+            reported.add(pair)
+            reverse = model.edges.get((acquired, held))
+            if reverse is not None:
+                via = f"the reverse edge at {reverse.path}:{reverse.line}"
+            else:
+                via = f"a path from {acquired} back to {held}"
+            findings.append(
+                self.diagnostic_at(
+                    witness.path,
+                    witness.line,
+                    witness.col,
+                    f"lock-order inversion: {witness.description}; "
+                    f"{via} closes the cycle",
+                )
+            )
+        yield from sorted(findings)
+
+
+@register
+class BlockingWhileLockedRule(PackageRule):
+    """VIL010: no file I/O, sleeps or scatter waits inside a lock region."""
+
+    name = "blocking-while-locked"
+    code = "VIL010"
+    description = (
+        "blocking operation (file I/O, sleep, socket op, future wait) "
+        "executed while holding a lock"
+    )
+    rationale = (
+        "A lock held across a blocking call turns one slow disk or "
+        "scheduler tick into a convoy: every thread needing the lock "
+        "queues behind I/O it did not issue.  Move the blocking work "
+        "outside the critical section, or suppress with a "
+        "justification where the serialisation is the design (e.g. a "
+        "checkpoint that must be atomic against queries)."
+    )
+    tiers = _LIBRARY_ONLY
+
+    def check_package(
+        self, contexts: Iterable[FileContext]
+    ) -> Iterator[Diagnostic]:
+        model = _model_for(contexts)
+        findings = []
+        for class_name in sorted(model.classes):
+            cls = model.classes[class_name]
+            for method, facts in sorted(cls.facts.items()):
+                for op in facts.blockops:
+                    held = _held_nodes(cls, method, op.held)
+                    if not held:
+                        continue
+                    locks = ", ".join(sorted(held))
+                    findings.append(
+                        self.diagnostic_at(
+                            cls.path,
+                            op.line,
+                            op.col,
+                            f"blocking operation {op.desc} in "
+                            f"{cls.name}.{method} while holding {locks}",
+                        )
+                    )
+                for call in facts.calls:
+                    held = _held_nodes(cls, method, call.held)
+                    if not held:
+                        continue
+                    blocked = [
+                        target
+                        for target in call.targets
+                        if target in model.blocking
+                    ]
+                    if not blocked:
+                        continue
+                    target = sorted(blocked)[0]
+                    locks = ", ".join(sorted(held))
+                    findings.append(
+                        self.diagnostic_at(
+                            cls.path,
+                            call.line,
+                            call.col,
+                            f"call to {target} "
+                            f"({model.blocking[target]}) in "
+                            f"{cls.name}.{method} while holding {locks}",
+                        )
+                    )
+        yield from sorted(findings)

@@ -11,7 +11,24 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
-__all__ = ["FileContext", "dotted_name", "is_floatish"]
+__all__ = ["FileContext", "dotted_name", "file_tier", "is_floatish"]
+
+TIERS = ("library", "tests", "benchmarks")
+
+
+def file_tier(path: str) -> str:
+    """Coarse classification of a source path for rule scoping.
+
+    ``tests`` and ``benchmarks`` directory components mark their tiers;
+    everything else (including in-memory ``<string>`` sources and
+    tempdir fixtures) is ``library``, the strictest tier.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    return "library"
 
 
 def _collect_imports(tree: ast.Module) -> dict[str, str]:

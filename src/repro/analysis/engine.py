@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import ast
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.context import FileContext
+from repro.analysis.context import FileContext, file_tier
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.registry import Rule, all_rules, get_rule
-from repro.analysis.suppressions import collect_suppressions
+from repro.analysis.registry import PackageRule, Rule, all_rules, get_rule
+from repro.analysis.suppressions import Suppressions, collect_suppressions
 
 __all__ = ["LintResult", "lint_paths", "lint_source", "discover_files"]
 
@@ -115,50 +116,137 @@ def lint_source(
             )
         ]
     suppressions = collect_suppressions(source)
+    tier = file_tier(path)
     findings: list[Diagnostic] = []
     for rule in rules:
-        for diagnostic in rule.check(ctx):
+        if tier not in rule.tiers:
+            continue
+        raw = (
+            rule.check_package([ctx])
+            if isinstance(rule, PackageRule)
+            else rule.check(ctx)
+        )
+        for diagnostic in raw:
             if not suppressions.is_suppressed(diagnostic):
                 findings.append(diagnostic)
     return sorted(findings)
+
+
+@dataclass
+class _FileOutcome:
+    """What one worker produced for one file (order restored by caller)."""
+
+    norm: str
+    tier: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    ctx: FileContext | None = None
+    suppressions: Suppressions = field(default_factory=Suppressions)
+
+
+def _lint_one_file(filename: str, rules: list[Rule]) -> _FileOutcome:
+    """Parse and run the per-file rules on one file (thread worker).
+
+    Pure with respect to shared state: suppression filtering happens
+    here (per-file), baseline matching in the caller (the baseline's
+    matched-set is mutable shared state).
+    """
+    norm = _normalise(filename)
+    tier = file_tier(norm)
+    outcome = _FileOutcome(norm=norm, tier=tier)
+    with open(filename, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        ctx = FileContext.parse(norm, source)
+    except SyntaxError as error:
+        outcome.diagnostics.append(
+            Diagnostic(
+                path=norm,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule="parse-error",
+                code="VIL000",
+                message=f"could not parse file: {error.msg}",
+            )
+        )
+        return outcome
+    suppressions = collect_suppressions(source)
+    outcome.ctx = ctx
+    outcome.suppressions = suppressions
+    for rule in rules:
+        if isinstance(rule, PackageRule) or tier not in rule.tiers:
+            continue
+        for diagnostic in rule.check(ctx):
+            if suppressions.is_suppressed(diagnostic):
+                outcome.suppressed += 1
+            else:
+                outcome.diagnostics.append(diagnostic)
+    return outcome
 
 
 def lint_paths(
     paths: list[str],
     baseline: Baseline | None = None,
     select: list[str] | None = None,
+    jobs: int | None = None,
 ) -> LintResult:
-    """Run the selected rules over *paths*, applying *baseline* if given."""
+    """Run the selected rules over *paths*, applying *baseline* if given.
+
+    Files are analysed in parallel (*jobs* threads; default scales with
+    the CPU count).  Output is deterministic regardless of *jobs*:
+    workers are pure per-file functions, results are consumed in file
+    order, and the final diagnostic list is sorted.
+    """
     rules = _select_rules(select)
     result = LintResult()
-    for filename in discover_files(paths):
-        norm = _normalise(filename)
-        with open(filename, encoding="utf-8") as handle:
-            source = handle.read()
-        result.files_checked += 1
-        try:
-            ctx = FileContext.parse(norm, source)
-        except SyntaxError as error:
-            result.diagnostics.append(
-                Diagnostic(
-                    path=norm,
-                    line=error.lineno or 1,
-                    col=(error.offset or 1) - 1,
-                    rule="parse-error",
-                    code="VIL000",
-                    message=f"could not parse file: {error.msg}",
-                )
+    files = discover_files(paths)
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    jobs = max(1, min(jobs, max(1, len(files))))
+
+    if jobs == 1:
+        outcomes = [_lint_one_file(filename, rules) for filename in files]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(
+                pool.map(lambda name: _lint_one_file(name, rules), files)
             )
-            continue
-        suppressions = collect_suppressions(source)
-        for rule in rules:
-            for diagnostic in rule.check(ctx):
-                if suppressions.is_suppressed(diagnostic):
+
+    raw: list[Diagnostic] = []
+    for outcome in outcomes:
+        result.files_checked += 1
+        result.suppressed += outcome.suppressed
+        raw.extend(outcome.diagnostics)
+
+    # Package pass: rules that see the whole file set at once.  Inline
+    # suppressions are looked up by the finding's own path.
+    package_rules = [r for r in rules if isinstance(r, PackageRule)]
+    if package_rules:
+        by_path = {
+            outcome.norm: outcome
+            for outcome in outcomes
+            if outcome.ctx is not None
+        }
+        for rule in package_rules:
+            contexts = [
+                outcome.ctx
+                for outcome in outcomes
+                if outcome.ctx is not None and outcome.tier in rule.tiers
+            ]
+            for diagnostic in rule.check_package(contexts):
+                holder = by_path.get(diagnostic.path)
+                if holder is not None and holder.suppressions.is_suppressed(
+                    diagnostic
+                ):
                     result.suppressed += 1
-                elif baseline is not None and baseline.absorbs(diagnostic):
-                    result.baselined += 1
                 else:
-                    result.diagnostics.append(diagnostic)
+                    raw.append(diagnostic)
+
+    for diagnostic in raw:
+        if baseline is not None and baseline.absorbs(diagnostic):
+            result.baselined += 1
+        else:
+            result.diagnostics.append(diagnostic)
     if baseline is not None:
         result.stale_baseline = baseline.stale_entries()
     result.diagnostics.sort()

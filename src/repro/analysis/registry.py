@@ -10,12 +10,19 @@ baseline entries) and its short ``code``.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Type
+from typing import Iterable, Iterator, Type
 
-from repro.analysis.context import FileContext
+from repro.analysis.context import TIERS, FileContext
 from repro.analysis.diagnostics import Diagnostic, Severity
 
-__all__ = ["Rule", "all_rules", "get_rule", "register", "rule_names"]
+__all__ = [
+    "PackageRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_names",
+]
 
 
 class Rule:
@@ -24,6 +31,11 @@ class Rule:
     Subclasses set the class attributes and implement :meth:`check`,
     yielding one :class:`Diagnostic` per finding.  Rules are stateless:
     one instance is constructed per run and invoked once per file.
+
+    ``tiers`` scopes where a rule applies: the engine classifies every
+    file as ``library``, ``tests`` or ``benchmarks`` (see
+    :func:`repro.analysis.context.file_tier`) and skips rules whose
+    ``tiers`` set does not include the file's tier.
     """
 
     name: str = ""
@@ -31,6 +43,7 @@ class Rule:
     description: str = ""
     rationale: str = ""
     severity: Severity = Severity.ERROR
+    tiers: frozenset[str] = frozenset(TIERS)
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         raise NotImplementedError
@@ -43,6 +56,42 @@ class Rule:
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class PackageRule(Rule):
+    """A rule that needs the whole package in view at once.
+
+    Per-file rules pattern-match one AST at a time; package rules (the
+    concurrency pass) reason across files — call graphs, lock-order
+    edges spanning modules.  The engine parses every file first, then
+    hands each package rule the full list of contexts (already filtered
+    to the rule's ``tiers``).  Diagnostics still anchor to a concrete
+    ``(path, line)`` so suppressions and the baseline work unchanged.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        return iter(())  # package rules only run in the package pass
+
+    def check_package(
+        self, contexts: Iterable[FileContext]
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic at an explicit location (package rules
+        often anchor findings in a different file than the one that
+        triggered the analysis)."""
+        return Diagnostic(
+            path=path,
+            line=line,
+            col=col,
             rule=self.name,
             code=self.code,
             message=message,

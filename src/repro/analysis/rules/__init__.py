@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.analysis.concurrency import rules as _concurrency_rules  # noqa: F401
 from repro.analysis.rules import (  # noqa: F401
     boundary_validation,
     counter_discipline,

@@ -93,6 +93,7 @@ def _calls_checker(func: ast.FunctionDef) -> bool:
 class BoundaryValidationRule(Rule):
     name = "boundary-validation"
     code = "VIL004"
+    tiers = frozenset({"library"})
     description = (
         "public core/ and baselines/ functions taking array arguments "
         "must validate them through a check_* helper"

@@ -236,6 +236,7 @@ def _direct_calls(
 class CounterDisciplineRule(Rule):
     name = "counter-discipline"
     code = "VIL003"
+    tiers = frozenset({"library"})
     description = (
         "distance/similarity kernels and page I/O must flow through "
         "CostCounters accounting"

@@ -36,6 +36,7 @@ __all__ = ["FloatEqualityRule"]
 class FloatEqualityRule(Rule):
     name = "float-equality"
     code = "VIL005"
+    tiers = frozenset({"library"})
     description = (
         "no ==/!= comparisons against float expressions; use math.isclose/"
         "np.allclose or an ordered comparison"

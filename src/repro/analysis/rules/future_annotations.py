@@ -26,6 +26,7 @@ __all__ = ["FutureAnnotationsRule"]
 class FutureAnnotationsRule(Rule):
     name = "future-annotations"
     code = "VIL001"
+    tiers = frozenset({"library"})
     description = (
         "every module must begin with 'from __future__ import annotations'"
     )

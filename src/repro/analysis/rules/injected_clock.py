@@ -39,6 +39,7 @@ _BANNED_PREFIXES = ("time.", "random.", "numpy.random.", "np.random.")
 class InjectedClockRule(Rule):
     name = "injected-clock"
     code = "VIL007"
+    tiers = frozenset({"library"})
     description = (
         "resilience modules must use the injected Clock and seeded "
         "jitter, never the time/random modules"

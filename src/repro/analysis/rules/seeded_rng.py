@@ -15,6 +15,12 @@ calls on a ``Generator`` instance (``rng.normal(...)``) are fine — that
 is the threaded-generator idiom the rule exists to enforce.
 ``utils/rng.py`` itself carries a file-level suppression: it is the one
 sanctioned constructor of generators.
+
+Outside the library tier (tests, benchmarks) the rule relaxes one
+notch: ``np.random.default_rng(<literal seed>)`` is allowed — a fixture
+constructing its own literal-seeded generator is exactly as replayable
+as one threaded through ``ensure_rng``, and test files have no ``seed``
+parameter to thread.
 """
 
 from __future__ import annotations
@@ -22,9 +28,19 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.context import FileContext
+from repro.analysis.context import FileContext, file_tier
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.registry import Rule, register
+
+
+def _literal_seeded_default_rng(node: ast.Call, resolved: str) -> bool:
+    """``numpy.random.default_rng(<int literal>)`` — deterministic."""
+    if resolved != "numpy.random.default_rng":
+        return False
+    if len(node.args) != 1 or node.keywords:
+        return False
+    seed = node.args[0]
+    return isinstance(seed, ast.Constant) and isinstance(seed.value, int)
 
 __all__ = ["SeededRngRule"]
 
@@ -43,11 +59,14 @@ class SeededRngRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        relaxed = file_tier(ctx.path) != "library"
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             resolved = ctx.resolve(node.func)
             if resolved is None:
+                continue
+            if relaxed and _literal_seeded_default_rng(node, resolved):
                 continue
             if resolved.startswith("numpy.random."):
                 yield self.diagnostic(

@@ -878,6 +878,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-baseline", action="store_true")
     lint.add_argument("--update-baseline", action="store_true")
     lint.add_argument("--select", default=None, metavar="RULES")
+    lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the concurrency rules (VIL008-VIL010)",
+    )
+    lint.add_argument("--lock-graph-dot", default=None, metavar="FILE")
+    lint.add_argument("--jobs", type=int, default=None, metavar="N")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(func=_cmd_lint)

@@ -53,6 +53,7 @@ from repro.core.index import (
 from repro.core.vitri import VideoSummary
 from repro.storage.buffer_pool import BufferPool
 from repro.utils.counters import CostCounters, Timer
+from repro.utils.locks import make_lock
 from repro.utils.stats import percentile
 
 __all__ = ["BatchResult", "QueryEngine", "ServingMetrics", "query_fingerprint"]
@@ -182,7 +183,7 @@ class QueryEngine:
         self._cache: OrderedDict[
             tuple[str, str, int, str], KNNResult
         ] = OrderedDict()
-        self._cache_lock = threading.Lock()
+        self._cache_lock = make_lock("QueryEngine._cache_lock")
         self.cache_hits = 0
         self.cache_misses = 0
         self._take_snapshot()
@@ -359,9 +360,9 @@ class QueryEngine:
             workers=workers,
             wall_time=wall,
             qps=len(queries) / wall if wall > 0.0 else 0.0,
-            latency_p50=percentile(ordered, 0.50),
-            latency_p95=percentile(ordered, 0.95),
-            latency_p99=percentile(ordered, 0.99),
+            latency_p50=percentile(ordered, 0.50, default=0.0),
+            latency_p95=percentile(ordered, 0.95, default=0.0),
+            latency_p99=percentile(ordered, 0.99, default=0.0),
             cache_hits=hits,
             cache_misses=misses,
             cache_hit_rate=hits / len(queries) if queries else 0.0,

@@ -40,13 +40,13 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.storage.faults import SimulatedCrash
 from repro.utils.clock import Clock
 from repro.utils.counters import CostCounters
+from repro.utils.locks import make_lock
 from repro.utils.stats import percentile
 
 __all__ = [
@@ -313,7 +313,7 @@ class CircuitBreaker:
         if not isinstance(policy, BreakerPolicy):
             raise TypeError("policy must be a BreakerPolicy")
         self.policy = policy
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock")
         self._state = self.CLOSED
         self._window: deque[bool] = deque(maxlen=policy.window)
         self._opened_at = 0.0
@@ -376,10 +376,11 @@ class CircuitBreaker:
                         self._open(now)
 
     def __repr__(self) -> str:
-        return (
-            f"CircuitBreaker(state={self.state!r}, opens={self.opens}, "
-            f"window={list(self._window)})"
-        )
+        with self._lock:
+            return (
+                f"CircuitBreaker(state={self._state!r}, "
+                f"opens={self.opens}, window={list(self._window)})"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -406,8 +407,11 @@ class HealthStats:
 
     @property
     def p95_latency(self) -> float:
-        """95th-percentile attempt latency over the recent window."""
-        return percentile(sorted(self.latencies), 0.95)
+        """95th-percentile attempt latency over the recent window.
+
+        0.0 before the first attempt lands (explicitly: no samples).
+        """
+        return percentile(sorted(self.latencies), 0.95, default=0.0)
 
     def to_dict(self) -> dict:
         return {
@@ -436,7 +440,7 @@ class FleetHealth:
 
     def __init__(self, clock: Clock) -> None:
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("FleetHealth._lock")
         self._stats: dict[int, HealthStats] = {}
         self._breakers: dict[int, CircuitBreaker] = {}
 

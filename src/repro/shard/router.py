@@ -69,10 +69,18 @@ on the shard the partitioner routes it to.
 
 from __future__ import annotations
 
+# vilint: disable-file=blocking-while-locked -- the router lock is
+# deliberately coarse: it serialises fleet-topology mutations
+# (rebalance, checkpoint, close) against whole queries, so scatters,
+# shard sub-queries and manifest writes all run under it by design.
+# Per-shard parallelism is preserved: scatter worker threads never take
+# this lock.
+
 import json
 import os
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.index import QueryStats, _rank
 from repro.core.summarize import summarize_video
@@ -101,6 +109,7 @@ from repro.shard.resilience import (
 from repro.shard.shard import Shard
 from repro.utils.clock import Clock, SystemClock
 from repro.utils.counters import CostCounters, Timer
+from repro.utils.locks import make_lock
 from repro.utils.stats import percentile
 from repro.utils.validation import check_matrix, check_positive, check_positive_int
 
@@ -269,6 +278,12 @@ class ShardedVideoDatabase:
         fault_injector=None,
         clock: Clock | None = None,
     ) -> None:
+        # Guards every mutable routing structure (_shards, _membership,
+        # _partitioner, _next_video_id, _created_shards, _closed).  Held
+        # for the full duration of every public operation: queries and
+        # topology changes are mutually exclusive, which is what makes
+        # rebalance()/checkpoint() safe to call under live traffic.
+        self._lock = make_lock("ShardedVideoDatabase._lock")
         self._epsilon = check_positive(epsilon, "epsilon")
         self._reference = reference
         self._seed = summarize_seed
@@ -421,17 +436,20 @@ class ShardedVideoDatabase:
     @property
     def num_shards(self) -> int:
         """Current fleet size."""
-        return len(self._shards)
+        with self._lock:
+            return len(self._shards)
 
     @property
     def partitioner(self) -> Partitioner:
         """The placement strategy currently in force."""
-        return self._partitioner
+        with self._lock:
+            return self._partitioner
 
     @property
     def shards(self) -> tuple[Shard, ...]:
         """The fleet (exposed for tests, benchmarks and tooling)."""
-        return tuple(self._shards)
+        with self._lock:
+            return tuple(self._shards)
 
     @property
     def path(self) -> str | None:
@@ -439,17 +457,22 @@ class ShardedVideoDatabase:
         return self._path
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards)
+        with self._lock:
+            return sum(len(shard) for shard in self._shards)
 
     def video_ids(self) -> set[int]:
         """Ids of every stored video across the fleet."""
-        return set(self._membership)
+        with self._lock:
+            return set(self._membership)
 
     def shard_of(self, video_id: int) -> int:
         """Which shard holds a video (raises if unknown)."""
-        if video_id not in self._membership:
-            raise ValueError(f"video id {video_id} is not in the database")
-        return self._membership[video_id]
+        with self._lock:
+            if video_id not in self._membership:
+                raise ValueError(
+                    f"video id {video_id} is not in the database"
+                )
+            return self._membership[video_id]
 
     @property
     def health(self) -> FleetHealth:
@@ -463,14 +486,17 @@ class ShardedVideoDatabase:
         and a closed breaker, so the report's shape is stable regardless
         of traffic.
         """
-        report = self._health.snapshot()
-        for shard in self._shards:
-            if shard.shard_id not in report:
-                entry = HealthStats(shard.shard_id).to_dict()
-                entry["breaker_state"] = CircuitBreaker.CLOSED
-                entry["breaker_opens"] = 0
-                report[shard.shard_id] = entry
-        return {shard_id: report[shard_id] for shard_id in sorted(report)}
+        with self._lock:
+            report = self._health.snapshot()
+            for shard in self._shards:
+                if shard.shard_id not in report:
+                    entry = HealthStats(shard.shard_id).to_dict()
+                    entry["breaker_state"] = CircuitBreaker.CLOSED
+                    entry["breaker_opens"] = 0
+                    report[shard.shard_id] = entry
+            return {
+                shard_id: report[shard_id] for shard_id in sorted(report)
+            }
 
     def inject_shard_faults(self, injector: ShardFaultInjector) -> None:
         """Wrap every current shard in a :class:`FaultInjectingShard`.
@@ -480,12 +506,13 @@ class ShardedVideoDatabase:
         included); routing metadata stays fault-free.  Shards created
         later (rebalance splits) are not wrapped.
         """
-        self._shards = [
-            shard
-            if isinstance(shard, FaultInjectingShard)
-            else FaultInjectingShard(shard, injector, clock=self._clock)
-            for shard in self._shards
-        ]
+        with self._lock:
+            self._shards = [
+                shard
+                if isinstance(shard, FaultInjectingShard)
+                else FaultInjectingShard(shard, injector, clock=self._clock)
+                for shard in self._shards
+            ]
 
     def _check_open(self) -> None:
         if self._closed:
@@ -501,31 +528,37 @@ class ShardedVideoDatabase:
         :class:`VideoDatabase` would (same seed derivation), so sharded
         and unsharded fleets store bit-identical summaries.
         """
-        self._check_open()
-        frames = check_matrix(frames, "frames", min_rows=1)
-        if video_id is None:
-            video_id = self._next_video_id
-        if not isinstance(video_id, int) or isinstance(video_id, bool):
-            raise TypeError("video_id must be an int")
-        if video_id in self._membership:
-            raise ValueError(f"video id {video_id} already present")
-        summary = summarize_video(
-            video_id, frames, self._epsilon, seed=self._seed + video_id
-        )
-        return self.add_summary(summary)
+        with self._lock:
+            self._check_open()
+            frames = check_matrix(frames, "frames", min_rows=1)
+            if video_id is None:
+                video_id = self._next_video_id
+            if not isinstance(video_id, int) or isinstance(video_id, bool):
+                raise TypeError("video_id must be an int")
+            if video_id in self._membership:
+                raise ValueError(f"video id {video_id} already present")
+            summary = summarize_video(
+                video_id, frames, self._epsilon, seed=self._seed + video_id
+            )
+            return self.add_summary(summary)
 
     def add_summary(self, summary: VideoSummary) -> int:
         """Route a pre-built summary to the shard that owns it."""
-        self._check_open()
-        if not isinstance(summary, VideoSummary):
-            raise TypeError("summary must be a VideoSummary")
-        if summary.video_id in self._membership:
-            raise ValueError(f"video id {summary.video_id} already present")
-        target = self._partitioner.shard_for(summary)
-        self._shards[target].add_summary(summary)
-        self._membership[summary.video_id] = target
-        self._next_video_id = max(self._next_video_id, summary.video_id + 1)
-        return summary.video_id
+        with self._lock:
+            self._check_open()
+            if not isinstance(summary, VideoSummary):
+                raise TypeError("summary must be a VideoSummary")
+            if summary.video_id in self._membership:
+                raise ValueError(
+                    f"video id {summary.video_id} already present"
+                )
+            target = self._partitioner.shard_for(summary)
+            self._shards[target].add_summary(summary)
+            self._membership[summary.video_id] = target
+            self._next_video_id = max(
+                self._next_video_id, summary.video_id + 1
+            )
+            return summary.video_id
 
     def add_many(self, videos) -> list[int]:
         """Add an iterable of frame matrices; returns their ids."""
@@ -533,18 +566,20 @@ class ShardedVideoDatabase:
 
     def remove(self, video_id: int) -> None:
         """Remove a video from whichever shard holds it."""
-        self._check_open()
-        self._shards[self.shard_of(video_id)].remove(video_id)
-        del self._membership[video_id]
+        with self._lock:
+            self._check_open()
+            self._shards[self.shard_of(video_id)].remove(video_id)
+            del self._membership[video_id]
 
     def build(self) -> None:
         """Force-build every populated shard's index."""
-        self._check_open()
-        if not self._membership:
-            raise ValueError("cannot build an empty database")
-        for shard in self._shards:
-            if len(shard) > 0 and shard.database.index is None:
-                shard.database.build()
+        with self._lock:
+            self._check_open()
+            if not self._membership:
+                raise ValueError("cannot build an empty database")
+            for shard in self._shards:
+                if len(shard) > 0 and shard.database.index is None:
+                    shard.database.build()
 
     # ------------------------------------------------------------------
     # Query
@@ -561,7 +596,8 @@ class ShardedVideoDatabase:
         fail_fast: bool = True,
     ) -> ShardedKNNResult:
         """Top-``k`` most similar stored videos for a raw frame matrix."""
-        self._check_open()
+        with self._lock:
+            self._check_open()
         frames = check_matrix(frames, "frames", min_rows=1)
         summary = summarize_video(0, frames, self._epsilon, seed=self._seed)
         return self.knn(
@@ -612,38 +648,39 @@ class ShardedVideoDatabase:
             whatever the surviving shards answered, with
             ``result.coverage`` flagging exactly what is missing.
         """
-        self._check_query_args(query, k, method)
-        total_counters = CostCounters()
-        with Timer() as timer:
-            queried, pruned = self._select_shards(
-                query, prune, total_counters
-            )
-            per_shard, coverage = self._dispatch(
-                queried,
-                pruned,
-                lambda shard, bundle: shard.knn(
-                    query, k, method=method, cold=cold, out_counters=bundle
+        with self._lock:
+            self._check_query_args(query, k, method)
+            total_counters = CostCounters()
+            with Timer() as timer:
+                queried, pruned = self._select_shards(
+                    query, prune, total_counters
+                )
+                per_shard, coverage = self._dispatch(
+                    queried,
+                    pruned,
+                    lambda shard, bundle: shard.knn(
+                        query, k, method=method, cold=cold, out_counters=bundle
+                    ),
+                    total_counters,
+                    fault_policy,
+                    fail_fast,
+                )
+                merged: dict[int, float] = {}
+                for result in per_shard:
+                    for video, score in zip(result.videos, result.scores):
+                        merged[video] = score
+                videos, scores = _rank(merged, k)
+            return ShardedKNNResult(
+                videos=videos,
+                scores=scores,
+                stats=self._global_stats(total_counters, timer.elapsed),
+                scatter=ScatterStats(
+                    shards_total=len(self._shards),
+                    shards_queried=tuple(s.shard_id for s in queried),
+                    shards_pruned=tuple(pruned),
                 ),
-                total_counters,
-                fault_policy,
-                fail_fast,
+                coverage=coverage,
             )
-            merged: dict[int, float] = {}
-            for result in per_shard:
-                for video, score in zip(result.videos, result.scores):
-                    merged[video] = score
-            videos, scores = _rank(merged, k)
-        return ShardedKNNResult(
-            videos=videos,
-            scores=scores,
-            stats=self._global_stats(total_counters, timer.elapsed),
-            scatter=ScatterStats(
-                shards_total=len(self._shards),
-                shards_queried=tuple(s.shard_id for s in queried),
-                shards_pruned=tuple(pruned),
-            ),
-            coverage=coverage,
-        )
 
     def similarity_range(
         self,
@@ -662,42 +699,43 @@ class ShardedVideoDatabase:
         and the survivors merge exactly like :meth:`knn`; the
         ``fault_policy`` / ``fail_fast`` knobs behave as there.
         """
-        self._check_query_args(query, 1, method)
-        total_counters = CostCounters()
-        with Timer() as timer:
-            queried, pruned = self._select_shards(
-                query, prune, total_counters
-            )
-            per_shard, coverage = self._dispatch(
-                queried,
-                pruned,
-                lambda shard, bundle: shard.similarity_range(
-                    query,
-                    min_similarity,
-                    method=method,
-                    cold=cold,
-                    out_counters=bundle,
+        with self._lock:
+            self._check_query_args(query, 1, method)
+            total_counters = CostCounters()
+            with Timer() as timer:
+                queried, pruned = self._select_shards(
+                    query, prune, total_counters
+                )
+                per_shard, coverage = self._dispatch(
+                    queried,
+                    pruned,
+                    lambda shard, bundle: shard.similarity_range(
+                        query,
+                        min_similarity,
+                        method=method,
+                        cold=cold,
+                        out_counters=bundle,
+                    ),
+                    total_counters,
+                    fault_policy,
+                    fail_fast,
+                )
+                merged: dict[int, float] = {}
+                for result in per_shard:
+                    for video, score in zip(result.videos, result.scores):
+                        merged[video] = score
+                videos, scores = _rank(merged, len(merged))
+            return ShardedKNNResult(
+                videos=videos,
+                scores=scores,
+                stats=self._global_stats(total_counters, timer.elapsed),
+                scatter=ScatterStats(
+                    shards_total=len(self._shards),
+                    shards_queried=tuple(s.shard_id for s in queried),
+                    shards_pruned=tuple(pruned),
                 ),
-                total_counters,
-                fault_policy,
-                fail_fast,
+                coverage=coverage,
             )
-            merged: dict[int, float] = {}
-            for result in per_shard:
-                for video, score in zip(result.videos, result.scores):
-                    merged[video] = score
-            videos, scores = _rank(merged, len(merged))
-        return ShardedKNNResult(
-            videos=videos,
-            scores=scores,
-            stats=self._global_stats(total_counters, timer.elapsed),
-            scatter=ScatterStats(
-                shards_total=len(self._shards),
-                shards_queried=tuple(s.shard_id for s in queried),
-                shards_pruned=tuple(pruned),
-            ),
-            coverage=coverage,
-        )
 
     def serve_many(
         self,
@@ -722,81 +760,82 @@ class ShardedVideoDatabase:
         answer counts as available; a query that lost *every* relevant
         shard does not).
         """
-        self._check_open()
-        queries = list(queries)
-        hits_before, misses_before = self._cache_tallies()
-        health_before = self._health_tallies()
-        # Per-shard load = delta of the shard engines' worker counters,
-        # which are themselves per-query bundle sums folded per view.
-        load_before = {
-            shard.shard_id: self._shard_load(shard) for shard in self._shards
-        }
-        results: list[ShardedKNNResult] = []
-        with Timer() as batch_timer:
-            for query in queries:
-                results.append(
-                    self.knn(
-                        query,
-                        k,
-                        method=method,
-                        prune=prune,
-                        cold=cold,
-                        fault_policy=fault_policy,
-                        fail_fast=fail_fast,
+        with self._lock:
+            self._check_open()
+            queries = list(queries)
+            hits_before, misses_before = self._cache_tallies()
+            health_before = self._health_tallies()
+            # Per-shard load = delta of the shard engines' worker counters,
+            # which are themselves per-query bundle sums folded per view.
+            load_before = {
+                shard.shard_id: self._shard_load(shard) for shard in self._shards
+            }
+            results: list[ShardedKNNResult] = []
+            with Timer() as batch_timer:
+                for query in queries:
+                    results.append(
+                        self.knn(
+                            query,
+                            k,
+                            method=method,
+                            prune=prune,
+                            cold=cold,
+                            fault_policy=fault_policy,
+                            fail_fast=fail_fast,
+                        )
                     )
+            shard_requests: dict[int, int] = {}
+            shard_reads: dict[int, int] = {}
+            for shard in self._shards:
+                bundle = self._shard_load(shard)
+                before = load_before.get(shard.shard_id, CostCounters())
+                shard_requests[shard.shard_id] = (
+                    bundle.page_requests - before.page_requests
                 )
-        shard_requests: dict[int, int] = {}
-        shard_reads: dict[int, int] = {}
-        for shard in self._shards:
-            bundle = self._shard_load(shard)
-            before = load_before.get(shard.shard_id, CostCounters())
-            shard_requests[shard.shard_id] = (
-                bundle.page_requests - before.page_requests
+                shard_reads[shard.shard_id] = bundle.page_reads - before.page_reads
+            hits_after, misses_after = self._cache_tallies()
+            health_after = self._health_tallies()
+            degraded = 0
+            unavailable = 0
+            for result in results:
+                coverage = result.coverage
+                if coverage is None or coverage.complete:
+                    continue
+                degraded += 1
+                if not coverage.shards_answered:
+                    unavailable += 1
+            latencies = sorted(result.stats.wall_time for result in results)
+            wall = batch_timer.elapsed
+            metrics = ShardedServingMetrics(
+                queries=len(queries),
+                shards=len(self._shards),
+                wall_time=wall,
+                qps=len(queries) / wall if wall > 0.0 else 0.0,
+                latency_p50=percentile(latencies, 0.50, default=0.0),
+                latency_p95=percentile(latencies, 0.95, default=0.0),
+                latency_p99=percentile(latencies, 0.99, default=0.0),
+                cache_hits=hits_after - hits_before,
+                cache_misses=misses_after - misses_before,
+                shard_page_requests=tuple(
+                    shard_requests[shard.shard_id] for shard in self._shards
+                ),
+                shard_physical_reads=tuple(
+                    shard_reads[shard.shard_id] for shard in self._shards
+                ),
+                total_page_requests=sum(shard_requests.values()),
+                total_physical_reads=sum(shard_reads.values()),
+                retries=health_after["retries"] - health_before["retries"],
+                hedges=health_after["hedges"] - health_before["hedges"],
+                timeouts=health_after["timeouts"] - health_before["timeouts"],
+                breaker_trips=health_after["trips"] - health_before["trips"],
+                degraded_queries=degraded,
+                availability=(
+                    (len(queries) - unavailable) / len(queries)
+                    if queries
+                    else 1.0
+                ),
             )
-            shard_reads[shard.shard_id] = bundle.page_reads - before.page_reads
-        hits_after, misses_after = self._cache_tallies()
-        health_after = self._health_tallies()
-        degraded = 0
-        unavailable = 0
-        for result in results:
-            coverage = result.coverage
-            if coverage is None or coverage.complete:
-                continue
-            degraded += 1
-            if not coverage.shards_answered:
-                unavailable += 1
-        latencies = sorted(result.stats.wall_time for result in results)
-        wall = batch_timer.elapsed
-        metrics = ShardedServingMetrics(
-            queries=len(queries),
-            shards=len(self._shards),
-            wall_time=wall,
-            qps=len(queries) / wall if wall > 0.0 else 0.0,
-            latency_p50=percentile(latencies, 0.50),
-            latency_p95=percentile(latencies, 0.95),
-            latency_p99=percentile(latencies, 0.99),
-            cache_hits=hits_after - hits_before,
-            cache_misses=misses_after - misses_before,
-            shard_page_requests=tuple(
-                shard_requests[shard.shard_id] for shard in self._shards
-            ),
-            shard_physical_reads=tuple(
-                shard_reads[shard.shard_id] for shard in self._shards
-            ),
-            total_page_requests=sum(shard_requests.values()),
-            total_physical_reads=sum(shard_reads.values()),
-            retries=health_after["retries"] - health_before["retries"],
-            hedges=health_after["hedges"] - health_before["hedges"],
-            timeouts=health_after["timeouts"] - health_before["timeouts"],
-            breaker_trips=health_after["trips"] - health_before["trips"],
-            degraded_queries=degraded,
-            availability=(
-                (len(queries) - unavailable) / len(queries)
-                if queries
-                else 1.0
-            ),
-        )
-        return ShardedBatchResult(results=tuple(results), metrics=metrics)
+            return ShardedBatchResult(results=tuple(results), metrics=metrics)
 
     # ------------------------------------------------------------------
     # Query internals
@@ -834,7 +873,7 @@ class ShardedVideoDatabase:
         self,
         queried: list[Shard],
         pruned: list[int],
-        work,
+        work: Callable[[Shard, CostCounters], object],
         total_counters: CostCounters,
         fault_policy: FaultPolicy | None,
         fail_fast: bool,
@@ -890,7 +929,12 @@ class ShardedVideoDatabase:
         )
         return results, coverage
 
-    def _scatter(self, shards, work, total_counters: CostCounters) -> list:
+    def _scatter(
+        self,
+        shards: list[Shard],
+        work: Callable[[Shard, CostCounters], object],
+        total_counters: CostCounters,
+    ) -> list:
         """Run ``work(shard, bundle)`` on every shard, thread-parallel.
 
         Each sub-query gets a private counter bundle (bundles are not
@@ -933,7 +977,10 @@ class ShardedVideoDatabase:
         return results
 
     def _scatter_resilient(
-        self, shards, work, policy: FaultPolicy
+        self,
+        shards: list[Shard],
+        work: Callable[[Shard, CostCounters], object],
+        policy: FaultPolicy,
     ) -> list[AttemptOutcome]:
         """Run every shard's sub-query under ``policy``, thread-parallel.
 
@@ -1042,58 +1089,59 @@ class ShardedVideoDatabase:
         on both shards; reopening keeps only the partitioner-routed copy
         (see :meth:`_reconcile`).
         """
-        self._check_open()
-        if not isinstance(self._partitioner, KeyRangePartitioner):
-            raise ValueError(
-                "rebalance() requires a KeyRangePartitioner (hash placement "
-                "has no key ranges to split)"
+        with self._lock:
+            self._check_open()
+            if not isinstance(self._partitioner, KeyRangePartitioner):
+                raise ValueError(
+                    "rebalance() requires a KeyRangePartitioner (hash placement "
+                    "has no key ranges to split)"
+                )
+            populated = [s for s in self._shards if len(s) > 0]
+            if not populated:
+                return None
+            hottest = max(
+                populated, key=lambda s: (s.queries_served, len(s))
             )
-        populated = [s for s in self._shards if len(s) > 0]
-        if not populated:
-            return None
-        hottest = max(
-            populated, key=lambda s: (s.queries_served, len(s))
-        )
-        summaries = hottest.summaries()
-        keyed = [
-            (self._partitioner.routing_key(summary), summary)
-            for summary in summaries
-        ]
-        keyed.sort(key=lambda pair: pair[0])
-        keys = [key for key, _ in keyed]
-        at = keys[(len(keys) - 1) // 2]
-        movers = [summary for key, summary in keyed if key > at]
-        if not movers:
-            return None  # all routing keys equal: nothing separates
+            summaries = hottest.summaries()
+            keyed = [
+                (self._partitioner.routing_key(summary), summary)
+                for summary in summaries
+            ]
+            keyed.sort(key=lambda pair: pair[0])
+            keys = [key for key, _ in keyed]
+            at = keys[(len(keys) - 1) // 2]
+            movers = [summary for key, summary in keyed if key > at]
+            if not movers:
+                return None  # all routing keys equal: nothing separates
 
-        position = hottest.shard_id
-        self._partitioner = self._partitioner.split(position, at)
-        new_shard = self._new_shard()
-        self._shards.insert(position + 1, new_shard)
-        for index, shard in enumerate(self._shards):
-            shard.renumber(index)
+            position = hottest.shard_id
+            self._partitioner = self._partitioner.split(position, at)
+            new_shard = self._new_shard()
+            self._shards.insert(position + 1, new_shard)
+            for index, shard in enumerate(self._shards):
+                shard.renumber(index)
 
-        if self._path is not None:
-            # Commit point 1: the fleet's new shape.  A crash after this
-            # reopens with the new partitioner and an empty new shard —
-            # the movers still live (only) on the source shard.
-            self._write_manifest()
-        for summary in movers:
-            new_shard.add_summary(summary)
-        if self._path is not None:
-            # Commit point 2: destination now owns the movers (they are
-            # briefly on both shards; reconciliation keeps this copy).
-            new_shard.checkpoint()
-        for summary in movers:
-            hottest.remove(summary.video_id)
-        if self._path is not None:
-            # Commit point 3: source lets go.
-            hottest.checkpoint()
-        self._membership = {}
-        for shard in self._shards:
-            for video_id in shard.video_ids():
-                self._membership[video_id] = shard.shard_id
-        return new_shard.shard_id
+            if self._path is not None:
+                # Commit point 1: the fleet's new shape.  A crash after this
+                # reopens with the new partitioner and an empty new shard —
+                # the movers still live (only) on the source shard.
+                self._write_manifest()
+            for summary in movers:
+                new_shard.add_summary(summary)
+            if self._path is not None:
+                # Commit point 2: destination now owns the movers (they are
+                # briefly on both shards; reconciliation keeps this copy).
+                new_shard.checkpoint()
+            for summary in movers:
+                hottest.remove(summary.video_id)
+            if self._path is not None:
+                # Commit point 3: source lets go.
+                hottest.checkpoint()
+            self._membership = {}
+            for shard in self._shards:
+                for video_id in shard.video_ids():
+                    self._membership[video_id] = shard.shard_id
+            return new_shard.shard_id
 
     # ------------------------------------------------------------------
     # Durability
@@ -1107,14 +1155,15 @@ class ShardedVideoDatabase:
         its own checkpoints and a manifest from before or after — every
         combination :meth:`_reconcile` restores to a consistent fleet.
         """
-        self._check_open()
-        if self._path is None:
-            raise RuntimeError("checkpoint() requires a durable database")
-        for shard in self._shards:
-            if len(shard) > 0 or shard.database.index is not None:
-                shard.checkpoint()
-        self._write_manifest()
-        self._write_health()
+        with self._lock:
+            self._check_open()
+            if self._path is None:
+                raise RuntimeError("checkpoint() requires a durable database")
+            for shard in self._shards:
+                if len(shard) > 0 or shard.database.index is not None:
+                    shard.checkpoint()
+            self._write_manifest()
+            self._write_health()
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -1190,22 +1239,24 @@ class ShardedVideoDatabase:
     def close(self) -> None:
         """Checkpoint (durable, uncrashed fleets), then release every
         shard.  Idempotent."""
-        if self._closed:
-            return
-        crashed = self._faults is not None and self._faults.crashed
-        if self._path is not None and not crashed and self._membership:
-            self.checkpoint()
-        for shard in self._shards:
-            shard.close()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            crashed = self._faults is not None and self._faults.crashed
+            if self._path is not None and not crashed and self._membership:
+                self.checkpoint()
+            for shard in self._shards:
+                shard.close()
+            self._closed = True
 
     def crash(self) -> None:
         """Testing seam: drop every shard's file handles, no checkpoints."""
-        if self._path is None:
-            raise RuntimeError("crash() requires a durable database")
-        self._closed = True
-        for shard in self._shards:
-            shard.crash()
+        with self._lock:
+            if self._path is None:
+                raise RuntimeError("crash() requires a durable database")
+            self._closed = True
+            for shard in self._shards:
+                shard.crash()
 
     def __enter__(self) -> "ShardedVideoDatabase":
         return self
@@ -1214,9 +1265,10 @@ class ShardedVideoDatabase:
         self.close()
 
     def __repr__(self) -> str:
-        return (
-            f"ShardedVideoDatabase(videos={len(self)}, "
-            f"shards={len(self._shards)}, "
-            f"partitioner={self._partitioner.name!r}, "
-            f"epsilon={self._epsilon})"
-        )
+        with self._lock:
+            return (
+                f"ShardedVideoDatabase(videos={len(self)}, "
+                f"shards={len(self._shards)}, "
+                f"partitioner={self._partitioner.name!r}, "
+                f"epsilon={self._epsilon})"
+            )

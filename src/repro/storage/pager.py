@@ -36,13 +36,18 @@ concurrent requests overlap on real storage hardware.
 
 from __future__ import annotations
 
+# vilint: disable-file=blocking-while-locked -- the pager is the disk
+# boundary: frame reads/writes and commit fsyncs under Pager._lock are
+# the class's whole job, and the one unbounded wait (the simulated
+# per-read service time) deliberately sleeps before the lock is taken.
+
 import os
-import threading
 import time
 
 from repro.storage.page import PAGE_SIZE, PAGE_CONTENT_SIZE, Page
 from repro.storage.serialization import pack_page_frame, unpack_page_frame
 from repro.storage.wal import WriteAheadLog
+from repro.utils.locks import make_lock
 
 __all__ = ["Pager"]
 
@@ -108,7 +113,7 @@ class Pager:
         self._read_latency = float(read_latency)
         # Re-entrant: sync() holds the lock while the WAL commit calls
         # back into wal_apply_page/_write_frame on this same pager.
-        self._lock = threading.RLock()
+        self._lock = make_lock("Pager._lock")
         self._faults = fault_injector
         self._wal: WriteAheadLog | None = None
         self._wal_file_id = wal_file_id
@@ -146,7 +151,8 @@ class Pager:
     @property
     def num_pages(self) -> int:
         """Number of pages currently allocated."""
-        return self._num_pages
+        with self._lock:
+            return self._num_pages
 
     @property
     def path(self) -> str | None:
@@ -294,7 +300,8 @@ class Pager:
     # ------------------------------------------------------------------
     def wal_apply_page(self, page_id: int, content: bytes) -> None:
         """Apply one committed page image to the data file."""
-        self._write_frame(page_id, content)
+        with self._lock:
+            self._write_frame(page_id, content)
 
     def wal_set_num_pages(self, num_pages: int) -> None:
         """Truncate/extend the data file to the committed page count."""
@@ -303,31 +310,35 @@ class Pager:
         def perform() -> None:
             self._file.truncate(size)
 
-        if self._faults is not None:
-            self._faults.op(perform)
-        else:
-            perform()
-        self._num_pages = num_pages
+        with self._lock:
+            if self._faults is not None:
+                self._faults.op(perform)
+            else:
+                perform()
+            self._num_pages = num_pages
 
     def wal_fsync(self) -> None:
         """Fsync the data file (commit/recovery barrier)."""
-        if self._faults is not None:
-            self._faults.check()
-        os.fsync(self._file.fileno())
+        with self._lock:
+            if self._faults is not None:
+                self._faults.check()
+            os.fsync(self._file.fileno())
 
     def wal_num_pages(self) -> int:
         """Current page count, recorded in commit records."""
-        return self._num_pages
+        with self._lock:
+            return self._num_pages
 
     def finalize_recovery(self) -> None:
         """Validate the backing file after recovery (or absence of one)."""
-        size = self._file_size()
-        if size % PAGE_SIZE != 0:
-            raise ValueError(
-                f"backing file {self._path} has size {size}, "
-                f"not a multiple of the page size {PAGE_SIZE}"
-            )
-        self._num_pages = size // PAGE_SIZE
+        with self._lock:
+            size = self._file_size()
+            if size % PAGE_SIZE != 0:
+                raise ValueError(
+                    f"backing file {self._path} has size {size}, "
+                    f"not a multiple of the page size {PAGE_SIZE}"
+                )
+            self._num_pages = size // PAGE_SIZE
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -354,29 +365,35 @@ class Pager:
         Idempotent.  A pager whose fault injector has crashed closes its
         file handle without attempting further writes.
         """
-        if self._closed:
-            return
-        if self._file is not None:
-            crashed = self._faults is not None and self._faults.crashed
-            if not crashed:
-                if self._wal is not None:
-                    if not self._wal.closed:
+        with self._lock:
+            if self._closed:
+                return
+            if self._file is not None:
+                crashed = self._faults is not None and self._faults.crashed
+                if not crashed:
+                    if self._wal is not None:
+                        if not self._wal.closed:
+                            self.sync()
+                    else:
                         self.sync()
-                else:
-                    self.sync()
-            if self._owns_wal and not self._wal.closed:
-                self._wal.close()
-            self._file.close()
-        self._closed = True
+                if self._owns_wal and not self._wal.closed:
+                    self._wal.close()
+                self._file.close()
+            self._closed = True
 
     def crash(self) -> None:
         """Testing seam: release file handles without committing, leaving
         the on-disk state exactly as the last disk operation left it."""
-        self._closed = True
-        if self._file is not None:
-            self._file.close()
-        if self._owns_wal and self._wal is not None and not self._wal.closed:
-            self._wal.crash()
+        with self._lock:
+            self._closed = True
+            if self._file is not None:
+                self._file.close()
+            if (
+                self._owns_wal
+                and self._wal is not None
+                and not self._wal.closed
+            ):
+                self._wal.crash()
 
     def __enter__(self) -> "Pager":
         return self
@@ -385,13 +402,15 @@ class Pager:
         # Regression guard: exiting the context manager must never leave
         # unsynced pages behind, so sync explicitly before closing (close
         # also syncs, but only while the WAL is still open).
-        if not self._closed:
-            crashed = self._faults is not None and self._faults.crashed
-            wal_closed = self._wal is not None and self._wal.closed
-            if not crashed and not wal_closed:
-                self.sync()
-        self.close()
+        with self._lock:
+            if not self._closed:
+                crashed = self._faults is not None and self._faults.crashed
+                wal_closed = self._wal is not None and self._wal.closed
+                if not crashed and not wal_closed:
+                    self.sync()
+            self.close()
 
     def __repr__(self) -> str:
         backing = self._path or "<memory>"
-        return f"Pager({backing!r}, pages={self._num_pages})"
+        with self._lock:
+            return f"Pager({backing!r}, pages={self._num_pages})"

@@ -11,25 +11,41 @@ import math
 
 import numpy as np
 
+from repro.utils.validation import check_probability
+
 __all__ = ["RunningStats", "percentile"]
 
 
-def percentile(sorted_values, fraction: float) -> float:
+def percentile(
+    sorted_values, fraction: float, *, default: float | None = None
+) -> float:
     """Linear-interpolated percentile of an ascending-sorted sequence.
 
     The single definition shared by the serving metrics (p50/p95/p99
     latencies), the scatter-gather router and the resilience layer's
-    hedge thresholds; returns 0.0 for an empty sequence.
+    hedge thresholds.
+
+    ``fraction`` must be a finite number in ``[0, 1]``.  An empty
+    sequence has no percentiles: it raises :class:`ValueError` unless
+    the caller opts into a sentinel via ``default=`` (a metrics path
+    reporting "no samples yet" passes ``default=0.0`` and says so,
+    instead of every caller silently reading 0.0 that looks like a
+    measurement).
     """
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
+    fraction = check_probability(fraction, "fraction")
+    count = len(sorted_values)
+    if count == 0:
+        if default is None:
+            raise ValueError(
+                "percentile() of an empty sequence (pass default= to map "
+                "the no-samples case to a sentinel)"
+            )
+        return default
+    if count == 1:
         return float(sorted_values[0])
-    rank = fraction * (len(sorted_values) - 1)
+    rank = fraction * (count - 1)
     low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
+    high = min(low + 1, count - 1)
     weight = rank - low
     return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
 

@@ -1,0 +1,266 @@
+"""Golden-fixture tests for the concurrency rules (VIL008-VIL010).
+
+Synthetic classes run through :func:`repro.analysis.lint_source` exactly
+as the CLI would see them; the model-building internals (entry-held
+inference, annotated-call resolution, edge derivation) are exercised
+through the rules' observable findings and through
+:func:`build_model_from_paths` on the real package.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.concurrency import build_model_from_paths
+from repro.analysis.concurrency.model import build_model, lock_node
+from repro.analysis.context import FileContext
+
+
+def findings(source, rule, path="fixture.py"):
+    return lint_source(textwrap.dedent(source), path=path, select=[rule])
+
+
+def lines_for(source, rule, path="fixture.py"):
+    return [d.line for d in findings(source, rule, path=path)]
+
+
+GUARDED = """\
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def peek(self) -> int:
+        return self._count
+"""
+
+
+class TestGuardDiscipline:
+    def test_unlocked_read_of_guarded_attr_flagged(self):
+        assert lines_for(GUARDED, "guard-discipline") == [14]
+
+    def test_locked_everywhere_is_clean(self):
+        clean = GUARDED.replace(
+            "    def peek(self) -> int:\n        return self._count\n",
+            "    def peek(self) -> int:\n"
+            "        with self._lock:\n"
+            "            return self._count\n",
+        )
+        assert findings(clean, "guard-discipline") == []
+
+    def test_init_writes_exempt(self):
+        # __init__ writes _count unlocked; only post-construction access
+        # counts, so the locked-everywhere variant stays clean (above)
+        # and the original flags only peek's read.
+        diags = findings(GUARDED, "guard-discipline")
+        assert len(diags) == 1
+        assert "_count" in diags[0].message
+        assert "read" in diags[0].message
+
+    def test_unlocked_write_flagged_too(self):
+        source = GUARDED + (
+            "\n"
+            "    def reset(self) -> None:\n"
+            "        self._count = 0\n"
+        )
+        diags = findings(source, "guard-discipline")
+        assert [d.line for d in diags] == [14, 17]
+        assert "written" in diags[1].message
+
+    def test_private_helper_inherits_callers_lock(self):
+        source = """\
+        import threading
+
+
+        class Counter:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self) -> None:
+                with self._lock:
+                    self._bump_locked()
+
+            def _bump_locked(self) -> None:
+                self._count += 1
+        """
+        # _bump_locked is only ever called with the lock held, so its
+        # write is guarded (entry-held inference) — no finding.
+        assert findings(source, "guard-discipline") == []
+
+    def test_rule_skips_test_tier(self):
+        assert findings(GUARDED, "guard-discipline", path="tests/x.py") == []
+
+    def test_class_without_lock_ignored(self):
+        source = """\
+        class Plain:
+            def __init__(self) -> None:
+                self._count = 0
+
+            def bump(self) -> None:
+                self._count += 1
+        """
+        assert findings(source, "guard-discipline") == []
+
+
+INVERTED = """\
+import threading
+
+
+class Left:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def forward(self, other: "Right") -> None:
+        with self._lock:
+            other.enter()
+
+    def enter(self) -> None:
+        with self._lock:
+            pass
+
+
+class Right:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def enter(self) -> None:
+        with self._lock:
+            pass
+
+    def backward(self, other: "Left") -> None:
+        with self._lock:
+            other.enter()
+"""
+
+
+class TestLockOrderInversion:
+    def test_opposite_acquisition_orders_flagged(self):
+        diags = findings(INVERTED, "lock-order-inversion")
+        assert len(diags) == 1  # one finding per unordered pair
+        assert "Left._lock" in diags[0].message
+        assert "Right._lock" in diags[0].message
+
+    def test_consistent_order_is_clean(self):
+        consistent = INVERTED.replace(
+            "    def backward(self, other: \"Left\") -> None:\n"
+            "        with self._lock:\n"
+            "            other.enter()\n",
+            "    def backward(self, other: \"Left\") -> None:\n"
+            "        other.enter()\n",
+        )
+        assert findings(consistent, "lock-order-inversion") == []
+
+    def test_edges_derived_through_annotated_calls(self):
+        ctx = FileContext.parse("fixture.py", textwrap.dedent(INVERTED))
+        model = build_model([ctx])
+        assert (
+            lock_node("Left", "_lock"),
+            lock_node("Right", "_lock"),
+        ) in model.edge_set()
+        assert (
+            lock_node("Right", "_lock"),
+            lock_node("Left", "_lock"),
+        ) in model.edge_set()
+
+
+BLOCKING = """\
+import threading
+import time
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def slow(self) -> None:
+        with self._lock:
+            time.sleep(0.1)
+
+    def fine(self) -> None:
+        time.sleep(0.1)
+        with self._lock:
+            pass
+"""
+
+
+class TestBlockingWhileLocked:
+    def test_sleep_under_lock_flagged(self):
+        diags = findings(BLOCKING, "blocking-while-locked")
+        assert [d.line for d in diags] == [11]
+        assert "time.sleep" in diags[0].message
+        assert "Worker._lock" in diags[0].message
+
+    def test_blocking_through_helper_call_flagged(self):
+        source = """\
+        import threading
+        import time
+
+
+        class Worker:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+
+            def slow(self) -> None:
+                with self._lock:
+                    self._wait()
+
+            def _wait(self) -> None:
+                time.sleep(0.1)
+        """
+        diags = findings(source, "blocking-while-locked")
+        # The helper's sleep reports once (entry-held makes the sleep
+        # itself a locked site) — the call edge does not double-count.
+        assert diags
+        assert all("Worker._lock" in d.message for d in diags)
+
+    def test_file_io_under_lock_flagged(self):
+        source = """\
+        import threading
+
+
+        class Writer:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+
+            def dump(self) -> None:
+                with self._lock:
+                    with open("out.txt", "w") as handle:
+                        handle.write("x")
+        """
+        # Both the bare open() and the handle.write() under the lock.
+        assert lines_for(source, "blocking-while-locked") == [10, 11]
+
+    def test_inline_suppression_applies(self):
+        suppressed = BLOCKING.replace(
+            "time.sleep(0.1)\n\n    def fine",
+            "time.sleep(0.1)  # vilint: disable=blocking-while-locked"
+            " -- test fixture\n\n    def fine",
+        )
+        assert findings(suppressed, "blocking-while-locked") == []
+
+
+class TestRealPackageModel:
+    def test_library_graph_contains_storage_stack(self):
+        model = build_model_from_paths(["src/repro"])
+        edges = model.edge_set()
+        assert ("BufferPool._lock", "Pager._lock") in edges
+        assert ("ShardedVideoDatabase._lock", "Pager._lock") in edges
+        assert ("ShardedVideoDatabase._lock", "BufferPool._lock") in edges
+        assert (
+            "ShardedVideoDatabase._lock",
+            "QueryEngine._cache_lock",
+        ) in edges
+
+    def test_dot_render_is_stable_and_parseable(self):
+        model = build_model_from_paths(["src/repro"])
+        dot = model.to_dot()
+        assert dot == model.to_dot()
+        assert dot.startswith("digraph static_lock_order {")
+        assert '"BufferPool._lock" -> "Pager._lock"' in dot

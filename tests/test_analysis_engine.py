@@ -82,6 +82,29 @@ class TestSuppressions:
         diagnostics = lint_source(source, select=["seeded-rng"])
         assert [d.line for d in diagnostics] == [3]
 
+    def test_multiline_statement_suppressed_on_anchor_line(self):
+        # Diagnostics anchor where the statement starts; the directive
+        # belongs on that line even when the call spans several.
+        source = (
+            "import numpy as np\n"
+            "x = np.random.uniform(  # vilint: disable=seeded-rng -- fixture\n"
+            "    0.0,\n"
+            "    1.0,\n"
+            ")\n"
+        )
+        assert not lint_source(source, select=["seeded-rng"])
+
+    def test_multiline_statement_directive_on_closing_line_ignored(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.uniform(\n"
+            "    0.0,\n"
+            "    1.0,\n"
+            ")  # vilint: disable=seeded-rng -- wrong line, must not apply\n"
+        )
+        diagnostics = lint_source(source, select=["seeded-rng"])
+        assert [d.line for d in diagnostics] == [2]
+
 
 # ---------------------------------------------------------------------------
 # Baseline round-trip
@@ -177,6 +200,39 @@ class TestEngine:
         else:  # pragma: no cover
             raise AssertionError("expected FileNotFoundError")
 
+    def test_parallel_jobs_output_identical(self, tmp_path):
+        for index in range(6):
+            write(tmp_path, f"mod_{index}.py", VIOLATION)
+        serial = lint_paths([str(tmp_path)], jobs=1)
+        parallel = lint_paths([str(tmp_path)], jobs=4)
+        assert serial.diagnostics == parallel.diagnostics
+        assert serial.files_checked == parallel.files_checked
+        assert serial.suppressed == parallel.suppressed
+
+    def test_library_rules_relax_in_test_tier(self, tmp_path):
+        # future-annotations is library-only; seeded default_rng with a
+        # literal seed is allowed outside the library tier.
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+        )
+        library = write(tmp_path, "lib/mod.py", source)
+        test = write(tmp_path, "tests/test_mod.py", source)
+        lib_rules = {
+            d.rule
+            for d in lint_paths(
+                [str(library)], select=["future-annotations", "seeded-rng"]
+            ).diagnostics
+        }
+        test_rules = {
+            d.rule
+            for d in lint_paths(
+                [str(test)], select=["future-annotations", "seeded-rng"]
+            ).diagnostics
+        }
+        assert lib_rules == {"future-annotations", "seeded-rng"}
+        assert test_rules == set()
+
 
 # ---------------------------------------------------------------------------
 # CLI (module and repro-video subcommand)
@@ -220,6 +276,77 @@ class TestCli:
         assert repro_main(["lint", str(dirty), "--no-baseline"]) == 1
         assert "seeded-rng" in capsys.readouterr().out
         assert repro_main(["lint", "--list-rules"]) == 0
+
+    def test_update_baseline_preserves_justifications(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "dirty.py", VIOLATION)
+        assert vilint_main(["dirty.py", "--update-baseline"]) == 0
+        baseline = tmp_path / "vilint.baseline"
+        content = baseline.read_text()
+        entry = next(
+            line
+            for line in content.splitlines()
+            if line and not line.startswith("#")
+        )
+        head, _, _ = entry.partition("#")
+        reviewed = head + "# reviewed 2026-08: fixture RNG is deliberate"
+        baseline.write_text(content.replace(entry, reviewed))
+        capsys.readouterr()
+        # Regenerating must keep the hand-written justification verbatim.
+        assert vilint_main(["dirty.py", "--update-baseline"]) == 0
+        assert "reviewed 2026-08: fixture RNG is deliberate" in (
+            baseline.read_text()
+        )
+
+    def test_concurrency_flag_excludes_select(self, tmp_path, capsys):
+        clean = write(tmp_path, "clean.py", "")
+        code = vilint_main(
+            [str(clean), "--concurrency", "--select", "seeded-rng"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_concurrency_flag_runs_only_lock_rules(self, tmp_path, capsys):
+        # A seeded-rng violation is invisible under --concurrency.
+        dirty = write(tmp_path, "dirty.py", VIOLATION)
+        assert vilint_main([str(dirty), "--concurrency", "--no-baseline"]) == 0
+        capsys.readouterr()
+
+    def test_lock_graph_dot_written(self, tmp_path, capsys):
+        source = """\
+        from __future__ import annotations
+
+        import threading
+
+
+        class Outer:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+                self._inner = Inner()
+
+            def touch(self) -> None:
+                with self._lock:
+                    self._inner.poke()
+
+
+        class Inner:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+
+            def poke(self) -> None:
+                with self._lock:
+                    pass
+        """
+        module = write(tmp_path, "locks_mod.py", source)
+        target = tmp_path / "graph.dot"
+        assert vilint_main(
+            [str(module), "--no-baseline", "--lock-graph-dot", str(target)]
+        ) == 0
+        dot = target.read_text()
+        assert '"Outer._lock" -> "Inner._lock"' in dot
+        capsys.readouterr()
 
     def test_python_dash_m_entry_point(self, tmp_path):
         dirty = write(tmp_path, "dirty.py", VIOLATION)

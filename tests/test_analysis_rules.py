@@ -22,7 +22,7 @@ def lines_for(source, rule):
     return [d.line for d in findings(source, rule)]
 
 
-def test_registry_has_all_seven_rules():
+def test_registry_has_all_ten_rules():
     assert rule_names() == [
         "future-annotations",
         "seeded-rng",
@@ -31,6 +31,9 @@ def test_registry_has_all_seven_rules():
         "float-equality",
         "wall-clock-discipline",
         "injected-clock",
+        "guard-discipline",
+        "lock-order-inversion",
+        "blocking-while-locked",
     ]
 
 

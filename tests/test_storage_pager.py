@@ -7,6 +7,7 @@ import pytest
 from repro.storage.page import CHECKSUM_SIZE, PAGE_CONTENT_SIZE, PAGE_SIZE, Page
 from repro.storage.pager import Pager
 from repro.storage.serialization import ChecksumError
+from repro.utils.counters import Timer
 
 
 class TestPage:
@@ -272,20 +273,17 @@ class TestReadLatency:
         assert pager.physical_reads == 1
 
     def test_latency_applied_per_read(self):
-        import time
-
         pager = Pager(read_latency=0.01)
         page_id = pager.allocate_page()
         pager.write_page(Page(page_id))
-        start = time.perf_counter()
-        pager.read_page(page_id)
-        assert time.perf_counter() - start >= 0.01
+        with Timer() as timer:
+            pager.read_page(page_id)
+        assert timer.elapsed >= 0.01
 
     def test_concurrent_reads_overlap_waits(self):
         """Sleeps happen outside the pager lock: four concurrent reads of
         a 10 ms-latency pager take far less than 4 x 10 ms."""
         import threading
-        import time
 
         pager = Pager(read_latency=0.01)
         page_id = pager.allocate_page()
@@ -297,10 +295,9 @@ class TestReadLatency:
             pager.read_page(page_id)
 
         threads = [threading.Thread(target=read) for _ in range(4)]
-        start = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        elapsed = time.perf_counter() - start
-        assert elapsed < 0.035  # serial waits would need >= 0.04
+        with Timer() as timer:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert timer.elapsed < 0.035  # serial waits would need >= 0.04
