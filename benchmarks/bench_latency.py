@@ -1,0 +1,227 @@
+"""Single-query KNN latency with a per-stage breakdown.
+
+Times the vectorized query path against the per-record scalar oracle —
+the faithful reimplementation of the pre-vectorization (PR 6) hot path:
+one B+-tree ``range_search`` per composed range, one ``codec.decode``
+per record, one geometry evaluation per (query ViTri, record) pair.
+Both implementations return bit-identical answers (the equivalence
+suite asserts it), so the comparison is purely about milliseconds.
+
+Each stage of the query is attributed via the counters' stage timers:
+
+* ``io``          — B+-tree descent + leaf walking (page accesses),
+* ``deserialize`` — payload bytes → records / columnar arrays,
+* ``geometry``    — sphere-intersection shared-frame estimation,
+* ``merge``       — score folding and video-level aggregation.
+
+Writes ``benchmarks/results/BENCH_latency.json`` and enforces two
+gates so CI catches regressions:
+
+1. the vectorized path must be >= ``MIN_SPEEDUP`` faster (p50) than the
+   per-record baseline, and
+2. the geometry-stage speedup must not regress more than 25% below the
+   committed baseline (``benchmarks/baselines/BENCH_latency_baseline.json``).
+
+Both gates compare ratios measured within one process on one machine,
+so they are robust to absolute machine speed.  Regenerate the baseline
+after an intentional change with ``--update-baseline``.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+import repro
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.utils.counters import CostCounters, Timer
+
+from _common import RESULTS_DIR, summarize_dataset
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "BENCH_latency_baseline.json"
+)
+OUTPUT_PATH = os.path.join(RESULTS_DIR, "BENCH_latency.json")
+
+EPSILON = 0.22
+K = 10
+NUM_QUERIES = 10
+WARMUP_QUERIES = 2
+MIN_SPEEDUP = 3.0
+MAX_GEOMETRY_REGRESSION = 0.25
+
+STAGES = ("io", "deserialize", "geometry", "merge")
+
+
+def build_workload(seed=7):
+    """Fig-16-style composition workload: long videos, fine epsilon, so
+    queries compose many overlapping ranges over a few hundred ViTris."""
+    config = DatasetConfig.indexing_preset(
+        num_distractors=250,
+        scene_weight=9.0,
+        palette_weight=12.0,
+        duration_classes=((150, 0.6), (100, 0.4)),
+    )
+    dataset = generate_dataset(config, seed=seed)
+    summaries = summarize_dataset(dataset, EPSILON)
+    index = repro.VitriIndex.build(summaries, EPSILON)
+    queries = [summaries[i] for i in range(0, 2 * NUM_QUERIES, 2)]
+    return summaries, index, queries
+
+
+def run_mode(index, queries, impl):
+    """Warm p50 latency + aggregated stage/counter breakdown for one impl."""
+    for query in queries[:WARMUP_QUERIES]:
+        index.knn(query, K, impl=impl)
+    counters = CostCounters()
+    latencies = []
+    for query in queries:
+        with Timer() as timer:
+            result = index.knn(query, K, impl=impl, out_counters=counters)
+        latencies.append(timer.elapsed)
+    stages = {
+        stage: counters.extra.get(f"stage_{stage}_s", 0.0)
+        for stage in STAGES
+    }
+    return {
+        "impl": impl,
+        "queries": len(queries),
+        "p50_latency_ms": float(np.median(latencies)) * 1000.0,
+        "mean_latency_ms": float(np.mean(latencies)) * 1000.0,
+        "stage_seconds": stages,
+        "stage_share": {
+            stage: seconds / total if (total := sum(stages.values())) else 0.0
+            for stage, seconds in stages.items()
+        },
+        "counters": {
+            "page_requests": counters.page_requests,
+            "records_scanned": counters.records_scanned,
+            "records_decoded": counters.records_decoded,
+            "similarity_computations": counters.similarity_computations,
+        },
+        "last_result": {
+            "candidates": result.stats.candidates,
+            "ranges": result.stats.ranges,
+        },
+    }
+
+
+def run_experiment():
+    summaries, index, queries = build_workload()
+    scalar = run_mode(index, queries, "scalar")
+    vectorized = run_mode(index, queries, "vectorized")
+
+    speedup = scalar["p50_latency_ms"] / vectorized["p50_latency_ms"]
+    geometry_speedup = (
+        scalar["stage_seconds"]["geometry"]
+        / vectorized["stage_seconds"]["geometry"]
+    )
+    return {
+        "bench": "single-query KNN latency, vectorized vs per-record",
+        "workload": {
+            "videos": len(summaries),
+            "vitris": index.num_vitris,
+            "dim": index.dim,
+            "epsilon": EPSILON,
+            "k": K,
+            "queries": len(queries),
+        },
+        "modes": {"scalar": scalar, "vectorized": vectorized},
+        "speedup_p50": speedup,
+        "geometry_stage_speedup": geometry_speedup,
+    }
+
+
+def check_gates(report, baseline_path):
+    """Return a list of failure messages (empty = all gates pass)."""
+    failures = []
+    if report["speedup_p50"] < MIN_SPEEDUP:
+        failures.append(
+            f"vectorized p50 speedup {report['speedup_p50']:.2f}x is below "
+            f"the {MIN_SPEEDUP:.1f}x gate"
+        )
+    if not os.path.exists(baseline_path):
+        failures.append(
+            f"missing committed baseline {baseline_path}; generate it with "
+            "--update-baseline"
+        )
+        return failures
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    floor = baseline["geometry_stage_speedup"] * (
+        1.0 - MAX_GEOMETRY_REGRESSION
+    )
+    if report["geometry_stage_speedup"] < floor:
+        failures.append(
+            "geometry stage regressed: speedup "
+            f"{report['geometry_stage_speedup']:.2f}x < floor {floor:.2f}x "
+            f"(baseline {baseline['geometry_stage_speedup']:.2f}x - 25%)"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=OUTPUT_PATH,
+        help="where to write BENCH_latency.json",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed geometry-speedup baseline",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_experiment()
+
+    os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    print(f"workload: {report['workload']}")
+    for impl, mode in report["modes"].items():
+        shares = ", ".join(
+            f"{stage}={mode['stage_share'][stage] * 100.0:.0f}%"
+            for stage in STAGES
+        )
+        print(
+            f"{impl:>10}: p50 {mode['p50_latency_ms']:7.2f} ms  ({shares})"
+        )
+    print(
+        f"speedup: {report['speedup_p50']:.2f}x p50, "
+        f"{report['geometry_stage_speedup']:.2f}x geometry stage"
+    )
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "bench": report["bench"],
+                    "geometry_stage_speedup": report[
+                        "geometry_stage_speedup"
+                    ],
+                    "speedup_p50": report["speedup_p50"],
+                },
+                handle,
+                indent=1,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    failures = check_gates(report, BASELINE_PATH)
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

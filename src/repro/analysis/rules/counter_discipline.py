@@ -37,6 +37,19 @@ accounting airtight, and this rule enforces all three:
    the overlap concurrency exists to create.  Aggregate by folding the
    per-query ``CostCounters`` bundles (``CostCounters.add``) and build
    the global stats from the folded bundle.
+6. **Batched reads stay record-accurate.**  A batched read API (a name
+   combining a batch marker — ``batch``/``bulk``/``many`` — with a read
+   verb — ``read``/``scan``/``search``/``decode``/``fetch``) must accept
+   a ``counters`` parameter: batching is an *optimisation of the access
+   pattern*, not a change in the logical work, so the vectorized path
+   must charge the same record-level costs as the per-record path it
+   replaces.  And inside such a function, charging a record-level
+   counter by a literal constant (``counters.records_scanned += 1``)
+   charges per batch *call* instead of per logical record — the batched
+   and scalar cost signatures then diverge by exactly the batch factor.
+   Charge by the batch's size (``+= len(entries)``, ``+= used``).
+   ``load`` is deliberately not a read verb so one-time construction
+   (``bulk_load``) stays out of scope.
 """
 
 from __future__ import annotations
@@ -79,6 +92,23 @@ RAW_IO = frozenset({"read_page", "write_page", "allocate_page"})
 
 # Attribute substrings that count as visible cost recording.
 _ACCOUNTING_MARKERS = ("evaluation", "computation", "counter", "scanned")
+
+# Name fragments identifying a batched read API (convention 6).  Both a
+# batch marker and a read verb must appear; "load" is deliberately not a
+# read verb so one-time construction (bulk_load) stays out of scope.
+_BATCH_MARKERS = ("batch", "bulk", "many")
+_READ_MARKERS = ("read", "scan", "search", "decode", "fetch")
+
+# Per-record cost fields: a batched read charging one of these by a
+# literal constant is charging per batch call, not per logical record.
+_RECORD_LEVEL_COUNTERS = frozenset(
+    {
+        "records_scanned",
+        "records_decoded",
+        "similarity_computations",
+        "distance_computations",
+    }
+)
 
 # Global (lifetime-aggregate) counter attributes: shared by every caller,
 # so per-query stats built from them are corrupted by any concurrent or
@@ -212,6 +242,38 @@ def _records_cost(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
     return False
 
 
+def _names_vector_read_api(name: str) -> bool:
+    """Whether a function name denotes a batched read API."""
+    lowered = name.lower()
+    return any(marker in lowered for marker in _BATCH_MARKERS) and any(
+        marker in lowered for marker in _READ_MARKERS
+    )
+
+
+def _constant_record_charges(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AugAssign]:
+    """Record-level counter charges by a literal constant in *func*'s body.
+
+    Nested function bodies are excluded — they are charged (and linted)
+    as their own functions.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Attribute)
+            and node.target.attr in _RECORD_LEVEL_COUNTERS
+            and isinstance(node.op, ast.Add)
+            and isinstance(node.value, ast.Constant)
+        ):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
 def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -277,6 +339,27 @@ class CounterDisciplineRule(Rule):
             # discipline applies to the layers calling them.
             is_kernel = func.name in COUNTED_KERNELS | RAW_KERNELS
             has_counters = "counters" in _param_names(func)
+            if _names_vector_read_api(func.name) and not is_kernel:
+                if not has_counters:
+                    yield self.diagnostic(
+                        ctx,
+                        func,
+                        f"batched read API '{func.name}' does not accept a "
+                        "'counters' parameter: the batched path must charge "
+                        "the same record-level costs as the per-record path "
+                        "it replaces",
+                    )
+                for charge in _constant_record_charges(func):
+                    assert isinstance(charge.target, ast.Attribute)
+                    yield self.diagnostic(
+                        ctx,
+                        charge,
+                        f"batched read API '{func.name}' charges "
+                        f"'{charge.target.attr}' by a literal constant: "
+                        "that counts per batch call, not per logical "
+                        "record; charge by the batch's size "
+                        "(e.g. += len(entries))",
+                    )
             records = None  # computed lazily (walking bodies is not free)
             for call in _direct_calls(func):
                 called = _call_name(call)

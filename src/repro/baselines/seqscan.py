@@ -18,6 +18,7 @@ from repro.core.index import (
 )
 from repro.core.scoring import ScoreAccumulator
 from repro.core.vitri import VideoSummary
+from repro.storage.serialization import ViTriColumns
 from repro.utils.counters import CostCounters, Timer
 
 __all__ = ["SequentialScan"]
@@ -71,26 +72,24 @@ class SequentialScan:
         candidates = 0
 
         with Timer() as timer:
-            records = [
-                record
-                for record in (
-                    codec.decode(payload)
-                    for _, payload in heap.scan(counters=counters)
-                )
-                if record.video_id != TOMBSTONE_VIDEO_ID
+            # Page-batched scan: each heap page is decoded with a single
+            # columnar buffer view instead of one decode per record.
+            pages = [
+                codec.decode_columns(block, used, counters=counters)
+                for _, used, block in heap.scan_batches(counters=counters)
             ]
-            candidates = len(records)
-            if records:
-                import numpy as np
-
-                video_ids = np.array([r.video_id for r in records])
-                vitri_ids = np.array([r.vitri_id for r in records])
-                counts = np.array([r.count for r in records])
-                radii = np.array([r.radius for r in records])
-                positions = np.stack([r.position for r in records])
+            columns = ViTriColumns.concat(pages, codec.dim)
+            columns = columns.take(columns.video_ids != TOMBSTONE_VIDEO_ID)
+            candidates = len(columns)
+            if candidates:
                 for i in range(len(query.vitris)):
                     accumulator.evaluate_arrays(
-                        i, video_ids, vitri_ids, counts, radii, positions
+                        i,
+                        columns.video_ids,
+                        columns.vitri_ids,
+                        columns.counts,
+                        columns.radii,
+                        columns.positions,
                     )
             ranked = accumulator.ranked(k)
         stats = QueryStats(

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
+
 from repro.storage.page import PAGE_CONTENT_SIZE, Page
 
 __all__ = [
@@ -35,6 +37,8 @@ __all__ = [
     "NO_LEAF",
     "internal_capacity",
     "leaf_capacity",
+    "leaf_entries_view",
+    "leaf_header",
     "node_type_of",
 ]
 
@@ -73,6 +77,27 @@ def internal_capacity() -> int:
 def node_type_of(page: Page) -> int:
     """Read the node-type tag of a serialised node page."""
     return page.data[0]
+
+
+def leaf_header(page: Page) -> tuple[int, int, int]:
+    """Unpack a leaf page's header: ``(node_type, count, next_leaf)``."""
+    return _LEAF_HEADER.unpack_from(page.data, 0)
+
+
+def leaf_entries_view(
+    page: Page, entry_dtype: np.dtype, count: int
+) -> np.ndarray:
+    """Structured array view of a leaf page's ``(key, payload)`` entries.
+
+    One ``np.frombuffer`` over the whole entries region — the bulk read
+    path's replacement for :meth:`LeafNode.load`'s per-entry unpacking.
+    The view aliases the page buffer; callers that keep results past the
+    current page access must copy (slicing into ``np.concatenate``, as
+    ``range_search_many`` does, already copies).
+    """
+    return np.frombuffer(
+        page.data, dtype=entry_dtype, count=count, offset=_LEAF_HEADER.size
+    )
 
 
 class LeafNode:

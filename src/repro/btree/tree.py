@@ -24,12 +24,17 @@ import struct
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.btree.node import (
+    NODE_LEAF,
     NO_LEAF,
     InternalNode,
     LeafNode,
     internal_capacity,
     leaf_capacity,
+    leaf_entries_view,
+    leaf_header,
 )
 from repro.storage.buffer_pool import BufferPool
 from repro.utils.counters import CostCounters
@@ -373,6 +378,156 @@ class BPlusTree:
             if leaf.next_leaf == NO_LEAF:
                 return results
             leaf = self._load_leaf(leaf.next_leaf, counters)
+
+    def _leaf_page_for(
+        self, key: float, counters: CostCounters | None = None
+    ) -> int:
+        """Page id of the leftmost leaf that can contain *key* (array path:
+        descends without materialising a :class:`LeafNode`)."""
+        page_id = self._root
+        for _ in range(self._height - 1):
+            node = self._load_internal(page_id, counters)
+            page_id = node.children[bisect_left(node.keys, key)]
+        return page_id
+
+    def _load_leaf_arrays(
+        self,
+        page_id: int,
+        entry_dtype: np.dtype,
+        counters: CostCounters | None,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Load a leaf as ``(keys, payloads, next_leaf)`` array views.
+
+        Counted exactly like :meth:`_load_leaf` (a node visit plus a
+        buffer-pool page access), but the entries are exposed as one
+        structured-array view instead of per-entry Python objects.
+        """
+        self.node_visits += 1
+        if counters is not None:
+            counters.btree_node_visits += 1
+        page = self._pool.fetch(page_id, counters)
+        node_type, count, next_leaf = leaf_header(page)
+        if node_type != NODE_LEAF:
+            raise ValueError(f"page {page_id} is not a leaf node")
+        entries = leaf_entries_view(page, entry_dtype, count)
+        return entries["key"], entries["payload"], next_leaf
+
+    def _entry_dtype(self, payload_dtype: "np.dtype | None") -> np.dtype:
+        """Structured dtype of one on-leaf entry (key + payload)."""
+        if self._payload_size == 0:
+            raise ValueError(
+                "range_search_many requires a non-empty payload layout"
+            )
+        if payload_dtype is None:
+            payload = np.dtype((np.void, self._payload_size))
+        else:
+            payload = np.dtype(payload_dtype)
+            if payload.itemsize != self._payload_size:
+                raise ValueError(
+                    f"payload_dtype itemsize {payload.itemsize} != "
+                    f"payload_size {self._payload_size}"
+                )
+        return np.dtype([("key", "<f8"), ("payload", payload)])
+
+    def range_search_many(
+        self,
+        ranges: "list[tuple[float, float]]",
+        *,
+        payload_dtype: "np.dtype | None" = None,
+        counters: CostCounters | None = None,
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Bulk range search: one ``(keys, payloads)`` array pair per range.
+
+        The vectorized counterpart of calling :meth:`range_search` once
+        per range, with two structural savings:
+
+        * each visited leaf is decoded with a single structured-array
+          view (no per-entry unpacking, no :class:`LeafNode` objects);
+        * consecutive ranges walk leaf-to-leaf over the sibling links —
+          the root-to-leaf descent is skipped whenever the next range
+          provably starts inside the leaf the previous range ended on
+          (its first key is strictly below ``low``, so no earlier leaf
+          can hold an in-range entry even with duplicate keys, and
+          ``low`` is at most its last key).
+
+        Results are bit-identical to the per-range scalar path, in the
+        same order; within each range the visited leaves are exactly the
+        leaves :meth:`range_search` reads, so logical page accesses are
+        never more than the scalar path's (and are fewer whenever a
+        descent is skipped).  ``records_scanned`` is charged per logical
+        record returned; node visits and page accesses are charged per
+        leaf/descent as usual.
+
+        Parameters
+        ----------
+        ranges:
+            ``(low, high)`` pairs; an inverted pair yields an empty
+            result, like :meth:`range_search`.
+        payload_dtype:
+            Optional structured dtype for the payload bytes (e.g. the
+            ViTri codec's ``record_dtype``); its itemsize must equal the
+            tree's payload size.  Defaults to raw ``V<payload_size>``
+            bytes.
+        counters:
+            Per-query cost bundle.
+
+        Returns
+        -------
+        list of (numpy.ndarray, numpy.ndarray)
+            Per range: float64 keys and payload records (owned copies,
+            never views into pooled pages), in non-decreasing key order.
+        """
+        entry_dtype = self._entry_dtype(payload_dtype)
+        payload_out = entry_dtype["payload"]
+        results: "list[tuple[np.ndarray, np.ndarray]]" = []
+        leaf: "tuple[np.ndarray, np.ndarray, int] | None" = None
+        for low, high in ranges:
+            low = float(low)
+            high = float(high)
+            if math.isnan(low) or math.isnan(high):
+                raise ValueError("range bounds must not be NaN")
+            if high < low or self._num_entries == 0:
+                results.append(
+                    (np.empty(0, np.float64), np.empty(0, payload_out))
+                )
+                continue
+            reusable = (
+                leaf is not None
+                and leaf[0].size > 0
+                and float(leaf[0][0]) < low
+                and low <= float(leaf[0][-1])
+            )
+            if not reusable:
+                leaf = self._load_leaf_arrays(
+                    self._leaf_page_for(low, counters), entry_dtype, counters
+                )
+            key_runs: "list[np.ndarray]" = []
+            payload_runs: "list[np.ndarray]" = []
+            returned = 0
+            while True:
+                keys = leaf[0]
+                start = int(np.searchsorted(keys, low, side="left"))
+                stop = int(np.searchsorted(keys, high, side="right"))
+                if stop > start:
+                    key_runs.append(keys[start:stop])
+                    payload_runs.append(leaf[1][start:stop])
+                    returned += stop - start
+                if stop < keys.size or leaf[2] == NO_LEAF:
+                    break
+                leaf = self._load_leaf_arrays(leaf[2], entry_dtype, counters)
+            if counters is not None:
+                counters.records_scanned += returned
+            if key_runs:
+                # np.concatenate copies, so results own their memory and
+                # never alias (possibly evicted) buffer-pool pages.
+                results.append(
+                    (np.concatenate(key_runs), np.concatenate(payload_runs))
+                )
+            else:
+                results.append(
+                    (np.empty(0, np.float64), np.empty(0, payload_out))
+                )
+        return results
 
     def key_bounds(
         self, *, counters: CostCounters | None = None

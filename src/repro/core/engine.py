@@ -46,6 +46,7 @@ from repro.core.index import (
     KNNResult,
     QueryStats,
     VitriIndex,
+    _check_impl,
     _check_query_args,
     _execute_query,
     _rank,
@@ -163,9 +164,11 @@ class QueryEngine:
         *,
         buffer_capacity: int = 256,
         cache_size: int = 128,
+        impl: str = "vectorized",
     ) -> None:
         if not isinstance(index, VitriIndex):
             raise TypeError("index must be a VitriIndex")
+        _check_impl(impl)
         if not isinstance(buffer_capacity, int) or isinstance(buffer_capacity, bool):
             raise TypeError("buffer_capacity must be an int")
         if buffer_capacity < 1:
@@ -180,6 +183,10 @@ class QueryEngine:
         self._index = index
         self._buffer_capacity = buffer_capacity
         self._cache_size = cache_size
+        # Inner-loop implementation for every served query.  Rankings
+        # are bit-identical across impls (the equivalence suite asserts
+        # it), so impl is deliberately NOT part of the cache key.
+        self._impl = impl
         self._cache: OrderedDict[
             tuple[str, str, int, str], KNNResult
         ] = OrderedDict()
@@ -418,6 +425,7 @@ class QueryEngine:
                 epsilon=self._epsilon,
                 video_frames=self._video_frames,
                 counters=counters,
+                impl=self._impl,
             )
             videos, kept_scores = _rank(scores, k)
         stats = QueryStats(

@@ -58,7 +58,7 @@ from repro.storage.buffer_pool import BufferPool
 from repro.storage.heap_file import HeapFile
 from repro.storage.pager import Pager
 from repro.storage.serialization import ViTriRecord, ViTriRecordCodec
-from repro.utils.counters import CostCounters, Timer
+from repro.utils.counters import CostCounters, StageTimer, Timer
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["KNNResult", "QueryStats", "TOMBSTONE_VIDEO_ID", "VitriIndex"]
@@ -143,6 +143,13 @@ def _check_query_args(query: VideoSummary, k: int, method: str, dim: int) -> Non
         raise ValueError(f"method must be 'composed' or 'naive', got {method!r}")
 
 
+def _check_impl(impl: str) -> None:
+    if impl not in ("vectorized", "scalar"):
+        raise ValueError(
+            f"impl must be 'vectorized' or 'scalar', got {impl!r}"
+        )
+
+
 def _rank(
     scores: dict[int, float], k: int
 ) -> tuple[tuple[int, ...], tuple[float, ...]]:
@@ -164,6 +171,7 @@ def _execute_query(
     epsilon: float,
     video_frames: dict[int, int],
     counters: CostCounters,
+    impl: str = "vectorized",
 ) -> tuple[dict[int, float], int, int]:
     """Run one KNN candidate pass and return ``(scores, candidates, ranges)``.
 
@@ -172,6 +180,26 @@ def _execute_query(
     page access, node visit and similarity evaluation it performs is
     recorded in the caller's per-query ``counters`` bundle, so costs are
     exact even when many queries run interleaved over shared storage.
+
+    ``impl`` selects the inner-loop implementation:
+
+    * ``"vectorized"`` (default) — bulk leaf-to-leaf range search with
+      structured-array page views, one-view columnar record decode, and
+      batched sphere-intersection geometry;
+    * ``"scalar"`` — the per-record oracle: one ``range_search`` per
+      composed range, per-record ``codec.decode``, per-pair
+      ``accumulator.evaluate``.
+
+    Both produce bit-identical scores and identical logical cost
+    signatures (``similarity_computations``, ``records_scanned``,
+    ``records_decoded``, ``candidates``, ``ranges``); the vectorized
+    path may report *fewer* ``page_requests``/``node_visits`` because it
+    skips redundant root-to-leaf descents.  The equivalence suite
+    asserts both properties.
+
+    Per-stage wall time (I/O / deserialize / geometry / merge) is
+    accumulated into ``counters.extra["stage_*_s"]`` for the latency
+    benchmark's breakdown.
     """
     gamma = [vitri.radius + epsilon / 2.0 for vitri in query.vitris]
     query_keys = [transform.key(vitri.position) for vitri in query.vitris]
@@ -187,46 +215,101 @@ def _execute_query(
     else:
         search_ranges = compose_ranges(per_vitri_ranges)
 
-    for range_index, (low, high) in enumerate(search_ranges):
+    if impl == "vectorized":
         # The leaves hold the full ViTri records (the paper's layout),
-        # so a range search is the only I/O a query performs.
-        entries = btree.range_search(low, high, counters=counters)
-        if not entries:
-            continue
-        candidates += len(entries)
-        records = [codec.decode(payload) for _, payload in entries]
-        keys = np.array([key for key, _ in entries])
-        video_ids = np.array([r.video_id for r in records])
-        vitri_ids = np.array([r.vitri_id for r in records])
-        counts = np.array([r.count for r in records])
-        radii = np.array([r.radius for r in records])
-        positions = np.stack([r.position for r in records])
-        if method == "naive":
-            relevant = [range_index]
-        else:
-            relevant = range(len(per_vitri_ranges))
-        for i in relevant:
-            vlow, vhigh = per_vitri_ranges[i]
-            mask = (keys >= vlow) & (keys <= vhigh)
-            if not np.any(mask):
-                continue
-            counters.similarity_computations += accumulator.evaluate_arrays(
-                i,
-                video_ids[mask],
-                vitri_ids[mask],
-                counts[mask],
-                radii[mask],
-                positions[mask],
+        # so the bulk range search is the only I/O a query performs.
+        with StageTimer(counters, "io"):
+            blocks = btree.range_search_many(
+                search_ranges,
+                payload_dtype=codec.record_dtype,
+                counters=counters,
             )
+        if method == "naive":
+            with StageTimer(counters, "deserialize"):
+                parts = [
+                    (keys, codec.columns_from_struct(records, counters=counters))
+                    for keys, records in blocks
+                ]
+            candidates = sum(keys.size for keys, _ in parts)
+            with StageTimer(counters, "geometry"):
+                for range_index, (keys, columns) in enumerate(parts):
+                    vlow, vhigh = per_vitri_ranges[range_index]
+                    mask = (keys >= vlow) & (keys <= vhigh)
+                    if not np.any(mask):
+                        continue
+                    selected = columns.take(mask)
+                    counters.similarity_computations += (
+                        accumulator.evaluate_arrays(
+                            range_index,
+                            selected.video_ids,
+                            selected.vitri_ids,
+                            selected.counts,
+                            selected.radii,
+                            selected.positions,
+                        )
+                    )
+        else:
+            with StageTimer(counters, "deserialize"):
+                keys = np.concatenate([keys for keys, _ in blocks])
+                columns = codec.columns_from_struct(
+                    np.concatenate([records for _, records in blocks]),
+                    counters=counters,
+                )
+            candidates = int(keys.size)
+            with StageTimer(counters, "geometry"):
+                for i, (vlow, vhigh) in enumerate(per_vitri_ranges):
+                    mask = (keys >= vlow) & (keys <= vhigh)
+                    if not np.any(mask):
+                        continue
+                    selected = columns.take(mask)
+                    counters.similarity_computations += (
+                        accumulator.evaluate_arrays(
+                            i,
+                            selected.video_ids,
+                            selected.vitri_ids,
+                            selected.counts,
+                            selected.radii,
+                            selected.positions,
+                        )
+                    )
+    else:
+        for range_index, (low, high) in enumerate(search_ranges):
+            with StageTimer(counters, "io"):
+                entries = btree.range_search(low, high, counters=counters)
+            if not entries:
+                continue
+            candidates += len(entries)
+            counters.records_scanned += len(entries)
+            with StageTimer(counters, "deserialize"):
+                records = [codec.decode(payload) for _, payload in entries]
+                counters.records_decoded += len(records)
+            if method == "naive":
+                relevant = [range_index]
+            else:
+                relevant = range(len(per_vitri_ranges))
+            with StageTimer(counters, "geometry"):
+                for (key, _), record in zip(entries, records):
+                    indices = [
+                        i
+                        for i in relevant
+                        if per_vitri_ranges[i][0]
+                        <= key
+                        <= per_vitri_ranges[i][1]
+                    ]
+                    if indices:
+                        counters.similarity_computations += (
+                            accumulator.evaluate(record, indices)
+                        )
 
-    counters.records_scanned += candidates
+    with StageTimer(counters, "merge"):
+        scores = accumulator.scores()
     # Range-search count rides in the bundle's extra dict so aggregators
     # (the shard router) can rebuild every QueryStats field from bundles
     # alone, never from other QueryStats objects.
     counters.extra["range_searches"] = (
         counters.extra.get("range_searches", 0) + len(search_ranges)
     )
-    return accumulator.scores(), candidates, len(search_ranges)
+    return scores, candidates, len(search_ranges)
 
 
 class VitriIndex:
@@ -626,6 +709,7 @@ class VitriIndex:
         k: int,
         *,
         method: str = "composed",
+        impl: str = "vectorized",
         cold: bool = False,
         out_counters: CostCounters | None = None,
     ) -> KNNResult:
@@ -642,6 +726,11 @@ class VitriIndex:
             ``"composed"`` (query composition, the default) or ``"naive"``
             (one independent range search per query ViTri).  Both return
             identical results; they differ only in cost.
+        impl:
+            ``"vectorized"`` (page-batched reads + numpy geometry, the
+            default) or ``"scalar"`` (the per-record oracle).  Results
+            are bit-identical; ``"scalar"`` exists as the equivalence
+            baseline and for debugging.
         cold:
             Clear the buffer pools first so the reported I/O reflects a
             cold cache.
@@ -651,6 +740,7 @@ class VitriIndex:
             shard router uses to aggregate per-shard costs.
         """
         _check_query_args(query, k, method, self._dim)
+        _check_impl(impl)
         if cold:
             self.clear_caches()
 
@@ -668,6 +758,7 @@ class VitriIndex:
                 epsilon=self._epsilon,
                 video_frames=self._video_frames,
                 counters=counters,
+                impl=impl,
             )
             videos, kept_scores = _rank(scores, k)
 
@@ -690,6 +781,7 @@ class VitriIndex:
         min_similarity: float,
         *,
         method: str = "composed",
+        impl: str = "vectorized",
         cold: bool = False,
         out_counters: CostCounters | None = None,
     ) -> KNNResult:
@@ -712,6 +804,7 @@ class VitriIndex:
                 f"min_similarity must be in (0, 1], got {min_similarity}"
             )
         _check_query_args(query, 1, method, self._dim)
+        _check_impl(impl)
         if cold:
             self.clear_caches()
 
@@ -726,6 +819,7 @@ class VitriIndex:
                 epsilon=self._epsilon,
                 video_frames=self._video_frames,
                 counters=counters,
+                impl=impl,
             )
             kept = {
                 video: score

@@ -16,6 +16,28 @@ Keeping this in one place guarantees the access methods return *exactly*
 the same rankings — which the test suite asserts — and reduces each
 method to its actual difference: which candidates it reads and at what
 I/O cost.
+
+Bit-exactness contract
+----------------------
+:meth:`ScoreAccumulator.evaluate` (per record, Python control flow) is the
+*scalar oracle*; :meth:`ScoreAccumulator.evaluate_arrays` is the
+vectorized path.  Driven over the same candidate stream in the same
+order, the two produce bit-identical scores, not merely close ones:
+
+* the per-pair estimate comes from ``_estimate_from_scalars`` /
+  ``_estimate_batch``, which share their elementwise primitives and are
+  bit-identical lane by lane;
+* per-cell accumulation order is preserved — the vectorized path defers
+  all summation to ``scores()`` and folds the concatenated candidate
+  stream with one ``np.bincount`` per cell kind, whose sequential
+  left-to-right accumulation reproduces the oracle's ``+=`` chains
+  exactly (summing per *batch* and adding partial sums would not: float
+  addition is not associative);
+* ``scores()`` folds each video's database-side totals in a canonical
+  (vitri-id-sorted) order, since dict insertion order is the one thing
+  the two traversals do not share.
+
+``tests/test_vectorized_equivalence.py`` asserts all of this.
 """
 
 from __future__ import annotations
@@ -59,6 +81,11 @@ class ScoreAccumulator:
         self._per_video_query: dict[int, np.ndarray] = {}
         self._per_video_db: dict[int, dict[int, float]] = defaultdict(dict)
         self._db_counts: dict[int, int] = {}
+        # Deferred vectorized contributions, folded on first scores() use:
+        # (query_index, video_ids, vitri_ids, counts, estimates) per call.
+        self._segments: list[
+            tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
         self.evaluations = 0
 
     def evaluate(
@@ -72,9 +99,11 @@ class ScoreAccumulator:
         performed = 0
         for index in vitri_indices:
             query_vitri = self._query.vitris[index]
-            distance = float(
-                np.linalg.norm(record.position - query_vitri.position)
-            )
+            # sqrt-of-sum-of-squares, not np.linalg.norm on the 1-D diff:
+            # BLAS nrm2's accumulation order differs from the batched
+            # axis-1 norm, and this path is the bit-exactness oracle.
+            diff = record.position - query_vitri.position
+            distance = float(np.sqrt(np.sum(diff * diff)))
             estimate = _estimate_from_scalars(
                 self._dim,
                 query_vitri.radius,
@@ -109,9 +138,13 @@ class ScoreAccumulator:
     ) -> int:
         """Vectorised scoring of many candidates against one query ViTri.
 
-        Equivalent to calling :meth:`evaluate` once per candidate with
-        ``[query_index]``, but the distance and intersection math runs as
-        one numpy batch.  Returns the number of similarity evaluations.
+        Bit-identical to calling :meth:`evaluate` once per candidate with
+        ``[query_index]`` (see the module docstring's contract), but the
+        distance and intersection math runs as one numpy batch and the
+        positive estimates are only *recorded* here — the accumulation is
+        deferred to :meth:`scores` so every per-cell sum happens in one
+        left-to-right pass regardless of how candidates were batched.
+        Returns the number of similarity evaluations.
         """
         from repro.core.similarity import _estimate_batch
 
@@ -122,32 +155,84 @@ class ScoreAccumulator:
             query_vitri.radius,
             query_vitri.count,
             radii,
-            counts.astype(np.float64),
+            np.asarray(counts, dtype=np.float64),
             distances,
         )
         performed = int(estimates.shape[0])
         self.evaluations += performed
-        for position in np.flatnonzero(estimates > 0.0):
-            estimate = float(estimates[position])
-            video = int(video_ids[position])
-            if video not in self._per_video_query:
-                self._per_video_query[video] = np.zeros(self._m)
-            self._per_video_query[video][query_index] += estimate
-            per_db = self._per_video_db[video]
-            vitri_id = int(vitri_ids[position])
-            per_db[vitri_id] = per_db.get(vitri_id, 0.0) + estimate
-            self._db_counts[vitri_id] = int(counts[position])
+        live = np.flatnonzero(estimates > 0.0)
+        if live.size:
+            self._segments.append(
+                (
+                    int(query_index),
+                    np.asarray(video_ids)[live].astype(np.int64),
+                    np.asarray(vitri_ids)[live].astype(np.int64),
+                    np.asarray(counts)[live].astype(np.int64),
+                    estimates[live],
+                )
+            )
         return performed
+
+    def _fold_segments(self) -> None:
+        """Fold deferred vectorized contributions into the score state.
+
+        One ``np.bincount`` per cell kind over the *global* concatenation
+        of every recorded segment: bincount accumulates its weights
+        sequentially in input order, so each (video, query-ViTri) cell
+        and each database-ViTri cell receives exactly the scalar oracle's
+        ``+=`` chain.  Folding per batch and summing partial sums instead
+        would silently break bit-identity.
+        """
+        if not self._segments:
+            return
+        m = self._m
+        query_indices = np.concatenate(
+            [np.full(seg[4].size, seg[0], dtype=np.int64) for seg in self._segments]
+        )
+        videos = np.concatenate([seg[1] for seg in self._segments])
+        vitris = np.concatenate([seg[2] for seg in self._segments])
+        counts = np.concatenate([seg[3] for seg in self._segments])
+        estimates = np.concatenate([seg[4] for seg in self._segments])
+        self._segments.clear()
+
+        unique_videos, video_codes = np.unique(videos, return_inverse=True)
+        cells = video_codes * m + query_indices
+        query_sums = np.bincount(
+            cells, weights=estimates, minlength=unique_videos.size * m
+        )
+        for code, video in enumerate(unique_videos):
+            video = int(video)
+            if video not in self._per_video_query:
+                self._per_video_query[video] = np.zeros(m)
+            self._per_video_query[video] += query_sums[code * m : (code + 1) * m]
+
+        unique_vitris, first_seen, vitri_codes = np.unique(
+            vitris, return_index=True, return_inverse=True
+        )
+        db_sums = np.bincount(
+            vitri_codes, weights=estimates, minlength=unique_vitris.size
+        )
+        owner_videos = videos[first_seen]
+        owner_counts = counts[first_seen]
+        for code, vitri_id in enumerate(unique_vitris):
+            vitri_id = int(vitri_id)
+            per_db = self._per_video_db[int(owner_videos[code])]
+            per_db[vitri_id] = per_db.get(vitri_id, 0.0) + float(db_sums[code])
+            self._db_counts[vitri_id] = int(owner_counts[code])
 
     def scores(self) -> dict[int, float]:
         """Final per-video similarity scores in ``[0, 1]``."""
+        self._fold_segments()
         scores: dict[int, float] = {}
         query_counts = self._query.counts().astype(np.float64)
         for video, per_query in self._per_video_query.items():
             count_query_side = float(np.minimum(query_counts, per_query).sum())
+            # Canonical (vitri-id-sorted) fold: the scalar and vectorized
+            # paths insert db-side totals in different dict orders, and
+            # float summation order must not depend on that.
             count_db_side = sum(
                 min(float(self._db_counts[vid]), total)
-                for vid, total in self._per_video_db[video].items()
+                for vid, total in sorted(self._per_video_db[video].items())
             )
             denominator = self._query.num_frames + self._video_frames[video]
             scores[video] = min(

@@ -39,12 +39,9 @@ more than once), symmetrically for ``Y``, and
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.core.vitri import ViTri, VideoSummary
-from repro.geometry.intersection import intersection_fraction_of_smaller
 from repro.utils.counters import CostCounters
 from repro.utils.validation import check_matrix, check_vector
 
@@ -67,7 +64,12 @@ def estimated_shared_frames(a: ViTri, b: ViTri) -> float:
         raise TypeError("estimated_shared_frames expects two ViTri instances")
     if a.dim != b.dim:
         raise ValueError(f"dimension mismatch: {a.dim} != {b.dim}")
-    distance = float(np.linalg.norm(a.position - b.position))
+    # sqrt-of-sum-of-squares rather than np.linalg.norm on the 1-D
+    # difference: the latter routes through BLAS ``nrm2``/``dot`` whose
+    # accumulation order differs from the batched axis-1 norm, and the
+    # scalar path is the bit-exactness oracle for the batch kernel.
+    diff = a.position - b.position
+    distance = float(np.sqrt(np.sum(diff * diff)))
     return _estimate_from_scalars(
         a.dim, a.radius, a.count, b.radius, b.count, distance
     )
@@ -81,26 +83,58 @@ def _estimate_from_scalars(
     count_b: int,
     distance: float,
 ) -> float:
+    """Scalar oracle for :func:`_estimate_batch`.
+
+    Same case analysis *and the same elementwise primitives* (numpy
+    ``log``/``exp``/``logaddexp`` and the regularised incomplete beta) as
+    the batch kernel, evaluated one candidate at a time with Python
+    control flow.  Because every numpy elementwise kernel produces
+    batch-size-independent results, this function is bit-identical to
+    one lane of :func:`_estimate_batch` — which is what the vectorized
+    equivalence suite asserts.  Keep the two in lockstep: any arithmetic
+    change here must be mirrored there and vice versa.
+    """
     if radius_a >= radius_b:
-        r_big, c_big = radius_a, count_a
-        r_small, c_small = radius_b, count_b
+        r_big, c_big = radius_a, float(count_a)
+        r_small, c_small = radius_b, float(count_b)
     else:
-        r_big, c_big = radius_b, count_b
-        r_small, c_small = radius_a, count_a
+        r_big, c_big = radius_b, float(count_b)
+        r_small, c_small = radius_a, float(count_a)
 
     ceiling = float(min(count_a, count_b))
     if r_small <= 0.0:
         # Point mass: all its frames coincide with its centre.
         return ceiling if distance <= r_big else 0.0
 
-    fraction = intersection_fraction_of_smaller(dim, r_big, r_small, distance)
-    if fraction <= 0.0:
+    if distance >= r_big + r_small:
         return 0.0
+    if distance <= r_big - r_small or distance <= 0.0:
+        log_fraction = 0.0
+    else:
+        # Lens case: two hyperspherical caps, summed in log space.
+        x1 = (distance * distance + r_big * r_big - r_small * r_small) / (
+            2.0 * distance
+        )
+        cos_alpha = np.clip(x1 / r_big, -1.0, 1.0)
+        cos_beta = np.clip((distance - x1) / r_small, -1.0, 1.0)
+        log_ratio = dim * (np.log(r_big) - np.log(r_small))
+        log_cap_big = (
+            float(_log_cap_fraction_batch(dim, np.asarray([cos_alpha]))[0])
+            + log_ratio
+        )
+        log_cap_small = float(
+            _log_cap_fraction_batch(dim, np.asarray([cos_beta]))[0]
+        )
+        log_fraction = np.minimum(
+            np.logaddexp(log_cap_big, log_cap_small), 0.0
+        )
+    with np.errstate(over="ignore"):
+        fraction = np.exp(log_fraction)
     # min(D1, D2) in ratio form; r_small/r_big <= 1 so the power never
     # overflows.
-    big_limit = c_big * math.exp(dim * (math.log(r_small) - math.log(r_big)))
-    estimate = fraction * min(float(c_small), big_limit)
-    return min(estimate, ceiling)
+    big_limit = c_big * np.exp(dim * (np.log(r_small) - np.log(r_big)))
+    estimate = fraction * np.minimum(c_small, big_limit)
+    return float(np.minimum(estimate, ceiling))
 
 
 def vitri_similarity(a: ViTri, b: ViTri) -> float:

@@ -219,6 +219,37 @@ class HeapFile:
                 yield RecordId(page_id=page_id, slot=slot), payload
             remaining -= used
 
+    def scan_batches(
+        self, *, counters: CostCounters | None = None
+    ) -> Iterator[tuple[int, int, bytes]]:
+        """Yield per-page record blocks ``(page_id, used, raw_bytes)``.
+
+        The page-batched counterpart of :meth:`scan`: each yielded block
+        is the page's records region (``used * record_size`` bytes,
+        copied out of the pool so the caller may hold it past eviction),
+        ready for a one-view columnar decode
+        (:meth:`~repro.storage.serialization.ViTriRecordCodec.
+        decode_columns`).  Page accesses are charged at fetch time and
+        ``records_scanned`` is charged per logical record, so the cost
+        signature matches a per-record scan over the same heap.
+        """
+        remaining = self._num_records
+        for page_index in range(self.num_data_pages):
+            page_id = 1 + page_index
+            page = self._pool.fetch(page_id, counters)
+            (used,) = _SLOT_COUNT.unpack_from(page.data, 0)
+            used = min(used, remaining)
+            block = bytes(
+                page.data[
+                    _SLOT_COUNT.size : _SLOT_COUNT.size
+                    + used * self._record_size
+                ]
+            )
+            if counters is not None:
+                counters.records_scanned += used
+            yield page_id, used, block
+            remaining -= used
+
     def flush(self) -> None:
         """Flush dirty pages down to the pager."""
         self._pool.flush()

@@ -26,10 +26,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.storage.page import PAGE_CONTENT_SIZE, PAGE_SIZE
+from repro.utils.counters import CostCounters
 from repro.utils.validation import check_non_negative, check_vector
 
 __all__ = [
     "ChecksumError",
+    "ViTriColumns",
     "ViTriRecord",
     "ViTriRecordCodec",
     "pack_page_frame",
@@ -114,6 +116,79 @@ class ViTriRecord:
     position: np.ndarray
 
 
+@dataclass(frozen=True)
+class ViTriColumns:
+    """A batch of decoded ViTri records in columnar (struct-of-arrays) form.
+
+    Produced by the page-batched decode paths
+    (:meth:`ViTriRecordCodec.decode_columns` /
+    :meth:`ViTriRecordCodec.decode_batch`); row ``i`` of every column is
+    record ``i`` of the batch, in the order the records appeared in the
+    source bytes.
+
+    Attributes
+    ----------
+    video_ids, vitri_ids, counts:
+        ``int64`` arrays of shape ``(m,)``.
+    radii:
+        ``float64`` array of shape ``(m,)``.
+    positions:
+        ``float64`` array of shape ``(m, n)``.
+    """
+
+    video_ids: np.ndarray
+    vitri_ids: np.ndarray
+    counts: np.ndarray
+    radii: np.ndarray
+    positions: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.video_ids.shape[0])
+
+    def record(self, index: int) -> ViTriRecord:
+        """Materialise row ``index`` as a :class:`ViTriRecord`."""
+        return ViTriRecord(
+            video_id=int(self.video_ids[index]),
+            vitri_id=int(self.vitri_ids[index]),
+            count=int(self.counts[index]),
+            radius=float(self.radii[index]),
+            position=self.positions[index].copy(),
+        )
+
+    def take(self, selection: np.ndarray) -> "ViTriColumns":
+        """Rows selected by a boolean mask or integer index array."""
+        return ViTriColumns(
+            video_ids=self.video_ids[selection],
+            vitri_ids=self.vitri_ids[selection],
+            counts=self.counts[selection],
+            radii=self.radii[selection],
+            positions=self.positions[selection],
+        )
+
+    @classmethod
+    def empty(cls, dim: int) -> "ViTriColumns":
+        return cls(
+            video_ids=np.empty(0, dtype=np.int64),
+            vitri_ids=np.empty(0, dtype=np.int64),
+            counts=np.empty(0, dtype=np.int64),
+            radii=np.empty(0, dtype=np.float64),
+            positions=np.empty((0, dim), dtype=np.float64),
+        )
+
+    @classmethod
+    def concat(cls, parts: "list[ViTriColumns]", dim: int) -> "ViTriColumns":
+        """Concatenate batches, preserving row order."""
+        if not parts:
+            return cls.empty(dim)
+        return cls(
+            video_ids=np.concatenate([p.video_ids for p in parts]),
+            vitri_ids=np.concatenate([p.vitri_ids for p in parts]),
+            counts=np.concatenate([p.counts for p in parts]),
+            radii=np.concatenate([p.radii for p in parts]),
+            positions=np.concatenate([p.positions for p in parts]),
+        )
+
+
 class ViTriRecordCodec:
     """Fixed-size binary codec for :class:`ViTriRecord`.
 
@@ -135,6 +210,23 @@ class ViTriRecordCodec:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self._dim = dim
         self._record_size = self._HEADER.size + 8 * dim
+        # Packed structured view of one record; matches the struct layout
+        # byte for byte (<IIId has no padding), letting a whole page of
+        # records be decoded with a single buffer view.
+        self._record_dtype = np.dtype(
+            [
+                ("video_id", "<u4"),
+                ("vitri_id", "<u4"),
+                ("count", "<u4"),
+                ("radius", "<f8"),
+                ("position", "<f8", (dim,)),
+            ]
+        )
+        if self._record_dtype.itemsize != self._record_size:  # pragma: no cover
+            raise AssertionError(
+                "record dtype does not match the struct layout: "
+                f"{self._record_dtype.itemsize} != {self._record_size}"
+            )
 
     @property
     def dim(self) -> int:
@@ -145,6 +237,16 @@ class ViTriRecordCodec:
     def record_size(self) -> int:
         """Encoded size of one record in bytes."""
         return self._record_size
+
+    @property
+    def record_dtype(self) -> np.dtype:
+        """Packed numpy structured dtype of one encoded record.
+
+        Byte-compatible with :meth:`encode`'s output; bulk readers (the
+        B+-tree's ``range_search_many``) use it to view whole pages of
+        records without per-record unpacking.
+        """
+        return self._record_dtype
 
     def encode(self, record: ViTriRecord) -> bytes:
         """Serialise a record to ``record_size`` bytes."""
@@ -180,4 +282,82 @@ class ViTriRecordCodec:
             count=count,
             radius=radius,
             position=position,
+        )
+
+    def columns_from_struct(
+        self,
+        records: np.ndarray,
+        *,
+        counters: CostCounters | None = None,
+    ) -> ViTriColumns:
+        """Convert a :attr:`record_dtype` struct array to owned columns.
+
+        The returned columns are contiguous copies, so the source array
+        may be a transient view into a buffer-pool page.  Decode cost is
+        charged per logical record (``records_decoded``), exactly like
+        the per-record :meth:`decode` path charges it.
+        """
+        if records.dtype != self._record_dtype:
+            raise ValueError(
+                f"records dtype {records.dtype} != codec record dtype"
+            )
+        if counters is not None:
+            counters.records_decoded += int(records.shape[0])
+        return ViTriColumns(
+            video_ids=records["video_id"].astype(np.int64),
+            vitri_ids=records["vitri_id"].astype(np.int64),
+            counts=records["count"].astype(np.int64),
+            radii=records["radius"].astype(np.float64),
+            positions=records["position"].astype(np.float64),
+        )
+
+    def decode_columns(
+        self,
+        buffer: bytes | bytearray | memoryview,
+        count: int,
+        *,
+        offset: int = 0,
+        counters: CostCounters | None = None,
+    ) -> ViTriColumns:
+        """Decode ``count`` consecutive records with **one** buffer view.
+
+        This is the page-batch decode path: a single ``np.frombuffer``
+        over the records region replaces ``count`` per-record views (the
+        per-record pattern re-created a dtype view for every record —
+        ~29% of warm query time before this existed).  A test asserts the
+        one-view property by counting ``np.frombuffer`` calls.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        end = offset + count * self._record_size
+        if offset < 0 or end > len(buffer):
+            raise ValueError(
+                f"{count} records at offset {offset} need {end} bytes, "
+                f"buffer has {len(buffer)}"
+            )
+        view = np.frombuffer(
+            buffer, dtype=self._record_dtype, count=count, offset=offset
+        )
+        return self.columns_from_struct(view, counters=counters)
+
+    def decode_batch(
+        self,
+        payloads: "list[bytes]",
+        *,
+        counters: CostCounters | None = None,
+    ) -> ViTriColumns:
+        """Decode many single-record payloads as one columnar batch.
+
+        Accepts the output shape of :meth:`~repro.storage.heap_file.
+        HeapFile.read_batch`; charges ``records_decoded`` per record via
+        :meth:`columns_from_struct`.
+        """
+        for payload in payloads:
+            if len(payload) != self._record_size:
+                raise ValueError(
+                    f"payloads must be {self._record_size} bytes each, "
+                    f"got {len(payload)}"
+                )
+        return self.decode_columns(
+            b"".join(payloads), len(payloads), counters=counters
         )

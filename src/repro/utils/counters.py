@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["CostCounters", "Timer"]
+__all__ = ["CostCounters", "StageTimer", "Timer"]
 
 
 @dataclass
@@ -35,6 +35,10 @@ class CostCounters:
         B+-tree nodes traversed (internal + leaf).
     records_scanned:
         Candidate records pulled out of leaf pages / heap files.
+    records_decoded:
+        Records deserialised from their on-page bytes.  Charged per
+        logical record in both the per-record and the page-batched
+        decode paths, so the two report identical cost signatures.
     """
 
     page_reads: int = 0
@@ -44,6 +48,7 @@ class CostCounters:
     similarity_computations: int = 0
     btree_node_visits: int = 0
     records_scanned: int = 0
+    records_decoded: int = 0
     extra: dict = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -55,6 +60,7 @@ class CostCounters:
         self.similarity_computations = 0
         self.btree_node_visits = 0
         self.records_scanned = 0
+        self.records_decoded = 0
         self.extra.clear()
 
     def snapshot(self) -> dict:
@@ -67,6 +73,7 @@ class CostCounters:
             "similarity_computations": self.similarity_computations,
             "btree_node_visits": self.btree_node_visits,
             "records_scanned": self.records_scanned,
+            "records_decoded": self.records_decoded,
         }
         data.update(self.extra)
         return data
@@ -84,6 +91,7 @@ class CostCounters:
         self.similarity_computations += other.similarity_computations
         self.btree_node_visits += other.btree_node_visits
         self.records_scanned += other.records_scanned
+        self.records_decoded += other.records_decoded
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0) + value
 
@@ -101,6 +109,7 @@ class CostCounters:
             ),
             btree_node_visits=self.btree_node_visits + other.btree_node_visits,
             records_scanned=self.records_scanned + other.records_scanned,
+            records_decoded=self.records_decoded + other.records_decoded,
         )
         merged.extra = dict(self.extra)
         for key, value in other.extra.items():
@@ -135,3 +144,34 @@ class Timer:
     def __exit__(self, exc_type, exc, tb) -> None:
         # Sanctioned wrapper again (see __enter__).
         self.elapsed = time.perf_counter() - self._start  # vilint: disable=wall-clock-discipline
+
+
+class StageTimer:
+    """Accumulate a code block's wall time into a counter bundle.
+
+    The elapsed seconds land in ``counters.extra["stage_<name>_s"]``,
+    summing across blocks with the same stage name.  Because the time
+    rides in the per-query :class:`CostCounters` bundle, per-stage
+    breakdowns survive aggregation (``CostCounters.add``) exactly like
+    the event counters — this is what ``bench_latency.py`` plots as the
+    I/O / deserialize / geometry / merge split.
+
+    A ``None`` bundle makes the timer a no-op, so instrumented code
+    never needs to branch on whether it is being measured.
+    """
+
+    def __init__(self, counters: "CostCounters | None", stage: str) -> None:
+        self._counters = counters
+        self._key = f"stage_{stage}_s"
+        self._timer: Timer | None = None
+
+    def __enter__(self) -> "StageTimer":
+        if self._counters is not None:
+            self._timer = Timer().__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._timer is not None and self._counters is not None:
+            self._timer.__exit__(exc_type, exc, tb)
+            extra = self._counters.extra
+            extra[self._key] = extra.get(self._key, 0.0) + self._timer.elapsed

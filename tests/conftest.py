@@ -7,6 +7,26 @@ run once for the whole suite.
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite the golden ranking fixtures under tests/golden/ from "
+            "the current implementation instead of asserting against them. "
+            "Use only after an *intentional* scoring/layout change; commit "
+            "the regenerated files with the change that caused them."
+        ),
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """True when the run should regenerate golden fixtures."""
+    return request.config.getoption("--update-golden")
+
 from repro.core.index import VitriIndex
 from repro.core.summarize import summarize_video
 from repro.datasets.synthetic import DatasetConfig, generate_dataset

@@ -338,6 +338,78 @@ class TestCounterDiscipline:
         """
         assert not findings(source, "counter-discipline")
 
+    # -- convention 6: batched reads stay record-accurate ---------------
+
+    def test_batched_read_without_counters_param_flagged(self):
+        source = """\
+        def scan_batches(self):
+            return [self._page(i) for i in range(self.num_pages)]
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [1]
+        assert "batched read API" in diagnostics[0].message
+        assert "counters" in diagnostics[0].message
+
+    def test_batched_read_with_counters_param_clean(self):
+        source = """\
+        def range_search_many(self, ranges, *, counters=None):
+            out = []
+            for low, high in ranges:
+                entries = self._walk(low, high)
+                if counters is not None:
+                    counters.records_scanned += len(entries)
+                out.append(entries)
+            return out
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_batched_read_charging_constant_flagged(self):
+        source = """\
+        def decode_batch(self, payloads, *, counters=None):
+            if counters is not None:
+                counters.records_decoded += 1
+            return self._decode_all(payloads)
+        """
+        diagnostics = findings(source, "counter-discipline")
+        assert [d.line for d in diagnostics] == [3]
+        assert "literal constant" in diagnostics[0].message
+
+    def test_batched_read_charging_batch_size_clean(self):
+        source = """\
+        def decode_batch(self, payloads, *, counters=None):
+            if counters is not None:
+                counters.records_decoded += len(payloads)
+            return self._decode_all(payloads)
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_bulk_load_is_not_a_batched_read(self):
+        # "load" is deliberately not a read verb: one-time construction
+        # is not query work and carries no per-query bundle.
+        source = """\
+        def bulk_load(self, entries):
+            for key, payload in entries:
+                self._append(key, payload)
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_batch_marker_without_read_verb_clean(self):
+        source = """\
+        def knn_many(self, queries, k):
+            return [self._knn(query, k) for query in queries]
+        """
+        assert not findings(source, "counter-discipline")
+
+    def test_raw_batch_kernel_exempt_from_convention_six(self):
+        # estimated_shared_frames_many is a RAW_KERNELS member: its
+        # callers account for it (convention 2), the kernel itself stays
+        # signature-free.
+        source = """\
+        def estimated_shared_frames_many(query, positions, radii, counts):
+            return _compute(query, positions, radii, counts)
+        """
+        assert not findings(source, "counter-discipline")
+
 
 # ---------------------------------------------------------------------------
 # boundary-validation

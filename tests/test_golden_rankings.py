@@ -1,0 +1,155 @@
+"""Golden-ranking regression fixtures.
+
+Three seeded corpora are frozen under ``tests/golden/``: for each, the
+full KNN answer of every query — ranked videos, the *exact* score floats
+(round-tripped through ``repr`` so every bit is pinned), and the logical
+cost signature.  Any change to clustering, the 1-D transform, the
+geometry kernels, score folding, or the counter discipline shows up here
+as a diff against a committed file rather than a silently shifted
+number.
+
+Regenerating: run ``pytest tests/test_golden_rankings.py --update-golden``
+after an intentional behaviour change and commit the new fixtures
+together with the code that changed them.  The test fails (rather than
+writes) by default so CI can never "self-heal" a regression.
+
+Physical I/O counts are part of the signature: queries run cold against
+a fixed buffer capacity, so ``page_requests`` / ``physical_reads`` are
+deterministic.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.index import VitriIndex
+from repro.core.summarize import summarize_video
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.utils.counters import CostCounters
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+SEEDS = (101, 202, 303)
+EPSILON = 0.3
+DIM = 16
+K = 5
+BUFFER_CAPACITY = 64  # fixed so cold physical reads are reproducible
+
+
+def build_corpus(seed):
+    config = DatasetConfig(
+        dim=DIM,
+        num_families=3,
+        family_size=3,
+        num_distractors=5,
+        duration_classes=((30, 0.6), (20, 0.4)),
+    )
+    dataset = generate_dataset(config, seed=seed)
+    summaries = [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=seed + i)
+        for i in range(dataset.num_videos)
+    ]
+    index = VitriIndex.build(
+        summaries, EPSILON, buffer_capacity=BUFFER_CAPACITY
+    )
+    return summaries, index
+
+
+def snapshot_corpus(seed):
+    """The corpus's full golden record: every video queried, both methods."""
+    summaries, index = build_corpus(seed)
+    queries = {}
+    for query in summaries:
+        per_method = {}
+        for method in ("composed", "naive"):
+            counters = CostCounters()
+            result = index.knn(
+                query,
+                K,
+                method=method,
+                cold=True,
+                out_counters=counters,
+            )
+            per_method[method] = {
+                "videos": list(result.videos),
+                # repr round-trips the exact float64 bits through JSON.
+                "scores": [repr(score) for score in result.scores],
+                "cost": {
+                    "page_requests": result.stats.page_requests,
+                    "physical_reads": result.stats.physical_reads,
+                    "node_visits": result.stats.node_visits,
+                    "similarity_computations": (
+                        result.stats.similarity_computations
+                    ),
+                    "candidates": result.stats.candidates,
+                    "ranges": result.stats.ranges,
+                    "records_scanned": counters.records_scanned,
+                    "records_decoded": counters.records_decoded,
+                },
+            }
+        queries[str(query.video_id)] = per_method
+    return {
+        "seed": seed,
+        "epsilon": EPSILON,
+        "dim": DIM,
+        "k": K,
+        "buffer_capacity": BUFFER_CAPACITY,
+        "num_videos": len(summaries),
+        "queries": queries,
+    }
+
+
+def golden_path(seed):
+    return os.path.join(GOLDEN_DIR, f"rankings_seed_{seed}.json")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rankings_match_golden(seed, update_golden):
+    current = snapshot_corpus(seed)
+    path = golden_path(seed)
+    if update_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        pytest.skip(f"golden fixture regenerated: {path}")
+    assert os.path.exists(path), (
+        f"missing golden fixture {path}; generate it with "
+        "pytest tests/test_golden_rankings.py --update-golden"
+    )
+    with open(path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    # Compare piecewise for actionable failure messages before the full
+    # structural equality check.
+    assert current["num_videos"] == golden["num_videos"]
+    for video_id, per_method in golden["queries"].items():
+        for method, want in per_method.items():
+            got = current["queries"][video_id][method]
+            assert got["videos"] == want["videos"], (
+                f"seed {seed} query {video_id} ({method}): ranking changed"
+            )
+            assert got["scores"] == want["scores"], (
+                f"seed {seed} query {video_id} ({method}): score bits changed"
+            )
+            assert got["cost"] == want["cost"], (
+                f"seed {seed} query {video_id} ({method}): cost signature "
+                "changed"
+            )
+    assert current == golden
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scalar_impl_reproduces_golden_scores(seed):
+    """The scalar oracle reproduces the frozen (vectorized) score bits."""
+    path = golden_path(seed)
+    if not os.path.exists(path):
+        pytest.skip("golden fixture not generated yet")
+    with open(path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    summaries, index = build_corpus(seed)
+    for query in summaries[:3]:
+        want = golden["queries"][str(query.video_id)]["composed"]
+        result = index.knn(query, K, impl="scalar", cold=True)
+        assert list(result.videos) == want["videos"]
+        assert [repr(score) for score in result.scores] == want["scores"]

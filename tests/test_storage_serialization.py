@@ -78,3 +78,86 @@ class TestViTriRecordCodec:
         codec = ViTriRecordCodec(dim=3)
         decoded = codec.decode(codec.encode(sample_record(3)))
         decoded.position[0] = 99.0  # must not raise (not a frozen buffer view)
+
+
+class TestSinglePageBufferView:
+    """The page-batched decode path must touch the buffer exactly once.
+
+    PR 6 decoded leaf payloads one record at a time — one
+    ``np.frombuffer`` (plus dtype churn) per record.  The columnar path
+    replaces that with a single structured-dtype view over the whole
+    page; these tests pin the "exactly one view" property so the
+    per-record pattern cannot creep back in.
+    """
+
+    def _count_frombuffer(self, monkeypatch):
+        import repro.storage.serialization as serialization
+
+        calls = []
+        original = serialization.np.frombuffer
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(serialization.np, "frombuffer", counting)
+        return calls
+
+    def test_full_page_decode_is_one_buffer_view(self, monkeypatch):
+        codec = ViTriRecordCodec(dim=16)
+        records = [
+            ViTriRecord(
+                video_id=i,
+                vitri_id=i * 10,
+                count=i + 1,
+                radius=0.01 * i,
+                position=np.full(16, float(i)),
+            )
+            for i in range(50)  # a full page worth of records
+        ]
+        page = b"".join(codec.encode(r) for r in records)
+        calls = self._count_frombuffer(monkeypatch)
+        columns = codec.decode_columns(page, len(records))
+        assert len(calls) == 1, (
+            f"full-page decode made {len(calls)} buffer views, expected 1"
+        )
+        assert len(columns) == len(records)
+        assert list(columns.video_ids) == [r.video_id for r in records]
+
+    def test_decode_batch_is_one_buffer_view(self, monkeypatch):
+        codec = ViTriRecordCodec(dim=4)
+        payloads = [codec.encode(sample_record(4)) for _ in range(20)]
+        calls = self._count_frombuffer(monkeypatch)
+        columns = codec.decode_batch(payloads)
+        assert len(calls) == 1
+        assert len(columns) == 20
+
+    def test_record_dtype_matches_wire_layout(self):
+        """The structured dtype is byte-for-byte the scalar wire format."""
+        codec = ViTriRecordCodec(dim=8)
+        assert codec.record_dtype.itemsize == codec.record_size
+        record = sample_record(8)
+        struct_view = np.frombuffer(
+            codec.encode(record), dtype=codec.record_dtype
+        )[0]
+        assert struct_view["video_id"] == record.video_id
+        assert struct_view["vitri_id"] == record.vitri_id
+        assert struct_view["count"] == record.count
+        assert struct_view["radius"] == record.radius
+        assert np.array_equal(struct_view["position"], record.position)
+
+    def test_decode_columns_validates_bounds(self):
+        codec = ViTriRecordCodec(dim=2)
+        payload = codec.encode(sample_record(2))
+        with pytest.raises(ValueError):
+            codec.decode_columns(payload, 2)  # buffer too short
+        with pytest.raises(ValueError):
+            codec.decode_columns(payload, -1)
+        with pytest.raises(ValueError):
+            codec.decode_columns(payload, 1, offset=-4)
+
+    def test_decode_batch_validates_payload_sizes(self):
+        codec = ViTriRecordCodec(dim=2)
+        good = codec.encode(sample_record(2))
+        with pytest.raises(ValueError):
+            codec.decode_batch([good, good[:-1]])
