@@ -14,8 +14,9 @@ Each stage of the query is attributed via the counters' stage timers:
 * ``geometry``    — sphere-intersection shared-frame estimation,
 * ``merge``       — score folding and video-level aggregation.
 
-Writes ``benchmarks/results/BENCH_latency.json`` and enforces two
-gates so CI catches regressions:
+Writes ``BENCH_latency.json`` at the repository root (every
+``bench_*.py`` lands its ``BENCH_<name>.json`` artifact there) and
+enforces two gates so CI catches regressions:
 
 1. the vectorized path must be >= ``MIN_SPEEDUP`` faster (p50) than the
    per-record baseline, and
@@ -38,12 +39,14 @@ import repro
 from repro.datasets import DatasetConfig, generate_dataset
 from repro.utils.counters import CostCounters, Timer
 
-from _common import RESULTS_DIR, summarize_dataset
+from _common import summarize_dataset
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(__file__), "baselines", "BENCH_latency_baseline.json"
 )
-OUTPUT_PATH = os.path.join(RESULTS_DIR, "BENCH_latency.json")
+OUTPUT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_latency.json"
+)
 
 EPSILON = 0.22
 K = 10

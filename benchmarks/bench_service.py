@@ -1,0 +1,134 @@
+"""Network service under burst load — availability, shedding, tail latency.
+
+The serving and sharding benchmarks measure in-process engines; this one
+stands up the whole deployed stack — a durable fleet opened as a
+:class:`repro.serve.frontdoor.NetworkFleet` (thread-mode shard servers,
+remote proxies over real TCP, read-only router, bounded front door) —
+and drives it through two phases: an uncontended serial baseline, then a
+closed-loop burst where every client offers twice its admission quota.
+
+Correctness is asserted *inside* the sweep (every completed answer is
+bit-identical to the in-process router's ranking), so the benchmark
+gates on the serving numbers: the over-admitted excess sheds typed, the
+admitted fraction completes at ≥ 99% availability, and the burst p99
+stays within a bounded multiple of the baseline p50.  Written to
+``BENCH_service.json`` (the artifact CI uploads).
+"""
+
+import json
+import os
+
+from repro.eval.service import run_service_benchmark
+from repro.eval.serving import make_query_stream
+
+from _common import save_result, summarize_dataset
+from repro.datasets import generate_dataset
+from repro.eval import format_table
+
+EPSILON = 0.3
+K = 10
+NUM_QUERIES = 16
+NUM_SHARDS = 3
+WORKERS = 2
+MAX_QUEUE = 8
+CLIENTS = 4
+OVERADMISSION = 2.0
+SEED = 0
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_service.json")
+
+
+def run_experiment():
+    dataset = generate_dataset(seed=7)
+    summaries = summarize_dataset(dataset, EPSILON)
+    stream = make_query_stream(
+        summaries, NUM_QUERIES, seed=SEED, repeat_fraction=0.0
+    )
+    results = run_service_benchmark(
+        summaries,
+        stream,
+        K,
+        epsilon=EPSILON,
+        num_shards=NUM_SHARDS,
+        workers=WORKERS,
+        max_queue=MAX_QUEUE,
+        clients=CLIENTS,
+        overadmission=OVERADMISSION,
+    )
+    burst, baseline = results["burst"], results["baseline"]
+    rows = [
+        (
+            "baseline",
+            baseline["latency"]["samples"],
+            baseline["latency"]["samples"],
+            0,
+            "1.000",
+            f"{baseline['latency']['p50_ms']:.1f}",
+            f"{baseline['latency']['p99_ms']:.1f}",
+        ),
+        (
+            "burst",
+            burst["offered"],
+            burst["admitted"],
+            burst["shed"],
+            f"{burst['availability']:.3f}",
+            f"{burst['latency']['p50_ms']:.1f}",
+            f"{burst['latency']['p99_ms']:.1f}",
+        ),
+    ]
+    table = format_table(
+        ["phase", "offered", "admitted", "shed", "avail", "p50 ms", "p99 ms"],
+        rows,
+        title=(
+            f"network service: {NUM_SHARDS} shards, {CLIENTS} clients x "
+            f"{NUM_QUERIES} queries at {OVERADMISSION:.0f}x quota, k={K}, "
+            f"{len(summaries)} videos"
+        ),
+    )
+    return table, results, summaries, stream
+
+
+def _write(results) -> None:
+    with open(os.path.abspath(JSON_PATH), "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+
+
+def _gate(results) -> None:
+    burst = results["burst"]
+    # Acceptance: under 2x over-admission every admitted query completes
+    # (≥ 99% availability), the excess sheds typed rather than erroring,
+    # and the tail stays bounded by the queue, not by offered load.
+    assert burst["availability"] >= 0.99, burst["availability"]
+    assert burst["shed"] > 0, "burst never shed: no over-admission happened"
+    assert burst["frontdoor"]["shed_rate_limited"] > 0, burst["frontdoor"]
+    assert results["p99_within_bound"], (
+        burst["latency"]["p99_ms"],
+        results["p99_bound_ms"],
+    )
+
+
+def test_service_availability(benchmark):
+    table, results, summaries, stream = run_experiment()
+    save_result("service_availability", table)
+    _write(results)
+    _gate(results)
+
+    benchmark(
+        lambda: run_service_benchmark(
+            summaries,
+            stream[:4],
+            K,
+            epsilon=EPSILON,
+            num_shards=NUM_SHARDS,
+            workers=WORKERS,
+            clients=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    table, results, _, _ = run_experiment()
+    save_result("service_availability", table)
+    _write(results)
+    print(f"\nwrote {os.path.abspath(JSON_PATH)}")
+    _gate(results)

@@ -9,13 +9,15 @@ unseeded RNG.  Time comes from the injected
 from a seeded ``blake2b`` hash of ``(seed, shard, attempt)``.
 
 This rule polices the resilience paths (``shard/resilience.py`` and
-``shard/faults.py``): any call into the ``time`` module (``sleep``
-included — a real sleep would stall a virtual-clock test and desync the
-thread-local offsets), the ``random`` module, or ``numpy.random`` is an
-error there.  VIL006 (wall-clock-discipline) already flags clock *reads*
-repo-wide; this rule is stricter on the scoped paths because in the
-resilience layer even a non-clock call like ``time.sleep`` breaks
-determinism.
+``shard/faults.py``) and the whole service layer (``repro/serve/`` —
+token-bucket refills, admission timing and wire deadlines must replay
+under a ``VirtualClock`` exactly like the in-process scatter): any call
+into the ``time`` module (``sleep`` included — a real sleep would stall
+a virtual-clock test and desync the thread-local offsets), the
+``random`` module, or ``numpy.random`` is an error there.  VIL006
+(wall-clock-discipline) already flags clock *reads* repo-wide; this
+rule is stricter on the scoped paths because in the resilience layer
+even a non-clock call like ``time.sleep`` breaks determinism.
 """
 
 from __future__ import annotations
@@ -29,8 +31,11 @@ from repro.analysis.registry import Rule, register
 
 __all__ = ["InjectedClockRule"]
 
-# Paths (normalised to "/") whose modules must use the injected clock.
+# Paths (normalised to "/") whose modules must use the injected clock:
+# exact file suffixes, plus whole directories matched by containment
+# (``endswith`` cannot scope a package).
 _SCOPED_PATHS = ("shard/resilience.py", "shard/faults.py")
+_SCOPED_DIRS = ("repro/serve/",)
 
 _BANNED_PREFIXES = ("time.", "random.", "numpy.random.", "np.random.")
 
@@ -52,7 +57,9 @@ class InjectedClockRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         path = ctx.path.replace("\\", "/")
-        if not path.endswith(_SCOPED_PATHS):
+        if not path.endswith(_SCOPED_PATHS) and not any(
+            directory in path for directory in _SCOPED_DIRS
+        ):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):

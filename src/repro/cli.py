@@ -42,6 +42,15 @@ invalid breaker states, shards that would be skipped at open time).
 fleet) and reports availability plus tail latency; ``repro-video
 fleet-health`` opens a durable fleet and prints each shard's health
 counters and breaker state.
+
+``repro-video serve`` stands a durable fleet directory up as a network
+service: one shard server per shard (in-process threads or spawned
+subprocesses), a read-only scatter router over remote proxies, and a
+TCP front door with bounded admission.  Ctrl-C drains gracefully.
+``repro-video bench-service`` runs the end-to-end burst benchmark
+against that stack (baseline pass, then every client offering
+``--overadmission`` times its admission quota) and reports availability,
+typed-shed counts and tail latency.
 """
 
 from __future__ import annotations
@@ -372,6 +381,130 @@ def _cmd_bench_faults(args: argparse.Namespace) -> int:
     print(
         f"\navailability: {results['availability']:.4f} "
         f"(p99 latency {results['p99_latency'] * 1e3:.1f} ms)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote metrics to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.frontdoor import FrontDoorServer, NetworkFleet
+
+    try:
+        fleet = NetworkFleet(
+            args.index,
+            mode=args.mode,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            rate=args.rate,
+            burst=args.burst,
+            drain_timeout=args.drain_timeout,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot open fleet: {exc}", file=sys.stderr)
+        return 1
+    try:
+        server = FrontDoorServer(
+            fleet.frontdoor, host=args.host, port=args.port
+        )
+        host, port = server.run_in_thread()
+        status = fleet.status()
+        videos = sum(
+            entry["videos"] for entry in status["shards"].values()
+        )
+        print(
+            f"serving {videos} videos across {fleet.num_shards} "
+            f"{args.mode}-mode shard server(s) on {host}:{port}"
+        )
+        print("Ctrl-C drains the front door and shard servers, then exits")
+        try:
+            while not server.wait_closed(1.0):
+                pass
+        except KeyboardInterrupt:
+            print("\ndraining...")
+        server.stop()
+        server.wait_closed(args.drain_timeout + 5.0)
+    finally:
+        fleet.close()
+    print("drained; all shard servers stopped")
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.service import run_service_benchmark
+    from repro.eval.serving import make_query_stream
+
+    if args.dataset:
+        dataset = VideoDataset.load(args.dataset)
+    else:
+        dataset = generate_dataset(seed=args.seed)
+    summaries = _summaries(dataset, args.epsilon)
+    stream = make_query_stream(
+        summaries, args.queries, seed=args.seed, repeat_fraction=0.0
+    )
+    try:
+        results = run_service_benchmark(
+            summaries,
+            stream,
+            args.k,
+            epsilon=args.epsilon,
+            num_shards=args.shards,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            clients=args.clients,
+            overadmission=args.overadmission,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    baseline, burst = results["baseline"], results["burst"]
+    rows = [
+        (
+            "baseline",
+            baseline["latency"]["samples"],
+            baseline["latency"]["samples"],
+            0,
+            "1.000",
+            f"{baseline['latency']['p50_ms']:.1f}",
+            f"{baseline['latency']['p99_ms']:.1f}",
+        ),
+        (
+            "burst",
+            burst["offered"],
+            burst["admitted"],
+            burst["shed"],
+            f"{burst['availability']:.3f}",
+            f"{burst['latency']['p50_ms']:.1f}",
+            f"{burst['latency']['p99_ms']:.1f}",
+        ),
+    ]
+    print(
+        format_table(
+            [
+                "phase",
+                "offered",
+                "admitted",
+                "shed",
+                "avail",
+                "p50 ms",
+                "p99 ms",
+            ],
+            rows,
+            title=(
+                f"network service: {results['num_shards']} shards, "
+                f"{results['clients']} clients at "
+                f"{results['overadmission']:.1f}x quota, k={results['k']}"
+            ),
+        )
+    )
+    print(
+        f"\navailability: {burst['availability']:.4f} "
+        f"(p99 {burst['latency']['p99_ms']:.1f} ms, "
+        f"bound {results['p99_bound_ms']:.1f} ms)"
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -848,6 +981,98 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write full metrics JSON here"
     )
     bench_faults.set_defaults(func=_cmd_bench_faults)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a durable fleet over TCP behind a bounded front door",
+        description=(
+            "Start one shard server per shard of a fleet directory, a "
+            "read-only scatter router over remote proxies, and a TCP "
+            "front door with bounded admission. Ctrl-C drains gracefully."
+        ),
+    )
+    serve.add_argument("--index", required=True, help="fleet directory")
+    serve.add_argument(
+        "--mode",
+        choices=("thread", "subprocess"),
+        default="thread",
+        help="run shard servers on threads or as child processes",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="front-door port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="front-door worker threads"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=32, help="admission queue depth"
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client token-bucket refill (queries/s; default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-client token-bucket capacity (default: --rate)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for in-flight queries at shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_service = commands.add_parser(
+        "bench-service",
+        help="benchmark the network service under an over-admission burst",
+        description=(
+            "Stand a fleet up as a network service (thread-mode shard "
+            "servers, front door) and drive it through a serial baseline "
+            "and a closed-loop burst at --overadmission times each "
+            "client's admission quota; rankings are asserted bit-identical "
+            "to the in-process router inside the sweep. Write metrics as "
+            "JSON."
+        ),
+    )
+    bench_service.add_argument(
+        "--dataset",
+        default=None,
+        help=".npz dataset (default: generate a small synthetic one)",
+    )
+    bench_service.add_argument("--epsilon", type=float, default=0.3)
+    bench_service.add_argument("--k", type=int, default=10)
+    bench_service.add_argument(
+        "--queries", type=int, default=16, help="query-stream length"
+    )
+    bench_service.add_argument(
+        "--shards", type=int, default=3, help="fleet size"
+    )
+    bench_service.add_argument(
+        "--workers", type=int, default=2, help="front-door worker threads"
+    )
+    bench_service.add_argument(
+        "--max-queue", type=int, default=8, help="admission queue depth"
+    )
+    bench_service.add_argument(
+        "--clients", type=int, default=4, help="burst client threads"
+    )
+    bench_service.add_argument(
+        "--overadmission",
+        type=float,
+        default=2.0,
+        help="offered load as a multiple of each client's quota",
+    )
+    bench_service.add_argument("--seed", type=int, default=0)
+    bench_service.add_argument(
+        "--out", default=None, help="write full metrics JSON here"
+    )
+    bench_service.set_defaults(func=_cmd_bench_service)
 
     fleet_health = commands.add_parser(
         "fleet-health",

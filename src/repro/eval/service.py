@@ -1,0 +1,289 @@
+"""End-to-end service evaluation: the network fleet under admission load.
+
+The serving and sharding benchmarks measure engines and routers held in
+the caller's hands; this one measures the whole stack as deployed — a
+durable fleet opened as a :class:`~repro.serve.frontdoor.NetworkFleet`
+(thread-mode shard servers, remote proxies over real TCP, read-only
+router, front door).  :func:`run_service_benchmark` answers the
+production questions the in-process benchmarks cannot:
+
+* **Exactness over the wire** — every completed answer is asserted
+  bit-identical to the in-process router's ranking for the same query.
+* **Availability under over-admission** — a burst phase offers each
+  client ``overadmission``× its admission quota.  The excess must be
+  shed *synchronously and typed* (:class:`~repro.serve.protocol.RateLimited`,
+  :class:`~repro.serve.protocol.ServiceOverloaded`), never queued to
+  die; everything admitted must complete.  The acceptance number is
+  ``completed / admitted``.
+* **Bounded tail latency** — admitted queries ride a bounded queue, so
+  the burst p99 must stay within a small multiple of the uncontended
+  baseline p50 (queue depth bounds the wait), not grow with offered
+  load.
+
+Shedding is made deterministic the same way the front-door tests do it:
+each burst client gets a token bucket whose burst capacity *is* its
+admission quota and whose refill rate is negligible over the run, so
+exactly the over-admitted excess is refused regardless of machine speed.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+
+from repro.core.vitri import VideoSummary
+from repro.serve.frontdoor import NetworkFleet
+from repro.serve.protocol import (
+    RateLimited,
+    ServiceDraining,
+    ServiceOverloaded,
+)
+from repro.shard.router import ShardedVideoDatabase
+from repro.utils.counters import Timer
+from repro.utils.stats import percentile
+from repro.utils.validation import check_positive
+
+__all__ = ["run_service_benchmark"]
+
+# Refill slow enough that no bucket earns a whole extra token within any
+# plausible run length (1e-6 tokens/s ~ one token per 11.6 days).
+_NEGLIGIBLE_RATE = 1e-6
+
+
+def _build_fleet_dir(
+    path: str,
+    summaries: list[VideoSummary],
+    num_shards: int,
+    *,
+    epsilon: float,
+) -> None:
+    """Write a durable ``num_shards``-way fleet of ``summaries``."""
+    db = ShardedVideoDatabase(
+        epsilon, partitioner="hash", num_shards=num_shards, path=path
+    )
+    try:
+        for summary in summaries:
+            db.add_summary(summary)
+    finally:
+        db.close()
+
+
+def _latency_summary(latencies_s: list[float]) -> dict:
+    """p50/p95/p99/max of a latency sample, in milliseconds."""
+    ordered = sorted(latencies_s)
+    return {
+        "samples": len(ordered),
+        "p50_ms": percentile(ordered, 0.50, default=0.0) * 1e3,
+        "p95_ms": percentile(ordered, 0.95, default=0.0) * 1e3,
+        "p99_ms": percentile(ordered, 0.99, default=0.0) * 1e3,
+        "max_ms": (ordered[-1] * 1e3) if ordered else 0.0,
+    }
+
+
+def run_service_benchmark(
+    summaries: list[VideoSummary],
+    stream: list[VideoSummary],
+    k: int,
+    *,
+    epsilon: float,
+    num_shards: int = 3,
+    workers: int = 2,
+    max_queue: int = 8,
+    clients: int = 4,
+    overadmission: float = 2.0,
+    timeout: float = 60.0,
+) -> dict:
+    """Drive a network fleet through a baseline pass and a shed burst.
+
+    Builds a durable fleet of ``summaries`` in a temporary directory,
+    computes in-process reference rankings for the whole ``stream``,
+    then runs two phases against thread-mode network fleets:
+
+    1. **Baseline** — the stream served serially through an uncontended
+       front door; per-query wall latencies set the tail-latency yard
+       stick and every ranking is asserted bit-identical to the
+       reference.
+    2. **Burst** — ``clients`` threads replay the stream closed-loop
+       through a rate-limited front door whose per-client quota admits
+       only ``1/overadmission`` of each client's offered queries.  The
+       excess must shed typed; admitted queries must all complete with
+       reference rankings.
+
+    The returned dict is JSON-serialisable — the payload of
+    ``BENCH_service.json``.  A ranking mismatch or an untyped failure
+    raises instead of reporting: a service that answers wrong or sheds
+    with a stack trace has no availability number worth printing.
+    """
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    check_positive(overadmission, "overadmission")
+    if overadmission <= 1.0:
+        raise ValueError(
+            f"overadmission must exceed 1.0 to create a burst, got "
+            f"{overadmission}"
+        )
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = f"{tmp}/fleet"
+        _build_fleet_dir(fleet_dir, summaries, num_shards, epsilon=epsilon)
+
+        with ShardedVideoDatabase(epsilon, path=fleet_dir) as db:
+            reference = {
+                summary.video_id: db.knn(summary, k) for summary in summaries
+            }
+
+        baseline = _run_baseline(
+            fleet_dir, stream, k,
+            reference=reference, workers=workers, max_queue=max_queue,
+            timeout=timeout,
+        )
+        burst = _run_burst(
+            fleet_dir, stream, k,
+            reference=reference, workers=workers, max_queue=max_queue,
+            clients=clients, overadmission=overadmission, timeout=timeout,
+        )
+
+    # The queue is bounded, so an admitted query waits behind at most
+    # max_queue predecessors; give slow shared machines a generous
+    # floor, but never let the tail scale with offered load.
+    p99_bound_ms = max(50.0, 30.0 * baseline["latency"]["p50_ms"])
+    return {
+        "k": k,
+        "videos": len(summaries),
+        "queries": len(stream),
+        "num_shards": num_shards,
+        "workers": workers,
+        "max_queue": max_queue,
+        "clients": clients,
+        "overadmission": overadmission,
+        "baseline": baseline,
+        "burst": burst,
+        "p99_bound_ms": p99_bound_ms,
+        "p99_within_bound": burst["latency"]["p99_ms"] <= p99_bound_ms,
+    }
+
+
+def _run_baseline(
+    fleet_dir: str,
+    stream: list[VideoSummary],
+    k: int,
+    *,
+    reference: dict,
+    workers: int,
+    max_queue: int,
+    timeout: float,
+) -> dict:
+    """Serial pass through an uncontended front door."""
+    latencies: list[float] = []
+    with NetworkFleet(
+        fleet_dir, mode="thread", workers=workers, max_queue=max_queue
+    ) as fleet:
+        for position, query in enumerate(stream):
+            timer = Timer()
+            with timer:
+                result = fleet.query_sync(query, k, timeout=timeout)
+            latencies.append(timer.elapsed)
+            _check_ranking(position, query, result, reference)
+        stats = fleet.frontdoor.stats()
+    return {
+        "latency": _latency_summary(latencies),
+        "frontdoor": stats,
+    }
+
+
+def _run_burst(
+    fleet_dir: str,
+    stream: list[VideoSummary],
+    k: int,
+    *,
+    reference: dict,
+    workers: int,
+    max_queue: int,
+    clients: int,
+    overadmission: float,
+    timeout: float,
+) -> dict:
+    """Closed-loop client threads offering ``overadmission``× quota."""
+    offered_per_client = len(stream)
+    quota = max(1, int(offered_per_client / overadmission))
+    outcomes: list[list[tuple[str, float]]] = [[] for _ in range(clients)]
+    errors: list[BaseException | None] = [None] * clients
+
+    with NetworkFleet(
+        fleet_dir,
+        mode="thread",
+        workers=workers,
+        max_queue=max_queue,
+        rate=_NEGLIGIBLE_RATE,
+        burst=float(quota),
+    ) as fleet:
+
+        def run_client(index: int) -> None:
+            name = f"client-{index}"
+            mine = outcomes[index]
+            try:
+                # Each client walks the stream from its own offset so
+                # concurrent clients exercise different shards.
+                for position in range(offered_per_client):
+                    query = stream[(position + index) % len(stream)]
+                    timer = Timer()
+                    try:
+                        with timer:
+                            result = fleet.query_sync(
+                                query, k, client=name, timeout=timeout
+                            )
+                    except (
+                        RateLimited, ServiceOverloaded, ServiceDraining
+                    ):
+                        mine.append(("shed", 0.0))
+                        continue
+                    _check_ranking(position, query, result, reference)
+                    mine.append(("ok", timer.elapsed))
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors[index] = exc
+
+        threads = [
+            threading.Thread(
+                target=run_client, args=(index,), name=f"bench-client-{index}"
+            )
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout * offered_per_client)
+        stats = fleet.frontdoor.stats()
+
+    for exc in errors:
+        if exc is not None:
+            raise exc
+
+    flat = [entry for client_log in outcomes for entry in client_log]
+    offered = len(flat)
+    shed = sum(1 for kind, _ in flat if kind == "shed")
+    completed = sum(1 for kind, _ in flat if kind == "ok")
+    admitted = offered - shed
+    latencies = [elapsed for kind, elapsed in flat if kind == "ok"]
+    return {
+        "offered": offered,
+        "admitted": admitted,
+        "shed": shed,
+        "completed": completed,
+        "availability": (completed / admitted) if admitted else 0.0,
+        "latency": _latency_summary(latencies),
+        "frontdoor": stats,
+    }
+
+
+def _check_ranking(
+    position: int, query: VideoSummary, result, reference: dict
+) -> None:
+    want = reference[query.video_id]
+    if result.videos != want.videos or result.scores != want.scores:
+        raise RuntimeError(
+            f"network ranking diverged from the in-process reference at "
+            f"stream position {position} (query video "
+            f"{query.video_id}): {result.videos} != {want.videos}"
+        )

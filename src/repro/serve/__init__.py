@@ -1,0 +1,65 @@
+"""Network service layer over the sharded ViTri database.
+
+The in-process :class:`~repro.shard.router.ShardedVideoDatabase` scatters
+sub-queries to :class:`~repro.shard.shard.Shard` objects through direct
+method calls.  This package stands the same fleet up as a network
+service without changing any ranking:
+
+* :mod:`repro.serve.protocol` — the length-prefixed binary framing, the
+  bit-exact :class:`~repro.core.vitri.VideoSummary` codec, and the typed
+  error mapping every other module speaks.
+* :mod:`repro.serve.shard_server` — one asyncio TCP server per shard
+  (in-process thread or real subprocess) executing sub-queries on a
+  single worker thread with budget-aware deadlines.
+* :mod:`repro.serve.transport` — :class:`~repro.serve.transport.RemoteShard`,
+  a shard proxy speaking the protocol; it plugs straight into the
+  router's scatter seam via
+  :meth:`~repro.shard.router.ShardedVideoDatabase.from_shards`.
+* :mod:`repro.serve.frontdoor` — the serving loop: bounded admission
+  queue, per-client token buckets, typed load shedding, graceful drain,
+  and :class:`~repro.serve.frontdoor.NetworkFleet`, which spawns a
+  server per shard and restarts one under live traffic.
+
+Because every shard computes its sub-query with the same engine code and
+scores travel as JSON floats (Python's ``repr`` shortest round-trip is
+exact), rankings through the network path are bit-identical to the
+in-process router's.
+"""
+
+from __future__ import annotations
+
+from repro.serve.frontdoor import (
+    FrontDoor,
+    FrontDoorServer,
+    NetworkFleet,
+    TokenBucket,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    RateLimited,
+    RemoteShardError,
+    ServiceDraining,
+    ServiceOverloaded,
+)
+from repro.serve.shard_server import ShardServer, ShardServerHandle
+from repro.serve.transport import RemoteShard, RemoteShardClient
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrontDoor",
+    "FrontDoorServer",
+    "NetworkFleet",
+    "ProtocolError",
+    "RateLimited",
+    "RemoteShard",
+    "RemoteShardClient",
+    "RemoteShardError",
+    "ServiceDraining",
+    "ServiceOverloaded",
+    "ShardServer",
+    "ShardServerHandle",
+    "TokenBucket",
+]

@@ -1,0 +1,759 @@
+"""The fleet's front door: admission, shedding, drain, restart.
+
+:class:`FrontDoor` sits between clients and a
+:class:`~repro.shard.router.ShardedVideoDatabase` (usually one built
+with :meth:`~repro.shard.router.ShardedVideoDatabase.from_shards` over
+:class:`~repro.serve.transport.RemoteShard` proxies) and decides, for
+every query, *whether it runs at all* before any work is spent on it:
+
+1. **Draining?**  A front door that has begun shutting down sheds with
+   :class:`~repro.serve.protocol.ServiceDraining`.
+2. **Rate limit.**  Each client name owns a :class:`TokenBucket`; an
+   empty bucket sheds with :class:`~repro.serve.protocol.RateLimited`.
+3. **Queue depth.**  Admission is a ``put_nowait`` into a bounded
+   queue; a full queue sheds with
+   :class:`~repro.serve.protocol.ServiceOverloaded`.
+
+Shedding is *cheap by construction*: all three checks happen before the
+query touches the router, so an overload burst costs the service a few
+dictionary operations per rejected query instead of a scatter.  Admitted
+queries are served by a small worker pool through the router's
+*resilient* path (``fail_fast=False``), so a shard mid-restart degrades
+the answer instead of erroring it.
+
+:class:`NetworkFleet` is the composition root: it reads a durable
+fleet's ``shards.json`` manifest, stands up one
+:class:`~repro.serve.shard_server.ShardServer` per shard (in-process
+threads or real subprocesses), wires :class:`RemoteShard` proxies into a
+read-only router, and mounts a :class:`FrontDoor` on top.  Its
+:meth:`~NetworkFleet.restart_shard` drains one shard server under live
+traffic and reconnects its proxy to the replacement — the availability
+story ``BENCH_service.json`` measures.
+
+:class:`FrontDoorServer` exposes a front door over TCP with the same
+framing the shard servers speak (``repro-video serve`` runs one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import queue
+import subprocess
+import threading
+from concurrent.futures import Future
+
+from repro.serve.protocol import (
+    FRAME_ERROR,
+    FRAME_HEADER_BYTES,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    ProtocolError,
+    RateLimited,
+    ServiceDraining,
+    ServiceOverloaded,
+    decode_frame_header,
+    decode_request,
+    encode_error,
+    encode_frame,
+    encode_response,
+    stats_to_wire,
+)
+from repro.serve.shard_server import ShardServer, ShardServerHandle
+from repro.serve.transport import RemoteShard
+from repro.shard.router import ShardedKNNResult, ShardedVideoDatabase
+from repro.shard.shard import Shard
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.locks import make_lock
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["FrontDoor", "FrontDoorServer", "NetworkFleet", "TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Refill is computed lazily from the injected clock at each
+    :meth:`try_acquire`, so there is no background thread and a
+    :class:`~repro.utils.clock.VirtualClock` drives it deterministically
+    in tests.  The clock is read *before* the bucket's lock is taken;
+    since a ``VirtualClock``'s offsets are thread-local, another
+    thread's sleeps can make consecutive readings non-monotonic across
+    threads — a reading older than the last refill stamp simply adds no
+    tokens (time never runs backwards inside the bucket).
+    """
+
+    def __init__(
+        self, rate: float, burst: float, *, clock: Clock | None = None
+    ) -> None:
+        self._rate = check_positive(rate, "rate")
+        self._burst = check_positive(burst, "burst")
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = make_lock("TokenBucket._lock")
+        self._tokens = float(burst)
+        self._stamp = self._clock.now()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        now = self._clock.now()
+        with self._lock:
+            if now > self._stamp:
+                self._tokens = min(
+                    self._burst,
+                    self._tokens + (now - self._stamp) * self._rate,
+                )
+                self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"TokenBucket(rate={self._rate}, burst={self._burst}, "
+                f"tokens={self._tokens:.3f})"
+            )
+
+
+class FrontDoor:
+    """Bounded admission in front of a sharded router.
+
+    Parameters
+    ----------
+    router:
+        The (usually read-only) :class:`ShardedVideoDatabase` to serve.
+    max_queue:
+        Admission queue depth; queries beyond it shed with
+        :class:`ServiceOverloaded` instead of piling up latency.
+    workers:
+        Serving threads draining the queue.  Each admitted query still
+        fans out across all relevant shards inside the router.
+    rate, burst:
+        Per-client token bucket (tokens/second and capacity).  ``None``
+        disables rate limiting; ``burst`` defaults to ``rate``.
+    fault_policy:
+        Forwarded to every query (``None`` means the router's default
+        :class:`~repro.shard.resilience.FaultPolicy`); queries always
+        run with ``fail_fast=False`` so a sick shard degrades coverage
+        rather than failing the query.
+    clock:
+        Drives the token buckets; tests inject a
+        :class:`~repro.utils.clock.VirtualClock`.
+    drain_timeout:
+        Per-thread join budget during :meth:`drain`.
+    """
+
+    def __init__(
+        self,
+        router: ShardedVideoDatabase,
+        *,
+        max_queue: int = 32,
+        workers: int = 2,
+        rate: float | None = None,
+        burst: float | None = None,
+        fault_policy=None,
+        clock: Clock | None = None,
+        drain_timeout: float = 5.0,
+    ) -> None:
+        check_positive_int(max_queue, "max_queue")
+        check_positive_int(workers, "workers")
+        self._router = router
+        self._policy = fault_policy
+        self._clock = clock if clock is not None else SystemClock()
+        self._rate = float(rate) if rate is not None else None
+        if self._rate is not None:
+            self._burst = float(burst) if burst is not None else self._rate
+        else:
+            self._burst = None
+        self._max_queue = max_queue
+        self._drain_timeout = drain_timeout
+        # Guards the admission state: the draining flag, the per-client
+        # buckets, and the stats tallies.  Never held across any
+        # blocking call — admission is put_nowait, shedding is a
+        # counter bump.
+        self._lock = make_lock("FrontDoor._lock")
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._draining = False
+        self._stats = {
+            "admitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed_overload": 0,
+            "shed_rate_limited": 0,
+            "shed_draining": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                name=f"frontdoor-worker-{position}",
+                daemon=True,
+            )
+            for position in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query,
+        k: int,
+        *,
+        client: str = "default",
+        method: str = "composed",
+        prune: bool = True,
+        cold: bool = False,
+    ) -> Future:
+        """Admit one query (or shed it, typed) and return its future.
+
+        The returned :class:`~concurrent.futures.Future` resolves to the
+        router's :class:`~repro.shard.router.ShardedKNNResult`.  Shed
+        queries never enter the queue: this method raises
+        :class:`ServiceDraining`, :class:`RateLimited` or
+        :class:`ServiceOverloaded` *synchronously*.
+        """
+        with self._lock:
+            if self._draining:
+                self._stats["shed_draining"] += 1
+                raise ServiceDraining(
+                    "front door is draining; not admitting queries"
+                )
+            bucket = None
+            if self._rate is not None:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = TokenBucket(
+                        self._rate, self._burst, clock=self._clock
+                    )
+                    self._buckets[client] = bucket
+        if bucket is not None and not bucket.try_acquire():
+            with self._lock:
+                self._stats["shed_rate_limited"] += 1
+            raise RateLimited(
+                f"client {client!r} exceeded {self._rate} queries/second"
+            )
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((future, query, k, method, prune, cold))
+        except queue.Full:
+            with self._lock:
+                self._stats["shed_overload"] += 1
+            raise ServiceOverloaded(
+                f"admission queue is full ({self._max_queue} deep)"
+            ) from None
+        with self._lock:
+            self._stats["admitted"] += 1
+        return future
+
+    def query_sync(
+        self, query, k: int, *, timeout: float | None = None, **kwargs
+    ) -> ShardedKNNResult:
+        """Admit and wait: :meth:`submit` plus ``Future.result()``."""
+        return self.submit(query, k, **kwargs).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            future, query, k, method, prune, cold = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = self._router.knn(
+                    query,
+                    k,
+                    method=method,
+                    prune=prune,
+                    cold=cold,
+                    fault_policy=self._policy,
+                    fail_fast=False,
+                )
+            except BaseException as exc:
+                future.set_exception(exc)
+                self._bump("failed")
+            else:
+                future.set_result(result)
+                self._bump("completed")
+
+    def _bump(self, key: str) -> None:
+        with self._lock:
+            self._stats[key] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Admission and outcome tallies plus the live queue depth."""
+        with self._lock:
+            snapshot = dict(self._stats)
+        snapshot["queue_depth"] = self._queue.qsize()
+        return snapshot
+
+    def drain(self) -> None:
+        """Stop admitting, finish the queue, stop the workers.
+
+        Queued-but-unserved work left behind by a worker that missed its
+        join budget gets :class:`ServiceDraining` set on its future, so
+        no caller ever blocks on a future nobody will complete.
+        Idempotent.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(self._drain_timeout)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item[0].set_exception(
+                    ServiceDraining(
+                        "front door drained before this query ran"
+                    )
+                )
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrontDoor(queue={self._queue.qsize()}/{self._max_queue}, "
+            f"workers={len(self._threads)})"
+        )
+
+
+class NetworkFleet:
+    """A durable fleet stood up as a network service, end to end.
+
+    Reads ``path``'s ``shards.json`` manifest (written by a durable
+    :class:`~repro.shard.router.ShardedVideoDatabase`), serves every
+    shard directory behind its own :class:`ShardServer`, and mounts a
+    :class:`FrontDoor` over a read-only router of
+    :class:`RemoteShard` proxies.
+
+    Parameters
+    ----------
+    path:
+        The fleet directory (must contain ``shards.json``).
+    mode:
+        ``"thread"`` — each shard server runs on a daemon thread in
+        this process (fast, deterministic with an injected clock).
+        ``"subprocess"`` — each shard server is a real
+        ``python -m repro.serve.shard_server`` child process.
+    clock:
+        Shared by the router, the front door's buckets and (thread
+        mode) every shard server.  Subprocess servers build their own
+        clock — see ``subprocess_clock`` and :mod:`repro.utils.clock`.
+    subprocess_clock:
+        ``"system"`` or ``"virtual"``, forwarded to spawned servers.
+    max_queue, workers, rate, burst, fault_policy, drain_timeout:
+        Front-door knobs, forwarded verbatim.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        mode: str = "thread",
+        clock: Clock | None = None,
+        cache_size: int = 128,
+        buffer_capacity: int = 256,
+        max_queue: int = 32,
+        workers: int = 2,
+        rate: float | None = None,
+        burst: float | None = None,
+        fault_policy=None,
+        drain_timeout: float = 5.0,
+        subprocess_clock: str = "system",
+    ) -> None:
+        if mode not in ("thread", "subprocess"):
+            raise ValueError(
+                f"mode must be 'thread' or 'subprocess', got {mode!r}"
+            )
+        self._path = os.fspath(path)
+        manifest_path = os.path.join(self._path, "shards.json")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        self._epsilon = float(manifest["epsilon"])
+        self._reference = str(manifest.get("reference", "optimal"))
+        self._seed = int(manifest.get("summarize_seed", 0))
+        self._mode = mode
+        self._clock = clock if clock is not None else SystemClock()
+        self._cache_size = cache_size
+        self._buffer_capacity = buffer_capacity
+        self._drain_timeout = drain_timeout
+        self._subprocess_clock = subprocess_clock
+        self._closed = False
+        self._shard_dirs = [
+            os.path.join(self._path, name) for name in manifest["shards"]
+        ]
+        self._servers: dict[int, object] = {}
+        self._remotes: list[RemoteShard] = []
+        for position, shard_dir in enumerate(self._shard_dirs):
+            host, port = self._start_server(position, shard_dir)
+            self._remotes.append(RemoteShard(position, host, port))
+        self._router = ShardedVideoDatabase.from_shards(
+            list(self._remotes), epsilon=self._epsilon, clock=self._clock
+        )
+        self._frontdoor = FrontDoor(
+            self._router,
+            max_queue=max_queue,
+            workers=workers,
+            rate=rate,
+            burst=burst,
+            fault_policy=fault_policy,
+            clock=self._clock,
+            drain_timeout=drain_timeout,
+        )
+
+    def _start_server(self, position: int, shard_dir: str) -> tuple[str, int]:
+        """Stand up one shard server and record its handle."""
+        if self._mode == "thread":
+            shard = Shard(
+                position,
+                epsilon=self._epsilon,
+                reference=self._reference,
+                summarize_seed=self._seed,
+                path=shard_dir,
+                buffer_capacity=self._buffer_capacity,
+                cache_size=self._cache_size,
+            )
+            server = ShardServer(shard, clock=self._clock)
+            host, port = server.run_in_thread()
+            self._servers[position] = server
+            return host, port
+        handle = ShardServerHandle.spawn(
+            shard_dir,
+            position,
+            epsilon=self._epsilon,
+            cache_size=self._cache_size,
+            buffer_capacity=self._buffer_capacity,
+            clock=self._subprocess_clock,
+        )
+        self._servers[position] = handle
+        return handle.host, handle.port
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> ShardedVideoDatabase:
+        """The read-only router over the remote proxies."""
+        return self._router
+
+    @property
+    def frontdoor(self) -> FrontDoor:
+        """The admission layer clients should go through."""
+        return self._frontdoor
+
+    @property
+    def num_shards(self) -> int:
+        """Fleet size (one server per shard directory)."""
+        return len(self._shard_dirs)
+
+    @property
+    def epsilon(self) -> float:
+        """The fleet's frame similarity threshold (from the manifest)."""
+        return self._epsilon
+
+    def status(self) -> dict:
+        """Front-door stats plus each live shard server's status."""
+        shards = {}
+        for remote in self._remotes:
+            try:
+                shards[remote.shard_id] = remote.status()
+            except (OSError, ConnectionError) as exc:
+                shards[remote.shard_id] = {"error": str(exc)}
+        return {"frontdoor": self._frontdoor.stats(), "shards": shards}
+
+    # ------------------------------------------------------------------
+    # Serving / lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, query, k: int, **kwargs) -> Future:
+        """Admit one query through the front door."""
+        return self._frontdoor.submit(query, k, **kwargs)
+
+    def query_sync(self, query, k: int, **kwargs) -> ShardedKNNResult:
+        """Admit one query and wait for its result."""
+        return self._frontdoor.query_sync(query, k, **kwargs)
+
+    def restart_shard(
+        self, shard_id: int, *, timeout: float | None = None
+    ) -> tuple[str, int]:
+        """Drain one shard server and bring up its replacement.
+
+        The drain checkpoints the shard (close always does for durable
+        shards), the replacement reopens the same directory, and the
+        shard's :class:`RemoteShard` proxy reconnects to the new
+        address.  Queries scattered to the shard meanwhile see
+        :class:`ServiceDraining` / connection errors — both retryable —
+        so front-door traffic degrades instead of failing.
+        """
+        wait = timeout if timeout is not None else self._drain_timeout
+        server = self._servers[shard_id]
+        if self._mode == "thread":
+            server.drain()
+            server.wait_closed(wait)
+        else:
+            try:
+                server.drain(timeout=wait)
+            except (OSError, ConnectionError):
+                pass  # already gone; respawn regardless
+            try:
+                server.wait(wait)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        host, port = self._start_server(shard_id, self._shard_dirs[shard_id])
+        self._remotes[shard_id].reconnect(host, port)
+        return host, port
+
+    def close(self) -> None:
+        """Drain the front door, every shard server, then the router."""
+        if self._closed:
+            return
+        self._closed = True
+        self._frontdoor.drain()
+        for server in self._servers.values():
+            if self._mode == "thread":
+                server.drain()
+                server.wait_closed(self._drain_timeout)
+            else:
+                try:
+                    server.drain(timeout=self._drain_timeout)
+                except (OSError, ConnectionError):
+                    pass
+                try:
+                    server.wait(self._drain_timeout)
+                except subprocess.TimeoutExpired:
+                    server.kill()
+        self._router.close()
+
+    def __enter__(self) -> "NetworkFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkFleet(path={self._path!r}, mode={self._mode!r}, "
+            f"shards={len(self._shard_dirs)})"
+        )
+
+
+def _result_to_wire(result: ShardedKNNResult) -> dict:
+    """JSON body for one sharded result (scores survive exactly)."""
+    body = {
+        "videos": list(result.videos),
+        "scores": list(result.scores),
+        "stats": stats_to_wire(result.stats),
+        "scatter": {
+            "shards_total": result.scatter.shards_total,
+            "shards_queried": list(result.scatter.shards_queried),
+            "shards_pruned": list(result.scatter.shards_pruned),
+        },
+    }
+    if result.coverage is not None:
+        body["coverage"] = {
+            "complete": result.coverage.complete,
+            "shards_answered": list(result.coverage.shards_answered),
+            "shards_pruned": list(result.coverage.shards_pruned),
+            "shards_failed": list(result.coverage.shards_failed),
+            "shards_timed_out": list(result.coverage.shards_timed_out),
+            "shards_tripped": list(result.coverage.shards_tripped),
+        }
+    return body
+
+
+async def _send(
+    writer: asyncio.StreamWriter, frame_type: int, payload: bytes
+) -> None:
+    try:
+        writer.write(encode_frame(frame_type, payload))
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass  # the peer vanished; nothing to report to
+
+
+class FrontDoorServer:
+    """The front door over TCP, speaking the shard-server framing.
+
+    Ops: ``ping``, ``status`` (front-door stats) and ``knn`` (params
+    ``k``, ``method``, ``prune``, ``client``; the query summary rides
+    as the request's binary blob).  Admission errors come back as the
+    same typed error frames a shard server sends, so one client codec
+    serves both layers.
+    """
+
+    def __init__(
+        self,
+        frontdoor: FrontDoor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._frontdoor = frontdoor
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._done = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._address: tuple[str, int] | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound; valid once ready."""
+        if self._address is None:
+            raise RuntimeError("server is not bound yet")
+        return self._address
+
+    async def serve(self, *, on_ready=None) -> None:
+        """Bind and serve until :meth:`stop` is called."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        try:
+            sockname = server.sockets[0].getsockname()
+            self._address = (sockname[0], sockname[1])
+            self._ready.set()
+            if on_ready is not None:
+                on_ready(self._address)
+            await self._stop_event.wait()
+            server.close()
+            await server.wait_closed()
+            # Closing the listener stops new connections; wake parked
+            # handlers with EOF and wait for them to exit on their own
+            # (cancelling instead would make asyncio.streams log the
+            # cancellation on 3.11).
+            for writer in list(self._writers):
+                writer.close()
+            if self._tasks:
+                await asyncio.wait(list(self._tasks), timeout=1.0)
+        finally:
+            self._done.set()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(FRAME_HEADER_BYTES)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                try:
+                    frame_type, length = decode_frame_header(header)
+                    if frame_type != FRAME_REQUEST:
+                        raise ProtocolError(
+                            f"expected a request frame, got type "
+                            f"{frame_type:#x}"
+                        )
+                except ProtocolError as exc:
+                    await _send(writer, FRAME_ERROR, encode_error(exc))
+                    return
+                try:
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                try:
+                    op, params, summary = decode_request(payload)
+                except ProtocolError as exc:
+                    await _send(writer, FRAME_ERROR, encode_error(exc))
+                    return
+                try:
+                    body = await self._execute(op, params, summary)
+                except Exception as exc:  # typed errors cross the wire
+                    await _send(writer, FRAME_ERROR, encode_error(exc))
+                else:
+                    await _send(writer, FRAME_RESPONSE, encode_response(body))
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _execute(self, op: str, params: dict, summary) -> dict:
+        if op == "ping":
+            return {"pong": True}
+        if op == "status":
+            return {"stats": self._frontdoor.stats()}
+        if op == "knn":
+            if summary is None:
+                raise ValueError("op 'knn' requires a query summary")
+            # submit() is non-blocking (sheds synchronously, typed);
+            # only the admitted query's completion is awaited.
+            future = self._frontdoor.submit(
+                summary,
+                int(params["k"]),
+                client=str(params.get("client", "default")),
+                method=str(params.get("method", "composed")),
+                prune=bool(params.get("prune", True)),
+            )
+            result = await asyncio.wrap_future(future)
+            return _result_to_wire(result)
+        raise ValueError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run_in_thread(self, *, timeout: float = 10.0) -> tuple[str, int]:
+        """Serve on a daemon thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("server already running")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.serve()),
+            name="frontdoor-server-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("front-door server failed to bind in time")
+        assert self._address is not None
+        return self._address
+
+    def stop(self) -> None:
+        """Stop serving (from any thread)."""
+        loop = self._loop
+        event = self._stop_event
+        if loop is None or event is None or self._done.is_set():
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop already closed: stopped
+
+    def wait_closed(self, timeout: float | None = None) -> bool:
+        """Block until the serve loop has fully shut down."""
+        return self._done.wait(timeout)

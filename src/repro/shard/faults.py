@@ -25,16 +25,34 @@ interleaving.
 Delays are injected through the router's :class:`~repro.utils.clock.Clock`
 (``clock.sleep``), so under a ``VirtualClock`` a "slow" shard costs zero
 real time but still trips deadlines, hedges, and breakers exactly as it
-would in production.
+would in production.  A slow fault is also *budget-aware*: after
+sleeping its injected delay it re-checks the attempt's
+:class:`~repro.utils.clock.Deadline` and raises
+:class:`~repro.shard.resilience.ShardTimeout` if the budget is now
+spent, so a doomed attempt never reaches the real shard — exactly the
+behaviour of a remote shard server whose client stopped waiting.
+
+Process boundaries
+------------------
+All injector state — the fault schedule *and* the per-shard op counters
+— lives in whichever process constructed it; nothing here survives a
+``fork``/``spawn`` implicitly.  To fault a subprocess shard server, ship
+the schedule over the seam instead: :meth:`ShardFault.to_dict` /
+:meth:`ShardFault.from_dict` round-trip a schedule through JSON, the
+server rebuilds its own :class:`ShardFaultInjector` (op counters start
+at zero *in that process* — by design, since the server's op stream is
+what the schedule scripts) and installs it with its own clock
+(``repro.serve.shard_server --clock virtual``).  The router-side
+injector and a server-side injector never share counters.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.shard.resilience import InjectedShardError, ShardDown
+from repro.shard.resilience import InjectedShardError, ShardDown, ShardTimeout
 from repro.shard.shard import Shard
-from repro.utils.clock import Clock, SystemClock
+from repro.utils.clock import Clock, Deadline, SystemClock
 
 __all__ = ["FaultInjectingShard", "ShardFault", "ShardFaultInjector"]
 
@@ -117,6 +135,29 @@ class ShardFault:
             return False
         return self.last_op is None or op <= self.last_op
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the subprocess shard-server seam)."""
+        return {
+            "kind": self.kind,
+            "first_op": self.first_op,
+            "last_op": self.last_op,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardFault":
+        """Rebuild a fault shipped through :meth:`to_dict` (validated)."""
+        return cls(
+            str(payload["kind"]),
+            first_op=int(payload.get("first_op", 1)),
+            last_op=(
+                None
+                if payload.get("last_op") is None
+                else int(payload["last_op"])
+            ),
+            delay=float(payload.get("delay", 0.0)),
+        )
+
     def __repr__(self) -> str:
         window = f"{self.first_op}..{self.last_op if self.last_op is not None else 'inf'}"
         extra = f", delay={self.delay}" if self.kind == "slow" else ""
@@ -151,13 +192,24 @@ class ShardFaultInjector:
         with self._lock:
             return self._ops.get(shard_id, 0)
 
-    def on_query(self, shard_id: int, clock: Clock) -> None:
+    def on_query(
+        self,
+        shard_id: int,
+        clock: Clock,
+        *,
+        deadline: Deadline | None = None,
+    ) -> None:
         """Tick the shard's op counter and fire any covering fault.
 
         Called by :class:`FaultInjectingShard` immediately before each
         serving attempt is delegated.  Raising here means the attempt
         never reaches the real shard, so the real shard's state (engine
         cache, ``queries_served``) is untouched by injected failures.
+
+        A slow fault honours the attempt's deadline: after sleeping the
+        injected delay it raises :class:`ShardTimeout` if the budget is
+        now spent, so the delegated work — the expensive part — never
+        runs for a caller that has already given up.
         """
         with self._lock:
             op = self._ops.get(shard_id, 0) + 1
@@ -167,6 +219,11 @@ class ShardFaultInjector:
                 continue
             if fault.kind == "slow":
                 clock.sleep(fault.delay)
+                if deadline is not None and deadline.expired():
+                    raise ShardTimeout(
+                        f"injected {fault.delay:.6f}s delay on shard "
+                        f"{shard_id} (op {op}) spent the attempt's budget"
+                    )
                 return
             if fault.kind == "error":
                 raise InjectedShardError(
@@ -175,6 +232,31 @@ class ShardFaultInjector:
             raise ShardDown(
                 f"injected hard-down on shard {shard_id} (op {op})"
             )
+
+    def to_dict(self) -> dict:
+        """The schedule in JSON-friendly form (op counters excluded:
+        they are per-process runtime state, not configuration)."""
+        return {
+            str(shard_id): [fault.to_dict() for fault in faults]
+            for shard_id, faults in sorted(self._schedule.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardFaultInjector":
+        """Rebuild a schedule shipped through :meth:`to_dict`.
+
+        The new injector's op counters start at zero — the receiving
+        process (typically a subprocess shard server) counts its *own*
+        serving operations, which is what the schedule scripts.
+        """
+        return cls(
+            {
+                int(shard_id): [
+                    ShardFault.from_dict(entry) for entry in faults
+                ]
+                for shard_id, faults in payload.items()
+            }
+        )
 
     def __repr__(self) -> str:
         return f"ShardFaultInjector(shards={sorted(self._schedule)})"
@@ -208,11 +290,15 @@ class FaultInjectingShard:
         return self._shard
 
     def knn(self, query, k, **kwargs):
-        self._injector.on_query(self._shard.shard_id, self._clock)
+        self._injector.on_query(
+            self._shard.shard_id, self._clock, deadline=kwargs.get("deadline")
+        )
         return self._shard.knn(query, k, **kwargs)
 
     def similarity_range(self, query, min_similarity, **kwargs):
-        self._injector.on_query(self._shard.shard_id, self._clock)
+        self._injector.on_query(
+            self._shard.shard_id, self._clock, deadline=kwargs.get("deadline")
+        )
         return self._shard.similarity_range(query, min_similarity, **kwargs)
 
     # ``len(proxy)`` must work (dunders bypass __getattr__).

@@ -9,9 +9,16 @@ survive partial failure instead:
   backoff.  Jitter comes from a seeded hash of ``(seed, shard, attempt)``,
   not a wall-clock RNG, so the same seed always produces the same backoff
   schedule (the property ``tests/test_shard_resilience.py`` asserts).
-* Per-shard **deadlines** — an attempt whose measured latency (on the
-  injected :class:`~repro.utils.clock.Clock`) exceeds the policy deadline
-  is discarded as a :class:`ShardTimeout`; its cost bundle is *not*
+* Per-shard **deadlines** — ``FaultPolicy.deadline`` is the *total*
+  clock-time budget for resolving one shard's sub-query: attempts,
+  backoff sleeps and hedges all draw from one
+  :class:`~repro.utils.clock.Deadline`.  The budget is enforced
+  *before* work happens: budget-aware work (``Shard.knn``'s
+  ``deadline=`` seam, the fault injector's post-sleep check, a remote
+  shard server) raises :class:`ShardTimeout` instead of computing an
+  answer nobody is waiting for, and :func:`run_attempts` skips retries
+  whose budget is already spent rather than running them and
+  discarding the result.  A discarded attempt's cost bundle is *not*
   folded into the query's stats, so retries can never double-count
   :class:`~repro.utils.counters.CostCounters`.
 * :class:`HedgePolicy` — when an attempt's latency crosses the shard's
@@ -44,7 +51,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.storage.faults import SimulatedCrash
-from repro.utils.clock import Clock
+from repro.utils.clock import Clock, Deadline
 from repro.utils.counters import CostCounters
 from repro.utils.locks import make_lock
 from repro.utils.stats import percentile
@@ -77,7 +84,7 @@ _JITTER = struct.Struct("<qqq")
 # Errors
 # ---------------------------------------------------------------------------
 class ShardTimeout(RuntimeError):
-    """A shard attempt exceeded its per-attempt deadline."""
+    """A shard sub-query ran out of its clock-time budget."""
 
 
 class ShardDown(RuntimeError):
@@ -259,10 +266,13 @@ class BreakerPolicy:
 class FaultPolicy:
     """Everything the resilient scatter path needs, in one bundle.
 
-    ``deadline`` is the per-attempt shard deadline in clock seconds
-    (``None`` = unbounded).  ``retryable`` lists the exception types a
-    retry may fix; anything else (a ``TypeError`` from a malformed query,
-    say) propagates immediately — retrying a bug is not resilience.
+    ``deadline`` is the shard sub-query's **total** clock-time budget in
+    seconds (``None`` = unbounded): every attempt, backoff sleep and
+    hedge for that shard draws from the same budget, and an attempt
+    whose budget is already spent is skipped, not run.  ``retryable``
+    lists the exception types a retry may fix; anything else (a
+    ``TypeError`` from a malformed query, say) propagates immediately —
+    retrying a bug is not resilience.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -629,26 +639,32 @@ class AttemptOutcome:
     error: BaseException | None = None
 
 
-def _one_attempt(work, shard_id: int, policy: FaultPolicy, clock: Clock):
+def _one_attempt(
+    work, shard_id: int, policy: FaultPolicy, clock: Clock, deadline: Deadline
+):
     """Run a single attempt; returns ``(result, bundle, latency, error)``.
 
     The attempt gets its own fresh :class:`CostCounters` bundle, so its
-    cost can be accepted or discarded atomically.  Latency is measured on
-    the injected clock; an over-deadline attempt's *result is discarded*
-    even though it completed — exactly what a caller that stopped
-    waiting would have seen.
+    cost can be accepted or discarded atomically.  ``work`` receives the
+    sub-query's shared :class:`Deadline`: budget-aware work (the shard's
+    ``deadline=`` seam, the fault injector, a remote shard server)
+    raises :class:`ShardTimeout` *before* computing an answer nobody is
+    waiting for.  The post-completion check below is the fallback for
+    work that ignores its deadline — the result is discarded even though
+    it completed, exactly what a caller that stopped waiting would have
+    seen.
     """
     bundle = CostCounters()
     start = clock.now()
     try:
-        result = work(bundle)
+        result = work(bundle, deadline)
     except policy.retryable as exc:
         return None, bundle, clock.now() - start, exc
     latency = clock.now() - start
-    if policy.deadline is not None and latency > policy.deadline:
+    if deadline.expired():
         timeout = ShardTimeout(
-            f"shard {shard_id} attempt took {latency:.6f}s "
-            f"(deadline {policy.deadline:.6f}s)"
+            f"shard {shard_id} attempt finished {-deadline.remaining():.6f}s "
+            f"past its {policy.deadline:.6f}s budget"
         )
         return None, bundle, latency, timeout
     return result, bundle, latency, None
@@ -663,15 +679,22 @@ def run_attempts(
 ) -> AttemptOutcome:
     """Run one shard's sub-query to resolution under ``policy``.
 
-    ``work(bundle)`` performs one attempt against the shard, folding its
-    cost events into the fresh bundle it is handed.  The loop:
+    ``work(bundle, deadline)`` performs one attempt against the shard,
+    folding its cost events into the fresh bundle it is handed and
+    honouring (or ignoring — the loop copes either way) the sub-query's
+    shared :class:`Deadline`.  The loop:
 
     1. Ask the shard's breaker for admission; an open breaker resolves
        ``tripped`` immediately (no attempt, no cost).
-    2. Up to ``retry.max_attempts`` attempts, sleeping the deterministic
-       backoff between them.  Retryable errors and deadline overruns
-       count as failed attempts; any other exception propagates —
-       retrying a programming error is not resilience.
+    2. Up to ``retry.max_attempts`` attempts, all drawing on one
+       clock-time budget (``policy.deadline``; unbounded when ``None``).
+       Retryable errors and budget overruns count as failed attempts;
+       any other exception propagates — retrying a programming error is
+       not resilience.  A retry whose budget is already spent — or whose
+       backoff sleep alone would spend it — is *skipped*, not run: the
+       sub-query resolves ``timed_out`` on the spot, recording one
+       timeout but no breaker outcome (no attempt was dispatched) and no
+       retry.
     3. On a success whose latency reaches the hedge threshold (the
        shard's recent latency percentile, captured *before* this query
        records anything), run one backup attempt and keep the faster.
@@ -680,10 +703,11 @@ def run_attempts(
     returned; every other attempt (failed, timed out, or hedge loser)
     has its page reads recorded as the shard's ``wasted`` tally and its
     bundle dropped.  A query total built from accepted bundles therefore
-    can never double-count a retry.  The breaker records one outcome per
-    loop iteration: failed attempts record a failure, a served iteration
-    records a success (even when the hedge loser erred — the query was
-    answered).
+    can never double-count a retry, and a budget-aborted attempt shows
+    up as zero waste because it never touched a page.  The breaker
+    records one outcome per dispatched attempt: failed attempts record a
+    failure, a served iteration records a success (even when the hedge
+    loser erred — the query was answered).
     """
     breaker = health.breaker(shard_id, policy.breaker)
     if not breaker.allow(clock.now()):
@@ -697,14 +721,29 @@ def run_attempts(
         if policy.hedge is not None
         else math.inf
     )
+    # One budget for the whole resolution; created here, on the thread
+    # that will sleep the backoffs (see the Deadline thread contract).
+    deadline = Deadline(clock, policy.deadline)
     last_error: BaseException | None = None
     timed_out = False
     for attempt in range(1, policy.retry.max_attempts + 1):
         if attempt > 1:
+            backoff = policy.retry.backoff(shard_id, attempt - 1)
+            if deadline.remaining() <= backoff:
+                # The budget is spent (or the mandatory backoff alone
+                # would spend it): skip the doomed attempt entirely.
+                last_error = ShardTimeout(
+                    f"shard {shard_id} budget of {policy.deadline:.6f}s "
+                    f"exhausted after {attempt - 1} attempt(s); "
+                    f"skipping attempt {attempt}"
+                )
+                timed_out = True
+                health.record_failure(shard_id, timeout=True)
+                break
             health.record_retry(shard_id)
-            clock.sleep(policy.retry.backoff(shard_id, attempt - 1))
+            clock.sleep(backoff)
         result, bundle, latency, error = _one_attempt(
-            work, shard_id, policy, clock
+            work, shard_id, policy, clock, deadline
         )
         if error is not None:
             last_error = error
@@ -716,7 +755,7 @@ def run_attempts(
         accepted = (result, bundle, latency)
         if latency >= hedge_threshold:
             b_result, b_bundle, b_latency, b_error = _one_attempt(
-                work, shard_id, policy, clock
+                work, shard_id, policy, clock, deadline
             )
             won = b_error is None and b_latency < latency
             health.record_hedge(shard_id, won=won)

@@ -107,7 +107,7 @@ from repro.shard.resilience import (
     run_attempts,
 )
 from repro.shard.shard import Shard
-from repro.utils.clock import Clock, SystemClock
+from repro.utils.clock import Clock, Deadline, SystemClock
 from repro.utils.counters import CostCounters, Timer
 from repro.utils.locks import make_lock
 from repro.utils.stats import percentile
@@ -295,6 +295,7 @@ class ShardedVideoDatabase:
         self._health = FleetHealth(self._clock)
         self._path = os.fspath(path) if path is not None else None
         self._closed = False
+        self._writable = True
         self._next_video_id = 0
         self._created_shards = 0
         self._shards: list[Shard] = []
@@ -329,6 +330,60 @@ class ShardedVideoDatabase:
             os.makedirs(self._path, exist_ok=True)
         for _ in range(self._partitioner.num_shards):
             self._shards.append(self._new_shard())
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: list,
+        *,
+        epsilon: float,
+        clock: Clock | None = None,
+    ) -> "ShardedVideoDatabase":
+        """A read-only router over pre-built shards (typically remote).
+
+        The service layer's seam: hand this the fleet's
+        :class:`~repro.serve.transport.RemoteShard` proxies (or plain
+        :class:`Shard` objects) and the unchanged scatter machinery —
+        pruning, per-shard counter bundles, resilient attempts, exact
+        merge — runs over them.  Membership is discovered from each
+        shard's own content; every mutating or durability operation
+        raises, because the shards' files belong to whichever process
+        serves them.
+        """
+        if not shards:
+            raise ValueError("from_shards needs at least one shard")
+        self = cls.__new__(cls)
+        self._lock = make_lock("ShardedVideoDatabase._lock")
+        # Immutable configuration mirrors __init__'s unguarded writes: a
+        # field assigned under a lock anywhere counts as lock-guarded
+        # everywhere (VIL008), and these are read lock-free by design.
+        self._epsilon = check_positive(epsilon, "epsilon")
+        self._reference = "optimal"
+        self._seed = 0
+        self._buffer_capacity = 0
+        self._read_latency = 0.0
+        self._cache_size = 0
+        self._faults = None
+        self._clock = clock if clock is not None else SystemClock()
+        self._health = FleetHealth(self._clock)
+        self._path = None
+        with self._lock:
+            self._closed = False
+            self._writable = False
+            self._created_shards = len(shards)
+            self._shards = list(shards)
+            self._membership = {}
+            self._next_video_id = 0
+            for shard in self._shards:
+                for video_id in shard.video_ids():
+                    self._membership[video_id] = shard.shard_id
+                    self._next_video_id = max(
+                        self._next_video_id, video_id + 1
+                    )
+            # Placement is owned by whoever built the shards; this
+            # partitioner exists only so introspection keeps working.
+            self._partitioner = make_partitioner("hash", len(shards))
+        return self
 
     def _new_shard(self) -> Shard:
         """Construct the next shard (fresh directory for durable fleets)."""
@@ -518,6 +573,14 @@ class ShardedVideoDatabase:
         if self._closed:
             raise RuntimeError("database is closed")
 
+    def _check_writable(self) -> None:
+        self._check_open()
+        if not self._writable:
+            raise RuntimeError(
+                "this router is read-only (built with from_shards); "
+                "mutations belong to the process that owns the shards"
+            )
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -529,7 +592,7 @@ class ShardedVideoDatabase:
         and unsharded fleets store bit-identical summaries.
         """
         with self._lock:
-            self._check_open()
+            self._check_writable()
             frames = check_matrix(frames, "frames", min_rows=1)
             if video_id is None:
                 video_id = self._next_video_id
@@ -545,7 +608,7 @@ class ShardedVideoDatabase:
     def add_summary(self, summary: VideoSummary) -> int:
         """Route a pre-built summary to the shard that owns it."""
         with self._lock:
-            self._check_open()
+            self._check_writable()
             if not isinstance(summary, VideoSummary):
                 raise TypeError("summary must be a VideoSummary")
             if summary.video_id in self._membership:
@@ -567,14 +630,14 @@ class ShardedVideoDatabase:
     def remove(self, video_id: int) -> None:
         """Remove a video from whichever shard holds it."""
         with self._lock:
-            self._check_open()
+            self._check_writable()
             self._shards[self.shard_of(video_id)].remove(video_id)
             del self._membership[video_id]
 
     def build(self) -> None:
         """Force-build every populated shard's index."""
         with self._lock:
-            self._check_open()
+            self._check_writable()
             if not self._membership:
                 raise ValueError("cannot build an empty database")
             for shard in self._shards:
@@ -658,8 +721,13 @@ class ShardedVideoDatabase:
                 per_shard, coverage = self._dispatch(
                     queried,
                     pruned,
-                    lambda shard, bundle: shard.knn(
-                        query, k, method=method, cold=cold, out_counters=bundle
+                    lambda shard, bundle, deadline=None: shard.knn(
+                        query,
+                        k,
+                        method=method,
+                        cold=cold,
+                        out_counters=bundle,
+                        deadline=deadline,
                     ),
                     total_counters,
                     fault_policy,
@@ -709,12 +777,13 @@ class ShardedVideoDatabase:
                 per_shard, coverage = self._dispatch(
                     queried,
                     pruned,
-                    lambda shard, bundle: shard.similarity_range(
+                    lambda shard, bundle, deadline=None: shard.similarity_range(
                         query,
                         min_similarity,
                         method=method,
                         cold=cold,
                         out_counters=bundle,
+                        deadline=deadline,
                     ),
                     total_counters,
                     fault_policy,
@@ -873,12 +942,17 @@ class ShardedVideoDatabase:
         self,
         queried: list[Shard],
         pruned: list[int],
-        work: Callable[[Shard, CostCounters], object],
+        work: Callable[[Shard, CostCounters, Deadline | None], object],
         total_counters: CostCounters,
         fault_policy: FaultPolicy | None,
         fail_fast: bool,
     ) -> tuple[list, Coverage]:
         """Scatter under the requested failure semantics.
+
+        ``work(shard, bundle, deadline=None)`` runs one sub-query; on
+        the resilient path the attempt loop supplies the sub-query's
+        shared :class:`~repro.utils.clock.Deadline`, on the strict path
+        there is none.
 
         No policy + ``fail_fast`` is the strict legacy path: one attempt
         per shard, any failure raises (now as an aggregated
@@ -932,7 +1006,7 @@ class ShardedVideoDatabase:
     def _scatter(
         self,
         shards: list[Shard],
-        work: Callable[[Shard, CostCounters], object],
+        work: Callable[[Shard, CostCounters, Deadline | None], object],
         total_counters: CostCounters,
     ) -> list:
         """Run ``work(shard, bundle)`` on every shard, thread-parallel.
@@ -979,7 +1053,7 @@ class ShardedVideoDatabase:
     def _scatter_resilient(
         self,
         shards: list[Shard],
-        work: Callable[[Shard, CostCounters], object],
+        work: Callable[[Shard, CostCounters, Deadline | None], object],
         policy: FaultPolicy,
     ) -> list[AttemptOutcome]:
         """Run every shard's sub-query under ``policy``, thread-parallel.
@@ -998,7 +1072,7 @@ class ShardedVideoDatabase:
             shard = shards[position]
             try:
                 outcomes[position] = run_attempts(
-                    lambda bundle: work(shard, bundle),
+                    lambda bundle, deadline: work(shard, bundle, deadline),
                     shard.shard_id,
                     policy,
                     self._health,
@@ -1090,7 +1164,7 @@ class ShardedVideoDatabase:
         (see :meth:`_reconcile`).
         """
         with self._lock:
-            self._check_open()
+            self._check_writable()
             if not isinstance(self._partitioner, KeyRangePartitioner):
                 raise ValueError(
                     "rebalance() requires a KeyRangePartitioner (hash placement "
@@ -1156,7 +1230,7 @@ class ShardedVideoDatabase:
         combination :meth:`_reconcile` restores to a consistent fleet.
         """
         with self._lock:
-            self._check_open()
+            self._check_writable()
             if self._path is None:
                 raise RuntimeError("checkpoint() requires a durable database")
             for shard in self._shards:

@@ -31,6 +31,8 @@ from repro.core.database import VideoDatabase
 from repro.core.engine import QueryEngine
 from repro.core.index import KNNResult, VitriIndex
 from repro.core.vitri import VideoSummary
+from repro.shard.resilience import ShardTimeout
+from repro.utils.clock import Deadline
 from repro.utils.counters import CostCounters
 
 __all__ = ["Shard"]
@@ -160,6 +162,21 @@ class Shard:
             self._engine.refresh()
         return self._engine
 
+    def _check_deadline(self, deadline: Deadline | None) -> None:
+        """Refuse to start work whose budget is already spent.
+
+        The budget-aware half of the deadline contract: the attempt loop
+        (and, over the wire, the shard server) passes the sub-query's
+        shared :class:`~repro.utils.clock.Deadline`, and an expired one
+        raises :class:`ShardTimeout` *before* any page is read — the
+        shard never computes an answer nobody is waiting for.
+        """
+        if deadline is not None and deadline.expired():
+            raise ShardTimeout(
+                f"shard {self._shard_id} budget spent "
+                f"{-deadline.remaining():.6f}s ago; refusing to start"
+            )
+
     def knn(
         self,
         query: VideoSummary,
@@ -168,8 +185,10 @@ class Shard:
         method: str = "composed",
         cold: bool = False,
         out_counters: CostCounters | None = None,
+        deadline: Deadline | None = None,
     ) -> KNNResult:
         """This shard's local top-``k`` for the query (engine-served)."""
+        self._check_deadline(deadline)
         result = self.engine().knn(
             query, k, method=method, cold=cold, out_counters=out_counters
         )
@@ -184,8 +203,10 @@ class Shard:
         method: str = "composed",
         cold: bool = False,
         out_counters: CostCounters | None = None,
+        deadline: Deadline | None = None,
     ) -> KNNResult:
         """This shard's videos scoring at least ``min_similarity``."""
+        self._check_deadline(deadline)
         if self._db.index is None:
             self._db.build()
         result = self._db.index.similarity_range(

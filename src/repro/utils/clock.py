@@ -22,15 +22,39 @@ Two implementations:
   per-thread offsets thread-local makes latencies measured inside one
   scatter worker independent of what every other worker sleeps, so a
   multi-threaded fault sweep is bit-for-bit repeatable.
+
+:class:`Deadline` sits on top of either clock: a fixed clock-time budget
+captured at construction, shared by everything resolving one request
+(attempts, backoff sleeps, hedges, and — through the wire protocol —
+remote shard servers).
+
+Process and thread boundaries
+-----------------------------
+Clock state never crosses a process boundary.  A ``VirtualClock`` (its
+base *and* its per-thread offsets) lives in the process that created it,
+so a subprocess shard server cannot share the router's clock object —
+each server installs its *own* clock (``--clock virtual`` in
+``repro.serve.shard_server``) and determinism is preserved by what goes
+over the wire instead: deadlines travel as **relative remaining
+budgets** (seconds, not absolute times), so the two clocks never need a
+common origin, and retry jitter stays a seeded hash on the client side.
+
+Within one process, a ``VirtualClock`` deadline must be created on the
+thread that will do the work: ``now()`` includes the *calling thread's*
+accumulated sleep offset, so a :class:`Deadline` captured on thread A
+and checked on thread B would mix two unrelated offset histories.  The
+serve layer therefore constructs its deadlines inside the executor
+thread that runs the query, never on the event-loop thread.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 
 
-__all__ = ["Clock", "SystemClock", "VirtualClock"]
+__all__ = ["Clock", "Deadline", "SystemClock", "VirtualClock"]
 
 
 class Clock:
@@ -95,3 +119,51 @@ class VirtualClock(Clock):
 
     def __repr__(self) -> str:
         return f"VirtualClock(now={self.now():.6f})"
+
+
+class Deadline:
+    """A clock-time budget shared by everything resolving one request.
+
+    Captures ``clock.now() + budget`` at construction; every later
+    :meth:`remaining` / :meth:`expired` call re-reads the same clock, so
+    sleeps (real or virtual) performed by the constructing thread count
+    against the budget.  ``budget=None`` means unbounded: ``expired()``
+    is always false and ``remaining()`` is ``inf`` — callers never need
+    to branch on whether a deadline was actually requested.
+
+    Under a :class:`VirtualClock` the deadline must be constructed on
+    the thread that will do the work (see the module docstring); to
+    cross a process boundary, send :meth:`remaining` and rebuild with
+    the receiver's own clock.
+    """
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(self, clock: Clock, budget: float | None) -> None:
+        self._clock = clock
+        if budget is None:
+            self._expires_at = math.inf
+        else:
+            budget = float(budget)
+            if not math.isfinite(budget):
+                raise ValueError(f"budget must be finite or None, got {budget}")
+            self._expires_at = clock.now() + budget
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this deadline can ever expire."""
+        return math.isfinite(self._expires_at)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once past due, ``inf`` if
+        unbounded) — what travels on the wire as the relative budget."""
+        return self._expires_at - self._clock.now()
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:
+        if not self.bounded:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining():.6f})"

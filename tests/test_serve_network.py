@@ -1,0 +1,275 @@
+"""Network-path equivalence and the front door's admission machinery.
+
+The headline test scatters the PR 7 golden corpora through a full
+:class:`~repro.serve.frontdoor.NetworkFleet` (thread-mode servers,
+remote proxies, read-only router, front door) and asserts the rankings
+are *bit-identical* to the in-process router's — scores, order, ties.
+
+The admission tests drive a :class:`~repro.serve.frontdoor.FrontDoor`
+over a stub router whose queries block on an event, so queue overflow,
+rate limiting and draining are exercised deterministically, without
+timing assumptions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+
+import pytest
+
+from repro.serve.frontdoor import (
+    FrontDoor,
+    FrontDoorServer,
+    NetworkFleet,
+    TokenBucket,
+)
+from repro.serve.protocol import (
+    RateLimited,
+    ServiceDraining,
+    ServiceOverloaded,
+)
+from repro.serve.transport import RemoteShardClient
+from repro.shard.router import ShardedVideoDatabase
+from repro.utils.clock import VirtualClock
+from tests.test_golden_rankings import EPSILON, K, SEEDS, build_corpus
+
+
+def build_fleet_dir(tmp: str, summaries, num_shards: int = 3) -> str:
+    fleet_dir = f"{tmp}/fleet"
+    db = ShardedVideoDatabase(
+        EPSILON, partitioner="hash", num_shards=num_shards, path=fleet_dir
+    )
+    for summary in summaries:
+        db.add_summary(summary)
+    db.close()
+    return fleet_dir
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_network_rankings_bit_identical_to_in_process(seed):
+    summaries, _ = build_corpus(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = build_fleet_dir(tmp, summaries)
+        with ShardedVideoDatabase(EPSILON, path=fleet_dir) as db:
+            local = [db.knn(query, K) for query in summaries]
+        with NetworkFleet(fleet_dir, mode="thread", workers=2) as fleet:
+            for query, want in zip(summaries, local):
+                got = fleet.query_sync(query, K, timeout=60.0)
+                assert got.videos == want.videos
+                assert got.scores == want.scores  # bitwise over TCP
+                assert got.coverage is not None
+                assert got.coverage.complete
+
+
+def test_read_only_router_refuses_mutation():
+    summaries, _ = build_corpus(SEEDS[0])
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = build_fleet_dir(tmp, summaries)
+        with NetworkFleet(fleet_dir, mode="thread") as fleet:
+            with pytest.raises(RuntimeError, match="read-only"):
+                fleet.router.add_summary(summaries[0])
+            with pytest.raises(RuntimeError, match="read-only"):
+                fleet.router.checkpoint()
+            assert fleet.router.video_ids() == {
+                summary.video_id for summary in summaries
+            }
+
+
+def test_restart_shard_under_live_traffic():
+    summaries, _ = build_corpus(SEEDS[1])
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = build_fleet_dir(tmp, summaries)
+        with ShardedVideoDatabase(EPSILON, path=fleet_dir) as db:
+            local = {
+                summary.video_id: db.knn(summary, K) for summary in summaries
+            }
+        with NetworkFleet(fleet_dir, mode="thread", workers=2) as fleet:
+            stop = threading.Event()
+            outcomes: list[tuple[int, object]] = []
+
+            def traffic() -> None:
+                position = 0
+                while not stop.is_set():
+                    query = summaries[position % len(summaries)]
+                    position += 1
+                    try:
+                        result = fleet.query_sync(query, K, timeout=60.0)
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        outcomes.append((query.video_id, exc))
+                    else:
+                        outcomes.append((query.video_id, result))
+
+            client = threading.Thread(target=traffic, name="traffic")
+            client.start()
+            try:
+                for shard_id in range(fleet.num_shards):
+                    fleet.restart_shard(shard_id)
+            finally:
+                stop.set()
+                client.join(30.0)
+
+            assert outcomes, "traffic thread never completed a query"
+            hard_failures = [
+                exc for _, exc in outcomes if isinstance(exc, Exception)
+            ]
+            assert not hard_failures, hard_failures
+            # Complete answers must equal the in-process golden result;
+            # degraded ones must say exactly what they are.
+            complete = 0
+            for video_id, result in outcomes:
+                if result.coverage is not None and result.coverage.complete:
+                    complete += 1
+                    assert result.videos == local[video_id].videos
+                    assert result.scores == local[video_id].scores
+            assert complete > 0, "no query ever saw the full fleet"
+
+            # After every restart the fleet is whole again.
+            final = fleet.query_sync(summaries[0], K, timeout=60.0)
+            assert final.coverage.complete
+            assert final.scores == local[summaries[0].video_id].scores
+
+
+def test_frontdoor_server_speaks_the_shard_protocol():
+    # The TCP front speaks the same framing as a shard server, so one
+    # client codec serves both layers — and rankings stay bit-identical
+    # through the extra hop.
+    summaries, _ = build_corpus(SEEDS[0])
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = build_fleet_dir(tmp, summaries)
+        with ShardedVideoDatabase(EPSILON, path=fleet_dir) as db:
+            want = db.knn(summaries[0], K)
+        with NetworkFleet(fleet_dir, mode="thread", workers=2) as fleet:
+            server = FrontDoorServer(fleet.frontdoor)
+            host, port = server.run_in_thread()
+            client = RemoteShardClient(host, port)
+            try:
+                assert client.request("ping") == {"pong": True}
+                body = client.request("knn", {"k": K}, summary=summaries[0])
+                assert tuple(int(v) for v in body["videos"]) == want.videos
+                assert tuple(
+                    float(score) for score in body["scores"]
+                ) == want.scores
+                assert body["coverage"]["complete"] is True
+                with pytest.raises(ValueError, match="requires a query"):
+                    client.request("knn", {"k": K})
+                assert client.request("status")["stats"]["admitted"] >= 1
+            finally:
+                client.close()
+                server.stop()
+                assert server.wait_closed(10.0)
+
+
+class StubRouter:
+    """A router whose queries block until released — admission tests
+    control exactly how many workers are busy and how deep the queue is.
+    """
+
+    def __init__(self) -> None:
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.served = 0
+        self._lock = threading.Lock()
+
+    def knn(self, query, k, **kwargs):
+        self.started.set()
+        self.gate.wait(30.0)
+        with self._lock:
+            self.served += 1
+        return (query, k)
+
+
+class TestFrontDoorShedding:
+    def test_overload_sheds_typed_and_queue_recovers(self):
+        router = StubRouter()
+        door = FrontDoor(router, max_queue=4, workers=1)
+        try:
+            # One query occupies the worker; four fill the queue.
+            futures = [door.submit("q0", 1)]
+            assert router.started.wait(10.0)  # worker holds q0, queue empty
+            futures += [door.submit(f"q{i}", 1) for i in range(1, 5)]
+            with pytest.raises(ServiceOverloaded, match="full"):
+                door.submit("overflow", 1)
+            stats = door.stats()
+            assert stats["admitted"] == 5
+            assert stats["shed_overload"] == 1
+            router.gate.set()  # release the backlog
+            for future in futures:
+                assert future.result(30.0) is not None
+            assert door.stats()["completed"] == 5
+            # Capacity is back: admission succeeds again.
+            assert door.submit("after", 1).result(30.0) is not None
+        finally:
+            router.gate.set()
+            door.drain()
+
+    def test_rate_limit_sheds_per_client_and_refills(self):
+        clock = VirtualClock()
+        router = StubRouter()
+        router.gate.set()  # serve instantly; this test is about admission
+        door = FrontDoor(
+            router, max_queue=16, workers=1, rate=1.0, burst=2.0, clock=clock
+        )
+        try:
+            door.submit("a", 1, client="alice").result(30.0)
+            door.submit("a", 1, client="alice").result(30.0)
+            with pytest.raises(RateLimited, match="alice"):
+                door.submit("a", 1, client="alice")
+            # Another client has their own bucket.
+            door.submit("b", 1, client="bob").result(30.0)
+            assert door.stats()["shed_rate_limited"] == 1
+            # Virtual time refills alice's bucket deterministically.
+            clock.advance(1.0)
+            door.submit("a", 1, client="alice").result(30.0)
+        finally:
+            door.drain()
+
+    def test_drain_sheds_then_stops_workers(self):
+        router = StubRouter()
+        router.gate.set()
+        door = FrontDoor(router, max_queue=4, workers=2)
+        door.submit("before", 1).result(30.0)
+        door.drain()
+        with pytest.raises(ServiceDraining, match="draining"):
+            door.submit("after", 1)
+        assert door.stats()["shed_draining"] == 1
+        door.drain()  # idempotent
+
+    def test_drain_fails_leftover_futures_instead_of_hanging(self):
+        router = StubRouter()  # gate never set: worker blocks forever
+        door = FrontDoor(router, max_queue=8, workers=1, drain_timeout=0.2)
+        blocked = door.submit("blocked", 1)
+        assert router.started.wait(10.0)  # the worker is wedged on it
+        queued = door.submit("queued", 1)
+        door.drain()
+        router.gate.set()  # let the stuck worker finish after the fact
+        assert blocked.result(30.0) is not None
+        with pytest.raises(ServiceDraining, match="drained before"):
+            queued.result(30.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_steady_rate(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(2.0, 3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(10.0, 2.0, clock=clock)
+        clock.advance(100.0)
+        assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -1.0)

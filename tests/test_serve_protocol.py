@@ -1,0 +1,279 @@
+"""Wire-protocol tests: framing fuzz, bit-exact codecs, typed errors.
+
+The framing layer is the only part of the system that reads untrusted
+bytes, so it gets the adversarial treatment: truncated frames, hostile
+length prefixes, garbage magic, mid-stream corruption.  The invariant
+under attack is simple — a malformed length field must never cause an
+allocation beyond :data:`~repro.serve.protocol.MAX_FRAME_BYTES`, and a
+framing error must poison the stream rather than resynchronise on
+garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.vitri import ViTri, VideoSummary
+from repro.serve.protocol import (
+    FRAME_ERROR,
+    FRAME_HEADER_BYTES,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    RateLimited,
+    RemoteShardError,
+    ServiceDraining,
+    ServiceOverloaded,
+    counters_from_wire,
+    counters_to_wire,
+    decode_error,
+    decode_frame_header,
+    decode_request,
+    decode_response,
+    decode_summary,
+    encode_error,
+    encode_frame,
+    encode_request,
+    encode_response,
+    encode_summary,
+    payload_to_exception,
+)
+from repro.shard.resilience import InjectedShardError, ShardDown, ShardTimeout
+from repro.utils.counters import CostCounters
+from repro.utils.rng import ensure_rng
+
+
+def make_summary(seed: int = 7, vitris: int = 3, dim: int = 5) -> VideoSummary:
+    rng = ensure_rng(seed)
+    parts = tuple(
+        ViTri(
+            rng.normal(size=dim),
+            float(rng.uniform(0.01, 2.0)),
+            int(rng.integers(1, 50)),
+        )
+        for _ in range(vitris)
+    )
+    frames = sum(vitri.count for vitri in parts)
+    return VideoSummary(int(rng.integers(0, 1000)), parts, num_frames=frames)
+
+
+class TestFraming:
+    def test_round_trip_each_type(self):
+        for frame_type in (FRAME_REQUEST, FRAME_RESPONSE, FRAME_ERROR):
+            frame = encode_frame(frame_type, b"payload")
+            decoder = FrameDecoder()
+            frames = decoder.feed(frame)
+            assert frames == [(frame_type, b"payload")]
+            assert decoder.buffered == 0
+
+    def test_byte_by_byte_feed(self):
+        frame = encode_frame(FRAME_REQUEST, b"drip-fed payload")
+        decoder = FrameDecoder()
+        collected = []
+        for position in range(len(frame)):
+            collected += decoder.feed(frame[position : position + 1])
+        assert collected == [(FRAME_REQUEST, b"drip-fed payload")]
+
+    def test_two_frames_in_one_feed(self):
+        blob = encode_frame(FRAME_REQUEST, b"one") + encode_frame(
+            FRAME_RESPONSE, b"two"
+        )
+        assert FrameDecoder().feed(blob) == [
+            (FRAME_REQUEST, b"one"),
+            (FRAME_RESPONSE, b"two"),
+        ]
+
+    def test_truncated_frame_stays_pending(self):
+        frame = encode_frame(FRAME_REQUEST, b"x" * 100)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.buffered == 99  # header consumed, payload partial
+        assert decoder.feed(frame[-1:]) == [(FRAME_REQUEST, b"x" * 100)]
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        # A header claiming a 4 GiB payload must die at header-parse
+        # time; the decoder may never wait for (or buffer towards) it.
+        header = struct.pack("!2sBI", MAGIC, FRAME_REQUEST, 2**32 - 1)
+        with pytest.raises(ProtocolError, match="cap"):
+            decode_frame_header(header)
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="cap"):
+            decoder.feed(header)
+        # Poisoned: no amount of follow-up bytes yields frames.
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(b"more")
+
+    def test_just_over_cap_rejected_just_under_accepted(self):
+        over = struct.pack("!2sBI", MAGIC, FRAME_REQUEST, MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            decode_frame_header(over)
+        at_cap = struct.pack("!2sBI", MAGIC, FRAME_REQUEST, MAX_FRAME_BYTES)
+        assert decode_frame_header(at_cap) == (FRAME_REQUEST, MAX_FRAME_BYTES)
+
+    def test_bad_magic_rejected(self):
+        header = struct.pack("!2sBI", b"XX", FRAME_REQUEST, 4)
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame_header(header)
+
+    def test_unknown_frame_type_rejected(self):
+        header = struct.pack("!2sBI", MAGIC, 0x7F, 4)
+        with pytest.raises(ProtocolError, match="type"):
+            decode_frame_header(header)
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame(FRAME_REQUEST, b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_random_garbage_never_yields_frames(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(50):
+            blob = rng.integers(0, 256, size=64, dtype=np.uint8).tobytes()
+            decoder = FrameDecoder()
+            try:
+                frames = decoder.feed(blob)
+            except ProtocolError:
+                continue  # rejected at a header boundary: fine
+            # Garbage that happens to parse as a valid header just waits
+            # for its (bounded) payload; it can never conjure one.
+            assert frames == []
+            assert decoder.buffered <= len(blob)
+
+
+class TestSummaryCodec:
+    def test_bit_exact_round_trip(self):
+        summary = make_summary()
+        rebuilt = decode_summary(encode_summary(summary))
+        assert rebuilt.video_id == summary.video_id
+        assert rebuilt.num_frames == summary.num_frames
+        assert len(rebuilt.vitris) == len(summary.vitris)
+        for mine, theirs in zip(summary.vitris, rebuilt.vitris):
+            # Bitwise, not approx: the whole point of the binary codec.
+            assert mine.position.tobytes() == theirs.position.tobytes()
+            assert repr(mine.radius) == repr(theirs.radius)
+            assert mine.count == theirs.count
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_summary(make_summary())
+        with pytest.raises(ProtocolError, match="match its header"):
+            decode_summary(blob[:-1])
+
+    def test_header_shorter_than_minimum_rejected(self):
+        with pytest.raises(ProtocolError, match="shorter"):
+            decode_summary(b"\x00" * 4)
+
+    def test_header_claiming_extra_vitris_rejected(self):
+        # Flip the ViTri count up: the byte count no longer matches, so
+        # the decoder must refuse rather than read out of bounds.
+        summary = make_summary(vitris=2)
+        blob = bytearray(encode_summary(summary))
+        struct.pack_into(
+            "<qqII", blob, 0, summary.video_id, summary.num_frames, 9, 5
+        )
+        with pytest.raises(ProtocolError):
+            decode_summary(bytes(blob))
+
+
+class TestRequestResponseCodec:
+    def test_request_round_trip_with_summary(self):
+        summary = make_summary()
+        payload = encode_request("knn", {"k": 5, "budget": 0.25}, summary)
+        op, params, got = decode_request(payload)
+        assert op == "knn"
+        assert params == {"k": 5, "budget": 0.25}
+        assert got is not None
+        assert got.vitris[0].position.tobytes() == (
+            summary.vitris[0].position.tobytes()
+        )
+
+    def test_request_round_trip_without_summary(self):
+        op, params, summary = decode_request(encode_request("ping", {}))
+        assert (op, params, summary) == ("ping", {}, None)
+
+    def test_request_header_length_beyond_payload_rejected(self):
+        payload = struct.pack("!I", 10_000) + b'{"op": "x"}'
+        with pytest.raises(ProtocolError, match="JSON header"):
+            decode_request(payload)
+
+    def test_request_too_short_rejected(self):
+        with pytest.raises(ProtocolError, match="too short"):
+            decode_request(b"\x00\x00")
+
+    def test_request_bad_json_rejected(self):
+        blob = b"not json at all"
+        payload = struct.pack("!I", len(blob)) + blob
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_request(payload)
+
+    def test_request_non_dict_params_rejected(self):
+        blob = b'{"op": "knn", "params": [1, 2]}'
+        payload = struct.pack("!I", len(blob)) + blob
+        with pytest.raises(ProtocolError, match="dict params"):
+            decode_request(payload)
+
+    def test_response_float_scores_survive_exactly(self):
+        scores = [0.1 + 0.2, 1.0 / 3.0, 2.0 ** -52, 7.23e-301]
+        body = decode_response(encode_response({"scores": scores}))
+        assert [repr(score) for score in body["scores"]] == [
+            repr(score) for score in scores
+        ]
+
+    def test_response_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_response(b"[1, 2, 3]")
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ShardTimeout,
+            ShardDown,
+            InjectedShardError,
+            ServiceOverloaded,
+            RateLimited,
+            ServiceDraining,
+            ProtocolError,
+            ValueError,
+            RuntimeError,
+        ],
+    )
+    def test_known_types_round_trip(self, exc_type):
+        rebuilt = payload_to_exception(
+            decode_error(encode_error(exc_type("boom")))
+        )
+        assert type(rebuilt) is exc_type
+        assert "boom" in str(rebuilt)
+
+    def test_unknown_type_degrades_to_remote_error(self):
+        rebuilt = payload_to_exception(
+            {"error_type": "SomethingExotic", "message": "?"}
+        )
+        assert isinstance(rebuilt, RemoteShardError)
+        assert "SomethingExotic" in str(rebuilt)
+
+    def test_service_draining_is_retryable_as_connection_error(self):
+        # The restart-under-traffic contract: a draining shard must look
+        # like a transient connectivity fault to the resilience layer's
+        # default retryable set (which includes OSError).
+        assert issubclass(ServiceDraining, ConnectionError)
+
+
+class TestCountersCodec:
+    def test_round_trip_including_extras(self):
+        bundle = CostCounters()
+        bundle.page_requests = 12
+        bundle.page_reads = 3
+        bundle.similarity_computations = 40
+        bundle.extra["range_searches"] = 5
+        rebuilt = counters_from_wire(counters_to_wire(bundle))
+        assert rebuilt.page_requests == 12
+        assert rebuilt.page_reads == 3
+        assert rebuilt.similarity_computations == 40
+        assert rebuilt.extra["range_searches"] == 5
+        assert rebuilt.snapshot() == bundle.snapshot()

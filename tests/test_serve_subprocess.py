@@ -1,0 +1,75 @@
+"""Subprocess smoke tests: spawn a real shard-server process, query it,
+drain it gracefully.
+
+Everything else in the serve suite runs servers on in-process threads
+for speed; this file is the proof that the ``python -m
+repro.serve.shard_server`` contract — JSON ready-line, serving, drain,
+clean exit — holds for an actual child process with its own clock and
+interpreter state.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.serve.frontdoor import NetworkFleet
+from repro.serve.shard_server import ShardServerHandle
+from repro.serve.transport import RemoteShard
+from repro.shard.router import ShardedVideoDatabase
+from repro.shard.shard import Shard
+from tests.test_golden_rankings import EPSILON, K, SEEDS, build_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    summaries, _ = build_corpus(SEEDS[0])
+    return summaries
+
+
+def test_spawn_query_drain(corpus, tmp_path):
+    shard_dir = str(tmp_path / "shard-0000")
+    shard = Shard(0, epsilon=EPSILON, path=shard_dir)
+    try:
+        for summary in corpus:
+            shard.add_summary(summary)
+        local = shard.knn(corpus[0], K)
+    finally:
+        shard.close()
+
+    handle = ShardServerHandle.spawn(shard_dir, 0, epsilon=EPSILON)
+    try:
+        assert handle.alive
+        remote = RemoteShard(0, handle.host, handle.port)
+        assert len(remote) == len(corpus)
+        got = remote.knn(corpus[0], K)
+        assert got.videos == local.videos
+        assert got.scores == local.scores  # bit-identical across processes
+        remote.close()
+        handle.drain()
+        assert handle.wait(30.0) == 0  # graceful exit, not a kill
+    finally:
+        if handle.alive:
+            handle.kill()
+
+
+def test_subprocess_fleet_matches_in_process(corpus, tmp_path):
+    fleet_dir = str(tmp_path / "fleet")
+    db = ShardedVideoDatabase(
+        EPSILON, partitioner="hash", num_shards=2, path=fleet_dir
+    )
+    for summary in corpus:
+        db.add_summary(summary)
+    local = [db.knn(query, K) for query in corpus[:4]]
+    db.close()
+
+    with NetworkFleet(fleet_dir, mode="subprocess", workers=2) as fleet:
+        for query, want in zip(corpus[:4], local):
+            got = fleet.query_sync(query, K, timeout=60.0)
+            assert got.videos == want.videos
+            assert got.scores == want.scores
+        status = fleet.status()
+        assert sum(
+            entry["videos"] for entry in status["shards"].values()
+        ) == len(corpus)

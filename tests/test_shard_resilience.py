@@ -626,6 +626,49 @@ class TestHedgingAndDeadlines:
         assert got.coverage.shards_timed_out == (DOWN_SHARD,)
         assert fleet.fleet_health()[DOWN_SHARD]["timeouts"] == 2
 
+    def test_exhausted_budget_never_runs_a_doomed_attempt(
+        self, small_summaries
+    ):
+        """Regression: deadline enforcement is budget-aware, not post-hoc.
+
+        Schedule a hard-down first op, then a slow fault whose delay
+        exceeds the whole budget.  The old post-hoc check would run the
+        retry to completion against the real shard and discard the
+        result; budget-aware enforcement aborts it at the injected delay
+        (before any real work) and skips the final attempt outright, so
+        the real shard serves *zero* queries and wastes zero pages.
+        """
+        fleet = make_fleet(small_summaries)
+        oracle = survivors_oracle(fleet, small_summaries, DOWN_SHARD)
+        fleet.inject_shard_faults(
+            ShardFaultInjector(
+                {
+                    DOWN_SHARD: [
+                        ShardFault("down", first_op=1, last_op=1),
+                        ShardFault.slow(self.DELAY, first_op=2),
+                    ]
+                }
+            )
+        )
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=3), deadline=self.DELAY / 2
+        )
+        query = small_summaries[0]
+        got = fleet.knn(
+            query, 5, prune=False, fault_policy=policy, fail_fast=False
+        )
+        expected = oracle.knn(query, 5)
+        assert got.videos == expected.videos
+        assert got.coverage.shards_timed_out == (DOWN_SHARD,)
+        # The slow retry aborted at the injected delay and the final
+        # attempt was skipped: the real shard never served anything.
+        assert fleet.shards[DOWN_SHARD].inner.queries_served == 0
+        health = fleet.fleet_health()[DOWN_SHARD]
+        assert health["failures"] == 3  # down, budget-aborted, skipped
+        assert health["timeouts"] == 2  # budget-aborted + skipped
+        assert health["retries"] == 1  # the skipped attempt never slept
+        assert health["wasted_page_reads"] == 0
+
 
 # ---------------------------------------------------------------------------
 # End-to-end determinism
