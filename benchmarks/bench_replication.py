@@ -1,0 +1,161 @@
+"""Read scaling via WAL-shipped replicas — the replication headline.
+
+One shard group — a durable primary plus WAL-shipped read replicas
+behind :class:`repro.replication.ReplicaSet` — serves a zipf-skewed
+query stream under closed-loop client pressure.  Queries route by
+video-id affinity, so each copy owns a slice of the hot set and keeps
+it resident in its two cache tiers (L1 exact-repeat results, L2 range
+blocks) while the cold tail's physical reads overlap across copies.
+
+Correctness is asserted *inside* the sweep: every replica count must
+return rankings bit-identical to primary-only serving, position by
+position, or :func:`repro.eval.replication.run_replication_benchmark`
+raises instead of reporting a QPS.  This file gates on the serving
+numbers — replicated read throughput and combined cache hit rate —
+written to ``BENCH_replication.json`` (the artifact CI uploads).
+"""
+
+import json
+import os
+import tempfile
+
+from repro.core.summarize import summarize_video
+from repro.eval.replication import run_replication_benchmark
+from repro.eval.serving import make_query_stream
+
+from _common import save_result
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import format_table
+
+EPSILON = 0.3
+# Pool: a small hot-family core plus a wide distractor tail, so the
+# zipf stream has a cacheable head and a tail that pays physical reads.
+DATASET = DatasetConfig(dim=8, num_families=20, family_size=3, num_distractors=180)
+NUM_QUERIES = 300
+WARMUP = 60  # served on the bare primary before replicas attach
+REPEAT_FRACTION = 0.35
+SKEW = 1.2
+K_VALUES = (5, 10)
+REPLICA_COUNTS = (0, 2)
+CLIENTS = 48
+SEED = 0
+# Tiny buffer pool + a real per-read sleep: the tree cannot live in
+# memory, so the tail is disk-bound and replicas overlap its waits.
+BUFFER_CAPACITY = 4
+READ_LATENCY = 0.015
+CACHE_SIZE = 128
+RANGE_CACHE_SIZE = 256
+
+JSON_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_replication.json"
+)
+
+
+def run_experiment():
+    dataset = generate_dataset(DATASET, seed=7)
+    summaries = [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    stream = make_query_stream(
+        summaries,
+        NUM_QUERIES,
+        seed=SEED,
+        repeat_fraction=REPEAT_FRACTION,
+        skew=SKEW,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-replication-") as tmp:
+        results = run_replication_benchmark(
+            tmp,
+            summaries,
+            stream,
+            epsilon=EPSILON,
+            k_values=K_VALUES,
+            replica_counts=REPLICA_COUNTS,
+            clients=CLIENTS,
+            warmup=WARMUP,
+            seed=SEED,
+            buffer_capacity=BUFFER_CAPACITY,
+            read_latency=READ_LATENCY,
+            cache_size=CACHE_SIZE,
+            range_cache_size=RANGE_CACHE_SIZE,
+        )
+    results["skew"] = SKEW
+    results["repeat_fraction"] = REPEAT_FRACTION
+    rows = [
+        (
+            run["replicas"],
+            run["copies"],
+            f"{run['qps']:.1f}",
+            f"{run['latency_p50_ms']:.1f}",
+            f"{run['latency_p95_ms']:.1f}",
+            f"{run['result_cache_hit_rate']:.2f}",
+            f"{run['range_cache_hit_rate']:.2f}",
+            f"{run['combined_cache_hit_rate']:.2f}",
+            run["fallbacks_to_primary"],
+        )
+        for run in results["runs"]
+    ]
+    table = format_table(
+        [
+            "replicas",
+            "copies",
+            "QPS",
+            "p50 ms",
+            "p95 ms",
+            "L1 hit",
+            "L2 hit",
+            "combined",
+            "fallbacks",
+        ],
+        rows,
+        title=(
+            f"replicated reads: {NUM_QUERIES - WARMUP} measured queries, "
+            f"zipf s={SKEW}, {CLIENTS} clients, "
+            f"{READ_LATENCY * 1e3:.0f} ms/read simulated disk"
+        ),
+    )
+    return table, results
+
+
+def check_acceptance(results):
+    # Acceptance: two replicas must nearly double read throughput on the
+    # skewed disk-bound workload, and the tiered caches must absorb most
+    # of the traffic (rankings already asserted bit-identical inside
+    # run_replication_benchmark).
+    assert results["speedup_replicated"] >= 1.8, results["speedup_replicated"]
+    assert results["combined_cache_hit_rate"] >= 0.6, results[
+        "combined_cache_hit_rate"
+    ]
+
+
+def test_replication_throughput(benchmark):
+    table, results = run_experiment()
+    save_result("replication_throughput", table)
+    with open(os.path.abspath(JSON_PATH), "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    check_acceptance(results)
+
+    dataset = generate_dataset(DATASET, seed=7)
+    summaries = [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    benchmark(
+        lambda: make_query_stream(
+            summaries,
+            NUM_QUERIES,
+            seed=SEED,
+            repeat_fraction=REPEAT_FRACTION,
+            skew=SKEW,
+        )
+    )
+
+
+if __name__ == "__main__":
+    table, results = run_experiment()
+    save_result("replication_throughput", table)
+    with open(os.path.abspath(JSON_PATH), "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"\nwrote {os.path.abspath(JSON_PATH)}")
+    check_acceptance(results)

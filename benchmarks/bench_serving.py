@@ -28,6 +28,7 @@ from repro.eval import format_table
 EPSILON = 0.3
 K = 10
 NUM_QUERIES = 24
+SKEW = 1.1  # zipf exponent: hot-key traffic, the shape real logs have
 READ_LATENCY = 0.002
 BUFFER_CAPACITY = 32
 CACHE_SIZE = 128
@@ -46,7 +47,7 @@ def run_experiment():
             Pager(read_latency=READ_LATENCY), capacity=BUFFER_CAPACITY
         ),
     )
-    stream = make_query_stream(summaries, NUM_QUERIES, seed=0)
+    stream = make_query_stream(summaries, NUM_QUERIES, seed=0, skew=SKEW)
     results = run_serving_benchmark(
         index,
         stream,
@@ -56,6 +57,7 @@ def run_experiment():
         cache_size=CACHE_SIZE,
         cold=True,
     )
+    results["skew"] = SKEW
     rows = [
         (
             run["workers"],

@@ -35,7 +35,7 @@ __all__ = ["InjectedClockRule"]
 # exact file suffixes, plus whole directories matched by containment
 # (``endswith`` cannot scope a package).
 _SCOPED_PATHS = ("shard/resilience.py", "shard/faults.py")
-_SCOPED_DIRS = ("repro/serve/",)
+_SCOPED_DIRS = ("repro/serve/", "repro/replication/")
 
 _BANNED_PREFIXES = ("time.", "random.", "numpy.random.", "np.random.")
 

@@ -107,15 +107,20 @@ class BPlusTree:
 
     def _persist_meta(self) -> None:
         meta = self._pool.fetch(0)
-        _META.pack_into(
-            meta.data,
-            0,
+        packed = _META.pack(
             _MAGIC,
             self._payload_size,
             self._root,
             self._height,
             self._num_entries,
         )
+        # Only dirty page 0 when the metadata actually moved: a flush of
+        # an unmodified tree must stay a no-op, or every read-only
+        # snapshot (query engines, WAL-shipping replicas) would buffer a
+        # phantom page-0 write it can never commit.
+        if bytes(meta.data[: _META.size]) == packed:
+            return
+        meta.data[: _META.size] = packed
         meta.mark_dirty()
 
     # ------------------------------------------------------------------

@@ -51,6 +51,12 @@ TCP front door with bounded admission.  Ctrl-C drains gracefully.
 against that stack (baseline pass, then every client offering
 ``--overadmission`` times its admission quota) and reports availability,
 typed-shed counts and tail latency.
+
+``repro-video bench-replication`` measures read scaling for one shard
+group — a durable primary plus WAL-shipped read replicas — under a
+zipf-skewed closed-loop stream, sweeping replica counts and reporting
+throughput plus per-tier cache hit rates; every configuration's
+rankings are asserted bit-identical to primary-only serving.
 """
 
 from __future__ import annotations
@@ -505,6 +511,97 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
         f"\navailability: {burst['availability']:.4f} "
         f"(p99 {burst['latency']['p99_ms']:.1f} ms, "
         f"bound {results['p99_bound_ms']:.1f} ms)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote metrics to {args.out}")
+    return 0
+
+
+def _cmd_bench_replication(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.eval.replication import run_replication_benchmark
+    from repro.eval.serving import make_query_stream
+
+    if args.dataset:
+        dataset = VideoDataset.load(args.dataset)
+    else:
+        dataset = generate_dataset(
+            DatasetConfig(
+                dim=8, num_families=20, family_size=3, num_distractors=180
+            ),
+            seed=args.seed,
+        )
+    summaries = _summaries(dataset, args.epsilon)
+    stream = make_query_stream(
+        summaries,
+        args.queries,
+        seed=args.seed,
+        repeat_fraction=args.repeat_fraction,
+        skew=args.skew,
+    )
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-replication-") as tmp:
+            results = run_replication_benchmark(
+                tmp,
+                summaries,
+                stream,
+                epsilon=args.epsilon,
+                replica_counts=tuple(args.replicas),
+                clients=args.clients,
+                warmup=args.warmup,
+                seed=args.seed,
+                buffer_capacity=args.buffer_capacity,
+                read_latency=args.read_latency,
+                cache_size=args.cache_size,
+                range_cache_size=args.range_cache_size,
+            )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        (
+            run["replicas"],
+            run["copies"],
+            f"{run['qps']:.1f}",
+            f"{run['latency_p50_ms']:.1f}",
+            f"{run['latency_p95_ms']:.1f}",
+            f"{run['result_cache_hit_rate']:.2f}",
+            f"{run['range_cache_hit_rate']:.2f}",
+            f"{run['combined_cache_hit_rate']:.2f}",
+            run["fallbacks_to_primary"],
+        )
+        for run in results["runs"]
+    ]
+    print(
+        format_table(
+            [
+                "replicas",
+                "copies",
+                "QPS",
+                "p50 ms",
+                "p95 ms",
+                "L1 hit",
+                "L2 hit",
+                "combined",
+                "fallbacks",
+            ],
+            rows,
+            title=(
+                f"replicated reads: {results['measured']} measured queries, "
+                f"zipf s={args.skew}, {results['clients']} clients, "
+                f"{args.read_latency * 1e3:.1f} ms/read simulated disk"
+            ),
+        )
+    )
+    print(
+        f"\nspeedup at {results['replica_counts'][-1]} replicas: "
+        f"{results['speedup_replicated']:.2f}x "
+        f"(combined cache hit rate "
+        f"{results['combined_cache_hit_rate']:.2f})"
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -1073,6 +1170,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write full metrics JSON here"
     )
     bench_service.set_defaults(func=_cmd_bench_service)
+
+    bench_replication = commands.add_parser(
+        "bench-replication",
+        help="benchmark read replicas and the tiered cache hierarchy",
+        description=(
+            "Build one durable primary, attach WAL-shipped read replicas, "
+            "and drive a zipf-skewed query stream through the replica "
+            "group closed-loop at each replica count; rankings are "
+            "asserted bit-identical to primary-only serving inside the "
+            "sweep. Reports throughput and per-tier cache hit rates; "
+            "write metrics as JSON."
+        ),
+    )
+    bench_replication.add_argument(
+        "--dataset",
+        default=None,
+        help=".npz dataset (default: generate a small synthetic one)",
+    )
+    bench_replication.add_argument("--epsilon", type=float, default=0.3)
+    bench_replication.add_argument(
+        "--queries", type=int, default=300, help="query-stream length"
+    )
+    bench_replication.add_argument(
+        "--warmup",
+        type=int,
+        default=60,
+        help="stream prefix served on the bare primary before replicas attach",
+    )
+    bench_replication.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=[0, 2],
+        help="replica counts to sweep (0 = primary-only baseline)",
+    )
+    bench_replication.add_argument(
+        "--clients", type=int, default=48, help="closed-loop client threads"
+    )
+    bench_replication.add_argument(
+        "--skew",
+        type=float,
+        default=1.2,
+        help="zipf exponent of the query stream (0 = uniform)",
+    )
+    bench_replication.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.35,
+        help="probability a stream position repeats an earlier one",
+    )
+    bench_replication.add_argument(
+        "--read-latency",
+        type=float,
+        default=0.015,
+        help="simulated seconds per physical page read",
+    )
+    bench_replication.add_argument("--buffer-capacity", type=int, default=4)
+    bench_replication.add_argument("--cache-size", type=int, default=128)
+    bench_replication.add_argument(
+        "--range-cache-size",
+        type=int,
+        default=256,
+        help="L2 range-block cache capacity per copy (0 disables the tier)",
+    )
+    bench_replication.add_argument("--seed", type=int, default=0)
+    bench_replication.add_argument(
+        "--out", default=None, help="write full metrics JSON here"
+    )
+    bench_replication.set_defaults(func=_cmd_bench_replication)
 
     fleet_health = commands.add_parser(
         "fleet-health",

@@ -208,6 +208,59 @@ class VideoDatabase:
         """The backing directory; ``None`` for an in-memory database."""
         return self._path
 
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The directory's shared write-ahead log (``None`` in-memory).
+
+        Exposed for the replication layer: the primary installs a
+        sealed-segment sink here, the replica applies shipped segments
+        through :meth:`~repro.storage.wal.WriteAheadLog.apply_external`.
+        """
+        return self._wal
+
+    def reload(self) -> None:
+        """Re-attach to the directory's *current* on-disk state.
+
+        The replica side of WAL shipping: after a shipped transaction
+        was applied through the WAL targets (new page images, new
+        ``db.json``), the in-memory view — buffer pools, the
+        :class:`VitriIndex` object, the id counter — is stale.  This
+        drops both pools and rebuilds the index from the fresh metadata
+        blob, exactly as reopening the directory would, without touching
+        the write-ahead log (the shipped transaction was already
+        committed by the primary; there is nothing to recover).
+        """
+        self._check_open()
+        if self._path is None:
+            raise RuntimeError("reload() requires a durable database")
+        if self._pending or self._wal.has_pending:
+            raise RuntimeError(
+                "reload() would discard uncommitted local changes"
+            )
+        self._btree_pool.clear()
+        self._heap_pool.clear()
+        self._index = None
+        meta_path = os.path.join(self._path, _META_FILE)
+        if not os.path.exists(meta_path):
+            return
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != _META_FORMAT:
+            raise ValueError(
+                f"{meta_path} has unsupported format {meta.get('format')!r}"
+            )
+        self._epsilon = float(meta["epsilon"])
+        self._reference = str(meta["reference"])
+        self._seed = int(meta["summarize_seed"])
+        self._next_video_id = int(meta["next_video_id"])
+        if meta["index"] is not None:
+            self._index = VitriIndex.from_storage(
+                self._btree_pool,
+                self._heap_pool,
+                meta["index"],
+                reference=self._reference,
+            )
+
     def __len__(self) -> int:
         pending = len(self._pending)
         indexed = self._index.num_videos if self._index is not None else 0

@@ -26,6 +26,15 @@ The paper measures one query at a time; a production deployment serves a
   across :meth:`QueryEngine.refresh` (or shared between shards) can never
   return a ranking computed over different content.  A cache hit returns
   the memoised result, including its original stats.
+* **Range-block tier.**  ``range_cache_size > 0`` adds a second tier
+  below the result cache: a :class:`~repro.core.range_cache.RangeCache`
+  of raw composed-range B+-tree blocks, shared by every worker view and
+  scoped on the same content token.  Queries that miss the result cache
+  (different ``k``, aged-out entry) still skip the tree for any range
+  another query already pulled; the blocks are pre-decode, so logical
+  cost signatures are unchanged.  :meth:`QueryEngine.hot_ranges` exports
+  the tier's working set and :meth:`QueryEngine.warm` replays one — the
+  replica-attach warming path.
 
 Throughput scaling comes from overlapping simulated disk waits: build the
 index over a ``Pager(read_latency=...)`` and each physical read sleeps
@@ -51,6 +60,7 @@ from repro.core.index import (
     _execute_query,
     _rank,
 )
+from repro.core.range_cache import RangeCache
 from repro.core.vitri import VideoSummary
 from repro.storage.buffer_pool import BufferPool
 from repro.utils.counters import CostCounters, Timer
@@ -156,6 +166,10 @@ class QueryEngine:
         LRU capacity of each worker's private buffer pool.
     cache_size:
         Maximum number of memoised results; ``0`` disables the cache.
+    range_cache_size:
+        Maximum number of composed-range blocks in the second cache
+        tier; ``0`` (default) disables the tier.  Only the vectorized
+        implementation consults it.
     """
 
     def __init__(
@@ -164,6 +178,7 @@ class QueryEngine:
         *,
         buffer_capacity: int = 256,
         cache_size: int = 128,
+        range_cache_size: int = 0,
         impl: str = "vectorized",
     ) -> None:
         if not isinstance(index, VitriIndex):
@@ -179,6 +194,14 @@ class QueryEngine:
             raise TypeError("cache_size must be an int")
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if not isinstance(range_cache_size, int) or isinstance(
+            range_cache_size, bool
+        ):
+            raise TypeError("range_cache_size must be an int")
+        if range_cache_size < 0:
+            raise ValueError(
+                f"range_cache_size must be >= 0, got {range_cache_size}"
+            )
 
         self._index = index
         self._buffer_capacity = buffer_capacity
@@ -193,6 +216,9 @@ class QueryEngine:
         self._cache_lock = make_lock("QueryEngine._cache_lock")
         self.cache_hits = 0
         self.cache_misses = 0
+        self._range_cache = (
+            RangeCache(range_cache_size) if range_cache_size > 0 else None
+        )
         self._take_snapshot()
 
     def _take_snapshot(self) -> None:
@@ -250,6 +276,64 @@ class QueryEngine:
         """Drop every memoised result (hit/miss tallies are kept)."""
         with self._cache_lock:
             self._cache.clear()
+
+    @property
+    def range_cache_size(self) -> int:
+        """Range-tier capacity in blocks (0 = tier disabled)."""
+        return (
+            self._range_cache.capacity if self._range_cache is not None else 0
+        )
+
+    @property
+    def range_cache_len(self) -> int:
+        """Number of range blocks currently cached."""
+        return len(self._range_cache) if self._range_cache is not None else 0
+
+    @property
+    def range_cache_hits(self) -> int:
+        """Range-tier hits since construction."""
+        return self._range_cache.hits if self._range_cache is not None else 0
+
+    @property
+    def range_cache_misses(self) -> int:
+        """Range-tier misses since construction."""
+        return self._range_cache.misses if self._range_cache is not None else 0
+
+    def hot_ranges(self) -> list[tuple[float, float]]:
+        """Ranges cached under the current snapshot token, LRU first.
+
+        A primary exports this as the warm set handed to a freshly
+        attached replica; replaying it through :meth:`warm` on the other
+        side reproduces the tier's state, because WAL-shipped copies
+        share content tokens byte-for-byte.
+        """
+        if self._range_cache is None:
+            return []
+        return self._range_cache.hot_ranges(self._snapshot_token)
+
+    def warm(self, ranges: list[tuple[float, float]]) -> int:
+        """Pre-load composed ranges into the range tier; returns the count.
+
+        The fetch runs on the serial view (its counters absorb the I/O),
+        under the current snapshot token.  A no-op when the tier is
+        disabled.
+        """
+        if self._range_cache is None or not ranges:
+            return 0
+        view = self._serial_view
+        counters = CostCounters()
+        self._range_cache.fetch(
+            self._snapshot_token,
+            [(float(low), float(high)) for low, high in ranges],
+            lambda missing: view.tree.range_search_many(
+                missing,
+                payload_dtype=self._codec.record_dtype,
+                counters=counters,
+            ),
+            counters,
+        )
+        view.counters.add(counters)
+        return len(ranges)
 
     # ------------------------------------------------------------------
     # Query paths
@@ -414,6 +498,9 @@ class QueryEngine:
 
         if cold:
             view.pool.clear()
+        # Cold mode promises physical reads equal to a solo cold run, so
+        # it bypasses the range tier along with the pool.
+        range_cache = None if cold else self._range_cache
         counters = CostCounters()
         with Timer() as timer:
             scores, candidates, ranges = _execute_query(
@@ -426,6 +513,8 @@ class QueryEngine:
                 video_frames=self._video_frames,
                 counters=counters,
                 impl=self._impl,
+                range_cache=range_cache,
+                cache_token=self._snapshot_token,
             )
             videos, kept_scores = _rank(scores, k)
         stats = QueryStats(
@@ -455,5 +544,6 @@ class QueryEngine:
         return (
             f"QueryEngine(dim={self._dim}, "
             f"buffer_capacity={self._buffer_capacity}, "
-            f"cache_size={self._cache_size})"
+            f"cache_size={self._cache_size}, "
+            f"range_cache_size={self.range_cache_size})"
         )

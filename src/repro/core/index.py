@@ -172,6 +172,8 @@ def _execute_query(
     video_frames: dict[int, int],
     counters: CostCounters,
     impl: str = "vectorized",
+    range_cache=None,
+    cache_token: str | None = None,
 ) -> tuple[dict[int, float], int, int]:
     """Run one KNN candidate pass and return ``(scores, candidates, ranges)``.
 
@@ -200,6 +202,15 @@ def _execute_query(
     Per-stage wall time (I/O / deserialize / geometry / merge) is
     accumulated into ``counters.extra["stage_*_s"]`` for the latency
     benchmark's breakdown.
+
+    ``range_cache`` (a :class:`~repro.core.range_cache.RangeCache`) with
+    its epoch ``cache_token`` routes the vectorized bulk range search
+    through the composed-range block cache: ranges already cached under
+    the token skip the tree entirely, missing ranges are fetched in one
+    ``range_search_many`` call and inserted.  The cache stores raw
+    pre-decode blocks and charges ``records_scanned`` on hits, so the
+    logical cost signature stays identical either way.  The scalar
+    oracle path never consults the cache.
     """
     gamma = [vitri.radius + epsilon / 2.0 for vitri in query.vitris]
     query_keys = [transform.key(vitri.position) for vitri in query.vitris]
@@ -219,11 +230,23 @@ def _execute_query(
         # The leaves hold the full ViTri records (the paper's layout),
         # so the bulk range search is the only I/O a query performs.
         with StageTimer(counters, "io"):
-            blocks = btree.range_search_many(
-                search_ranges,
-                payload_dtype=codec.record_dtype,
-                counters=counters,
-            )
+            if range_cache is not None and cache_token is not None:
+                blocks = range_cache.fetch(
+                    cache_token,
+                    search_ranges,
+                    lambda missing: btree.range_search_many(
+                        missing,
+                        payload_dtype=codec.record_dtype,
+                        counters=counters,
+                    ),
+                    counters,
+                )
+            else:
+                blocks = btree.range_search_many(
+                    search_ranges,
+                    payload_dtype=codec.record_dtype,
+                    counters=counters,
+                )
         if method == "naive":
             with StageTimer(counters, "deserialize"):
                 parts = [

@@ -1,0 +1,168 @@
+"""Composed-range result cache: the tier below the exact-repeat cache.
+
+The engine's result LRU only pays when the *whole query* repeats —
+``(snapshot token, query fingerprint, k, method)`` must match exactly,
+so the same hot video queried with a different ``k`` re-reads every
+leaf.  :class:`RangeCache` memoises one level down: the raw
+``(keys, records)`` block a composed search range pulls out of the
+B+-tree.  Two queries that compose the same ranges share the blocks even
+when their result-cache keys differ (different ``k``, different method,
+a result entry that aged out of the smaller L1).
+
+Three properties keep the tier exact:
+
+* **Epoch scoping.**  Every entry is keyed on the index's content token,
+  the same fingerprint the result cache uses — a block cached before an
+  insert/remove becomes unreachable the moment the token moves, so a
+  stale leaf image can never feed a fresh query.  Because a WAL-shipped
+  replica is a byte-identical copy of its primary, tokens (and therefore
+  cached keys) are portable across copies — that is what replica
+  cache warming replays.
+* **Raw blocks.**  Entries hold the *undecoded* arrays exactly as
+  ``range_search_many`` returned them (owned copies, never views into
+  pooled pages).  Decoding, masking and scoring still run per query, so
+  the logical cost signature — ``records_scanned``, ``records_decoded``,
+  ``similarity_computations``, ``candidates``, ``ranges`` — is identical
+  with the cache on or off; only physical I/O (``page_requests``,
+  ``node_visits``, ``physical_reads``) drops on a hit.
+* **I/O outside the lock.**  A miss fetches through the caller's tree
+  handle *after* releasing the cache lock, so concurrent workers never
+  serialise on each other's page reads (two threads missing the same
+  range fetch it twice and insert the same bytes — wasteful, never
+  wrong).
+
+``records_scanned`` is charged on hits (the block's records are handed
+to the query as if freshly scanned) to keep the logical signature
+exact; hits and misses are additionally tallied into
+``counters.extra["range_cache_hits"/"range_cache_misses"]`` per query.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.utils.counters import CostCounters
+from repro.utils.locks import make_lock
+
+__all__ = ["RangeCache"]
+
+_Block = tuple  # (keys ndarray, records ndarray)
+_Key = tuple  # (token, low, high)
+
+
+class RangeCache:
+    """Size-bounded LRU of composed-range B+-tree blocks.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached range blocks (>= 1).  One entry holds
+        one range's keys/records arrays; size the tier to the hot
+        working set, not the whole tree.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            raise TypeError("capacity must be an int")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = make_lock("RangeCache._lock")
+        self._entries: OrderedDict[_Key, _Block] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached range blocks."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached block (hit/miss tallies are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def hot_ranges(self, token: str) -> list[tuple[float, float]]:
+        """The ranges cached under ``token``, least-recently-used first.
+
+        The warm set a freshly attached replica replays: iterating these
+        in order and fetching them re-creates this cache's state (and
+        pulls the backing leaves into the fetching view's buffer pool).
+        """
+        with self._lock:
+            return [
+                (low, high)
+                for (entry_token, low, high) in self._entries
+                if entry_token == token
+            ]
+
+    def fetch(
+        self,
+        token: str,
+        ranges: list[tuple[float, float]],
+        fetch_many: Callable[[list[tuple[float, float]]], list[_Block]],
+        counters: CostCounters | None = None,
+    ) -> list[_Block]:
+        """Blocks for ``ranges`` in order, from cache or ``fetch_many``.
+
+        ``fetch_many(missing)`` receives the cache-missing ranges (in
+        their original relative order) and must return one block per
+        range — the ``range_search_many`` contract.  It runs outside the
+        cache lock.
+        """
+        blocks: list[_Block | None] = [None] * len(ranges)
+        missing: list[int] = []
+        hit_records = 0
+        with self._lock:
+            for position, (low, high) in enumerate(ranges):
+                entry = self._entries.get((token, low, high))
+                if entry is None:
+                    missing.append(position)
+                    self.misses += 1
+                else:
+                    self._entries.move_to_end((token, low, high))
+                    blocks[position] = entry
+                    hit_records += int(entry[0].size)
+                    self.hits += 1
+        if counters is not None:
+            # Hits hand their records to the query exactly as a fresh
+            # scan would; charging them keeps the logical cost signature
+            # identical to the uncached path.
+            counters.records_scanned += hit_records
+            counters.extra["range_cache_hits"] = (
+                counters.extra.get("range_cache_hits", 0)
+                + len(ranges)
+                - len(missing)
+            )
+            counters.extra["range_cache_misses"] = (
+                counters.extra.get("range_cache_misses", 0) + len(missing)
+            )
+        if missing:
+            fetched = fetch_many([ranges[position] for position in missing])
+            if len(fetched) != len(missing):
+                raise RuntimeError(
+                    f"fetch_many returned {len(fetched)} blocks for "
+                    f"{len(missing)} ranges"
+                )
+            with self._lock:
+                for position, block in zip(missing, fetched):
+                    blocks[position] = block
+                    low, high = ranges[position]
+                    self._entries[(token, low, high)] = block
+                    self._entries.move_to_end((token, low, high))
+                while len(self._entries) > self._capacity:
+                    self._entries.popitem(last=False)
+        return blocks  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"RangeCache(capacity={self._capacity}, "
+                f"cached={len(self._entries)}, hits={self.hits}, "
+                f"misses={self.misses})"
+            )

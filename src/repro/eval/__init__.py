@@ -8,6 +8,7 @@ from repro.eval.ground_truth import GroundTruthCache, knn_ground_truth
 from repro.eval.harness import aggregate_stats, format_table
 from repro.eval.metrics import precision_at_k
 from repro.eval.refine import refine_ranking, refined_knn
+from repro.eval.replication import run_replication_benchmark
 from repro.eval.service import run_service_benchmark
 from repro.eval.serving import make_query_stream, run_serving_benchmark
 from repro.eval.sharding import build_fleet, run_sharding_benchmark
@@ -15,6 +16,7 @@ from repro.eval.sharding import build_fleet, run_sharding_benchmark
 __all__ = [
     "build_fleet",
     "run_fault_benchmark",
+    "run_replication_benchmark",
     "run_service_benchmark",
     "run_sharding_benchmark",
     "GroundTruthCache",

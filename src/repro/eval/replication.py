@@ -1,0 +1,313 @@
+"""Read-replica evaluation: does the copy fleet actually scale reads?
+
+The serving benchmark measures one engine; this one measures one
+*shard group* — a primary plus N WAL-shipped replicas behind a
+:class:`~repro.replication.group.ReplicaSet` — under the traffic shape
+replication exists for: a zipf-skewed stream where a small hot set
+dominates and the long tail pays physical reads.
+
+:func:`run_replication_benchmark` runs the same stream against the same
+data at several replica counts (``0`` = today's primary-only serving)
+and reports, per configuration:
+
+* **Throughput** — ``clients`` closed-loop threads drive the group;
+  each copy serves one query at a time behind its gate (the in-process
+  stand-in for one single-worker server per copy), so N synced copies
+  can overlap N queries' disk waits.
+* **Cache hierarchy** — per-tier tallies (L1 exact-repeat result cache,
+  L2 range-block cache) summed over every copy's engine, measured over
+  the timed phase only.
+* **Exactness** — every configuration must produce bit-identical
+  rankings, position by position; replication that answers differently
+  from the primary fails the benchmark rather than reporting a QPS.
+
+Each run has two phases.  A *warmup* prefix is served before replicas
+attach, so the primary's caches hold the stream's hot set; attaching
+then warms each replica's range tier from the primary's hot ranges
+(:meth:`ReplicaSet.attach_replica`'s warm-on-attach path).  The timed
+*measured* suffix is what the numbers come from — for every
+configuration alike, so primary-only and replicated runs face the same
+warm-primary starting line.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.core.vitri import VideoSummary
+from repro.replication import ReplicaSet, ReplicaShard
+from repro.shard.shard import Shard
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.counters import Timer
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import percentile
+
+__all__ = ["run_replication_benchmark"]
+
+
+def _build_primary(
+    path: str,
+    summaries: list[VideoSummary],
+    *,
+    epsilon: float,
+    buffer_capacity: int,
+    read_latency: float,
+    cache_size: int,
+    range_cache_size: int,
+) -> Shard:
+    """One durable primary holding every summary, checkpointed."""
+    shard = Shard(
+        0,
+        epsilon=epsilon,
+        path=path,
+        buffer_capacity=buffer_capacity,
+        read_latency=read_latency,
+        cache_size=cache_size,
+        range_cache_size=range_cache_size,
+    )
+    for summary in summaries:
+        shard.add_summary(summary)
+    shard.checkpoint()
+    return shard
+
+
+def _tier_tallies(group: ReplicaSet) -> dict:
+    """Summed per-tier cache tallies over every copy's built engine."""
+    tallies = {
+        "result_hits": 0,
+        "result_misses": 0,
+        "range_hits": 0,
+        "range_misses": 0,
+    }
+    for engine in group.serving_engines():
+        tallies["result_hits"] += engine.cache_hits
+        tallies["result_misses"] += engine.cache_misses
+        tallies["range_hits"] += engine.range_cache_hits
+        tallies["range_misses"] += engine.range_cache_misses
+    return tallies
+
+
+def _hit_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _drive(
+    group: ReplicaSet,
+    stream: list[VideoSummary],
+    ks: list[int],
+    clients: int,
+) -> tuple[list, float, list[float]]:
+    """Serve the stream closed-loop; return (rankings, wall, latencies).
+
+    ``clients`` threads pull the next unserved position from a shared
+    cursor, so the offered concurrency is constant until the stream
+    drains — the throughput ceiling is the group's, not the driver's.
+    """
+    cursor_lock = threading.Lock()
+    cursor = 0
+    rankings: list = [None] * len(stream)
+    latencies: list[float] = [0.0] * len(stream)
+    failures: list[BaseException] = []
+
+    def client() -> None:
+        nonlocal cursor
+        while True:
+            with cursor_lock:
+                position = cursor
+                cursor += 1
+            if position >= len(stream):
+                return
+            try:
+                with Timer() as timer:
+                    result = group.knn(stream[position], ks[position])
+            except BaseException as exc:  # surfaced after the join
+                failures.append(exc)
+                return
+            rankings[position] = (list(result.videos), list(result.scores))
+            latencies[position] = timer.elapsed
+
+    threads = [
+        threading.Thread(target=client, name=f"replication-client-{i}")
+        for i in range(min(clients, len(stream)))
+    ]
+    with Timer() as wall:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if failures:
+        raise failures[0]
+    return rankings, wall.elapsed, latencies
+
+
+def run_replication_benchmark(
+    path: str | os.PathLike,
+    summaries: list[VideoSummary],
+    stream: list[VideoSummary],
+    *,
+    epsilon: float,
+    k_values: tuple[int, ...] = (5, 10),
+    replica_counts: tuple[int, ...] = (0, 2),
+    clients: int = 4,
+    warmup: int = 0,
+    seed: int = 0,
+    buffer_capacity: int = 32,
+    read_latency: float = 0.002,
+    cache_size: int = 128,
+    range_cache_size: int = 256,
+    clock: Clock | None = None,
+) -> dict:
+    """Measure one shard group's read serving at several replica counts.
+
+    Each configuration builds a fresh topology under ``path`` (fresh
+    primary directory, fresh replica directories), serves the first
+    ``warmup`` stream positions through the bare primary, attaches the
+    replicas (bootstrapping from a snapshot and warming their range
+    tiers from the primary's hot ranges), then times the remaining
+    positions driven by ``clients`` closed-loop threads.  ``k_values``
+    vary ``k`` per position (seeded), so the stream exercises both
+    cache tiers: an exact repeat hits the result cache, the same query
+    at a different ``k`` falls through to the range tier.
+
+    Returns a JSON-serialisable dict (the ``BENCH_replication.json``
+    payload) whose headline numbers are ``speedup_replicated`` (measured
+    QPS of the largest configuration over primary-only) and
+    ``combined_cache_hit_rate`` (both tiers, largest configuration,
+    measured phase only).  Rankings must be bit-identical across every
+    configuration or the function raises.
+    """
+    if not summaries:
+        raise ValueError("summaries must be non-empty")
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    if not k_values:
+        raise ValueError("k_values must be non-empty")
+    if not replica_counts:
+        raise ValueError("replica_counts must be non-empty")
+    if not 0 <= warmup < len(stream):
+        raise ValueError(
+            f"warmup must leave a measured suffix: 0 <= {warmup} < "
+            f"{len(stream)}"
+        )
+    clock = clock if clock is not None else SystemClock()
+    path = os.fspath(path)
+    rng = ensure_rng(seed)
+    ks = [int(k_values[int(rng.integers(len(k_values)))]) for _ in stream]
+
+    runs: list[dict] = []
+    reference: list | None = None
+    for replicas in replica_counts:
+        run_dir = os.path.join(path, f"replicas-{replicas}")
+        primary = _build_primary(
+            os.path.join(run_dir, "primary"),
+            summaries,
+            epsilon=epsilon,
+            buffer_capacity=buffer_capacity,
+            read_latency=read_latency,
+            cache_size=cache_size,
+            range_cache_size=range_cache_size,
+        )
+        group = ReplicaSet(primary, clock=clock)
+        try:
+            warm_rankings, _, _ = (
+                _drive(group, stream[:warmup], ks[:warmup], 1)
+                if warmup
+                else ([], 0.0, [])
+            )
+            for index in range(replicas):
+                group.attach_replica(
+                    ReplicaShard(
+                        0,
+                        os.path.join(run_dir, f"replica-{index}"),
+                        epsilon=epsilon,
+                        clock=clock,
+                        buffer_capacity=buffer_capacity,
+                        read_latency=read_latency,
+                        cache_size=cache_size,
+                        range_cache_size=range_cache_size,
+                    )
+                )
+            before = _tier_tallies(group)
+            rankings, wall, latencies = _drive(
+                group, stream[warmup:], ks[warmup:], clients
+            )
+            after = _tier_tallies(group)
+            status = group.replication_status()
+        finally:
+            group.close()
+
+        full = warm_rankings + rankings
+        if reference is None:
+            reference = full
+        elif full != reference:
+            position = next(
+                i for i, (a, b) in enumerate(zip(full, reference)) if a != b
+            )
+            raise RuntimeError(
+                f"replicas={replicas} changed the ranking of stream "
+                f"position {position}: {full[position]} != "
+                f"{reference[position]}"
+            )
+
+        measured = {key: after[key] - before[key] for key in after}
+        combined_hits = measured["result_hits"] + measured["range_hits"]
+        combined_misses = (
+            measured["result_misses"] + measured["range_misses"]
+        )
+        ordered = sorted(latencies)
+        runs.append(
+            {
+                "replicas": replicas,
+                "copies": replicas + 1,
+                "queries": len(stream) - warmup,
+                "wall_time": wall,
+                "qps": (len(stream) - warmup) / wall if wall > 0 else 0.0,
+                "latency_p50_ms": percentile(ordered, 0.50, default=0.0)
+                * 1e3,
+                "latency_p95_ms": percentile(ordered, 0.95, default=0.0)
+                * 1e3,
+                "result_cache_hit_rate": _hit_rate(
+                    measured["result_hits"], measured["result_misses"]
+                ),
+                "range_cache_hit_rate": _hit_rate(
+                    measured["range_hits"], measured["range_misses"]
+                ),
+                "combined_cache_hit_rate": _hit_rate(
+                    combined_hits, combined_misses
+                ),
+                "cache_tallies": measured,
+                "fallbacks_to_primary": status["fallbacks_to_primary"],
+                "replica_states": [
+                    replica["state"] for replica in status["replicas"]
+                ],
+                "segments_applied": sum(
+                    replica["segments_applied"]
+                    for replica in status["replicas"]
+                ),
+                "bootstraps": sum(
+                    replica["bootstraps"] for replica in status["replicas"]
+                ),
+            }
+        )
+
+    baseline = runs[0]
+    headline = runs[-1]
+    return {
+        "queries": len(stream),
+        "warmup": warmup,
+        "measured": len(stream) - warmup,
+        "k_values": list(k_values),
+        "clients": clients,
+        "replica_counts": list(replica_counts),
+        "buffer_capacity": buffer_capacity,
+        "read_latency": read_latency,
+        "cache_size": cache_size,
+        "range_cache_size": range_cache_size,
+        "runs": runs,
+        "speedup_replicated": (
+            headline["qps"] / baseline["qps"] if baseline["qps"] > 0 else 0.0
+        ),
+        "combined_cache_hit_rate": headline["combined_cache_hit_rate"],
+    }

@@ -17,6 +17,8 @@ like N outstanding requests against one disk.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.engine import QueryEngine
 from repro.core.index import VitriIndex
 from repro.core.vitri import VideoSummary
@@ -31,13 +33,16 @@ def make_query_stream(
     *,
     seed: int = 0,
     repeat_fraction: float = 0.5,
+    skew: float = 0.0,
 ) -> list[VideoSummary]:
-    """A seeded query stream with deliberate repeats.
+    """A seeded query stream with deliberate repeats and optional skew.
 
     Real query logs are skewed — popular videos are queried again and
     again — and repeats are what a result cache exists for.  Each stream
     position is, with probability ``repeat_fraction``, a repeat of an
-    earlier position; otherwise a fresh uniform draw from ``summaries``.
+    earlier position; otherwise a fresh draw from ``summaries`` —
+    uniform at ``skew=0``, zipf-weighted otherwise, so hot-key traffic
+    concentrates on a small popular set the way production logs do.
 
     Parameters
     ----------
@@ -49,6 +54,13 @@ def make_query_stream(
         RNG seed; the same arguments always yield the same stream.
     repeat_fraction:
         Probability that a position repeats an earlier one.
+    skew:
+        Zipf exponent ``s`` for fresh draws: the ``r``-th most popular
+        summary is drawn with probability proportional to
+        ``1 / r**s``.  Popularity ranks are a seeded permutation of the
+        pool (so "who is hot" varies with the seed, not the pool
+        order).  ``0.0`` keeps today's uniform draws; ``~1.0`` is the
+        classic web-traffic shape.
     """
     if not summaries:
         raise ValueError("summaries must be non-empty")
@@ -58,13 +70,25 @@ def make_query_stream(
         raise ValueError(
             f"repeat_fraction must be in [0, 1], got {repeat_fraction}"
         )
+    if skew < 0.0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
     rng = ensure_rng(seed)
+    weights = None
+    if skew > 0.0:
+        # summaries[order[r]] is the r-th most popular; weights follow
+        # the zipf law over ranks, normalised to a distribution.
+        order = rng.permutation(len(summaries))
+        ranked = 1.0 / np.arange(1, len(summaries) + 1, dtype=np.float64) ** skew
+        weights = np.empty(len(summaries), dtype=np.float64)
+        weights[order] = ranked / ranked.sum()
     stream: list[VideoSummary] = []
     for _ in range(num_queries):
         if stream and rng.random() < repeat_fraction:
             stream.append(stream[int(rng.integers(len(stream)))])
-        else:
+        elif weights is None:
             stream.append(summaries[int(rng.integers(len(summaries)))])
+        else:
+            stream.append(summaries[int(rng.choice(len(summaries), p=weights))])
     return stream
 
 

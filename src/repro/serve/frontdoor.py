@@ -60,6 +60,7 @@ from repro.serve.protocol import (
     encode_response,
     stats_to_wire,
 )
+from repro.replication import ReplicaSet, ReplicaShard
 from repro.serve.shard_server import ShardServer, ShardServerHandle
 from repro.serve.transport import RemoteShard
 from repro.shard.router import ShardedKNNResult, ShardedVideoDatabase
@@ -133,6 +134,13 @@ class FrontDoor:
     rate, burst:
         Per-client token bucket (tokens/second and capacity).  ``None``
         disables rate limiting; ``burst`` defaults to ``rate``.
+    bucket_ttl:
+        Seconds of idleness after which a client's bucket is evicted
+        (the per-client map is otherwise unbounded: every distinct
+        client name would pin a bucket forever).  Keep it at or above
+        ``burst / rate`` — an idle bucket refills to full burst within
+        that window anyway, so eviction never grants tokens a live
+        bucket would still be withholding.  ``None`` disables eviction.
     fault_policy:
         Forwarded to every query (``None`` means the router's default
         :class:`~repro.shard.resilience.FaultPolicy`); queries always
@@ -153,12 +161,15 @@ class FrontDoor:
         workers: int = 2,
         rate: float | None = None,
         burst: float | None = None,
+        bucket_ttl: float | None = 300.0,
         fault_policy=None,
         clock: Clock | None = None,
         drain_timeout: float = 5.0,
     ) -> None:
         check_positive_int(max_queue, "max_queue")
         check_positive_int(workers, "workers")
+        if bucket_ttl is not None:
+            check_positive(bucket_ttl, "bucket_ttl")
         self._router = router
         self._policy = fault_policy
         self._clock = clock if clock is not None else SystemClock()
@@ -167,6 +178,7 @@ class FrontDoor:
             self._burst = float(burst) if burst is not None else self._rate
         else:
             self._burst = None
+        self._bucket_ttl = bucket_ttl
         self._max_queue = max_queue
         self._drain_timeout = drain_timeout
         # Guards the admission state: the draining flag, the per-client
@@ -176,6 +188,8 @@ class FrontDoor:
         self._lock = make_lock("FrontDoor._lock")
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._buckets: dict[str, TokenBucket] = {}
+        self._bucket_seen: dict[str, float] = {}
+        self._last_sweep = self._clock.now()
         self._draining = False
         self._stats = {
             "admitted": 0,
@@ -225,12 +239,15 @@ class FrontDoor:
                 )
             bucket = None
             if self._rate is not None:
+                now = self._clock.now()
+                self._sweep_buckets(now)
                 bucket = self._buckets.get(client)
                 if bucket is None:
                     bucket = TokenBucket(
                         self._rate, self._burst, clock=self._clock
                     )
                     self._buckets[client] = bucket
+                self._bucket_seen[client] = now
         if bucket is not None and not bucket.try_acquire():
             with self._lock:
                 self._stats["shed_rate_limited"] += 1
@@ -288,6 +305,28 @@ class FrontDoor:
         with self._lock:
             self._stats[key] += 1
 
+    def _sweep_buckets(self, now: float) -> None:
+        """Evict buckets idle past the TTL (caller holds ``_lock``).
+
+        Runs at most once per TTL window, so a burst of submits pays
+        one dictionary scan per window, not per query.  Clients seen
+        within the window keep their bucket (and its debt); the rest
+        are forgotten — by the TTL contract their buckets would have
+        refilled to full burst by now anyway.
+        """
+        ttl = self._bucket_ttl
+        if ttl is None or now - self._last_sweep < ttl:
+            return
+        self._last_sweep = now
+        stale = [
+            client
+            for client, seen in self._bucket_seen.items()
+            if now - seen >= ttl
+        ]
+        for client in stale:
+            del self._buckets[client]
+            del self._bucket_seen[client]
+
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
@@ -295,6 +334,7 @@ class FrontDoor:
         """Admission and outcome tallies plus the live queue depth."""
         with self._lock:
             snapshot = dict(self._stats)
+            snapshot["rate_limit_clients"] = len(self._buckets)
         snapshot["queue_depth"] = self._queue.qsize()
         return snapshot
 
@@ -363,7 +403,19 @@ class NetworkFleet:
         clock — see ``subprocess_clock`` and :mod:`repro.utils.clock`.
     subprocess_clock:
         ``"system"`` or ``"virtual"``, forwarded to spawned servers.
-    max_queue, workers, rate, burst, fault_policy, drain_timeout:
+    replicas_per_shard:
+        Read replicas behind each shard endpoint (thread mode only).
+        Each shard server then fronts a
+        :class:`~repro.replication.group.ReplicaSet`: the primary plus
+        ``N`` :class:`~repro.replication.replica.ReplicaShard` copies
+        bootstrapped from the primary's checkpoint snapshot into
+        sibling ``<shard-dir>-replica<i>`` directories, with reads
+        load-balanced across the synced copies.
+    range_cache_size:
+        Range-block cache tier per served copy (see
+        :class:`~repro.core.range_cache.RangeCache`; 0 disables).
+    max_queue, workers, rate, burst, bucket_ttl, fault_policy,
+    drain_timeout:
         Front-door knobs, forwarded verbatim.
     """
 
@@ -375,10 +427,13 @@ class NetworkFleet:
         clock: Clock | None = None,
         cache_size: int = 128,
         buffer_capacity: int = 256,
+        replicas_per_shard: int = 0,
+        range_cache_size: int = 0,
         max_queue: int = 32,
         workers: int = 2,
         rate: float | None = None,
         burst: float | None = None,
+        bucket_ttl: float | None = 300.0,
         fault_policy=None,
         drain_timeout: float = 5.0,
         subprocess_clock: str = "system",
@@ -386,6 +441,13 @@ class NetworkFleet:
         if mode not in ("thread", "subprocess"):
             raise ValueError(
                 f"mode must be 'thread' or 'subprocess', got {mode!r}"
+            )
+        if replicas_per_shard < 0:
+            raise ValueError("replicas_per_shard must be >= 0")
+        if replicas_per_shard and mode != "thread":
+            raise ValueError(
+                "replicas_per_shard requires mode='thread' (subprocess "
+                "servers own their shard directory exclusively)"
             )
         self._path = os.fspath(path)
         manifest_path = os.path.join(self._path, "shards.json")
@@ -398,6 +460,8 @@ class NetworkFleet:
         self._clock = clock if clock is not None else SystemClock()
         self._cache_size = cache_size
         self._buffer_capacity = buffer_capacity
+        self._replicas_per_shard = replicas_per_shard
+        self._range_cache_size = range_cache_size
         self._drain_timeout = drain_timeout
         self._subprocess_clock = subprocess_clock
         self._closed = False
@@ -418,6 +482,7 @@ class NetworkFleet:
             workers=workers,
             rate=rate,
             burst=burst,
+            bucket_ttl=bucket_ttl,
             fault_policy=fault_policy,
             clock=self._clock,
             drain_timeout=drain_timeout,
@@ -434,8 +499,14 @@ class NetworkFleet:
                 path=shard_dir,
                 buffer_capacity=self._buffer_capacity,
                 cache_size=self._cache_size,
+                range_cache_size=self._range_cache_size,
             )
-            server = ShardServer(shard, clock=self._clock)
+            endpoint = (
+                self._replicate(shard, shard_dir)
+                if self._replicas_per_shard
+                else shard
+            )
+            server = ShardServer(endpoint, clock=self._clock)
             host, port = server.run_in_thread()
             self._servers[position] = server
             return host, port
@@ -445,10 +516,34 @@ class NetworkFleet:
             epsilon=self._epsilon,
             cache_size=self._cache_size,
             buffer_capacity=self._buffer_capacity,
+            range_cache_size=self._range_cache_size,
             clock=self._subprocess_clock,
         )
         self._servers[position] = handle
         return handle.host, handle.port
+
+    def _replicate(self, primary: Shard, shard_dir: str) -> ReplicaSet:
+        """Wrap one primary in a replica group with bootstrapped copies.
+
+        Replica directories sit next to the shard's
+        (``<shard-dir>-replica<i>``), so the manifest's directories stay
+        byte-owned by their primaries and a re-bootstrap can wipe a
+        replica's directory without touching durable state.
+        """
+        group = ReplicaSet(primary, clock=self._clock)
+        for index in range(self._replicas_per_shard):
+            group.attach_replica(
+                ReplicaShard(
+                    primary.shard_id,
+                    f"{shard_dir}-replica{index}",
+                    epsilon=self._epsilon,
+                    clock=self._clock,
+                    buffer_capacity=self._buffer_capacity,
+                    cache_size=self._cache_size,
+                    range_cache_size=self._range_cache_size,
+                )
+            )
+        return group
 
     # ------------------------------------------------------------------
     # Introspection

@@ -274,12 +274,16 @@ class ShardServer:
         if op == "ping":
             return {"pong": True, "shard_id": shard.shard_id}
         if op == "status":
-            return {
+            body = {
                 "shard_id": shard.shard_id,
                 "videos": len(shard),
                 "queries_served": getattr(shard, "queries_served", 0),
                 "draining": self._draining,
             }
+            replication = getattr(shard, "replication_status", None)
+            if replication is not None:
+                body["replication"] = replication()
+            return body
         if op == "video_ids":
             return {"video_ids": sorted(shard.video_ids())}
         if op == "may_contain":
@@ -408,6 +412,7 @@ class ShardServerHandle:
         host: str = "127.0.0.1",
         cache_size: int = 128,
         buffer_capacity: int = 256,
+        range_cache_size: int = 0,
         clock: str = "system",
         faults: dict | None = None,
     ) -> "ShardServerHandle":
@@ -439,6 +444,8 @@ class ShardServerHandle:
             str(cache_size),
             "--buffer-capacity",
             str(buffer_capacity),
+            "--range-cache-size",
+            str(range_cache_size),
             "--clock",
             clock,
         ]
@@ -520,6 +527,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--cache-size", type=int, default=128)
     parser.add_argument("--buffer-capacity", type=int, default=256)
+    parser.add_argument("--range-cache-size", type=int, default=0)
     parser.add_argument(
         "--clock",
         choices=("system", "virtual"),
@@ -541,6 +549,7 @@ def main(argv: list[str] | None = None) -> int:
         path=args.shard_dir,
         buffer_capacity=args.buffer_capacity,
         cache_size=args.cache_size,
+        range_cache_size=args.range_cache_size,
     )
     if args.faults:
         from repro.shard.faults import FaultInjectingShard, ShardFaultInjector

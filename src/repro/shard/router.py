@@ -721,13 +721,18 @@ class ShardedVideoDatabase:
                 per_shard, coverage = self._dispatch(
                     queried,
                     pruned,
-                    lambda shard, bundle, deadline=None: shard.knn(
+                    lambda shard, bundle, deadline=None, attempt=0: shard.knn(
                         query,
                         k,
                         method=method,
                         cold=cold,
                         out_counters=bundle,
                         deadline=deadline,
+                        **(
+                            {"attempt": attempt}
+                            if getattr(shard, "replica_aware", False)
+                            else {}
+                        ),
                     ),
                     total_counters,
                     fault_policy,
@@ -777,13 +782,20 @@ class ShardedVideoDatabase:
                 per_shard, coverage = self._dispatch(
                     queried,
                     pruned,
-                    lambda shard, bundle, deadline=None: shard.similarity_range(
-                        query,
-                        min_similarity,
-                        method=method,
-                        cold=cold,
-                        out_counters=bundle,
-                        deadline=deadline,
+                    lambda shard, bundle, deadline=None, attempt=0: (
+                        shard.similarity_range(
+                            query,
+                            min_similarity,
+                            method=method,
+                            cold=cold,
+                            out_counters=bundle,
+                            deadline=deadline,
+                            **(
+                                {"attempt": attempt}
+                                if getattr(shard, "replica_aware", False)
+                                else {}
+                            ),
+                        )
                     ),
                     total_counters,
                     fault_policy,
@@ -949,10 +961,14 @@ class ShardedVideoDatabase:
     ) -> tuple[list, Coverage]:
         """Scatter under the requested failure semantics.
 
-        ``work(shard, bundle, deadline=None)`` runs one sub-query; on
-        the resilient path the attempt loop supplies the sub-query's
-        shared :class:`~repro.utils.clock.Deadline`, on the strict path
-        there is none.
+        ``work(shard, bundle, deadline=None, attempt=0)`` runs one
+        sub-query; on the resilient path the attempt loop supplies the
+        sub-query's shared :class:`~repro.utils.clock.Deadline` and the
+        dispatch ordinal (0 for the first attempt, +1 per retry or
+        hedge), on the strict path there is neither.  ``work`` forwards
+        the ordinal only to shard-likes that declare
+        ``replica_aware = True`` (a :class:`ReplicaSet` uses it to send
+        each attempt of one query to a *different* copy).
 
         No policy + ``fail_fast`` is the strict legacy path: one attempt
         per shard, any failure raises (now as an aggregated
@@ -1072,7 +1088,13 @@ class ShardedVideoDatabase:
             shard = shards[position]
             try:
                 outcomes[position] = run_attempts(
-                    lambda bundle, deadline: work(shard, bundle, deadline),
+                    # Three positional parameters: run_attempts detects
+                    # the third and feeds each dispatch its ordinal, so
+                    # replica-aware shards can route hedges/retries to a
+                    # different copy.
+                    lambda bundle, deadline, attempt=0: work(
+                        shard, bundle, deadline, attempt
+                    ),
                     shard.shard_id,
                     policy,
                     self._health,
@@ -1124,24 +1146,53 @@ class ShardedVideoDatabase:
             wall_time=elapsed,
         )
 
+    @staticmethod
+    def _shard_engines(shard) -> list:
+        """Every built engine behind one routed shard-like.
+
+        A plain :class:`Shard` has at most its own engine; a replica
+        group exposes ``serving_engines()`` so the tallies count every
+        copy that actually served traffic.
+        """
+        serving = getattr(shard, "serving_engines", None)
+        if serving is not None:
+            return serving()
+        engine = shard._engine
+        return [engine] if engine is not None else []
+
     def _cache_tallies(self) -> tuple[int, int]:
         """Summed (hits, misses) of every shard engine built so far."""
         hits = 0
         misses = 0
         for shard in self._shards:
-            engine = shard._engine
-            if engine is not None:
+            for engine in self._shard_engines(shard):
                 hits += engine.cache_hits
                 misses += engine.cache_misses
         return hits, misses
 
-    def _shard_load(self, shard: Shard) -> CostCounters:
-        """One shard's cumulative serving I/O (folded worker bundles)."""
+    def _shard_load(self, shard) -> CostCounters:
+        """One shard's cumulative serving I/O (folded worker bundles),
+        summed across every copy for a replica group."""
         load = CostCounters()
-        engine = shard._engine
-        if engine is not None:
+        for engine in self._shard_engines(shard):
             load.add(engine._serial_view.counters)
         return load
+
+    def replication_status(self) -> list[dict]:
+        """Per-shard replication telemetry, for shards that have any.
+
+        Replica-aware shard-likes (:class:`ReplicaSet`) report their
+        shipper position and per-replica state; plain shards contribute
+        nothing.  An empty list therefore means an unreplicated fleet.
+        """
+        with self._lock:
+            self._check_open()
+            statuses = []
+            for shard in self._shards:
+                status = getattr(shard, "replication_status", None)
+                if status is not None:
+                    statuses.append(status())
+            return statuses
 
     # ------------------------------------------------------------------
     # Rebalancing

@@ -54,6 +54,9 @@ class Shard:
         Shard directory (durable fleet) or ``None`` (in-memory fleet).
     cache_size:
         Result-cache capacity of the shard's query engine.
+    range_cache_size:
+        Composed-range block-cache capacity of the engine's second tier
+        (``0`` disables it; see :class:`~repro.core.range_cache.RangeCache`).
     """
 
     def __init__(
@@ -67,6 +70,7 @@ class Shard:
         buffer_capacity: int = 256,
         read_latency: float = 0.0,
         cache_size: int = 128,
+        range_cache_size: int = 0,
         fault_injector=None,
     ) -> None:
         self._shard_id = shard_id
@@ -81,6 +85,7 @@ class Shard:
         )
         self._buffer_capacity = buffer_capacity
         self._cache_size = cache_size
+        self._range_cache_size = range_cache_size
         self._engine: QueryEngine | None = None
         self._engine_index: VitriIndex | None = None
         self._bounds_token: str | None = None
@@ -156,6 +161,7 @@ class Shard:
                 index,
                 buffer_capacity=self._buffer_capacity,
                 cache_size=self._cache_size,
+                range_cache_size=self._range_cache_size,
             )
             self._engine_index = index
         elif self._engine.snapshot_token != index.content_token():

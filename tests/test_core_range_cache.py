@@ -1,0 +1,188 @@
+"""Tests for repro.core.range_cache (the L2 composed-range tier).
+
+Unit tests pin the cache's own contract — LRU bounds, epoch scoping on
+the content token, the ``fetch_many`` protocol — and the engine-level
+tests pin what makes the tier safe to enable: rankings and the logical
+cost signature are identical with the tier on or off; only physical
+I/O drops on a hit.  The warm/hot-ranges round trip is what replica
+attach replays, so it is pinned here too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.index import VitriIndex
+from repro.core.range_cache import RangeCache
+from repro.core.summarize import summarize_video
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.utils.counters import CostCounters
+
+EPSILON = 0.3
+TOKEN_A = "aa" * 16
+TOKEN_B = "bb" * 16
+
+
+def block(*keys):
+    values = np.asarray(keys, dtype=np.float64)
+    return (values, np.zeros(len(keys), dtype=np.uint8))
+
+
+def spy_fetcher(log):
+    def fetch_many(missing):
+        log.extend(missing)
+        return [block(low) for low, _ in missing]
+
+    return fetch_many
+
+
+class TestRangeCacheUnit:
+    def test_capacity_validation(self):
+        with pytest.raises(TypeError):
+            RangeCache("four")
+        with pytest.raises(TypeError):
+            RangeCache(True)
+        with pytest.raises(ValueError):
+            RangeCache(0)
+
+    def test_hits_and_misses_are_tallied(self):
+        cache = RangeCache(4)
+        fetched: list = []
+        counters = CostCounters()
+        cache.fetch(TOKEN_A, [(0.0, 1.0)], spy_fetcher(fetched), counters)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert fetched == [(0.0, 1.0)]
+        cache.fetch(TOKEN_A, [(0.0, 1.0)], spy_fetcher(fetched), counters)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert fetched == [(0.0, 1.0)], "a hit must not re-fetch"
+        assert counters.extra["range_cache_hits"] == 1
+        assert counters.extra["range_cache_misses"] == 1
+
+    def test_hit_charges_records_scanned(self):
+        cache = RangeCache(4)
+        cache.fetch(TOKEN_A, [(0.0, 1.0)], lambda m: [block(1.0, 2.0, 3.0)])
+        counters = CostCounters()
+        cache.fetch(TOKEN_A, [(0.0, 1.0)], lambda m: [], counters)
+        assert counters.records_scanned == 3
+
+    def test_lru_eviction_bounds_the_tier(self):
+        cache = RangeCache(2)
+        fetched: list = []
+        for low in (0.0, 1.0, 2.0):
+            cache.fetch(TOKEN_A, [(low, low + 1)], spy_fetcher(fetched))
+        assert len(cache) == 2
+        # (0.0, 1.0) was evicted; re-fetching it is a miss again.
+        cache.fetch(TOKEN_A, [(0.0, 1.0)], spy_fetcher(fetched))
+        assert fetched.count((0.0, 1.0)) == 2
+
+    def test_epoch_scoping_on_the_content_token(self):
+        cache = RangeCache(4)
+        fetched: list = []
+        cache.fetch(TOKEN_A, [(0.0, 1.0)], spy_fetcher(fetched))
+        # The same range under a new token is a different epoch: the old
+        # block must be unreachable, never served to the fresh state.
+        cache.fetch(TOKEN_B, [(0.0, 1.0)], spy_fetcher(fetched))
+        assert len(fetched) == 2
+        assert cache.hot_ranges(TOKEN_A) == [(0.0, 1.0)]
+        assert cache.hot_ranges(TOKEN_B) == [(0.0, 1.0)]
+
+    def test_fetch_many_contract_violation_raises(self):
+        cache = RangeCache(4)
+        with pytest.raises(RuntimeError, match="blocks for"):
+            cache.fetch(TOKEN_A, [(0.0, 1.0), (2.0, 3.0)], lambda m: [])
+
+
+def build_index():
+    config = DatasetConfig(
+        dim=8, num_families=3, family_size=3, num_distractors=6
+    )
+    dataset = generate_dataset(config, seed=7)
+    summaries = [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    return summaries, VitriIndex.build(summaries, EPSILON, buffer_capacity=16)
+
+
+class TestEngineRangeTier:
+    def test_k_variant_hits_the_range_tier_below_l1(self):
+        summaries, index = build_index()
+        engine = QueryEngine(
+            index, buffer_capacity=8, cache_size=0, range_cache_size=32
+        )
+        bare = QueryEngine(index, buffer_capacity=8, cache_size=0)
+        query = summaries[0]
+        engine.knn(query, 3)
+        assert engine.range_cache_misses > 0
+        assert engine.range_cache_hits == 0
+
+        # Same query, different k: L1 would miss (different key), but
+        # the composed ranges are the same blocks.
+        misses_before = engine.range_cache_misses
+        got = engine.knn(query, 5)
+        want = bare.knn(query, 5)
+        assert engine.range_cache_hits > 0
+        assert engine.range_cache_misses == misses_before
+        assert got.videos == want.videos
+        assert [repr(s) for s in got.scores] == [repr(s) for s in want.scores]
+
+    def test_logical_signature_identical_tier_on_or_off(self):
+        summaries, index = build_index()
+        engine = QueryEngine(
+            index, buffer_capacity=8, cache_size=0, range_cache_size=32
+        )
+        bare = QueryEngine(index, buffer_capacity=8, cache_size=0)
+        query = summaries[1]
+        engine.knn(query, 3)  # heat the tier
+
+        cached_counters = CostCounters()
+        bare_counters = CostCounters()
+        engine.knn(query, 3, out_counters=cached_counters)
+        bare.knn(query, 3, cold=True, out_counters=bare_counters)
+        for field in (
+            "similarity_computations",
+            "distance_computations",
+            "records_scanned",
+            "records_decoded",
+        ):
+            assert getattr(cached_counters, field) == getattr(
+                bare_counters, field
+            ), field
+        # The tier's whole point: served from memory, no tree I/O.
+        assert cached_counters.page_requests < bare_counters.page_requests
+        assert cached_counters.btree_node_visits == 0
+
+    def test_warm_replays_another_engines_hot_ranges(self):
+        summaries, index = build_index()
+        source = QueryEngine(
+            index, buffer_capacity=8, cache_size=0, range_cache_size=32
+        )
+        target = QueryEngine(
+            index, buffer_capacity=8, cache_size=0, range_cache_size=32
+        )
+        query = summaries[2]
+        want = source.knn(query, 4)
+        hot = source.hot_ranges()
+        assert hot
+
+        assert target.warm(hot) == len(hot)
+        assert target.range_cache_len == len(hot)
+        misses_before = target.range_cache_misses
+        got = target.knn(query, 4)
+        assert target.range_cache_hits > 0
+        assert target.range_cache_misses == misses_before
+        assert got.videos == want.videos
+        assert [repr(s) for s in got.scores] == [repr(s) for s in want.scores]
+
+    def test_disabled_tier_reports_zeroes(self):
+        summaries, index = build_index()
+        engine = QueryEngine(index, buffer_capacity=8, cache_size=0)
+        engine.knn(summaries[0], 3)
+        assert engine.range_cache_size == 0
+        assert engine.range_cache_len == 0
+        assert engine.range_cache_hits == 0
+        assert engine.range_cache_misses == 0
+        assert engine.hot_ranges() == []
+        assert engine.warm([(0.0, 1.0)]) == 0

@@ -1,0 +1,419 @@
+"""Tests for repro.replication (WAL shipping, replicas, replica sets).
+
+The protocol tests pin the sealed-segment stream: every commit seals
+exactly one segment, tokens form a hash chain over index states, and a
+snapshot lands a replica at an exact verified ``(seq, token)``.  The
+serving tests pin the routing contract the router relies on: affinity
+keeps a video's queries on one home copy, attempt ordinals walk hedges
+to *different* copies, breaker-tripped replicas fall back to the
+primary, and — the one invariant everything else leans on — every copy
+answers every query bit-identically to the primary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.core.summarize import summarize_video
+from repro.replication import (
+    EMPTY_TOKEN,
+    NEEDS_BOOTSTRAP,
+    SYNCED,
+    ReplicaSet,
+    ReplicaShard,
+    ReplicaUnavailable,
+    SealedSegment,
+    SegmentLog,
+    WalShipper,
+    decode_segment,
+    encode_segment,
+)
+from repro.replication.shipper import database_token
+from repro.shard.resilience import BreakerPolicy
+from repro.shard.shard import Shard
+from repro.utils.clock import VirtualClock
+
+EPSILON = 0.3
+
+
+def make_summaries(count: int = 12, *, seed: int = 7, dim: int = 8):
+    config = DatasetConfig(
+        dim=dim,
+        num_families=3,
+        family_size=3,
+        num_distractors=max(count - 9, 1),
+    )
+    dataset = generate_dataset(config, seed=seed)
+    return [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(min(count, dataset.num_videos))
+    ]
+
+
+def make_primary(path, summaries, **kwargs) -> Shard:
+    shard = Shard(0, epsilon=EPSILON, path=str(path), **kwargs)
+    for summary in summaries:
+        shard.add_summary(summary)
+    shard.checkpoint()
+    return shard
+
+
+class TestSegmentFrame:
+    def test_round_trip(self):
+        segment = SealedSegment(
+            seq=3, base_token="ab" * 16, after_token="cd" * 16, payload=b"xyz"
+        )
+        assert decode_segment(encode_segment(segment)) == segment
+
+    def test_rejects_bad_tokens_and_seq(self):
+        with pytest.raises(ValueError):
+            SealedSegment(
+                seq=-1, base_token="0" * 32, after_token="0" * 32, payload=b""
+            )
+        with pytest.raises(ValueError):
+            SealedSegment(
+                seq=0, base_token="zz" * 16, after_token="0" * 32, payload=b""
+            )
+        with pytest.raises(ValueError):
+            SealedSegment(
+                seq=0, base_token="short", after_token="0" * 32, payload=b""
+            )
+
+
+class TestSegmentLog:
+    def test_since_returns_suffix_in_order(self):
+        log = SegmentLog()
+        for seq in (1, 2, 3):
+            log.append(seq, bytes([seq]))
+        assert log.since(0) == [b"\x01", b"\x02", b"\x03"]
+        assert log.since(2) == [b"\x03"]
+        assert log.since(3) == []
+        assert log.latest_seq == 3
+
+    def test_truncated_history_returns_none(self):
+        log = SegmentLog(retain=2)
+        for seq in (1, 2, 3, 4):
+            log.append(seq, bytes([seq]))
+        assert len(log) == 2
+        # A replica at seq 1 needs segment 2, which was truncated away.
+        assert log.since(1) is None
+        assert log.since(2) == [b"\x03", b"\x04"]
+
+    def test_rejects_non_ascending_seq(self):
+        log = SegmentLog()
+        log.append(5, b"x")
+        with pytest.raises(ValueError, match="not after"):
+            log.append(5, b"y")
+
+
+class TestWalShipper:
+    def test_every_commit_seals_one_chained_segment(self, tmp_path):
+        summaries = make_summaries()
+        primary = make_primary(tmp_path / "primary", summaries[:6])
+        clock = VirtualClock()
+        shipper = WalShipper(primary, clock=clock)
+        assert shipper.seq == 0
+        base = shipper.token
+        assert base == database_token(primary.database)
+
+        primary.add_summary(summaries[6])
+        primary.checkpoint()
+        primary.add_summary(summaries[7])
+        primary.checkpoint()
+        assert shipper.seq == len(shipper.log)
+
+        # The stream is a hash chain: each base is the previous after.
+        token = base
+        for encoded in shipper.segments_since(0):
+            segment = decode_segment(encoded)
+            assert segment.base_token == token
+            token = segment.after_token
+        assert token == shipper.token
+        assert token == database_token(primary.database)
+        primary.close()
+
+    def test_snapshot_checkpoints_for_an_exact_seq(self, tmp_path):
+        summaries = make_summaries()
+        primary = make_primary(tmp_path / "primary", summaries[:6])
+        shipper = WalShipper(primary, clock=VirtualClock())
+        primary.add_summary(summaries[6])  # uncheckpointed tail
+        snapshot = shipper.snapshot()
+        # The cut sealed the pending work, so the image is current.
+        assert snapshot.seq == shipper.seq
+        assert snapshot.token == shipper.token
+        assert snapshot.files["index.btree"]
+        assert snapshot.files["db.json"]
+        primary.close()
+
+    def test_requires_durable_primary(self):
+        shard = Shard(0, epsilon=EPSILON)  # in-memory
+        with pytest.raises(ValueError, match="durable"):
+            WalShipper(shard, clock=VirtualClock())
+
+
+class TestReplicaShard:
+    def test_bootstrap_restores_exact_state(self, tmp_path):
+        summaries = make_summaries()
+        primary = make_primary(tmp_path / "primary", summaries)
+        shipper = WalShipper(primary, clock=VirtualClock())
+        replica = ReplicaShard(
+            0, tmp_path / "replica", epsilon=EPSILON, clock=VirtualClock()
+        )
+        assert replica.state == NEEDS_BOOTSTRAP
+        with pytest.raises(ReplicaUnavailable):
+            replica.knn(summaries[0], 3)
+
+        replica.bootstrap(shipper.snapshot())
+        assert replica.state == SYNCED
+        assert replica.applied_seq == shipper.seq
+        assert replica.token == shipper.token
+        assert replica.video_ids() == primary.video_ids()
+
+        want = primary.knn(summaries[0], 3)
+        got = replica.knn(summaries[0], 3)
+        assert got.videos == want.videos
+        assert got.scores == want.scores
+        primary.close()
+        replica.close()
+
+    def test_apply_segment_advances_seq_and_token(self, tmp_path):
+        summaries = make_summaries()
+        primary = make_primary(tmp_path / "primary", summaries[:8])
+        shipper = WalShipper(primary, clock=VirtualClock())
+        replica = ReplicaShard(
+            0, tmp_path / "replica", epsilon=EPSILON, clock=VirtualClock()
+        )
+        replica.bootstrap(shipper.snapshot())
+        baseline_seq = replica.applied_seq
+
+        primary.add_summary(summaries[8])
+        primary.checkpoint()
+        pending = shipper.segments_since(baseline_seq)
+        assert pending
+        for encoded in pending:
+            assert replica.apply_segment(encoded)
+        assert replica.state == SYNCED
+        assert replica.applied_seq == shipper.seq
+        assert replica.token == shipper.token
+        assert replica.token == database_token(primary.database)
+        assert replica.video_ids() == primary.video_ids()
+        assert replica.segments_applied == len(pending)
+        primary.close()
+        replica.close()
+
+
+class TestReplicaSet:
+    def make_group(self, tmp_path, summaries, replicas=2, **kwargs):
+        clock = VirtualClock()
+        primary = make_primary(tmp_path / "primary", summaries)
+        group = ReplicaSet(primary, clock=clock, **kwargs)
+        for index in range(replicas):
+            group.attach_replica(
+                ReplicaShard(
+                    0,
+                    tmp_path / f"replica-{index}",
+                    epsilon=EPSILON,
+                    clock=clock,
+                )
+            )
+        return group, clock
+
+    def test_attach_bootstraps_to_current_state(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries)
+        status = group.replication_status()
+        assert len(status["replicas"]) == 2
+        for replica in status["replicas"]:
+            assert replica["state"] == SYNCED
+            assert replica["token"] == status["shipper_token"]
+        group.close()
+
+    def test_write_then_sync_catches_replicas_up(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries[:9])
+        group.add_summary(summaries[9])
+        group.checkpoint()
+        tally = group.sync()
+        assert tally["applied"] > 0
+        assert tally["bootstrapped"] == 0
+        for replica in group.replicas:
+            assert replica.state == SYNCED
+            assert replica.token == group.shipper.token
+            assert replica.video_ids() == group.primary.video_ids()
+        group.close()
+
+    def test_truncated_log_forces_rebootstrap(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries[:8], retain=1)
+        # Two checkpointed writes truncate the suffix the replicas need.
+        for summary in summaries[8:10]:
+            group.add_summary(summary)
+            group.checkpoint()
+        tally = group.sync()
+        assert tally["bootstrapped"] == 2
+        for replica in group.replicas:
+            assert replica.state == SYNCED
+            assert replica.token == group.shipper.token
+        group.close()
+
+    def test_affinity_keeps_a_video_on_one_copy(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries)
+        for query in summaries:
+            key = query.video_id
+            homes = {
+                id(group._admitted(0, key).target) for _ in range(3)
+            }
+            assert len(homes) == 1, "affinity must be deterministic"
+        # The pool has 3 copies; a spread of keys must use more than one.
+        used = {
+            id(group._admitted(0, query.video_id).target)
+            for query in summaries
+        }
+        assert len(used) > 1, "affinity must spread keys over copies"
+        group.close()
+
+    def test_attempt_ordinals_walk_distinct_copies(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries)
+        key = summaries[0].video_id
+        targets = {
+            id(group._admitted(attempt, key).target) for attempt in range(3)
+        }
+        assert len(targets) == 3, "hedges must reach different copies"
+        group.close()
+
+    def test_all_replicas_tripped_falls_back_to_primary(self, tmp_path):
+        summaries = make_summaries()
+        policy = BreakerPolicy(min_volume=1, failure_rate=0.5)
+        group, clock = self.make_group(
+            tmp_path, summaries, breaker_policy=policy
+        )
+        for copy in group._replicas:
+            copy.breaker.record(False, clock.now())
+            assert not copy.breaker.allow(clock.now())
+        before = group.fallbacks_to_primary
+        result = group.knn(summaries[0], 3)
+        assert result.videos  # served by the primary
+        assert group.fallbacks_to_primary == before + 1
+        group.close()
+
+    def test_rankings_bit_identical_on_every_copy(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries)
+        for query in summaries:
+            want = group.primary.knn(query, 4)
+            for attempt in range(3):  # walks all three copies
+                got = group.knn(query, 4, attempt=attempt)
+                assert got.videos == want.videos
+                assert got.scores == want.scores
+        group.close()
+
+    def test_warm_on_attach_transfers_hot_ranges(self, tmp_path):
+        summaries = make_summaries()
+        clock = VirtualClock()
+        primary = make_primary(
+            tmp_path / "primary", summaries, range_cache_size=64
+        )
+        # Heat the primary's range tier, then attach a cold copy.
+        engine = primary.engine()
+        for query in summaries[:4]:
+            primary.knn(query, 3)
+        assert engine.hot_ranges(), "primary should have cached ranges"
+
+        group = ReplicaSet(primary, clock=clock)
+        replica = ReplicaShard(
+            0,
+            tmp_path / "replica",
+            epsilon=EPSILON,
+            clock=clock,
+            range_cache_size=64,
+        )
+        group.attach_replica(replica)
+        warmed = replica.built_engine
+        assert warmed is not None
+        assert warmed.range_cache_len > 0, "attach must warm the L2 tier"
+        # A warmed copy serves a hot query without new range misses.
+        misses_before = warmed.range_cache_misses
+        got = replica.knn(summaries[0], 3)
+        want = primary.knn(summaries[0], 3)
+        assert got.videos == want.videos
+        assert warmed.range_cache_misses == misses_before
+        group.close()
+
+    def test_serving_engines_covers_every_built_copy(self, tmp_path):
+        summaries = make_summaries()
+        group, _ = self.make_group(tmp_path, summaries)
+        for attempt in range(3):
+            group.knn(summaries[0], 3, attempt=attempt)
+        assert len(group.serving_engines()) == 3
+        group.close()
+
+
+class TestRouterOverReplicaSet:
+    """The scatter router serves a ReplicaSet like any shard — strict
+    and resilient dispatch paths, telemetry seams, batch serving."""
+
+    @pytest.fixture
+    def routed(self, tmp_path):
+        from repro.shard.router import ShardedVideoDatabase
+
+        summaries = make_summaries()
+        clock = VirtualClock()
+        primary = make_primary(tmp_path / "primary", summaries)
+        group = ReplicaSet(primary, clock=clock)
+        for index in range(2):
+            group.attach_replica(
+                ReplicaShard(
+                    0,
+                    tmp_path / f"replica-{index}",
+                    epsilon=EPSILON,
+                    clock=clock,
+                )
+            )
+        router = ShardedVideoDatabase.from_shards(
+            [group], epsilon=EPSILON, clock=clock
+        )
+        yield router, group, summaries
+        router.close()
+
+    def test_strict_and_resilient_paths_agree(self, routed):
+        from repro.shard.resilience import FaultPolicy
+
+        router, _, summaries = routed
+        for query in summaries[:4]:
+            strict = router.knn(query, 4)
+            resilient = router.knn(query, 4, fault_policy=FaultPolicy())
+            assert strict.videos == resilient.videos
+            assert strict.scores == resilient.scores
+            strict_range = router.similarity_range(query, 0.5)
+            resilient_range = router.similarity_range(
+                query, 0.5, fault_policy=FaultPolicy()
+            )
+            assert strict_range.videos == resilient_range.videos
+
+    def test_router_telemetry_sees_every_copy(self, routed):
+        router, group, summaries = routed
+        for attempt in range(3):
+            group.knn(summaries[0], 3, attempt=attempt)
+        hits, misses = router._cache_tallies()
+        assert misses > 0
+        load = router._shard_load(group)
+        assert load.page_requests > 0
+        status = router.replication_status()
+        assert len(status) == 1
+        assert len(status[0]["replicas"]) == 2
+        assert all(
+            replica["state"] == SYNCED for replica in status[0]["replicas"]
+        )
+
+    def test_serve_many_over_a_replica_group(self, routed):
+        router, _, summaries = routed
+        queries = summaries[:3]
+        want = [router.knn(query, 4) for query in queries]
+        batch = router.serve_many(queries, 4)
+        assert batch.metrics.queries == len(queries)
+        for expected, result in zip(want, batch.results):
+            assert result.videos == expected.videos
+            assert result.scores == expected.scores

@@ -248,6 +248,110 @@ class TestFrontDoorShedding:
             queued.result(30.0)
 
 
+class TestBucketTTL:
+    """Regression: the per-client token-bucket map must not grow without
+    bound — one-shot clients are evicted after ``bucket_ttl`` idle
+    seconds (their refilled-to-burst bucket holds no state worth
+    keeping)."""
+
+    def make_door(self, clock, **kwargs):
+        router = StubRouter()
+        router.gate.set()
+        return FrontDoor(
+            router,
+            rate=100.0,
+            burst=100.0,
+            workers=1,
+            max_queue=1024,
+            clock=clock,
+            **kwargs,
+        )
+
+    def test_idle_clients_are_evicted_after_ttl(self):
+        clock = VirtualClock()
+        door = self.make_door(clock, bucket_ttl=60.0)
+        try:
+            futures = [
+                door.submit("q", 1, client=f"client-{i}") for i in range(500)
+            ]
+            for future in futures:
+                future.result(30.0)
+            assert door.stats()["rate_limit_clients"] == 500
+            clock.advance(61.0)
+            # The next submission sweeps every idle bucket.
+            door.submit("q", 1, client="fresh").result(30.0)
+            assert door.stats()["rate_limit_clients"] == 1
+        finally:
+            door.drain()
+
+    def test_active_client_survives_the_sweep(self):
+        clock = VirtualClock()
+        door = self.make_door(clock, bucket_ttl=60.0)
+        try:
+            door.submit("q", 1, client="steady").result(30.0)
+            clock.advance(59.0)
+            door.submit("q", 1, client="steady").result(30.0)
+            clock.advance(59.0)  # 118s since the first, 59s since the last
+            door.submit("q", 1, client="visitor").result(30.0)
+            assert set(door._buckets) == {"steady", "visitor"}
+        finally:
+            door.drain()
+
+    def test_ttl_none_disables_eviction(self):
+        clock = VirtualClock()
+        door = self.make_door(clock, bucket_ttl=None)
+        try:
+            for i in range(50):
+                door.submit("q", 1, client=f"client-{i}").result(30.0)
+            clock.advance(10_000.0)
+            door.submit("q", 1, client="fresh").result(30.0)
+            assert door.stats()["rate_limit_clients"] == 51
+        finally:
+            door.drain()
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            self.make_door(VirtualClock(), bucket_ttl=0.0)
+
+
+@pytest.mark.parametrize("seed", [SEEDS[0]])
+def test_fleet_with_replicas_serves_identical_rankings(seed):
+    summaries, _ = build_corpus(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = build_fleet_dir(tmp, summaries, num_shards=2)
+        with ShardedVideoDatabase(EPSILON, path=fleet_dir) as db:
+            local = [db.knn(query, K) for query in summaries]
+        with NetworkFleet(
+            fleet_dir,
+            mode="thread",
+            workers=2,
+            replicas_per_shard=2,
+            range_cache_size=64,
+        ) as fleet:
+            for query, want in zip(summaries, local):
+                got = fleet.query_sync(query, K, timeout=60.0)
+                assert got.videos == want.videos
+                assert got.scores == want.scores  # bitwise via replicas
+            status = fleet.status()
+            assert status["shards"], "fleet status must cover the shards"
+            for body in status["shards"].values():
+                replication = body.get("replication")
+                assert replication is not None, body
+                assert len(replication["replicas"]) == 2
+                assert all(
+                    replica["state"] == "synced"
+                    for replica in replication["replicas"]
+                )
+
+
+def test_fleet_replicas_require_thread_mode():
+    summaries, _ = build_corpus(SEEDS[0])
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet_dir = build_fleet_dir(tmp, summaries, num_shards=2)
+        with pytest.raises(ValueError, match="thread"):
+            NetworkFleet(fleet_dir, mode="subprocess", replicas_per_shard=1)
+
+
 class TestTokenBucket:
     def test_burst_then_steady_rate(self):
         clock = VirtualClock()
