@@ -1,0 +1,186 @@
+"""Online ingestion under live traffic — the ingest/cutover headline.
+
+A durable 2-shard fleet serves a closed-loop reader while the
+:class:`repro.ingest.IngestPipeline` commits a drifted insert stream in
+WAL-batched transactions.  The stream's suffix is drawn from a rotated
+frame distribution, so the attached :class:`repro.ingest.DriftMonitor`
+crosses its principal-angle threshold mid-run and the router performs
+at least one *online* reference-point rebuild — side-build in a sibling
+generation directory, then an atomic ``epoch.json`` cutover — without
+pausing reads.
+
+Correctness is asserted *inside* the sweep
+(:func:`repro.eval.ingest.run_ingest_benchmark`): at every checkpoint
+the fleet's rankings — videos and scores — must bit-identically equal a
+from-scratch :class:`~repro.core.index.VitriIndex` oracle over
+everything ingested so far, across the cutover boundary.  A second
+sweep (:func:`repro.eval.ingest.run_cutover_crash_sweep`) crashes the
+rebuild at every disk operation and requires recovery to land on
+exactly one of {old complete, new complete}.  This file gates on the
+serving numbers — ingest throughput, read p95 during ingest vs idle,
+oracle agreement, crash recovery — written to ``BENCH_ingest.json``
+(the artifact CI uploads).
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.summarize import summarize_video
+from repro.eval.ingest import run_cutover_crash_sweep, run_ingest_benchmark
+
+from _common import save_result
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.eval import format_table
+
+EPSILON = 0.3
+DIM = 8
+INITIAL = DatasetConfig(dim=DIM, num_families=6, family_size=3, num_distractors=42)
+STREAM = DatasetConfig(dim=DIM, num_families=6, family_size=3, num_distractors=62)
+# The stream's tail is rotated (an axis roll of the frame space): the
+# first principal component of the ingested positions swings away from
+# the built transform's, which is exactly the drift the monitor gates.
+DRIFT_AT_FRACTION = 1 / 3
+K = 5
+NUM_SHARDS = 2
+BATCH_SIZE = 16
+MAX_QUEUE = 64
+# Group-commit window: a paced trickle coalesces into full batches, so
+# the fleet pays one engine/cache invalidation per ~BATCH_SIZE writes.
+LINGER = 0.3
+DRIFT_MAX_ANGLE = 10.0
+DRIFT_CHECK_EVERY = 12
+ORACLE_CHECKPOINTS = 4
+IDLE_QUERIES = 60
+# Simulated per-read disk wait: large enough that query latency is
+# dominated by deterministic sleeps (stable p95 ratios in CI), small
+# enough that the run stays in seconds.
+READ_LATENCY = 0.003
+BUFFER_CAPACITY = 64
+SEED = 0
+# Offered write rate: one summary every PACE seconds (open loop), so the
+# reader measures availability under a live stream rather than a burst
+# that saturates the interpreter.
+PACE = 0.02
+SWEEP_VIDEOS = DatasetConfig(dim=6, num_families=2, family_size=3, num_distractors=4)
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_ingest.json")
+
+
+def make_workload():
+    dataset = generate_dataset(INITIAL, seed=7)
+    initial = [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(dataset.num_videos)
+    ]
+    tail = generate_dataset(STREAM, seed=11)
+    rotation = np.roll(np.eye(DIM), 3, axis=0)
+    drift_from = int(tail.num_videos * DRIFT_AT_FRACTION)
+    stream = []
+    for j in range(tail.num_videos):
+        frames = tail.frames(j)
+        if j >= drift_from:
+            frames = frames @ rotation.T
+        video_id = len(initial) + j
+        stream.append(summarize_video(video_id, frames, EPSILON, seed=video_id))
+    return initial, stream
+
+
+def run_experiment():
+    initial, stream = make_workload()
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as tmp:
+        results = run_ingest_benchmark(
+            os.path.join(tmp, "live"),
+            initial,
+            stream,
+            epsilon=EPSILON,
+            k=K,
+            num_shards=NUM_SHARDS,
+            batch_size=BATCH_SIZE,
+            max_queue=MAX_QUEUE,
+            linger=LINGER,
+            drift_max_angle=DRIFT_MAX_ANGLE,
+            drift_check_every=DRIFT_CHECK_EVERY,
+            oracle_checkpoints=ORACLE_CHECKPOINTS,
+            idle_queries=IDLE_QUERIES,
+            buffer_capacity=BUFFER_CAPACITY,
+            read_latency=READ_LATENCY,
+            pace=PACE,
+            seed=SEED,
+        )
+        sweep_set = generate_dataset(SWEEP_VIDEOS, seed=3)
+        sweep_summaries = [
+            summarize_video(i, sweep_set.frames(i), EPSILON, seed=i)
+            for i in range(sweep_set.num_videos)
+        ]
+        results["crash_sweep"] = run_cutover_crash_sweep(
+            os.path.join(tmp, "sweep"),
+            sweep_summaries,
+            epsilon=EPSILON,
+            k=K,
+        )
+
+    sweep = results["crash_sweep"]
+    rows = [
+        (
+            checkpoint["position"],
+            f"{checkpoint['matched']}/{checkpoint['probes']}",
+            checkpoint["rebuilds_so_far"],
+        )
+        for checkpoint in results["oracle_checkpoints"]
+    ]
+    table = format_table(
+        ["ingested", "oracle match", "cutovers so far"],
+        rows,
+        title=(
+            f"online ingest: {results['ingested']} summaries at "
+            f"{results['ingest_throughput']:.0f}/s into {NUM_SHARDS} shards, "
+            f"{results['queries_during_ingest']} concurrent reads "
+            f"(p95 {results['p95_during_ms']:.2f} ms vs "
+            f"{results['p95_idle_ms']:.2f} ms idle), "
+            f"{results['rebuilds']} online rebuild(s); crash sweep "
+            f"{sweep['recovered']}/{sweep['crash_points']} recovered "
+            f"(old={sweep['outcomes']['old']}, new={sweep['outcomes']['new']})"
+        ),
+    )
+    return table, results
+
+
+def check_acceptance(results):
+    # Acceptance: every checkpoint probe must match the from-scratch
+    # oracle exactly (videos and scores, across >=1 live cutover), reads
+    # must stay available while ingesting, the pipeline must sustain a
+    # usable commit rate, and the crash sweep must recover from every
+    # scripted fault onto exactly one side of the pointer.
+    assert results["oracle_agreement"] == 1.0, results["oracle_agreement"]
+    assert results["rejected"] == 0, results["rejected"]
+    assert results["rebuilds"] >= 1, results["rebuilds"]
+    assert results["ingest_throughput"] >= 20.0, results["ingest_throughput"]
+    assert results["p95_during_ms"] <= 2.0 * results["p95_idle_ms"], (
+        results["p95_during_ms"],
+        results["p95_idle_ms"],
+    )
+    sweep = results["crash_sweep"]
+    assert sweep["recovered"] == sweep["crash_points"], sweep
+    assert sweep["outcomes"]["old"] > 0 and sweep["outcomes"]["new"] > 0, sweep
+
+
+def test_ingest_under_live_traffic(benchmark):
+    table, results = run_experiment()
+    save_result("ingest_live_traffic", table)
+    with open(os.path.abspath(JSON_PATH), "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    check_acceptance(results)
+
+    benchmark(make_workload)
+
+
+if __name__ == "__main__":
+    table, results = run_experiment()
+    save_result("ingest_live_traffic", table)
+    with open(os.path.abspath(JSON_PATH), "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"\nwrote {os.path.abspath(JSON_PATH)}")
+    check_acceptance(results)

@@ -9,12 +9,16 @@ unseeded RNG.  Time comes from the injected
 from a seeded ``blake2b`` hash of ``(seed, shard, attempt)``.
 
 This rule polices the resilience paths (``shard/resilience.py`` and
-``shard/faults.py``) and the whole service layer (``repro/serve/`` —
+``shard/faults.py``), the whole service layer (``repro/serve/`` —
 token-bucket refills, admission timing and wire deadlines must replay
-under a ``VirtualClock`` exactly like the in-process scatter): any call
-into the ``time`` module (``sleep`` included — a real sleep would stall
-a virtual-clock test and desync the thread-local offsets), the
-``random`` module, or ``numpy.random`` is an error there.  VIL006
+under a ``VirtualClock`` exactly like the in-process scatter), the
+replication layer (``repro/replication/``), and the ingest layer
+(``repro/ingest/`` — drift-measurement floors and idle-pump backoff
+must replay so a drift-triggered rebuild fires at the same simulated
+instant every run): any call into the ``time`` module (``sleep``
+included — a real sleep would stall a virtual-clock test and desync
+the thread-local offsets), the ``random`` module, or ``numpy.random``
+is an error there.  VIL006
 (wall-clock-discipline) already flags clock *reads* repo-wide; this
 rule is stricter on the scoped paths because in the resilience layer
 even a non-clock call like ``time.sleep`` breaks determinism.
@@ -35,7 +39,7 @@ __all__ = ["InjectedClockRule"]
 # exact file suffixes, plus whole directories matched by containment
 # (``endswith`` cannot scope a package).
 _SCOPED_PATHS = ("shard/resilience.py", "shard/faults.py")
-_SCOPED_DIRS = ("repro/serve/", "repro/replication/")
+_SCOPED_DIRS = ("repro/serve/", "repro/replication/", "repro/ingest/")
 
 _BANNED_PREFIXES = ("time.", "random.", "numpy.random.", "np.random.")
 

@@ -728,6 +728,59 @@ def _check_fleet_health_file(path: str, num_shards: int) -> list[str]:
     return failures
 
 
+def _check_segment_log(path: str, label: str) -> list[str]:
+    """Chain-verify one replication segment log file.
+
+    Runs what a replica's apply gauntlet checks minus the apply itself:
+    per-frame CRCs, gap-free ascending sequence numbers, and the
+    base/after hash chain (see
+    :func:`repro.replication.segments.verify_segment_chain`).  A
+    truncated or corrupt log is caught *here*, offline, instead of at
+    replica apply time.  Returns failure strings.
+    """
+    from repro.replication.segments import (
+        SegmentFrameError,
+        verify_segment_chain,
+    )
+
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        return [f"{label}: cannot read segment log: {exc}"]
+    try:
+        summary = verify_segment_chain(raw)
+    except SegmentFrameError as exc:
+        return [f"{label}: segment chain broken: {exc}"]
+    if summary["segments"] == 0:
+        print(f"{label}: segment log empty (valid chain of length 0)")
+    else:
+        print(
+            f"{label}: {summary['segments']} segment(s), "
+            f"seq {summary['first_seq']}..{summary['last_seq']}, "
+            "hash chain verified"
+        )
+    return []
+
+
+def _check_segment_logs(root: str) -> list[str]:
+    """Verify every ``segments.log`` under a fleet directory."""
+    failures: list[str] = []
+    candidates = [(os.path.join(root, "segments.log"), "segments")]
+    for entry in sorted(os.listdir(root)):
+        shard_log = os.path.join(root, entry, "segments.log")
+        if entry.startswith("shard-") and os.path.exists(shard_log):
+            candidates.append((shard_log, f"{entry} segments"))
+    found = False
+    for path, label in candidates:
+        if os.path.exists(path):
+            found = True
+            failures.extend(_check_segment_log(path, label))
+    if not found:
+        print("segments: no segments.log (fleet never shipped WAL segments)")
+    return failures
+
+
 def _check_sharded(args: argparse.Namespace) -> int:
     from repro.btree.checker import check_tree
     from repro.shard.router import ShardedVideoDatabase
@@ -742,6 +795,7 @@ def _check_sharded(args: argparse.Namespace) -> int:
         return 1
     failures: list[str] = []
     failures.extend(_check_fleet_health_file(args.index, fleet.num_shards))
+    failures.extend(_check_segment_logs(args.index))
     misplaced = 0
     for shard in fleet.shards:
         label = f"shard {shard.shard_id}"
@@ -788,6 +842,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.btree.checker import check_tree
     from repro.storage.serialization import ChecksumError
 
+    if getattr(args, "segments", None):
+        failures = _check_segment_log(args.segments, args.segments)
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        if args.index is None:
+            return 0
+    if args.index is None:
+        print("error: nothing to check (give an index or --segments)",
+              file=sys.stderr)
+        return 1
     if args.sharded:
         return _check_sharded(args)
     try:
@@ -937,18 +1003,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify a file-backed index's integrity",
         description=(
             "Verify page checksums, B+-tree invariants and heap-file "
-            "accounting of an index written by 'build'."
+            "accounting of an index written by 'build'.  With --sharded, "
+            "also chain-verify any replication segments.log in the fleet "
+            "directory; --segments verifies a standalone segment log."
         ),
     )
     check.add_argument(
         "--index",
-        required=True,
+        default=None,
         help="index file prefix (or fleet directory with --sharded)",
     )
     check.add_argument(
         "--sharded",
         action="store_true",
         help="treat --index as a ShardedVideoDatabase fleet directory",
+    )
+    check.add_argument(
+        "--segments",
+        default=None,
+        help=(
+            "replication segment log to chain-verify (sequence "
+            "continuity + hash-chain tokens); usable with or without "
+            "--index"
+        ),
     )
     check.set_defaults(func=_cmd_check)
 

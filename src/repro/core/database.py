@@ -32,12 +32,27 @@ write-ahead log (``db.wal``).  All three data artefacts commit as one
 atomic unit through the WAL, so a crash at *any* point — mid-insert,
 mid-commit, mid-recovery — leaves a directory that reopens at its last
 completed checkpoint (see :mod:`repro.storage.wal`).
+
+Generations
+-----------
+An online reference-point rebuild (:mod:`repro.ingest.cutover`) must
+construct a whole new file set while the old one keeps serving, then
+switch atomically.  The directory therefore supports a *generational*
+layout: an ``epoch.json`` pointer at the root names the active
+generation sub-directory (``gen-0001``, ``gen-0002``, ...), each of
+which is an ordinary flat database file set.  Without the pointer the
+root itself is the (epoch-0) file set, so every pre-existing directory
+keeps working unchanged.  The pointer is replaced with one atomic
+``os.replace`` — the cutover's single commit point — and opening the
+directory sweeps away any generation the pointer does not name
+(a crashed side-build, or the previous epoch after a cutover).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 
 from repro.core.index import KNNResult, VitriIndex
 from repro.core.maintenance import RebuildPolicy
@@ -48,7 +63,12 @@ from repro.storage.pager import Pager
 from repro.storage.wal import WriteAheadLog
 from repro.utils.validation import check_matrix, check_positive
 
-__all__ = ["VideoDatabase"]
+__all__ = [
+    "VideoDatabase",
+    "generation_name",
+    "read_epoch_pointer",
+    "write_epoch_pointer",
+]
 
 _BTREE_FILE = "index.btree"
 _HEAP_FILE = "index.heap"
@@ -57,6 +77,79 @@ _WAL_FILE = "db.wal"
 _BTREE_FILE_ID = 0
 _HEAP_FILE_ID = 1
 _META_FORMAT = 1
+
+_EPOCH_FILE = "epoch.json"
+_EPOCH_FORMAT = 1
+_GENERATION_PREFIX = "gen-"
+#: The flat (epoch-0) data artefacts an old generation leaves behind
+#: after the first cutover; swept by the next open.
+_DATA_FILES = (_BTREE_FILE, _HEAP_FILE, _META_FILE, _WAL_FILE)
+
+
+def generation_name(epoch: int) -> str:
+    """Deterministic directory name of a generation (``gen-0001`` ...)."""
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 1:
+        raise ValueError(f"epoch must be a positive int, got {epoch}")
+    return f"{_GENERATION_PREFIX}{epoch:04d}"
+
+
+def read_epoch_pointer(path: str) -> tuple[str | None, int]:
+    """``(generation, epoch)`` named by ``epoch.json``; ``(None, 0)``
+    when the directory uses the flat (pointer-less) layout."""
+    pointer_path = os.path.join(path, _EPOCH_FILE)
+    if not os.path.exists(pointer_path):
+        return None, 0
+    with open(pointer_path, "r", encoding="utf-8") as handle:
+        pointer = json.load(handle)
+    if pointer.get("format") != _EPOCH_FORMAT:
+        raise ValueError(
+            f"{pointer_path} has unsupported format {pointer.get('format')!r}"
+        )
+    generation = str(pointer["generation"])
+    epoch = int(pointer["epoch"])
+    if (
+        not generation.startswith(_GENERATION_PREFIX)
+        or os.path.basename(generation) != generation
+    ):
+        raise ValueError(
+            f"{pointer_path} names an invalid generation {generation!r}"
+        )
+    if epoch < 1:
+        raise ValueError(f"{pointer_path} has invalid epoch {epoch}")
+    return generation, epoch
+
+
+def write_epoch_pointer(
+    path: str, generation: str, epoch: int, *, fault_injector=None
+) -> None:
+    """Atomically point the directory at ``generation``.
+
+    Temp-write + ``os.replace``, both routed through the fault injector
+    when one is given: the replace is the online cutover's *commit
+    point*, so a crash-point sweep must be able to land exactly on it.
+    """
+    if generation != generation_name(epoch):
+        raise ValueError(
+            f"generation {generation!r} does not match epoch {epoch}"
+        )
+    blob = json.dumps(
+        {"format": _EPOCH_FORMAT, "generation": generation, "epoch": epoch}
+    ).encode("utf-8")
+    final_path = os.path.join(path, _EPOCH_FILE)
+    tmp_path = final_path + ".tmp"
+
+    def write_blob(data: bytes) -> None:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    if fault_injector is not None:
+        fault_injector.write(write_blob, blob)
+        fault_injector.op(lambda: os.replace(tmp_path, final_path))
+    else:
+        write_blob(blob)
+        os.replace(tmp_path, final_path)
 
 
 class VideoDatabase:
@@ -116,6 +209,9 @@ class VideoDatabase:
         self.rebuilds = 0
 
         self._path = os.fspath(path) if path is not None else None
+        self._data_dir: str | None = self._path
+        self._generation: str | None = None
+        self._epoch = 0
         self._faults = fault_injector
         self._wal: WriteAheadLog | None = None
         self._btree_pool: BufferPool | None = None
@@ -142,15 +238,26 @@ class VideoDatabase:
         """Attach to (or initialise) the database directory, recovering
         any committed-but-unapplied work from the write-ahead log."""
         os.makedirs(self._path, exist_ok=True)
-        meta_path = os.path.join(self._path, _META_FILE)
+        self._generation, self._epoch = read_epoch_pointer(self._path)
+        if self._generation is not None:
+            self._data_dir = os.path.join(self._path, self._generation)
+            if not os.path.isdir(self._data_dir):
+                raise ValueError(
+                    f"epoch pointer names missing generation "
+                    f"{self._generation!r} in {self._path}"
+                )
+        else:
+            self._data_dir = self._path
+        self._sweep_stale_generations()
+        meta_path = os.path.join(self._data_dir, _META_FILE)
         self._wal = WriteAheadLog(
-            os.path.join(self._path, _WAL_FILE),
+            os.path.join(self._data_dir, _WAL_FILE),
             meta_path=meta_path,
             fault_injector=self._faults,
         )
         self._btree_pool = BufferPool(
             Pager(
-                os.path.join(self._path, _BTREE_FILE),
+                os.path.join(self._data_dir, _BTREE_FILE),
                 wal=self._wal,
                 wal_file_id=_BTREE_FILE_ID,
                 fault_injector=self._faults,
@@ -160,7 +267,7 @@ class VideoDatabase:
         )
         self._heap_pool = BufferPool(
             Pager(
-                os.path.join(self._path, _HEAP_FILE),
+                os.path.join(self._data_dir, _HEAP_FILE),
                 wal=self._wal,
                 wal_file_id=_HEAP_FILE_ID,
                 fault_injector=self._faults,
@@ -190,6 +297,42 @@ class VideoDatabase:
                 reference=self._reference,
             )
 
+    def _sweep_stale_generations(self) -> None:
+        """Remove every generation the epoch pointer does not name.
+
+        Covers both halves of a cutover's aftermath: a crashed
+        side-build (an un-pointed ``gen-*`` sibling) and, once a
+        generation *is* active, the previous epoch's files — the old
+        generation directory, or the original flat file set at the
+        root.  Removals are routed through the fault injector so the
+        crash sweep also exercises "crashed while deleting the old
+        epoch"; for a flat layout with no strays this is a no-op, which
+        keeps existing crash-sweep op counts unchanged.
+        """
+        stale: list[str] = []
+        for entry in sorted(os.listdir(self._path)):
+            if not entry.startswith(_GENERATION_PREFIX):
+                continue
+            full = os.path.join(self._path, entry)
+            if os.path.isdir(full) and entry != self._generation:
+                stale.append(full)
+        flat_leftovers: list[str] = []
+        if self._generation is not None:
+            for name in _DATA_FILES:
+                full = os.path.join(self._path, name)
+                if os.path.exists(full):
+                    flat_leftovers.append(full)
+        for directory in stale:
+            if self._faults is not None:
+                self._faults.op(lambda d=directory: shutil.rmtree(d))
+            else:
+                shutil.rmtree(directory)
+        for file_path in flat_leftovers:
+            if self._faults is not None:
+                self._faults.op(lambda f=file_path: os.remove(f))
+            else:
+                os.remove(file_path)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -207,6 +350,56 @@ class VideoDatabase:
     def path(self) -> str | None:
         """The backing directory; ``None`` for an in-memory database."""
         return self._path
+
+    @property
+    def data_dir(self) -> str | None:
+        """Directory holding the active generation's files.
+
+        Equals :attr:`path` for the flat (epoch-0) layout; a
+        ``gen-NNNN`` sub-directory once an online rebuild has cut over.
+        Snapshots must read from here, not from :attr:`path`.
+        """
+        return self._data_dir
+
+    @property
+    def epoch(self) -> int:
+        """Cutover epoch (0 = original flat layout, never cut over)."""
+        return self._epoch
+
+    @property
+    def generation(self) -> str | None:
+        """Active generation directory name (``None`` for flat layout)."""
+        return self._generation
+
+    @property
+    def reference(self) -> str:
+        """Reference-point strategy name."""
+        return self._reference
+
+    @property
+    def summarize_seed(self) -> int:
+        """Base seed for the summarisation k-means."""
+        return self._seed
+
+    @property
+    def next_video_id(self) -> int:
+        """Next auto-assigned video id."""
+        return self._next_video_id
+
+    @property
+    def buffer_capacity(self) -> int:
+        """LRU buffer-pool capacity (pages) per page store."""
+        return self._buffer_capacity
+
+    @property
+    def read_latency(self) -> float:
+        """Simulated seconds slept per physical page read."""
+        return self._read_latency
+
+    @property
+    def fault_injector(self):
+        """The injector routed to disk operations (``None`` if absent)."""
+        return self._faults
 
     @property
     def wal(self) -> WriteAheadLog | None:
@@ -240,7 +433,7 @@ class VideoDatabase:
         self._btree_pool.clear()
         self._heap_pool.clear()
         self._index = None
-        meta_path = os.path.join(self._path, _META_FILE)
+        meta_path = os.path.join(self._data_dir, _META_FILE)
         if not os.path.exists(meta_path):
             return
         with open(meta_path, "r", encoding="utf-8") as handle:
@@ -311,6 +504,41 @@ class VideoDatabase:
             self._index.insert_video(summary)
             self._maybe_rebuild()
         return summary.video_id
+
+    def add_summaries(self, summaries) -> list[int]:
+        """Add a batch of pre-built summaries, all-or-nothing.
+
+        Every summary is type- and id-checked (against the database and
+        against the rest of the batch) before the first one is admitted,
+        so a bad element cannot leave a half-applied batch behind.  This
+        is the ingest pipeline's commit unit: one call, then one
+        :meth:`checkpoint`, becomes one WAL transaction and therefore
+        one shipped replication segment.
+        """
+        self._check_open()
+        batch = list(summaries)
+        seen: set[int] = set()
+        for summary in batch:
+            if not isinstance(summary, VideoSummary):
+                raise TypeError("summaries must be VideoSummary instances")
+            if summary.video_id in seen:
+                raise ValueError(
+                    f"video id {summary.video_id} repeated in batch"
+                )
+            self._check_id_free(summary.video_id)
+            seen.add(summary.video_id)
+        return [self.add_summary(summary) for summary in batch]
+
+    def reserve_video_ids(self, next_id: int) -> None:
+        """Raise the auto-assign counter to at least ``next_id``.
+
+        A side-build copies summaries from a live database and must not
+        recycle ids the source has already promised to future inserts.
+        """
+        self._check_open()
+        if not isinstance(next_id, int) or isinstance(next_id, bool):
+            raise TypeError("next_id must be an int")
+        self._next_video_id = max(self._next_video_id, next_id)
 
     def _check_id_free(self, video_id: int) -> None:
         if video_id in self.video_ids():
@@ -455,6 +683,17 @@ class VideoDatabase:
         self._wal.crash()
         self._btree_pool.pager.crash()
         self._heap_pool.pager.crash()
+
+    def detach(self) -> None:
+        """Release file handles without checkpointing.
+
+        The cutover path: once the epoch pointer has moved, the old
+        generation's object must step aside *without* writing — a final
+        checkpoint would resurrect files the stale-generation sweep is
+        about to delete.  Mechanically identical to :meth:`crash`, but
+        named for its legitimate (non-testing) use.
+        """
+        self.crash()
 
     def __enter__(self) -> "VideoDatabase":
         return self

@@ -617,6 +617,38 @@ class VitriIndex:
         self._video_frames[summary.video_id] = summary.num_frames
         self._summaries_seen += 1
 
+    def insert_many(self, summaries) -> int:
+        """Insert a batch of videos; returns how many were inserted.
+
+        Every summary is validated (type, dimension, epsilon radius
+        bound, id unused — in the index and within the batch) before the
+        first B+-tree insertion, so a bad element cannot leave a
+        half-inserted batch behind.  This is the invariant the ingest
+        pipeline's WAL-batched commits rely on: a batch either lands
+        whole or not at all.
+        """
+        batch = list(summaries)
+        seen: set[int] = set()
+        for summary in batch:
+            if not isinstance(summary, VideoSummary):
+                raise TypeError("summaries must be VideoSummary instances")
+            if summary.dim != self._dim:
+                raise ValueError(
+                    f"summary dimension {summary.dim} != index "
+                    f"dimension {self._dim}"
+                )
+            if summary.video_id in self._video_frames or summary.video_id in seen:
+                raise ValueError(f"video id {summary.video_id} already indexed")
+            if summary.video_id >= TOMBSTONE_VIDEO_ID:
+                raise ValueError(
+                    f"video ids must be below {TOMBSTONE_VIDEO_ID} (reserved)"
+                )
+            _check_radii(summary, self._epsilon)
+            seen.add(summary.video_id)
+        for summary in batch:
+            self.insert_video(summary)
+        return len(batch)
+
     def remove_video(self, video_id: int) -> int:
         """Remove a video's ViTris from the index; returns how many.
 

@@ -53,6 +53,17 @@ class RebuildPolicy:
         """Drift threshold in radians."""
         return self._max_angle
 
+    def drift_exceeded(self, index: VitriIndex) -> tuple[float, bool]:
+        """Measure drift now: ``(angle_radians, angle > threshold)``.
+
+        Unconditional — the ``check_every`` cadence is
+        :meth:`should_rebuild`'s job (or the ingest
+        :class:`~repro.ingest.drift.DriftMonitor`'s, which adds a
+        wall-clock floor on top).
+        """
+        angle = index.drift_angle()
+        return angle, angle > self._max_angle
+
     def should_rebuild(self, index: VitriIndex) -> bool:
         """True when it is time to measure drift and it exceeds the
         threshold."""
@@ -60,7 +71,7 @@ class RebuildPolicy:
         if self._since_last_check < self._check_every:
             return False
         self._since_last_check = 0
-        return index.drift_angle() > self._max_angle
+        return self.drift_exceeded(index)[1]
 
 
 class ManagedVitriIndex:

@@ -6,6 +6,7 @@ from __future__ import annotations
 from repro.eval.faults import run_fault_benchmark
 from repro.eval.ground_truth import GroundTruthCache, knn_ground_truth
 from repro.eval.harness import aggregate_stats, format_table
+from repro.eval.ingest import run_cutover_crash_sweep, run_ingest_benchmark
 from repro.eval.metrics import precision_at_k
 from repro.eval.refine import refine_ranking, refined_knn
 from repro.eval.replication import run_replication_benchmark
@@ -15,7 +16,9 @@ from repro.eval.sharding import build_fleet, run_sharding_benchmark
 
 __all__ = [
     "build_fleet",
+    "run_cutover_crash_sweep",
     "run_fault_benchmark",
+    "run_ingest_benchmark",
     "run_replication_benchmark",
     "run_service_benchmark",
     "run_sharding_benchmark",

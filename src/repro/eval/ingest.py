@@ -1,0 +1,485 @@
+"""Online-ingestion evaluation: live writes, live reads, live rebuilds.
+
+The ingest acceptance question has three parts, and this module answers
+all of them:
+
+* **Exactness under concurrency.**  While the
+  :class:`~repro.ingest.pipeline.IngestPipeline` commits batches into a
+  durable sharded fleet and a client thread keeps querying it,
+  :func:`run_ingest_benchmark` pauses at seeded checkpoints, quiesces
+  the queue, and asserts the fleet's rankings — videos *and* scores —
+  bit-identically equal a :class:`~repro.core.index.VitriIndex` oracle
+  rebuilt from scratch over everything ingested so far.  A drifted
+  stream forces at least one online rebuild mid-run, so the oracle
+  crosses a cutover boundary: the refitted reference point must not
+  move a single score.
+* **Read availability during writes.**  The same run reports query
+  latency percentiles measured *during* ingestion next to an at-rest
+  baseline on the final corpus (same probes, same cold-read
+  discipline, nobody writing) — the benchmark gates p95-during against
+  a multiple of p95-idle, so a rebuild that stalls reads fails loudly.
+* **Crash-safe cutover.**  :func:`run_cutover_crash_sweep` replays one
+  online rebuild with a :class:`~repro.storage.faults.FaultInjector`
+  crash scripted at *every* disk operation (damage modes cycling
+  drop/torn/duplicate) and asserts each reopen lands on exactly one of
+  {old index complete, new index complete} — matching the ``epoch.json``
+  pointer — with rankings equal to the pre-rebuild reference.
+
+Both entry points return JSON-serialisable dicts; together they are the
+``BENCH_ingest.json`` payload.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+
+from repro.core.index import VitriIndex
+from repro.core.vitri import VideoSummary
+from repro.ingest.cutover import rebuild_online
+from repro.ingest.drift import DriftMonitor
+from repro.ingest.pipeline import IngestOverloaded, IngestPipeline
+from repro.replication.shipper import database_token
+from repro.shard.partitioner import KeyRangePartitioner
+from repro.shard.router import ShardedVideoDatabase
+from repro.shard.shard import Shard
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.core.database import read_epoch_pointer
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.counters import Timer
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import percentile
+
+__all__ = ["run_cutover_crash_sweep", "run_ingest_benchmark"]
+
+_SWEEP_MODES = ("drop", "torn", "duplicate")
+
+
+def _ranking(result) -> tuple:
+    return (tuple(result.videos), tuple(result.scores))
+
+
+def _drive_queries(
+    fleet: ShardedVideoDatabase,
+    probes: list[VideoSummary],
+    k: int,
+    count: int,
+    *,
+    cold: bool,
+) -> list[float]:
+    """Serve ``count`` queries round-robin over ``probes``; latencies."""
+    latencies: list[float] = []
+    for position in range(count):
+        with Timer() as timer:
+            fleet.knn(probes[position % len(probes)], k, cold=cold)
+        latencies.append(timer.elapsed)
+    return latencies
+
+
+def run_ingest_benchmark(
+    path: str | os.PathLike,
+    initial: list[VideoSummary],
+    stream: list[VideoSummary],
+    *,
+    epsilon: float,
+    k: int = 5,
+    num_shards: int = 2,
+    batch_size: int = 16,
+    max_queue: int = 128,
+    linger: float = 0.0,
+    drift_max_angle: float = 12.0,
+    drift_check_every: int = 32,
+    oracle_checkpoints: int = 4,
+    idle_queries: int = 40,
+    num_probes: int = 6,
+    buffer_capacity: int = 64,
+    read_latency: float = 0.0005,
+    cold: bool = True,
+    pace: float = 0.0,
+    seed: int = 0,
+    clock: Clock | None = None,
+) -> dict:
+    """Ingest ``stream`` into a live fleet under concurrent reads.
+
+    Builds a durable ``num_shards``-shard fleet (key-range placement
+    fitted to ``initial``) holding ``initial``, measures an idle query
+    baseline, then starts the pipeline's background pump and submits the
+    whole stream while a client thread queries continuously.  At
+    ``oracle_checkpoints`` evenly spaced stream positions (always
+    including the end) the queue is quiesced and every probe query's
+    ranking is compared — videos and scores, exact equality — against a
+    fresh in-memory :class:`VitriIndex` over ``initial + stream[:pos]``.
+
+    A stream whose suffix is drawn from a rotated distribution (see
+    ``benchmarks/bench_ingest.py``) drives the attached
+    :class:`DriftMonitor` past its threshold mid-run, so at least one
+    shard is rebuilt online — through the router's maintenance window —
+    while the client thread keeps reading.
+
+    Returns a JSON-serialisable dict whose headline numbers are
+    ``oracle_agreement`` (fraction of checkpoint probes that matched the
+    oracle exactly — must be 1.0), ``ingest_throughput`` (summaries
+    committed per second of the concurrent phase), ``p95_during_ms``
+    against ``p95_idle_ms`` (the at-rest baseline on the final corpus —
+    ``p95_idle_initial_ms`` records the smaller pre-ingest corpus's
+    baseline), and ``rebuilds`` (online cutovers triggered).
+
+    ``cold=True`` (the default) clears serving pools per query in *both*
+    latency phases, so idle and during-ingest queries pay the same real
+    I/O — the p95 ratio then measures read availability (lock waits,
+    cutover stalls), not whether concurrent writes happened to evict a
+    cache line.
+
+    ``pace`` spaces submissions by that many seconds — an *open-loop*
+    offered write rate, the shape live traffic actually has.  At
+    ``pace=0`` the submitter saturates: every read then races a commit
+    and the p95 ratio measures GIL contention more than availability.
+    """
+    if not initial:
+        raise ValueError("initial must be non-empty")
+    if not stream:
+        raise ValueError("stream must be non-empty")
+    if not 1 <= oracle_checkpoints <= len(stream):
+        raise ValueError(
+            f"oracle_checkpoints must be in [1, {len(stream)}], got "
+            f"{oracle_checkpoints}"
+        )
+    clock = clock if clock is not None else SystemClock()
+    path = os.fspath(path)
+    rng = ensure_rng(seed)
+    probes = [
+        initial[int(position)]
+        for position in rng.integers(
+            0, len(initial), size=min(num_probes, len(initial))
+        )
+    ]
+
+    fleet = ShardedVideoDatabase(
+        epsilon,
+        partitioner=KeyRangePartitioner.fit(initial, num_shards),
+        path=os.path.join(path, "fleet"),
+        buffer_capacity=buffer_capacity,
+        read_latency=read_latency,
+        # L1 result cache off: the probe set repeats, so an exact-repeat
+        # cache would hide every queried cost behind sub-ms hits and the
+        # idle/during comparison would measure hit-rate luck, not reads.
+        cache_size=0,
+    )
+    monitor = DriftMonitor(
+        max_angle_degrees=drift_max_angle,
+        check_every=drift_check_every,
+        clock=clock,
+    )
+    pipeline = IngestPipeline(
+        fleet,
+        batch_size=batch_size,
+        max_queue=max_queue,
+        linger=linger,
+        clock=clock,
+        drift=monitor,
+    )
+    try:
+        for summary in initial:
+            fleet.add_summary(summary)
+        fleet.build()
+        fleet.checkpoint()
+
+        idle_before = _drive_queries(
+            fleet, probes, k, idle_queries, cold=cold
+        )
+
+        # Checkpoint positions: evenly spaced, always including the end.
+        positions = sorted(
+            {
+                len(stream) * step // oracle_checkpoints
+                for step in range(1, oracle_checkpoints + 1)
+            }
+        )
+
+        concurrent_latencies: list[float] = []
+        failures: list[BaseException] = []
+        stop_reads = threading.Event()
+        # Held by the main thread while it runs an oracle verification
+        # pause; the reader takes it *outside* its timer, so measured
+        # latencies cover live ingestion (commits, rebuilds, cutovers)
+        # but not contention with the harness's own probe queries.
+        verify_lock = threading.Lock()
+
+        def client() -> None:
+            position = 0
+            while not stop_reads.is_set():
+                try:
+                    with verify_lock:
+                        with Timer() as timer:
+                            fleet.knn(
+                                probes[position % len(probes)], k, cold=cold
+                            )
+                except BaseException as exc:  # surfaced after the join
+                    failures.append(exc)
+                    return
+                concurrent_latencies.append(timer.elapsed)
+                position += 1
+
+        oracle_checks = 0
+        oracle_matches = 0
+        checkpoint_log: list[dict] = []
+
+        reader = threading.Thread(target=client, name="ingest-bench-client")
+        pipeline.start()
+        reader.start()
+        try:
+            with Timer() as wall:
+                submitted = 0
+                for position, summary in enumerate(stream, start=1):
+                    while True:
+                        try:
+                            pipeline.submit(summary)
+                            submitted += 1
+                            break
+                        except IngestOverloaded:
+                            clock.sleep(0.001)
+                    if pace > 0.0:
+                        clock.sleep(pace)
+                    if position in positions:
+                        # Quiesce: our pump() returns with the queue
+                        # empty only after any in-flight worker batch
+                        # committed (one pump lock serialises them), and
+                        # nothing new arrives while we hold the stream.
+                        while pipeline.pump() or pipeline.depth:
+                            pass
+                        oracle = VitriIndex.build(
+                            initial + stream[:position], epsilon
+                        )
+                        matched = 0
+                        with verify_lock:
+                            for probe in probes:
+                                expected = _ranking(oracle.knn(probe, k))
+                                actual = _ranking(fleet.knn(probe, k))
+                                oracle_checks += 1
+                                if expected == actual:
+                                    oracle_matches += 1
+                                    matched += 1
+                        checkpoint_log.append(
+                            {
+                                "position": position,
+                                "probes": len(probes),
+                                "matched": matched,
+                                "rebuilds_so_far": pipeline.rebuilds,
+                            }
+                        )
+        finally:
+            pipeline.drain()
+            stop_reads.set()
+            reader.join()
+        if failures:
+            raise failures[0]
+
+        stats = pipeline.stats()
+        epochs = [shard.database.epoch for shard in fleet.shards]
+        # The availability baseline: the same probe queries at rest on
+        # the *final* corpus.  The stream grew the fleet, so every read
+        # got intrinsically costlier (more pages per composed range);
+        # comparing during-ingest reads against the pre-ingest corpus
+        # would charge that data growth to the ingest path.
+        idle_after = _drive_queries(
+            fleet, probes, k, idle_queries, cold=cold
+        )
+        fleet.checkpoint()
+    finally:
+        fleet.close()
+
+    idle_sorted = sorted(idle_after)
+    idle_before_sorted = sorted(idle_before)
+    during_sorted = sorted(concurrent_latencies)
+    wall_time = wall.elapsed
+    return {
+        "videos_initial": len(initial),
+        "videos_streamed": len(stream),
+        "num_shards": num_shards,
+        "k": k,
+        "batch_size": batch_size,
+        "max_queue": max_queue,
+        "drift_max_angle": drift_max_angle,
+        "drift_check_every": drift_check_every,
+        "read_latency": read_latency,
+        "buffer_capacity": buffer_capacity,
+        "seed": seed,
+        "wall_time": wall_time,
+        "ingested": stats["ingested"],
+        "rejected": stats["rejected"],
+        "shed": stats["shed"],
+        "batches": stats["batches"],
+        "rebuilds": stats["rebuilds"],
+        "drift_checks": stats["drift_checks"],
+        "shard_epochs": epochs,
+        "ingest_throughput": (
+            stats["ingested"] / wall_time if wall_time > 0 else 0.0
+        ),
+        "queries_during_ingest": len(concurrent_latencies),
+        "p50_idle_initial_ms": percentile(idle_before_sorted, 0.50, default=0.0)
+        * 1e3,
+        "p95_idle_initial_ms": percentile(idle_before_sorted, 0.95, default=0.0)
+        * 1e3,
+        "p50_idle_ms": percentile(idle_sorted, 0.50, default=0.0) * 1e3,
+        "p95_idle_ms": percentile(idle_sorted, 0.95, default=0.0) * 1e3,
+        "p50_during_ms": percentile(during_sorted, 0.50, default=0.0) * 1e3,
+        "p95_during_ms": percentile(during_sorted, 0.95, default=0.0) * 1e3,
+        "oracle_checkpoints": checkpoint_log,
+        "oracle_checks": oracle_checks,
+        "oracle_matches": oracle_matches,
+        "oracle_agreement": (
+            oracle_matches / oracle_checks if oracle_checks else 0.0
+        ),
+    }
+
+
+def run_cutover_crash_sweep(
+    path: str | os.PathLike,
+    summaries: list[VideoSummary],
+    *,
+    epsilon: float,
+    k: int = 5,
+    num_probes: int = 3,
+    reference: str | None = None,
+    buffer_capacity: int = 32,
+) -> dict:
+    """Crash an online rebuild at every disk operation; prove recovery.
+
+    Builds one golden durable shard over ``summaries``, records its
+    probe rankings, counts the disk operations of a full
+    :func:`~repro.ingest.cutover.rebuild_online` (open included — the
+    open-time WAL recovery and stale-generation sweep are part of the
+    workload), then replays the rebuild once per operation index with a
+    terminal fault scripted there, damage mode cycling
+    drop/torn/duplicate.  After each crash the directory is reopened
+    with a plain pager and the sweep asserts:
+
+    * the content token matches whichever side the ``epoch.json``
+      pointer names — *old* before the pointer replace landed, *new*
+      after; no third state;
+    * every video is present and every probe ranking is bit-identical
+      to the golden reference.
+
+    Returns ``{"crash_points", "recovered", "outcomes": {"old", "new"},
+    ...}``; the benchmark gates ``recovered == crash_points``.
+    """
+    if not summaries:
+        raise ValueError("summaries must be non-empty")
+    path = os.fspath(path)
+    probes = summaries[: max(1, min(num_probes, len(summaries)))]
+
+    def build_golden(directory: str) -> None:
+        shard = Shard(
+            0,
+            epsilon=epsilon,
+            path=directory,
+            buffer_capacity=buffer_capacity,
+        )
+        for summary in summaries:
+            shard.add_summary(summary)
+        shard.checkpoint()
+        shard.close()
+
+    golden = os.path.join(path, "golden")
+    build_golden(golden)
+    reopened = Shard(
+        0, epsilon=epsilon, path=golden, buffer_capacity=buffer_capacity
+    )
+    expected_rankings = [
+        _ranking(reopened.knn(probe, k)) for probe in probes
+    ]
+    reopened.close()
+
+    def run_rebuild(directory: str, injector: FaultInjector):
+        # The Shard open is *inside* the crash scope: operation 1 is the
+        # open-time WAL recovery truncate, and the sweep must cover it.
+        shard = None
+        try:
+            shard = Shard(
+                0,
+                epsilon=epsilon,
+                path=directory,
+                buffer_capacity=buffer_capacity,
+                fault_injector=injector,
+            )
+            report = rebuild_online(shard, reference=reference)
+            shard.close()
+            return report
+        except SimulatedCrash:
+            if shard is not None:
+                shard.crash()
+            return None
+
+    # Pass 1: count the workload's operations (no crash scripted).
+    count_dir = os.path.join(path, "count")
+    shutil.copytree(golden, count_dir)
+    counting = FaultInjector(crash_after=None)
+    report = run_rebuild(count_dir, counting)
+    if report is None:
+        raise RuntimeError("operation-counting pass crashed unexpectedly")
+    total_ops = counting.ops
+    if total_ops == 0:
+        raise RuntimeError("rebuild performed no injected disk operations")
+    old_token, new_token = report.old_token, report.new_token
+
+    recovered = 0
+    outcomes = {"old": 0, "new": 0}
+    failures: list[str] = []
+    for point in range(1, total_ops + 1):
+        sweep_dir = os.path.join(path, f"sweep-{point:04d}")
+        shutil.copytree(golden, sweep_dir)
+        injector = FaultInjector(
+            crash_after=point, mode=_SWEEP_MODES[point % len(_SWEEP_MODES)]
+        )
+        run_rebuild(sweep_dir, injector)
+
+        generation, _ = read_epoch_pointer(sweep_dir)
+        expected_token = old_token if generation is None else new_token
+        side = "old" if generation is None else "new"
+        shard = Shard(
+            0, epsilon=epsilon, path=sweep_dir, buffer_capacity=buffer_capacity
+        )
+        try:
+            token = database_token(shard.database)
+            if token != expected_token:
+                failures.append(
+                    f"point {point}: recovered token {token[:12]} does not "
+                    f"match the {side} side named by epoch.json"
+                )
+                continue
+            if len(shard) != len(summaries):
+                failures.append(
+                    f"point {point}: {len(shard)} videos after recovery, "
+                    f"expected {len(summaries)}"
+                )
+                continue
+            rankings = [_ranking(shard.knn(probe, k)) for probe in probes]
+            if rankings != expected_rankings:
+                failures.append(
+                    f"point {point}: probe rankings diverged from the "
+                    f"golden reference on the {side} side"
+                )
+                continue
+        finally:
+            shard.close()
+            shutil.rmtree(sweep_dir)
+        outcomes[side] += 1
+        recovered += 1
+
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)}/{total_ops} crash points failed recovery: "
+            + "; ".join(failures[:5])
+        )
+    return {
+        "videos": len(summaries),
+        "probes": len(probes),
+        "k": k,
+        "crash_points": total_ops,
+        "recovered": recovered,
+        "outcomes": outcomes,
+        "modes": list(_SWEEP_MODES),
+        "old_token": old_token,
+        "new_token": new_token,
+    }

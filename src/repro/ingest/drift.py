@@ -1,0 +1,139 @@
+"""Streaming drift monitoring (paper Section 6.3.3, online form).
+
+:class:`~repro.core.maintenance.RebuildPolicy` answers "has the first
+principal component drifted past the threshold?" on an every-N-inserts
+cadence.  Under continuous ingestion that cadence needs two more
+properties:
+
+* **per-shard state** — a fleet drifts unevenly; the monitor keys its
+  insert counters by an opaque shard key so one hot shard's rebuild is
+  not charged to the others;
+* **a wall-clock floor** — the drift measurement scans every indexed
+  position, and an online rebuild costs a full side build; a burst of
+  inserts must not trigger back-to-back measurements or rebuilds.  The
+  floor reads the *injected* :class:`~repro.utils.clock.Clock` (VIL007:
+  a virtual-clock test replays the whole trigger schedule exactly).
+
+The monitor only ever *measures and recommends*; actually rebuilding is
+the pipeline's (or the router's) call.  Every measurement is returned
+as a :class:`DriftCheck` so eval harnesses can plot angle-vs-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.maintenance import RebuildPolicy
+from repro.utils.clock import Clock, SystemClock
+
+__all__ = ["DriftCheck", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """One drift measurement: the angle, the threshold, the verdict."""
+
+    key: object
+    angle: float
+    threshold: float
+    rebuild: bool
+    at: float
+
+
+class DriftMonitor:
+    """Decides *when* to measure drift and whether it warrants a rebuild.
+
+    Parameters
+    ----------
+    max_angle_degrees:
+        Principal-angle threshold (paper's allowed drift).
+    check_every:
+        Inserts per key between measurements (the measurement is a full
+        position scan; see :class:`RebuildPolicy`).
+    min_interval:
+        Minimum injected-clock seconds between measurements per key
+        (``0`` disables the floor).
+    clock:
+        Injected clock; defaults to the system clock.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_angle_degrees: float = 15.0,
+        check_every: int = 100,
+        min_interval: float = 0.0,
+        clock: Clock | None = None,
+    ) -> None:
+        # One policy instance validates the knobs; per-key cadence is
+        # tracked here (the policy's own counter assumes a single index).
+        self._policy = RebuildPolicy(
+            max_angle_degrees=max_angle_degrees, check_every=check_every
+        )
+        if min_interval < 0:
+            raise ValueError(
+                f"min_interval must be >= 0, got {min_interval}"
+            )
+        self._check_every = check_every
+        self._min_interval = float(min_interval)
+        self._clock = clock if clock is not None else SystemClock()
+        if not isinstance(self._clock, Clock):
+            raise TypeError("clock must be a Clock")
+        self._since_check: dict = {}
+        self._last_check_at: dict = {}
+        self.checks = 0
+        self.last_angle: float | None = None
+        self.max_angle_seen = 0.0
+
+    @property
+    def threshold_radians(self) -> float:
+        """The rebuild threshold in radians."""
+        return self._policy.max_angle_radians
+
+    def observe(self, key, index, inserted: int = 1) -> DriftCheck | None:
+        """Record ``inserted`` insertions into ``key``'s index; maybe measure.
+
+        Returns ``None`` when no measurement was due (count below
+        ``check_every``, or inside the ``min_interval`` floor), else the
+        :class:`DriftCheck` verdict.  The insert count resets only when
+        a measurement actually runs, so a burst suppressed by the floor
+        is measured at the first opportunity after it.
+        """
+        if inserted < 1:
+            raise ValueError(f"inserted must be >= 1, got {inserted}")
+        count = self._since_check.get(key, 0) + inserted
+        self._since_check[key] = count
+        if count < self._check_every:
+            return None
+        now = self._clock.now()
+        last_at = self._last_check_at.get(key)
+        if (
+            self._min_interval > 0.0
+            and last_at is not None
+            and now - last_at < self._min_interval
+        ):
+            return None
+        self._since_check[key] = 0
+        self._last_check_at[key] = now
+        angle, exceeded = self._policy.drift_exceeded(index)
+        self.checks += 1
+        self.last_angle = angle
+        self.max_angle_seen = max(self.max_angle_seen, angle)
+        return DriftCheck(
+            key=key,
+            angle=angle,
+            threshold=self._policy.max_angle_radians,
+            rebuild=exceeded,
+            at=now,
+        )
+
+    def forget(self, key) -> None:
+        """Drop a key's counters (its shard was rebuilt or removed)."""
+        self._since_check.pop(key, None)
+        self._last_check_at.pop(key, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftMonitor(checks={self.checks}, "
+            f"last_angle={self.last_angle}, keys={len(self._since_check)})"
+        )

@@ -1,0 +1,389 @@
+"""Streaming ingest: bounded admission, WAL-batched commits, typed sheds.
+
+:class:`IngestPipeline` is the write-side front door.  Producers
+:meth:`~IngestPipeline.submit` summaries into a bounded queue; a pump
+(inline or a background thread) drains them in batches into the target
+— a sharded fleet, a replica set, or a bare shard — and commits each
+batch as **one** WAL transaction, so a replica set ships it as one
+chained segment and a crash can only lose whole batches, never split
+one.
+
+The admission discipline mirrors :class:`repro.serve.FrontDoor`: a full
+queue or a draining pipeline sheds with a *typed* error before any work
+is done — :class:`IngestOverloaded` / :class:`IngestDraining`, both
+:class:`IngestBackpressure` — so producers can tell "back off and
+retry" from a real failure, exactly like the read path's 429-shaped
+refusals.
+
+With a :class:`~repro.ingest.drift.DriftMonitor` attached, every
+committed batch feeds per-shard insert counts; when a measurement says
+the principal angle drifted past the threshold, the pipeline launches
+the online rebuild (:mod:`repro.ingest.cutover`) on the affected shard
+— through the router's maintenance window for fleets, directly for a
+bare shard or replica set — while queries keep being served.
+
+All timing (pump backoff, drift floors) reads the injected
+:class:`~repro.utils.clock.Clock` (VIL007): a virtual-clock test replays
+the pipeline's entire schedule deterministically.
+"""
+
+from __future__ import annotations
+
+# vilint: disable-file=blocking-while-locked -- the pump lock exists
+# precisely to serialise committers: a commit IS durable I/O (batch
+# checkpoint, online rebuild's side build + pointer swap), and holding
+# the lock across it is the invariant the oracle-checkpoint quiesce and
+# the one-segment-per-batch contract rely on.  Admission (submit) never
+# takes this lock, so producers are not blocked by an in-flight commit.
+
+import queue
+import threading
+
+from repro.core.vitri import VideoSummary
+from repro.ingest.cutover import rebuild_online
+from repro.ingest.drift import DriftMonitor
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.locks import make_lock
+
+__all__ = [
+    "IngestBackpressure",
+    "IngestDraining",
+    "IngestOverloaded",
+    "IngestPipeline",
+]
+
+
+class IngestBackpressure(RuntimeError):
+    """Base of the pipeline's typed sheds (retriable by construction)."""
+
+
+class IngestOverloaded(IngestBackpressure):
+    """The admission queue is full; back off and resubmit."""
+
+
+class IngestDraining(IngestBackpressure):
+    """The pipeline is draining/closed; no new work is admitted."""
+
+
+class IngestPipeline:
+    """Bounded, batching ingest into a live serving target.
+
+    Parameters
+    ----------
+    target:
+        Where summaries land, duck-typed by capability:
+
+        * a sharded fleet (``rebuild_shard`` + ``shards``) — inserts
+          route through the partitioner, drift is tracked per shard and
+          rebuilds go through the router's maintenance window;
+        * a replica set (``sync`` + ``primary``) — inserts hit the
+          primary under its ``write_gate``, each batch commit seals one
+          segment, then :meth:`sync` pumps the replicas;
+        * a bare shard (``database``) — the single-index case.
+    batch_size:
+        Summaries per commit (one WAL transaction / shipped segment).
+    max_queue:
+        Admission bound; a full queue sheds :class:`IngestOverloaded`.
+    clock:
+        Injected clock for pump backoff (defaults to the system clock).
+    drift:
+        Optional :class:`DriftMonitor`; ``None`` disables drift-triggered
+        rebuilds.
+    linger:
+        Group-commit window for the *background* worker: a partial batch
+        is held up to this many seconds (on the injected clock) waiting
+        for more summaries before it commits, so a paced trickle of
+        writes produces full batches — and full-batch commit cadence —
+        instead of one tiny commit (and one round of engine/cache
+        invalidation) per summary.  ``0`` (the default) commits whatever
+        is queued immediately.  A full batch never waits, and
+        :meth:`pump`/:meth:`drain` always flush regardless.
+    min_backoff / max_backoff:
+        Idle-pump sleep bounds for the background worker (deterministic
+        doubling, no jitter — reruns replay identically).
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        batch_size: int = 32,
+        max_queue: int = 256,
+        clock: Clock | None = None,
+        drift: DriftMonitor | None = None,
+        linger: float = 0.0,
+        min_backoff: float = 0.005,
+        max_backoff: float = 0.25,
+    ) -> None:
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ValueError(f"batch_size must be a positive int, got {batch_size}")
+        if not isinstance(max_queue, int) or max_queue < 1:
+            raise ValueError(f"max_queue must be a positive int, got {max_queue}")
+        if drift is not None and not isinstance(drift, DriftMonitor):
+            raise TypeError("drift must be a DriftMonitor")
+        if not (0 < min_backoff <= max_backoff):
+            raise ValueError(
+                f"need 0 < min_backoff <= max_backoff, got "
+                f"{min_backoff}/{max_backoff}"
+            )
+        if linger < 0:
+            raise ValueError(f"linger must be >= 0, got {linger}")
+        self._target = target
+        self._is_fleet = hasattr(target, "rebuild_shard") and hasattr(
+            target, "shards"
+        )
+        self._is_replica_set = not self._is_fleet and hasattr(target, "sync")
+        if not self._is_fleet and not hasattr(target, "add_summary"):
+            raise TypeError(
+                "target must expose add_summary (a fleet, replica set or shard)"
+            )
+        self._batch_size = batch_size
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._clock = clock if clock is not None else SystemClock()
+        if not isinstance(self._clock, Clock):
+            raise TypeError("clock must be a Clock")
+        self._drift = drift
+        self._linger = float(linger)
+        self._last_commit = self._clock.now()
+        self._min_backoff = float(min_backoff)
+        self._max_backoff = float(max_backoff)
+        self._pump_lock = make_lock("IngestPipeline._pump_lock")
+        self._draining = False
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.submitted = 0
+        self.ingested = 0
+        self.rejected = 0
+        self.shed = 0
+        self.batches = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Admission (producer side)
+    # ------------------------------------------------------------------
+    def submit(self, summary: VideoSummary) -> None:
+        """Admit one summary, or shed with a typed backpressure error.
+
+        Both refusals happen *before* any work — the FrontDoor
+        discipline: a shed costs the producer nothing but the retry.
+        """
+        if self._draining:
+            self.shed += 1
+            raise IngestDraining("pipeline is draining; resubmit later")
+        if not isinstance(summary, VideoSummary):
+            raise TypeError("summary must be a VideoSummary")
+        try:
+            self._queue.put_nowait(summary)
+        except queue.Full:
+            self.shed += 1
+            raise IngestOverloaded(
+                f"ingest queue full ({self._queue.maxsize}); back off"
+            ) from None
+        self.submitted += 1
+
+    @property
+    def depth(self) -> int:
+        """Currently queued (admitted, uncommitted) summaries."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Pump (consumer side)
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Drain the queue into batched commits; returns summaries committed.
+
+        Safe to call concurrently with :meth:`start`'s worker — a pump
+        lock serialises committers, and admission stays open throughout.
+        """
+        committed = 0
+        with self._pump_lock:
+            while True:
+                batch: list[VideoSummary] = []
+                while len(batch) < self._batch_size:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                if not batch:
+                    return committed
+                committed += self._commit_batch(batch)
+
+    def _commit_batch(self, batch: list[VideoSummary]) -> int:
+        gate = getattr(self._target, "write_gate", None)
+        if gate is not None:
+            with gate:
+                landed = self._apply(batch)
+        else:
+            landed = self._apply(batch)
+        self._last_commit = self._clock.now()
+        self._after_commit(landed)
+        return sum(landed.values())
+
+    def _apply(self, batch: list[VideoSummary]) -> dict:
+        """Insert a batch and commit it durably; returns per-key counts."""
+        landed: dict = {}
+        for summary in batch:
+            try:
+                video_id = self._target.add_summary(summary)
+            except (TypeError, ValueError):
+                self.rejected += 1
+                continue
+            key = (
+                self._target.shard_of(video_id) if self._is_fleet else "primary"
+            )
+            landed[key] = landed.get(key, 0) + 1
+            self.ingested += 1
+        if landed and self._durable():
+            # One checkpoint per batch: the whole batch becomes one WAL
+            # transaction (and one shipped segment on a replica set).
+            self._target.checkpoint()
+        if self._is_replica_set:
+            self._target.sync()
+        self.batches += 1
+        return landed
+
+    def _durable(self) -> bool:
+        if self._is_fleet:
+            return self._target.path is not None
+        if self._is_replica_set:
+            return True  # a replica set's primary is durable by contract
+        return self._target.database.path is not None
+
+    def _after_commit(self, landed: dict) -> None:
+        if self._drift is None or not landed:
+            return
+        for key, count in landed.items():
+            index = self._index_of(key)
+            if index is None:
+                continue
+            check = self._drift.observe(key, index, inserted=count)
+            if check is not None and check.rebuild:
+                self._rebuild(key)
+
+    def _index_of(self, key):
+        if self._is_fleet:
+            return self._target.shards[key].database.index
+        if self._is_replica_set:
+            return self._target.primary.database.index
+        return self._target.database.index
+
+    def _rebuild(self, key) -> None:
+        if self._is_fleet:
+            self._target.rebuild_shard(key)
+        elif self._is_replica_set:
+            rebuild_online(self._target.primary, shipper=self._target.shipper)
+            self._target.sync()
+        else:
+            rebuild_online(self._target)
+        self._drift.forget(key)
+        self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Background worker
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the pump on a background thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("pipeline worker already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="ingest-pump", daemon=True
+        )
+        self._thread.start()
+
+    def _ready_to_commit(self) -> bool:
+        """Group-commit gate: full batch now, partial batch after linger."""
+        depth = self.depth
+        if depth >= self._batch_size:
+            return True
+        if depth == 0:
+            return False
+        if self._linger <= 0.0:
+            return True
+        return self._clock.now() - self._last_commit >= self._linger
+
+    def _pump_once(self) -> int:
+        """Commit at most one batch, honouring the group-commit gate.
+
+        The worker's pump path: unlike :meth:`pump` it leaves a
+        not-yet-lingered partial batch queued, so a paced trickle of
+        writes coalesces instead of committing summary by summary.
+        """
+        with self._pump_lock:
+            if not self._ready_to_commit():
+                return 0
+            batch: list[VideoSummary] = []
+            while len(batch) < self._batch_size:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if not batch:
+                return 0
+            return self._commit_batch(batch)
+
+    def _run(self) -> None:
+        backoff = self._min_backoff
+        while not self._stop.is_set():
+            if self._pump_once() > 0:
+                backoff = self._min_backoff
+            else:
+                self._clock.sleep(backoff)
+                backoff = min(backoff * 2.0, self._max_backoff)
+
+    def stop(self) -> None:
+        """Stop the background worker (queued work stays queued)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def drain(self) -> int:
+        """Refuse new work, stop the worker, commit everything queued.
+
+        Returns the number of summaries committed by the final pump.
+        The front door drains ingest *before* its query drain so the
+        last admitted writes are durable when the process exits.
+        """
+        self._draining = True
+        self.stop()
+        return self.pump()
+
+    def close(self) -> None:
+        """Alias for :meth:`drain` (context-manager friendly)."""
+        self.drain()
+
+    def __enter__(self) -> "IngestPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters snapshot (submitted/ingested/rejected/shed/...).
+
+        Taken under the pump lock so the commit-side counters are a
+        consistent cut (never mid-batch).
+        """
+        with self._pump_lock:
+            return {
+                "submitted": self.submitted,
+                "ingested": self.ingested,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "batches": self.batches,
+                "rebuilds": self.rebuilds,
+                "depth": self.depth,
+                "draining": self._draining,
+                "drift_checks": self._drift.checks if self._drift else 0,
+            }
+
+    def __repr__(self) -> str:
+        with self._pump_lock:
+            return (
+                f"IngestPipeline(ingested={self.ingested}, "
+                f"depth={self.depth}, rebuilds={self.rebuilds})"
+            )

@@ -93,6 +93,9 @@ class ReplicaSet:
         primary's hot composed ranges into the new copy's range cache.
     retain:
         Shipper segment-log retention (``None`` = unbounded).
+    segment_log_path:
+        Durable mirror file for the shipped segment stream (``None`` =
+        in-memory only); what ``repro-video check`` chain-verifies.
     """
 
     #: The routing layer checks this before passing ``attempt=``.
@@ -106,6 +109,7 @@ class ReplicaSet:
         breaker_policy: BreakerPolicy | None = None,
         warm_on_attach: bool = True,
         retain: int | None = None,
+        segment_log_path: str | None = None,
     ) -> None:
         if not isinstance(primary, Shard):
             raise TypeError("primary must be a Shard")
@@ -115,7 +119,9 @@ class ReplicaSet:
         self._clock = clock
         self._policy = breaker_policy or BreakerPolicy()
         self._warm_on_attach = warm_on_attach
-        self._shipper = WalShipper(primary, clock=clock, retain=retain)
+        self._shipper = WalShipper(
+            primary, clock=clock, retain=retain, log_path=segment_log_path
+        )
         self._primary_copy = _Copy(
             primary, CircuitBreaker(self._policy), "primary"
         )
@@ -134,6 +140,16 @@ class ReplicaSet:
     def shipper(self) -> WalShipper:
         """The primary's segment shipper."""
         return self._shipper
+
+    @property
+    def write_gate(self):
+        """The primary copy's serving gate.
+
+        Writers (the ingest pipeline) hold it across a batch commit so
+        an in-flight read on the primary copy never interleaves with an
+        index mutation; replicas keep serving throughout.
+        """
+        return self._primary_copy.gate
 
     @property
     def replicas(self) -> list[ReplicaShard]:
@@ -196,13 +212,22 @@ class ReplicaSet:
                 self._bootstrap(replica)
                 bootstrapped += 1
                 continue
+            refused = False
             for encoded in pending:
                 if replica.apply_segment(encoded):
                     applied += 1
                 else:
                     self._bootstrap(replica)
                     bootstrapped += 1
+                    refused = True
                     break
+            if not refused and replica.token != self._shipper.token:
+                # Caught up by position yet on a different content token:
+                # an online-rebuild cutover re-rooted the chain (same
+                # videos, new reference point, new token).  Replay cannot
+                # bridge epochs; only a fresh snapshot can.
+                self._bootstrap(replica)
+                bootstrapped += 1
         return {"applied": applied, "bootstrapped": bootstrapped}
 
     def _bootstrap(self, replica: ReplicaShard) -> None:

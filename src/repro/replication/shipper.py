@@ -74,9 +74,20 @@ class SegmentLog:
     everything).  :meth:`since` returns ``None`` when the requested
     suffix reaches into truncated history — the caller must bootstrap
     from a snapshot instead of replaying.
+
+    ``path`` additionally mirrors every retained append into a durable
+    append-only file (``segments.log``), the artefact ``repro-video
+    check`` chain-verifies offline.  The file is advisory — like the
+    fleet's ``health.json`` it is written outside the fault injector, so
+    crash-sweep op counts never depend on whether shipping is enabled —
+    and it is truncated fresh at attach and at :meth:`reset` (an online
+    cutover re-roots the token chain, so pre-cutover frames would no
+    longer verify against the new epoch).
     """
 
-    def __init__(self, retain: int | None = None) -> None:
+    def __init__(
+        self, retain: int | None = None, path: str | None = None
+    ) -> None:
         if retain is not None:
             if not isinstance(retain, int) or isinstance(retain, bool):
                 raise TypeError("retain must be an int or None")
@@ -85,6 +96,16 @@ class SegmentLog:
         self._retain = retain
         self._lock = make_lock("SegmentLog._lock")
         self._entries: list[tuple[int, bytes]] = []
+        self._truncated_through = 0
+        self._path = os.fspath(path) if path is not None else None
+        self._file = None
+        if self._path is not None:
+            self._file = open(self._path, "wb")
+
+    @property
+    def path(self) -> str | None:
+        """The durable mirror file (``None`` = in-memory only)."""
+        return self._path
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,9 +126,14 @@ class SegmentLog:
                     f"{self._entries[-1][0]}"
                 )
             self._entries.append((seq, bytes(encoded)))
+            if self._file is not None:
+                self._file.write(bytes(encoded))  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
+                self._file.flush()  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
+                os.fsync(self._file.fileno())  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
             if self._retain is not None:
                 while len(self._entries) > self._retain:
-                    self._entries.pop(0)
+                    popped_seq, _ = self._entries.pop(0)
+                    self._truncated_through = popped_seq
 
     def since(self, seq: int) -> list[bytes] | None:
         """Encoded segments with sequence number > ``seq``, in order.
@@ -116,15 +142,37 @@ class SegmentLog:
         cannot bridge the gap, only a snapshot can.
         """
         with self._lock:
-            if not self._entries:
-                return []
-            oldest = self._entries[0][0]
-            if seq + 1 < oldest:
+            if seq < self._truncated_through:
                 return None
             return [
                 encoded for entry_seq, encoded in self._entries
                 if entry_seq > seq
             ]
+
+    def reset(self, through_seq: int) -> None:
+        """Drop every retained segment and floor replay at ``through_seq``.
+
+        The cutover epilogue: segments sealed against the old epoch can
+        never chain onto the new one, so replay across the cutover is
+        impossible by construction — :meth:`since` answers ``None`` for
+        any pre-cutover position, forcing a snapshot bootstrap.  The
+        durable mirror (if any) is truncated with the same logic.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._truncated_through = max(self._truncated_through, through_seq)
+            if self._file is not None:
+                self._file.seek(0)  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
+                self._file.truncate()  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
+                self._file.flush()  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
+                os.fsync(self._file.fileno())  # vilint: disable=blocking-while-locked -- the lock IS the mirror's write serialiser: appended bytes must hit the file in seq order
+
+    def close(self) -> None:
+        """Release the durable mirror's file handle (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
 
 class WalShipper:
@@ -138,9 +186,19 @@ class WalShipper:
         Injected clock; stamps :attr:`last_seal_at` for lag telemetry.
     retain:
         Segment-log retention (``None`` = unbounded).
+    log_path:
+        Durable mirror file for the retained segments (``None`` = keep
+        the stream in memory only); see :class:`SegmentLog`.
     """
 
-    def __init__(self, shard, *, clock: Clock, retain: int | None = None) -> None:
+    def __init__(
+        self,
+        shard,
+        *,
+        clock: Clock,
+        retain: int | None = None,
+        log_path: str | None = None,
+    ) -> None:
         if not isinstance(clock, Clock):
             raise TypeError("clock must be a Clock")
         db = shard.database
@@ -148,7 +206,7 @@ class WalShipper:
             raise ValueError("WAL shipping requires a durable primary shard")
         self._shard = shard
         self._clock = clock
-        self._log = SegmentLog(retain=retain)
+        self._log = SegmentLog(retain=retain, path=log_path)
         self._token = database_token(db)
         self._seq = 0
         self.last_seal_at: float | None = None
@@ -201,7 +259,9 @@ class WalShipper:
         db = self._shard.database
         files: dict[str, bytes] = {}
         for name in SNAPSHOT_FILES:
-            file_path = os.path.join(db.path, name)
+            # data_dir, not path: after an online-rebuild cutover the
+            # active file set lives in a generation sub-directory.
+            file_path = os.path.join(db.data_dir, name)
             if os.path.exists(file_path):
                 with open(file_path, "rb") as handle:
                     files[name] = handle.read()
@@ -209,9 +269,30 @@ class WalShipper:
                 files[name] = b""
         return Snapshot(seq=self._seq, token=self._token, files=files)
 
+    def rehook(self) -> None:
+        """Re-attach to the shard's current database after a cutover.
+
+        The online rebuild swaps the shard's :class:`VideoDatabase` for
+        a fresh object over the new generation; its WAL has no sink yet.
+        Re-install the seal hook, re-read the content token (the new
+        epoch's chain root — the refitted reference point changes the
+        token even though the videos are the same), and reset the
+        segment log so no replica can replay across the epoch boundary.
+        The sequence counter keeps ascending: a replica's position
+        remains comparable before and after.
+        """
+        db = self._shard.database
+        if db.path is None:
+            raise ValueError("WAL shipping requires a durable primary shard")
+        db.wal.set_segment_sink(self._seal)
+        self._token = database_token(db)
+        self._log.reset(self._seq)
+
     def detach(self) -> None:
-        """Stop sealing (clears the WAL's segment sink)."""
+        """Stop sealing (clears the WAL's segment sink) and release the
+        durable segment mirror, if any."""
         self._shard.database.wal.set_segment_sink(None)
+        self._log.close()
 
     def __repr__(self) -> str:
         return (

@@ -78,6 +78,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import threading
 from dataclasses import dataclass
 from typing import Callable
@@ -300,6 +301,13 @@ class ShardedVideoDatabase:
         self._created_shards = 0
         self._shards: list[Shard] = []
         self._membership: dict[int, int] = {}
+        # Maintenance window (concurrent rebalance / online rebuild):
+        # while set, writes targeting that shard are deferred instead of
+        # applied, so the copy phase can run outside the router lock
+        # against a frozen source.  Flushed when the window closes.
+        self._maintenance_shard: int | None = None
+        self._deferred_adds: list[VideoSummary] = []
+        self._deferred_removes: list[int] = []
 
         manifest_path = (
             os.path.join(self._path, _MANIFEST_FILE)
@@ -374,6 +382,9 @@ class ShardedVideoDatabase:
             self._shards = list(shards)
             self._membership = {}
             self._next_video_id = 0
+            self._maintenance_shard = None
+            self._deferred_adds = []
+            self._deferred_removes = []
             for shard in self._shards:
                 for video_id in shard.video_ids():
                     self._membership[video_id] = shard.shard_id
@@ -616,7 +627,16 @@ class ShardedVideoDatabase:
                     f"video id {summary.video_id} already present"
                 )
             target = self._partitioner.shard_for(summary)
-            self._shards[target].add_summary(summary)
+            if target == self._maintenance_shard:
+                # The owning shard is mid-rebalance/rebuild: admit the
+                # summary (its id is claimed fleet-wide) but defer the
+                # physical insert to the window's close, so the copy
+                # phase sees a frozen source.  The durability contract
+                # is unchanged — like any add, it is crash-durable only
+                # after the next checkpoint.
+                self._deferred_adds.append(summary)
+            else:
+                self._shards[target].add_summary(summary)
             self._membership[summary.video_id] = target
             self._next_video_id = max(
                 self._next_video_id, summary.video_id + 1
@@ -631,7 +651,20 @@ class ShardedVideoDatabase:
         """Remove a video from whichever shard holds it."""
         with self._lock:
             self._check_writable()
-            self._shards[self.shard_of(video_id)].remove(video_id)
+            owner = self.shard_of(video_id)
+            if owner == self._maintenance_shard:
+                # The owner is mid-maintenance.  A deferred (never
+                # physically inserted) add just un-defers; anything
+                # already on the shard is queued for removal at the
+                # window's close.
+                for position, summary in enumerate(self._deferred_adds):
+                    if summary.video_id == video_id:
+                        del self._deferred_adds[position]
+                        break
+                else:
+                    self._deferred_removes.append(video_id)
+            else:
+                self._shards[owner].remove(video_id)
             del self._membership[video_id]
 
     def build(self) -> None:
@@ -1195,6 +1228,49 @@ class ShardedVideoDatabase:
             return statuses
 
     # ------------------------------------------------------------------
+    # Maintenance windows (rebalance / online rebuild)
+    # ------------------------------------------------------------------
+    def _open_window(self, position: int) -> None:
+        """Start deferring writes aimed at shard ``position`` (caller
+        must hold the lock)."""
+        if self._maintenance_shard is not None:
+            raise RuntimeError(
+                f"shard {self._maintenance_shard} is already under "
+                "maintenance; one window at a time"
+            )
+        self._maintenance_shard = position
+
+    def _close_window(self) -> None:
+        """End the maintenance window and apply the deferred writes
+        (caller must hold the lock).  After a simulated crash the
+        deferral queues are abandoned — the crashed fleet can absorb
+        nothing, and reopening recovers from disk alone."""
+        self._maintenance_shard = None
+        if self._faults is not None and self._faults.crashed:
+            self._deferred_adds = []
+            self._deferred_removes = []
+            return
+        self._flush_deferred()
+
+    def _flush_deferred(self) -> None:
+        adds, self._deferred_adds = self._deferred_adds, []
+        removes, self._deferred_removes = self._deferred_removes, []
+        for summary in adds:
+            # Routed by the *current* partitioner: a rebalance that
+            # split the maintained shard sends the add to the right
+            # side of the new boundary.
+            target = self._partitioner.shard_for(summary)
+            self._shards[target].add_summary(summary)
+            self._membership[summary.video_id] = target
+        for video_id in removes:
+            # A deferred-removed mover can sit on source and copy both;
+            # scan physically so every copy goes.
+            for shard in self._shards:
+                if video_id in shard.video_ids():
+                    shard.remove(video_id)
+            self._membership.pop(video_id, None)
+
+    # ------------------------------------------------------------------
     # Rebalancing
     # ------------------------------------------------------------------
     def rebalance(self) -> int | None:
@@ -1207,12 +1283,22 @@ class ShardedVideoDatabase:
         or ``None`` when no shard can be split (fewer than two distinct
         routing keys on the hottest shard).
 
+        Concurrency: the bulk of the work — scanning the source and
+        copying the movers into the new shard — runs *outside* the
+        router lock, so queries keep being served from the source
+        throughout (the source stays authoritative until the commit
+        point).  A maintenance window defers writes aimed at the source
+        for the duration; everything else proceeds normally.  Only the
+        brief cutover (partitioner split, manifest, source trim) holds
+        the lock.
+
         Durable fleets commit in an order that keeps every crash point
-        recoverable: manifest (new partitioner + shard list) first, then
-        the destination shard's additions, then the source shard's
-        removals.  A crash between the last two leaves the moved videos
-        on both shards; reopening keeps only the partitioner-routed copy
-        (see :meth:`_reconcile`).
+        recoverable: the destination's content first (an orphan
+        directory the old manifest ignores), then the manifest (new
+        partitioner + shard list), then the source shard's removals.  A
+        crash between the last two leaves the moved videos on both
+        shards; reopening keeps only the partitioner-routed copy (see
+        :meth:`_reconcile`).
         """
         with self._lock:
             self._check_writable()
@@ -1227,9 +1313,16 @@ class ShardedVideoDatabase:
             hottest = max(
                 populated, key=lambda s: (s.queries_served, len(s))
             )
+            partitioner = self._partitioner
+            self._open_window(hottest.shard_id)
+        try:
+            # -- copy phase: no router lock held ------------------------
+            # The window freezes the source's content (writes to it are
+            # deferred), so the scan and the partitioner snapshot are
+            # consistent; concurrent queries read the same frozen pages.
             summaries = hottest.summaries()
             keyed = [
-                (self._partitioner.routing_key(summary), summary)
+                (partitioner.routing_key(summary), summary)
                 for summary in summaries
             ]
             keyed.sort(key=lambda pair: pair[0])
@@ -1239,34 +1332,102 @@ class ShardedVideoDatabase:
             if not movers:
                 return None  # all routing keys equal: nothing separates
 
-            position = hottest.shard_id
-            self._partitioner = self._partitioner.split(position, at)
-            new_shard = self._new_shard()
-            self._shards.insert(position + 1, new_shard)
-            for index, shard in enumerate(self._shards):
-                shard.renumber(index)
-
-            if self._path is not None:
-                # Commit point 1: the fleet's new shape.  A crash after this
-                # reopens with the new partitioner and an empty new shard —
-                # the movers still live (only) on the source shard.
-                self._write_manifest()
+            with self._lock:
+                if self._path is not None:
+                    # A crashed earlier rebalance can leave an orphan
+                    # directory under the name we are about to reuse
+                    # (``created_shards`` reloads from the pre-crash
+                    # manifest); it was never in a manifest, so wipe it.
+                    orphan = os.path.join(
+                        self._path, f"shard-{self._created_shards:04d}"
+                    )
+                    if os.path.exists(orphan):
+                        shutil.rmtree(orphan)
+                new_shard = self._new_shard()
             for summary in movers:
                 new_shard.add_summary(summary)
             if self._path is not None:
-                # Commit point 2: destination now owns the movers (they are
-                # briefly on both shards; reconciliation keeps this copy).
+                # Commit point 1: the destination's content is durable
+                # *before* any membership changes.  Until the manifest
+                # lands this directory is an ignorable orphan.
                 new_shard.checkpoint()
-            for summary in movers:
-                hottest.remove(summary.video_id)
-            if self._path is not None:
-                # Commit point 3: source lets go.
-                hottest.checkpoint()
-            self._membership = {}
-            for shard in self._shards:
-                for video_id in shard.video_ids():
-                    self._membership[video_id] = shard.shard_id
-            return new_shard.shard_id
+
+            # -- cutover: brief critical section ------------------------
+            with self._lock:
+                position = hottest.shard_id
+                self._partitioner = self._partitioner.split(position, at)
+                self._shards.insert(position + 1, new_shard)
+                for index, shard in enumerate(self._shards):
+                    shard.renumber(index)
+                # Deferred writes flush against the split partitioner —
+                # an add past the boundary lands on the new shard.
+                self._close_window()
+                if self._path is not None:
+                    # Commit point 2: the fleet's new shape.  The movers
+                    # are now briefly on both shards; reconciliation
+                    # keeps the partitioner-routed (new) copy.
+                    self._write_manifest()
+                for summary in movers:
+                    # A deferred remove may have already taken a mover.
+                    if summary.video_id in hottest.video_ids():
+                        hottest.remove(summary.video_id)
+                if self._path is not None:
+                    # Commit point 3: source lets go.
+                    hottest.checkpoint()
+                self._membership = {}
+                for shard in self._shards:
+                    for video_id in shard.video_ids():
+                        self._membership[video_id] = shard.shard_id
+                return new_shard.shard_id
+        finally:
+            with self._lock:
+                if self._maintenance_shard is not None:
+                    self._close_window()
+
+    def rebuild_shard(self, position: int, *, reference: str | None = None):
+        """Online reference-point rebuild of one shard (paper Sec 6.3.3).
+
+        Runs :func:`repro.ingest.cutover.side_build` on the shard's
+        database *outside* the router lock — queries keep being served
+        from the old generation while the refitted index is built in a
+        sibling directory — then takes the lock only for the atomic
+        cutover (``epoch.json`` pointer swap + engine/cache drop).  A
+        maintenance window defers writes aimed at the shard for the
+        duration.  Returns the :class:`~repro.ingest.cutover.CutoverReport`.
+        """
+        # Imported lazily: the ingest package sits above the routing
+        # layer (its pipeline drives this router), so a module-level
+        # import would be a cycle.
+        from repro.ingest.cutover import commit_cutover, side_build
+
+        with self._lock:
+            self._check_writable()
+            if self._path is None:
+                raise RuntimeError(
+                    "rebuild_shard() requires a durable fleet (the side "
+                    "build lives in a sibling generation directory)"
+                )
+            if not isinstance(position, int) or isinstance(position, bool):
+                raise TypeError("position must be an int")
+            if not 0 <= position < len(self._shards):
+                raise ValueError(
+                    f"position {position} out of range "
+                    f"(fleet has {len(self._shards)} shards)"
+                )
+            shard = self._shards[position]
+            if len(shard) == 0:
+                raise ValueError("cannot rebuild an empty shard")
+            self._open_window(position)
+        try:
+            result = side_build(
+                shard.database,
+                reference=reference if reference is not None else self._reference,
+            )
+            with self._lock:
+                return commit_cutover(shard, result)
+        finally:
+            with self._lock:
+                self._close_window()
 
     # ------------------------------------------------------------------
     # Durability
@@ -1284,6 +1445,11 @@ class ShardedVideoDatabase:
             self._check_writable()
             if self._path is None:
                 raise RuntimeError("checkpoint() requires a durable database")
+            if self._maintenance_shard is not None:
+                raise RuntimeError(
+                    f"shard {self._maintenance_shard} is under maintenance; "
+                    "checkpoint after the window closes"
+                )
             for shard in self._shards:
                 if len(shard) > 0 or shard.database.index is not None:
                     shard.checkpoint()
@@ -1367,6 +1533,11 @@ class ShardedVideoDatabase:
         with self._lock:
             if self._closed:
                 return
+            if self._maintenance_shard is not None:
+                raise RuntimeError(
+                    f"shard {self._maintenance_shard} is under maintenance; "
+                    "close after the window closes"
+                )
             crashed = self._faults is not None and self._faults.crashed
             if self._path is not None and not crashed and self._membership:
                 self.checkpoint()

@@ -142,6 +142,23 @@ class Shard:
         """Remove one of this shard's videos."""
         self._db.remove(video_id)
 
+    def adopt_database(self, database: VideoDatabase) -> None:
+        """Swap in a freshly reopened database (online-rebuild cutover).
+
+        Drops the serving engine and every cached routing artefact: the
+        new generation carries a new content token, so the next query
+        rebuilds the engine (and with it the L1 result cache, L2 range
+        cache and key-bounds cache) against the new epoch — the
+        cache-invalidation half of the atomic cutover.
+        """
+        if not isinstance(database, VideoDatabase):
+            raise TypeError("database must be a VideoDatabase")
+        self._db = database
+        self._engine = None
+        self._engine_index = None
+        self._bounds_token = None
+        self._bounds = None
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------

@@ -645,3 +645,24 @@ class TestInjectedClock:
             """
         )
         assert not findings(source, "injected-clock")
+
+    def test_ingest_layer_is_in_scope(self):
+        # The ingest pipeline's pump backoff and drift floors must replay
+        # under a virtual clock, so repro/ingest/ carries VIL007 too.
+        source = textwrap.dedent(
+            """\
+            import time
+
+            def pump_backoff(delay):
+                time.sleep(delay)
+            """
+        )
+        diagnostics = lint_source(
+            source,
+            path="src/repro/ingest/pipeline.py",
+            select=["injected-clock"],
+        )
+        assert [(d.rule, d.line) for d in diagnostics] == [
+            ("injected-clock", 4)
+        ]
+        assert diagnostics[0].code == "VIL007"

@@ -371,3 +371,95 @@ class TestConcurrentAccounting:
             )
             assert got.candidates == expected.candidates
             assert got.ranges == expected.ranges
+
+
+class TestConcurrentInsertAndQuery:
+    """Lockstep insert + knn on one index: the serving snapshot contract.
+
+    :class:`~repro.core.engine.QueryEngine` treats the pager as a
+    read-only snapshot; ``insert_video`` keeps its mutations in the
+    index's own buffer pool until the next flush.  So queries served
+    *during* an insert must be bit-identical to pre-insert queries —
+    never a mixed state — and only an explicit ``refresh()`` (which
+    flushes and re-snapshots) makes the new video visible.
+    """
+
+    def test_snapshot_stable_during_insert_refresh_sees_it(
+        self, small_summaries, small_dataset
+    ):
+        import sys
+        import threading
+
+        from repro.core.engine import QueryEngine
+
+        base = list(small_summaries)
+        index = VitriIndex.build(base, EPSILON)
+        # cache_size=0: every query re-executes against the snapshot
+        # instead of replaying a memoised ranking.
+        engine = QueryEngine(index, cache_size=0)
+        k = 5
+        probes = base[:3]
+        before = [
+            (tuple(r.videos), tuple(r.scores))
+            for r in (engine.knn(probe, k) for probe in probes)
+        ]
+
+        # Newcomers reuse existing videos' frames, so post-insert they
+        # tie the originals at full similarity — guaranteed to crack
+        # the originals' top-k once visible.
+        newcomers = [
+            summarize_video(
+                len(base) + i, small_dataset.frames(i), EPSILON, seed=777 + i
+            )
+            for i in range(3)
+        ]
+
+        served: list = []
+        barrier = threading.Barrier(2)
+
+        def writer() -> None:
+            barrier.wait()
+            for newcomer in newcomers:
+                index.insert_video(newcomer)
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(8):
+                for probe in probes:
+                    result = engine.knn(probe, k)
+                    served.append((tuple(result.videos), tuple(result.scores)))
+
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force tight interleaving
+        try:
+            threads = [
+                threading.Thread(target=writer),
+                threading.Thread(target=reader),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(switch)
+
+        # Every mid-insert query matched its pre-insert ranking exactly.
+        assert served == before * 8
+
+        # The mutation is real — the index itself serves the newcomers —
+        # but the engine's snapshot still predates it.
+        new_ids = {summary.video_id for summary in newcomers}
+        assert new_ids & set(index.knn(probes[0], k + 3).videos)
+        assert engine.snapshot_token != index.content_token()
+        stale = engine.knn(probes[0], k)
+        assert not new_ids & set(stale.videos)
+
+        engine.refresh()
+        assert engine.snapshot_token == index.content_token()
+        oracle = VitriIndex.build(base + newcomers, EPSILON)
+        for probe in probes:
+            expected = oracle.knn(probe, k)
+            got = engine.knn(probe, k)
+            assert tuple(got.videos) == tuple(expected.videos)
+            assert np.allclose(got.scores, expected.scores)
+        assert new_ids & set(engine.knn(probes[0], k).videos)

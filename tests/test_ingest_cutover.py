@@ -1,0 +1,187 @@
+"""Tests for the online rebuild (repro.ingest.cutover).
+
+The load-bearing properties: the side build never touches the serving
+file set; the ``epoch.json`` replace is the *only* commit point (a
+crash-at-every-step sweep recovers to exactly one of {old complete,
+new complete}); and rankings are bit-identical across the cutover —
+scores depend only on the query and each video's ViTris, never on the
+reference point the rebuild refits.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.database import read_epoch_pointer
+from repro.core.index import VitriIndex
+from repro.core.summarize import summarize_video
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.eval.ingest import run_cutover_crash_sweep
+from repro.ingest import commit_cutover, rebuild_online, side_build
+from repro.replication import ReplicaSet, ReplicaShard
+from repro.shard.shard import Shard
+from repro.utils.clock import VirtualClock
+
+EPSILON = 0.3
+
+
+def make_summaries(count: int = 12, *, seed: int = 7, dim: int = 8):
+    config = DatasetConfig(
+        dim=dim,
+        num_families=2,
+        family_size=3,
+        num_distractors=max(count - 6, 1),
+    )
+    dataset = generate_dataset(config, seed=seed)
+    return [
+        summarize_video(i, dataset.frames(i), EPSILON, seed=i)
+        for i in range(min(count, dataset.num_videos))
+    ]
+
+
+def make_shard(path, summaries) -> Shard:
+    shard = Shard(0, epsilon=EPSILON, path=str(path))
+    for summary in summaries:
+        shard.add_summary(summary)
+    shard.checkpoint()
+    return shard
+
+
+def rankings(server, probes, k=5):
+    results = []
+    for probe in probes:
+        result = server.knn(probe, k)
+        results.append((tuple(result.videos), tuple(result.scores)))
+    return results
+
+
+class TestValidation:
+    def test_side_build_rejects_non_database(self):
+        with pytest.raises(TypeError, match="VideoDatabase"):
+            side_build(object())
+
+    def test_side_build_requires_durability(self):
+        shard = Shard(0, epsilon=EPSILON)  # in-memory
+        for summary in make_summaries(8):
+            shard.add_summary(summary)
+        with pytest.raises(ValueError, match="durable"):
+            side_build(shard.database)
+
+    def test_side_build_requires_content(self, tmp_path):
+        shard = Shard(0, epsilon=EPSILON, path=str(tmp_path / "empty"))
+        with pytest.raises(ValueError, match="empty"):
+            side_build(shard.database)
+
+    def test_commit_rejects_non_result(self, tmp_path):
+        shard = make_shard(tmp_path / "s", make_summaries(8))
+        with pytest.raises(TypeError, match="SideBuildResult"):
+            commit_cutover(shard, {"generation": "gen-0001"})
+
+
+class TestOnlineRebuild:
+    def test_cutover_preserves_rankings_exactly(self, tmp_path):
+        summaries = make_summaries(14)
+        shard = make_shard(tmp_path / "shard", summaries)
+        probes = summaries[:5]
+        before = rankings(shard, probes)
+
+        report = rebuild_online(shard)
+
+        assert report.old_epoch == 0
+        assert report.new_epoch == 1
+        assert report.generation == "gen-0001"
+        assert report.old_token != report.new_token
+        assert report.videos == len(summaries)
+        assert shard.database.epoch == 1
+        assert shard.database.index.content_token() == report.new_token
+
+        after = rankings(shard, probes)
+        for (old_videos, old_scores), (new_videos, new_scores) in zip(
+            before, after
+        ):
+            assert new_videos == old_videos
+            assert new_scores == old_scores  # bit-identical, not just close
+
+        oracle = VitriIndex.build(summaries, EPSILON)
+        for probe, (videos, scores) in zip(probes, after):
+            expected = oracle.knn(probe, 5)
+            assert videos == tuple(expected.videos)
+            assert np.allclose(scores, expected.scores)
+
+    def test_reopen_lands_on_new_epoch_and_sweeps_old(self, tmp_path):
+        path = tmp_path / "shard"
+        summaries = make_summaries(10)
+        shard = make_shard(path, summaries)
+        report = rebuild_online(shard)
+        shard.checkpoint()
+        shard.close()
+
+        assert read_epoch_pointer(str(path)) == ("gen-0001", 1)
+        reopened = Shard(0, epsilon=EPSILON, path=str(path))
+        assert reopened.database.epoch == 1
+        assert reopened.database.index.content_token() == report.new_token
+        assert len(reopened) == len(summaries)
+        # The flat epoch-0 file set was swept: only the pointer and the
+        # live generation remain in the root.
+        assert sorted(os.listdir(path)) == ["epoch.json", "gen-0001"]
+        reopened.close()
+
+    def test_engine_and_caches_invalidate(self, tmp_path):
+        summaries = make_summaries(10)
+        shard = make_shard(tmp_path / "shard", summaries)
+        engine_before = shard.engine()
+        token_before = engine_before.snapshot_token
+
+        report = rebuild_online(shard)
+
+        engine_after = shard.engine()
+        assert engine_after is not engine_before
+        assert engine_after.snapshot_token == report.new_token
+        assert engine_after.snapshot_token != token_before
+
+    def test_successive_rebuilds_advance_epochs(self, tmp_path):
+        shard = make_shard(tmp_path / "shard", make_summaries(10))
+        first = rebuild_online(shard)
+        second = rebuild_online(shard)
+        assert (first.new_epoch, second.new_epoch) == (1, 2)
+        assert second.generation == "gen-0002"
+        assert shard.database.epoch == 2
+
+    def test_replicas_rebootstrap_after_cutover(self, tmp_path):
+        summaries = make_summaries(12)
+        primary = make_shard(tmp_path / "primary", summaries)
+        clock = VirtualClock()
+        group = ReplicaSet(primary, clock=clock)
+        group.attach_replica(
+            ReplicaShard(0, tmp_path / "replica", epsilon=EPSILON, clock=clock)
+        )
+        group.sync()
+
+        report = rebuild_online(group.primary, shipper=group.shipper)
+        group.sync()
+
+        # The replica re-bootstrapped from a new-epoch snapshot: it now
+        # serves the new token's content, bit-identical to the oracle.
+        oracle = VitriIndex.build(summaries, EPSILON)
+        for probe in summaries[:4]:
+            expected = oracle.knn(probe, 5)
+            got = group.knn(probe, 5)
+            assert tuple(got.videos) == tuple(expected.videos)
+            assert np.allclose(got.scores, expected.scores)
+        status = group.replication_status()
+        assert report.new_token in str(status)
+        group.close()
+
+
+class TestCrashSweep:
+    def test_every_crash_point_recovers_to_one_side(self, tmp_path):
+        report = run_cutover_crash_sweep(
+            str(tmp_path / "sweep"), make_summaries(8), epsilon=EPSILON
+        )
+        assert report["crash_points"] > 0
+        assert report["recovered"] == report["crash_points"]
+        # Both sides of the pointer must be reachable, or the sweep is
+        # not actually straddling the commit point.
+        assert report["outcomes"]["old"] > 0
+        assert report["outcomes"]["new"] > 0

@@ -1,0 +1,298 @@
+"""Tests for the streaming ingest pipeline (repro.ingest).
+
+Admission must shed with *typed* errors before doing any work; commits
+must be whole batches (one WAL transaction / one shipped segment each);
+the group-commit linger must coalesce a paced trickle without ever
+delaying a full batch; and a drift-triggered rebuild must leave the
+target serving oracle-exact rankings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import VitriIndex
+from repro.core.summarize import summarize_video
+from repro.datasets.synthetic import DatasetConfig, generate_dataset
+from repro.ingest import (
+    DriftCheck,
+    DriftMonitor,
+    IngestBackpressure,
+    IngestDraining,
+    IngestOverloaded,
+    IngestPipeline,
+)
+from repro.replication import ReplicaSet, ReplicaShard
+from repro.replication.segments import verify_segment_chain
+from repro.shard.shard import Shard
+from repro.utils.clock import VirtualClock
+
+EPSILON = 0.3
+DIM = 8
+
+
+def make_summaries(count: int = 12, *, seed: int = 7, first_id: int = 0):
+    config = DatasetConfig(
+        dim=DIM,
+        num_families=2,
+        family_size=3,
+        num_distractors=max(count - 6, 1),
+    )
+    dataset = generate_dataset(config, seed=seed)
+    return [
+        summarize_video(first_id + i, dataset.frames(i), EPSILON, seed=first_id + i)
+        for i in range(min(count, dataset.num_videos))
+    ]
+
+
+def rotated_summaries(count: int, *, seed: int, first_id: int):
+    """Summaries from a rolled frame space — the drifted stream tail."""
+    config = DatasetConfig(
+        dim=DIM,
+        num_families=2,
+        family_size=3,
+        num_distractors=max(count - 6, 1),
+    )
+    dataset = generate_dataset(config, seed=seed)
+    rotation = np.roll(np.eye(DIM), 3, axis=0)
+    return [
+        summarize_video(
+            first_id + i,
+            dataset.frames(i) @ rotation.T,
+            EPSILON,
+            seed=first_id + i,
+        )
+        for i in range(min(count, dataset.num_videos))
+    ]
+
+
+class TestValidation:
+    def test_rejects_target_without_add_summary(self):
+        with pytest.raises(TypeError, match="add_summary"):
+            IngestPipeline(object())
+
+    def test_rejects_bad_knobs(self):
+        shard = Shard(0, epsilon=EPSILON)
+        with pytest.raises(ValueError, match="batch_size"):
+            IngestPipeline(shard, batch_size=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            IngestPipeline(shard, max_queue=0)
+        with pytest.raises(ValueError, match="linger"):
+            IngestPipeline(shard, linger=-1.0)
+        with pytest.raises(ValueError, match="backoff"):
+            IngestPipeline(shard, min_backoff=0.5, max_backoff=0.1)
+        with pytest.raises(TypeError, match="DriftMonitor"):
+            IngestPipeline(shard, drift=object())
+        with pytest.raises(TypeError, match="Clock"):
+            IngestPipeline(shard, clock=object())
+
+
+class TestAdmission:
+    def test_full_queue_sheds_typed_overload(self):
+        pipeline = IngestPipeline(Shard(0, epsilon=EPSILON), max_queue=2)
+        summaries = make_summaries(3)
+        pipeline.submit(summaries[0])
+        pipeline.submit(summaries[1])
+        with pytest.raises(IngestOverloaded, match="back off"):
+            pipeline.submit(summaries[2])
+        # The shed is typed-retriable and costs nothing but the retry.
+        assert issubclass(IngestOverloaded, IngestBackpressure)
+        assert pipeline.depth == 2
+        assert pipeline.submitted == 2
+        assert pipeline.shed == 1
+
+    def test_rejects_non_summary_before_queueing(self):
+        pipeline = IngestPipeline(Shard(0, epsilon=EPSILON))
+        with pytest.raises(TypeError, match="VideoSummary"):
+            pipeline.submit("not a summary")
+        assert pipeline.depth == 0
+
+    def test_draining_pipeline_sheds_typed_refusal(self):
+        pipeline = IngestPipeline(Shard(0, epsilon=EPSILON))
+        pipeline.drain()
+        with pytest.raises(IngestDraining, match="draining"):
+            pipeline.submit(make_summaries(1)[0])
+        assert pipeline.shed == 1
+
+
+class TestBatching:
+    def test_pump_commits_in_batches(self):
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(shard, batch_size=4)
+        for summary in make_summaries(10):
+            pipeline.submit(summary)
+        assert pipeline.pump() == 10
+        assert pipeline.batches == 3  # 4 + 4 + 2
+        assert pipeline.ingested == 10
+        assert pipeline.depth == 0
+        assert len(shard) == 10
+
+    def test_each_batch_ships_as_one_segment(self, tmp_path):
+        initial = make_summaries(8)
+        primary = Shard(0, epsilon=EPSILON, path=str(tmp_path / "primary"))
+        for summary in initial:
+            primary.add_summary(summary)
+        primary.checkpoint()
+        clock = VirtualClock()
+        log_path = str(tmp_path / "segments.log")
+        group = ReplicaSet(primary, clock=clock, segment_log_path=log_path)
+        group.attach_replica(
+            ReplicaShard(0, tmp_path / "replica", epsilon=EPSILON, clock=clock)
+        )
+        group.sync()
+        seq_before = group.shipper.seq
+
+        pipeline = IngestPipeline(group, batch_size=4)
+        for summary in make_summaries(8, seed=11, first_id=len(initial)):
+            pipeline.submit(summary)
+        assert pipeline.pump() == 8
+
+        # One checkpoint per batch == one sealed, chained segment each.
+        assert group.shipper.seq == seq_before + 2
+        with open(log_path, "rb") as handle:
+            chain = verify_segment_chain(handle.read())
+        assert chain["last_seq"] == group.shipper.seq
+
+        # _apply syncs after each commit: replicas already serve it all.
+        oracle = VitriIndex.build(group.primary.summaries(), EPSILON)
+        for probe in initial[:3]:
+            expected = oracle.knn(probe, 5)
+            got = group.knn(probe, 5)
+            assert tuple(got.videos) == tuple(expected.videos)
+            assert np.allclose(got.scores, expected.scores)
+        group.close()
+
+    def test_invalid_summary_is_rejected_not_fatal(self):
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(shard, batch_size=4)
+        summaries = make_summaries(4)
+        for summary in summaries:
+            pipeline.submit(summary)
+        pipeline.submit(summaries[0])  # duplicate id: rejected at insert
+        assert pipeline.pump() == 4
+        assert pipeline.rejected == 1
+        assert len(shard) == 4
+
+
+class TestGroupCommit:
+    def make_pipeline(self, clock, **kwargs):
+        shard = Shard(0, epsilon=EPSILON)
+        return shard, IngestPipeline(shard, clock=clock, **kwargs)
+
+    def test_partial_batch_waits_for_linger(self):
+        clock = VirtualClock()
+        _, pipeline = self.make_pipeline(clock, batch_size=4, linger=5.0)
+        for summary in make_summaries(2):
+            pipeline.submit(summary)
+        assert pipeline._pump_once() == 0  # partial and not yet lingered
+        assert pipeline.depth == 2
+        clock.advance(6.0)
+        assert pipeline._pump_once() == 2  # linger expired: commit it
+        assert pipeline.batches == 1
+
+    def test_full_batch_never_waits(self):
+        clock = VirtualClock()
+        _, pipeline = self.make_pipeline(clock, batch_size=4, linger=60.0)
+        for summary in make_summaries(4):
+            pipeline.submit(summary)
+        assert pipeline._pump_once() == 4  # no clock movement needed
+
+    def test_pump_flushes_partials_regardless_of_linger(self):
+        clock = VirtualClock()
+        _, pipeline = self.make_pipeline(clock, batch_size=4, linger=60.0)
+        pipeline.submit(make_summaries(1)[0])
+        assert pipeline.pump() == 1
+
+    def test_zero_linger_commits_partials_immediately(self):
+        clock = VirtualClock()
+        _, pipeline = self.make_pipeline(clock, batch_size=4, linger=0.0)
+        pipeline.submit(make_summaries(1)[0])
+        assert pipeline._pump_once() == 1
+
+
+class TestWorker:
+    def test_background_worker_drains_the_queue(self):
+        import time
+
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(shard, batch_size=2, min_backoff=0.001)
+        pipeline.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                pipeline.start()
+            for summary in make_summaries(6):
+                pipeline.submit(summary)
+            for _ in range(1000):  # bounded poll, ~10s worst case
+                if pipeline.ingested >= 6:
+                    break
+                time.sleep(0.01)
+        finally:
+            pipeline.stop()
+        assert pipeline.ingested == 6
+        assert len(shard) == 6
+
+    def test_context_manager_drains_on_exit(self):
+        shard = Shard(0, epsilon=EPSILON)
+        with IngestPipeline(shard, batch_size=4) as pipeline:
+            for summary in make_summaries(3):
+                pipeline.submit(summary)
+        assert pipeline.ingested == 3
+        assert pipeline.stats()["draining"] is True
+
+
+class TestDrift:
+    def test_min_interval_floor_on_injected_clock(self):
+        clock = VirtualClock()
+        monitor = DriftMonitor(
+            max_angle_degrees=15.0,
+            check_every=2,
+            min_interval=10.0,
+            clock=clock,
+        )
+        index = VitriIndex.build(make_summaries(10), EPSILON)
+        first = monitor.observe("shard", index, inserted=2)
+        assert isinstance(first, DriftCheck)
+        # Inside the floor: due by count, suppressed by the clock.
+        assert monitor.observe("shard", index, inserted=2) is None
+        clock.advance(11.0)
+        second = monitor.observe("shard", index, inserted=2)
+        assert isinstance(second, DriftCheck)
+        assert second.at - first.at >= 10.0
+        assert monitor.checks == 2
+
+    def test_drift_triggers_online_rebuild_and_stays_exact(self, tmp_path):
+        initial = make_summaries(12)
+        shard = Shard(0, epsilon=EPSILON, path=str(tmp_path / "shard"))
+        for summary in initial:
+            shard.add_summary(summary)
+        shard.checkpoint()
+
+        monitor = DriftMonitor(max_angle_degrees=2.0, check_every=8)
+        pipeline = IngestPipeline(shard, batch_size=8, drift=monitor)
+        stream = rotated_summaries(16, seed=11, first_id=len(initial))
+        for summary in stream:
+            pipeline.submit(summary)
+        pipeline.drain()
+
+        assert pipeline.rebuilds >= 1
+        assert shard.database.epoch >= 1
+        oracle = VitriIndex.build(initial + stream, EPSILON)
+        for probe in (initial + stream)[::7]:
+            expected = oracle.knn(probe, 5)
+            got = shard.knn(probe, 5)
+            assert tuple(got.videos) == tuple(expected.videos)
+            assert np.allclose(got.scores, expected.scores)
+
+    def test_stats_counters(self):
+        pipeline = IngestPipeline(Shard(0, epsilon=EPSILON), batch_size=2)
+        for summary in make_summaries(3):
+            pipeline.submit(summary)
+        pipeline.pump()
+        stats = pipeline.stats()
+        assert stats["submitted"] == 3
+        assert stats["ingested"] == 3
+        assert stats["batches"] == 2
+        assert stats["rejected"] == 0
+        assert stats["shed"] == 0
+        assert stats["rebuilds"] == 0
+        assert stats["depth"] == 0
+        assert stats["draining"] is False

@@ -24,10 +24,13 @@ from repro.replication import (
     ReplicaShard,
     ReplicaUnavailable,
     SealedSegment,
+    SegmentFrameError,
     SegmentLog,
     WalShipper,
     decode_segment,
     encode_segment,
+    iter_segments,
+    verify_segment_chain,
 )
 from repro.replication.shipper import database_token
 from repro.shard.resilience import BreakerPolicy
@@ -79,6 +82,81 @@ class TestSegmentFrame:
             SealedSegment(
                 seq=0, base_token="short", after_token="0" * 32, payload=b""
             )
+
+
+class TestSegmentChainVerify:
+    """Structural chain verification — what `repro-video check --segments`
+    runs over a persisted segment log."""
+
+    @staticmethod
+    def make_chain(tokens, *, first_seq=1):
+        segments = []
+        for offset, (base, after) in enumerate(zip(tokens, tokens[1:])):
+            segments.append(
+                SealedSegment(
+                    seq=first_seq + offset,
+                    base_token=base,
+                    after_token=after,
+                    payload=bytes([offset]),
+                )
+            )
+        return segments
+
+    def test_valid_chain_summary(self):
+        tokens = ["aa" * 16, "bb" * 16, "cc" * 16, "dd" * 16]
+        raw = b"".join(
+            encode_segment(s) for s in self.make_chain(tokens, first_seq=4)
+        )
+        assert verify_segment_chain(raw) == {
+            "segments": 3,
+            "first_seq": 4,
+            "last_seq": 6,
+            "base_token": tokens[0],
+            "after_token": tokens[-1],
+        }
+
+    def test_empty_stream_is_a_valid_zero_chain(self):
+        summary = verify_segment_chain(b"")
+        assert summary["segments"] == 0
+        assert summary["base_token"] is None
+
+    def test_sequence_gap_raises(self):
+        tokens = ["aa" * 16, "bb" * 16, "cc" * 16]
+        first, second = self.make_chain(tokens)
+        skipped = SealedSegment(
+            seq=second.seq + 1,  # gap: 1 then 3
+            base_token=second.base_token,
+            after_token=second.after_token,
+            payload=second.payload,
+        )
+        raw = encode_segment(first) + encode_segment(skipped)
+        with pytest.raises(SegmentFrameError, match="sequence gap"):
+            verify_segment_chain(raw)
+
+    def test_broken_hash_chain_raises(self):
+        tokens = ["aa" * 16, "bb" * 16, "cc" * 16]
+        first, second = self.make_chain(tokens)
+        forked = SealedSegment(
+            seq=second.seq,
+            base_token="ee" * 16,  # does not match first.after_token
+            after_token=second.after_token,
+            payload=second.payload,
+        )
+        raw = encode_segment(first) + encode_segment(forked)
+        with pytest.raises(SegmentFrameError, match="hash chain broken"):
+            verify_segment_chain(raw)
+
+    def test_truncated_tail_raises(self):
+        tokens = ["aa" * 16, "bb" * 16, "cc" * 16]
+        first, second = self.make_chain(tokens)
+        raw = encode_segment(first) + encode_segment(second)[:-3]
+        with pytest.raises(SegmentFrameError, match="truncated"):
+            verify_segment_chain(raw)
+        # iter_segments reports the same defect lazily.
+        chunks = iter_segments(raw)
+        assert next(chunks).seq == first.seq
+        with pytest.raises(SegmentFrameError):
+            next(chunks)
 
 
 class TestSegmentLog:

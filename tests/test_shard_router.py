@@ -344,6 +344,59 @@ class TestRebalance:
         assert fleet.rebalance() is None
         assert fleet.num_shards == 2
 
+    def test_queries_are_served_during_the_copy_phase(
+        self, small_summaries, small_index
+    ):
+        """Regression: rebalance must not hold the router lock while it
+        scans and copies the hottest shard.
+
+        The copy phase (``hottest.summaries()`` onward) is blocked on an
+        event while the main thread runs a query; if the router lock
+        were held across the copy — the old coarse-grained behaviour —
+        the query would deadlock against the blocked rebalance.
+        """
+        import threading
+
+        fleet = make_fleet(small_summaries, "key_range", 2)
+        for query in small_summaries[:4]:
+            fleet.knn(query, 5)
+
+        copy_started = threading.Event()
+        release_copy = threading.Event()
+        for shard in fleet.shards:
+            original = shard.summaries
+
+            def blocking(original=original):
+                copy_started.set()
+                assert release_copy.wait(timeout=30.0)
+                return original()
+
+            shard.summaries = blocking
+
+        result: dict = {}
+
+        def run_rebalance():
+            result["new_shard"] = fleet.rebalance()
+
+        rebalancer = threading.Thread(target=run_rebalance)
+        rebalancer.start()
+        try:
+            assert copy_started.wait(timeout=30.0)
+            # The copy phase is parked; reads must still complete.
+            for query in small_summaries[:4]:
+                got = fleet.knn(query, 5)
+                expected = small_index.knn(query, 5)
+                assert got.videos == expected.videos
+        finally:
+            release_copy.set()
+            rebalancer.join(timeout=30.0)
+        assert not rebalancer.is_alive()
+        assert result["new_shard"] is not None
+        assert fleet.num_shards == 3
+        for query in small_summaries[:4]:
+            got = fleet.knn(query, 5)
+            assert got.videos == small_index.knn(query, 5).videos
+
 
 class TestShardUnit:
     def test_engine_refreshes_on_content_change(self, small_summaries):
