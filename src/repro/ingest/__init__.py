@@ -30,6 +30,7 @@ from repro.ingest.drift import DriftCheck, DriftMonitor
 from repro.ingest.pipeline import (
     IngestBackpressure,
     IngestDraining,
+    IngestFailed,
     IngestOverloaded,
     IngestPipeline,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "DriftMonitor",
     "IngestBackpressure",
     "IngestDraining",
+    "IngestFailed",
     "IngestOverloaded",
     "IngestPipeline",
     "SideBuildResult",

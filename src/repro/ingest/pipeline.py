@@ -13,14 +13,29 @@ queue or a draining pipeline sheds with a *typed* error before any work
 is done — :class:`IngestOverloaded` / :class:`IngestDraining`, both
 :class:`IngestBackpressure` — so producers can tell "back off and
 retry" from a real failure, exactly like the read path's 429-shaped
-refusals.
+refusals.  Admission and drain share one lock, so a producer can never
+slip a summary past a concurrent :meth:`~IngestPipeline.drain`'s final
+flush: everything counted ``submitted`` is either committed by the
+drain or was shed with a typed error.
 
 With a :class:`~repro.ingest.drift.DriftMonitor` attached, every
 committed batch feeds per-shard insert counts; when a measurement says
 the principal angle drifted past the threshold, the pipeline launches
 the online rebuild (:mod:`repro.ingest.cutover`) on the affected shard
-— through the router's maintenance window for fleets, directly for a
-bare shard or replica set — while queries keep being served.
+— through the router's maintenance window for fleets, under the
+primary's ``write_gate`` for a replica set — while queries keep being
+served.  Fleet drift state is keyed by shard *identity*, not fleet
+position: a concurrent ``rebalance()`` renumbers positions, and the
+key must survive that.
+
+A commit failure never silently kills ingestion: the background worker
+records the error, keeps the un-applied remainder of the batch for the
+next attempt, and retries with backoff (a concurrent maintenance window
+is the common, transient cause).  Only after
+``max_pump_failures`` consecutive failures does the pipeline transition
+to a terminal failed state, which :meth:`~IngestPipeline.submit` then
+reports as :class:`IngestFailed` instead of letting producers fill a
+queue nobody drains.
 
 All timing (pump backoff, drift floors) reads the injected
 :class:`~repro.utils.clock.Clock` (VIL007): a virtual-clock test replays
@@ -36,6 +51,7 @@ from __future__ import annotations
 # the one-segment-per-batch contract rely on.  Admission (submit) never
 # takes this lock, so producers are not blocked by an in-flight commit.
 
+import collections
 import queue
 import threading
 
@@ -48,6 +64,7 @@ from repro.utils.locks import make_lock
 __all__ = [
     "IngestBackpressure",
     "IngestDraining",
+    "IngestFailed",
     "IngestOverloaded",
     "IngestPipeline",
 ]
@@ -63,6 +80,15 @@ class IngestOverloaded(IngestBackpressure):
 
 class IngestDraining(IngestBackpressure):
     """The pipeline is draining/closed; no new work is admitted."""
+
+
+class IngestFailed(RuntimeError):
+    """The pump failed terminally; submissions are refused, not queued.
+
+    Deliberately *not* an :class:`IngestBackpressure`: retrying will not
+    help until an operator intervenes (``stats()["failed"]`` carries the
+    last error).
+    """
 
 
 class IngestPipeline:
@@ -91,16 +117,21 @@ class IngestPipeline:
         rebuilds.
     linger:
         Group-commit window for the *background* worker: a partial batch
-        is held up to this many seconds (on the injected clock) waiting
-        for more summaries before it commits, so a paced trickle of
-        writes produces full batches — and full-batch commit cadence —
-        instead of one tiny commit (and one round of engine/cache
-        invalidation) per summary.  ``0`` (the default) commits whatever
-        is queued immediately.  A full batch never waits, and
+        is held until its oldest summary has been queued this many
+        seconds (on the injected clock), so a paced trickle of writes
+        produces full batches — and full-batch commit cadence — instead
+        of one tiny commit (and one round of engine/cache invalidation)
+        per summary.  ``0`` (the default) commits whatever is queued
+        immediately.  A full batch never waits, and
         :meth:`pump`/:meth:`drain` always flush regardless.
     min_backoff / max_backoff:
         Idle-pump sleep bounds for the background worker (deterministic
-        doubling, no jitter — reruns replay identically).
+        doubling, no jitter — reruns replay identically).  Commit
+        failures retry on the same schedule.
+    max_pump_failures:
+        Consecutive commit failures the background worker tolerates
+        (retrying with backoff) before it transitions the pipeline to
+        the terminal failed state reported by :class:`IngestFailed`.
     """
 
     def __init__(
@@ -114,6 +145,7 @@ class IngestPipeline:
         linger: float = 0.0,
         min_backoff: float = 0.005,
         max_backoff: float = 0.25,
+        max_pump_failures: int = 8,
     ) -> None:
         if not isinstance(batch_size, int) or batch_size < 1:
             raise ValueError(f"batch_size must be a positive int, got {batch_size}")
@@ -128,6 +160,11 @@ class IngestPipeline:
             )
         if linger < 0:
             raise ValueError(f"linger must be >= 0, got {linger}")
+        if not isinstance(max_pump_failures, int) or max_pump_failures < 1:
+            raise ValueError(
+                f"max_pump_failures must be a positive int, got "
+                f"{max_pump_failures}"
+            )
         self._target = target
         self._is_fleet = hasattr(target, "rebuild_shard") and hasattr(
             target, "shards"
@@ -144,11 +181,21 @@ class IngestPipeline:
             raise TypeError("clock must be a Clock")
         self._drift = drift
         self._linger = float(linger)
-        self._last_commit = self._clock.now()
         self._min_backoff = float(min_backoff)
         self._max_backoff = float(max_backoff)
+        self._max_pump_failures = max_pump_failures
         self._pump_lock = make_lock("IngestPipeline._pump_lock")
+        self._admit_lock = make_lock("IngestPipeline._admit_lock")
+        # Enqueue time of every queued-but-uncommitted summary, oldest
+        # first: the group-commit linger gates on the *head*, so the
+        # first batch after an idle gap still coalesces.
+        self._enqueued_at: collections.deque = collections.deque()
+        # Un-applied remainder of a failed commit, recommitted before
+        # anything newly queued (only touched under the pump lock).
+        self._carry: list[VideoSummary] = []
         self._draining = False
+        self._failed: BaseException | None = None
+        self._last_error: str | None = None
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.submitted = 0
@@ -157,6 +204,7 @@ class IngestPipeline:
         self.shed = 0
         self.batches = 0
         self.rebuilds = 0
+        self.pump_errors = 0
 
     # ------------------------------------------------------------------
     # Admission (producer side)
@@ -164,27 +212,37 @@ class IngestPipeline:
     def submit(self, summary: VideoSummary) -> None:
         """Admit one summary, or shed with a typed backpressure error.
 
-        Both refusals happen *before* any work — the FrontDoor
+        All refusals happen *before* any work — the FrontDoor
         discipline: a shed costs the producer nothing but the retry.
+        Admission runs under the same lock :meth:`drain` uses to raise
+        its flag, so a summary is either visible to the drain's final
+        flush or refused — never admitted-and-abandoned.
         """
-        if self._draining:
-            self.shed += 1
-            raise IngestDraining("pipeline is draining; resubmit later")
         if not isinstance(summary, VideoSummary):
             raise TypeError("summary must be a VideoSummary")
-        try:
-            self._queue.put_nowait(summary)
-        except queue.Full:
-            self.shed += 1
-            raise IngestOverloaded(
-                f"ingest queue full ({self._queue.maxsize}); back off"
-            ) from None
-        self.submitted += 1
+        with self._admit_lock:
+            if self._failed is not None:
+                raise IngestFailed(
+                    "ingest pump failed terminally "
+                    f"({self._last_error}); see stats()['failed']"
+                ) from self._failed
+            if self._draining:
+                self.shed += 1
+                raise IngestDraining("pipeline is draining; resubmit later")
+            try:
+                self._queue.put_nowait(summary)
+            except queue.Full:
+                self.shed += 1
+                raise IngestOverloaded(
+                    f"ingest queue full ({self._queue.maxsize}); back off"
+                ) from None
+            self._enqueued_at.append(self._clock.now())
+            self.submitted += 1
 
     @property
     def depth(self) -> int:
-        """Currently queued (admitted, uncommitted) summaries."""
-        return self._queue.qsize()
+        """Admitted, uncommitted summaries (queued + carried by a retry)."""
+        return self._queue.qsize() + len(self._carry)  # vilint: disable=guard-discipline -- monitoring read: _carry is reassigned (never mutated in place) under the pump lock, and a momentarily stale length must not block producers behind an in-flight commit
 
     # ------------------------------------------------------------------
     # Pump (consumer side)
@@ -194,53 +252,80 @@ class IngestPipeline:
 
         Safe to call concurrently with :meth:`start`'s worker — a pump
         lock serialises committers, and admission stays open throughout.
+        A commit failure propagates to the caller; the batch's
+        un-applied remainder is kept and recommitted by the next pump.
         """
         committed = 0
         with self._pump_lock:
             while True:
-                batch: list[VideoSummary] = []
-                while len(batch) < self._batch_size:
-                    try:
-                        batch.append(self._queue.get_nowait())
-                    except queue.Empty:
-                        break
+                batch = self._take_batch()
                 if not batch:
                     return committed
                 committed += self._commit_batch(batch)
 
-    def _commit_batch(self, batch: list[VideoSummary]) -> int:
-        gate = getattr(self._target, "write_gate", None)
-        if gate is not None:
-            with gate:
-                landed = self._apply(batch)
-        else:
-            landed = self._apply(batch)
-        self._last_commit = self._clock.now()
-        self._after_commit(landed)
-        return sum(landed.values())
-
-    def _apply(self, batch: list[VideoSummary]) -> dict:
-        """Insert a batch and commit it durably; returns per-key counts."""
-        landed: dict = {}
-        for summary in batch:
+    def _take_batch(self) -> list[VideoSummary]:
+        """Assemble one batch: a failed commit's carry first, then the queue."""
+        batch = self._carry
+        self._carry = []
+        while len(batch) < self._batch_size:
             try:
-                video_id = self._target.add_summary(summary)
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+            try:
+                self._enqueued_at.popleft()
+            except IndexError:
+                pass
+        return batch
+
+    def _commit_batch(self, batch: list[VideoSummary]) -> int:
+        try:
+            gate = getattr(self._target, "write_gate", None)
+            if gate is not None:
+                with gate:
+                    applied, landed = self._apply(batch)
+            else:
+                applied, landed = self._apply(batch)
+        except Exception:
+            # ``_apply`` consumes ``batch`` destructively, so whatever
+            # it did not reach is still in it: keep that remainder for
+            # the next pump instead of losing a dequeued batch.
+            self._carry = batch
+            raise
+        self._after_commit(landed)
+        return applied
+
+    def _apply(self, batch: list[VideoSummary]) -> tuple[int, dict]:
+        """Insert a batch and commit it durably.
+
+        Returns ``(applied, landed)``: how many summaries landed, and
+        per-shard-key counts for drift accounting.  The batch list is
+        consumed front-to-back, so on failure it holds exactly the
+        un-applied remainder.
+        """
+        applied = 0
+        landed: dict = {}
+        while batch:
+            try:
+                video_id = self._target.add_summary(batch[0])
             except (TypeError, ValueError):
                 self.rejected += 1
+                batch.pop(0)
                 continue
-            key = (
-                self._target.shard_of(video_id) if self._is_fleet else "primary"
-            )
-            landed[key] = landed.get(key, 0) + 1
+            batch.pop(0)
+            applied += 1
             self.ingested += 1
-        if landed and self._durable():
+            key = self._shard_key(video_id) if self._is_fleet else "primary"
+            if key is not None:
+                landed[key] = landed.get(key, 0) + 1
+        if applied and self._durable():
             # One checkpoint per batch: the whole batch becomes one WAL
             # transaction (and one shipped segment on a replica set).
             self._target.checkpoint()
         if self._is_replica_set:
             self._target.sync()
         self.batches += 1
-        return landed
+        return applied, landed
 
     def _durable(self) -> bool:
         if self._is_fleet:
@@ -248,6 +333,26 @@ class IngestPipeline:
         if self._is_replica_set:
             return True  # a replica set's primary is durable by contract
         return self._target.database.path is not None
+
+    def _shard_key(self, video_id):
+        """Stable drift key for a fleet insert: the shard *object*.
+
+        ``rebalance()`` renumbers fleet positions when it inserts a
+        shard, so a position captured here could charge drift (or aim a
+        rebuild) at the wrong shard by the time it is used.  The shard
+        object survives renumbering; :meth:`_position_of` resolves it
+        back to a position at rebuild time.
+        """
+        position = self._target.shard_of(video_id)
+        shards = self._target.shards
+        return shards[position] if position < len(shards) else None
+
+    def _position_of(self, key):
+        """Current fleet position of a drift key, or ``None`` if gone."""
+        for position, shard in enumerate(self._target.shards):
+            if shard is key or getattr(shard, "inner", None) is key:
+                return position
+        return None
 
     def _after_commit(self, landed: dict) -> None:
         if self._drift is None or not landed:
@@ -262,17 +367,29 @@ class IngestPipeline:
 
     def _index_of(self, key):
         if self._is_fleet:
-            return self._target.shards[key].database.index
+            return key.database.index
         if self._is_replica_set:
             return self._target.primary.database.index
         return self._target.database.index
 
     def _rebuild(self, key) -> None:
         if self._is_fleet:
-            self._target.rebuild_shard(key)
+            position = self._position_of(key)
+            if position is None:
+                # The shard left the fleet between the commit and this
+                # rebuild (rebalance/removal); drop its stale counters.
+                self._drift.forget(key)
+                return
+            self._target.rebuild_shard(position)
         elif self._is_replica_set:
-            rebuild_online(self._target.primary, shipper=self._target.shipper)
-            self._target.sync()
+            # Same discipline as _commit_batch: the cutover detaches the
+            # primary's database and resets engine state, so in-flight
+            # primary-routed reads must be excluded for its duration.
+            with self._target.write_gate:
+                rebuild_online(
+                    self._target.primary, shipper=self._target.shipper
+                )
+                self._target.sync()
         else:
             rebuild_online(self._target)
         self._drift.forget(key)
@@ -293,14 +410,20 @@ class IngestPipeline:
 
     def _ready_to_commit(self) -> bool:
         """Group-commit gate: full batch now, partial batch after linger."""
-        depth = self.depth
+        if self._carry:
+            return True  # a failed commit's remainder retries first
+        depth = self._queue.qsize()
         if depth >= self._batch_size:
             return True
         if depth == 0:
             return False
         if self._linger <= 0.0:
             return True
-        return self._clock.now() - self._last_commit >= self._linger
+        try:
+            oldest = self._enqueued_at[0]
+        except IndexError:
+            return True
+        return self._clock.now() - oldest >= self._linger
 
     def _pump_once(self) -> int:
         """Commit at most one batch, honouring the group-commit gate.
@@ -312,20 +435,33 @@ class IngestPipeline:
         with self._pump_lock:
             if not self._ready_to_commit():
                 return 0
-            batch: list[VideoSummary] = []
-            while len(batch) < self._batch_size:
-                try:
-                    batch.append(self._queue.get_nowait())
-                except queue.Empty:
-                    break
+            batch = self._take_batch()
             if not batch:
                 return 0
             return self._commit_batch(batch)
 
     def _run(self) -> None:
         backoff = self._min_backoff
+        failures = 0
         while not self._stop.is_set():
-            if self._pump_once() > 0:
+            try:
+                committed = self._pump_once()
+            except Exception as exc:
+                # A dead pump thread must never be silent: record every
+                # failure, retry with backoff (a concurrent maintenance
+                # window is transient), and past the consecutive-failure
+                # budget park the pipeline in a state submit() reports.
+                self.pump_errors += 1
+                failures += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                if failures >= self._max_pump_failures:
+                    self._failed = exc
+                    return
+                self._clock.sleep(backoff)
+                backoff = min(backoff * 2.0, self._max_backoff)
+                continue
+            failures = 0
+            if committed > 0:
                 backoff = self._min_backoff
             else:
                 self._clock.sleep(backoff)
@@ -342,10 +478,15 @@ class IngestPipeline:
         """Refuse new work, stop the worker, commit everything queued.
 
         Returns the number of summaries committed by the final pump.
-        The front door drains ingest *before* its query drain so the
-        last admitted writes are durable when the process exits.
+        The draining flag is raised under the admission lock, so every
+        summary counted ``submitted`` is either already in the queue
+        when the final pump runs or was refused with a typed shed —
+        nothing admitted is left volatile.  The front door drains
+        ingest *before* its query drain so the last admitted writes are
+        durable when the process exits.
         """
-        self._draining = True
+        with self._admit_lock:
+            self._draining = True
         self.stop()
         return self.pump()
 
@@ -365,21 +506,29 @@ class IngestPipeline:
     def stats(self) -> dict:
         """Counters snapshot (submitted/ingested/rejected/shed/...).
 
-        Taken under the pump lock so the commit-side counters are a
-        consistent cut (never mid-batch).
+        Taken under both the pump and admission locks so commit-side
+        *and* producer-side counters are each a consistent cut (never
+        mid-batch, never mid-submit).  ``pump_errors`` counts every
+        commit failure the worker survived; ``failed`` is ``None`` while
+        healthy, else the terminal error message.
         """
         with self._pump_lock:
-            return {
-                "submitted": self.submitted,
-                "ingested": self.ingested,
-                "rejected": self.rejected,
-                "shed": self.shed,
-                "batches": self.batches,
-                "rebuilds": self.rebuilds,
-                "depth": self.depth,
-                "draining": self._draining,
-                "drift_checks": self._drift.checks if self._drift else 0,
-            }
+            with self._admit_lock:
+                return {
+                    "submitted": self.submitted,
+                    "ingested": self.ingested,
+                    "rejected": self.rejected,
+                    "shed": self.shed,
+                    "batches": self.batches,
+                    "rebuilds": self.rebuilds,
+                    "depth": self.depth,
+                    "draining": self._draining,
+                    "pump_errors": self.pump_errors,
+                    "failed": (
+                        self._last_error if self._failed is not None else None
+                    ),
+                    "drift_checks": self._drift.checks if self._drift else 0,
+                }
 
     def __repr__(self) -> str:
         with self._pump_lock:

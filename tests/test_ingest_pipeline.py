@@ -18,6 +18,7 @@ from repro.ingest import (
     DriftMonitor,
     IngestBackpressure,
     IngestDraining,
+    IngestFailed,
     IngestOverloaded,
     IngestPipeline,
 )
@@ -208,6 +209,18 @@ class TestGroupCommit:
         pipeline.submit(make_summaries(1)[0])
         assert pipeline._pump_once() == 1
 
+    def test_first_batch_after_idle_still_lingers(self):
+        clock = VirtualClock()
+        _, pipeline = self.make_pipeline(clock, batch_size=4, linger=5.0)
+        clock.advance(100.0)  # long idle gap, no commits in it
+        pipeline.submit(make_summaries(1)[0])
+        # The linger gates on the oldest *queued* summary's age, not on
+        # the time since the last commit, so the first post-idle summary
+        # coalesces instead of committing as a batch of one.
+        assert pipeline._pump_once() == 0
+        clock.advance(5.0)
+        assert pipeline._pump_once() == 1
+
 
 class TestWorker:
     def test_background_worker_drains_the_queue(self):
@@ -237,6 +250,126 @@ class TestWorker:
                 pipeline.submit(summary)
         assert pipeline.ingested == 3
         assert pipeline.stats()["draining"] is True
+
+
+class FlakyShard:
+    """A bare-shard target whose first ``fail`` inserts raise transiently."""
+
+    def __init__(self, shard, fail: int) -> None:
+        self._shard = shard
+        self.remaining = fail
+
+    def add_summary(self, summary):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise RuntimeError("transient insert fault")
+        return self._shard.add_summary(summary)
+
+    @property
+    def database(self):
+        return self._shard.database
+
+
+class TestPumpFailure:
+    def test_failed_commit_keeps_unapplied_batch(self):
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(FlakyShard(shard, fail=1), batch_size=4)
+        for summary in make_summaries(4):
+            pipeline.submit(summary)
+        with pytest.raises(RuntimeError, match="transient"):
+            pipeline.pump()
+        # The dequeued batch is carried, not lost: a retry commits it all.
+        assert pipeline.depth == 4
+        assert pipeline.pump() == 4
+        assert len(shard) == 4
+
+    def test_worker_survives_transient_failures(self):
+        import time
+
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(
+            FlakyShard(shard, fail=2),
+            batch_size=2,
+            min_backoff=0.001,
+            max_pump_failures=10,
+        )
+        pipeline.start()
+        try:
+            for summary in make_summaries(4):
+                pipeline.submit(summary)
+            for _ in range(1000):  # bounded poll, ~10s worst case
+                if pipeline.ingested >= 4:
+                    break
+                time.sleep(0.01)
+        finally:
+            pipeline.stop()
+        assert pipeline.ingested == 4
+        assert len(shard) == 4
+        stats = pipeline.stats()
+        assert stats["pump_errors"] >= 1
+        assert stats["failed"] is None
+
+    def test_worker_fails_terminally_and_submit_reports_it(self):
+        import time
+
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(
+            FlakyShard(shard, fail=10_000),
+            batch_size=2,
+            min_backoff=0.001,
+            max_pump_failures=3,
+        )
+        pipeline.start()
+        try:
+            for summary in make_summaries(2):
+                pipeline.submit(summary)
+            for _ in range(1000):  # bounded poll, ~10s worst case
+                if pipeline.stats()["failed"] is not None:
+                    break
+                time.sleep(0.01)
+        finally:
+            pipeline.stop()
+        stats = pipeline.stats()
+        assert stats["failed"] is not None
+        assert "transient insert fault" in stats["failed"]
+        assert stats["pump_errors"] == 3
+        # No silent dead thread: producers get a typed, non-retriable error.
+        with pytest.raises(IngestFailed, match="failed terminally"):
+            pipeline.submit(make_summaries(3)[2])
+
+    def test_rejects_bad_max_pump_failures(self):
+        with pytest.raises(ValueError, match="max_pump_failures"):
+            IngestPipeline(Shard(0, epsilon=EPSILON), max_pump_failures=0)
+
+
+class TestDrainRace:
+    def test_drain_commits_everything_admitted(self):
+        import threading
+
+        shard = Shard(0, epsilon=EPSILON)
+        pipeline = IngestPipeline(shard, batch_size=4)
+        chunks = [make_summaries(6, seed=s, first_id=s * 100) for s in (1, 2, 3)]
+
+        def producer(chunk):
+            for summary in chunk:
+                try:
+                    pipeline.submit(summary)
+                except IngestBackpressure:
+                    pass  # shed after the drain flag: refused, not lost
+
+        threads = [
+            threading.Thread(target=producer, args=(chunk,)) for chunk in chunks
+        ]
+        for thread in threads:
+            thread.start()
+        pipeline.drain()
+        for thread in threads:
+            thread.join()
+        # Nothing admitted is left volatile: every submit that returned
+        # successfully was committed (or rejected at insert) by the drain.
+        assert pipeline.stats()["depth"] == 0
+        assert pipeline.submitted == pipeline.ingested + pipeline.rejected
+        assert len(shard) == pipeline.ingested
 
 
 class TestDrift:
@@ -281,6 +414,109 @@ class TestDrift:
             got = shard.knn(probe, 5)
             assert tuple(got.videos) == tuple(expected.videos)
             assert np.allclose(got.scores, expected.scores)
+
+    def test_replica_set_rebuild_holds_write_gate(self, tmp_path, monkeypatch):
+        """The online cutover must exclude in-flight primary reads.
+
+        ``commit_cutover`` detaches the primary's database mid-swap, so
+        a drift-triggered rebuild has to hold the primary copy's serving
+        gate exactly like a batch commit does.
+        """
+        primary = Shard(0, epsilon=EPSILON, path=str(tmp_path / "primary"))
+        for summary in make_summaries(8):
+            primary.add_summary(summary)
+        primary.checkpoint()
+        clock = VirtualClock()
+        group = ReplicaSet(primary, clock=clock)
+
+        class GateProbe:
+            def __init__(self, inner):
+                self._inner = inner
+                self.held = 0
+
+            def __enter__(self):
+                self._inner.__enter__()
+                self.held += 1
+                return self
+
+            def __exit__(self, *exc):
+                self.held -= 1
+                return self._inner.__exit__(*exc)
+
+        probe = GateProbe(group.write_gate)
+        group._primary_copy.gate = probe
+        held_during_rebuild = []
+        monkeypatch.setattr(
+            "repro.ingest.pipeline.rebuild_online",
+            lambda shard, **kwargs: held_during_rebuild.append(probe.held),
+        )
+
+        pipeline = IngestPipeline(group, drift=DriftMonitor(clock=clock))
+        pipeline._rebuild("primary")
+        assert held_during_rebuild == [1]
+        assert probe.held == 0  # released after the cutover
+        assert pipeline.rebuilds == 1
+        group.close()
+
+    def test_fleet_drift_key_survives_renumbering(self):
+        """A rebalance between commit and rebuild must not retarget it.
+
+        Drift is keyed by shard *identity*; the position is resolved
+        only at rebuild time, so a concurrent split that renumbers the
+        fleet cannot aim the rebuild at the wrong shard.
+        """
+        home = Shard(0, epsilon=EPSILON)
+        for summary in make_summaries(6):
+            home.add_summary(summary)
+        home.database.build()
+
+        class FakeFleet:
+            path = None
+
+            def __init__(self, home):
+                self.home = home
+                self._shards = [home]
+                self.rebuilt = []
+
+            @property
+            def shards(self):
+                return tuple(self._shards)
+
+            def add_summary(self, summary):
+                return self.home.add_summary(summary)
+
+            def shard_of(self, video_id):
+                return self._shards.index(self.home)
+
+            def rebuild_shard(self, position):
+                self.rebuilt.append(self._shards[position])
+
+            def split_front(self):
+                # A rebalance-shaped renumbering: every existing
+                # position shifts by one.
+                self._shards.insert(0, Shard(0, epsilon=EPSILON))
+
+        fleet = FakeFleet(home)
+
+        class RenumberingMonitor(DriftMonitor):
+            """Forces a rebuild verdict, renumbering the fleet first."""
+
+            def observe(self, key, index, inserted=1):
+                fleet.split_front()
+                return DriftCheck(
+                    key=key, angle=1.0, threshold=0.1, rebuild=True, at=0.0
+                )
+
+        pipeline = IngestPipeline(
+            fleet, batch_size=4, drift=RenumberingMonitor()
+        )
+        pipeline.submit(make_summaries(7, seed=11, first_id=100)[6])
+        assert pipeline.pump() == 1
+        # The rebuild landed on the shard that drifted, at its *new*
+        # position — a positional key would have rebuilt the new shard
+        # sitting at the old position instead.
+        assert fleet.rebuilt == [home]
+        assert pipeline.rebuilds == 1
 
     def test_stats_counters(self):
         pipeline = IngestPipeline(Shard(0, epsilon=EPSILON), batch_size=2)
